@@ -1,0 +1,208 @@
+package fulltext
+
+// Cross-engine agreement property tests at the public-API level: every
+// engine that accepts a query must return exactly the same node set. This
+// complements the per-engine oracle tests in the internal packages.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/synth"
+)
+
+func randomIndexedCorpus(t testing.TB, rng *rand.Rand, vocab []string, nDocs, maxLen int) *Index {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < nDocs; i++ {
+		n := rng.Intn(maxLen + 1)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			switch rng.Intn(8) {
+			case 0:
+				sb.WriteString(". ")
+			case 1:
+				sb.WriteString("\n\n")
+			default:
+				sb.WriteString(" ")
+			}
+		}
+		if err := b.Add(fmt.Sprintf("doc%d", i), sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnginesAgreeOnWorkloads drives the synthetic workload generator
+// (exactly the queries the benchmarks time) across every engine that can
+// evaluate each query class.
+func TestEnginesAgreeOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	vocab := []string{"qtok0", "qtok1", "qtok2", "aa", "bb"}
+	for trial := 0; trial < 40; trial++ {
+		ix := randomIndexedCorpus(t, rng, vocab, 8, 20)
+		for toks := 1; toks <= 3; toks++ {
+			for preds := 0; preds <= 2; preds++ {
+				for _, neg := range []bool{false, true} {
+					w := synth.Workload{Tokens: toks, Preds: preds, Negative: neg, DistLimit: 3}
+					q := &Query{ast: w.PipelinedQuery([]string{"qtok0", "qtok1", "qtok2"})}
+
+					comp, err := ix.SearchWith(q, EngineCOMP)
+					if err != nil {
+						t.Fatalf("COMP on %s: %v", q, err)
+					}
+					auto, err := ix.Search(q)
+					if err != nil {
+						t.Fatalf("auto on %s: %v", q, err)
+					}
+					if !matchesEqual(auto, comp) {
+						t.Fatalf("auto and COMP disagree on %s:\nauto=%v\ncomp=%v", q, ids(auto), ids(comp))
+					}
+					np, err := ix.SearchWith(q, EngineNPRED)
+					if err != nil {
+						t.Fatalf("NPRED on %s: %v", q, err)
+					}
+					if !matchesEqual(np, comp) {
+						t.Fatalf("NPRED and COMP disagree on %s:\nnpred=%v\ncomp=%v", q, ids(np), ids(comp))
+					}
+					if !neg {
+						pp, err := ix.SearchWith(q, EnginePPRED)
+						if err != nil {
+							t.Fatalf("PPRED on %s: %v", q, err)
+						}
+						if !matchesEqual(pp, comp) {
+							t.Fatalf("PPRED and COMP disagree on %s:\nppred=%v\ncomp=%v", q, ids(pp), ids(comp))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoolEnginesAgree: random Boolean queries through the merge engine,
+// the pipelined engine (where applicable), and the complete engine.
+func TestBoolEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	vocab := []string{"aa", "bb", "cc"}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return "'" + vocab[rng.Intn(len(vocab))] + "'"
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return "NOT (" + gen(depth-1) + ")"
+		case 1:
+			return "(" + gen(depth-1) + " AND " + gen(depth-1) + ")"
+		default:
+			return "(" + gen(depth-1) + " OR " + gen(depth-1) + ")"
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		ix := randomIndexedCorpus(t, rng, vocab, 6, 8)
+		src := gen(3)
+		q, err := Parse(BOOL, src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		bm, err := ix.SearchWith(q, EngineBOOL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := ix.SearchWith(q, EngineCOMP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(bm, cm) {
+			t.Fatalf("BOOL and COMP disagree on %s: %v vs %v", src, ids(bm), ids(cm))
+		}
+	}
+}
+
+// TestEmptyIndexAllEngines: every engine handles an empty collection.
+func TestEmptyIndexAllEngines(t *testing.T) {
+	ix := NewBuilder().Build()
+	queries := []*Query{
+		MustParse(BOOL, `'a' AND NOT 'b'`),
+		MustParse(BOOL, `NOT 'a'`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1,p2,3))`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,3))`),
+		MustParse(COMP, `EVERY p (p HAS 'a')`),
+	}
+	for _, q := range queries {
+		ms, err := ix.Search(q)
+		if err != nil {
+			t.Fatalf("%s on empty index: %v", q, err)
+		}
+		if len(ms) != 0 {
+			t.Fatalf("%s matched %v on an empty index", q, ids(ms))
+		}
+	}
+}
+
+// TestUnicodeContent: tokenizer and engines handle non-ASCII text.
+func TestUnicodeContent(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add("de", "Über die Benutzbarkeit von Software. Die Software unterstützt effiziente Abläufe."); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("fr", "La qualité du logiciel dépend de l'utilisabilité."); err != nil {
+		t.Fatal(err)
+	}
+	ix := b.Build()
+	ms, err := ix.Search(MustParse(BOOL, `'software' AND 'über'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "de")
+	ms, err = ix.Search(MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'software' AND p2 HAS 'effiziente' AND samepara(p1,p2))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "de")
+}
+
+// TestLargeDistanceAndDegenerateConstants: boundary constants behave.
+func TestDegenerateConstants(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add("d1", "x y z"); err != nil {
+		t.Fatal(err)
+	}
+	ix := b.Build()
+	for _, src := range []string{
+		`SOME p1 SOME p2 (p1 HAS 'x' AND p2 HAS 'z' AND distance(p1,p2,0))`,       // too far
+		`SOME p1 SOME p2 (p1 HAS 'x' AND p2 HAS 'z' AND distance(p1,p2,1000000))`, // huge bound
+		`SOME p1 SOME p2 (p1 HAS 'x' AND p2 HAS 'x' AND not_distance(p1,p2,0))`,   // same token
+	} {
+		q := MustParse(COMP, src)
+		a, err := ix.SearchWith(q, EngineCOMP)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		bm, err := ix.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !matchesEqual(a, bm) {
+			t.Fatalf("%s: engines disagree", src)
+		}
+	}
+}

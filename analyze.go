@@ -1,0 +1,77 @@
+package fulltext
+
+import (
+	"fulltext/internal/lang"
+	"fulltext/internal/text"
+)
+
+// Options configures the linguistic analysis applied at indexing time and
+// mirrored onto query tokens — the stemming/thesaurus/stop-word primitives
+// the paper lists as future work (Section 8).
+type Options struct {
+	// Stemming applies the Porter stemmer to every token.
+	Stemming bool
+	// StopWords are removed from documents. Surviving tokens keep their
+	// original ordinals (the model supports sparse positions), so distance
+	// and order predicates keep their original-text semantics. A query
+	// literal that is a stop word matches nothing.
+	StopWords []string
+	// Synonyms are canonicalization groups: every member of a group is
+	// indexed (and queried) as the group's first member.
+	Synonyms [][]string
+}
+
+// EnglishStopWords is a compact default stop list for Options.StopWords.
+var EnglishStopWords = append([]string(nil), text.EnglishStopWords...)
+
+// NewBuilderWith returns a builder applying the given analysis options.
+func NewBuilderWith(o Options) *Builder {
+	b := NewBuilder()
+	b.analyzer = &text.Analyzer{
+		Stem: o.Stemming,
+		Stop: text.NewStopSet(o.StopWords),
+		Syn:  text.NewThesaurus(o.Synonyms),
+	}
+	return b
+}
+
+// rewriteQueryTokens maps query tokens through the index's analyzer
+// (synonym canonicalization + stemming) so that surface forms in queries
+// match analyzed index terms. Stop words are left alone: indexing removed
+// them, so they match nothing — the standard IR behaviour.
+func rewriteQueryTokens(q lang.Query, a *text.Analyzer) lang.Query {
+	if a.Identity() {
+		return q
+	}
+	norm := func(tok string) string {
+		if a.Stop.Contains(tok) {
+			return tok
+		}
+		if nt := a.Token(tok); nt != "" {
+			return nt
+		}
+		return tok
+	}
+	var rec func(q lang.Query) lang.Query
+	rec = func(q lang.Query) lang.Query {
+		switch x := q.(type) {
+		case lang.Lit:
+			return lang.Lit{Tok: norm(x.Tok)}
+		case lang.Has:
+			return lang.Has{Var: x.Var, Tok: norm(x.Tok)}
+		case lang.Not:
+			return lang.Not{Q: rec(x.Q)}
+		case lang.And:
+			return lang.And{L: rec(x.L), R: rec(x.R)}
+		case lang.Or:
+			return lang.Or{L: rec(x.L), R: rec(x.R)}
+		case lang.Some:
+			return lang.Some{Var: x.Var, Q: rec(x.Q)}
+		case lang.Every:
+			return lang.Every{Var: x.Var, Q: rec(x.Q)}
+		default:
+			return q
+		}
+	}
+	return rec(q)
+}

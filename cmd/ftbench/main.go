@@ -1,0 +1,89 @@
+// ftbench reproduces the paper's evaluation (Section 6): it generates the
+// synthetic INEX-substitute corpus, runs every engine series, and prints
+// one table per figure.
+//
+// Usage:
+//
+//	ftbench -experiment all            all figures at the default scale
+//	ftbench -experiment fig5 -scale 1  Figure 5 at the paper's full sizes
+//	ftbench -experiment fig7 -quick    Figure 7 on a small corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fulltext/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, or all")
+		scale      = flag.Float64("scale", 0.25, "corpus scale factor (1 = the paper's sizes)")
+		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
+		seed       = flag.Int64("seed", 2006, "corpus random seed")
+		repeats    = flag.Int("repeats", 3, "timing repetitions per cell")
+	)
+	flag.Parse()
+
+	if *quick {
+		*scale = 0.05
+		*repeats = 1
+	}
+	s := bench.Defaults(*scale)
+	s.Seed = *seed
+	s.Repeats = *repeats
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if run("fig5") {
+		fmt.Println(bench.VaryTokens(s, []int{1, 2, 3, 4, 5}).Format())
+		ran = true
+	}
+	if run("fig6") {
+		fmt.Println(bench.VaryPreds(s, []int{0, 1, 2, 3, 4}).Format())
+		ran = true
+	}
+	if run("fig7") {
+		sizes := []int{scaleInt(2500, *scale), scaleInt(6000, *scale), scaleInt(10000, *scale)}
+		fmt.Println(bench.VaryCNodes(s, sizes).Format())
+		ran = true
+	}
+	if run("fig8") {
+		fmt.Println(bench.VaryPosPerEntry(s, []int{5, 25, 125}).Format())
+		ran = true
+	}
+	if run("fig3") {
+		hs := s
+		hs.CNodes = s.CNodes / 4
+		if hs.CNodes < 50 {
+			hs.CNodes = 50
+		}
+		t := bench.Hierarchy(hs)
+		fmt.Println(t.Format())
+		fmt.Println("growth x1 -> x4 (linear engines should be near 4, COMP above):")
+		ratios := bench.GrowthRatios(t)
+		for _, series := range bench.Series {
+			if r, ok := ratios[series]; ok {
+				fmt.Printf("  %-10s %.2fx\n", series, r)
+			}
+		}
+		fmt.Println()
+		ran = true
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func scaleInt(v int, f float64) int {
+	n := int(float64(v) * f)
+	if n < 50 {
+		n = 50
+	}
+	return n
+}

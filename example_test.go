@@ -1,0 +1,70 @@
+package fulltext_test
+
+import (
+	"fmt"
+
+	"fulltext"
+)
+
+// The paper's Example 1 (XQuery Full-Text Use Case 10.4): the word
+// 'efficient' and the phrase "task completion" in that order with at most
+// 10 intervening tokens.
+func Example() {
+	b := fulltext.NewBuilder()
+	b.Add("book-1", "An efficient approach to task completion keeps users satisfied.")
+	b.Add("book-2", "Task completion precedes the efficient algorithm.")
+	ix := b.Build()
+
+	q, _ := fulltext.Parse(fulltext.COMP, `
+		SOME e SOME t1 SOME t2 (
+			e HAS 'efficient' AND t1 HAS 'task' AND t2 HAS 'completion'
+			AND ordered(t1,t2) AND distance(t1,t2,0)
+			AND ordered(e,t1) AND distance(e,t1,10))`)
+
+	matches, _ := ix.Search(q)
+	for _, m := range matches {
+		fmt.Println(m.ID)
+	}
+	// Output: book-1
+}
+
+func ExampleParse() {
+	q, _ := fulltext.Parse(fulltext.BOOL, `'software' AND NOT 'testing'`)
+	fmt.Println(q)
+	fmt.Println(fulltext.Classify(q))
+	// Output:
+	// 'software' AND (NOT 'testing')
+	// BOOL-NONEG
+}
+
+func ExampleIndex_SearchRanked() {
+	b := fulltext.NewBuilder()
+	b.Add("heavy", "usability usability usability")
+	b.Add("light", "usability among many many other other words words here")
+	ix := b.Build()
+
+	q, _ := fulltext.Parse(fulltext.BOOL, `'usability'`)
+	matches, _ := ix.SearchRanked(q, fulltext.TFIDF, 1)
+	fmt.Println(matches[0].ID)
+	// Output: heavy
+}
+
+func ExampleIndex_Classify() {
+	ix := fulltext.NewBuilder().Build()
+	for _, src := range []string{
+		`'a' AND 'b'`,
+		`NOT 'a'`,
+		`SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1,p2,5))`,
+		`SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,5))`,
+		`EVERY p (p HAS 'a')`,
+	} {
+		q, _ := fulltext.Parse(fulltext.COMP, src)
+		fmt.Println(ix.Classify(q))
+	}
+	// Output:
+	// BOOL-NONEG
+	// BOOL
+	// PPRED
+	// NPRED
+	// COMP
+}

@@ -1,0 +1,69 @@
+// Linguistic extensions (the paper's Section 8 future work): stemming,
+// stop-words and a thesaurus, composed with position predicates. Stop-word
+// removal keeps the surviving tokens' original ordinals, so distance
+// predicates still measure original-text gaps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fulltext"
+)
+
+func main() {
+	b := fulltext.NewBuilderWith(fulltext.Options{
+		Stemming:  true,
+		StopWords: fulltext.EnglishStopWords,
+		Synonyms: [][]string{
+			{"car", "automobile", "auto", "vehicle"},
+			{"fast", "quick", "rapid"},
+		},
+	})
+	docs := []struct{ id, text string }{
+		{"review-1", "The automobile was surprisingly quick on the track."},
+		{"review-2", "A rapid little car, but the brakes were fading."},
+		{"review-3", "Vehicles of this class are rarely fast in the rain."},
+		{"manual-1", "Routine maintenance keeps the engine running."},
+	}
+	for _, d := range docs {
+		if err := b.Add(d.id, d.text); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix := b.Build()
+
+	// Surface forms in queries are analyzed the same way: 'cars' stems to
+	// 'car'; 'automobile' canonicalizes to 'car'; 'quickly'... stems apply.
+	for _, src := range []string{
+		`'cars' AND 'fast'`,
+		`'automobile'`,
+		`'rapid'`,
+		`'running'`,
+	} {
+		q := fulltext.MustParse(fulltext.BOOL, src)
+		ms, err := ix.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s ->", src)
+		for _, m := range ms {
+			fmt.Printf(" %s", m.ID)
+		}
+		fmt.Println()
+	}
+
+	// Distance predicates still count original-text tokens: in review-2,
+	// "rapid" (ordinal 2) and "car" (ordinal 4) have the dropped stop word
+	// "little" ... kept tokens keep original ordinals.
+	q := fulltext.MustParse(fulltext.COMP,
+		`SOME p1 SOME p2 (p1 HAS 'fast' AND p2 HAS 'car' AND distance(p1,p2,2))`)
+	ms, err := ix.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n'fast' within 2 of 'car' (synonyms + stems + stop-aware distances):\n")
+	for _, m := range ms {
+		fmt.Printf("  %s\n", m.ID)
+	}
+}

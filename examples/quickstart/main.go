@@ -1,0 +1,63 @@
+// Quickstart: index a handful of documents and run queries in all three
+// dialects, showing the engine the library picks for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fulltext"
+)
+
+func main() {
+	b := fulltext.NewBuilder()
+	docs := map[string]string{
+		"usability-intro": "Usability of a software measures how well the software supports achieving an efficient workflow.",
+		"testing-guide":   "Usability testing starts early. A software test plan keeps quality visible for usability reviews.",
+		"release-notes":   "This release improves indexing throughput and lowers memory use.",
+		"survey":          "We surveyed software teams about testing practices and usability of their tools.",
+	}
+	for _, id := range []string{"usability-intro", "testing-guide", "release-notes", "survey"} {
+		if err := b.Add(id, docs[id]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix := b.Build()
+	st := ix.Stats()
+	fmt.Printf("indexed %d docs, %d distinct tokens, %d positions\n\n", st.Docs, st.Tokens, st.TotalPositions)
+
+	queries := []struct {
+		dialect fulltext.Dialect
+		src     string
+	}{
+		{fulltext.BOOL, `'usability' AND 'software'`},
+		{fulltext.BOOL, `'usability' AND NOT 'testing'`},
+		{fulltext.DIST, `dist('software','usability',3)`},
+		{fulltext.COMP, `SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND ordered(p1,p2) AND samepara(p1,p2))`},
+		{fulltext.COMP, `SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'testing' AND NOT distance(p1,p2,0))`},
+	}
+	for _, q := range queries {
+		parsed, err := fulltext.Parse(q.dialect, q.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches, err := ix.Search(parsed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query  %s\nclass  %s\n", q.src, ix.Classify(parsed))
+		for _, m := range matches {
+			fmt.Printf("  -> %s\n", m.ID)
+		}
+		fmt.Println()
+	}
+
+	// Show the pipelined query plan for a predicate query (Figure 4 style).
+	q := fulltext.MustParse(fulltext.COMP,
+		`SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND distance(p1,p2,5))`)
+	plan, err := ix.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan for %s:\n%s\n", q, plan)
+}

@@ -1,0 +1,59 @@
+// Ranking: the same query scored with the two models of Section 3 —
+// cosine TF-IDF (3.1) and probabilistic relational algebra (3.2) — showing
+// how the per-operator scoring transformations rank a small news corpus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fulltext"
+)
+
+func main() {
+	b := fulltext.NewBuilder()
+	docs := []struct{ id, text string }{
+		{"markets-01", "Markets rallied as inflation cooled. Inflation data surprised economists; inflation expectations fell."},
+		{"markets-02", "Inflation stayed flat. Central banks watch inflation and employment data closely before moving rates."},
+		{"sports-01", "The champions rallied late in the match, completing a comeback that surprised everyone watching."},
+		{"tech-01", "Chip inflation in prices eased as supply recovered; data centers kept buying accelerators."},
+		{"politics-01", "Lawmakers debated the budget. Economists testified about employment, growth, and data quality."},
+	}
+	for _, d := range docs {
+		if err := b.Add(d.id, d.text); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix := b.Build()
+
+	q := fulltext.MustParse(fulltext.BOOL, `'inflation' OR 'data'`)
+	fmt.Printf("query: %s\n\n", q)
+
+	for _, model := range []struct {
+		name string
+		m    fulltext.ScoringModel
+	}{{"TF-IDF (Section 3.1)", fulltext.TFIDF}, {"PRA (Section 3.2)", fulltext.PRA}} {
+		ms, err := ix.SearchRanked(q, model.m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(model.name)
+		for i, m := range ms {
+			fmt.Printf("  %d. %-14s %.6f\n", i+1, m.ID, m.Score)
+		}
+		fmt.Println()
+	}
+
+	// A proximity-scored query: PRA's distance selection decays with the
+	// gap between the matched positions.
+	pq := fulltext.MustParse(fulltext.COMP,
+		`SOME p1 SOME p2 (p1 HAS 'inflation' AND p2 HAS 'data' AND distance(p1,p2,8))`)
+	ms, err := ix.SearchRanked(pq, fulltext.PRA, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PRA with a distance predicate (closer pairs score higher)")
+	for i, m := range ms {
+		fmt.Printf("  %d. %-14s %.6f\n", i+1, m.ID, m.Score)
+	}
+}

@@ -1,0 +1,78 @@
+// XQuery Full-Text Use Case 10.4 (the paper's Example 1): given a
+// collection of book and article elements, find the books containing the
+// word "efficient" and the phrase "task completion" in that order with at
+// most 10 intervening tokens.
+//
+// The structured part of the query (books, not articles) selects the search
+// context; the full-text condition is a COMP query composing Boolean AND,
+// phrase matching (ordered + distance 0), an order specification and a
+// distance predicate — the four primitives Example 1 calls out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fulltext"
+)
+
+type element struct {
+	kind string // "book" or "article"
+	id   string
+	text string
+}
+
+func main() {
+	collection := []element{
+		{"book", "book-ux", "Designing for usability. An efficient approach to task completion keeps users satisfied."},
+		{"book", "book-algo", "Efficient algorithms for search. Task completion time falls when indexes fit in memory; efficient code helps task completion."},
+		{"book", "book-far", "An efficient pipeline was described, and twelve further chapters later the authors return to task completion metrics."},
+		{"book", "book-reversed", "Task completion rates improved. The efficient scheduler shipped afterwards."},
+		{"article", "article-match", "An efficient method for task completion in crowdsourcing."},
+		{"book", "book-nophrase", "Efficient systems complete every task eventually, reaching completion without fanfare."},
+	}
+
+	// Search context: the book elements only (the structured selection an
+	// XQuery host language would perform).
+	b := fulltext.NewBuilder()
+	for _, e := range collection {
+		if e.kind != "book" {
+			continue
+		}
+		if err := b.Add(e.id, e.text); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix := b.Build()
+
+	// Full-text condition: 'efficient' followed (within 10 intervening
+	// tokens) by the phrase "task completion".
+	q := fulltext.MustParse(fulltext.COMP, `
+		SOME e SOME t1 SOME t2 (
+			e HAS 'efficient'
+			AND t1 HAS 'task' AND t2 HAS 'completion'
+			AND ordered(t1,t2) AND distance(t1,t2,0)
+			AND ordered(e,t1) AND distance(e,t1,10)
+		)`)
+
+	fmt.Println("Use Case 10.4: books with 'efficient' then the phrase \"task completion\", <= 10 tokens apart")
+	fmt.Printf("query class: %s (evaluated in a single scan of the inverted lists)\n\n", ix.Classify(q))
+
+	matches, err := ix.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("  MATCH %s\n", m.ID)
+	}
+	fmt.Println()
+	fmt.Println("expected: book-ux (phrase in range), book-algo (second occurrence qualifies)")
+	fmt.Println("excluded: book-far (too far), book-reversed (wrong order), book-nophrase (no phrase),")
+	fmt.Println("          article-match (outside the structured search context)")
+
+	plan, err := ix.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan:\n%s", plan)
+}

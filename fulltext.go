@@ -1,0 +1,434 @@
+// Package fulltext is a full-text search library with formally grounded
+// query semantics, implementing Botev, Amer-Yahia and Shanmugasundaram,
+// "Expressiveness and Performance of Full-Text Search Languages" (EDBT
+// 2006).
+//
+// Queries are written in one of three dialects — BOOL (Boolean keyword
+// search), DIST (BOOL plus a distance construct) or COMP (the paper's
+// complete language with position variables, quantifiers and position
+// predicates) — and are evaluated over inverted lists by the cheapest
+// engine that can handle them:
+//
+//	BOOL   sorted merge of posting lists               (Section 5.3)
+//	PPRED  single-scan pipelined cursors               (Section 5.5)
+//	NPRED  ordering-permutation threads                (Section 5.6)
+//	COMP   materializing relational algebra evaluation (Section 5.4)
+//
+// Results can be ranked with TF-IDF (Section 3.1) or probabilistic
+// relational algebra scoring (Section 3.2).
+//
+// Basic usage:
+//
+//	b := fulltext.NewBuilder()
+//	b.Add("doc1", "an efficient algorithm improves task completion rates")
+//	ix := b.Build()
+//	q, _ := fulltext.Parse(fulltext.COMP,
+//	    `SOME t1 SOME t2 (t1 HAS 'task' AND t2 HAS 'completion'
+//	     AND ordered(t1,t2) AND distance(t1,t2,0))`)
+//	matches, _ := ix.Search(q)
+package fulltext
+
+import (
+	"fmt"
+
+	"fulltext/internal/booleval"
+	"fulltext/internal/compeval"
+	"fulltext/internal/core"
+	"fulltext/internal/fta"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/npred"
+	"fulltext/internal/ppred"
+	"fulltext/internal/pred"
+	"fulltext/internal/score"
+	"fulltext/internal/text"
+)
+
+// Dialect selects the query grammar (Section 4).
+type Dialect int
+
+const (
+	// BOOL is Boolean keyword search: tokens, ANY, NOT, AND, OR.
+	BOOL Dialect = iota
+	// DIST is BOOL plus dist(Token, Token, Integer).
+	DIST
+	// COMP is the complete language: HAS, SOME, EVERY and position
+	// predicates.
+	COMP
+)
+
+// Class places a query in the expressiveness/cost hierarchy of Figure 3.
+type Class int
+
+const (
+	// ClassBoolNoNeg is Boolean search without ANY or free-standing NOT.
+	ClassBoolNoNeg Class = iota
+	// ClassBool is full Boolean search.
+	ClassBool
+	// ClassPPred is single-scan evaluable (positive predicates).
+	ClassPPred
+	// ClassNPred adds negative predicates (permutation threads).
+	ClassNPred
+	// ClassComp requires the complete engine.
+	ClassComp
+)
+
+func (c Class) String() string { return lang.Class(c).String() }
+
+// Engine selects an evaluation strategy.
+type Engine int
+
+const (
+	// EngineAuto picks the cheapest engine for the query's class, falling
+	// back to the complete engine when a specialized planner rejects the
+	// query.
+	EngineAuto Engine = iota
+	// EngineBOOL forces the merge engine (BOOL-class queries only).
+	EngineBOOL
+	// EnginePPRED forces the single-scan engine (positive predicates only).
+	EnginePPRED
+	// EngineNPRED forces the permutation-thread engine.
+	EngineNPRED
+	// EngineCOMP forces the materializing complete engine.
+	EngineCOMP
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "AUTO"
+	case EngineBOOL:
+		return "BOOL"
+	case EnginePPRED:
+		return "PPRED"
+	case EngineNPRED:
+		return "NPRED"
+	default:
+		return "COMP"
+	}
+}
+
+// ScoringModel selects a ranking model for SearchRanked.
+type ScoringModel int
+
+const (
+	// TFIDF is the cosine TF-IDF model of Section 3.1.
+	TFIDF ScoringModel = iota
+	// PRA is the probabilistic relational algebra model of Section 3.2.
+	PRA
+)
+
+// Match is one search result.
+type Match struct {
+	ID    string  // document identifier passed to Builder.Add
+	Score float64 // ranking score (0 for Boolean search)
+}
+
+// Query is a parsed query.
+type Query struct {
+	ast lang.Query
+	src string
+}
+
+// Parse parses a query string in the given dialect.
+func Parse(d Dialect, src string) (*Query, error) {
+	var ld lang.Dialect
+	switch d {
+	case BOOL:
+		ld = lang.DialectBOOL
+	case DIST:
+		ld = lang.DialectDIST
+	case COMP:
+		ld = lang.DialectCOMP
+	default:
+		return nil, fmt.Errorf("fulltext: unknown dialect %d", d)
+	}
+	ast, err := lang.Parse(ld, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{ast: ast, src: src}, nil
+}
+
+// MustParse is Parse for tests and examples; it panics on error.
+func MustParse(d Dialect, src string) *Query {
+	q, err := Parse(d, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the canonical rendering of the parsed query.
+func (q *Query) String() string { return q.ast.String() }
+
+// Classify places the query in the Figure 3 hierarchy using the default
+// predicate registry.
+func Classify(q *Query) Class {
+	return Class(lang.Classify(q.ast, pred.Default()))
+}
+
+// Builder accumulates documents and produces an immutable Index.
+type Builder struct {
+	corpus   *core.Corpus
+	analyzer *text.Analyzer
+}
+
+// NewBuilder returns an empty builder with no linguistic analysis (see
+// NewBuilderWith for stemming, stop words and synonyms).
+func NewBuilder() *Builder {
+	return &Builder{corpus: core.NewCorpus(), analyzer: &text.Analyzer{}}
+}
+
+// Add tokenizes text (lowercasing, sentence and paragraph detection),
+// applies the builder's analysis options, and adds it as one context node.
+// IDs must be unique and non-empty.
+func (b *Builder) Add(id, body string) error {
+	toks, pos := core.Tokenize(body)
+	toks, pos = b.analyzer.Apply(toks, pos)
+	_, err := b.corpus.AddTokens(id, toks, pos)
+	return err
+}
+
+// AddTokens adds a pre-tokenized document with structureless positions,
+// applying the builder's analysis options.
+func (b *Builder) AddTokens(id string, tokens []string) error {
+	toks, pos := b.analyzer.Apply(tokens, core.PositionsForTokens(len(tokens)))
+	_, err := b.corpus.AddTokens(id, toks, pos)
+	return err
+}
+
+// Len returns the number of documents added so far.
+func (b *Builder) Len() int { return b.corpus.Len() }
+
+// Build constructs the inverted-list index. The builder remains usable;
+// subsequent Adds do not affect the built index.
+func (b *Builder) Build() *Index {
+	ids := make([]string, b.corpus.Len())
+	for i, d := range b.corpus.Docs() {
+		ids[i] = d.ID
+	}
+	return &Index{
+		inv:      invlist.Build(b.corpus),
+		reg:      pred.Default(),
+		ids:      ids,
+		analyzer: b.analyzer,
+	}
+}
+
+// Index is an immutable inverted-list index over a document collection.
+type Index struct {
+	inv      *invlist.Index
+	reg      *pred.Registry
+	ids      []string
+	analyzer *text.Analyzer
+}
+
+// Stats reports the complexity-model parameters of the index (Section
+// 5.1.2).
+type Stats struct {
+	Docs            int // cnodes
+	Tokens          int // distinct tokens
+	TotalPositions  int
+	PosPerDoc       int // max positions in a document
+	EntriesPerToken int // max entries in a token inverted list
+	PosPerEntry     int // max positions in an inverted-list entry
+}
+
+// Stats returns index statistics.
+func (ix *Index) Stats() Stats {
+	s := ix.inv.Stats()
+	return Stats{
+		Docs:            s.CNodes,
+		Tokens:          s.Tokens,
+		TotalPositions:  s.TotalPositions,
+		PosPerDoc:       s.PosPerCNode,
+		EntriesPerToken: s.EntriesPerToken,
+		PosPerEntry:     s.PosPerEntry,
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.ids) }
+
+// Classify places the query in the hierarchy using this index's predicate
+// registry (which may contain custom predicates).
+func (ix *Index) Classify(q *Query) Class {
+	return Class(lang.Classify(ix.rewrite(q), ix.reg))
+}
+
+// rewrite maps query tokens through the index's analyzer so queries match
+// analyzed index terms.
+func (ix *Index) rewrite(q *Query) lang.Query {
+	return rewriteQueryTokens(q.ast, ix.analyzer)
+}
+
+// RegisterPredicate adds a custom position predicate usable in COMP
+// queries. eval receives the token ordinals of the bound positions and the
+// integer constants. Custom predicates are general-class: queries using
+// them evaluate on the complete engine.
+func (ix *Index) RegisterPredicate(name string, posArity, constArity int, eval func(ords []int32, consts []int) bool) error {
+	return ix.reg.Register(&pred.Def{
+		Name: name, PosArity: posArity, ConstArity: constArity,
+		Class: pred.General,
+		Eval: func(p []core.Pos, c []int) bool {
+			ords := make([]int32, len(p))
+			for i := range p {
+				ords[i] = p[i].Ord
+			}
+			return eval(ords, c)
+		},
+	})
+}
+
+// Search evaluates the query with the automatically selected engine.
+func (ix *Index) Search(q *Query) ([]Match, error) {
+	return ix.SearchWith(q, EngineAuto)
+}
+
+// SearchWith evaluates the query with an explicit engine. Forcing an
+// engine onto a query outside its class returns an error.
+func (ix *Index) SearchWith(q *Query, e Engine) ([]Match, error) {
+	ast := ix.rewrite(q)
+	if err := lang.Validate(ast, ix.reg); err != nil {
+		return nil, err
+	}
+	norm := lang.Normalize(ast, ix.reg)
+	nodes, _, err := ix.dispatch(norm, e)
+	if err != nil {
+		return nil, err
+	}
+	return ix.matches(nodes, nil), nil
+}
+
+func (ix *Index) dispatch(norm lang.Query, e Engine) ([]core.NodeID, Engine, error) {
+	switch e {
+	case EngineAuto:
+		switch lang.Classify(norm, ix.reg) {
+		case lang.ClassBoolNoNeg, lang.ClassBool:
+			nodes, err := booleval.Eval(norm, ix.inv, nil)
+			return nodes, EngineBOOL, err
+		case lang.ClassPPred:
+			if plan, err := ppred.Compile(norm, ix.reg); err == nil {
+				nodes, err := plan.Run(ix.inv, ix.reg, nil)
+				if err == nil {
+					return nodes, EnginePPRED, nil
+				}
+			}
+			// The classifier is syntactic; fall back when planning fails.
+			nodes, err := compeval.Eval(norm, ix.inv, ix.reg, compeval.Options{})
+			return nodes, EngineCOMP, err
+		case lang.ClassNPred:
+			if nodes, err := npred.Run(norm, ix.reg, ix.inv, nil, npred.Options{}); err == nil {
+				return nodes, EngineNPRED, nil
+			}
+			nodes, err := compeval.Eval(norm, ix.inv, ix.reg, compeval.Options{})
+			return nodes, EngineCOMP, err
+		default:
+			nodes, err := compeval.Eval(norm, ix.inv, ix.reg, compeval.Options{})
+			return nodes, EngineCOMP, err
+		}
+	case EngineBOOL:
+		nodes, err := booleval.Eval(norm, ix.inv, nil)
+		return nodes, EngineBOOL, err
+	case EnginePPRED:
+		plan, err := ppred.Compile(norm, ix.reg)
+		if err != nil {
+			return nil, EnginePPRED, err
+		}
+		nodes, err := plan.Run(ix.inv, ix.reg, nil)
+		return nodes, EnginePPRED, err
+	case EngineNPRED:
+		nodes, err := npred.Run(norm, ix.reg, ix.inv, nil, npred.Options{})
+		return nodes, EngineNPRED, err
+	case EngineCOMP:
+		nodes, err := compeval.Eval(norm, ix.inv, ix.reg, compeval.Options{})
+		return nodes, EngineCOMP, err
+	default:
+		return nil, e, fmt.Errorf("fulltext: unknown engine %d", e)
+	}
+}
+
+// SearchRanked evaluates the query on the complete engine with the chosen
+// scoring model and returns matches sorted by descending score. topK <= 0
+// returns all matches.
+func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, error) {
+	ast := ix.rewrite(q)
+	if err := lang.Validate(ast, ix.reg); err != nil {
+		return nil, err
+	}
+	var scorer fta.Scorer
+	switch m {
+	case TFIDF:
+		scorer = score.NewTFIDF(ix.inv, score.TokensOf(ast))
+	case PRA:
+		scorer = score.NewPRA(ix.inv)
+	default:
+		return nil, fmt.Errorf("fulltext: unknown scoring model %d", m)
+	}
+	res, err := compeval.EvalScored(ast, ix.inv, ix.reg, compeval.Options{Scorer: scorer})
+	if err != nil {
+		return nil, err
+	}
+	ranked := score.Rank(res)
+	if topK > 0 && topK < len(ranked) {
+		ranked = ranked[:topK]
+	}
+	out := make([]Match, len(ranked))
+	for i, r := range ranked {
+		out[i] = Match{ID: ix.idOf(r.Node), Score: r.Score}
+	}
+	return out, nil
+}
+
+// Explain reports which engine EngineAuto would pick and renders its query
+// plan.
+func (ix *Index) Explain(q *Query) (string, error) {
+	ast := ix.rewrite(q)
+	if err := lang.Validate(ast, ix.reg); err != nil {
+		return "", err
+	}
+	norm := lang.Normalize(ast, ix.reg)
+	class := lang.Classify(norm, ix.reg)
+	switch class {
+	case lang.ClassBoolNoNeg, lang.ClassBool:
+		return fmt.Sprintf("engine: BOOL (class %s)\nmerge of posting lists for: %s\n", class, norm), nil
+	case lang.ClassPPred:
+		if plan, err := ppred.Compile(norm, ix.reg); err == nil {
+			return fmt.Sprintf("engine: PPRED (class %s)\n%s", class, plan.Explain()), nil
+		}
+	case lang.ClassNPred:
+		if plan, err := ppred.CompileNeg(norm, ix.reg); err == nil {
+			orders := ""
+			for _, b := range plan.NegBlocks() {
+				orders += fmt.Sprintf("order threads over %v\n", b.Vars)
+			}
+			return fmt.Sprintf("engine: NPRED (class %s)\n%s%s", class, orders, plan.Explain()), nil
+		}
+	}
+	tree, err := compeval.Explain(norm, ix.reg)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("engine: COMP (class %s)\n%s", class, tree), nil
+}
+
+func (ix *Index) matches(nodes []core.NodeID, scores map[core.NodeID]float64) []Match {
+	out := make([]Match, 0, len(nodes))
+	for _, n := range nodes {
+		m := Match{ID: ix.idOf(n)}
+		if scores != nil {
+			m.Score = scores[n]
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func (ix *Index) idOf(n core.NodeID) string {
+	i := int(n) - 1
+	if i < 0 || i >= len(ix.ids) {
+		return fmt.Sprintf("node%d", n)
+	}
+	return ix.ids[i]
+}

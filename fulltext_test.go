@@ -1,0 +1,302 @@
+package fulltext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildIndex(t testing.TB, docs map[string]string) *Index {
+	t.Helper()
+	b := NewBuilder()
+	// Deterministic insertion order.
+	for _, id := range []string{"d1", "d2", "d3", "d4", "d5", "d6"} {
+		if text, ok := docs[id]; ok {
+			if err := b.Add(id, text); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func testIndex(t testing.TB) *Index {
+	return buildIndex(t, map[string]string{
+		"d1": "test usability of the software test",
+		"d2": "the quality test ran for usability",
+		"d3": "nothing relevant here",
+		"d4": "test test",
+	})
+}
+
+func ids(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func wantIDs(t *testing.T, ms []Match, want ...string) {
+	t.Helper()
+	got := ids(ms)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchAcrossDialects(t *testing.T) {
+	ix := testIndex(t)
+
+	ms, err := ix.Search(MustParse(BOOL, `'test' AND 'usability'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d1", "d2")
+
+	ms, err = ix.Search(MustParse(DIST, `dist('test','usability',0)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d1")
+
+	ms, err = ix.Search(MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'test' AND diffpos(p1,p2)) AND NOT 'usability'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d4")
+}
+
+func TestEngineSelectionAgreement(t *testing.T) {
+	ix := testIndex(t)
+	queries := []struct {
+		q       *Query
+		class   Class
+		engines []Engine
+	}{
+		{MustParse(BOOL, `'test' AND NOT 'usability'`), ClassBoolNoNeg,
+			[]Engine{EngineBOOL, EnginePPRED, EngineCOMP}},
+		{MustParse(BOOL, `NOT 'test'`), ClassBool, []Engine{EngineBOOL, EngineCOMP}},
+		{MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))`),
+			ClassPPred, []Engine{EnginePPRED, EngineNPRED, EngineCOMP}},
+		{MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND NOT distance(p1,p2,0))`),
+			ClassNPred, []Engine{EngineNPRED, EngineCOMP}},
+		{MustParse(COMP, `EVERY p (p HAS 'test')`), ClassComp, []Engine{EngineCOMP}},
+	}
+	for _, tc := range queries {
+		if got := ix.Classify(tc.q); got != tc.class {
+			t.Errorf("Classify(%s) = %s, want %s", tc.q, got, Class(tc.class))
+		}
+		auto, err := ix.Search(tc.q)
+		if err != nil {
+			t.Fatalf("auto %s: %v", tc.q, err)
+		}
+		for _, e := range tc.engines {
+			forced, err := ix.SearchWith(tc.q, e)
+			if err != nil {
+				t.Fatalf("%s with %s: %v", tc.q, e, err)
+			}
+			if strings.Join(ids(forced), ",") != strings.Join(ids(auto), ",") {
+				t.Errorf("%s: engine %s returned %v, auto returned %v", tc.q, e, ids(forced), ids(auto))
+			}
+		}
+	}
+}
+
+func TestForcedEngineErrors(t *testing.T) {
+	ix := testIndex(t)
+	// BOOL engine cannot evaluate COMP constructs.
+	if _, err := ix.SearchWith(MustParse(COMP, `SOME p (p HAS 'test')`), EngineBOOL); err == nil {
+		t.Errorf("BOOL engine accepted a COMP query")
+	}
+	// PPRED rejects negative predicates.
+	q := MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND not_distance(p1,p2,3))`)
+	if _, err := ix.SearchWith(q, EnginePPRED); err == nil {
+		t.Errorf("PPRED engine accepted negative predicates")
+	}
+	// Unknown predicate fails validation up front.
+	if _, err := ix.Search(MustParse(COMP, `SOME p (p HAS 'x' AND bogus(p))`)); err == nil {
+		t.Errorf("unknown predicate accepted")
+	}
+}
+
+func TestSearchRanked(t *testing.T) {
+	ix := buildIndex(t, map[string]string{
+		"d1": "usability usability usability",
+		"d2": "usability plus quite a few more words in this one",
+		"d3": "nothing",
+	})
+	q := MustParse(BOOL, `'usability'`)
+	for _, model := range []ScoringModel{TFIDF, PRA} {
+		ms, err := ix.SearchRanked(q, model, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 2 {
+			t.Fatalf("model %d: matches = %v", model, ms)
+		}
+		if ms[0].Score < ms[1].Score {
+			t.Errorf("model %d: not sorted by score: %v", model, ms)
+		}
+	}
+	// TF-IDF prefers the higher-tf document.
+	ms, _ := ix.SearchRanked(q, TFIDF, 1)
+	if len(ms) != 1 || ms[0].ID != "d1" {
+		t.Errorf("topK ranking = %v", ms)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ix := testIndex(t)
+	cases := map[string]string{
+		`'test' AND 'usability'`: "engine: BOOL",
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))`:     "engine: PPRED",
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND not_distance(p1,p2,5))`: "engine: NPRED",
+		`EVERY p (p HAS 'test')`: "engine: COMP",
+	}
+	for src, want := range cases {
+		d := COMP
+		q := MustParse(d, src)
+		out, err := ix.Explain(q)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", src, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain(%s) = %q, want prefix %q", src, out, want)
+		}
+	}
+}
+
+func TestCustomPredicate(t *testing.T) {
+	ix := testIndex(t)
+	// even(p): the token ordinal is even.
+	if err := ix.RegisterPredicate("even", 1, 0, func(ords []int32, _ []int) bool {
+		return ords[0]%2 == 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse(COMP, `SOME p (p HAS 'test' AND even(p))`)
+	if got := ix.Classify(q); got != ClassComp {
+		t.Errorf("custom predicate class = %s, want COMP", got)
+	}
+	ms, err := ix.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1 has 'test' at ordinals 1 and 6; d2 at 3; d4 at 1 and 2.
+	wantIDs(t, ms, "d1", "d4")
+	if err := ix.RegisterPredicate("even", 1, 0, nil); err == nil {
+		t.Errorf("duplicate custom predicate accepted")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix := testIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Docs() != ix.Docs() || got.Stats() != ix.Stats() {
+		t.Fatalf("round trip changed stats: %+v vs %+v", got.Stats(), ix.Stats())
+	}
+	q := MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))`)
+	a, err := ix.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(ids(a), ",") != strings.Join(ids(b), ",") {
+		t.Fatalf("round trip changed results: %v vs %v", ids(a), ids(b))
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	ix := testIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{0, 3, 5, 10, len(full) / 2} {
+		if _, err := ReadIndex(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated index of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Add("", "x"); err == nil {
+		t.Errorf("empty id accepted")
+	}
+	if err := b.Add("a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("a", "y"); err == nil {
+		t.Errorf("duplicate id accepted")
+	}
+	if err := b.AddTokens("b", []string{"tok1", "tok2"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestParseErrorsAndStrings(t *testing.T) {
+	if _, err := Parse(BOOL, `SOME p (p HAS 'x')`); err == nil {
+		t.Errorf("BOOL dialect accepted COMP syntax")
+	}
+	if _, err := Parse(Dialect(99), `'x'`); err == nil {
+		t.Errorf("unknown dialect accepted")
+	}
+	q := MustParse(BOOL, `'a' AND 'b'`)
+	if q.String() != `'a' AND 'b'` {
+		t.Errorf("String = %q", q.String())
+	}
+	if Classify(q) != ClassBoolNoNeg {
+		t.Errorf("Classify = %s", Classify(q))
+	}
+	for e, s := range map[Engine]string{EngineAuto: "AUTO", EngineBOOL: "BOOL",
+		EnginePPRED: "PPRED", EngineNPRED: "NPRED", EngineCOMP: "COMP"} {
+		if e.String() != s {
+			t.Errorf("Engine(%d).String() = %q", e, e.String())
+		}
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	ix := testIndex(t)
+	st := ix.Stats()
+	if st.Docs != 4 || st.Tokens == 0 || st.TotalPositions == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.PosPerDoc != 6 { // d1 has 6 tokens
+		t.Errorf("PosPerDoc = %d", st.PosPerDoc)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(COMP, `(((`)
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fulltext/internal/pred"
+)
+
+func tinySetup() Setup {
+	s := Defaults(0.02) // tiny corpus for unit testing the harness itself
+	s.Repeats = 1
+	return s
+}
+
+func TestBuild(t *testing.T) {
+	s := tinySetup()
+	c, ix, plants := Build(s)
+	if c.Len() != s.CNodes || ix.NumNodes() != s.CNodes {
+		t.Fatalf("corpus size %d, want %d", c.Len(), s.CNodes)
+	}
+	if len(plants) != s.NumPlants {
+		t.Fatalf("plants = %v", plants)
+	}
+	for _, p := range plants {
+		if ix.DF(p) == 0 {
+			t.Errorf("plant %s missing from index", p)
+		}
+	}
+}
+
+func TestRunSeriesAllEnginesAgree(t *testing.T) {
+	s := tinySetup()
+	_, ix, plants := Build(s)
+	reg := pred.Default()
+
+	// The three positive-predicate engines must return identical result
+	// counts on the same workload query; ditto for the negative pair.
+	pp := RunSeries("PPRED-POS", ix, reg, plants, s)
+	np := RunSeries("NPRED-POS", ix, reg, plants, s)
+	cp := RunSeries("COMP-POS", ix, reg, plants, s)
+	for _, c := range []Cell{pp, np, cp} {
+		if c.Err != "" {
+			t.Fatalf("series error: %s", c.Err)
+		}
+	}
+	if pp.Results != np.Results || pp.Results != cp.Results {
+		t.Fatalf("positive engines disagree: ppred=%d npred=%d comp=%d", pp.Results, np.Results, cp.Results)
+	}
+	nn := RunSeries("NPRED-NEG", ix, reg, plants, s)
+	cn := RunSeries("COMP-NEG", ix, reg, plants, s)
+	if nn.Err != "" || cn.Err != "" {
+		t.Fatalf("negative series error: %q %q", nn.Err, cn.Err)
+	}
+	if nn.Results != cn.Results {
+		t.Fatalf("negative engines disagree: npred=%d comp=%d", nn.Results, cn.Results)
+	}
+	bl := RunSeries("BOOL", ix, reg, plants, s)
+	if bl.Err != "" {
+		t.Fatalf("BOOL error: %s", bl.Err)
+	}
+	if bl.Results < pp.Results {
+		t.Fatalf("BOOL (no predicates) must match at least as many nodes: bool=%d ppred=%d", bl.Results, pp.Results)
+	}
+	if bad := RunSeries("NOPE", ix, reg, plants, s); bad.Err == "" {
+		t.Fatalf("unknown series accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := tinySetup()
+	tab := VaryTokens(s, []int{1, 2})
+	out := tab.Format()
+	for _, want := range []string{"Figure 5", "toks_Q", "BOOL", "COMP-NEG", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	tab6 := VaryPreds(s, []int{0, 1})
+	if len(tab6.XVals) != 2 {
+		t.Errorf("fig6 rows = %v", tab6.XVals)
+	}
+	tab7 := VaryCNodes(s, []int{s.CNodes, 2 * s.CNodes})
+	ratios := GrowthRatios(tab7)
+	if len(ratios) == 0 {
+		t.Errorf("no growth ratios computed")
+	}
+	tab8 := VaryPosPerEntry(s, []int{2, 4})
+	if len(tab8.XVals) != 2 {
+		t.Errorf("fig8 rows = %v", tab8.XVals)
+	}
+}
+
+func TestHierarchySmoke(t *testing.T) {
+	s := tinySetup()
+	s.CNodes = 60
+	tab := Hierarchy(s)
+	if len(tab.XVals) != 3 {
+		t.Fatalf("hierarchy rows = %v", tab.XVals)
+	}
+	for _, x := range tab.XVals {
+		for _, series := range Series {
+			if c, ok := tab.Cells[x][series]; !ok || c.Err != "" {
+				t.Errorf("hierarchy cell %s/%s: %+v", x, series, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package booleval is the BOOL evaluation engine of Section 5.3: Boolean
+// keyword queries evaluated by merging inverted lists on context-node ids.
+// AND intersects, OR unions, NOT complements against the search context
+// (IL_ANY), and ANY matches every node with at least one token. Every merge
+// is a single pass over sorted node-id lists, giving the
+// O(entries_per_token × toks_Q × (ops_Q + 1)) bound for BOOL-NONEG and the
+// O(cnodes × toks_Q × (ops_Q + 1)) bound once ANY/NOT touch IL_ANY.
+package booleval
+
+import (
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+)
+
+// Stats counts merge work for the complexity instrumentation.
+type Stats struct {
+	EntriesScanned int // inverted-list entries touched across all lists
+	MergeSteps     int // comparisons during merges
+}
+
+// Eval evaluates a BOOL query (Lit/Any/Not/And/Or only) and returns the
+// qualifying node ids in order. stats may be nil.
+func Eval(q lang.Query, ix *invlist.Index, stats *Stats) ([]core.NodeID, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return eval(q, ix, stats)
+}
+
+func eval(q lang.Query, ix *invlist.Index, stats *Stats) ([]core.NodeID, error) {
+	switch x := q.(type) {
+	case lang.Lit:
+		return scanNodes(ix.List(x.Tok), false, stats), nil
+
+	case lang.Any:
+		// Nodes with at least one position.
+		return scanNodes(ix.Any(), true, stats), nil
+
+	case lang.And:
+		l, err := eval(x.L, ix, stats)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(x.R, ix, stats)
+		if err != nil {
+			return nil, err
+		}
+		return intersect(l, r, stats), nil
+
+	case lang.Or:
+		l, err := eval(x.L, ix, stats)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(x.R, ix, stats)
+		if err != nil {
+			return nil, err
+		}
+		return union(l, r, stats), nil
+
+	case lang.Not:
+		in, err := eval(x.Q, ix, stats)
+		if err != nil {
+			return nil, err
+		}
+		return complement(in, ix.NumNodes(), stats), nil
+
+	default:
+		return nil, fmt.Errorf("booleval: %T is not a BOOL construct", q)
+	}
+}
+
+// scanNodes lists the node ids of one inverted list; when skipEmpty is set,
+// entries without positions are skipped (IL_ANY records empty nodes so NOT
+// can see the whole search context, but ANY must not match them).
+func scanNodes(pl *invlist.PostingList, skipEmpty bool, stats *Stats) []core.NodeID {
+	out := make([]core.NodeID, 0, pl.Len())
+	cur := pl.Cursor()
+	for {
+		node, ok := cur.NextEntry()
+		if !ok {
+			return out
+		}
+		stats.EntriesScanned++
+		if skipEmpty && len(cur.Positions()) == 0 {
+			continue
+		}
+		out = append(out, node)
+	}
+}
+
+func intersect(a, b []core.NodeID, stats *Stats) []core.NodeID {
+	var out []core.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		stats.MergeSteps++
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func union(a, b []core.NodeID, stats *Stats) []core.NodeID {
+	out := make([]core.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		stats.MergeSteps++
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// complement returns the node ids 1..n not present in a (the NOT semantics:
+// the search context minus the operand).
+func complement(a []core.NodeID, n int, stats *Stats) []core.NodeID {
+	out := make([]core.NodeID, 0, n-len(a))
+	i := 0
+	for node := core.NodeID(1); node <= core.NodeID(n); node++ {
+		stats.MergeSteps++
+		if i < len(a) && a[i] == node {
+			i++
+			continue
+		}
+		out = append(out, node)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package booleval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/core"
+	"fulltext/internal/ftc"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/pred"
+)
+
+func corpusIx(t testing.TB, docs ...string) (*core.Corpus, *invlist.Index) {
+	t.Helper()
+	c := core.NewCorpus()
+	for i, text := range docs {
+		if _, err := c.Add(fmt.Sprintf("d%d", i+1), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, invlist.Build(c)
+}
+
+func same(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The Section 5.3 example: ('software' AND 'users' AND NOT 'testing') OR
+// 'usability'.
+func TestSection53Example(t *testing.T) {
+	_, ix := corpusIx(t,
+		"software users guide",             // matches first conjunct
+		"software users testing protocol",  // killed by NOT testing
+		"usability report",                 // matches via OR
+		"unrelated document",               //
+		"software testing usability users", // matches via OR despite testing
+	)
+	q, err := lang.Parse(lang.DialectBOOL, `('software' AND 'users' AND NOT 'testing') OR 'usability'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(q, ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(got, []core.NodeID{1, 3, 5}) {
+		t.Fatalf("got %v, want [1 3 5]", got)
+	}
+}
+
+func TestBoolMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	vocab := []string{"aa", "bb", "cc", "dd"}
+	reg := pred.Default()
+	var genQ func(depth int) lang.Query
+	genQ = func(depth int) lang.Query {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(6) == 0 {
+				return lang.Any{}
+			}
+			return lang.Lit{Tok: vocab[rng.Intn(len(vocab))]}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return lang.Not{Q: genQ(depth - 1)}
+		case 1:
+			return lang.And{L: genQ(depth - 1), R: genQ(depth - 1)}
+		default:
+			return lang.Or{L: genQ(depth - 1), R: genQ(depth - 1)}
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		c := core.NewCorpus()
+		nDocs := 1 + rng.Intn(6)
+		for i := 0; i < nDocs; i++ {
+			n := rng.Intn(6)
+			words := make([]string, n)
+			for j := range words {
+				words[j] = vocab[rng.Intn(len(vocab))]
+			}
+			c.MustAdd(fmt.Sprintf("doc%d", i), strings.Join(words, " "))
+		}
+		ix := invlist.Build(c)
+		q := genQ(3)
+		got, err := Eval(q, ix, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ftc.Query(c, reg, lang.ToFTC(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same(got, want) {
+			t.Fatalf("query %s: bool=%v oracle=%v", q, got, want)
+		}
+	}
+}
+
+func TestAnySkipsEmptyNodes(t *testing.T) {
+	c := core.NewCorpus()
+	c.MustAdd("full", "hello")
+	if _, err := c.AddTokens("empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix := invlist.Build(c)
+	got, err := Eval(lang.Any{}, ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(got, []core.NodeID{1}) {
+		t.Fatalf("ANY = %v, want [1]", got)
+	}
+	// NOT ANY matches the empty node.
+	got2, err := Eval(lang.Not{Q: lang.Any{}}, ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(got2, []core.NodeID{2}) {
+		t.Fatalf("NOT ANY = %v, want [2]", got2)
+	}
+}
+
+func TestRejectsNonBool(t *testing.T) {
+	_, ix := corpusIx(t, "x")
+	for _, q := range []lang.Query{
+		lang.Some{Var: "p", Q: lang.Has{Var: "p", Tok: "x"}},
+		lang.Has{Var: "p", Tok: "x"},
+		lang.Pred{Name: "distance", Vars: []string{"a", "b"}, Consts: []int{1}},
+		lang.Every{Var: "p", Q: lang.Lit{Tok: "x"}},
+	} {
+		if _, err := Eval(q, ix, nil); err == nil {
+			t.Errorf("Eval(%s) should fail", q)
+		}
+	}
+}
+
+func TestStatsInstrumentation(t *testing.T) {
+	_, ix := corpusIx(t, "aa bb", "aa", "bb")
+	stats := &Stats{}
+	q, _ := lang.Parse(lang.DialectBOOL, `'aa' AND 'bb'`)
+	if _, err := Eval(q, ix, stats); err != nil {
+		t.Fatal(err)
+	}
+	// 'aa' has 2 entries, 'bb' has 2 entries.
+	if stats.EntriesScanned != 4 {
+		t.Errorf("EntriesScanned = %d, want 4", stats.EntriesScanned)
+	}
+	if stats.MergeSteps == 0 {
+		t.Errorf("MergeSteps not counted")
+	}
+}
+
+func TestMergeHelpers(t *testing.T) {
+	st := &Stats{}
+	a := []core.NodeID{1, 3, 5}
+	b := []core.NodeID{2, 3, 6}
+	if got := intersect(a, b, st); !same(got, []core.NodeID{3}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := union(a, b, st); !same(got, []core.NodeID{1, 2, 3, 5, 6}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := complement(a, 6, st); !same(got, []core.NodeID{2, 4, 6}) {
+		t.Errorf("complement = %v", got)
+	}
+	if got := intersect(nil, b, st); len(got) != 0 {
+		t.Errorf("intersect with empty = %v", got)
+	}
+	if got := union(nil, b, st); !same(got, b) {
+		t.Errorf("union with empty = %v", got)
+	}
+	if got := complement(nil, 2, st); !same(got, []core.NodeID{1, 2}) {
+		t.Errorf("complement of empty = %v", got)
+	}
+}

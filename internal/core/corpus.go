@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// Corpus is the search context: the finite set N of context nodes over which
+// full-text conditions are evaluated. Nodes receive dense NodeIDs starting
+// at 1 in insertion order.
+type Corpus struct {
+	docs []*Doc
+	byID map[string]*Doc
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byID: make(map[string]*Doc)}
+}
+
+// Add tokenizes text with the default tokenizer and appends it as a new
+// context node. It returns an error if id is empty or already present.
+func (c *Corpus) Add(id, text string) (*Doc, error) {
+	toks, pos := Tokenize(text)
+	return c.AddTokens(id, toks, pos)
+}
+
+// AddTokens appends a pre-tokenized context node. If positions is nil,
+// structureless positions (single paragraph, single sentence) are generated.
+func (c *Corpus) AddTokens(id string, tokens []string, positions []Pos) (*Doc, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: empty document id")
+	}
+	if _, dup := c.byID[id]; dup {
+		return nil, fmt.Errorf("core: duplicate document id %q", id)
+	}
+	if positions == nil {
+		positions = PositionsForTokens(len(tokens))
+	}
+	d := &Doc{
+		ID:        id,
+		Node:      NodeID(len(c.docs) + 1),
+		Tokens:    tokens,
+		Positions: positions,
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	c.docs = append(c.docs, d)
+	c.byID[id] = d
+	return d, nil
+}
+
+// MustAdd is Add for tests and examples; it panics on error.
+func (c *Corpus) MustAdd(id, text string) *Doc {
+	d, err := c.Add(id, text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Len returns the number of context nodes (the cnodes parameter of the
+// paper's complexity model).
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Doc returns the node with the given dense identifier, or nil when out of
+// range.
+func (c *Corpus) Doc(n NodeID) *Doc {
+	i := int(n) - 1
+	if i < 0 || i >= len(c.docs) {
+		return nil
+	}
+	return c.docs[i]
+}
+
+// ByID returns the node with the given external identifier, or nil.
+func (c *Corpus) ByID(id string) *Doc { return c.byID[id] }
+
+// Docs returns the nodes in NodeID order. The returned slice is shared;
+// callers must not mutate it.
+func (c *Corpus) Docs() []*Doc { return c.docs }
+
+// MaxPositions returns the paper's pos_per_cnode parameter: the maximum
+// number of positions in any context node (0 for an empty corpus).
+func (c *Corpus) MaxPositions() int {
+	m := 0
+	for _, d := range c.docs {
+		if d.Len() > m {
+			m = d.Len()
+		}
+	}
+	return m
+}
+
+// TotalPositions returns the total number of token positions in the corpus.
+func (c *Corpus) TotalPositions() int {
+	n := 0
+	for _, d := range c.docs {
+		n += d.Len()
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestCorpusAdd(t *testing.T) {
+	c := NewCorpus()
+	d1, err := c.Add("a", "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Add("b", "more text here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Node != 1 || d2.Node != 2 {
+		t.Errorf("node ids = %d,%d; want 1,2", d1.Node, d2.Node)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Doc(1) != d1 || c.Doc(2) != d2 {
+		t.Errorf("Doc lookup by NodeID broken")
+	}
+	if c.Doc(0) != nil || c.Doc(3) != nil {
+		t.Errorf("out-of-range Doc lookup should return nil")
+	}
+	if c.ByID("a") != d1 || c.ByID("zzz") != nil {
+		t.Errorf("ByID lookup broken")
+	}
+}
+
+func TestCorpusDuplicateAndEmptyID(t *testing.T) {
+	c := NewCorpus()
+	if _, err := c.Add("", "x"); err == nil {
+		t.Errorf("empty id must be rejected")
+	}
+	if _, err := c.Add("a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add("a", "y"); err == nil {
+		t.Errorf("duplicate id must be rejected")
+	}
+}
+
+func TestCorpusAddTokensNilPositions(t *testing.T) {
+	c := NewCorpus()
+	d, err := c.AddTokens("a", []string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Positions[1].Ord != 2 {
+		t.Errorf("generated positions wrong: %v", d.Positions)
+	}
+}
+
+func TestCorpusStats(t *testing.T) {
+	c := NewCorpus()
+	c.MustAdd("a", "one two three")
+	c.MustAdd("b", "one")
+	if got := c.MaxPositions(); got != 3 {
+		t.Errorf("MaxPositions = %d, want 3", got)
+	}
+	if got := c.TotalPositions(); got != 4 {
+		t.Errorf("TotalPositions = %d, want 4", got)
+	}
+	if got := len(c.Docs()); got != 2 {
+		t.Errorf("Docs len = %d", got)
+	}
+}
+
+func TestCorpusMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustAdd should panic on duplicate id")
+		}
+	}()
+	c := NewCorpus()
+	c.MustAdd("a", "x")
+	c.MustAdd("a", "y")
+}

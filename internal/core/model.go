@@ -1,0 +1,168 @@
+// Package core implements the full-text data model of Botev, Amer-Yahia and
+// Shanmugasundaram, "Expressiveness and Performance of Full-Text Search
+// Languages" (EDBT 2006), Section 2.1: a set of context nodes N, a set of
+// positions P, and the functions Positions : N -> 2^P and Token : P -> T.
+//
+// Positions are structured (Section 2.1.1 allows "more expressive positions
+// that capture the notions of lines, sentences and paragraphs"): each Pos
+// carries the 1-based token ordinal within its context node plus the
+// paragraph and sentence the token belongs to. Ordinals drive ordering,
+// distance and window predicates; paragraph and sentence numbers drive
+// samepara and samesent.
+package core
+
+import "fmt"
+
+// NodeID identifies a context node (a document, tuple, or element) within a
+// corpus. IDs are dense and assigned in insertion order starting at 1.
+type NodeID uint32
+
+// Pos is a structured token position within a single context node.
+type Pos struct {
+	Ord  int32 // 1-based token ordinal within the node
+	Para int32 // 1-based paragraph number within the node
+	Sent int32 // 1-based sentence number within the node (monotone across paragraphs)
+}
+
+// Less orders positions by token ordinal; Para and Sent are derived
+// attributes of the ordinal and never disagree with it within one node.
+func (p Pos) Less(q Pos) bool { return p.Ord < q.Ord }
+
+// Before reports whether p occurs strictly before q in the token stream.
+func (p Pos) Before(q Pos) bool { return p.Ord < q.Ord }
+
+// Intervening returns the number of tokens strictly between p and q,
+// regardless of their order. Equal positions have -1 intervening tokens by
+// the paper's arithmetic (|p-q| - 1); callers that need a non-negative count
+// should treat equal positions separately.
+func (p Pos) Intervening(q Pos) int32 {
+	d := p.Ord - q.Ord
+	if d < 0 {
+		d = -d
+	}
+	return d - 1
+}
+
+func (p Pos) String() string {
+	return fmt.Sprintf("%d(p%d,s%d)", p.Ord, p.Para, p.Sent)
+}
+
+// Doc is one context node: parallel token and position slices, so that
+// Tokens[i] is the token stored at Positions[i]. Positions are strictly
+// increasing in Ord.
+type Doc struct {
+	ID   string // external identifier (file name, primary key, element path)
+	Node NodeID // corpus-assigned dense identifier
+
+	Tokens    []string
+	Positions []Pos
+}
+
+// Len returns the number of token positions in the node.
+func (d *Doc) Len() int { return len(d.Tokens) }
+
+// TokenAt returns the token stored at the given ordinal, mirroring the
+// model's Token : P -> T function. ok is false when no position has that
+// ordinal. Ordinals may be sparse (stop-word removal keeps the surviving
+// tokens' original ordinals), so lookup is a binary search.
+func (d *Doc) TokenAt(ord int32) (tok string, ok bool) {
+	i := d.indexOf(ord)
+	if i < 0 {
+		return "", false
+	}
+	return d.Tokens[i], true
+}
+
+// PosAt returns the full structured position for an ordinal.
+func (d *Doc) PosAt(ord int32) (Pos, bool) {
+	i := d.indexOf(ord)
+	if i < 0 {
+		return Pos{}, false
+	}
+	return d.Positions[i], true
+}
+
+// indexOf locates the slot holding ordinal ord, or -1. Positions are
+// strictly increasing in Ord; the common dense case (ord == index+1) is
+// checked first.
+func (d *Doc) indexOf(ord int32) int {
+	i := int(ord) - 1
+	if i >= 0 && i < len(d.Positions) && d.Positions[i].Ord == ord {
+		return i
+	}
+	lo, hi := 0, len(d.Positions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case d.Positions[mid].Ord < ord:
+			lo = mid + 1
+		case d.Positions[mid].Ord > ord:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// Occurs counts the occurrences of tok in the node (the occurs(n,t) term of
+// the TF formula in Section 3.1).
+func (d *Doc) Occurs(tok string) int {
+	n := 0
+	for _, t := range d.Tokens {
+		if t == tok {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueTokens returns the number of distinct tokens in the node (the
+// unique_tokens(n) normalization term of Section 3.1).
+func (d *Doc) UniqueTokens() int {
+	seen := make(map[string]struct{}, len(d.Tokens))
+	for _, t := range d.Tokens {
+		seen[t] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Vocabulary returns the distinct tokens of the node in first-occurrence
+// order.
+func (d *Doc) Vocabulary() []string {
+	seen := make(map[string]struct{}, len(d.Tokens))
+	var out []string
+	for _, t := range d.Tokens {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// validate checks the structural invariants of a Doc: parallel slices,
+// positive strictly increasing ordinals (ordinals may be sparse — stop-word
+// removal leaves gaps), and monotone paragraph/sentence numbers.
+func (d *Doc) validate() error {
+	if len(d.Tokens) != len(d.Positions) {
+		return fmt.Errorf("core: doc %q: %d tokens but %d positions", d.ID, len(d.Tokens), len(d.Positions))
+	}
+	var prev Pos
+	for i, p := range d.Positions {
+		if p.Ord <= 0 {
+			return fmt.Errorf("core: doc %q: position %d has non-positive ordinal %d", d.ID, i, p.Ord)
+		}
+		if i > 0 && p.Ord <= prev.Ord {
+			return fmt.Errorf("core: doc %q: position %d ordinal %d not increasing after %d", d.ID, i, p.Ord, prev.Ord)
+		}
+		if p.Para <= 0 || p.Sent <= 0 {
+			return fmt.Errorf("core: doc %q: position %d has non-positive para/sent %v", d.ID, i, p)
+		}
+		if i > 0 && (p.Para < prev.Para || p.Sent < prev.Sent) {
+			return fmt.Errorf("core: doc %q: position %d has decreasing para/sent %v after %v", d.ID, i, p, prev)
+		}
+		prev = p
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPosIntervening(t *testing.T) {
+	cases := []struct {
+		a, b int32
+		want int32
+	}{
+		{1, 2, 0},   // adjacent: no intervening tokens
+		{2, 1, 0},   // order independent
+		{1, 5, 3},   // tokens 2,3,4 intervene
+		{5, 1, 3},   //
+		{7, 7, -1},  // same position
+		{1, 12, 10}, // the Use Case 10.4 distance bound
+	}
+	for _, c := range cases {
+		got := Pos{Ord: c.a}.Intervening(Pos{Ord: c.b})
+		if got != c.want {
+			t.Errorf("Intervening(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	p := Pos{Ord: 3, Para: 1, Sent: 2}
+	q := Pos{Ord: 9, Para: 2, Sent: 4}
+	if !p.Less(q) || q.Less(p) {
+		t.Fatalf("Less is not a strict order on ordinals")
+	}
+	if !p.Before(q) || q.Before(p) {
+		t.Fatalf("Before disagrees with ordinal order")
+	}
+	if p.Before(p) {
+		t.Fatalf("Before must be irreflexive")
+	}
+}
+
+func TestInterveningSymmetry(t *testing.T) {
+	f := func(a, b int16) bool {
+		p := Pos{Ord: int32(a)}
+		q := Pos{Ord: int32(b)}
+		return p.Intervening(q) == q.Intervening(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDocTokenAt(t *testing.T) {
+	d := &Doc{
+		ID:        "d",
+		Tokens:    []string{"a", "b", "c"},
+		Positions: PositionsForTokens(3),
+	}
+	if tok, ok := d.TokenAt(1); !ok || tok != "a" {
+		t.Errorf("TokenAt(1) = %q,%v", tok, ok)
+	}
+	if tok, ok := d.TokenAt(3); !ok || tok != "c" {
+		t.Errorf("TokenAt(3) = %q,%v", tok, ok)
+	}
+	if _, ok := d.TokenAt(0); ok {
+		t.Errorf("TokenAt(0) should be out of range (ordinals are 1-based)")
+	}
+	if _, ok := d.TokenAt(4); ok {
+		t.Errorf("TokenAt(4) should be out of range")
+	}
+}
+
+func TestDocOccursAndUnique(t *testing.T) {
+	d := &Doc{
+		ID:        "d",
+		Tokens:    []string{"test", "usability", "test", "software", "test"},
+		Positions: PositionsForTokens(5),
+	}
+	if got := d.Occurs("test"); got != 3 {
+		t.Errorf("Occurs(test) = %d, want 3", got)
+	}
+	if got := d.Occurs("missing"); got != 0 {
+		t.Errorf("Occurs(missing) = %d, want 0", got)
+	}
+	if got := d.UniqueTokens(); got != 3 {
+		t.Errorf("UniqueTokens = %d, want 3", got)
+	}
+	voc := d.Vocabulary()
+	want := []string{"test", "usability", "software"}
+	if len(voc) != len(want) {
+		t.Fatalf("Vocabulary = %v, want %v", voc, want)
+	}
+	for i := range want {
+		if voc[i] != want[i] {
+			t.Fatalf("Vocabulary = %v, want %v", voc, want)
+		}
+	}
+}
+
+// TestFigure1Positions reproduces the position assignment of the paper's
+// Figure 1: the book element's text is tokenized so that "book" is at
+// position 1, "id" at 2, "usability" at 3, "author" at 4, "Elina" at 5, and
+// so on, with consecutive ordinals across markup and content.
+func TestFigure1Positions(t *testing.T) {
+	// The flattened token stream of Figure 1 (markup names, attribute names,
+	// attribute values, and text all tokenize in document order).
+	text := `book id usability
+author Elina Rose author
+content Usability Definition
+p Usability of a software measures how well the software supports achieving an efficient software. p`
+	toks, pos := Tokenizer{Preserve: true}.Tokenize(text)
+
+	want := map[int32]string{
+		1:  "book",
+		2:  "id",
+		3:  "usability",
+		4:  "author",
+		5:  "Elina",
+		6:  "Rose",
+		9:  "Usability",
+		24: "efficient",
+		25: "software",
+	}
+	for ord, tok := range want {
+		if toks[ord-1] != tok {
+			t.Errorf("position %d = %q, want %q", ord, toks[ord-1], tok)
+		}
+	}
+	for i, p := range pos {
+		if p.Ord != int32(i)+1 {
+			t.Fatalf("ordinal %d at index %d", p.Ord, i)
+		}
+	}
+}
+
+func TestDocValidate(t *testing.T) {
+	// Sparse ordinals are valid (stop-word removal leaves gaps)...
+	sparse := &Doc{ID: "x", Tokens: []string{"a", "b"}, Positions: []Pos{
+		{Ord: 2, Para: 1, Sent: 1}, {Ord: 7, Para: 1, Sent: 1},
+	}}
+	if err := sparse.validate(); err != nil {
+		t.Errorf("sparse ordinals should validate: %v", err)
+	}
+	// ...but they must stay strictly increasing and positive.
+	bad := &Doc{ID: "x", Tokens: []string{"a", "b"}, Positions: []Pos{
+		{Ord: 3, Para: 1, Sent: 1}, {Ord: 3, Para: 1, Sent: 1},
+	}}
+	if err := bad.validate(); err == nil {
+		t.Errorf("non-increasing ordinals should fail validation")
+	}
+	bad0 := &Doc{ID: "x", Tokens: []string{"a"}, Positions: []Pos{{Ord: 0, Para: 1, Sent: 1}}}
+	if err := bad0.validate(); err == nil {
+		t.Errorf("zero ordinal should fail validation")
+	}
+	bad2 := &Doc{ID: "x", Tokens: []string{"a", "b"}, Positions: PositionsForTokens(1)}
+	if err := bad2.validate(); err == nil {
+		t.Errorf("mismatched slice lengths should fail validation")
+	}
+	bad3 := &Doc{ID: "x", Tokens: []string{"a"}, Positions: []Pos{{Ord: 1, Para: 0, Sent: 1}}}
+	if err := bad3.validate(); err == nil {
+		t.Errorf("zero paragraph should fail validation")
+	}
+	bad4 := &Doc{ID: "x", Tokens: []string{"a", "b"}, Positions: []Pos{
+		{Ord: 1, Para: 2, Sent: 2}, {Ord: 2, Para: 1, Sent: 2},
+	}}
+	if err := bad4.validate(); err == nil {
+		t.Errorf("decreasing paragraph should fail validation")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits raw text into the token stream of the full-text model.
+//
+// Rules (chosen to match the paper's Figure 1, where markup names, attribute
+// values and words all become tokens with consecutive ordinals):
+//
+//   - a token is a maximal run of letters, digits, or apostrophes;
+//   - everything else is a separator;
+//   - '.', '!', '?' end the current sentence;
+//   - a blank line (two consecutive newlines) ends the current paragraph
+//     (and therefore also the current sentence).
+//
+// The zero value lowercases tokens; set Preserve to keep original case.
+type Tokenizer struct {
+	// Preserve keeps the original token case instead of lowercasing.
+	Preserve bool
+}
+
+// Tokenize splits text and assigns structured positions. Paragraph and
+// sentence numbers are 1-based and monotonically non-decreasing; the ordinal
+// of the i-th token is i+1.
+func (tz Tokenizer) Tokenize(text string) (tokens []string, positions []Pos) {
+	para, sent := int32(1), int32(1)
+	// pendingPara / pendingSent defer the counter bump until the next token,
+	// so trailing separators do not create empty paragraphs or sentences.
+	pendingPara, pendingSent := false, false
+	newlineRun := 0
+
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		if pendingPara {
+			para++
+			sent++
+			pendingPara, pendingSent = false, false
+		} else if pendingSent {
+			sent++
+			pendingSent = false
+		}
+		tok := cur.String()
+		if !tz.Preserve {
+			tok = strings.ToLower(tok)
+		}
+		tokens = append(tokens, tok)
+		positions = append(positions, Pos{Ord: int32(len(tokens)), Para: para, Sent: sent})
+		cur.Reset()
+	}
+
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			newlineRun = 0
+			cur.WriteRune(r)
+		case r == '.' || r == '!' || r == '?':
+			flush()
+			pendingSent = true
+			newlineRun = 0
+		case r == '\n':
+			flush()
+			newlineRun++
+			if newlineRun >= 2 {
+				pendingPara = true
+			}
+		default:
+			flush()
+			if r != ' ' && r != '\t' && r != '\r' {
+				newlineRun = 0
+			}
+		}
+	}
+	flush()
+	return tokens, positions
+}
+
+// Tokenize splits text with the default Tokenizer (lowercasing).
+func Tokenize(text string) ([]string, []Pos) {
+	return Tokenizer{}.Tokenize(text)
+}
+
+// PositionsForTokens builds structured positions for a pre-tokenized stream
+// with no paragraph or sentence structure: every token is in paragraph 1,
+// sentence 1. Useful for synthetic corpora and tests.
+func PositionsForTokens(n int) []Pos {
+	out := make([]Pos, n)
+	for i := range out {
+		out[i] = Pos{Ord: int32(i) + 1, Para: 1, Sent: 1}
+	}
+	return out
+}

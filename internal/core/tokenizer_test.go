@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks, pos := Tokenize("Usability of a software")
+	want := []string{"usability", "of", "a", "software"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+		if pos[i].Ord != int32(i)+1 || pos[i].Para != 1 || pos[i].Sent != 1 {
+			t.Errorf("position %d = %v", i, pos[i])
+		}
+	}
+}
+
+func TestTokenizeSentences(t *testing.T) {
+	_, pos := Tokenize("First sentence. Second one! Third? fourth")
+	sents := make([]int32, len(pos))
+	for i, p := range pos {
+		sents[i] = p.Sent
+	}
+	want := []int32{1, 1, 2, 2, 3, 4}
+	if len(sents) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(sents), sents)
+	}
+	for i := range want {
+		if sents[i] != want[i] {
+			t.Errorf("token %d sentence = %d, want %d (%v)", i, sents[i], want[i], sents)
+		}
+	}
+}
+
+func TestTokenizeParagraphs(t *testing.T) {
+	text := "alpha beta\n\ngamma delta\n\n\nepsilon"
+	_, pos := Tokenize(text)
+	paras := make([]int32, len(pos))
+	for i, p := range pos {
+		paras[i] = p.Para
+	}
+	want := []int32{1, 1, 2, 2, 3}
+	for i := range want {
+		if paras[i] != want[i] {
+			t.Fatalf("paragraphs = %v, want %v", paras, want)
+		}
+	}
+	// A new paragraph also starts a new sentence.
+	if pos[2].Sent == pos[1].Sent {
+		t.Errorf("paragraph break must advance sentence: %v", pos)
+	}
+}
+
+func TestTokenizeTrailingSeparators(t *testing.T) {
+	toks, pos := Tokenize("one two.\n\n")
+	if len(toks) != 2 {
+		t.Fatalf("trailing separators created tokens: %v", toks)
+	}
+	if pos[1].Sent != 1 || pos[1].Para != 1 {
+		t.Errorf("trailing separators advanced counters: %v", pos)
+	}
+}
+
+func TestTokenizeEmptyAndPunctuationOnly(t *testing.T) {
+	for _, s := range []string{"", "   ", "...", "\n\n\n", "?!,;:"} {
+		toks, pos := Tokenize(s)
+		if len(toks) != 0 || len(pos) != 0 {
+			t.Errorf("Tokenize(%q) = %v, %v; want empty", s, toks, pos)
+		}
+	}
+}
+
+func TestTokenizePreserveCase(t *testing.T) {
+	toks, _ := Tokenizer{Preserve: true}.Tokenize("Elina Rose")
+	if toks[0] != "Elina" || toks[1] != "Rose" {
+		t.Errorf("Preserve lost case: %v", toks)
+	}
+	toks, _ = Tokenize("Elina Rose")
+	if toks[0] != "elina" || toks[1] != "rose" {
+		t.Errorf("default must lowercase: %v", toks)
+	}
+}
+
+func TestTokenizeApostropheAndDigits(t *testing.T) {
+	toks, _ := Tokenize("don't stop 2006 papers")
+	want := []string{"don't", "stop", "2006", "papers"}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("got %v, want %v", toks, want)
+		}
+	}
+}
+
+// Positions produced by the tokenizer always satisfy Doc validation.
+func TestTokenizePositionsAlwaysValid(t *testing.T) {
+	f := func(words []string) bool {
+		text := strings.Join(words, " ")
+		toks, pos := Tokenize(text)
+		d := &Doc{ID: "q", Tokens: toks, Positions: pos}
+		return d.validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionsForTokens(t *testing.T) {
+	pos := PositionsForTokens(4)
+	for i, p := range pos {
+		if p.Ord != int32(i)+1 || p.Para != 1 || p.Sent != 1 {
+			t.Fatalf("PositionsForTokens: %v", pos)
+		}
+	}
+	if len(PositionsForTokens(0)) != 0 {
+		t.Fatalf("PositionsForTokens(0) not empty")
+	}
+}

@@ -1,0 +1,164 @@
+// Package fta implements the Full-Text Algebra of Section 2.3: relational
+// operators over full-text relations R[CNode, att1..attm] whose position
+// attributes always stay within a single context node. The base relations
+// are SearchContext, HasPos and one R_token per token (physically, the
+// inverted lists of package invlist).
+//
+// The package provides a materialized evaluator (the COMP engine of Section
+// 5.4), the FTC→FTA compiler of Lemma 2 and the FTA→FTC translator of
+// Lemma 1 — together the constructive proof machinery of Theorem 1 — and
+// per-operator scoring hooks implementing the framework of Section 3.
+package fta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a full-text algebra expression. The CNode attribute is implicit;
+// Width reports the number of position attributes.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// SearchContext is the base relation with one (node) tuple per context node
+// (width 0).
+type SearchContext struct{}
+
+// HasPos is the base relation of (node, pos) pairs over every position
+// (width 1); physically IL_ANY.
+type HasPos struct{}
+
+// Token is the base relation R_tok of (node, pos) pairs where pos holds tok
+// (width 1); physically the inverted list IL_tok.
+type Token struct{ Tok string }
+
+// Project keeps the position columns listed in Cols, in that order (CNode
+// is always kept, per the algebra's definition). Cols may reorder columns;
+// duplicates are not allowed.
+type Project struct {
+	In   Expr
+	Cols []int
+}
+
+// Join is the CNode equi-join: tuples combine only within the same context
+// node, concatenating position columns (left columns first).
+type Join struct{ L, R Expr }
+
+// Select filters by a registered position predicate; predicate argument i
+// reads position column Cols[i] (columns may repeat).
+type Select struct {
+	In     Expr
+	Pred   string
+	Cols   []int
+	Consts []int
+}
+
+// Union is set union of two relations of equal width.
+type Union struct{ L, R Expr }
+
+// Intersect is set intersection of two relations of equal width.
+type Intersect struct{ L, R Expr }
+
+// Diff is set difference of two relations of equal width.
+type Diff struct{ L, R Expr }
+
+func (SearchContext) isExpr() {}
+func (HasPos) isExpr()        {}
+func (Token) isExpr()         {}
+func (Project) isExpr()       {}
+func (Join) isExpr()          {}
+func (Select) isExpr()        {}
+func (Union) isExpr()         {}
+func (Intersect) isExpr()     {}
+func (Diff) isExpr()          {}
+
+func (SearchContext) String() string { return "SearchContext" }
+func (HasPos) String() string        { return "HasPos" }
+func (e Token) String() string       { return fmt.Sprintf("R['%s']", e.Tok) }
+
+func (e Project) String() string {
+	cols := make([]string, len(e.Cols))
+	for i, c := range e.Cols {
+		cols[i] = fmt.Sprintf("att%d", c+1)
+	}
+	return fmt.Sprintf("project[CNode,%s](%s)", strings.Join(cols, ","), e.In)
+}
+
+func (e Join) String() string { return fmt.Sprintf("(%s join %s)", e.L, e.R) }
+
+func (e Select) String() string {
+	args := make([]string, 0, len(e.Cols)+len(e.Consts))
+	for _, c := range e.Cols {
+		args = append(args, fmt.Sprintf("att%d", c+1))
+	}
+	for _, c := range e.Consts {
+		args = append(args, fmt.Sprint(c))
+	}
+	return fmt.Sprintf("select[%s(%s)](%s)", e.Pred, strings.Join(args, ","), e.In)
+}
+
+func (e Union) String() string     { return fmt.Sprintf("(%s union %s)", e.L, e.R) }
+func (e Intersect) String() string { return fmt.Sprintf("(%s intersect %s)", e.L, e.R) }
+func (e Diff) String() string      { return fmt.Sprintf("(%s minus %s)", e.L, e.R) }
+
+// Tree renders the expression as an indented operator tree in the style of
+// the paper's Figure 4 query plan.
+func Tree(e Expr) string {
+	var b strings.Builder
+	tree(e, 0, &b)
+	return b.String()
+}
+
+func tree(e Expr, depth int, b *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	switch x := e.(type) {
+	case SearchContext:
+		fmt.Fprintf(b, "%sscan (SearchContext)\n", indent)
+	case HasPos:
+		fmt.Fprintf(b, "%sscan (ANY)\n", indent)
+	case Token:
+		fmt.Fprintf(b, "%sscan (%q)\n", indent, x.Tok)
+	case Project:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = fmt.Sprintf("att%d", c+1)
+		}
+		fmt.Fprintf(b, "%sproject (CNode%s)\n", indent, prefixComma(cols))
+		tree(x.In, depth+1, b)
+	case Join:
+		fmt.Fprintf(b, "%sjoin\n", indent)
+		tree(x.L, depth+1, b)
+		tree(x.R, depth+1, b)
+	case Select:
+		args := make([]string, 0, len(x.Cols)+len(x.Consts))
+		for _, c := range x.Cols {
+			args = append(args, fmt.Sprintf("att%d", c+1))
+		}
+		for _, c := range x.Consts {
+			args = append(args, fmt.Sprint(c))
+		}
+		fmt.Fprintf(b, "%s%s (%s)\n", indent, x.Pred, strings.Join(args, ","))
+		tree(x.In, depth+1, b)
+	case Union:
+		fmt.Fprintf(b, "%sunion\n", indent)
+		tree(x.L, depth+1, b)
+		tree(x.R, depth+1, b)
+	case Intersect:
+		fmt.Fprintf(b, "%sintersect\n", indent)
+		tree(x.L, depth+1, b)
+		tree(x.R, depth+1, b)
+	case Diff:
+		fmt.Fprintf(b, "%sdifference\n", indent)
+		tree(x.L, depth+1, b)
+		tree(x.R, depth+1, b)
+	}
+}
+
+func prefixComma(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	return "," + strings.Join(parts, ",")
+}

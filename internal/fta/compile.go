@@ -1,0 +1,344 @@
+package fta
+
+import (
+	"fmt"
+	"sort"
+
+	"fulltext/internal/ftc"
+	"fulltext/internal/pred"
+)
+
+// Compile translates a closed calculus query expression into an algebra
+// query (the Lemma 2 direction of Theorem 1). Beyond the lemma's general
+// construction it applies two cost-critical rewrites that yield the
+// Figure 4 plan shapes:
+//
+//   - a conjunction with a predicate whose variables are already columns of
+//     the other conjunct compiles to a selection instead of a padded
+//     intersection;
+//   - a conjunction of column-disjoint relations compiles to a plain join.
+//
+// Disjunction pads each branch with HasPos joins for the other branch's
+// variables (see DESIGN.md: the appendix's projection-based padding loses
+// tuples when one branch is empty; HasPos padding matches the calculus set
+// comprehension).
+func Compile(e ftc.Expr, reg *pred.Registry) (Expr, error) {
+	if err := ftc.Validate(e, reg); err != nil {
+		return nil, err
+	}
+	if !ftc.Closed(e) {
+		return nil, fmt.Errorf("fta: cannot compile open expression with free variables %v", ftc.FreeVars(e))
+	}
+	c := &compiler{reg: reg}
+	ae, cols, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != 0 {
+		return nil, fmt.Errorf("fta: internal: closed expression compiled to width %d", len(cols))
+	}
+	return ae, nil
+}
+
+// CompileOpen translates an arbitrary (possibly open) query expression,
+// returning the algebra expression together with the variable name of each
+// position column. Columns are sorted by variable name.
+func CompileOpen(e ftc.Expr, reg *pred.Registry) (Expr, []string, error) {
+	c := &compiler{reg: reg}
+	return c.compile(e)
+}
+
+type compiler struct {
+	reg *pred.Registry
+}
+
+// compile returns an algebra expression and the calculus variable carried
+// by each of its position columns. Invariant: the returned column variables
+// are strictly sorted (no duplicates).
+func (c *compiler) compile(e ftc.Expr) (Expr, []string, error) {
+	switch x := e.(type) {
+	case ftc.Truth:
+		if x.V {
+			return SearchContext{}, nil, nil
+		}
+		return Diff{SearchContext{}, SearchContext{}}, nil, nil
+
+	case ftc.HasPos:
+		return HasPos{}, []string{x.Var}, nil
+
+	case ftc.HasToken:
+		return Token{x.Tok}, []string{x.Var}, nil
+
+	case ftc.PredCall:
+		cols := dedupSorted(x.Vars)
+		base := hasPosPower(len(cols))
+		sel, err := c.selectFor(base, cols, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sel, cols, nil
+
+	case ftc.Not:
+		in, cols, err := c.compile(x.E)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cols) == 0 {
+			return Diff{SearchContext{}, in}, nil, nil
+		}
+		return Diff{hasPosPower(len(cols)), in}, cols, nil
+
+	case ftc.And:
+		// Figure 4 rewrite: predicate conjunct over already-bound columns
+		// becomes a selection.
+		if p, ok := x.R.(ftc.PredCall); ok {
+			l, cols, err := c.compile(x.L)
+			if err != nil {
+				return nil, nil, err
+			}
+			if subset(p.Vars, cols) {
+				sel, err := c.selectFor(l, cols, p)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sel, cols, nil
+			}
+			return c.combineAnd(l, cols, x.R)
+		}
+		if p, ok := x.L.(ftc.PredCall); ok {
+			r, cols, err := c.compile(x.R)
+			if err != nil {
+				return nil, nil, err
+			}
+			if subset(p.Vars, cols) {
+				sel, err := c.selectFor(r, cols, p)
+				if err != nil {
+					return nil, nil, err
+				}
+				return sel, cols, nil
+			}
+			return c.combineAnd(r, cols, x.L)
+		}
+		l, colsL, err := c.compile(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.combineAndCompiled(l, colsL, x.R)
+
+	case ftc.Or:
+		l, colsL, err := c.compile(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, colsR, err := c.compile(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := unionSorted(colsL, colsR)
+		lp, err := padTo(l, colsL, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		rp, err := padTo(r, colsR, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Union{lp, rp}, cols, nil
+
+	case ftc.Exists:
+		in, cols, err := c.compile(x.Body)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := indexOf(cols, x.Var)
+		if idx < 0 {
+			// The quantified variable is unconstrained by the body:
+			// ∃v hasPos(n,v) ∧ body == (node has a position) semijoined
+			// with body.
+			return Join{in, Project{HasPos{}, nil}}, cols, nil
+		}
+		keep := make([]int, 0, len(cols)-1)
+		outCols := make([]string, 0, len(cols)-1)
+		for i, v := range cols {
+			if i != idx {
+				keep = append(keep, i)
+				outCols = append(outCols, v)
+			}
+		}
+		return Project{in, keep}, outCols, nil
+
+	case ftc.Forall:
+		// ∀v (hasPos ⇒ B) == ¬∃v (hasPos ∧ ¬B)
+		return c.compile(ftc.Not{E: ftc.Exists{Var: x.Var, Body: ftc.Not{E: x.Body}}})
+
+	default:
+		return nil, nil, fmt.Errorf("fta: cannot compile %T", e)
+	}
+}
+
+// combineAnd conjoins a compiled relation with an uncompiled expression.
+func (c *compiler) combineAnd(l Expr, colsL []string, right ftc.Expr) (Expr, []string, error) {
+	return c.combineAndCompiled(l, colsL, right)
+}
+
+func (c *compiler) combineAndCompiled(l Expr, colsL []string, right ftc.Expr) (Expr, []string, error) {
+	r, colsR, err := c.compile(right)
+	if err != nil {
+		return nil, nil, err
+	}
+	if disjoint(colsL, colsR) {
+		cols := unionSorted(colsL, colsR)
+		joined := Join{l, r}
+		joinedCols := append(append([]string{}, colsL...), colsR...)
+		re, err := reorder(joined, joinedCols, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		return re, cols, nil
+	}
+	cols := unionSorted(colsL, colsR)
+	lp, err := padTo(l, colsL, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	rp, err := padTo(r, colsR, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Intersect{lp, rp}, cols, nil
+}
+
+// selectFor wraps base (whose columns carry cols) in a selection for the
+// predicate call.
+func (c *compiler) selectFor(base Expr, cols []string, p ftc.PredCall) (Expr, error) {
+	d, ok := c.reg.Lookup(p.Name)
+	if !ok {
+		return nil, fmt.Errorf("fta: unknown predicate %q", p.Name)
+	}
+	if err := d.Check(len(p.Vars), len(p.Consts)); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(p.Vars))
+	for i, v := range p.Vars {
+		j := indexOf(cols, v)
+		if j < 0 {
+			return nil, fmt.Errorf("fta: internal: predicate variable %q not among columns %v", v, cols)
+		}
+		idx[i] = j
+	}
+	return Select{In: base, Pred: p.Name, Cols: idx, Consts: append([]int(nil), p.Consts...)}, nil
+}
+
+// padTo extends a relation whose columns carry `from` with HasPos joins for
+// the variables in `to` that are missing, then reorders to `to`.
+func padTo(e Expr, from, to []string) (Expr, error) {
+	missing := diffSorted(to, from)
+	cur := e
+	curCols := append([]string{}, from...)
+	for _, v := range missing {
+		cur = Join{cur, HasPos{}}
+		curCols = append(curCols, v)
+	}
+	return reorder(cur, curCols, to)
+}
+
+// reorder projects e (columns carrying `from`) into the order `to`; `to`
+// must be a permutation of `from`.
+func reorder(e Expr, from, to []string) (Expr, error) {
+	if len(from) != len(to) {
+		return nil, fmt.Errorf("fta: reorder %v -> %v: length mismatch", from, to)
+	}
+	same := true
+	keep := make([]int, len(to))
+	for i, v := range to {
+		j := indexOf(from, v)
+		if j < 0 {
+			return nil, fmt.Errorf("fta: reorder: %q missing from %v", v, from)
+		}
+		keep[i] = j
+		if j != i {
+			same = false
+		}
+	}
+	if same {
+		return e, nil
+	}
+	return Project{e, keep}, nil
+}
+
+func hasPosPower(k int) Expr {
+	if k == 0 {
+		return SearchContext{}
+	}
+	var e Expr = HasPos{}
+	for i := 1; i < k; i++ {
+		e = Join{e, HasPos{}}
+	}
+	return e
+}
+
+func dedupSorted(vars []string) []string {
+	out := append([]string{}, vars...)
+	sort.Strings(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func unionSorted(a, b []string) []string {
+	return dedupSorted(append(append([]string{}, a...), b...))
+}
+
+func diffSorted(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if !inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func disjoint(a, b []string) bool {
+	inA := make(map[string]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	for _, v := range b {
+		if inA[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(sub, super []string) bool {
+	in := make(map[string]bool, len(super))
+	for _, v := range super {
+		in[v] = true
+	}
+	for _, v := range sub {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(cols []string, v string) int {
+	for i, c := range cols {
+		if c == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,368 @@
+package fta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/pred"
+)
+
+// Tuple is one row of a materialized full-text relation for a fixed context
+// node: the position attributes plus the per-tuple score of Section 3.
+type Tuple struct {
+	Pos   []core.Pos
+	Score float64
+}
+
+// Result is the outcome of evaluating an algebra query: the qualifying
+// nodes in id order and, when a scoring model is used, a score per node.
+type Result struct {
+	Nodes  []core.NodeID
+	Scores map[core.NodeID]float64
+}
+
+// Evaluator materializes full-text algebra expressions node-at-a-time
+// against an inverted-list index. Node-at-a-time evaluation bounds memory
+// by the per-node relation sizes (the paper's COMP engine enumerates the
+// per-node cartesian products); FullMaterialize switches to whole-relation
+// evaluation for the ablation benchmark.
+type Evaluator struct {
+	Index  *invlist.Index
+	Reg    *pred.Registry
+	Scorer Scorer
+
+	// FullMaterialize evaluates whole relations instead of node-at-a-time.
+	FullMaterialize bool
+
+	// TuplesBuilt counts materialized tuples, for the complexity
+	// instrumentation (Section 5.4's cost is driven by join output sizes).
+	TuplesBuilt int
+}
+
+// Eval runs a width-0 algebra query and returns the qualifying nodes.
+func (ev *Evaluator) Eval(e Expr) (*Result, error) {
+	if ev.Scorer == nil {
+		ev.Scorer = NoScore{}
+	}
+	if err := ValidateQuery(e, ev.Reg); err != nil {
+		return nil, err
+	}
+	res := &Result{Scores: make(map[core.NodeID]float64)}
+	if ev.FullMaterialize {
+		rel, err := ev.evalFull(e)
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]core.NodeID, 0, len(rel))
+		for n := range rel {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			if len(rel[n]) > 0 {
+				res.Nodes = append(res.Nodes, n)
+				res.Scores[n] = rel[n][0].Score
+			}
+		}
+		return res, nil
+	}
+	for n := 1; n <= ev.Index.NumNodes(); n++ {
+		node := core.NodeID(n)
+		tuples, err := ev.evalNode(e, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(tuples) > 0 {
+			res.Nodes = append(res.Nodes, node)
+			// A width-0 relation has at most one tuple per node after
+			// set-dedup; its score is the node's score.
+			res.Scores[node] = tuples[0].Score
+		}
+	}
+	return res, nil
+}
+
+// EvalRelation materializes an arbitrary-width expression for every node;
+// used by tests and the Lemma 1/2 round trips.
+func (ev *Evaluator) EvalRelation(e Expr) (map[core.NodeID][]Tuple, error) {
+	if ev.Scorer == nil {
+		ev.Scorer = NoScore{}
+	}
+	if _, err := Width(e, ev.Reg); err != nil {
+		return nil, err
+	}
+	if ev.FullMaterialize {
+		return ev.evalFull(e)
+	}
+	out := make(map[core.NodeID][]Tuple)
+	for n := 1; n <= ev.Index.NumNodes(); n++ {
+		node := core.NodeID(n)
+		tuples, err := ev.evalNode(e, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(tuples) > 0 {
+			out[node] = tuples
+		}
+	}
+	return out, nil
+}
+
+// evalFull evaluates e for all nodes at once (simple recursion over the
+// node-at-a-time evaluator, kept separate so the ablation measures the
+// memory/locality difference of one big pass).
+func (ev *Evaluator) evalFull(e Expr) (map[core.NodeID][]Tuple, error) {
+	out := make(map[core.NodeID][]Tuple)
+	for n := 1; n <= ev.Index.NumNodes(); n++ {
+		node := core.NodeID(n)
+		tuples, err := ev.evalNode(e, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(tuples) > 0 {
+			out[node] = tuples
+		}
+	}
+	return out, nil
+}
+
+// evalNode materializes the relation of e restricted to one context node.
+// Every operator is set-semantics: duplicates collapse (combining scores).
+func (ev *Evaluator) evalNode(e Expr, node core.NodeID) ([]Tuple, error) {
+	switch x := e.(type) {
+	case SearchContext:
+		ev.TuplesBuilt++
+		return []Tuple{{Score: ev.Scorer.LeafContext(node)}}, nil
+
+	case HasPos:
+		entry := ev.Index.Any().Find(node)
+		if entry == nil {
+			return nil, nil
+		}
+		out := make([]Tuple, 0, len(entry.Pos))
+		for _, p := range entry.Pos {
+			out = append(out, Tuple{Pos: []core.Pos{p}, Score: ev.Scorer.LeafHasPos(node)})
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	case Token:
+		entry := ev.Index.List(x.Tok).Find(node)
+		if entry == nil {
+			return nil, nil
+		}
+		out := make([]Tuple, 0, len(entry.Pos))
+		for _, p := range entry.Pos {
+			out = append(out, Tuple{Pos: []core.Pos{p}, Score: ev.Scorer.LeafToken(x.Tok, node)})
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	case Project:
+		in, err := ev.evalNode(x.In, node)
+		if err != nil {
+			return nil, err
+		}
+		groups := make(map[string][]float64)
+		reps := make(map[string][]core.Pos)
+		var order []string
+		for _, t := range in {
+			pos := make([]core.Pos, len(x.Cols))
+			for i, c := range x.Cols {
+				pos[i] = t.Pos[c]
+			}
+			k := posKey(pos)
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+				reps[k] = pos
+			}
+			groups[k] = append(groups[k], t.Score)
+		}
+		out := make([]Tuple, 0, len(order))
+		for _, k := range order {
+			out = append(out, Tuple{Pos: reps[k], Score: ev.Scorer.Project(groups[k])})
+		}
+		ev.TuplesBuilt += len(out)
+		return sortTuples(out), nil
+
+	case Join:
+		l, err := ev.evalNode(x.L, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, nil
+		}
+		r, err := ev.evalNode(x.R, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(r) == 0 {
+			return nil, nil
+		}
+		out := make([]Tuple, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				pos := make([]core.Pos, 0, len(a.Pos)+len(b.Pos))
+				pos = append(pos, a.Pos...)
+				pos = append(pos, b.Pos...)
+				out = append(out, Tuple{Pos: pos, Score: ev.Scorer.Join(a.Score, b.Score, len(l), len(r))})
+			}
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	case Select:
+		in, err := ev.evalNode(x.In, node)
+		if err != nil {
+			return nil, err
+		}
+		d, ok := ev.Reg.Lookup(x.Pred)
+		if !ok {
+			return nil, fmt.Errorf("fta: unknown predicate %q", x.Pred)
+		}
+		var out []Tuple
+		args := make([]core.Pos, len(x.Cols))
+		for _, t := range in {
+			for i, c := range x.Cols {
+				args[i] = t.Pos[c]
+			}
+			if d.Eval(args, x.Consts) {
+				out = append(out, Tuple{Pos: t.Pos, Score: ev.Scorer.Select(t.Score, x.Pred, args, x.Consts)})
+			}
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	case Union:
+		l, err := ev.evalNode(x.L, node)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalNode(x.R, node)
+		if err != nil {
+			return nil, err
+		}
+		type entry struct {
+			pos    []core.Pos
+			sL, sR float64
+			hL, hR bool
+		}
+		m := make(map[string]*entry, len(l)+len(r))
+		var order []string
+		for _, t := range l {
+			k := posKey(t.Pos)
+			e, seen := m[k]
+			if !seen {
+				e = &entry{pos: t.Pos}
+				m[k] = e
+				order = append(order, k)
+			}
+			e.sL, e.hL = t.Score, true
+		}
+		for _, t := range r {
+			k := posKey(t.Pos)
+			e, seen := m[k]
+			if !seen {
+				e = &entry{pos: t.Pos}
+				m[k] = e
+				order = append(order, k)
+			}
+			e.sR, e.hR = t.Score, true
+		}
+		out := make([]Tuple, 0, len(order))
+		for _, k := range order {
+			e := m[k]
+			out = append(out, Tuple{Pos: e.pos, Score: ev.Scorer.Union(e.sL, e.sR, e.hL, e.hR)})
+		}
+		ev.TuplesBuilt += len(out)
+		return sortTuples(out), nil
+
+	case Intersect:
+		l, err := ev.evalNode(x.L, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, nil
+		}
+		r, err := ev.evalNode(x.R, node)
+		if err != nil {
+			return nil, err
+		}
+		rs := make(map[string]float64, len(r))
+		for _, t := range r {
+			rs[posKey(t.Pos)] = t.Score
+		}
+		var out []Tuple
+		seen := make(map[string]bool, len(l))
+		for _, t := range l {
+			k := posKey(t.Pos)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if s, ok := rs[k]; ok {
+				out = append(out, Tuple{Pos: t.Pos, Score: ev.Scorer.Intersect(t.Score, s)})
+			}
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	case Diff:
+		l, err := ev.evalNode(x.L, node)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, nil
+		}
+		r, err := ev.evalNode(x.R, node)
+		if err != nil {
+			return nil, err
+		}
+		rk := make(map[string]bool, len(r))
+		for _, t := range r {
+			rk[posKey(t.Pos)] = true
+		}
+		var out []Tuple
+		seen := make(map[string]bool, len(l))
+		for _, t := range l {
+			k := posKey(t.Pos)
+			if seen[k] || rk[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, Tuple{Pos: t.Pos, Score: ev.Scorer.Diff(t.Score)})
+		}
+		ev.TuplesBuilt += len(out)
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("fta: unknown expression %T", e)
+	}
+}
+
+func posKey(pos []core.Pos) string {
+	var b strings.Builder
+	for _, p := range pos {
+		fmt.Fprintf(&b, "%d,", p.Ord)
+	}
+	return b.String()
+}
+
+func sortTuples(ts []Tuple) []Tuple {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i].Pos, ts[j].Pos
+		for k := range a {
+			if a[k].Ord != b[k].Ord {
+				return a[k].Ord < b[k].Ord
+			}
+		}
+		return false
+	})
+	return ts
+}

@@ -1,0 +1,49 @@
+package fta
+
+import "fulltext/internal/core"
+
+// Scorer is the scoring framework of Section 3: per-tuple scoring
+// information initialized at the leaves plus a scoring transformation per
+// algebra operator. Implementations live in internal/score (TF-IDF of
+// Section 3.1, probabilistic relational algebra of Section 3.2); evaluation
+// without ranking uses NoScore.
+type Scorer interface {
+	// LeafToken returns the initial score of a tuple of R_tok for node.
+	LeafToken(tok string, node core.NodeID) float64
+	// LeafHasPos returns the initial score of a HasPos tuple.
+	LeafHasPos(node core.NodeID) float64
+	// LeafContext returns the initial score of a SearchContext tuple.
+	LeafContext(node core.NodeID) float64
+	// Join combines the scores of two joined tuples; n1 and n2 are the
+	// per-node cardinalities of the input relations (the |R1|, |R2| scale
+	// factors of the TF-IDF join rule).
+	Join(s1, s2 float64, n1, n2 int) float64
+	// Project aggregates the scores of all input tuples that collapse onto
+	// one output tuple.
+	Project(parts []float64) float64
+	// Select transforms the score of a tuple that passed predicate pred.
+	Select(s float64, predName string, pos []core.Pos, consts []int) float64
+	// Union combines scores of matching tuples; haveL/haveR report presence
+	// (a missing side contributes score 0 by the paper's convention).
+	Union(sL, sR float64, haveL, haveR bool) float64
+	// Intersect combines scores of a tuple present in both inputs.
+	Intersect(sL, sR float64) float64
+	// Diff transforms the score of a surviving left tuple.
+	Diff(s float64) float64
+}
+
+// NoScore is the trivial scorer: all scores zero, all transformations
+// identity. Boolean evaluation uses it.
+type NoScore struct{}
+
+func (NoScore) LeafToken(string, core.NodeID) float64                     { return 0 }
+func (NoScore) LeafHasPos(core.NodeID) float64                            { return 0 }
+func (NoScore) LeafContext(core.NodeID) float64                           { return 0 }
+func (NoScore) Join(s1, s2 float64, n1, n2 int) float64                   { return 0 }
+func (NoScore) Project([]float64) float64                                 { return 0 }
+func (NoScore) Select(s float64, _ string, _ []core.Pos, _ []int) float64 { return s }
+func (NoScore) Union(sL, sR float64, haveL, haveR bool) float64           { return 0 }
+func (NoScore) Intersect(sL, sR float64) float64                          { return 0 }
+func (NoScore) Diff(s float64) float64                                    { return s }
+
+var _ Scorer = NoScore{}

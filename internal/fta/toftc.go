@@ -1,0 +1,205 @@
+package fta
+
+import (
+	"fmt"
+
+	"fulltext/internal/ftc"
+	"fulltext/internal/pred"
+)
+
+// ToFTC translates an algebra expression into an equivalent calculus
+// expression (the Lemma 1 direction of Theorem 1). The returned expression
+// has one free variable per position column, named in the returned slice;
+// its semantics are those of the comprehension
+//
+//	{(n, p1..pk) | SearchContext(n) ∧ ⋀ hasPos(n, pi) ∧ Expr(n, p1..pk)}
+//
+// For a width-0 algebra query the result is a closed query expression.
+func ToFTC(e Expr, reg *pred.Registry) (ftc.Expr, []string, error) {
+	if _, err := Width(e, reg); err != nil {
+		return nil, nil, err
+	}
+	t := &translator{}
+	return t.rec(e)
+}
+
+type translator struct {
+	n int
+}
+
+func (t *translator) fresh() string {
+	t.n++
+	return fmt.Sprintf("a%d", t.n)
+}
+
+func (t *translator) rec(e Expr) (ftc.Expr, []string, error) {
+	switch x := e.(type) {
+	case SearchContext:
+		// Lemma 1 uses a tautology; SearchContext(n) is implicit in the
+		// comprehension.
+		return ftc.Truth{V: true}, nil, nil
+
+	case HasPos:
+		v := t.fresh()
+		return ftc.HasPos{Var: v}, []string{v}, nil
+
+	case Token:
+		v := t.fresh()
+		return ftc.HasToken{Var: v, Tok: x.Tok}, []string{v}, nil
+
+	case Project:
+		in, vars, err := t.rec(x.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		kept := make(map[int]bool, len(x.Cols))
+		outVars := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			kept[c] = true
+			outVars[i] = vars[c]
+		}
+		// Existentially quantify the projected-out columns.
+		out := in
+		for i := len(vars) - 1; i >= 0; i-- {
+			if !kept[i] {
+				out = ftc.Exists{Var: vars[i], Body: out}
+			}
+		}
+		return out, outVars, nil
+
+	case Join:
+		l, vl, err := t.rec(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, vr, err := t.rec(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		return andExpr(l, r), append(append([]string{}, vl...), vr...), nil
+
+	case Select:
+		in, vars, err := t.rec(x.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		args := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			args[i] = vars[c]
+		}
+		call := ftc.PredCall{Name: x.Pred, Vars: args, Consts: append([]int(nil), x.Consts...)}
+		return andExpr(in, call), vars, nil
+
+	case Union:
+		l, vl, err := t.rec(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, vr, err := t.rec(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = substFree(r, zipVars(vr, vl))
+		return ftc.Or{L: l, R: r}, vl, nil
+
+	case Intersect:
+		l, vl, err := t.rec(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, vr, err := t.rec(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = substFree(r, zipVars(vr, vl))
+		return andExpr(l, r), vl, nil
+
+	case Diff:
+		l, vl, err := t.rec(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, vr, err := t.rec(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = substFree(r, zipVars(vr, vl))
+		return andExpr(l, ftc.Not{E: r}), vl, nil
+
+	default:
+		return nil, nil, fmt.Errorf("fta: cannot translate %T", e)
+	}
+}
+
+func andExpr(l, r ftc.Expr) ftc.Expr {
+	if t, ok := l.(ftc.Truth); ok && t.V {
+		return r
+	}
+	if t, ok := r.(ftc.Truth); ok && t.V {
+		return l
+	}
+	return ftc.And{L: l, R: r}
+}
+
+func zipVars(from, to []string) map[string]string {
+	m := make(map[string]string, len(from))
+	for i := range from {
+		m[from[i]] = to[i]
+	}
+	return m
+}
+
+// substFree renames free variables of e per m. Bound variables produced by
+// the translator are globally fresh, so capture cannot occur.
+func substFree(e ftc.Expr, m map[string]string) ftc.Expr {
+	ren := func(v string) string {
+		if nv, ok := m[v]; ok {
+			return nv
+		}
+		return v
+	}
+	switch x := e.(type) {
+	case ftc.HasPos:
+		return ftc.HasPos{Var: ren(x.Var)}
+	case ftc.HasToken:
+		return ftc.HasToken{Var: ren(x.Var), Tok: x.Tok}
+	case ftc.PredCall:
+		vars := make([]string, len(x.Vars))
+		for i, v := range x.Vars {
+			vars[i] = ren(v)
+		}
+		return ftc.PredCall{Name: x.Name, Vars: vars, Consts: append([]int(nil), x.Consts...)}
+	case ftc.Truth:
+		return x
+	case ftc.Not:
+		return ftc.Not{E: substFree(x.E, m)}
+	case ftc.And:
+		return ftc.And{L: substFree(x.L, m), R: substFree(x.R, m)}
+	case ftc.Or:
+		return ftc.Or{L: substFree(x.L, m), R: substFree(x.R, m)}
+	case ftc.Exists:
+		if _, clash := m[x.Var]; clash {
+			inner := make(map[string]string, len(m))
+			for k, v := range m {
+				if k != x.Var {
+					inner[k] = v
+				}
+			}
+			return ftc.Exists{Var: x.Var, Body: substFree(x.Body, inner)}
+		}
+		return ftc.Exists{Var: x.Var, Body: substFree(x.Body, m)}
+	case ftc.Forall:
+		if _, clash := m[x.Var]; clash {
+			inner := make(map[string]string, len(m))
+			for k, v := range m {
+				if k != x.Var {
+					inner[k] = v
+				}
+			}
+			return ftc.Forall{Var: x.Var, Body: substFree(x.Body, inner)}
+		}
+		return ftc.Forall{Var: x.Var, Body: substFree(x.Body, m)}
+	default:
+		panic(fmt.Sprintf("fta: substFree: unknown expression %T", e))
+	}
+}

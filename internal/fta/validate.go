@@ -1,0 +1,102 @@
+package fta
+
+import (
+	"fmt"
+
+	"fulltext/internal/pred"
+)
+
+// Width returns the number of position attributes of the relation e
+// evaluates to, validating structural constraints along the way:
+// projections stay within range and do not duplicate columns, selections
+// reference existing columns with registry-matching arity, and the set
+// operators combine relations of equal width.
+func Width(e Expr, reg *pred.Registry) (int, error) {
+	switch x := e.(type) {
+	case SearchContext:
+		return 0, nil
+	case HasPos, Token:
+		return 1, nil
+	case Project:
+		w, err := Width(x.In, reg)
+		if err != nil {
+			return 0, err
+		}
+		seen := make(map[int]bool, len(x.Cols))
+		for _, c := range x.Cols {
+			if c < 0 || c >= w {
+				return 0, fmt.Errorf("fta: projection column %d out of range (width %d)", c, w)
+			}
+			if seen[c] {
+				return 0, fmt.Errorf("fta: projection duplicates column %d", c)
+			}
+			seen[c] = true
+		}
+		return len(x.Cols), nil
+	case Join:
+		wl, err := Width(x.L, reg)
+		if err != nil {
+			return 0, err
+		}
+		wr, err := Width(x.R, reg)
+		if err != nil {
+			return 0, err
+		}
+		return wl + wr, nil
+	case Select:
+		w, err := Width(x.In, reg)
+		if err != nil {
+			return 0, err
+		}
+		d, ok := reg.Lookup(x.Pred)
+		if !ok {
+			return 0, fmt.Errorf("fta: unknown predicate %q", x.Pred)
+		}
+		if err := d.Check(len(x.Cols), len(x.Consts)); err != nil {
+			return 0, err
+		}
+		for _, c := range x.Cols {
+			if c < 0 || c >= w {
+				return 0, fmt.Errorf("fta: selection column %d out of range (width %d)", c, w)
+			}
+		}
+		return w, nil
+	case Union, Intersect, Diff:
+		var l, r Expr
+		switch y := e.(type) {
+		case Union:
+			l, r = y.L, y.R
+		case Intersect:
+			l, r = y.L, y.R
+		case Diff:
+			l, r = y.L, y.R
+		}
+		wl, err := Width(l, reg)
+		if err != nil {
+			return 0, err
+		}
+		wr, err := Width(r, reg)
+		if err != nil {
+			return 0, err
+		}
+		if wl != wr {
+			return 0, fmt.Errorf("fta: %T operands have widths %d and %d", x, wl, wr)
+		}
+		return wl, nil
+	default:
+		return 0, fmt.Errorf("fta: unknown expression %T", e)
+	}
+}
+
+// ValidateQuery checks that e is a full-text algebra *query*: an expression
+// producing a relation with only the CNode attribute (width 0).
+func ValidateQuery(e Expr, reg *pred.Registry) error {
+	w, err := Width(e, reg)
+	if err != nil {
+		return err
+	}
+	if w != 0 {
+		return fmt.Errorf("fta: query must produce width 0 (CNode only), got width %d", w)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package ftc implements the Full-Text Calculus of Section 2.2: first-order
+// query expressions over the predicates hasPos(node, pos), hasToken(pos,
+// tok) and an extensible set of position-based predicates, with guarded
+// quantification
+//
+//	Exists{v, B} == ∃v (hasPos(node, v) ∧ B)
+//	Forall{v, B} == ∀v (hasPos(node, v) ⇒ B)
+//
+// which guarantees (like relational-calculus safety) that queries are
+// evaluable from the positions of a single context node.
+//
+// A calculus query is {node | SearchContext(node) ∧ E} for a closed
+// expression E; Eval implements its semantics directly and serves as the
+// correctness oracle for every evaluation engine in this repository.
+package ftc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a full-text calculus query expression.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// HasPos is the atom hasPos(node, Var): Var is a position of the context
+// node. Inside a guarded quantifier binding Var it is trivially true; it is
+// kept as an explicit atom because the algebra translations (Appendix A)
+// produce it.
+type HasPos struct{ Var string }
+
+// HasToken is the atom hasToken(Var, Tok): the token at position Var is Tok.
+type HasToken struct {
+	Var string
+	Tok string
+}
+
+// PredCall applies a registered position predicate to bound position
+// variables and integer constants: pred(v1..vm, c1..cr).
+type PredCall struct {
+	Name   string
+	Vars   []string
+	Consts []int
+}
+
+// Truth is the constant true/false expression. The calculus proper does not
+// name it, but the Appendix A translations use tautologies (for
+// SearchContext) and it simplifies normalization.
+type Truth struct{ V bool }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+// Exists is the guarded existential ∃Var (hasPos(node, Var) ∧ Body).
+type Exists struct {
+	Var  string
+	Body Expr
+}
+
+// Forall is the guarded universal ∀Var (hasPos(node, Var) ⇒ Body).
+type Forall struct {
+	Var  string
+	Body Expr
+}
+
+func (HasPos) isExpr()   {}
+func (HasToken) isExpr() {}
+func (PredCall) isExpr() {}
+func (Truth) isExpr()    {}
+func (Not) isExpr()      {}
+func (And) isExpr()      {}
+func (Or) isExpr()       {}
+func (Exists) isExpr()   {}
+func (Forall) isExpr()   {}
+
+func (e HasPos) String() string   { return fmt.Sprintf("hasPos(n,%s)", e.Var) }
+func (e HasToken) String() string { return fmt.Sprintf("hasToken(%s,'%s')", e.Var, e.Tok) }
+
+func (e PredCall) String() string {
+	args := make([]string, 0, len(e.Vars)+len(e.Consts))
+	args = append(args, e.Vars...)
+	for _, c := range e.Consts {
+		args = append(args, fmt.Sprint(c))
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ","))
+}
+
+func (e Truth) String() string {
+	if e.V {
+		return "true"
+	}
+	return "false"
+}
+
+func (e Not) String() string    { return "!" + paren(e.E) }
+func (e And) String() string    { return paren(e.L) + " & " + paren(e.R) }
+func (e Or) String() string     { return paren(e.L) + " | " + paren(e.R) }
+func (e Exists) String() string { return fmt.Sprintf("exists %s %s", e.Var, paren(e.Body)) }
+func (e Forall) String() string { return fmt.Sprintf("forall %s %s", e.Var, paren(e.Body)) }
+
+func paren(e Expr) string {
+	switch e.(type) {
+	case HasPos, HasToken, PredCall, Truth:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// Conj folds a conjunction over exprs; empty input is true.
+func Conj(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		return Truth{V: true}
+	}
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = And{out, e}
+	}
+	return out
+}
+
+// Disj folds a disjunction over exprs; empty input is false.
+func Disj(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		return Truth{V: false}
+	}
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = Or{out, e}
+	}
+	return out
+}

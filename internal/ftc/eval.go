@@ -1,0 +1,150 @@
+package ftc
+
+import (
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/pred"
+)
+
+// Env binds position variables to positions of the current context node.
+type Env map[string]core.Pos
+
+// Eval decides a closed query expression on one context node by direct
+// first-order semantics: quantifiers enumerate every position of the node.
+// It is deliberately naive — worst case O(pos_per_cnode^depth) — because it
+// is the correctness oracle against which all engines are tested.
+func Eval(d *core.Doc, reg *pred.Registry, e Expr) (bool, error) {
+	if err := Validate(e, reg); err != nil {
+		return false, err
+	}
+	return evalEnv(d, reg, e, Env{})
+}
+
+// EvalEnv decides an expression whose free variables are bound by env.
+func EvalEnv(d *core.Doc, reg *pred.Registry, e Expr, env Env) (bool, error) {
+	for _, v := range FreeVars(e) {
+		if _, ok := env[v]; !ok {
+			return false, fmt.Errorf("ftc: free variable %q not bound by environment", v)
+		}
+	}
+	return evalEnv(d, reg, e, env)
+}
+
+func evalEnv(d *core.Doc, reg *pred.Registry, e Expr, env Env) (bool, error) {
+	switch x := e.(type) {
+	case HasPos:
+		// env values always come from the node's positions, so a bound
+		// variable trivially satisfies hasPos.
+		_, ok := env[x.Var]
+		if !ok {
+			return false, fmt.Errorf("ftc: unbound variable %q", x.Var)
+		}
+		return true, nil
+	case HasToken:
+		p, ok := env[x.Var]
+		if !ok {
+			return false, fmt.Errorf("ftc: unbound variable %q", x.Var)
+		}
+		tok, ok := d.TokenAt(p.Ord)
+		return ok && tok == x.Tok, nil
+	case PredCall:
+		def, ok := reg.Lookup(x.Name)
+		if !ok {
+			return false, fmt.Errorf("ftc: unknown predicate %q", x.Name)
+		}
+		if err := def.Check(len(x.Vars), len(x.Consts)); err != nil {
+			return false, err
+		}
+		pos := make([]core.Pos, len(x.Vars))
+		for i, v := range x.Vars {
+			p, ok := env[v]
+			if !ok {
+				return false, fmt.Errorf("ftc: unbound variable %q", v)
+			}
+			pos[i] = p
+		}
+		return def.Eval(pos, x.Consts), nil
+	case Truth:
+		return x.V, nil
+	case Not:
+		v, err := evalEnv(d, reg, x.E, env)
+		return !v, err
+	case And:
+		l, err := evalEnv(d, reg, x.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalEnv(d, reg, x.R, env)
+	case Or:
+		l, err := evalEnv(d, reg, x.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return evalEnv(d, reg, x.R, env)
+	case Exists:
+		saved, had := env[x.Var]
+		for _, p := range d.Positions {
+			env[x.Var] = p
+			v, err := evalEnv(d, reg, x.Body, env)
+			if err != nil {
+				restore(env, x.Var, saved, had)
+				return false, err
+			}
+			if v {
+				restore(env, x.Var, saved, had)
+				return true, nil
+			}
+		}
+		restore(env, x.Var, saved, had)
+		return false, nil
+	case Forall:
+		saved, had := env[x.Var]
+		for _, p := range d.Positions {
+			env[x.Var] = p
+			v, err := evalEnv(d, reg, x.Body, env)
+			if err != nil {
+				restore(env, x.Var, saved, had)
+				return false, err
+			}
+			if !v {
+				restore(env, x.Var, saved, had)
+				return false, nil
+			}
+		}
+		restore(env, x.Var, saved, had)
+		return true, nil
+	default:
+		return false, fmt.Errorf("ftc: unknown expression %T", e)
+	}
+}
+
+func restore(env Env, v string, saved core.Pos, had bool) {
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+}
+
+// Query evaluates the calculus query {node | SearchContext(node) ∧ e} over
+// a corpus and returns the satisfying node ids in order.
+func Query(c *core.Corpus, reg *pred.Registry, e Expr) ([]core.NodeID, error) {
+	if err := Validate(e, reg); err != nil {
+		return nil, err
+	}
+	if !Closed(e) {
+		return nil, fmt.Errorf("ftc: query expression has free variables %v", FreeVars(e))
+	}
+	var out []core.NodeID
+	for _, d := range c.Docs() {
+		ok, err := evalEnv(d, reg, e, Env{})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, d.Node)
+		}
+	}
+	return out, nil
+}

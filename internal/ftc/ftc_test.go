@@ -1,0 +1,353 @@
+package ftc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/core"
+	"fulltext/internal/pred"
+)
+
+func testCorpus(t testing.TB) *core.Corpus {
+	t.Helper()
+	c := core.NewCorpus()
+	c.MustAdd("d1", "test usability of the software test")
+	c.MustAdd("d2", "the quality test ran for usability")
+	c.MustAdd("d3", "nothing relevant here")
+	c.MustAdd("d4", "test test")
+	return c
+}
+
+// The first example query of Section 2.2.1: nodes containing both 'test'
+// and 'usability'.
+func exampleBoth() Expr {
+	return Exists{"p1", And{HasToken{"p1", "test"},
+		Exists{"p2", HasToken{"p2", "usability"}}}}
+}
+
+// The second example: 'test' and 'usability' within distance 5.
+func exampleDistance() Expr {
+	return Exists{"p1", And{HasToken{"p1", "test"},
+		Exists{"p2", And{HasToken{"p2", "usability"},
+			PredCall{"distance", []string{"p1", "p2"}, []int{5}}}}}}
+}
+
+// The third example: two occurrences of 'test' and no 'usability'.
+func exampleTwoTestsNoUsability() Expr {
+	return Exists{"p1", And{HasToken{"p1", "test"},
+		Exists{"p2", Conj(
+			HasToken{"p2", "test"},
+			PredCall{"diffpos", []string{"p1", "p2"}, nil},
+			Forall{"p3", Not{HasToken{"p3", "usability"}}},
+		)}}}
+}
+
+func runQuery(t *testing.T, c *core.Corpus, e Expr) []core.NodeID {
+	t.Helper()
+	got, err := Query(c, pred.Default(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func idsEqual(a []core.NodeID, b ...core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSection221Examples(t *testing.T) {
+	c := testCorpus(t)
+	if got := runQuery(t, c, exampleBoth()); !idsEqual(got, 1, 2) {
+		t.Errorf("both-tokens query = %v, want [1 2]", got)
+	}
+	// d1: test@1, usability@2 (distance 0); d2: test@3, usability@6
+	// (2 intervening).
+	if got := runQuery(t, c, exampleDistance()); !idsEqual(got, 1, 2) {
+		t.Errorf("distance query = %v, want [1 2]", got)
+	}
+	// Two 'test' occurrences and no 'usability': only d4.
+	if got := runQuery(t, c, exampleTwoTestsNoUsability()); !idsEqual(got, 4) {
+		t.Errorf("two-tests query = %v, want [4]", got)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	c := testCorpus(t)
+	reg := pred.Default()
+	d := c.Doc(3)
+
+	for _, tc := range []struct {
+		e    Expr
+		want bool
+	}{
+		{Truth{true}, true},
+		{Truth{false}, false},
+		{Exists{"p", HasToken{"p", "nothing"}}, true},
+		{Exists{"p", HasToken{"p", "test"}}, false},
+		{Not{Exists{"p", HasToken{"p", "test"}}}, true},
+		{Exists{"p", HasPos{"p"}}, true}, // ANY
+		{Forall{"p", Not{HasToken{"p", "test"}}}, true},
+		{Forall{"p", HasToken{"p", "nothing"}}, false},
+		{Or{Truth{false}, Exists{"p", HasToken{"p", "here"}}}, true},
+		{And{Truth{true}, Truth{false}}, false},
+	} {
+		got, err := Eval(d, reg, tc.e)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.e, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestEvalEmptyDoc(t *testing.T) {
+	c := core.NewCorpus()
+	if _, err := c.AddTokens("empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := pred.Default()
+	d := c.Doc(1)
+	// ∃p anything is false on an empty node; ∀p anything is vacuously true.
+	if got, _ := Eval(d, reg, Exists{"p", HasPos{"p"}}); got {
+		t.Errorf("exists on empty node should be false")
+	}
+	if got, _ := Eval(d, reg, Forall{"p", Truth{false}}); !got {
+		t.Errorf("forall on empty node should be vacuously true")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	reg := pred.Default()
+	cases := []Expr{
+		HasPos{"p"},                     // unbound
+		HasToken{"p", "x"},              // unbound
+		Exists{"p", HasToken{"q", "x"}}, // q unbound
+		Exists{"p", PredCall{"nope", []string{"p"}, nil}},          // unknown predicate
+		Exists{"p", PredCall{"distance", []string{"p"}, []int{1}}}, // arity
+		Exists{"p", PredCall{"distance", []string{"p", "p"}, nil}}, // const arity
+		Exists{"", Truth{true}},                                    // empty quantifier var
+		Exists{"p", HasToken{"p", ""}},                             // empty token
+	}
+	for _, e := range cases {
+		if err := Validate(e, reg); err == nil {
+			t.Errorf("Validate(%s) should fail", e)
+		}
+	}
+	good := exampleTwoTestsNoUsability()
+	if err := Validate(good, reg); err != nil {
+		t.Errorf("Validate(%s) failed: %v", good, err)
+	}
+}
+
+func TestFreeVarsAndClosed(t *testing.T) {
+	e := And{HasToken{"a", "x"}, Exists{"b", And{HasToken{"b", "y"}, HasPos{"c"}}}}
+	fv := FreeVars(e)
+	if len(fv) != 2 || fv[0] != "a" || fv[1] != "c" {
+		t.Errorf("FreeVars = %v, want [a c]", fv)
+	}
+	if Closed(e) {
+		t.Errorf("expression with free vars reported closed")
+	}
+	if !Closed(exampleBoth()) {
+		t.Errorf("closed expression reported open")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	// Shadowing: both quantifiers bind p.
+	e := Exists{"p", And{HasToken{"p", "a"}, Exists{"p", HasToken{"p", "b"}}}}
+	r := RenameApart(e).(Exists)
+	inner := r.Body.(And).R.(Exists)
+	if r.Var == inner.Var {
+		t.Errorf("RenameApart left shadowed variables: %s", r)
+	}
+	// Semantics must be preserved.
+	c := testCorpus(t)
+	reg := pred.Default()
+	for _, d := range c.Docs() {
+		a, _ := Eval(d, reg, e)
+		b, _ := Eval(d, reg, r)
+		if a != b {
+			t.Fatalf("RenameApart changed semantics on node %d", d.Node)
+		}
+	}
+}
+
+func TestEvalEnvUnbound(t *testing.T) {
+	c := testCorpus(t)
+	reg := pred.Default()
+	if _, err := EvalEnv(c.Doc(1), reg, HasToken{"p", "x"}, Env{}); err == nil {
+		t.Errorf("EvalEnv with unbound free var should fail")
+	}
+	p := c.Doc(1).Positions[0]
+	got, err := EvalEnv(c.Doc(1), reg, HasToken{"p", "test"}, Env{"p": p})
+	if err != nil || !got {
+		t.Errorf("EvalEnv bound = %v, %v", got, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := exampleDistance()
+	s := e.String()
+	for _, want := range []string{"exists p1", "hasToken(p1,'test')", "distance(p1,p2,5)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if (Truth{true}).String() != "true" || (Truth{false}).String() != "false" {
+		t.Errorf("Truth.String wrong")
+	}
+	if (Not{Truth{true}}).String() != "!true" {
+		t.Errorf("Not.String = %q", (Not{Truth{true}}).String())
+	}
+	if got := (Forall{"v", HasPos{"v"}}).String(); got != "forall v hasPos(n,v)" {
+		t.Errorf("Forall.String = %q", got)
+	}
+}
+
+func TestConjDisj(t *testing.T) {
+	if Conj().String() != "true" || Disj().String() != "false" {
+		t.Errorf("empty Conj/Disj wrong")
+	}
+	e := Conj(Truth{true}, Truth{false}, Truth{true})
+	if _, ok := e.(And); !ok {
+		t.Errorf("Conj should fold to And")
+	}
+	d := Disj(Truth{true}, Truth{false})
+	if _, ok := d.(Or); !ok {
+		t.Errorf("Disj should fold to Or")
+	}
+}
+
+// Normalize must preserve semantics: EvalProp over the normalized form,
+// with PExists atoms decided by direct enumeration, must agree with Eval.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+
+	c := core.NewCorpus()
+	c.MustAdd("x1", "aa bb cc")
+	c.MustAdd("x2", "aa aa")
+	c.MustAdd("x3", "cc")
+	c.MustAdd("x4", "dd ee")
+	if _, err := c.AddTokens("x5", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	atomOracle := func(d *core.Doc) func(PExists) bool {
+		return func(a PExists) bool {
+			for _, p := range d.Positions {
+				tok, _ := d.TokenAt(p.Ord)
+				ok := true
+				for _, want := range a.Pos {
+					if tok != want {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for _, bad := range a.Neg {
+						if tok == bad {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	gen := &Gen{Rng: rng, Vocab: vocab, Reg: reg, MaxDepth: 4}
+	for trial := 0; trial < 300; trial++ {
+		e := gen.Closed()
+		p, err := Normalize(e)
+		if err != nil {
+			t.Fatalf("Normalize(%s): %v", e, err)
+		}
+		for _, d := range c.Docs() {
+			want, err := Eval(d, reg, e)
+			if err != nil {
+				t.Fatalf("Eval(%s): %v", e, err)
+			}
+			got := EvalProp(p, atomOracle(d))
+			if got != want {
+				t.Fatalf("node %d: Normalize(%s) = %s evaluates to %v, direct %v",
+					d.Node, e, p, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalizeRejectsPreds(t *testing.T) {
+	if _, err := Normalize(exampleDistance()); err == nil {
+		t.Errorf("Normalize must reject predicates (Theorem 4 assumes Preds = ∅)")
+	}
+}
+
+func TestNormalizeExamples(t *testing.T) {
+	// ∃p ¬hasToken(p, t1): the Theorem 3 witness query.
+	e := Exists{"p", Not{HasToken{"p", "t1"}}}
+	p, err := Normalize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom, ok := p.(PExists)
+	if !ok {
+		t.Fatalf("Normalize = %s, want a single PExists", p)
+	}
+	if len(atom.Pos) != 0 || len(atom.Neg) != 1 || atom.Neg[0] != "t1" {
+		t.Fatalf("Normalize = %s", p)
+	}
+	// Constant folding: true under exists.
+	p2, err := Normalize(Exists{"p", Truth{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2, ok := p2.(PExists); !ok || len(a2.Pos) != 0 || len(a2.Neg) != 0 {
+		t.Fatalf("Normalize(exists true) = %s, want E[]", p2)
+	}
+}
+
+func TestPropString(t *testing.T) {
+	p := POr{PAnd{PTrue{true}, PNot{PExists{Pos: []string{"a"}}}}, PExists{Neg: []string{"b"}}}
+	s := p.String()
+	for _, want := range []string{"true", "E[+a]", "E[-b]", "!"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Prop.String = %q missing %q", s, want)
+		}
+	}
+	if (PTrue{false}).String() != "false" {
+		t.Errorf("PTrue false rendering")
+	}
+}
+
+func TestGenClosedAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reg := pred.Default()
+	gen := &Gen{Rng: rng, Vocab: []string{"x", "y"}, Reg: reg,
+		Preds: []string{"distance", "ordered", "samepara"}, MaxDepth: 5}
+	for i := 0; i < 200; i++ {
+		e := gen.Closed()
+		if !Closed(e) {
+			t.Fatalf("generator produced open expression %s", e)
+		}
+		if err := Validate(e, reg); err != nil {
+			t.Fatalf("generator produced invalid expression %s: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package ftc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the normalization procedure of Theorem 4: a closed
+// calculus query expression with Preds = ∅ is rewritten into a
+// propositional formula over basic propositions of the form
+//
+//	∃p (hasPos(n,p) ∧ ⋀ hasToken(p,t) for t∈Pos ∧ ⋀ ¬hasToken(p,t) for t∈Neg)
+//
+// by (1) sinking negations, (2) grouping per-variable literals, (3) removing
+// universal quantifiers, (4) local DNF, (5) splitting disjunctive bodies,
+// and (6) a global DNF — exactly the paper's six steps, realized as one
+// recursive bottom-up pass that keeps formulas in disjunctive normal form
+// over leaves. The result is consumed by the FTC→BOOL translation in
+// internal/lang (completeness of BOOL for finite T).
+
+// Prop is a propositional formula over existential one-variable atoms.
+type Prop interface {
+	isProp()
+	String() string
+}
+
+// PTrue is a propositional constant.
+type PTrue struct{ V bool }
+
+// PNot negates a proposition.
+type PNot struct{ P Prop }
+
+// PAnd conjoins propositions.
+type PAnd struct{ L, R Prop }
+
+// POr disjoins propositions.
+type POr struct{ L, R Prop }
+
+// PExists is the basic proposition: the node has a position whose token is
+// every token in Pos (unsatisfiable if len(Pos) > 1 — one token per
+// position) and none of the tokens in Neg. Both lists are sorted and
+// duplicate-free. len(Pos) == len(Neg) == 0 means "the node has a position"
+// (the ANY proposition).
+type PExists struct {
+	Pos []string
+	Neg []string
+}
+
+func (PTrue) isProp()   {}
+func (PNot) isProp()    {}
+func (PAnd) isProp()    {}
+func (POr) isProp()     {}
+func (PExists) isProp() {}
+
+func (p PTrue) String() string {
+	if p.V {
+		return "true"
+	}
+	return "false"
+}
+func (p PNot) String() string { return "!(" + p.P.String() + ")" }
+func (p PAnd) String() string { return "(" + p.L.String() + " & " + p.R.String() + ")" }
+func (p POr) String() string  { return "(" + p.L.String() + " | " + p.R.String() + ")" }
+func (p PExists) String() string {
+	parts := make([]string, 0, len(p.Pos)+len(p.Neg))
+	for _, t := range p.Pos {
+		parts = append(parts, "+"+t)
+	}
+	for _, t := range p.Neg {
+		parts = append(parts, "-"+t)
+	}
+	return "E[" + strings.Join(parts, ",") + "]"
+}
+
+// leaf is an internal literal during normalization: either a token literal
+// about a still-free variable, a closed proposition, or a constant.
+type leaf struct {
+	kind int // 0 = token literal, 1 = closed proposition, 2 = constant
+	v    string
+	tok  string
+	neg  bool // token literal polarity (kind 0) or proposition polarity (kind 1)
+	prop Prop
+	val  bool
+}
+
+const (
+	lkTok = iota
+	lkProp
+	lkConst
+)
+
+// dnf is a disjunction of conjunctions of leaves. An empty dnf is false; a
+// dnf containing an empty conjunct is true (that conjunct is vacuous).
+type dnf [][]leaf
+
+// Normalize rewrites a closed, Preds=∅ query expression into a Prop. It
+// errors on PredCall atoms (Theorem 4 assumes Preds = ∅) and on free
+// variables.
+func Normalize(e Expr) (Prop, error) {
+	e = RenameApart(e)
+	d, err := flatten(e)
+	if err != nil {
+		return nil, err
+	}
+	return dnfToProp(d)
+}
+
+func flatten(e Expr) (dnf, error) {
+	switch x := e.(type) {
+	case Truth:
+		return dnf{{leaf{kind: lkConst, val: x.V}}}, nil
+	case HasPos:
+		// Guarded quantification makes hasPos(n, v) true for every bound v;
+		// normalization runs on closed expressions, so every occurrence is
+		// under its quantifier.
+		return dnf{{leaf{kind: lkConst, val: true}}}, nil
+	case HasToken:
+		return dnf{{leaf{kind: lkTok, v: x.Var, tok: x.Tok}}}, nil
+	case PredCall:
+		return nil, fmt.Errorf("ftc: Normalize requires Preds = ∅, found %s", x.Name)
+	case Not:
+		inner, err := flatten(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return negateDNF(inner), nil
+	case And:
+		l, err := flatten(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return andDNF(l, r), nil
+	case Or:
+		l, err := flatten(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(append(dnf{}, l...), r...), nil
+	case Exists:
+		body, err := flatten(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return quantify(x.Var, body), nil
+	case Forall:
+		// ∀v (hasPos ⇒ B) == ¬∃v (hasPos ∧ ¬B)
+		body, err := flatten(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return negateDNF(quantify(x.Var, negateDNF(body))), nil
+	default:
+		return nil, fmt.Errorf("ftc: unknown expression %T", e)
+	}
+}
+
+// quantify applies ∃v to a DNF body: the quantifier distributes over the
+// disjunction (paper step Split); within each conjunct the literals about v
+// fold into a PExists proposition and all other literals move out of the
+// quantifier's scope (paper step Group).
+func quantify(v string, d dnf) dnf {
+	out := make(dnf, 0, len(d))
+	for _, conj := range d {
+		var pos, neg []string
+		rest := make([]leaf, 0, len(conj))
+		for _, l := range conj {
+			if l.kind == lkTok && l.v == v {
+				if l.neg {
+					neg = append(neg, l.tok)
+				} else {
+					pos = append(pos, l.tok)
+				}
+				continue
+			}
+			rest = append(rest, l)
+		}
+		atom := PExists{Pos: dedupSort(pos), Neg: dedupSort(neg)}
+		rest = append(rest, leaf{kind: lkProp, prop: atom})
+		out = append(out, rest)
+	}
+	return out
+}
+
+func andDNF(l, r dnf) dnf {
+	out := make(dnf, 0, len(l)*len(r))
+	for _, a := range l {
+		for _, b := range r {
+			conj := make([]leaf, 0, len(a)+len(b))
+			conj = append(conj, a...)
+			conj = append(conj, b...)
+			out = append(out, conj)
+		}
+	}
+	return out
+}
+
+// negateDNF computes ¬d back in DNF form: ¬⋁ᵢ⋀ⱼ lᵢⱼ = ⋀ᵢ⋁ⱼ ¬lᵢⱼ, then
+// distributes. Exponential in the worst case, as is unavoidable for DNF.
+func negateDNF(d dnf) dnf {
+	// Start with the neutral element of conjunction: true.
+	acc := dnf{{}}
+	for _, conj := range d {
+		// ¬conj = disjunction of negated literals.
+		var next dnf
+		for _, a := range acc {
+			for _, l := range conj {
+				na := make([]leaf, 0, len(a)+1)
+				na = append(na, a...)
+				na = append(na, negLeaf(l))
+				next = append(next, na)
+			}
+		}
+		acc = next
+	}
+	return acc
+}
+
+func negLeaf(l leaf) leaf {
+	switch l.kind {
+	case lkConst:
+		return leaf{kind: lkConst, val: !l.val}
+	default:
+		out := l
+		out.neg = !l.neg
+		return out
+	}
+}
+
+func dnfToProp(d dnf) (Prop, error) {
+	var disj Prop
+	haveDisj := false
+	for _, conj := range d {
+		var c Prop
+		haveConj := false
+		dead := false
+		for _, l := range conj {
+			var p Prop
+			switch l.kind {
+			case lkConst:
+				if l.val {
+					continue // true is the unit of conjunction
+				}
+				dead = true
+			case lkProp:
+				p = l.prop
+				if l.neg {
+					p = PNot{p}
+				}
+			case lkTok:
+				return nil, fmt.Errorf("ftc: unbound variable %q survived normalization", l.v)
+			}
+			if dead {
+				break
+			}
+			if !haveConj {
+				c, haveConj = p, true
+			} else {
+				c = PAnd{c, p}
+			}
+		}
+		if dead {
+			continue
+		}
+		if !haveConj {
+			c = PTrue{V: true}
+		}
+		if !haveDisj {
+			disj, haveDisj = c, true
+		} else {
+			disj = POr{disj, c}
+		}
+	}
+	if !haveDisj {
+		return PTrue{V: false}, nil
+	}
+	return disj, nil
+}
+
+func dedupSort(s []string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	sort.Strings(s)
+	out := s[:1]
+	for _, t := range s[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EvalProp decides a normalized proposition against a predicate oracle for
+// the basic PExists atoms. It is used to cross-check Normalize against the
+// direct interpreter.
+func EvalProp(p Prop, atom func(PExists) bool) bool {
+	switch x := p.(type) {
+	case PTrue:
+		return x.V
+	case PNot:
+		return !EvalProp(x.P, atom)
+	case PAnd:
+		return EvalProp(x.L, atom) && EvalProp(x.R, atom)
+	case POr:
+		return EvalProp(x.L, atom) || EvalProp(x.R, atom)
+	case PExists:
+		return atom(x)
+	default:
+		panic(fmt.Sprintf("ftc: unknown proposition %T", p))
+	}
+}

@@ -1,0 +1,103 @@
+package ftc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fulltext/internal/pred"
+)
+
+// Gen produces random closed query expressions for property-based testing
+// of the evaluation engines and the calculus/algebra translations.
+type Gen struct {
+	Rng   *rand.Rand
+	Vocab []string // tokens to draw from
+	Reg   *pred.Registry
+	// Preds lists the predicate names the generator may use; empty means
+	// token-only expressions (the Theorem 4 fragment).
+	Preds []string
+	// MaxDepth bounds the expression tree depth.
+	MaxDepth int
+	// MaxConst bounds generated integer constants (distance limits etc.).
+	MaxConst int
+
+	counter int
+}
+
+// Closed generates a random closed query expression.
+func (g *Gen) Closed() Expr {
+	if g.MaxDepth <= 0 {
+		g.MaxDepth = 4
+	}
+	if g.MaxConst <= 0 {
+		g.MaxConst = 6
+	}
+	return g.expr(g.MaxDepth, nil)
+}
+
+func (g *Gen) fresh() string {
+	g.counter++
+	return fmt.Sprintf("v%d", g.counter)
+}
+
+func (g *Gen) token() string {
+	return g.Vocab[g.Rng.Intn(len(g.Vocab))]
+}
+
+// expr generates an expression whose free variables are drawn from bound.
+func (g *Gen) expr(depth int, bound []string) Expr {
+	// At the bottom, or with some probability, emit an atom.
+	if depth <= 1 || g.Rng.Intn(4) == 0 {
+		return g.atom(bound)
+	}
+	switch g.Rng.Intn(6) {
+	case 0:
+		return And{g.expr(depth-1, bound), g.expr(depth-1, bound)}
+	case 1:
+		return Or{g.expr(depth-1, bound), g.expr(depth-1, bound)}
+	case 2:
+		return Not{g.expr(depth-1, bound)}
+	case 3, 4:
+		v := g.fresh()
+		return Exists{v, g.expr(depth-1, append(bound, v))}
+	default:
+		v := g.fresh()
+		return Forall{v, g.expr(depth-1, append(bound, v))}
+	}
+}
+
+func (g *Gen) atom(bound []string) Expr {
+	// Without bound variables the only closed atoms are quantified ones.
+	if len(bound) == 0 {
+		v := g.fresh()
+		return Exists{v, g.atomWith(append(bound, v))}
+	}
+	return g.atomWith(bound)
+}
+
+func (g *Gen) atomWith(bound []string) Expr {
+	if len(g.Preds) > 0 && g.Rng.Intn(3) == 0 {
+		name := g.Preds[g.Rng.Intn(len(g.Preds))]
+		def, ok := g.Reg.Lookup(name)
+		if ok {
+			vars := make([]string, def.PosArity)
+			for i := range vars {
+				vars[i] = bound[g.Rng.Intn(len(bound))]
+			}
+			consts := make([]int, def.ConstArity)
+			for i := range consts {
+				consts[i] = g.Rng.Intn(g.MaxConst)
+			}
+			return PredCall{Name: name, Vars: vars, Consts: consts}
+		}
+	}
+	v := bound[g.Rng.Intn(len(bound))]
+	switch g.Rng.Intn(8) {
+	case 0:
+		return HasPos{v}
+	case 1:
+		return Not{HasToken{v, g.token()}}
+	default:
+		return HasToken{v, g.token()}
+	}
+}

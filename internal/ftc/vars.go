@@ -1,0 +1,196 @@
+package ftc
+
+import (
+	"fmt"
+	"sort"
+
+	"fulltext/internal/pred"
+)
+
+// FreeVars returns the free position variables of e in sorted order.
+func FreeVars(e Expr) []string {
+	set := make(map[string]struct{})
+	collectFree(e, make(map[string]bool), set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(e Expr, bound map[string]bool, out map[string]struct{}) {
+	switch x := e.(type) {
+	case HasPos:
+		if !bound[x.Var] {
+			out[x.Var] = struct{}{}
+		}
+	case HasToken:
+		if !bound[x.Var] {
+			out[x.Var] = struct{}{}
+		}
+	case PredCall:
+		for _, v := range x.Vars {
+			if !bound[v] {
+				out[v] = struct{}{}
+			}
+		}
+	case Truth:
+	case Not:
+		collectFree(x.E, bound, out)
+	case And:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case Or:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case Exists:
+		was := bound[x.Var]
+		bound[x.Var] = true
+		collectFree(x.Body, bound, out)
+		bound[x.Var] = was
+	case Forall:
+		was := bound[x.Var]
+		bound[x.Var] = true
+		collectFree(x.Body, bound, out)
+		bound[x.Var] = was
+	default:
+		panic(fmt.Sprintf("ftc: unknown expression %T", e))
+	}
+}
+
+// Closed reports whether e has no free position variables, i.e. whether it
+// is a valid calculus query expression (node is its only free variable).
+func Closed(e Expr) bool { return len(FreeVars(e)) == 0 }
+
+// Validate checks that e is a well-formed query expression: every predicate
+// is registered with matching arity and every position variable is bound by
+// an enclosing quantifier.
+func Validate(e Expr, reg *pred.Registry) error {
+	return validate(e, reg, make(map[string]bool))
+}
+
+func validate(e Expr, reg *pred.Registry, bound map[string]bool) error {
+	switch x := e.(type) {
+	case HasPos:
+		if !bound[x.Var] {
+			return fmt.Errorf("ftc: unbound position variable %q", x.Var)
+		}
+	case HasToken:
+		if !bound[x.Var] {
+			return fmt.Errorf("ftc: unbound position variable %q", x.Var)
+		}
+		if x.Tok == "" {
+			return fmt.Errorf("ftc: empty token in hasToken(%s, ...)", x.Var)
+		}
+	case PredCall:
+		d, ok := reg.Lookup(x.Name)
+		if !ok {
+			return fmt.Errorf("ftc: unknown predicate %q", x.Name)
+		}
+		if err := d.Check(len(x.Vars), len(x.Consts)); err != nil {
+			return err
+		}
+		for _, v := range x.Vars {
+			if !bound[v] {
+				return fmt.Errorf("ftc: unbound position variable %q in %s", v, x.Name)
+			}
+		}
+	case Truth:
+	case Not:
+		return validate(x.E, reg, bound)
+	case And:
+		if err := validate(x.L, reg, bound); err != nil {
+			return err
+		}
+		return validate(x.R, reg, bound)
+	case Or:
+		if err := validate(x.L, reg, bound); err != nil {
+			return err
+		}
+		return validate(x.R, reg, bound)
+	case Exists:
+		if x.Var == "" {
+			return fmt.Errorf("ftc: empty quantifier variable")
+		}
+		was := bound[x.Var]
+		bound[x.Var] = true
+		err := validate(x.Body, reg, bound)
+		bound[x.Var] = was
+		return err
+	case Forall:
+		if x.Var == "" {
+			return fmt.Errorf("ftc: empty quantifier variable")
+		}
+		was := bound[x.Var]
+		bound[x.Var] = true
+		err := validate(x.Body, reg, bound)
+		bound[x.Var] = was
+		return err
+	default:
+		return fmt.Errorf("ftc: unknown expression %T", e)
+	}
+	return nil
+}
+
+// RenameApart returns e with every quantified variable renamed to a fresh
+// name (q1, q2, ...), so that no two quantifiers bind the same name and no
+// bound name collides with a free name. Normalization assumes this form.
+func RenameApart(e Expr) Expr {
+	n := 0
+	var rec func(e Expr, env map[string]string) Expr
+	rec = func(e Expr, env map[string]string) Expr {
+		switch x := e.(type) {
+		case HasPos:
+			if nv, ok := env[x.Var]; ok {
+				return HasPos{nv}
+			}
+			return x
+		case HasToken:
+			if nv, ok := env[x.Var]; ok {
+				return HasToken{nv, x.Tok}
+			}
+			return x
+		case PredCall:
+			vars := make([]string, len(x.Vars))
+			for i, v := range x.Vars {
+				if nv, ok := env[v]; ok {
+					vars[i] = nv
+				} else {
+					vars[i] = v
+				}
+			}
+			return PredCall{x.Name, vars, append([]int(nil), x.Consts...)}
+		case Truth:
+			return x
+		case Not:
+			return Not{rec(x.E, env)}
+		case And:
+			return And{rec(x.L, env), rec(x.R, env)}
+		case Or:
+			return Or{rec(x.L, env), rec(x.R, env)}
+		case Exists:
+			n++
+			nv := fmt.Sprintf("q%d", n)
+			inner := extend(env, x.Var, nv)
+			return Exists{nv, rec(x.Body, inner)}
+		case Forall:
+			n++
+			nv := fmt.Sprintf("q%d", n)
+			inner := extend(env, x.Var, nv)
+			return Forall{nv, rec(x.Body, inner)}
+		default:
+			panic(fmt.Sprintf("ftc: unknown expression %T", e))
+		}
+	}
+	return rec(e, map[string]string{})
+}
+
+func extend(env map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(env)+1)
+	for a, b := range env {
+		out[a] = b
+	}
+	out[k] = v
+	return out
+}

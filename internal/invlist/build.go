@@ -1,0 +1,51 @@
+package invlist
+
+import (
+	"fulltext/internal/core"
+)
+
+// Build constructs the inverted index for a corpus: IL_tok for every token
+// and IL_ANY over all positions, with entries in NodeID order and positions
+// in occurrence order, as required by the sequential-access model.
+func Build(c *core.Corpus) *Index {
+	ix := &Index{
+		lists:       make(map[string]*PostingList),
+		any:         &PostingList{},
+		posCount:    make([]int32, c.Len()),
+		uniqueCount: make([]int32, c.Len()),
+	}
+	for _, d := range c.Docs() {
+		ix.addDoc(d)
+	}
+	ix.recomputeStats()
+	return ix
+}
+
+// addDoc appends one document. Documents must be added in NodeID order,
+// which Build guarantees by iterating the corpus.
+func (ix *Index) addDoc(d *core.Doc) {
+	perTok := make(map[string][]core.Pos)
+	for i, tok := range d.Tokens {
+		perTok[tok] = append(perTok[tok], d.Positions[i])
+	}
+	for tok, pos := range perTok {
+		pl := ix.lists[tok]
+		if pl == nil {
+			pl = &PostingList{Token: tok}
+			ix.lists[tok] = pl
+		}
+		pl.Entries = append(pl.Entries, Entry{Node: d.Node, Pos: pos})
+	}
+	if d.Len() > 0 {
+		all := make([]core.Pos, d.Len())
+		copy(all, d.Positions)
+		ix.any.Entries = append(ix.any.Entries, Entry{Node: d.Node, Pos: all})
+	} else {
+		// Empty nodes still appear in IL_ANY so that BOOL's NOT semantics
+		// (which enumerate the search context through IL_ANY) see them.
+		ix.any.Entries = append(ix.any.Entries, Entry{Node: d.Node})
+	}
+	idx := int(d.Node) - 1
+	ix.posCount[idx] = int32(d.Len())
+	ix.uniqueCount[idx] = int32(len(perTok))
+}

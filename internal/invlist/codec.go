@@ -1,0 +1,235 @@
+package invlist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fulltext/internal/core"
+)
+
+// Binary index format, stdlib only (encoding/binary varints):
+//
+//	magic "FTIX" | version uvarint
+//	cnodes uvarint
+//	posCount[cnodes] uvarint each
+//	uniqueCount[cnodes] uvarint each
+//	ntokens uvarint
+//	per token (sorted):
+//	  len(token) uvarint | token bytes
+//	  nentries uvarint
+//	  per entry: node-delta uvarint | npos uvarint |
+//	    per pos: ord-delta uvarint | para-delta uvarint | sent-delta uvarint
+//
+// IL_ANY is not stored; it is rebuilt from the token lists on load, which
+// keeps the format smaller and guarantees IL_ANY consistency.
+const (
+	codecMagic   = "FTIX"
+	codecVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if _, err := cw.Write([]byte(codecMagic)); err != nil {
+		return cw.n, err
+	}
+	writeUvarint(cw, codecVersion)
+	writeUvarint(cw, uint64(len(ix.posCount)))
+	for _, v := range ix.posCount {
+		writeUvarint(cw, uint64(v))
+	}
+	for _, v := range ix.uniqueCount {
+		writeUvarint(cw, uint64(v))
+	}
+
+	toks := ix.Tokens()
+	writeUvarint(cw, uint64(len(toks)))
+	for _, tok := range toks {
+		pl := ix.lists[tok]
+		writeUvarint(cw, uint64(len(tok)))
+		if _, err := cw.Write([]byte(tok)); err != nil {
+			return cw.n, err
+		}
+		writeUvarint(cw, uint64(len(pl.Entries)))
+		prevNode := uint64(0)
+		for _, e := range pl.Entries {
+			writeUvarint(cw, uint64(e.Node)-prevNode)
+			prevNode = uint64(e.Node)
+			writeUvarint(cw, uint64(len(e.Pos)))
+			var prev core.Pos
+			for _, p := range e.Pos {
+				writeUvarint(cw, uint64(p.Ord-prev.Ord))
+				writeUvarint(cw, uint64(p.Para-prev.Para))
+				writeUvarint(cw, uint64(p.Sent-prev.Sent))
+				prev = p
+			}
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("invlist: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("invlist: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("invlist: reading version: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("invlist: unsupported version %d", version)
+	}
+	cnodes, err := readCount(br, "cnodes")
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &Index{
+		lists:       make(map[string]*PostingList),
+		any:         &PostingList{},
+		posCount:    make([]int32, cnodes),
+		uniqueCount: make([]int32, cnodes),
+	}
+	for i := range ix.posCount {
+		v, err := readCount(br, "posCount")
+		if err != nil {
+			return nil, err
+		}
+		ix.posCount[i] = int32(v)
+	}
+	for i := range ix.uniqueCount {
+		v, err := readCount(br, "uniqueCount")
+		if err != nil {
+			return nil, err
+		}
+		ix.uniqueCount[i] = int32(v)
+	}
+
+	ntokens, err := readCount(br, "ntokens")
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < ntokens; t++ {
+		tlen, err := readCount(br, "token length")
+		if err != nil {
+			return nil, err
+		}
+		if tlen > 1<<20 {
+			return nil, fmt.Errorf("invlist: token length %d too large", tlen)
+		}
+		buf := make([]byte, tlen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("invlist: reading token: %w", err)
+		}
+		tok := string(buf)
+		nentries, err := readCount(br, "entry count")
+		if err != nil {
+			return nil, err
+		}
+		pl := &PostingList{Token: tok, Entries: make([]Entry, 0, nentries)}
+		prevNode := uint64(0)
+		for e := 0; e < nentries; e++ {
+			nd, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("invlist: reading node delta: %w", err)
+			}
+			prevNode += nd
+			if prevNode == 0 || prevNode > uint64(cnodes) {
+				return nil, fmt.Errorf("invlist: node id %d out of range [1,%d]", prevNode, cnodes)
+			}
+			npos, err := readCount(br, "position count")
+			if err != nil {
+				return nil, err
+			}
+			pos := make([]core.Pos, npos)
+			var prev core.Pos
+			for pi := 0; pi < npos; pi++ {
+				od, err1 := binary.ReadUvarint(br)
+				pd, err2 := binary.ReadUvarint(br)
+				sd, err3 := binary.ReadUvarint(br)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return nil, fmt.Errorf("invlist: reading position: truncated stream")
+				}
+				prev = core.Pos{Ord: prev.Ord + int32(od), Para: prev.Para + int32(pd), Sent: prev.Sent + int32(sd)}
+				pos[pi] = prev
+			}
+			pl.Entries = append(pl.Entries, Entry{Node: core.NodeID(prevNode), Pos: pos})
+		}
+		ix.lists[tok] = pl
+	}
+
+	ix.rebuildAny()
+	ix.recomputeStats()
+	return ix, nil
+}
+
+// rebuildAny reconstructs IL_ANY by merging every token list per node and
+// sorting positions by ordinal. Nodes with zero positions still get an
+// (empty) entry so NOT semantics can enumerate the whole search context.
+func (ix *Index) rebuildAny() {
+	perNode := make([][]core.Pos, len(ix.posCount))
+	for _, pl := range ix.lists {
+		for _, e := range pl.Entries {
+			i := int(e.Node) - 1
+			perNode[i] = append(perNode[i], e.Pos...)
+		}
+	}
+	ix.any = &PostingList{}
+	for i, pos := range perNode {
+		sort.Slice(pos, func(a, b int) bool { return pos[a].Ord < pos[b].Ord })
+		ix.any.Entries = append(ix.any.Entries, Entry{Node: core.NodeID(i + 1), Pos: pos})
+	}
+}
+
+func readCount(br io.ByteReader, what string) (int, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("invlist: reading %s: %w", what, err)
+	}
+	if v > 1<<31 {
+		return 0, fmt.Errorf("invlist: %s %d too large", what, v)
+	}
+	return int(v), nil
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func writeUvarint(cw *countWriter, v uint64) {
+	if cw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(cw.buf[:], v)
+	_, _ = cw.Write(cw.buf[:n])
+}

@@ -1,0 +1,58 @@
+package invlist
+
+import "fulltext/internal/core"
+
+// Cursor is the paper's sequential inverted-list access API (Section 5.1.2):
+// NextEntry advances to the next (cn, PosList) entry and returns the context
+// node id; Positions returns the position list of the current entry. Both
+// operations are O(1). There is no random access.
+//
+// Cursor additionally counts its operations so that tests and the benchmark
+// harness can verify the single-scan claims of Sections 5.5 and 5.6.
+type Cursor struct {
+	list *PostingList
+	i    int // index of the current entry; -1 before the first NextEntry
+
+	// Counters for the complexity instrumentation.
+	EntrySteps int // number of NextEntry calls that returned an entry
+}
+
+// Cursor returns a fresh sequential cursor over the list.
+func (pl *PostingList) Cursor() *Cursor {
+	return &Cursor{list: pl, i: -1}
+}
+
+// NextEntry moves the cursor to the next entry and returns its context-node
+// id. ok is false when the list is exhausted.
+func (c *Cursor) NextEntry() (node core.NodeID, ok bool) {
+	if c.i+1 >= len(c.list.Entries) {
+		c.i = len(c.list.Entries)
+		return 0, false
+	}
+	c.i++
+	c.EntrySteps++
+	return c.list.Entries[c.i].Node, true
+}
+
+// Node returns the context-node id of the current entry (0 when the cursor
+// is not positioned on an entry).
+func (c *Cursor) Node() core.NodeID {
+	if c.i < 0 || c.i >= len(c.list.Entries) {
+		return 0
+	}
+	return c.list.Entries[c.i].Node
+}
+
+// Positions returns the PosList of the current entry (the paper's
+// getPositions()). It returns nil when the cursor is not positioned on an
+// entry. The returned slice is shared with the index and must not be
+// mutated.
+func (c *Cursor) Positions() []core.Pos {
+	if c.i < 0 || c.i >= len(c.list.Entries) {
+		return nil
+	}
+	return c.list.Entries[c.i].Pos
+}
+
+// Done reports whether the cursor has been exhausted.
+func (c *Cursor) Done() bool { return c.i >= len(c.list.Entries) }

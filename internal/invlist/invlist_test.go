@@ -1,0 +1,344 @@
+package invlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fulltext/internal/core"
+)
+
+func buildCorpus(t testing.TB, docs ...string) (*core.Corpus, *Index) {
+	t.Helper()
+	c := core.NewCorpus()
+	for i, text := range docs {
+		if _, err := c.Add(string(rune('a'+i)), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, Build(c)
+}
+
+// TestFigure2InvertedLists reproduces the paper's Figure 2: inverted lists
+// keyed by token, each entry a (cn, PosList) pair sorted by node id with
+// positions in occurrence order.
+func TestFigure2InvertedLists(t *testing.T) {
+	c := core.NewCorpus()
+	// Node 1 mimics the Figure 1 document: "usability" at ordinals 3, 25, 29
+	// and 42 is too fiddly to reproduce verbatim, so we plant tokens at known
+	// ordinals with filler words.
+	mk := func(places map[int]string, n int) string {
+		words := make([]string, n)
+		for i := range words {
+			words[i] = "filler"
+		}
+		for ord, tok := range places {
+			words[ord-1] = tok
+		}
+		return strings.Join(words, " ")
+	}
+	c.MustAdd("one", mk(map[int]string{3: "usability", 25: "usability", 29: "usability", 42: "usability", 1: "software", 12: "software", 39: "software"}, 50))
+	c.MustAdd("two", mk(map[int]string{51: "software", 56: "software", 59: "software"}, 60))
+	ix := Build(c)
+
+	us := ix.List("usability")
+	if us.Len() != 1 || us.Entries[0].Node != 1 {
+		t.Fatalf("usability list: %+v", us)
+	}
+	gotOrds := []int32{}
+	for _, p := range us.Entries[0].Pos {
+		gotOrds = append(gotOrds, p.Ord)
+	}
+	want := []int32{3, 25, 29, 42}
+	for i := range want {
+		if gotOrds[i] != want[i] {
+			t.Fatalf("usability positions = %v, want %v", gotOrds, want)
+		}
+	}
+
+	sw := ix.List("software")
+	if sw.Len() != 2 || sw.Entries[0].Node != 1 || sw.Entries[1].Node != 2 {
+		t.Fatalf("software list: %+v", sw)
+	}
+	if got := sw.Entries[1].Pos[0].Ord; got != 51 {
+		t.Fatalf("software node-2 first position = %d, want 51", got)
+	}
+}
+
+func TestBuildAnyList(t *testing.T) {
+	_, ix := buildCorpus(t, "a b c", "d e")
+	any := ix.Any()
+	if any.Len() != 2 {
+		t.Fatalf("IL_ANY entries = %d", any.Len())
+	}
+	if len(any.Entries[0].Pos) != 3 || len(any.Entries[1].Pos) != 2 {
+		t.Fatalf("IL_ANY positions wrong: %+v", any.Entries)
+	}
+	for i, e := range any.Entries {
+		if e.Node != core.NodeID(i+1) {
+			t.Fatalf("IL_ANY not in node order")
+		}
+		for j, p := range e.Pos {
+			if p.Ord != int32(j+1) {
+				t.Fatalf("IL_ANY positions not in order: %v", e.Pos)
+			}
+		}
+	}
+}
+
+func TestEmptyNodeInAny(t *testing.T) {
+	c := core.NewCorpus()
+	c.MustAdd("full", "hello")
+	if _, err := c.AddTokens("empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(c)
+	if ix.Any().Len() != 2 {
+		t.Fatalf("empty node missing from IL_ANY: %d entries", ix.Any().Len())
+	}
+	if len(ix.Any().Entries[1].Pos) != 0 {
+		t.Fatalf("empty node has positions")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ix := buildCorpus(t,
+		"x x x y",   // node 1: x appears 3 times
+		"x z",       // node 2
+		"w w w w w") // node 3: 5 positions
+	st := ix.Stats()
+	if st.CNodes != 3 {
+		t.Errorf("CNodes = %d", st.CNodes)
+	}
+	if st.PosPerCNode != 5 {
+		t.Errorf("PosPerCNode = %d, want 5", st.PosPerCNode)
+	}
+	if st.EntriesPerToken != 2 { // "x" occurs in two nodes
+		t.Errorf("EntriesPerToken = %d, want 2", st.EntriesPerToken)
+	}
+	if st.PosPerEntry != 5 { // "w" has 5 positions in node 3
+		t.Errorf("PosPerEntry = %d, want 5", st.PosPerEntry)
+	}
+	if st.TotalPositions != 11 {
+		t.Errorf("TotalPositions = %d, want 11", st.TotalPositions)
+	}
+	if st.Tokens != 4 {
+		t.Errorf("Tokens = %d, want 4", st.Tokens)
+	}
+}
+
+func TestDFAndNodeMeta(t *testing.T) {
+	_, ix := buildCorpus(t, "a b a", "a c")
+	if ix.DF("a") != 2 || ix.DF("b") != 1 || ix.DF("zzz") != 0 {
+		t.Errorf("DF wrong: a=%d b=%d zzz=%d", ix.DF("a"), ix.DF("b"), ix.DF("zzz"))
+	}
+	if ix.NodePositions(1) != 3 || ix.NodePositions(2) != 2 || ix.NodePositions(99) != 0 {
+		t.Errorf("NodePositions wrong")
+	}
+	if ix.NodeUniqueTokens(1) != 2 || ix.NodeUniqueTokens(2) != 2 {
+		t.Errorf("NodeUniqueTokens wrong")
+	}
+	if !ix.Has("a") || ix.Has("zzz") {
+		t.Errorf("Has wrong")
+	}
+	if ix.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", ix.NumNodes())
+	}
+}
+
+func TestCursorSequentialScan(t *testing.T) {
+	_, ix := buildCorpus(t, "a b", "a", "c a")
+	cur := ix.List("a").Cursor()
+	var nodes []core.NodeID
+	for {
+		n, ok := cur.NextEntry()
+		if !ok {
+			break
+		}
+		nodes = append(nodes, n)
+		if len(cur.Positions()) == 0 {
+			t.Fatalf("entry for node %d has no positions", n)
+		}
+	}
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[1] != 2 || nodes[2] != 3 {
+		t.Fatalf("cursor nodes = %v", nodes)
+	}
+	if !cur.Done() {
+		t.Fatalf("cursor should be done")
+	}
+	if _, ok := cur.NextEntry(); ok {
+		t.Fatalf("NextEntry after exhaustion must fail")
+	}
+	if cur.Positions() != nil || cur.Node() != 0 {
+		t.Fatalf("exhausted cursor must return nil positions and node 0")
+	}
+	if cur.EntrySteps != 3 {
+		t.Fatalf("EntrySteps = %d, want 3", cur.EntrySteps)
+	}
+}
+
+func TestCursorBeforeFirst(t *testing.T) {
+	_, ix := buildCorpus(t, "a")
+	cur := ix.List("a").Cursor()
+	if cur.Node() != 0 || cur.Positions() != nil {
+		t.Fatalf("unpositioned cursor must return zero values")
+	}
+	if cur.Done() {
+		t.Fatalf("fresh cursor is not done")
+	}
+}
+
+func TestMissingTokenList(t *testing.T) {
+	_, ix := buildCorpus(t, "a")
+	pl := ix.List("missing")
+	if pl == nil || pl.Len() != 0 {
+		t.Fatalf("missing token must yield empty list")
+	}
+	cur := pl.Cursor()
+	if _, ok := cur.NextEntry(); ok {
+		t.Fatalf("empty list cursor must be exhausted immediately")
+	}
+}
+
+func TestFind(t *testing.T) {
+	_, ix := buildCorpus(t, "a", "b", "a")
+	pl := ix.List("a")
+	if e := pl.Find(1); e == nil || e.Node != 1 {
+		t.Errorf("Find(1) = %v", e)
+	}
+	if e := pl.Find(3); e == nil || e.Node != 3 {
+		t.Errorf("Find(3) = %v", e)
+	}
+	if e := pl.Find(2); e != nil {
+		t.Errorf("Find(2) should be nil, got %v", e)
+	}
+	var nilList *PostingList
+	if nilList.Find(1) != nil || nilList.Len() != 0 || nilList.TotalPositions() != 0 || nilList.MaxPositions() != 0 {
+		t.Errorf("nil list methods must be safe")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := core.NewCorpus()
+	c.MustAdd("one", "Usability of a software measures. How well the software supports!\n\nA new paragraph about usability testing.")
+	c.MustAdd("two", "task completion requires an efficient process for task completion")
+	c.MustAdd("empty-ish", ".")
+	ix := Build(c)
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Stats() != ix.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", got.Stats(), ix.Stats())
+	}
+	for _, tok := range ix.Tokens() {
+		a, b := ix.List(tok), got.List(tok)
+		if a.Len() != b.Len() {
+			t.Fatalf("token %q entry counts differ", tok)
+		}
+		for i := range a.Entries {
+			ea, eb := a.Entries[i], b.Entries[i]
+			if ea.Node != eb.Node || len(ea.Pos) != len(eb.Pos) {
+				t.Fatalf("token %q entry %d differs", tok, i)
+			}
+			for j := range ea.Pos {
+				if ea.Pos[j] != eb.Pos[j] {
+					t.Fatalf("token %q pos %d differs: %v vs %v", tok, j, ea.Pos[j], eb.Pos[j])
+				}
+			}
+		}
+	}
+	// IL_ANY is rebuilt on load and must match.
+	if got.Any().Len() != ix.Any().Len() {
+		t.Fatalf("IL_ANY lengths differ")
+	}
+	for i := range ix.any.Entries {
+		ea, eb := ix.any.Entries[i], got.any.Entries[i]
+		if ea.Node != eb.Node || len(ea.Pos) != len(eb.Pos) {
+			t.Fatalf("IL_ANY entry %d differs", i)
+		}
+		for j := range ea.Pos {
+			if ea.Pos[j] != eb.Pos[j] {
+				t.Fatalf("IL_ANY pos differs at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		c := core.NewCorpus()
+		for i, tx := range texts {
+			if i >= 6 {
+				break
+			}
+			if _, err := c.Add(strings.Repeat("d", i+1), tx); err != nil {
+				return false
+			}
+		}
+		ix := Build(c)
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Stats() == ix.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	_, ix := buildCorpus(t, "hello world hello")
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, full...)
+	bad[0] = 'X'
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	// Truncations at every prefix length must error, never panic.
+	for n := 0; n < len(full)-1; n++ {
+		if _, err := ReadFrom(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncated stream of %d bytes accepted", n)
+		}
+	}
+	// Bad version.
+	bad = append([]byte{}, full...)
+	bad[4] = 99
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Errorf("bad version accepted")
+	}
+}
+
+func TestCodecEmptyIndex(t *testing.T) {
+	c := core.NewCorpus()
+	ix := Build(c)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || len(got.Tokens()) != 0 {
+		t.Fatalf("empty index round trip wrong")
+	}
+}

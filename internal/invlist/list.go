@@ -1,0 +1,174 @@
+// Package invlist implements the inverted-list data model of Section 5.1.2:
+// for each token tok there is a list IL_tok of (cn, PosList) entries ordered
+// by context-node id, with positions ordered by occurrence; IL_ANY holds one
+// entry per context node with every position in that node. Lists are
+// accessed strictly sequentially through cursors that support the paper's
+// nextEntry() and getPositions() operations in O(1) per call.
+package invlist
+
+import (
+	"sort"
+
+	"fulltext/internal/core"
+)
+
+// Entry is one (cn, PosList) pair of an inverted list.
+type Entry struct {
+	Node core.NodeID
+	Pos  []core.Pos // ordered by occurrence within the node
+}
+
+// PostingList is the inverted list IL_tok for one token (or IL_ANY).
+type PostingList struct {
+	Token   string // "" for IL_ANY
+	Entries []Entry
+}
+
+// Len returns the number of entries (distinct context nodes) in the list.
+func (pl *PostingList) Len() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.Entries)
+}
+
+// TotalPositions returns the total number of positions across entries.
+func (pl *PostingList) TotalPositions() int {
+	if pl == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range pl.Entries {
+		n += len(e.Pos)
+	}
+	return n
+}
+
+// MaxPositions returns the maximum number of positions in any entry (the
+// per-list contribution to pos_per_entry).
+func (pl *PostingList) MaxPositions() int {
+	if pl == nil {
+		return 0
+	}
+	m := 0
+	for _, e := range pl.Entries {
+		if len(e.Pos) > m {
+			m = len(e.Pos)
+		}
+	}
+	return m
+}
+
+// Find returns the entry for node using binary search, or nil. It exists for
+// scoring and tests; the query engines use sequential cursors only.
+func (pl *PostingList) Find(node core.NodeID) *Entry {
+	if pl == nil {
+		return nil
+	}
+	i := sort.Search(len(pl.Entries), func(i int) bool { return pl.Entries[i].Node >= node })
+	if i < len(pl.Entries) && pl.Entries[i].Node == node {
+		return &pl.Entries[i]
+	}
+	return nil
+}
+
+// Stats aggregates the complexity-model parameters of Section 5.1.2.
+type Stats struct {
+	CNodes          int // |N|
+	PosPerCNode     int // max positions in a context node
+	EntriesPerToken int // max entries in any token inverted list
+	PosPerEntry     int // max positions in any token inverted-list entry
+	Tokens          int // number of distinct tokens with non-empty lists
+	TotalPositions  int // total positions across all context nodes
+}
+
+// Index is the physical representation of the full-text relations: one
+// PostingList per token plus IL_ANY, and the per-node metadata needed for
+// scoring (position counts and unique-token counts).
+type Index struct {
+	lists map[string]*PostingList
+	any   *PostingList
+
+	// Per-node metadata, indexed by NodeID-1.
+	posCount    []int32
+	uniqueCount []int32
+
+	stats Stats
+}
+
+// List returns IL_tok. For tokens that never occur it returns an empty,
+// non-nil list so cursors are always usable.
+func (ix *Index) List(tok string) *PostingList {
+	if pl, ok := ix.lists[tok]; ok {
+		return pl
+	}
+	return &PostingList{Token: tok}
+}
+
+// Any returns IL_ANY.
+func (ix *Index) Any() *PostingList { return ix.any }
+
+// Has reports whether the token occurs anywhere in the corpus.
+func (ix *Index) Has(tok string) bool {
+	_, ok := ix.lists[tok]
+	return ok
+}
+
+// DF returns the document frequency of tok: the number of context nodes
+// containing it (the df(t) term of Section 3.1).
+func (ix *Index) DF(tok string) int { return ix.List(tok).Len() }
+
+// Tokens returns the indexed vocabulary in sorted order.
+func (ix *Index) Tokens() []string {
+	out := make([]string, 0, len(ix.lists))
+	for t := range ix.lists {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns cnodes, the number of context nodes.
+func (ix *Index) NumNodes() int { return ix.stats.CNodes }
+
+// NodePositions returns the number of token positions in a node (0 when the
+// node id is unknown).
+func (ix *Index) NodePositions(n core.NodeID) int {
+	i := int(n) - 1
+	if i < 0 || i >= len(ix.posCount) {
+		return 0
+	}
+	return int(ix.posCount[i])
+}
+
+// NodeUniqueTokens returns the number of distinct tokens in a node (the
+// unique_tokens(n) scoring term).
+func (ix *Index) NodeUniqueTokens(n core.NodeID) int {
+	i := int(n) - 1
+	if i < 0 || i >= len(ix.uniqueCount) {
+		return 0
+	}
+	return int(ix.uniqueCount[i])
+}
+
+// Stats returns the aggregated complexity parameters.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+func (ix *Index) recomputeStats() {
+	st := Stats{CNodes: len(ix.posCount), Tokens: len(ix.lists)}
+	for _, pc := range ix.posCount {
+		if int(pc) > st.PosPerCNode {
+			st.PosPerCNode = int(pc)
+		}
+		st.TotalPositions += int(pc)
+	}
+	for _, pl := range ix.lists {
+		if pl.Len() > st.EntriesPerToken {
+			st.EntriesPerToken = pl.Len()
+		}
+		if m := pl.MaxPositions(); m > st.PosPerEntry {
+			st.PosPerEntry = m
+		}
+	}
+	ix.stats = st
+}

@@ -1,0 +1,161 @@
+// Package lang implements the paper's concrete full-text query languages:
+//
+//	BOOL  (Section 4.1)  — Boolean keyword search with ANY and NOT;
+//	DIST  (Section 4.2)  — BOOL plus the dist(Token, Token, Integer) construct;
+//	COMP  (Section 4.3)  — the complete language with position variables
+//	                       (HAS), quantifiers (SOME, EVERY) and arbitrary
+//	                       position predicates.
+//
+// The package provides parsers for the three dialects, the semantics
+// translation into the full-text calculus (internal/ftc), the Figure 3
+// language classifier, the FTC→COMP translation of Theorem 6 and the
+// FTC→BOOL translation of Theorem 4 (finite alphabets).
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is a parsed query of any dialect.
+type Query interface {
+	isQuery()
+	String() string
+}
+
+// Lit is a bare search token: it matches nodes containing the token.
+type Lit struct{ Tok string }
+
+// Any is the universal token ANY: it matches nodes with at least one token.
+type Any struct{}
+
+// Has binds: position variable Var holds token Tok ("Var HAS 'tok'").
+type Has struct {
+	Var string
+	Tok string
+}
+
+// HasAny asserts Var is a position of the node ("Var HAS ANY").
+type HasAny struct{ Var string }
+
+// Not negates a query.
+type Not struct{ Q Query }
+
+// And conjoins queries.
+type And struct{ L, R Query }
+
+// Or disjoins queries.
+type Or struct{ L, R Query }
+
+// Some existentially quantifies a position variable ("SOME Var Query").
+type Some struct {
+	Var string
+	Q   Query
+}
+
+// Every universally quantifies a position variable ("EVERY Var Query").
+type Every struct {
+	Var string
+	Q   Query
+}
+
+// Pred applies a registered position predicate to variables and integer
+// constants ("distance(p1, p2, 5)").
+type Pred struct {
+	Name   string
+	Vars   []string
+	Consts []int
+}
+
+func (Lit) isQuery()    {}
+func (Any) isQuery()    {}
+func (Has) isQuery()    {}
+func (HasAny) isQuery() {}
+func (Not) isQuery()    {}
+func (And) isQuery()    {}
+func (Or) isQuery()     {}
+func (Some) isQuery()   {}
+func (Every) isQuery()  {}
+func (Pred) isQuery()   {}
+
+func (q Lit) String() string    { return "'" + q.Tok + "'" }
+func (Any) String() string      { return "ANY" }
+func (q Has) String() string    { return q.Var + " HAS '" + q.Tok + "'" }
+func (q HasAny) String() string { return q.Var + " HAS ANY" }
+func (q Not) String() string    { return "NOT " + parenQ(q.Q) }
+func (q And) String() string    { return parenQ(q.L) + " AND " + parenQ(q.R) }
+func (q Or) String() string     { return parenQ(q.L) + " OR " + parenQ(q.R) }
+func (q Some) String() string   { return "SOME " + q.Var + " " + parenQ(q.Q) }
+func (q Every) String() string  { return "EVERY " + q.Var + " " + parenQ(q.Q) }
+
+func (q Pred) String() string {
+	args := make([]string, 0, len(q.Vars)+len(q.Consts))
+	args = append(args, q.Vars...)
+	for _, c := range q.Consts {
+		args = append(args, fmt.Sprint(c))
+	}
+	return q.Name + "(" + strings.Join(args, ",") + ")"
+}
+
+func parenQ(q Query) string {
+	switch q.(type) {
+	case Lit, Any, Has, HasAny, Pred:
+		return q.String()
+	default:
+		return "(" + q.String() + ")"
+	}
+}
+
+// FreeVars returns the free position variables of q in sorted order.
+func FreeVars(q Query) []string {
+	set := make(map[string]struct{})
+	collectFree(q, map[string]bool{}, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(q Query, bound map[string]bool, out map[string]struct{}) {
+	switch x := q.(type) {
+	case Lit, Any:
+	case Has:
+		if !bound[x.Var] {
+			out[x.Var] = struct{}{}
+		}
+	case HasAny:
+		if !bound[x.Var] {
+			out[x.Var] = struct{}{}
+		}
+	case Not:
+		collectFree(x.Q, bound, out)
+	case And:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case Or:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case Some:
+		was := bound[x.Var]
+		bound[x.Var] = true
+		collectFree(x.Q, bound, out)
+		bound[x.Var] = was
+	case Every:
+		was := bound[x.Var]
+		bound[x.Var] = true
+		collectFree(x.Q, bound, out)
+		bound[x.Var] = was
+	case Pred:
+		for _, v := range x.Vars {
+			if !bound[v] {
+				out[v] = struct{}{}
+			}
+		}
+	}
+}
+
+// Closed reports whether q has no free position variables.
+func Closed(q Query) bool { return len(FreeVars(q)) == 0 }

@@ -1,0 +1,128 @@
+package lang
+
+import (
+	"fmt"
+
+	"fulltext/internal/ftc"
+)
+
+// BoolFromFTC translates a closed Preds=∅ calculus query expression into an
+// equivalent BOOL query, assuming the token universe T equals the given
+// finite alphabet — the constructive proof of Theorem 4. The equivalence
+// only holds on corpora whose tokens all come from alphabet.
+//
+// The translation runs the Theorem 4 normalization (ftc.Normalize) and maps
+// each basic proposition per the paper's case analysis:
+//
+//   - two distinct positive tokens at one position: unsatisfiable;
+//   - one positive token t: the query t (negative literals about other
+//     tokens are vacuous);
+//   - only negative tokens: the disjunction of all alphabet tokens not
+//     excluded (possible because T is finite), or ANY when nothing is
+//     excluded.
+func BoolFromFTC(e ftc.Expr, alphabet []string) (Query, error) {
+	p, err := ftc.Normalize(e)
+	if err != nil {
+		return nil, err
+	}
+	inAlphabet := make(map[string]bool, len(alphabet))
+	for _, t := range alphabet {
+		inAlphabet[t] = true
+	}
+	return boolFromProp(p, alphabet, inAlphabet)
+}
+
+// boolFalse is the BOOL encoding of the empty result ("ANY AND NOT ANY").
+func boolFalse() Query { return And{Any{}, Not{Any{}}} }
+
+// boolTrue is the BOOL tautology ("ANY OR NOT ANY").
+func boolTrue() Query { return Or{Any{}, Not{Any{}}} }
+
+func boolFromProp(p ftc.Prop, alphabet []string, inAlphabet map[string]bool) (Query, error) {
+	switch x := p.(type) {
+	case ftc.PTrue:
+		if x.V {
+			return boolTrue(), nil
+		}
+		return boolFalse(), nil
+	case ftc.PNot:
+		q, err := boolFromProp(x.P, alphabet, inAlphabet)
+		if err != nil {
+			return nil, err
+		}
+		return Not{q}, nil
+	case ftc.PAnd:
+		l, err := boolFromProp(x.L, alphabet, inAlphabet)
+		if err != nil {
+			return nil, err
+		}
+		r, err := boolFromProp(x.R, alphabet, inAlphabet)
+		if err != nil {
+			return nil, err
+		}
+		return And{l, r}, nil
+	case ftc.POr:
+		l, err := boolFromProp(x.L, alphabet, inAlphabet)
+		if err != nil {
+			return nil, err
+		}
+		r, err := boolFromProp(x.R, alphabet, inAlphabet)
+		if err != nil {
+			return nil, err
+		}
+		return Or{l, r}, nil
+	case ftc.PExists:
+		return boolFromAtom(x, alphabet, inAlphabet)
+	default:
+		return nil, fmt.Errorf("lang: unknown proposition %T", p)
+	}
+}
+
+func boolFromAtom(a ftc.PExists, alphabet []string, inAlphabet map[string]bool) (Query, error) {
+	switch {
+	case len(a.Pos) >= 2:
+		// One token per position: requiring two distinct tokens at the same
+		// position is unsatisfiable.
+		return boolFalse(), nil
+
+	case len(a.Pos) == 1:
+		t := a.Pos[0]
+		for _, n := range a.Neg {
+			if n == t {
+				return boolFalse(), nil
+			}
+		}
+		if !inAlphabet[t] {
+			// The token lies outside the assumed universe: with T finite and
+			// equal to alphabet, no position can hold it.
+			return boolFalse(), nil
+		}
+		return Lit{t}, nil
+
+	default:
+		// Only negative literals: a position whose token avoids Neg. By
+		// finiteness of T this is the disjunction over the complement.
+		if len(a.Neg) == 0 {
+			return Any{}, nil
+		}
+		excluded := make(map[string]bool, len(a.Neg))
+		for _, t := range a.Neg {
+			excluded[t] = true
+		}
+		var q Query
+		for _, t := range alphabet {
+			if excluded[t] {
+				continue
+			}
+			if q == nil {
+				q = Lit{t}
+			} else {
+				q = Or{q, Lit{t}}
+			}
+		}
+		if q == nil {
+			return boolFalse(), nil
+		}
+		return q, nil
+	}
+}

@@ -1,0 +1,140 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkString
+	tkInt
+	tkLParen
+	tkRParen
+	tkComma
+	tkNot
+	tkAnd
+	tkOr
+	tkSome
+	tkEvery
+	tkHas
+	tkAny
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tkEOF:
+		return "end of input"
+	case tkIdent:
+		return "identifier"
+	case tkString:
+		return "string literal"
+	case tkInt:
+		return "integer"
+	case tkLParen:
+		return "'('"
+	case tkRParen:
+		return "')'"
+	case tkComma:
+		return "','"
+	case tkNot:
+		return "NOT"
+	case tkAnd:
+		return "AND"
+	case tkOr:
+		return "OR"
+	case tkSome:
+		return "SOME"
+	case tkEvery:
+		return "EVERY"
+	case tkHas:
+		return "HAS"
+	case tkAny:
+		return "ANY"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]tokKind{
+	"not": tkNot, "and": tkAnd, "or": tkOr,
+	"some": tkSome, "every": tkEvery, "has": tkHas, "any": tkAny,
+}
+
+// lex splits a query string into tokens. String literals use single quotes
+// with ” as an escaped quote; bare words that are not keywords lex as
+// identifiers (the parser decides literal vs variable by context).
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tkLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tkRParen, ")", i})
+			i++
+		case r == ',':
+			toks = append(toks, token{tkComma, ",", i})
+			i++
+		case r == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(rs) {
+				if rs[i] == '\'' {
+					if i+1 < len(rs) && rs[i+1] == '\'' {
+						b.WriteRune('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteRune(rs[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("lang: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tkString, b.String(), start})
+		case unicode.IsDigit(r):
+			start := i
+			for i < len(rs) && unicode.IsDigit(rs[i]) {
+				i++
+			}
+			toks = append(toks, token{tkInt, string(rs[start:i]), start})
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				i++
+			}
+			word := string(rs[start:i])
+			if k, ok := keywords[strings.ToLower(word)]; ok {
+				toks = append(toks, token{k, word, start})
+			} else {
+				toks = append(toks, token{tkIdent, word, start})
+			}
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at offset %d", r, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(rs)})
+	return toks, nil
+}

@@ -1,0 +1,111 @@
+package lang
+
+import (
+	"fmt"
+
+	"fulltext/internal/pred"
+)
+
+// Normalize prepares a query for classification and planning:
+//
+//  1. NOT pred(...) desugars to the complement predicate (DesugarNegPreds);
+//  2. bound variables are renamed apart;
+//  3. SOME quantifiers hoist out of conjunctions (A AND SOME v B ==
+//     SOME v (A AND B) when v is not free in A, which rename-apart
+//     guarantees), so that predicates and the HAS atoms binding their
+//     variables meet in one conjunctive block.
+//
+// Hoisting through OR or NOT would be unsound on empty nodes and is not
+// performed. Normalization preserves semantics (property-tested against the
+// calculus oracle).
+func Normalize(q Query, reg *pred.Registry) Query {
+	q = DesugarNegPreds(q, reg)
+	q = RenameApart(q)
+	return hoistSome(q)
+}
+
+// RenameApart renames every quantified variable to a fresh name (_r1, _r2,
+// ...) so that no two quantifiers bind the same name.
+func RenameApart(q Query) Query {
+	n := 0
+	var rec func(q Query, env map[string]string) Query
+	rec = func(q Query, env map[string]string) Query {
+		switch x := q.(type) {
+		case Lit, Any:
+			return q
+		case Has:
+			if nv, ok := env[x.Var]; ok {
+				return Has{nv, x.Tok}
+			}
+			return x
+		case HasAny:
+			if nv, ok := env[x.Var]; ok {
+				return HasAny{nv}
+			}
+			return x
+		case Not:
+			return Not{rec(x.Q, env)}
+		case And:
+			return And{rec(x.L, env), rec(x.R, env)}
+		case Or:
+			return Or{rec(x.L, env), rec(x.R, env)}
+		case Some:
+			n++
+			nv := fmt.Sprintf("_r%d", n)
+			return Some{nv, rec(x.Q, extendEnv(env, x.Var, nv))}
+		case Every:
+			n++
+			nv := fmt.Sprintf("_r%d", n)
+			return Every{nv, rec(x.Q, extendEnv(env, x.Var, nv))}
+		case Pred:
+			vars := make([]string, len(x.Vars))
+			for i, v := range x.Vars {
+				if nv, ok := env[v]; ok {
+					vars[i] = nv
+				} else {
+					vars[i] = v
+				}
+			}
+			return Pred{x.Name, vars, append([]int(nil), x.Consts...)}
+		default:
+			panic(fmt.Sprintf("lang: unknown query %T", q))
+		}
+	}
+	return rec(q, map[string]string{})
+}
+
+func extendEnv(env map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(env)+1)
+	for a, b := range env {
+		out[a] = b
+	}
+	out[k] = v
+	return out
+}
+
+// hoistSome pulls SOME out of AND to a fixpoint. Variables are assumed
+// renamed apart.
+func hoistSome(q Query) Query {
+	switch x := q.(type) {
+	case And:
+		l := hoistSome(x.L)
+		r := hoistSome(x.R)
+		if s, ok := l.(Some); ok {
+			return Some{s.Var, hoistSome(And{s.Q, r})}
+		}
+		if s, ok := r.(Some); ok {
+			return Some{s.Var, hoistSome(And{l, s.Q})}
+		}
+		return And{l, r}
+	case Or:
+		return Or{hoistSome(x.L), hoistSome(x.R)}
+	case Not:
+		return Not{hoistSome(x.Q)}
+	case Some:
+		return Some{x.Var, hoistSome(x.Q)}
+	case Every:
+		return Every{x.Var, hoistSome(x.Q)}
+	default:
+		return q
+	}
+}

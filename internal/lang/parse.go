@@ -1,0 +1,343 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dialect selects which grammar Parse enforces.
+type Dialect int
+
+const (
+	// DialectBOOL: Query := Token | NOT Query | Query AND Query | Query OR
+	// Query; Token := StringLiteral | ANY (Section 4.1).
+	DialectBOOL Dialect = iota
+	// DialectDIST: BOOL plus dist(Token, Token, Integer) (Section 4.2). The
+	// construct desugars into SOME/HAS/distance at parse time.
+	DialectDIST
+	// DialectCOMP: the complete language of Section 4.3.
+	DialectCOMP
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case DialectBOOL:
+		return "BOOL"
+	case DialectDIST:
+		return "DIST"
+	default:
+		return "COMP"
+	}
+}
+
+// Parse parses a query string in the given dialect.
+//
+// Grammar (COMP; the other dialects restrict it):
+//
+//	query   := or
+//	or      := and (OR and)*
+//	and     := unary (AND unary)*
+//	unary   := NOT unary | SOME ident unary | EVERY ident unary | primary
+//	primary := '(' query ')' | ANY | string | ident HAS (string|ANY)
+//	         | ident '(' args ')' | ident
+//	args    := (ident | string | int | ANY) (',' ...)*
+//
+// Operator precedence: NOT/SOME/EVERY bind tighter than AND, which binds
+// tighter than OR. Bare identifiers that are not followed by HAS or '('
+// parse as token literals.
+func Parse(d Dialect, input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{dialect: d, toks: toks}
+	q, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, p.errf("unexpected %s after query", p.peek().kind)
+	}
+	if d != DialectCOMP {
+		if fv := FreeVars(q); len(fv) != 0 {
+			return nil, fmt.Errorf("lang: internal: %s query has free variables %v", d, fv)
+		}
+	} else if fv := FreeVars(q); len(fv) != 0 {
+		return nil, fmt.Errorf("lang: unbound position variables %v (bind with SOME or EVERY)", fv)
+	}
+	return q, nil
+}
+
+type parser struct {
+	dialect Dialect
+	toks    []token
+	i       int
+	fresh   int
+}
+
+func (p *parser) peek() token       { return p.toks[p.i] }
+func (p *parser) next() token       { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s, found %s", k, p.peek().kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lang: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) freshVar() string {
+	p.fresh++
+	return fmt.Sprintf("_d%d", p.fresh)
+}
+
+func (p *parser) parseOr() (Query, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkOr) {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Query, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkAnd) {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Query, error) {
+	switch p.peek().kind {
+	case tkNot:
+		p.next()
+		q, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{q}, nil
+	case tkSome, tkEvery:
+		if p.dialect != DialectCOMP {
+			return nil, p.errf("%s is not part of %s", p.peek().kind, p.dialect)
+		}
+		kw := p.next()
+		v, err := p.expect(tkIdent)
+		if err != nil {
+			return nil, err
+		}
+		q, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if kw.kind == tkSome {
+			return Some{v.text, q}, nil
+		}
+		return Every{v.text, q}, nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *parser) parsePrimary() (Query, error) {
+	switch p.peek().kind {
+	case tkLParen:
+		p.next()
+		q, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkRParen); err != nil {
+			return nil, err
+		}
+		return q, nil
+
+	case tkAny:
+		p.next()
+		return Any{}, nil
+
+	case tkString:
+		tok := p.next().text
+		if strings.ContainsAny(tok, " \t\n") {
+			return p.phrase(tok)
+		}
+		return Lit{tok}, nil
+
+	case tkInt:
+		return nil, p.errf("unexpected integer")
+
+	case tkIdent:
+		id := p.next()
+		switch p.peek().kind {
+		case tkHas:
+			if p.dialect != DialectCOMP {
+				return nil, p.errf("HAS is not part of %s", p.dialect)
+			}
+			p.next()
+			switch p.peek().kind {
+			case tkString:
+				return Has{id.text, p.next().text}, nil
+			case tkAny:
+				p.next()
+				return HasAny{id.text}, nil
+			case tkIdent:
+				// Allow a bare word as the token of HAS.
+				return Has{id.text, p.next().text}, nil
+			default:
+				return nil, p.errf("expected token after HAS, found %s", p.peek().kind)
+			}
+		case tkLParen:
+			return p.parseCall(id.text)
+		default:
+			// A bare word is a token literal.
+			return Lit{id.text}, nil
+		}
+
+	default:
+		return nil, p.errf("unexpected %s", p.peek().kind)
+	}
+}
+
+// phrase desugars a multi-word string literal 'w1 w2 ... wk' into the
+// phrase-matching composition of Example 1: adjacent ordered tokens,
+//
+//	SOME v1 .. SOME vk (v1 HAS w1 AND ... AND ordered(vi, vi+1)
+//	                    AND distance(vi, vi+1, 0) ...)
+//
+// Phrases are sugar over COMP primitives, so they are available in the
+// DIST and COMP dialects but not in plain BOOL.
+func (p *parser) phrase(s string) (Query, error) {
+	if p.dialect == DialectBOOL {
+		return nil, p.errf("phrase literals are not part of BOOL (use DIST or COMP)")
+	}
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return nil, p.errf("empty phrase literal")
+	}
+	if len(words) == 1 {
+		return Lit{words[0]}, nil
+	}
+	vars := make([]string, len(words))
+	var conj []Query
+	for i, w := range words {
+		vars[i] = p.freshVar()
+		conj = append(conj, Has{vars[i], w})
+	}
+	for i := 1; i < len(vars); i++ {
+		conj = append(conj,
+			Pred{Name: "ordered", Vars: []string{vars[i-1], vars[i]}},
+			Pred{Name: "distance", Vars: []string{vars[i-1], vars[i]}, Consts: []int{0}})
+	}
+	body := conj[0]
+	for _, c := range conj[1:] {
+		body = And{body, c}
+	}
+	var q Query = body
+	for i := len(vars) - 1; i >= 0; i-- {
+		q = Some{vars[i], q}
+	}
+	return q, nil
+}
+
+// parseCall parses name(arg, ...) — either the DIST construct
+// dist(Token, Token, Integer) or a COMP predicate over variables and
+// integer constants.
+func (p *parser) parseCall(name string) (Query, error) {
+	p.next() // consume '('
+	type arg struct {
+		kind tokKind
+		text string
+	}
+	var args []arg
+	if !p.at(tkRParen) {
+		for {
+			switch p.peek().kind {
+			case tkIdent, tkString, tkInt, tkAny:
+				t := p.next()
+				args = append(args, arg{t.kind, t.text})
+			default:
+				return nil, p.errf("unexpected %s in argument list", p.peek().kind)
+			}
+			if p.at(tkComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tkRParen); err != nil {
+		return nil, err
+	}
+
+	if name == "dist" {
+		// dist(Token, Token, Integer): available in DIST and COMP.
+		if p.dialect == DialectBOOL {
+			return nil, p.errf("dist is not part of BOOL")
+		}
+		if len(args) != 3 || args[2].kind != tkInt {
+			return nil, p.errf("dist expects (Token, Token, Integer)")
+		}
+		d, err := strconv.Atoi(args[2].text)
+		if err != nil {
+			return nil, p.errf("bad integer %q", args[2].text)
+		}
+		v1, v2 := p.freshVar(), p.freshVar()
+		conj := []Query{}
+		for i, v := range []string{v1, v2} {
+			switch args[i].kind {
+			case tkAny:
+				// hasToken omitted; the quantifier supplies hasPos.
+			case tkString, tkIdent:
+				conj = append(conj, Has{v, args[i].text})
+			default:
+				return nil, p.errf("dist arguments must be tokens or ANY")
+			}
+		}
+		conj = append(conj, Pred{Name: "distance", Vars: []string{v1, v2}, Consts: []int{d}})
+		body := conj[0]
+		for _, c := range conj[1:] {
+			body = And{body, c}
+		}
+		return Some{v1, Some{v2, body}}, nil
+	}
+
+	if p.dialect != DialectCOMP {
+		return nil, p.errf("predicate %s is not part of %s", name, p.dialect)
+	}
+	out := Pred{Name: name}
+	for _, a := range args {
+		switch a.kind {
+		case tkIdent:
+			out.Vars = append(out.Vars, a.text)
+		case tkInt:
+			n, err := strconv.Atoi(a.text)
+			if err != nil {
+				return nil, p.errf("bad integer %q", a.text)
+			}
+			out.Consts = append(out.Consts, n)
+		default:
+			return nil, p.errf("predicate %s arguments must be variables or integers", name)
+		}
+	}
+	return out, nil
+}

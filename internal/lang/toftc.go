@@ -1,0 +1,101 @@
+package lang
+
+import (
+	"fmt"
+
+	"fulltext/internal/ftc"
+	"fulltext/internal/pred"
+)
+
+// ToFTC translates a parsed query into its full-text calculus semantics
+// (Sections 4.1 and 4.3):
+//
+//	'tok'          ∃p (hasPos(n,p) ∧ hasToken(p,'tok'))
+//	ANY            ∃p hasPos(n,p)
+//	v HAS 'tok'    hasToken(v,'tok')
+//	v HAS ANY      hasPos(n,v)
+//	NOT q          ¬q
+//	q1 AND q2      q1 ∧ q2;   q1 OR q2   q1 ∨ q2
+//	SOME v q       ∃v (hasPos(n,v) ∧ q)
+//	EVERY v q      ∀v (hasPos(n,v) ⇒ q)
+//	pred(...)      pred(...)
+func ToFTC(q Query) ftc.Expr {
+	c := &toFTC{}
+	return c.rec(q)
+}
+
+type toFTC struct{ n int }
+
+func (c *toFTC) fresh() string {
+	c.n++
+	return fmt.Sprintf("_t%d", c.n)
+}
+
+func (c *toFTC) rec(q Query) ftc.Expr {
+	switch x := q.(type) {
+	case Lit:
+		v := c.fresh()
+		return ftc.Exists{Var: v, Body: ftc.HasToken{Var: v, Tok: x.Tok}}
+	case Any:
+		v := c.fresh()
+		return ftc.Exists{Var: v, Body: ftc.HasPos{Var: v}}
+	case Has:
+		return ftc.HasToken{Var: x.Var, Tok: x.Tok}
+	case HasAny:
+		return ftc.HasPos{Var: x.Var}
+	case Not:
+		return ftc.Not{E: c.rec(x.Q)}
+	case And:
+		return ftc.And{L: c.rec(x.L), R: c.rec(x.R)}
+	case Or:
+		return ftc.Or{L: c.rec(x.L), R: c.rec(x.R)}
+	case Some:
+		return ftc.Exists{Var: x.Var, Body: c.rec(x.Q)}
+	case Every:
+		return ftc.Forall{Var: x.Var, Body: c.rec(x.Q)}
+	case Pred:
+		return ftc.PredCall{Name: x.Name, Vars: append([]string(nil), x.Vars...),
+			Consts: append([]int(nil), x.Consts...)}
+	default:
+		panic(fmt.Sprintf("lang: unknown query %T", q))
+	}
+}
+
+// Validate type-checks a query: predicates must be registered with matching
+// arities and every position variable must be bound.
+func Validate(q Query, reg *pred.Registry) error {
+	return ftc.Validate(ToFTC(q), reg)
+}
+
+// FromFTC translates a calculus query expression into COMP (the
+// constructive proof of Theorem 6: COMP is complete). The mapping is
+// structural; calculus constants translate to the COMP tautology
+// ANY OR NOT ANY (resp. its negation).
+func FromFTC(e ftc.Expr) Query {
+	switch x := e.(type) {
+	case ftc.Truth:
+		if x.V {
+			return Or{Any{}, Not{Any{}}}
+		}
+		return And{Any{}, Not{Any{}}}
+	case ftc.HasPos:
+		return HasAny{Var: x.Var}
+	case ftc.HasToken:
+		return Has{Var: x.Var, Tok: x.Tok}
+	case ftc.PredCall:
+		return Pred{Name: x.Name, Vars: append([]string(nil), x.Vars...),
+			Consts: append([]int(nil), x.Consts...)}
+	case ftc.Not:
+		return Not{Q: FromFTC(x.E)}
+	case ftc.And:
+		return And{L: FromFTC(x.L), R: FromFTC(x.R)}
+	case ftc.Or:
+		return Or{L: FromFTC(x.L), R: FromFTC(x.R)}
+	case ftc.Exists:
+		return Some{Var: x.Var, Q: FromFTC(x.Body)}
+	case ftc.Forall:
+		return Every{Var: x.Var, Q: FromFTC(x.Body)}
+	default:
+		panic(fmt.Sprintf("lang: unknown calculus expression %T", e))
+	}
+}

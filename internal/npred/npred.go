@@ -1,0 +1,47 @@
+// Package npred is the NPRED evaluation engine of Section 5.6: queries
+// with negative position predicates evaluated by running one pipelined
+// thread per cursor ordering and unioning the per-thread node sets.
+//
+// Each thread fixes a total order over the variables that occur in a
+// block's negative predicates, enforced with a chain of `le` selections; a
+// failing negative predicate then advances the ordering-largest of its
+// cursors to the predicate's extension target (Algorithm 7). Any solution
+// tuple is consistent with at least one ordering, so the union over threads
+// is complete; within a thread every inverted list is scanned only forward,
+// giving the O(list sizes × toks_Q!) bound of Section 5.6.4.
+//
+// By default only the variables used in negative predicates are ordered —
+// the paper's "our implementation generates only the necessary partial
+// orders". Options.FullOrders permutes every scan variable instead,
+// reproducing the worst-case bound for the ablation benchmark.
+//
+// The permutation machinery lives in package ppred (Plan.RunAll) because
+// nested closed subqueries inside PPRED plans also need it; this package is
+// the NPRED-facing entry point.
+package npred
+
+import (
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/ppred"
+	"fulltext/internal/pred"
+)
+
+// Options tunes the NPRED driver.
+type Options = ppred.OrderOptions
+
+// Compile builds a pipelined plan that may contain negative predicates.
+func Compile(q lang.Query, reg *pred.Registry) (*ppred.Plan, error) {
+	return ppred.CompileNeg(q, reg)
+}
+
+// Run compiles and evaluates a pipelined query that may contain negative
+// predicates. stats may be nil.
+func Run(q lang.Query, reg *pred.Registry, ix *invlist.Index, stats *ppred.Stats, opts Options) ([]core.NodeID, error) {
+	plan, err := Compile(q, reg)
+	if err != nil {
+		return nil, err
+	}
+	return plan.RunAll(ix, reg, stats, opts)
+}

@@ -1,0 +1,335 @@
+package npred
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/core"
+	"fulltext/internal/ftc"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/ppred"
+	"fulltext/internal/pred"
+)
+
+func parse(t testing.TB, s string) lang.Query {
+	t.Helper()
+	q, err := lang.Parse(lang.DialectCOMP, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return q
+}
+
+func corpusIx(t testing.TB, docs ...string) (*core.Corpus, *invlist.Index) {
+	t.Helper()
+	c := core.NewCorpus()
+	for i, text := range docs {
+		if _, err := c.Add(fmt.Sprintf("d%d", i+1), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, invlist.Build(c)
+}
+
+func oracle(t testing.TB, c *core.Corpus, q lang.Query) []core.NodeID {
+	t.Helper()
+	nodes, err := ftc.Query(c, pred.Default(), lang.ToFTC(q))
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return nodes
+}
+
+func same(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The Section 5.6.2 example: tokens "assignment" and "judge" at least 40
+// positions apart.
+func TestNotDistanceExample(t *testing.T) {
+	filler := strings.Repeat("w ", 50)
+	c, ix := corpusIx(t,
+		"assignment "+filler+"judge end",  // far apart: match
+		"assignment judge",                // adjacent: no match
+		"judge "+filler+"assignment",      // far apart, reversed: match
+		"assignment near a judge "+filler, // close: no match
+	)
+	q := parse(t, `SOME p1 SOME p2 (p1 HAS 'assignment' AND p2 HAS 'judge' AND not_distance(p1,p2,40))`)
+	got, err := Run(q, pred.Default(), ix, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, c, q)
+	if !same(got, want) {
+		t.Fatalf("npred=%v oracle=%v", got, want)
+	}
+	if !same(got, []core.NodeID{1, 3}) {
+		t.Fatalf("not_distance example = %v, want [1 3]", got)
+	}
+}
+
+func TestNegativePredicatesBasics(t *testing.T) {
+	c, ix := corpusIx(t,
+		"aa bb",          // adjacent
+		"aa x x x bb",    // 3 intervening
+		"bb aa",          // reversed
+		"aa bb aa bb",    // the Theorem 5 witness shape
+		"aa",             // missing bb
+		"cc aa\n\nbb cc", // different paragraphs
+	)
+	for _, s := range []string{
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_distance(p1,p2,0))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_distance(p1,p2,2))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_ordered(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_samepara(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'aa' AND diffpos(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_distance(p1,p2,0) AND ordered(p1,p2))`,
+		// NOT over a positive predicate desugars to the complement.
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND NOT distance(p1,p2,0))`,
+	} {
+		q := parse(t, s)
+		got, err := Run(q, pred.Default(), ix, nil, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		want := oracle(t, c, q)
+		if !same(got, want) {
+			t.Fatalf("%s:\nnpred  = %v\noracle = %v", s, got, want)
+		}
+	}
+}
+
+func randomStructuredCorpus(rng *rand.Rand, vocab []string, nDocs, maxLen int) *core.Corpus {
+	c := core.NewCorpus()
+	for i := 0; i < nDocs; i++ {
+		n := rng.Intn(maxLen + 1)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			switch rng.Intn(8) {
+			case 0:
+				b.WriteString(". ")
+			case 1:
+				b.WriteString("\n\n")
+			default:
+				b.WriteString(" ")
+			}
+		}
+		c.MustAdd(fmt.Sprintf("doc%d", i), b.String())
+	}
+	return c
+}
+
+// negGen generates random pipelined queries with negative predicates.
+type negGen struct {
+	rng   *rand.Rand
+	vocab []string
+	n     int
+}
+
+func (g *negGen) fresh() string {
+	g.n++
+	return fmt.Sprintf("p%d", g.n)
+}
+
+func (g *negGen) tok() string { return g.vocab[g.rng.Intn(len(g.vocab))] }
+
+func (g *negGen) query() lang.Query {
+	q := g.block()
+	switch g.rng.Intn(5) {
+	case 0:
+		q = lang.And{L: q, R: lang.Not{Q: g.block()}}
+	case 1:
+		q = lang.Or{L: q, R: g.block()}
+	}
+	return q
+}
+
+func (g *negGen) block() lang.Query {
+	k := 1 + g.rng.Intn(3)
+	vars := make([]string, k)
+	var conj []lang.Query
+	for i := range vars {
+		vars[i] = g.fresh()
+		conj = append(conj, lang.Has{Var: vars[i], Tok: g.tok()})
+	}
+	npreds := 1 + g.rng.Intn(2)
+	for i := 0; i < npreds; i++ {
+		a := vars[g.rng.Intn(k)]
+		b := vars[g.rng.Intn(k)]
+		choices := []lang.Pred{
+			{Name: "not_distance", Vars: []string{a, b}, Consts: []int{g.rng.Intn(5)}},
+			{Name: "not_ordered", Vars: []string{a, b}},
+			{Name: "not_samepara", Vars: []string{a, b}},
+			{Name: "not_samesent", Vars: []string{a, b}},
+			{Name: "diffpos", Vars: []string{a, b}},
+			{Name: "distance", Vars: []string{a, b}, Consts: []int{g.rng.Intn(5)}},
+			{Name: "ordered", Vars: []string{a, b}},
+		}
+		conj = append(conj, choices[g.rng.Intn(len(choices))])
+	}
+	body := conj[0]
+	for _, c := range conj[1:] {
+		body = lang.And{L: body, R: c}
+	}
+	var q lang.Query = body
+	for i := k - 1; i >= 0; i-- {
+		q = lang.Some{Var: vars[i], Q: q}
+	}
+	return q
+}
+
+// TestNPREDMatchesOracle is the main correctness property for negative
+// predicates: random mixed-polarity queries agree with the calculus oracle.
+func TestNPREDMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+	for trial := 0; trial < 250; trial++ {
+		g := &negGen{rng: rng, vocab: vocab}
+		q := g.query()
+		c := randomStructuredCorpus(rng, vocab, 6, 10)
+		ix := invlist.Build(c)
+		got, err := Run(q, reg, ix, nil, Options{})
+		if err != nil {
+			t.Fatalf("run %s: %v", q, err)
+		}
+		want := oracle(t, c, q)
+		if !same(got, want) {
+			plan, _ := Compile(q, reg)
+			t.Fatalf("query %s:\nnpred  = %v\noracle = %v\nplan:\n%s", q, got, want, plan.Explain())
+		}
+	}
+}
+
+// TestFullOrdersAblation: the full-permutation strategy (the paper's
+// toks_Q! bound) returns identical results with at least as many threads.
+func TestFullOrdersAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+	for trial := 0; trial < 60; trial++ {
+		g := &negGen{rng: rng, vocab: vocab}
+		q := g.query()
+		c := randomStructuredCorpus(rng, vocab, 5, 8)
+		ix := invlist.Build(c)
+		s1, s2 := &ppred.Stats{}, &ppred.Stats{}
+		partial, err := Run(q, reg, ix, s1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(q, reg, ix, s2, Options{FullOrders: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same(partial, full) {
+			t.Fatalf("query %s: partial=%v full=%v", q, partial, full)
+		}
+		if s2.Threads < s1.Threads {
+			t.Fatalf("full orders ran fewer threads (%d) than partial (%d)", s2.Threads, s1.Threads)
+		}
+	}
+}
+
+// TestNPREDThreadBound: thread count stays within the toks_Q! complexity
+// bound of Section 5.6.4.
+func TestNPREDThreadBound(t *testing.T) {
+	reg := pred.Default()
+	_, ix := corpusIx(t, "aa bb cc dd", "dd cc bb aa")
+	q := parse(t, `SOME p1 SOME p2 SOME p3 (p1 HAS 'aa' AND p2 HAS 'bb' AND p3 HAS 'cc'
+		AND not_distance(p1,p2,1) AND not_distance(p2,p3,1))`)
+	stats := &ppred.Stats{}
+	if _, err := Run(q, reg, ix, stats, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Threads > 6 { // 3! = 6
+		t.Fatalf("threads = %d exceeds 3! = 6", stats.Threads)
+	}
+	if stats.Threads != 6 {
+		t.Logf("partial orders used %d threads (max 6)", stats.Threads)
+	}
+}
+
+func TestMaxThreadsGuard(t *testing.T) {
+	reg := pred.Default()
+	_, ix := corpusIx(t, "aa bb")
+	q := parse(t, `SOME p1 SOME p2 SOME p3 (p1 HAS 'aa' AND p2 HAS 'bb' AND p3 HAS 'aa'
+		AND not_distance(p1,p2,1) AND not_distance(p2,p3,1) AND diffpos(p1,p3))`)
+	if _, err := Run(q, reg, ix, nil, Options{MaxThreads: 2}); err == nil {
+		t.Fatalf("MaxThreads guard did not trip")
+	}
+}
+
+// TestPurePositiveThroughNPRED: the NPRED driver degrades to a single
+// PPRED pass when no negative predicates are present.
+func TestPurePositiveThroughNPRED(t *testing.T) {
+	c, ix := corpusIx(t, "aa bb", "bb aa")
+	q := parse(t, `SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND ordered(p1,p2))`)
+	stats := &ppred.Stats{}
+	got, err := Run(q, pred.Default(), ix, stats, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(got, oracle(t, c, q)) {
+		t.Fatalf("wrong result")
+	}
+	if stats.Threads != 1 {
+		t.Fatalf("positive-only query used %d threads", stats.Threads)
+	}
+}
+
+// TestNegativeInsideNotOperand: a closed NOT operand containing negative
+// predicates must be evaluated with its own complete permutation union.
+func TestNegativeInsideNotOperand(t *testing.T) {
+	c, ix := corpusIx(t,
+		"xx yy aa w w w bb",
+		"xx yy aa bb",
+		"xx yy",
+	)
+	q := parse(t, `'xx' AND NOT (SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_distance(p1,p2,1)))`)
+	got, err := Run(q, pred.Default(), ix, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, c, q)
+	if !same(got, want) {
+		t.Fatalf("npred=%v oracle=%v", got, want)
+	}
+}
+
+// TestParallelThreads: the goroutine-based thread execution returns exactly
+// the sequential results.
+func TestParallelThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+	for trial := 0; trial < 60; trial++ {
+		g := &negGen{rng: rng, vocab: vocab}
+		q := g.query()
+		c := randomStructuredCorpus(rng, vocab, 6, 10)
+		ix := invlist.Build(c)
+		seq, err := Run(q, reg, ix, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := &ppred.Stats{}
+		par, err := Run(q, reg, ix, s2, Options{Parallel: true, FullOrders: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same(seq, par) {
+			t.Fatalf("query %s: sequential=%v parallel=%v", q, seq, par)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package ppred implements the PPRED evaluation engine of Section 5.5: a
+// pipelined operator tree over inverted-list cursors that evaluates queries
+// with positive predicates in a single forward scan of the query token
+// inverted lists. The operators realize Algorithms 1–5:
+//
+//	scan      — inverted-list leaf
+//	join      — sort-merge on the context node (Algorithm 1)
+//	select    — positive-predicate skipping via the f_i functions
+//	            (Algorithm 2); negative predicates via the largest-cursor
+//	            advance of Algorithm 7 (used by package npred)
+//	union     — single-variable merge (Algorithm 4; see DESIGN.md for how
+//	            general unions are reduced to this case plus node-level
+//	            unions)
+//	difference— node-level anti/semi joins (Algorithm 5)
+//
+// The package also contains the planner that translates pipelined-fragment
+// queries (package lang) into operator trees; package npred reuses the same
+// plans with per-thread cursor orderings for negative predicates.
+package ppred
+
+import (
+	"fulltext/internal/core"
+)
+
+// Cursor is the pipelined operator API of Section 5.5.3. A cursor
+// enumerates the tuples of a full-text relation node by node, exposing one
+// current tuple and moving strictly forward:
+//
+//   - AdvanceNode moves to the next context node with at least one tuple
+//     and positions the cursor at that node's minimal tuple;
+//   - AdvancePosition(col, min) moves forward to the minimal tuple of the
+//     current node whose column col has ordinal >= min and whose other
+//     columns are >= their current values; it reports false when the
+//     current node has no such tuple;
+//   - Position(col) returns the current tuple's position in column col.
+//
+// Cursors never move backward, which is what bounds every operator to a
+// single pass over the underlying inverted lists.
+type Cursor interface {
+	AdvanceNode() (core.NodeID, bool)
+	Node() core.NodeID
+	AdvancePosition(col int, min int32) bool
+	Position(col int) core.Pos
+	Width() int
+}
+
+// Stats instruments an execution for the complexity model of Section 5.1:
+// every inverted-list entry step and every position-pointer step is
+// counted, so tests can assert the single-scan property (PosSteps bounded
+// by the total size of the query token inverted lists).
+type Stats struct {
+	NodeSteps int // inverted-list entry advances across all scans
+	PosSteps  int // position-pointer advances across all scans
+	Threads   int // evaluation threads (1 for PPRED; up to toks_Q! for NPRED)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.NodeSteps += other.NodeSteps
+	s.PosSteps += other.PosSteps
+	s.Threads += other.Threads
+}

@@ -1,0 +1,330 @@
+package ppred
+
+import (
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/pred"
+)
+
+// scanOp is the leaf operator over one token inverted list.
+type scanOp struct {
+	cur   *invlist.Cursor
+	pos   []core.Pos
+	i     int
+	node  core.NodeID
+	stats *Stats
+}
+
+func newScan(list *invlist.PostingList, stats *Stats) *scanOp {
+	return &scanOp{cur: list.Cursor(), stats: stats}
+}
+
+func (s *scanOp) AdvanceNode() (core.NodeID, bool) {
+	node, ok := s.cur.NextEntry()
+	if !ok {
+		s.node = 0
+		return 0, false
+	}
+	s.stats.NodeSteps++
+	s.node = node
+	s.pos = s.cur.Positions()
+	s.i = 0
+	return node, true
+}
+
+func (s *scanOp) Node() core.NodeID { return s.node }
+
+func (s *scanOp) AdvancePosition(col int, min int32) bool {
+	for s.i < len(s.pos) && s.pos[s.i].Ord < min {
+		s.i++
+		s.stats.PosSteps++
+	}
+	return s.i < len(s.pos)
+}
+
+func (s *scanOp) Position(col int) core.Pos { return s.pos[s.i] }
+func (s *scanOp) Width() int                { return 1 }
+
+// joinOp is the sort-merge node join of Algorithm 1.
+type joinOp struct {
+	l, r Cursor
+	wl   int
+	node core.NodeID
+}
+
+func newJoin(l, r Cursor) *joinOp {
+	return &joinOp{l: l, r: r, wl: l.Width()}
+}
+
+func (j *joinOp) AdvanceNode() (core.NodeID, bool) {
+	nl, okl := j.l.AdvanceNode()
+	nr, okr := j.r.AdvanceNode()
+	for okl && okr && nl != nr {
+		if nl < nr {
+			nl, okl = j.l.AdvanceNode()
+		} else {
+			nr, okr = j.r.AdvanceNode()
+		}
+	}
+	if !okl || !okr {
+		j.node = 0
+		return 0, false
+	}
+	j.node = nl
+	return nl, true
+}
+
+func (j *joinOp) Node() core.NodeID { return j.node }
+
+func (j *joinOp) AdvancePosition(col int, min int32) bool {
+	if col < j.wl {
+		return j.l.AdvancePosition(col, min)
+	}
+	return j.r.AdvancePosition(col-j.wl, min)
+}
+
+func (j *joinOp) Position(col int) core.Pos {
+	if col < j.wl {
+		return j.l.Position(col)
+	}
+	return j.r.Position(col - j.wl)
+}
+
+func (j *joinOp) Width() int { return j.wl + j.r.Width() }
+
+// selectOp evaluates one predicate, skipping over failing regions. For
+// positive predicates it advances any coordinate whose Definition 1 target
+// exceeds its current ordinal (Algorithm 2). For negative predicates it
+// advances the thread-largest coordinate to the extension target
+// (Algorithm 7); largestArg identifies that coordinate and must be set by
+// the NPRED driver.
+type selectOp struct {
+	in         Cursor
+	def        *pred.Def
+	cols       []int
+	consts     []int
+	largestArg int // only used when def.Class == pred.Negative
+
+	args []core.Pos
+	node core.NodeID
+}
+
+func newSelect(in Cursor, def *pred.Def, cols []int, consts []int, largestArg int) *selectOp {
+	return &selectOp{in: in, def: def, cols: cols, consts: consts,
+		largestArg: largestArg, args: make([]core.Pos, len(cols))}
+}
+
+func (s *selectOp) AdvanceNode() (core.NodeID, bool) {
+	for {
+		node, ok := s.in.AdvanceNode()
+		if !ok {
+			s.node = 0
+			return 0, false
+		}
+		if s.advanceUntilSat() {
+			s.node = node
+			return node, true
+		}
+	}
+}
+
+func (s *selectOp) Node() core.NodeID { return s.node }
+
+func (s *selectOp) AdvancePosition(col int, min int32) bool {
+	if !s.in.AdvancePosition(col, min) {
+		return false
+	}
+	return s.advanceUntilSat()
+}
+
+func (s *selectOp) loadArgs() {
+	for i, c := range s.cols {
+		s.args[i] = s.in.Position(c)
+	}
+}
+
+// advanceUntilSat is the core skipping loop: move cursors forward until the
+// predicate holds or the node is exhausted.
+func (s *selectOp) advanceUntilSat() bool {
+	for {
+		s.loadArgs()
+		if s.def.Eval(s.args, s.consts) {
+			return true
+		}
+		if s.def.Class == pred.Negative {
+			target, ok := s.def.NegAdvance(s.largestArg, s.args, s.consts)
+			if !ok {
+				// This thread's ordering cannot satisfy the predicate by
+				// moving its largest cursor; solutions (if any) lie on order
+				// boundaries covered by other threads.
+				return false
+			}
+			if !s.in.AdvancePosition(s.cols[s.largestArg], target) {
+				return false
+			}
+			continue
+		}
+		advanced := false
+		for i := range s.cols {
+			target := s.def.Advance(i, s.args, s.consts)
+			if target > s.args[i].Ord {
+				if !s.in.AdvancePosition(s.cols[i], target) {
+					return false
+				}
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			// Definition 1 guarantees an advanceable coordinate; reaching
+			// here means the predicate is mis-registered.
+			return false
+		}
+	}
+}
+
+func (s *selectOp) Position(col int) core.Pos { return s.in.Position(col) }
+func (s *selectOp) Width() int                { return s.in.Width() }
+
+// unionOp merges two width-1 cursors over the same variable (the
+// single-variable instance of Algorithm 4; wider disjunctions are reduced
+// by the planner).
+type unionOp struct {
+	l, r           Cursor
+	lNode, rNode   core.NodeID
+	lAlive, rAlive bool
+	lIn, rIn       bool
+	node           core.NodeID
+	started        bool
+}
+
+func newUnion1(l, r Cursor) *unionOp { return &unionOp{l: l, r: r} }
+
+func (u *unionOp) AdvanceNode() (core.NodeID, bool) {
+	if !u.started {
+		u.started = true
+		u.lNode, u.lAlive = u.l.AdvanceNode()
+		u.rNode, u.rAlive = u.r.AdvanceNode()
+	} else {
+		if u.lAlive && u.lNode == u.node {
+			u.lNode, u.lAlive = u.l.AdvanceNode()
+		}
+		if u.rAlive && u.rNode == u.node {
+			u.rNode, u.rAlive = u.r.AdvanceNode()
+		}
+	}
+	switch {
+	case !u.lAlive && !u.rAlive:
+		u.node = 0
+		return 0, false
+	case u.lAlive && (!u.rAlive || u.lNode <= u.rNode):
+		u.node = u.lNode
+	default:
+		u.node = u.rNode
+	}
+	u.lIn = u.lAlive && u.lNode == u.node
+	u.rIn = u.rAlive && u.rNode == u.node
+	return u.node, true
+}
+
+func (u *unionOp) Node() core.NodeID { return u.node }
+
+func (u *unionOp) AdvancePosition(col int, min int32) bool {
+	if u.lIn && u.l.Position(0).Ord < min {
+		u.lIn = u.l.AdvancePosition(0, min)
+	}
+	if u.rIn && u.r.Position(0).Ord < min {
+		u.rIn = u.r.AdvancePosition(0, min)
+	}
+	return u.lIn || u.rIn
+}
+
+func (u *unionOp) Position(col int) core.Pos {
+	switch {
+	case u.lIn && u.rIn:
+		lp, rp := u.l.Position(0), u.r.Position(0)
+		if lp.Ord <= rp.Ord {
+			return lp
+		}
+		return rp
+	case u.lIn:
+		return u.l.Position(0)
+	default:
+		return u.r.Position(0)
+	}
+}
+
+func (u *unionOp) Width() int { return 1 }
+
+// nodeFilter implements node-level semi- and anti-joins against a
+// pre-computed sorted node set (Algorithm 5's difference works at node
+// granularity; "Query AND NOT Query*" anti-joins the closed operand's node
+// set, closed positive conjuncts semi-join theirs).
+type nodeFilter struct {
+	in    Cursor
+	nodes []core.NodeID
+	keep  bool // true: semi-join (keep members); false: anti-join
+	i     int
+	node  core.NodeID
+}
+
+func newNodeFilter(in Cursor, nodes []core.NodeID, keep bool) *nodeFilter {
+	return &nodeFilter{in: in, nodes: nodes, keep: keep}
+}
+
+func (f *nodeFilter) AdvanceNode() (core.NodeID, bool) {
+	for {
+		node, ok := f.in.AdvanceNode()
+		if !ok {
+			f.node = 0
+			return 0, false
+		}
+		for f.i < len(f.nodes) && f.nodes[f.i] < node {
+			f.i++
+		}
+		member := f.i < len(f.nodes) && f.nodes[f.i] == node
+		if member == f.keep {
+			f.node = node
+			return node, true
+		}
+	}
+}
+
+func (f *nodeFilter) Node() core.NodeID                       { return f.node }
+func (f *nodeFilter) AdvancePosition(col int, min int32) bool { return f.in.AdvancePosition(col, min) }
+func (f *nodeFilter) Position(col int) core.Pos               { return f.in.Position(col) }
+func (f *nodeFilter) Width() int                              { return f.in.Width() }
+
+// nodeSetCursor is a width-0 cursor over a sorted node set; closed
+// subqueries become these so joins act as node-level semijoins.
+type nodeSetCursor struct {
+	nodes []core.NodeID
+	i     int
+}
+
+func (n *nodeSetCursor) AdvanceNode() (core.NodeID, bool) {
+	if n.i >= len(n.nodes) {
+		return 0, false
+	}
+	n.i++
+	return n.nodes[n.i-1], true
+}
+
+func (n *nodeSetCursor) Node() core.NodeID {
+	if n.i == 0 || n.i > len(n.nodes) {
+		return 0
+	}
+	return n.nodes[n.i-1]
+}
+
+func (n *nodeSetCursor) AdvancePosition(col int, min int32) bool {
+	panic(fmt.Sprintf("ppred: AdvancePosition on width-0 cursor (col %d)", col))
+}
+
+func (n *nodeSetCursor) Position(col int) core.Pos {
+	panic(fmt.Sprintf("ppred: Position on width-0 cursor (col %d)", col))
+}
+
+func (n *nodeSetCursor) Width() int { return 0 }

@@ -1,0 +1,448 @@
+package ppred
+
+import (
+	"fmt"
+	"sort"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/pred"
+)
+
+// ErrNotPipelined reports that a query falls outside the fragment the
+// pipelined engines evaluate; callers fall back to the COMP engine.
+type ErrNotPipelined struct{ Reason string }
+
+func (e ErrNotPipelined) Error() string { return "ppred: not pipelined: " + e.Reason }
+
+// Plan is a compiled pipelined operator tree. PPRED plans (no negative
+// predicates) run directly; plans with negative predicates additionally
+// need a cursor ordering per block, supplied by the NPRED driver.
+type Plan struct {
+	root planNode
+	// negBlocks lists the conjunctive blocks containing negative
+	// predicates, in plan order.
+	negBlocks []*BlockOrder
+}
+
+// BlockOrder describes a block whose cursors require a total order: Vars
+// are the variables appearing in the block's negative predicates (the
+// paper's "necessary partial orders"); AllVars are every scan variable of
+// the block (used by the full-permutation ablation).
+type BlockOrder struct {
+	ID      int
+	Vars    []string
+	AllVars []string
+}
+
+// NegBlocks returns the ordering requirements of the plan's blocks.
+func (p *Plan) NegBlocks() []*BlockOrder { return p.negBlocks }
+
+// HasNegative reports whether the plan contains negative predicates.
+func (p *Plan) HasNegative() bool { return len(p.negBlocks) > 0 }
+
+type planNode interface {
+	cols() []string
+	instantiate(ctx *execCtx) (Cursor, error)
+}
+
+type execCtx struct {
+	ix     *invlist.Index
+	reg    *pred.Registry
+	stats  *Stats
+	orders map[int][]string // block id -> variable permutation
+	opts   OrderOptions     // strategy for nested sub-plans
+}
+
+// pnScan scans one token inverted list, binding variable v.
+type pnScan struct {
+	tok string
+	v   string
+}
+
+func (s *pnScan) cols() []string { return []string{s.v} }
+func (s *pnScan) instantiate(ctx *execCtx) (Cursor, error) {
+	return newScan(ctx.ix.List(s.tok), ctx.stats), nil
+}
+
+// selSpec is one predicate selection inside a block.
+type selSpec struct {
+	def    *pred.Def
+	args   []string
+	consts []int
+}
+
+// pnBlock is a conjunctive block: producers joined on the node, then
+// predicate selections, then node-level semi/anti joins for closed
+// conjuncts.
+type pnBlock struct {
+	id        int
+	producers []planNode
+	selects   []selSpec
+	anti      []*Plan // NOT-closed operands (anti-joined node sets)
+	colNames  []string
+}
+
+func (b *pnBlock) cols() []string { return b.colNames }
+
+func (b *pnBlock) instantiate(ctx *execCtx) (Cursor, error) {
+	cur, err := b.producers[0].instantiate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range b.producers[1:] {
+		rc, err := p.instantiate(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cur = newJoin(cur, rc)
+	}
+	colIdx := make(map[string]int, len(b.colNames))
+	for i, v := range b.colNames {
+		colIdx[v] = i
+	}
+
+	// Enforce this thread's total order with a chain of le selections
+	// before any negative predicate runs (Section 5.6.2).
+	order := ctx.orders[b.id]
+	orderRank := make(map[string]int, len(order))
+	if len(order) > 0 {
+		le, ok := ctx.reg.Lookup("le")
+		if !ok {
+			return nil, fmt.Errorf("ppred: le predicate not registered")
+		}
+		for i, v := range order {
+			orderRank[v] = i
+			if i == 0 {
+				continue
+			}
+			ca, okA := colIdx[order[i-1]]
+			cb, okB := colIdx[v]
+			if !okA || !okB {
+				return nil, fmt.Errorf("ppred: order variable %q not a column of block %d", v, b.id)
+			}
+			cur = newSelect(cur, le, []int{ca, cb}, nil, 0)
+		}
+	}
+
+	for _, s := range b.selects {
+		cols := make([]int, len(s.args))
+		for i, v := range s.args {
+			j, ok := colIdx[v]
+			if !ok {
+				return nil, fmt.Errorf("ppred: predicate variable %q not a column of block %d", v, b.id)
+			}
+			cols[i] = j
+		}
+		largest := 0
+		if s.def.Class == pred.Negative {
+			if len(order) == 0 {
+				return nil, fmt.Errorf("ppred: negative predicate %s requires a cursor ordering (use the NPRED driver)", s.def.Name)
+			}
+			best := -1
+			for i, v := range s.args {
+				r, ok := orderRank[v]
+				if !ok {
+					return nil, fmt.Errorf("ppred: negative predicate variable %q missing from block %d ordering", v, b.id)
+				}
+				if r > best {
+					best = r
+					largest = i
+				}
+			}
+		}
+		cur = newSelect(cur, s.def, cols, s.consts, largest)
+	}
+
+	for _, sub := range b.anti {
+		// A NOT operand needs its complete node set, so nested plans with
+		// negative predicates run their own permutation union.
+		nodes, err := sub.RunAll(ctx.ix, ctx.reg, ctx.stats, ctx.opts)
+		if err != nil {
+			return nil, err
+		}
+		cur = newNodeFilter(cur, nodes, false)
+	}
+	return cur, nil
+}
+
+// pnUnion1 merges two width-1 plans over the same variable.
+type pnUnion1 struct {
+	l, r planNode
+	v    string
+}
+
+func (u *pnUnion1) cols() []string { return []string{u.v} }
+func (u *pnUnion1) instantiate(ctx *execCtx) (Cursor, error) {
+	lc, err := u.l.instantiate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := u.r.instantiate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newUnion1(lc, rc), nil
+}
+
+// pnNodeUnion evaluates closed branches to node sets and merges them.
+type pnNodeUnion struct {
+	branches []*Plan
+}
+
+func (n *pnNodeUnion) cols() []string { return nil }
+func (n *pnNodeUnion) instantiate(ctx *execCtx) (Cursor, error) {
+	var merged []core.NodeID
+	set := make(map[core.NodeID]bool)
+	for _, b := range n.branches {
+		nodes, err := b.RunAll(ctx.ix, ctx.reg, ctx.stats, ctx.opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, nd := range nodes {
+			if !set[nd] {
+				set[nd] = true
+				merged = append(merged, nd)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return &nodeSetCursor{nodes: merged}, nil
+}
+
+// Compile builds a PPRED plan: pipelined fragment, positive predicates
+// only. Queries with negative predicates are rejected (use CompileNeg and
+// the NPRED driver).
+func Compile(q lang.Query, reg *pred.Registry) (*Plan, error) {
+	p, err := CompileNeg(q, reg)
+	if err != nil {
+		return nil, err
+	}
+	if p.HasNegative() {
+		return nil, ErrNotPipelined{Reason: "query uses negative predicates (NPRED)"}
+	}
+	return p, nil
+}
+
+// CompileNeg builds a pipelined plan allowing both positive and negative
+// predicates.
+func CompileNeg(q lang.Query, reg *pred.Registry) (*Plan, error) {
+	q = lang.Normalize(q, reg)
+	b := &builder{reg: reg}
+	root, err := b.build(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{root: root, negBlocks: b.negBlocks}, nil
+}
+
+type builder struct {
+	reg       *pred.Registry
+	nextBlock int
+	nextAnon  int
+	negBlocks []*BlockOrder
+}
+
+func (b *builder) anon() string {
+	b.nextAnon++
+	return fmt.Sprintf("_a%d", b.nextAnon)
+}
+
+func (b *builder) build(q lang.Query) (planNode, error) {
+	switch x := q.(type) {
+	case lang.Lit:
+		return &pnScan{tok: x.Tok, v: b.anon()}, nil
+
+	case lang.Has:
+		return &pnScan{tok: x.Tok, v: x.Var}, nil
+
+	case lang.Any, lang.HasAny:
+		return nil, ErrNotPipelined{Reason: "ANY requires IL_ANY access"}
+
+	case lang.Every:
+		return nil, ErrNotPipelined{Reason: "EVERY requires IL_ANY access"}
+
+	case lang.Not:
+		return nil, ErrNotPipelined{Reason: "NOT outside a conjunction"}
+
+	case lang.Pred:
+		return nil, ErrNotPipelined{Reason: fmt.Sprintf("predicate %s has no scans binding its variables", x.Name)}
+
+	case lang.Some:
+		// Quantification is implicit in node-level semantics; the bound
+		// variable simply remains a physical column.
+		return b.build(x.Q)
+
+	case lang.Or:
+		if lang.Closed(x.L) && lang.Closed(x.R) {
+			lp, err := b.subPlan(x.L)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := b.subPlan(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return &pnNodeUnion{branches: flattenNodeUnion(lp, rp)}, nil
+		}
+		ln, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		lc, rc := ln.cols(), rn.cols()
+		if len(lc) == 1 && len(rc) == 1 && lc[0] == rc[0] {
+			return &pnUnion1{l: ln, r: rn, v: lc[0]}, nil
+		}
+		return nil, ErrNotPipelined{Reason: "disjunction branches must be closed or share one variable"}
+
+	case lang.And:
+		return b.buildBlock(flattenAnd(q))
+
+	default:
+		return nil, ErrNotPipelined{Reason: fmt.Sprintf("unsupported construct %T", q)}
+	}
+}
+
+func (b *builder) buildBlock(conjs []lang.Query) (planNode, error) {
+	blk := &pnBlock{id: b.nextBlock}
+	b.nextBlock++
+
+	var preds []lang.Pred
+	seen := make(map[string]bool)
+	var eqs [][2]string
+
+	for _, c := range conjs {
+		switch x := c.(type) {
+		case lang.Pred:
+			preds = append(preds, x)
+		case lang.Not:
+			if !lang.Closed(x.Q) {
+				return nil, ErrNotPipelined{Reason: "NOT operand has free variables"}
+			}
+			sub, err := b.subPlan(x.Q)
+			if err != nil {
+				return nil, err
+			}
+			blk.anti = append(blk.anti, sub)
+		default:
+			node, err := b.build(c)
+			if err != nil {
+				return nil, err
+			}
+			// Duplicate column names across producers become aliased
+			// columns constrained equal with eqpos.
+			nodeCols := node.cols()
+			for i, v := range nodeCols {
+				if seen[v] {
+					alias := b.anon()
+					ren, err := renameCol(node, i, alias)
+					if err != nil {
+						return nil, err
+					}
+					node = ren
+					nodeCols = node.cols()
+					eqs = append(eqs, [2]string{v, alias})
+				}
+				seen[nodeCols[i]] = true
+			}
+			blk.producers = append(blk.producers, node)
+			blk.colNames = append(blk.colNames, nodeCols...)
+		}
+	}
+	if len(blk.producers) == 0 {
+		return nil, ErrNotPipelined{Reason: "conjunction has no scannable conjunct"}
+	}
+
+	eqDef, _ := b.reg.Lookup("eqpos")
+	for _, eq := range eqs {
+		blk.selects = append(blk.selects, selSpec{def: eqDef, args: eq[:], consts: nil})
+	}
+
+	colSet := make(map[string]bool, len(blk.colNames))
+	for _, v := range blk.colNames {
+		colSet[v] = true
+	}
+	var negVars []string
+	negSeen := make(map[string]bool)
+	for _, p := range preds {
+		def, ok := b.reg.Lookup(p.Name)
+		if !ok {
+			return nil, fmt.Errorf("ppred: unknown predicate %q", p.Name)
+		}
+		if err := def.Check(len(p.Vars), len(p.Consts)); err != nil {
+			return nil, err
+		}
+		if def.Class == pred.General {
+			return nil, ErrNotPipelined{Reason: fmt.Sprintf("predicate %s is not positive or negative", p.Name)}
+		}
+		for _, v := range p.Vars {
+			if !colSet[v] {
+				return nil, ErrNotPipelined{Reason: fmt.Sprintf("predicate variable %q is not bound by a scan in its conjunction", v)}
+			}
+		}
+		if def.Class == pred.Negative {
+			for _, v := range p.Vars {
+				if !negSeen[v] {
+					negSeen[v] = true
+					negVars = append(negVars, v)
+				}
+			}
+		}
+		blk.selects = append(blk.selects, selSpec{def: def, args: append([]string(nil), p.Vars...),
+			consts: append([]int(nil), p.Consts...)})
+	}
+	if len(negVars) > 0 {
+		b.negBlocks = append(b.negBlocks, &BlockOrder{
+			ID: blk.id, Vars: negVars, AllVars: append([]string(nil), blk.colNames...),
+		})
+	}
+	return blk, nil
+}
+
+// subPlan compiles a closed subquery into its own Plan, sharing the
+// builder's counters so block ids stay unique. The subquery's negative
+// blocks belong to the sub-plan (it runs its own permutation union), not to
+// the parent.
+func (b *builder) subPlan(q lang.Query) (*Plan, error) {
+	before := len(b.negBlocks)
+	root, err := b.build(q)
+	if err != nil {
+		return nil, err
+	}
+	sub := append([]*BlockOrder(nil), b.negBlocks[before:]...)
+	b.negBlocks = b.negBlocks[:before]
+	return &Plan{root: root, negBlocks: sub}, nil
+}
+
+func flattenAnd(q lang.Query) []lang.Query {
+	if a, ok := q.(lang.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []lang.Query{q}
+}
+
+func flattenNodeUnion(plans ...*Plan) []*Plan {
+	var out []*Plan
+	for _, p := range plans {
+		if nu, ok := p.root.(*pnNodeUnion); ok && len(p.negBlocks) == 0 {
+			out = append(out, nu.branches...)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// renameCol renames one column of a plan node. Only scans can be renamed;
+// deeper duplicates are out of fragment.
+func renameCol(n planNode, col int, name string) (planNode, error) {
+	if s, ok := n.(*pnScan); ok && col == 0 {
+		return &pnScan{tok: s.tok, v: name}, nil
+	}
+	return nil, ErrNotPipelined{Reason: "duplicate variable binding inside a composite subplan"}
+}

@@ -1,0 +1,437 @@
+package ppred
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/core"
+	"fulltext/internal/ftc"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/pred"
+)
+
+func parse(t testing.TB, s string) lang.Query {
+	t.Helper()
+	q, err := lang.Parse(lang.DialectCOMP, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return q
+}
+
+func corpusIx(t testing.TB, docs ...string) (*core.Corpus, *invlist.Index) {
+	t.Helper()
+	c := core.NewCorpus()
+	for i, text := range docs {
+		if _, err := c.Add(fmt.Sprintf("d%d", i+1), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, invlist.Build(c)
+}
+
+func runPPRED(t testing.TB, ix *invlist.Index, q lang.Query) []core.NodeID {
+	t.Helper()
+	reg := pred.Default()
+	plan, err := Compile(lang.Normalize(q, reg), reg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	nodes, err := plan.Run(ix, reg, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return nodes
+}
+
+func oracle(t testing.TB, c *core.Corpus, q lang.Query) []core.NodeID {
+	t.Helper()
+	nodes, err := ftc.Query(c, pred.Default(), lang.ToFTC(q))
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return nodes
+}
+
+func same(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicQueries(t *testing.T) {
+	c, ix := corpusIx(t,
+		"test usability of the software test",
+		"the quality test ran for usability",
+		"nothing relevant here",
+		"test test",
+	)
+	queries := []string{
+		`'test'`,
+		`'test' AND 'usability'`,
+		`'test' AND NOT 'usability'`,
+		`'test' OR 'here'`,
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))`,
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,0))`,
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND ordered(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'test' AND ordered(p1,p2))`,
+		`SOME p (p HAS 'test' OR p HAS 'quality')`,
+		`SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'test' AND ordered(p1,p2))`,
+		`'test' AND 'usability' AND 'software'`,
+		`('test' AND NOT 'usability') OR 'relevant'`,
+	}
+	for _, s := range queries {
+		q := parse(t, s)
+		got := runPPRED(t, ix, q)
+		want := oracle(t, c, q)
+		if !same(got, want) {
+			t.Errorf("%s: ppred=%v oracle=%v", s, got, want)
+		}
+	}
+}
+
+func TestSameParagraphQueries(t *testing.T) {
+	c, ix := corpusIx(t,
+		"usability testing basics\n\nsoftware design with usability in mind",
+		"usability matters\n\nsoftware is hard",
+		"one two. three four usability five software.",
+	)
+	for _, s := range []string{
+		`SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND samepara(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND samesent(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND samepara(p1,p2) AND ordered(p1,p2))`,
+	} {
+		q := parse(t, s)
+		got := runPPRED(t, ix, q)
+		want := oracle(t, c, q)
+		if !same(got, want) {
+			t.Errorf("%s: ppred=%v oracle=%v", s, got, want)
+		}
+	}
+}
+
+// Use Case 10.4 of Example 1: 'efficient' and the phrase "task completion",
+// in that order, with at most 10 intervening tokens. The phrase is
+// expressed as adjacency (ordered + distance 0).
+func TestUseCase104(t *testing.T) {
+	c, ix := corpusIx(t,
+		"an efficient algorithm improves task completion rates",       // match
+		"task completion precedes the efficient algorithm",            // wrong order
+		"efficient code but the task never reaches completion of it",  // not a phrase
+		"efficient a b c d e f g h i j k l m n o p task completion x", // too far
+		"the efficient process and fast task completion",              // match
+	)
+	q := parse(t, `SOME e SOME t1 SOME t2 (
+		e HAS 'efficient' AND t1 HAS 'task' AND t2 HAS 'completion'
+		AND ordered(t1,t2) AND distance(t1,t2,0)
+		AND ordered(e,t1) AND distance(e,t1,10))`)
+	got := runPPRED(t, ix, q)
+	want := oracle(t, c, q)
+	if !same(got, want) {
+		t.Fatalf("ppred=%v oracle=%v", got, want)
+	}
+	if !same(got, []core.NodeID{1, 5}) {
+		t.Fatalf("use case 10.4 = %v, want [1 5]", got)
+	}
+}
+
+func TestOutOfFragment(t *testing.T) {
+	reg := pred.Default()
+	for _, s := range []string{
+		`ANY`,
+		`NOT 'a'`,
+		`SOME p (p HAS ANY)`,
+		`EVERY p (p HAS 'a')`,
+		`SOME p1 SOME p2 (p1 HAS 'a' AND distance(p1,p2,5))`, // p2 unbound by scans
+		`SOME p1 SOME p2 ((p1 HAS 'a' OR p2 HAS 'b') AND distance(p1,p2,1))`,
+	} {
+		q := parse(t, s)
+		if _, err := Compile(lang.Normalize(q, reg), reg); err == nil {
+			t.Errorf("Compile(%q) should fail", s)
+		}
+	}
+	// Negative predicates compile with CompileNeg but are rejected by the
+	// PPRED runner.
+	q := parse(t, `SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,4))`)
+	if _, err := Compile(q, reg); err == nil {
+		t.Errorf("Compile should reject negative predicates")
+	}
+	plan, err := CompileNeg(q, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.HasNegative() {
+		t.Errorf("plan should report negative predicates")
+	}
+	if _, err := plan.Run(nil, reg, nil); err == nil {
+		t.Errorf("Run should reject negative plans")
+	}
+}
+
+func TestHoistedNesting(t *testing.T) {
+	// Nested SOME with a cross-block predicate is accepted after hoisting.
+	c, ix := corpusIx(t, "aa x bb", "aa bb", "bb aa")
+	q := parse(t, `SOME p1 (p1 HAS 'aa' AND SOME p2 (p2 HAS 'bb' AND ordered(p1,p2)))`)
+	got := runPPRED(t, ix, q)
+	want := oracle(t, c, q)
+	if !same(got, want) {
+		t.Fatalf("ppred=%v oracle=%v", got, want)
+	}
+}
+
+// pipelineGen generates random queries inside the pipelined fragment.
+type pipelineGen struct {
+	rng   *rand.Rand
+	vocab []string
+	neg   bool // allow negative predicates
+	n     int
+}
+
+func (g *pipelineGen) fresh() string {
+	g.n++
+	return fmt.Sprintf("p%d", g.n)
+}
+
+func (g *pipelineGen) query() lang.Query {
+	q := g.block()
+	// Optional AND NOT closed / OR closed composition.
+	switch g.rng.Intn(4) {
+	case 0:
+		q = lang.And{L: q, R: lang.Not{Q: g.block()}}
+	case 1:
+		q = lang.Or{L: q, R: g.block()}
+	}
+	return q
+}
+
+func (g *pipelineGen) block() lang.Query {
+	k := 1 + g.rng.Intn(3)
+	vars := make([]string, k)
+	var conj []lang.Query
+	for i := range vars {
+		vars[i] = g.fresh()
+		if g.rng.Intn(5) == 0 {
+			// A single-variable OR producer.
+			conj = append(conj, lang.Or{
+				L: lang.Has{Var: vars[i], Tok: g.tok()},
+				R: lang.Has{Var: vars[i], Tok: g.tok()},
+			})
+		} else {
+			conj = append(conj, lang.Has{Var: vars[i], Tok: g.tok()})
+		}
+	}
+	npreds := g.rng.Intn(3)
+	for i := 0; i < npreds; i++ {
+		a := vars[g.rng.Intn(k)]
+		b := vars[g.rng.Intn(k)]
+		var p lang.Pred
+		choices := []lang.Pred{
+			{Name: "distance", Vars: []string{a, b}, Consts: []int{g.rng.Intn(6)}},
+			{Name: "ordered", Vars: []string{a, b}},
+			{Name: "samepara", Vars: []string{a, b}},
+			{Name: "window", Vars: []string{a, b}, Consts: []int{g.rng.Intn(8)}},
+		}
+		if g.neg {
+			choices = append(choices,
+				lang.Pred{Name: "not_distance", Vars: []string{a, b}, Consts: []int{g.rng.Intn(6)}},
+				lang.Pred{Name: "not_ordered", Vars: []string{a, b}},
+				lang.Pred{Name: "diffpos", Vars: []string{a, b}},
+				lang.Pred{Name: "not_samepara", Vars: []string{a, b}},
+			)
+		}
+		p = choices[g.rng.Intn(len(choices))]
+		conj = append(conj, p)
+	}
+	body := conj[0]
+	for _, c := range conj[1:] {
+		body = lang.And{L: body, R: c}
+	}
+	var q lang.Query = body
+	for i := k - 1; i >= 0; i-- {
+		q = lang.Some{Var: vars[i], Q: q}
+	}
+	return q
+}
+
+func (g *pipelineGen) tok() string {
+	return g.vocab[g.rng.Intn(len(g.vocab))]
+}
+
+func randomStructuredCorpus(rng *rand.Rand, vocab []string, nDocs, maxLen int) *core.Corpus {
+	c := core.NewCorpus()
+	for i := 0; i < nDocs; i++ {
+		n := rng.Intn(maxLen + 1)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			switch rng.Intn(8) {
+			case 0:
+				b.WriteString(". ")
+			case 1:
+				b.WriteString("\n\n")
+			default:
+				b.WriteString(" ")
+			}
+		}
+		c.MustAdd(fmt.Sprintf("doc%d", i), b.String())
+	}
+	return c
+}
+
+// TestPPREDMatchesOracle is the main correctness property: on random
+// pipelined queries and random corpora, the single-scan engine agrees with
+// the brute-force calculus interpreter.
+func TestPPREDMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	vocab := []string{"aa", "bb", "cc", "dd"}
+	reg := pred.Default()
+	for trial := 0; trial < 250; trial++ {
+		g := &pipelineGen{rng: rng, vocab: vocab}
+		q := g.query()
+		plan, err := Compile(lang.Normalize(q, reg), reg)
+		if err != nil {
+			t.Fatalf("compile %s: %v", q, err)
+		}
+		c := randomStructuredCorpus(rng, vocab, 6, 10)
+		ix := invlist.Build(c)
+		got, err := plan.Run(ix, reg, nil)
+		if err != nil {
+			t.Fatalf("run %s: %v", q, err)
+		}
+		want := oracle(t, c, q)
+		if !same(got, want) {
+			t.Fatalf("query %s:\nppred  = %v\noracle = %v\nplan:\n%s", q, got, want, plan.Explain())
+		}
+	}
+}
+
+// TestSingleScanProperty asserts the Section 5.5 headline: evaluation
+// touches each inverted-list position O(1) times — concretely, position
+// steps never exceed the total size of the query token lists times the
+// number of selection operators plus one.
+func TestSingleScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+	for trial := 0; trial < 80; trial++ {
+		g := &pipelineGen{rng: rng, vocab: vocab}
+		q := g.query()
+		plan, err := Compile(lang.Normalize(q, reg), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := randomStructuredCorpus(rng, vocab, 10, 30)
+		ix := invlist.Build(c)
+		stats := &Stats{}
+		if _, err := plan.Run(ix, reg, stats); err != nil {
+			t.Fatal(err)
+		}
+		// Every scan's position pointer moves strictly forward within each
+		// entry, so total position steps are bounded by the total number of
+		// positions across the scanned lists (each list is scanned at most
+		// once per thread; PPRED has exactly one thread).
+		totalListPositions := 0
+		for _, tok := range vocab {
+			totalListPositions += ix.List(tok).TotalPositions()
+		}
+		// A query can scan the same token list several times (several scan
+		// operators); bound by scans count. Use a generous structural bound:
+		// 8 scan operators max in the generator (3 + 3 + union doubles).
+		bound := totalListPositions * 16
+		if stats.PosSteps > bound {
+			t.Fatalf("query %s: PosSteps=%d exceeds linear bound %d", q, stats.PosSteps, bound)
+		}
+		// Threads counts pipelined passes: one for the main plan plus one
+		// per closed subquery (anti-join operands, node-union branches).
+		// A PPRED query never needs ordering permutations, so the pass
+		// count is bounded by the (tiny) number of closed subqueries.
+		if stats.Threads < 1 || stats.Threads > 3 {
+			t.Fatalf("PPRED pass count out of range: %d", stats.Threads)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	reg := pred.Default()
+	q := parse(t, `SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND samepara(p1,p2) AND distance(p1,p2,5)) AND NOT 'draft'`)
+	plan, err := Compile(lang.Normalize(q, reg), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Explain()
+	for _, want := range []string{`scan ("usability")`, `scan ("software")`, "join", "samepara", "distance", "anti-join", `scan ("draft")`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if got := Permutations(nil); len(got) != 1 || got[0] != nil {
+		t.Errorf("Permutations(nil) = %v", got)
+	}
+	got := Permutations([]string{"a", "b", "c"})
+	if len(got) != 6 {
+		t.Fatalf("3! = %d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		if len(p) != 3 {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[strings.Join(p, ",")] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("duplicate permutations: %v", got)
+	}
+}
+
+func TestEmptyListsAndNodes(t *testing.T) {
+	c, ix := corpusIx(t, "aa bb")
+	q := parse(t, `'zz' AND 'aa'`)
+	got := runPPRED(t, ix, q)
+	if len(got) != 0 {
+		t.Errorf("missing token matched: %v", got)
+	}
+	q2 := parse(t, `'aa' AND NOT 'zz'`)
+	got2 := runPPRED(t, ix, q2)
+	want2 := oracle(t, c, q2)
+	if !same(got2, want2) {
+		t.Errorf("NOT of missing token: %v vs %v", got2, want2)
+	}
+}
+
+func TestDuplicateVariableScan(t *testing.T) {
+	// SOME p (p HAS 'aa' AND p HAS 'aa'): same position scanned twice via
+	// eqpos.
+	c, ix := corpusIx(t, "aa bb", "bb")
+	q := parse(t, `SOME p (p HAS 'aa' AND p HAS 'aa')`)
+	got := runPPRED(t, ix, q)
+	want := oracle(t, c, q)
+	if !same(got, want) {
+		t.Fatalf("dup var: %v vs %v", got, want)
+	}
+	// Contradictory: same position holding two different tokens.
+	q2 := parse(t, `SOME p (p HAS 'aa' AND p HAS 'bb')`)
+	got2 := runPPRED(t, ix, q2)
+	if len(got2) != 0 {
+		t.Fatalf("contradictory dup var matched: %v", got2)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{NodeSteps: 1, PosSteps: 2, Threads: 3}
+	a.Add(Stats{NodeSteps: 10, PosSteps: 20, Threads: 30})
+	if a.NodeSteps != 11 || a.PosSteps != 22 || a.Threads != 33 {
+		t.Errorf("Stats.Add wrong: %+v", a)
+	}
+}

@@ -1,0 +1,227 @@
+package pred
+
+import "fulltext/internal/core"
+
+// Default returns a registry with the paper's built-in predicates:
+//
+//	positive: distance, ordered, samepara, samesent, window, window3,
+//	          eqpos, le
+//	negative: not_distance, not_ordered, not_samepara, not_samesent, diffpos
+//
+// The registry is freshly built on each call so callers may extend it
+// without affecting others.
+func Default() *Registry {
+	r := NewRegistry()
+
+	// distance(p1, p2, d): at most d intervening tokens between p1 and p2
+	// (Section 2.2), i.e. |ord1 - ord2| <= d+1.
+	r.MustRegister(&Def{
+		Name: "distance", PosArity: 2, ConstArity: 1, Class: Positive,
+		Complement: "not_distance",
+		Eval: func(p []core.Pos, c []int) bool {
+			return absDiff(p[0].Ord, p[1].Ord) <= int32(c[0])+1
+		},
+		// If the gap is too wide, the trailing coordinate must catch up to
+		// within d+1 of the leading one.
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			lead := max32(p[0].Ord, p[1].Ord)
+			target := lead - int32(c[0]) - 1
+			if target > p[i].Ord {
+				return target
+			}
+			return p[i].Ord
+		},
+	})
+
+	// not_distance(p1, p2, d): more than d intervening tokens.
+	r.MustRegister(&Def{
+		Name: "not_distance", PosArity: 2, ConstArity: 1, Class: Negative,
+		Complement: "distance",
+		Eval: func(p []core.Pos, c []int) bool {
+			return absDiff(p[0].Ord, p[1].Ord) > int32(c[0])+1
+		},
+		// The gap can always be extended by pushing the largest coordinate
+		// past other + d + 1.
+		NegAdvance: func(largest int, p []core.Pos, c []int) (int32, bool) {
+			other := p[1-largest].Ord
+			return other + int32(c[0]) + 2, true
+		},
+	})
+
+	// ordered(p1, p2): p1 occurs strictly before p2.
+	r.MustRegister(&Def{
+		Name: "ordered", PosArity: 2, ConstArity: 0, Class: Positive,
+		Complement: "not_ordered",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Ord < p[1].Ord },
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			if i == 1 && p[0].Ord >= p[1].Ord {
+				return p[0].Ord + 1
+			}
+			return p[i].Ord
+		},
+	})
+
+	// not_ordered(p1, p2): p1 does not occur before p2 (ord1 >= ord2).
+	r.MustRegister(&Def{
+		Name: "not_ordered", PosArity: 2, ConstArity: 0, Class: Negative,
+		Complement: "ordered",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Ord >= p[1].Ord },
+		NegAdvance: func(largest int, p []core.Pos, c []int) (int32, bool) {
+			if largest == 0 {
+				// Advancing p1 to p2's ordinal makes ord1 >= ord2.
+				return p[1].Ord, true
+			}
+			// Advancing p2 only increases ord2; unsatisfiable in this thread.
+			return 0, false
+		},
+	})
+
+	// le(p1, p2): ord1 <= ord2. Internal predicate used by the NPRED engine
+	// to enforce a thread's total order; also usable directly.
+	r.MustRegister(&Def{
+		Name: "le", PosArity: 2, ConstArity: 0, Class: Positive,
+		Eval: func(p []core.Pos, c []int) bool { return p[0].Ord <= p[1].Ord },
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			if i == 1 && p[0].Ord > p[1].Ord {
+				return p[0].Ord
+			}
+			return p[i].Ord
+		},
+	})
+
+	// eqpos(p1, p2): same position. Internal predicate used by the planner
+	// when one variable is scanned twice.
+	r.MustRegister(&Def{
+		Name: "eqpos", PosArity: 2, ConstArity: 0, Class: Positive,
+		Complement: "diffpos",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Ord == p[1].Ord },
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			other := p[1-i].Ord
+			if other > p[i].Ord {
+				return other
+			}
+			return p[i].Ord
+		},
+	})
+
+	// diffpos(p1, p2): distinct positions (Section 2.2 example).
+	r.MustRegister(&Def{
+		Name: "diffpos", PosArity: 2, ConstArity: 0, Class: Negative,
+		Complement: "eqpos",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Ord != p[1].Ord },
+		NegAdvance: func(largest int, p []core.Pos, c []int) (int32, bool) {
+			return p[largest].Ord + 1, true
+		},
+	})
+
+	// samepara(p1, p2): both positions in the same paragraph.
+	r.MustRegister(&Def{
+		Name: "samepara", PosArity: 2, ConstArity: 0, Class: Positive,
+		Complement: "not_samepara",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Para == p[1].Para },
+		// Without a paragraph-extent index the sound minimal advance is one
+		// step of the lagging coordinate; each step consumes one posting, so
+		// the scan stays linear.
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			if p[i].Para < p[1-i].Para {
+				return p[i].Ord + 1
+			}
+			return p[i].Ord
+		},
+	})
+
+	r.MustRegister(&Def{
+		Name: "not_samepara", PosArity: 2, ConstArity: 0, Class: Negative,
+		Complement: "samepara",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Para != p[1].Para },
+		NegAdvance: func(largest int, p []core.Pos, c []int) (int32, bool) {
+			return p[largest].Ord + 1, true
+		},
+	})
+
+	// samesent(p1, p2): both positions in the same sentence.
+	r.MustRegister(&Def{
+		Name: "samesent", PosArity: 2, ConstArity: 0, Class: Positive,
+		Complement: "not_samesent",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Sent == p[1].Sent },
+		Advance: func(i int, p []core.Pos, c []int) int32 {
+			if p[i].Sent < p[1-i].Sent {
+				return p[i].Ord + 1
+			}
+			return p[i].Ord
+		},
+	})
+
+	r.MustRegister(&Def{
+		Name: "not_samesent", PosArity: 2, ConstArity: 0, Class: Negative,
+		Complement: "samesent",
+		Eval:       func(p []core.Pos, c []int) bool { return p[0].Sent != p[1].Sent },
+		NegAdvance: func(largest int, p []core.Pos, c []int) (int32, bool) {
+			return p[largest].Ord + 1, true
+		},
+	})
+
+	// window(p1, p2, w): the span max-min is at most w tokens.
+	r.MustRegister(&Def{
+		Name: "window", PosArity: 2, ConstArity: 1, Class: Positive,
+		Eval: func(p []core.Pos, c []int) bool {
+			return span(p) <= int32(c[0])
+		},
+		Advance: windowAdvance,
+	})
+
+	// window3(p1, p2, p3, w): 3-ary window, exercising n-ary positive
+	// predicate machinery.
+	r.MustRegister(&Def{
+		Name: "window3", PosArity: 3, ConstArity: 1, Class: Positive,
+		Eval: func(p []core.Pos, c []int) bool {
+			return span(p) <= int32(c[0])
+		},
+		Advance: windowAdvance,
+	})
+
+	return r
+}
+
+// windowAdvance: any solution with all coordinates >= the current tuple must
+// lift coordinate i to at least maxOrd - w.
+func windowAdvance(i int, p []core.Pos, c []int) int32 {
+	maxOrd := p[0].Ord
+	for _, q := range p[1:] {
+		if q.Ord > maxOrd {
+			maxOrd = q.Ord
+		}
+	}
+	target := maxOrd - int32(c[0])
+	if target > p[i].Ord {
+		return target
+	}
+	return p[i].Ord
+}
+
+func span(p []core.Pos) int32 {
+	minOrd, maxOrd := p[0].Ord, p[0].Ord
+	for _, q := range p[1:] {
+		if q.Ord < minOrd {
+			minOrd = q.Ord
+		}
+		if q.Ord > maxOrd {
+			maxOrd = q.Ord
+		}
+	}
+	return maxOrd - minOrd
+}
+
+func absDiff(a, b int32) int32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

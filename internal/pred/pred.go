@@ -1,0 +1,142 @@
+// Package pred implements the extensible set Preds of position-based
+// predicates from Sections 2.2, 5.5 and 5.6 of the paper.
+//
+// A predicate is classified as:
+//
+//   - Positive (Definition 1): false over a contiguous down-closed region of
+//     the position space; an Advance function reports, per coordinate, the
+//     minimal ordinal any solution must reach, which lets the PPRED engine
+//     skip over the failing region in a single forward scan.
+//   - Negative (Section 5.6.1): made true only by extending the interval
+//     between the smallest and largest positions; a NegAdvance function
+//     reports the minimal ordinal the largest coordinate (in the evaluation
+//     thread's ordering) must reach.
+//   - General: evaluable only by enumeration (COMP engine).
+//
+// All built-ins needed by the paper are registered in Default.
+package pred
+
+import (
+	"fmt"
+	"sort"
+
+	"fulltext/internal/core"
+)
+
+// Class describes how a predicate can be evaluated.
+type Class int
+
+const (
+	// General predicates are only evaluable by enumeration (COMP).
+	General Class = iota
+	// Positive predicates satisfy Definition 1 and are PPRED-evaluable.
+	Positive
+	// Negative predicates satisfy the Section 5.6.1 property and are
+	// NPRED-evaluable.
+	Negative
+)
+
+func (c Class) String() string {
+	switch c {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	default:
+		return "general"
+	}
+}
+
+// Def is one registered position predicate.
+type Def struct {
+	Name       string
+	PosArity   int // number of position arguments
+	ConstArity int // number of integer constant arguments
+	Class      Class
+
+	// Eval decides the predicate on a tuple of positions (len == PosArity)
+	// and constants (len == ConstArity).
+	Eval func(p []core.Pos, c []int) bool
+
+	// Advance implements the f_i functions of Definition 1 for Positive
+	// predicates: given a tuple on which Eval is false, it returns the
+	// minimal ordinal coordinate i must reach in any solution whose
+	// coordinates are all >= the current tuple. A coordinate is advanceable
+	// when the returned ordinal exceeds its current one; Definition 1
+	// guarantees at least one advanceable coordinate exists.
+	Advance func(i int, p []core.Pos, c []int) int32
+
+	// NegAdvance implements the largest-cursor advance of Algorithm 7 for
+	// Negative predicates: given a failing tuple whose coordinates respect
+	// the evaluation thread's ordering, it returns the minimal ordinal that
+	// coordinate `largest` (the predicate argument latest in the thread's
+	// total order) must reach, or ok=false when no advance of that
+	// coordinate alone can satisfy the predicate in this thread.
+	NegAdvance func(largest int, p []core.Pos, c []int) (target int32, ok bool)
+
+	// Complement names the registered predicate equivalent to NOT this one,
+	// if any (distance <-> not_distance, ...). Used to desugar NOT pred(...)
+	// into the negative-predicate form NPRED evaluates natively.
+	Complement string
+}
+
+// Check validates an argument-count pair against the definition.
+func (d *Def) Check(nPos, nConst int) error {
+	if nPos != d.PosArity || nConst != d.ConstArity {
+		return fmt.Errorf("pred: %s expects %d position and %d constant arguments, got %d and %d",
+			d.Name, d.PosArity, d.ConstArity, nPos, nConst)
+	}
+	return nil
+}
+
+// Registry maps predicate names to definitions.
+type Registry struct {
+	m map[string]*Def
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Def)} }
+
+// Register adds a definition; duplicate names are an error.
+func (r *Registry) Register(d *Def) error {
+	if d.Name == "" {
+		return fmt.Errorf("pred: empty predicate name")
+	}
+	if _, dup := r.m[d.Name]; dup {
+		return fmt.Errorf("pred: duplicate predicate %q", d.Name)
+	}
+	if d.Eval == nil {
+		return fmt.Errorf("pred: predicate %q has no Eval", d.Name)
+	}
+	if d.Class == Positive && d.Advance == nil {
+		return fmt.Errorf("pred: positive predicate %q has no Advance", d.Name)
+	}
+	if d.Class == Negative && d.NegAdvance == nil {
+		return fmt.Errorf("pred: negative predicate %q has no NegAdvance", d.Name)
+	}
+	r.m[d.Name] = d
+	return nil
+}
+
+// MustRegister panics on error; for package-internal built-ins.
+func (r *Registry) MustRegister(d *Def) {
+	if err := r.Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the definition for name.
+func (r *Registry) Lookup(name string) (*Def, bool) {
+	d, ok := r.m[name]
+	return d, ok
+}
+
+// Names returns registered predicate names in sorted order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,335 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+
+	"fulltext/internal/core"
+)
+
+// docShape builds a coherent document position space: n positions with
+// monotone paragraph and sentence numbers, so samepara/samesent see
+// realistic inputs.
+func docShape(rng *rand.Rand, n int) []core.Pos {
+	out := make([]core.Pos, n)
+	para, sent := int32(1), int32(1)
+	for i := range out {
+		if i > 0 && rng.Intn(7) == 0 {
+			para++
+			sent++
+		} else if i > 0 && rng.Intn(4) == 0 {
+			sent++
+		}
+		out[i] = core.Pos{Ord: int32(i) + 1, Para: para, Sent: sent}
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, shape []core.Pos, arity int) []core.Pos {
+	p := make([]core.Pos, arity)
+	for i := range p {
+		p[i] = shape[rng.Intn(len(shape))]
+	}
+	return p
+}
+
+func constsFor(rng *rand.Rand, d *Def) []int {
+	c := make([]int, d.ConstArity)
+	for i := range c {
+		c[i] = rng.Intn(8)
+	}
+	return c
+}
+
+// TestPositiveContract verifies Definition 1 for every Positive built-in:
+// whenever Eval fails, (a) at least one coordinate is advanceable, and (b)
+// advancing coordinate i to less than its Advance target — with every other
+// coordinate anywhere at-or-after its current value — can never satisfy the
+// predicate. This is exactly the soundness condition the PPRED scan relies
+// on.
+func TestPositiveContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reg := Default()
+	for _, name := range reg.Names() {
+		d, _ := reg.Lookup(name)
+		if d.Class != Positive {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			shape := docShape(rng, 60)
+			for trial := 0; trial < 400; trial++ {
+				p := pick(rng, shape, d.PosArity)
+				c := constsFor(rng, d)
+				if d.Eval(p, c) {
+					continue
+				}
+				advanceable := false
+				for i := 0; i < d.PosArity; i++ {
+					target := d.Advance(i, p, c)
+					if target < p[i].Ord {
+						t.Fatalf("%s: Advance(%d) went backwards: %d < %d", name, i, target, p[i].Ord)
+					}
+					if target > p[i].Ord {
+						advanceable = true
+					}
+					// Soundness: no solution with q_i in [p_i, target) and
+					// q_j >= p_j for all j.
+					for probe := 0; probe < 40; probe++ {
+						q := make([]core.Pos, d.PosArity)
+						okTuple := true
+						for j := range q {
+							var lo, hi int32
+							if j == i {
+								lo, hi = p[i].Ord, target-1
+							} else {
+								lo, hi = p[j].Ord, int32(len(shape))
+							}
+							if lo > hi {
+								okTuple = false
+								break
+							}
+							ord := lo + rng.Int31n(hi-lo+1)
+							q[j] = shape[ord-1]
+						}
+						if okTuple && d.Eval(q, c) {
+							t.Fatalf("%s: Advance(%d)=%d from %v skips solution %v (consts %v)",
+								name, i, target, p, q, c)
+						}
+					}
+				}
+				if !advanceable {
+					t.Fatalf("%s: failing tuple %v (consts %v) has no advanceable coordinate", name, p, c)
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeContract verifies the Section 5.6.1 property operationally for
+// every Negative built-in: for a failing tuple sorted consistently with a
+// thread ordering, advancing the ordering-largest coordinate to less than
+// the NegAdvance target — keeping the tuple order-consistent and
+// componentwise >= the current tuple — never satisfies the predicate.
+func TestNegativeContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	reg := Default()
+	for _, name := range reg.Names() {
+		d, _ := reg.Lookup(name)
+		if d.Class != Negative {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			shape := docShape(rng, 60)
+			for trial := 0; trial < 400; trial++ {
+				p := pick(rng, shape, d.PosArity)
+				c := constsFor(rng, d)
+				// Thread ordering: identity permutation with ascending ords.
+				sortPos(p)
+				if d.Eval(p, c) {
+					continue
+				}
+				largest := d.PosArity - 1
+				target, ok := d.NegAdvance(largest, p, c)
+				if !ok {
+					// ok=false means advancing the largest coordinate alone
+					// can never satisfy the predicate (solutions on the
+					// order boundary are covered by other permutation
+					// threads). Verify that operational contract.
+					for probe := 0; probe < 60; probe++ {
+						q := append([]core.Pos(nil), p...)
+						hi := int32(len(shape))
+						lo := p[largest].Ord
+						q[largest] = shape[lo-1+rng.Int31n(hi-lo+1)-0]
+						if d.Eval(q, c) {
+							t.Fatalf("%s: NegAdvance said largest-advance unsatisfiable but %v satisfies (from %v)", name, q, p)
+						}
+					}
+					continue
+				}
+				if target <= p[largest].Ord {
+					t.Fatalf("%s: NegAdvance target %d does not advance past %d", name, target, p[largest].Ord)
+				}
+				for probe := 0; probe < 60; probe++ {
+					q := ascendingFrom(rng, shape, p)
+					if q[largest].Ord >= target {
+						continue
+					}
+					if d.Eval(q, c) {
+						t.Fatalf("%s: NegAdvance=%d from %v skips solution %v (consts %v)", name, target, p, q, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ascendingFrom samples an order-consistent tuple componentwise >= p.
+func ascendingFrom(rng *rand.Rand, shape []core.Pos, p []core.Pos) []core.Pos {
+	q := make([]core.Pos, len(p))
+	lo := int32(1)
+	for j := range q {
+		if p[j].Ord > lo {
+			lo = p[j].Ord
+		}
+		hi := int32(len(shape))
+		if lo > hi {
+			lo = hi
+		}
+		ord := lo + rng.Int31n(hi-lo+1)
+		q[j] = shape[ord-1]
+		lo = q[j].Ord
+	}
+	return q
+}
+
+func sortPos(p []core.Pos) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].Ord < p[j-1].Ord; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+func TestDistanceSemantics(t *testing.T) {
+	reg := Default()
+	d, _ := reg.Lookup("distance")
+	at := func(a, b int32) []core.Pos { return []core.Pos{{Ord: a}, {Ord: b}} }
+	// distance counts intervening tokens: positions 39 and 42 have 2
+	// intervening tokens (40, 41).
+	if !d.Eval(at(39, 42), []int{2}) {
+		t.Errorf("39..42 should be within distance 2")
+	}
+	if d.Eval(at(39, 42), []int{1}) {
+		t.Errorf("39..42 should not be within distance 1")
+	}
+	if !d.Eval(at(42, 39), []int{2}) {
+		t.Errorf("distance must be symmetric")
+	}
+	if !d.Eval(at(5, 6), []int{0}) {
+		t.Errorf("adjacent tokens have 0 intervening")
+	}
+	if !d.Eval(at(5, 5), []int{0}) {
+		t.Errorf("identical positions are within any distance")
+	}
+}
+
+func TestOrderedSemantics(t *testing.T) {
+	reg := Default()
+	d, _ := reg.Lookup("ordered")
+	if !d.Eval([]core.Pos{{Ord: 3}, {Ord: 9}}, nil) {
+		t.Errorf("3 before 9")
+	}
+	if d.Eval([]core.Pos{{Ord: 9}, {Ord: 3}}, nil) || d.Eval([]core.Pos{{Ord: 3}, {Ord: 3}}, nil) {
+		t.Errorf("ordered must be strict")
+	}
+}
+
+func TestSameParaSentSemantics(t *testing.T) {
+	reg := Default()
+	sp, _ := reg.Lookup("samepara")
+	ss, _ := reg.Lookup("samesent")
+	a := core.Pos{Ord: 1, Para: 1, Sent: 1}
+	b := core.Pos{Ord: 5, Para: 1, Sent: 2}
+	c := core.Pos{Ord: 9, Para: 2, Sent: 3}
+	if !sp.Eval([]core.Pos{a, b}, nil) || sp.Eval([]core.Pos{a, c}, nil) {
+		t.Errorf("samepara wrong")
+	}
+	if ss.Eval([]core.Pos{a, b}, nil) {
+		t.Errorf("samesent wrong: different sentences")
+	}
+	if !ss.Eval([]core.Pos{a, a}, nil) {
+		t.Errorf("samesent wrong: same position")
+	}
+}
+
+func TestComplementPairs(t *testing.T) {
+	reg := Default()
+	rng := rand.New(rand.NewSource(3))
+	shape := docShape(rng, 40)
+	for _, name := range reg.Names() {
+		d, _ := reg.Lookup(name)
+		if d.Complement == "" {
+			continue
+		}
+		comp, ok := reg.Lookup(d.Complement)
+		if !ok {
+			t.Fatalf("%s names unknown complement %s", name, d.Complement)
+		}
+		if comp.PosArity != d.PosArity || comp.ConstArity != d.ConstArity {
+			t.Fatalf("%s and %s arity mismatch", name, comp.Name)
+		}
+		for trial := 0; trial < 200; trial++ {
+			p := pick(rng, shape, d.PosArity)
+			c := constsFor(rng, d)
+			if d.Eval(p, c) == comp.Eval(p, c) {
+				t.Fatalf("%s and %s are not complements at %v %v", name, comp.Name, p, c)
+			}
+		}
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	reg := Default()
+	w, _ := reg.Lookup("window")
+	w3, _ := reg.Lookup("window3")
+	if !w.Eval([]core.Pos{{Ord: 10}, {Ord: 13}}, []int{3}) {
+		t.Errorf("span 3 fits window 3")
+	}
+	if w.Eval([]core.Pos{{Ord: 10}, {Ord: 14}}, []int{3}) {
+		t.Errorf("span 4 does not fit window 3")
+	}
+	if !w3.Eval([]core.Pos{{Ord: 10}, {Ord: 12}, {Ord: 13}}, []int{3}) {
+		t.Errorf("3-ary window wrong")
+	}
+	if w3.Eval([]core.Pos{{Ord: 10}, {Ord: 12}, {Ord: 20}}, []int{3}) {
+		t.Errorf("3-ary window should fail on wide span")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Def{Name: ""}); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if err := r.Register(&Def{Name: "x"}); err == nil {
+		t.Errorf("missing Eval accepted")
+	}
+	ev := func(p []core.Pos, c []int) bool { return true }
+	if err := r.Register(&Def{Name: "x", Eval: ev, Class: Positive}); err == nil {
+		t.Errorf("positive without Advance accepted")
+	}
+	if err := r.Register(&Def{Name: "x", Eval: ev, Class: Negative}); err == nil {
+		t.Errorf("negative without NegAdvance accepted")
+	}
+	if err := r.Register(&Def{Name: "x", Eval: ev}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&Def{Name: "x", Eval: ev}); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	d, ok := r.Lookup("x")
+	if !ok || d.Name != "x" {
+		t.Errorf("lookup failed")
+	}
+	if err := d.Check(0, 0); err != nil {
+		t.Errorf("Check failed: %v", err)
+	}
+	if err := d.Check(1, 0); err == nil {
+		t.Errorf("arity mismatch accepted")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" || General.String() != "general" {
+		t.Errorf("Class.String wrong")
+	}
+}
+
+func TestDefaultRegistryIsolated(t *testing.T) {
+	a := Default()
+	b := Default()
+	a.MustRegister(&Def{Name: "custom", Eval: func(p []core.Pos, c []int) bool { return true }})
+	if _, ok := b.Lookup("custom"); ok {
+		t.Errorf("Default registries share state")
+	}
+}

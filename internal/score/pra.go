@@ -1,0 +1,113 @@
+package score
+
+import (
+	"math"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+)
+
+// PRA is the probabilistic relational algebra scoring of Section 3.2. Every
+// tuple carries a probability in [0, 1]; operators transform probabilities:
+//
+//	projection   1 − ∏(1 − sᵢ)         (noisy-or over collapsing tuples)
+//	join         s₁ · s₂
+//	selection    s · f(pred)            (distance: f = 1 − |p1−p2|/dist)
+//	union        1 − (1−s₁)(1−s₂)
+//	intersection s₁ · s₂
+//	difference   s₁ · (1 − s₂) = s₁ for surviving tuples (s₂ = 0)
+//
+// Leaf probabilities are IDF/NF with NF = ln(1 + db_size), the maximum
+// possible idf, so leaves always land in [0, 1].
+type PRA struct {
+	ix *invlist.Index
+	nf float64
+}
+
+// NewPRA builds the model for an index.
+func NewPRA(ix *invlist.Index) *PRA {
+	return &PRA{ix: ix, nf: math.Log(1 + float64(ix.NumNodes()))}
+}
+
+// LeafToken implements fta.Scorer: probability idf(t)/NF.
+func (m *PRA) LeafToken(tok string, node core.NodeID) float64 {
+	if m.nf == 0 {
+		return 0
+	}
+	return clamp01(IDF(m.ix, tok) / m.nf)
+}
+
+// LeafHasPos implements fta.Scorer: a position is certainly a position.
+func (m *PRA) LeafHasPos(core.NodeID) float64 { return 1 }
+
+// LeafContext implements fta.Scorer: a node certainly exists.
+func (m *PRA) LeafContext(core.NodeID) float64 { return 1 }
+
+// Join multiplies probabilities.
+func (m *PRA) Join(s1, s2 float64, n1, n2 int) float64 { return clamp01(s1 * s2) }
+
+// Project is the noisy-or aggregation.
+func (m *PRA) Project(parts []float64) float64 {
+	p := 1.0
+	for _, s := range parts {
+		p *= 1 - clamp01(s)
+	}
+	return clamp01(1 - p)
+}
+
+// Select scales by a per-predicate relevance function f in [0, 1].
+func (m *PRA) Select(s float64, predName string, pos []core.Pos, consts []int) float64 {
+	return clamp01(s * predFactor(predName, pos, consts))
+}
+
+// predFactor is the f function of Section 3.2: distance selections decay
+// with the gap, everything else is neutral.
+func predFactor(predName string, pos []core.Pos, consts []int) float64 {
+	switch predName {
+	case "distance":
+		if len(pos) != 2 || len(consts) != 1 {
+			return 1
+		}
+		d := float64(consts[0])
+		if d <= 0 {
+			d = 1
+		}
+		gap := math.Abs(float64(pos[0].Ord - pos[1].Ord))
+		return clamp01(1 - gap/(d+1))
+	default:
+		return 1
+	}
+}
+
+// Union is the probabilistic or.
+func (m *PRA) Union(sL, sR float64, haveL, haveR bool) float64 {
+	l, r := 0.0, 0.0
+	if haveL {
+		l = clamp01(sL)
+	}
+	if haveR {
+		r = clamp01(sR)
+	}
+	return clamp01(1 - (1-l)*(1-r))
+}
+
+// Intersect multiplies (a join on all attributes, per Section 3.2).
+func (m *PRA) Intersect(sL, sR float64) float64 { return clamp01(sL * sR) }
+
+// Diff keeps s₁·(1 − s₂); surviving tuples have s₂ = 0.
+func (m *PRA) Diff(s float64) float64 { return clamp01(s) }
+
+// Negate implements the negation rule 1 − s for callers composing scores
+// outside the algebra.
+func (m *PRA) Negate(s float64) float64 { return clamp01(1 - s) }
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

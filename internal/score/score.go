@@ -1,0 +1,125 @@
+// Package score implements the scoring framework of Section 3: per-tuple
+// scoring information initialized at the R_token leaves plus a scoring
+// transformation per algebra operator (the fta.Scorer interface). Two
+// models are provided:
+//
+//   - TFIDF (Section 3.1): the classic cosine TF-IDF measure, propagated so
+//     that conjunctive and disjunctive queries reproduce the traditional
+//     score exactly (Theorem 2);
+//   - PRA (Section 3.2): the probabilistic relational algebra of Fuhr and
+//     Rölleke, where every tuple carries a probability in [0, 1].
+package score
+
+import (
+	"math"
+	"sort"
+
+	"fulltext/internal/core"
+	"fulltext/internal/fta"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+)
+
+// TokensOf extracts the search tokens of a query in first-occurrence order
+// (the bag q of Section 3.1's cosine formula, deduplicated).
+func TokensOf(q lang.Query) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var rec func(q lang.Query)
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	rec = func(q lang.Query) {
+		switch x := q.(type) {
+		case lang.Lit:
+			add(x.Tok)
+		case lang.Has:
+			add(x.Tok)
+		case lang.Not:
+			rec(x.Q)
+		case lang.And:
+			rec(x.L)
+			rec(x.R)
+		case lang.Or:
+			rec(x.L)
+			rec(x.R)
+		case lang.Some:
+			rec(x.Q)
+		case lang.Every:
+			rec(x.Q)
+		}
+	}
+	rec(q)
+	return out
+}
+
+// IDF computes idf(t) = ln(1 + db_size/df(t)) (Section 3.1). Tokens absent
+// from the corpus get idf 0.
+func IDF(ix *invlist.Index, tok string) float64 {
+	df := ix.DF(tok)
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(ix.NumNodes())/float64(df))
+}
+
+// TF computes tf(n, t) = occurs(n, t)/unique_tokens(n) (Section 3.1).
+func TF(ix *invlist.Index, node core.NodeID, tok string) float64 {
+	u := ix.NodeUniqueTokens(node)
+	if u == 0 {
+		return 0
+	}
+	e := ix.List(tok).Find(node)
+	if e == nil {
+		return 0
+	}
+	return float64(len(e.Pos)) / float64(u)
+}
+
+// NodeNorms computes ||n||2 for every node: the L2 norm of the node's
+// TF-IDF vector. One pass over every inverted list.
+func NodeNorms(ix *invlist.Index) map[core.NodeID]float64 {
+	sq := make(map[core.NodeID]float64, ix.NumNodes())
+	for _, tok := range ix.Tokens() {
+		idf := IDF(ix, tok)
+		pl := ix.List(tok)
+		for i := range pl.Entries {
+			e := &pl.Entries[i]
+			u := ix.NodeUniqueTokens(e.Node)
+			if u == 0 {
+				continue
+			}
+			tf := float64(len(e.Pos)) / float64(u)
+			sq[e.Node] += tf * idf * tf * idf
+		}
+	}
+	out := make(map[core.NodeID]float64, len(sq))
+	for n, v := range sq {
+		out[n] = math.Sqrt(v)
+	}
+	return out
+}
+
+// Ranked is a scored node list sorted by descending score (ties by node id).
+type Ranked struct {
+	Node  core.NodeID
+	Score float64
+}
+
+// Rank sorts an fta result's scores into a ranked list.
+func Rank(res *fta.Result) []Ranked {
+	out := make([]Ranked, 0, len(res.Nodes))
+	for _, n := range res.Nodes {
+		out = append(out, Ranked{Node: n, Score: res.Scores[n]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,313 @@
+package score
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fulltext/internal/compeval"
+	"fulltext/internal/core"
+	"fulltext/internal/fta"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/pred"
+)
+
+func corpusIx(t testing.TB, docs ...string) (*core.Corpus, *invlist.Index) {
+	t.Helper()
+	c := core.NewCorpus()
+	for i, text := range docs {
+		if _, err := c.Add(fmt.Sprintf("d%d", i+1), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, invlist.Build(c)
+}
+
+func TestIDFAndTF(t *testing.T) {
+	_, ix := corpusIx(t, "aa bb aa", "aa cc", "dd")
+	// df(aa)=2, db=3: idf = ln(1 + 3/2)
+	if got, want := IDF(ix, "aa"), math.Log(1+1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IDF(aa) = %v, want %v", got, want)
+	}
+	if IDF(ix, "zz") != 0 {
+		t.Errorf("IDF of missing token should be 0")
+	}
+	// node 1: occurs(aa)=2, unique=2 -> tf = 1.0
+	if got := TF(ix, 1, "aa"); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("TF(1,aa) = %v, want 1", got)
+	}
+	if TF(ix, 3, "aa") != 0 {
+		t.Errorf("TF of absent token should be 0")
+	}
+}
+
+func TestNodeNorms(t *testing.T) {
+	_, ix := corpusIx(t, "aa bb")
+	norms := NodeNorms(ix)
+	idfA, idfB := IDF(ix, "aa"), IDF(ix, "bb")
+	// node 1: tf = 1/2 each.
+	want := math.Sqrt(0.25*idfA*idfA + 0.25*idfB*idfB)
+	if math.Abs(norms[1]-want) > 1e-12 {
+		t.Errorf("norm = %v, want %v", norms[1], want)
+	}
+}
+
+// TestTheorem2Conjunctive: propagated TF-IDF scores through the algebra
+// equal the directly computed cosine TF-IDF for conjunctive queries.
+func TestTheorem2Conjunctive(t *testing.T) {
+	_, ix := corpusIx(t,
+		"usability test of the software usability",
+		"software quality assurance test software test",
+		"usability software",
+		"unrelated words here",
+	)
+	reg := pred.Default()
+	for _, qs := range []string{
+		`'usability' AND 'software'`,
+		`'usability' AND 'test'`,
+		`'software' AND 'test' AND 'usability'`,
+	} {
+		q, err := lang.Parse(lang.DialectBOOL, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks := TokensOf(q)
+		model := NewTFIDF(ix, toks)
+		res, err := compeval.EvalScored(q, ix, reg, compeval.Options{Scorer: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range res.Nodes {
+			want := model.Cosine(n, toks)
+			got := res.Scores[n]
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s node %d: propagated %v, direct cosine %v", qs, n, got, want)
+			}
+		}
+	}
+}
+
+// TestTheorem2Disjunctive: same for disjunctive queries, where the
+// propagated score must equal the sum of per-token cosine contributions of
+// the tokens present in the node.
+func TestTheorem2Disjunctive(t *testing.T) {
+	_, ix := corpusIx(t,
+		"usability test of the software usability",
+		"software quality assurance test software test",
+		"usability software",
+		"unrelated words here",
+	)
+	reg := pred.Default()
+	qs := `'usability' OR 'software' OR 'test'`
+	q, err := lang.Parse(lang.DialectBOOL, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := TokensOf(q)
+	model := NewTFIDF(ix, toks)
+	res, err := compeval.EvalScored(q, ix, reg, compeval.Options{Scorer: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		want := model.Cosine(n, toks)
+		got := res.Scores[n]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s node %d: propagated %v, direct cosine %v", qs, n, got, want)
+		}
+	}
+}
+
+// TestTheorem2MixedShape: the same conjunctive query scored through two
+// different plan shapes (projected leaves joined at width 0 vs a positional
+// join projected at the top) conserves the total score.
+func TestTheorem2MixedShape(t *testing.T) {
+	_, ix := corpusIx(t,
+		"usability test of the software usability",
+		"software usability software",
+	)
+	reg := pred.Default()
+	toks := []string{"usability", "software"}
+	model := NewTFIDF(ix, toks)
+
+	shapeA := fta.Join{
+		L: fta.Project{In: fta.Token{Tok: "usability"}, Cols: nil},
+		R: fta.Project{In: fta.Token{Tok: "software"}, Cols: nil},
+	}
+	shapeB := fta.Project{In: fta.Join{L: fta.Token{Tok: "usability"}, R: fta.Token{Tok: "software"}}, Cols: nil}
+
+	evA := &fta.Evaluator{Index: ix, Reg: reg, Scorer: model}
+	ra, err := evA.Eval(shapeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB := &fta.Evaluator{Index: ix, Reg: reg, Scorer: model}
+	rb, err := evB.Eval(shapeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ra.Nodes {
+		if math.Abs(ra.Scores[n]-rb.Scores[n]) > 1e-9 {
+			t.Errorf("node %d: plan shapes disagree: %v vs %v", n, ra.Scores[n], rb.Scores[n])
+		}
+	}
+}
+
+func TestTFIDFRankingOrder(t *testing.T) {
+	_, ix := corpusIx(t,
+		"usability usability usability",       // high tf for usability
+		"usability and many other words here", // low tf
+		"nothing relevant",
+	)
+	reg := pred.Default()
+	q, _ := lang.Parse(lang.DialectBOOL, `'usability'`)
+	model := NewTFIDF(ix, TokensOf(q))
+	res, err := compeval.EvalScored(q, ix, reg, compeval.Options{Scorer: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(res)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].Node != 1 || ranked[1].Node != 2 {
+		t.Errorf("ranking order wrong: %v", ranked)
+	}
+	if ranked[0].Score <= ranked[1].Score {
+		t.Errorf("scores not descending: %v", ranked)
+	}
+}
+
+// TestPRAInRange: PRA scores stay in [0,1] through arbitrary operator
+// combinations.
+func TestPRAInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	vocab := []string{"aa", "bb", "cc"}
+	reg := pred.Default()
+	c := core.NewCorpus()
+	for i := 0; i < 8; i++ {
+		n := rng.Intn(10)
+		words := make([]string, n)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		c.MustAdd(fmt.Sprintf("doc%d", i), strings.Join(words, " "))
+	}
+	ix := invlist.Build(c)
+	model := NewPRA(ix)
+
+	queries := []string{
+		`'aa'`,
+		`'aa' AND 'bb'`,
+		`'aa' OR 'bb' OR 'cc'`,
+		`'aa' AND NOT 'bb'`,
+		`NOT 'aa'`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND distance(p1,p2,3))`,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND NOT distance(p1,p2,1))`,
+		`EVERY p (p HAS 'aa')`,
+	}
+	for _, qs := range queries {
+		q, err := lang.Parse(lang.DialectCOMP, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := compeval.EvalScored(q, ix, reg, compeval.Options{Scorer: model})
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		for n, s := range res.Scores {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Errorf("%s: node %d score %v out of [0,1]", qs, n, s)
+			}
+		}
+	}
+}
+
+func TestPRADistanceDecay(t *testing.T) {
+	_, ix := corpusIx(t,
+		"aa bb filler filler filler", // adjacent: strong
+		"aa filler filler bb filler", // gap 3: weaker
+	)
+	reg := pred.Default()
+	q, _ := lang.Parse(lang.DialectCOMP,
+		`SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND distance(p1,p2,4))`)
+	model := NewPRA(ix)
+	res, err := compeval.EvalScored(q, ix, reg, compeval.Options{Scorer: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+	if res.Scores[1] <= res.Scores[2] {
+		t.Errorf("distance decay missing: adjacent %v vs far %v", res.Scores[1], res.Scores[2])
+	}
+}
+
+func TestPRALeafAndCombinators(t *testing.T) {
+	_, ix := corpusIx(t, "aa", "bb")
+	m := NewPRA(ix)
+	if s := m.LeafToken("aa", 1); s <= 0 || s > 1 {
+		t.Errorf("leaf score %v out of range", s)
+	}
+	if m.LeafHasPos(1) != 1 || m.LeafContext(1) != 1 {
+		t.Errorf("hasPos/context leaves should be certain")
+	}
+	if got := m.Join(0.5, 0.5, 1, 1); got != 0.25 {
+		t.Errorf("Join = %v", got)
+	}
+	if got := m.Project([]float64{0.5, 0.5}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Project = %v", got)
+	}
+	if got := m.Union(0.5, 0.5, true, true); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := m.Union(0.5, 0, true, false); got != 0.5 {
+		t.Errorf("Union missing side = %v", got)
+	}
+	if got := m.Intersect(0.5, 0.4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := m.Negate(0.3); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Negate = %v", got)
+	}
+	if got := m.Diff(0.3); got != 0.3 {
+		t.Errorf("Diff = %v", got)
+	}
+}
+
+func TestTokensOf(t *testing.T) {
+	q, _ := lang.Parse(lang.DialectCOMP,
+		`SOME p ((p HAS 'aa' OR p HAS 'bb') AND 'aa') AND NOT 'cc'`)
+	toks := TokensOf(q)
+	want := []string{"aa", "bb", "cc"}
+	if len(toks) != len(want) {
+		t.Fatalf("TokensOf = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("TokensOf = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestTFIDFZeroGuards(t *testing.T) {
+	c := core.NewCorpus()
+	if _, err := c.AddTokens("empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ix := invlist.Build(c)
+	m := NewTFIDF(ix, []string{"zz"})
+	if s := m.LeafToken("zz", 1); s != 0 {
+		t.Errorf("leaf on empty corpus = %v", s)
+	}
+	if s := m.Cosine(1, []string{"zz"}); s != 0 {
+		t.Errorf("cosine on empty corpus = %v", s)
+	}
+	if m.Join(1, 1, 0, 0) != 0 {
+		t.Errorf("join with zero cardinalities should be 0")
+	}
+}

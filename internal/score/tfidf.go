@@ -1,0 +1,149 @@
+package score
+
+import (
+	"math"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+)
+
+// TFIDF is the Section 3.1 scoring model. Each R_token tuple starts with
+// the per-position score
+//
+//	idf(t)² / (unique_tokens(n) · unique_search_tokens · ||n||₂ · ||q||₂)
+//
+// (the precomputed idf(t)/(unique_tokens·||n||₂) factor times the
+// query-dependent w(t)/(unique_search_tokens·||q||₂) factor with
+// w(t) = idf(t)), so that summing a token's tuple scores over a node yields
+// exactly the node's cosine contribution w(t)·tf(n,t)·idf(t)/(||n||₂·||q||₂)
+// for that token — equations (1)–(3) of the Theorem 2 proof.
+//
+// Operator transformations follow Section 3.1's score conservation: joins
+// scale by the partner relation's per-node cardinality, projections sum,
+// unions add, intersections take the minimum, selections and differences
+// pass scores through.
+type TFIDF struct {
+	ix           *invlist.Index
+	idf          map[string]float64
+	norms        map[core.NodeID]float64
+	uniqueSearch int
+	qnorm        float64
+}
+
+// NewTFIDF builds the model for one query's search tokens. It precomputes
+// idf per search token, ||n||2 per node and ||q||2.
+func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
+	m := &TFIDF{
+		ix:    ix,
+		idf:   make(map[string]float64, len(searchTokens)),
+		norms: NodeNorms(ix),
+	}
+	seen := make(map[string]bool)
+	var qsq float64
+	for _, t := range searchTokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		idf := IDF(ix, t)
+		m.idf[t] = idf
+		// The query-side vector uses weight w(t) = idf(t).
+		qsq += idf * idf
+	}
+	m.uniqueSearch = len(seen)
+	if qsq > 0 {
+		m.qnorm = math.Sqrt(qsq)
+	}
+	return m
+}
+
+// LeafToken implements fta.Scorer.
+func (m *TFIDF) LeafToken(tok string, node core.NodeID) float64 {
+	idf, ok := m.idf[tok]
+	if !ok {
+		idf = IDF(m.ix, tok)
+		m.idf[tok] = idf
+	}
+	u := float64(m.ix.NodeUniqueTokens(node))
+	nn := m.norms[node]
+	if u == 0 || nn == 0 || m.qnorm == 0 || m.uniqueSearch == 0 {
+		return 0
+	}
+	return idf * idf / (u * float64(m.uniqueSearch) * nn * m.qnorm)
+}
+
+// LeafHasPos implements fta.Scorer; positions reached through IL_ANY carry
+// no term weight.
+func (m *TFIDF) LeafHasPos(core.NodeID) float64 { return 0 }
+
+// LeafContext implements fta.Scorer.
+func (m *TFIDF) LeafContext(core.NodeID) float64 { return 0 }
+
+// Join implements the conservation rule t3 = t1/|R2| + t2/|R1| with
+// per-node cardinalities.
+func (m *TFIDF) Join(s1, s2 float64, n1, n2 int) float64 {
+	var out float64
+	if n2 > 0 {
+		out += s1 / float64(n2)
+	}
+	if n1 > 0 {
+		out += s2 / float64(n1)
+	}
+	return out
+}
+
+// Project sums the scores of collapsing tuples (score conservation).
+func (m *TFIDF) Project(parts []float64) float64 {
+	var s float64
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// Select passes scores through (Section 3.1's σ rule).
+func (m *TFIDF) Select(s float64, _ string, _ []core.Pos, _ []int) float64 { return s }
+
+// Union adds, treating missing tuples as score 0.
+func (m *TFIDF) Union(sL, sR float64, haveL, haveR bool) float64 {
+	var s float64
+	if haveL {
+		s += sL
+	}
+	if haveR {
+		s += sR
+	}
+	return s
+}
+
+// Intersect takes the minimum.
+func (m *TFIDF) Intersect(sL, sR float64) float64 {
+	if sL < sR {
+		return sL
+	}
+	return sR
+}
+
+// Diff passes the surviving tuple's score through.
+func (m *TFIDF) Diff(s float64) float64 { return s }
+
+// Cosine computes the classic cosine TF-IDF score of node for the model's
+// search tokens directly from the index — the ground truth for Theorem 2.
+func (m *TFIDF) Cosine(node core.NodeID, searchTokens []string) float64 {
+	nn := m.norms[node]
+	if nn == 0 || m.qnorm == 0 {
+		return 0
+	}
+	seen := make(map[string]bool)
+	var s float64
+	for _, t := range searchTokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		idf := IDF(m.ix, t)
+		w := idf / float64(m.uniqueSearch)
+		s += w * TF(m.ix, node, t) * idf
+	}
+	return s / (nn * m.qnorm)
+}

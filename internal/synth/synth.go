@@ -1,0 +1,222 @@
+// Package synth generates synthetic corpora and query workloads standing in
+// for the INEX 2003 collection used in Section 6 (see DESIGN.md for the
+// substitution argument). The generator controls exactly the parameters the
+// paper's experiments sweep:
+//
+//	cnodes          — number of context nodes (Figure 7)
+//	pos_per_entry   — occurrences of each query token per containing node
+//	                  (Figure 8), via planted tokens
+//	entries_per_token — fraction of nodes containing each query token
+//	toks_Q, preds_Q — workload query shape (Figures 5 and 6)
+//
+// Background text is Zipf-distributed over a synthetic vocabulary with
+// sentence and paragraph structure, mimicking article-like documents.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"fulltext/internal/core"
+	"fulltext/internal/lang"
+)
+
+// Plant describes a query token planted with controlled selectivity.
+type Plant struct {
+	Token       string
+	DocFraction float64 // fraction of nodes containing the token
+	PerDoc      int     // occurrences per containing node (pos_per_entry)
+}
+
+// Config describes a synthetic corpus.
+type Config struct {
+	Seed      int64
+	NumDocs   int
+	DocLen    int     // tokens per document (mean; actual varies ±50%)
+	VocabSize int     // background vocabulary size
+	ZipfS     float64 // Zipf skew (> 1; default 1.2)
+	Plants    []Plant
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumDocs <= 0 {
+		c.NumDocs = 1000
+	}
+	if c.DocLen <= 0 {
+		c.DocLen = 200
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 5000
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// Corpus generates the corpus. Documents are named doc00000, doc00001, ...
+func Corpus(cfg Config) *core.Corpus {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+
+	c := core.NewCorpus()
+	for d := 0; d < cfg.NumDocs; d++ {
+		n := cfg.DocLen/2 + rng.Intn(cfg.DocLen+1)
+		if n < 1 {
+			n = 1
+		}
+		tokens := make([]string, n)
+		for i := range tokens {
+			tokens[i] = fmt.Sprintf("w%d", zipf.Uint64())
+		}
+		// Plant query tokens by replacing background words at random
+		// offsets, preserving document length.
+		for _, p := range cfg.Plants {
+			if rng.Float64() >= p.DocFraction {
+				continue
+			}
+			k := p.PerDoc
+			if k <= 0 {
+				k = 1
+			}
+			if k > n {
+				k = n
+			}
+			for _, idx := range rng.Perm(n)[:k] {
+				tokens[idx] = p.Token
+			}
+		}
+		positions := structuredPositions(rng, n)
+		if _, err := c.AddTokens(fmt.Sprintf("doc%05d", d), tokens, positions); err != nil {
+			panic(err) // ids are unique by construction
+		}
+	}
+	return c
+}
+
+// structuredPositions assigns sentence breaks every ~12 tokens and
+// paragraph breaks every ~4 sentences.
+func structuredPositions(rng *rand.Rand, n int) []core.Pos {
+	out := make([]core.Pos, n)
+	para, sent := int32(1), int32(1)
+	sinceSent, sentsInPara := 0, 0
+	for i := 0; i < n; i++ {
+		out[i] = core.Pos{Ord: int32(i) + 1, Para: para, Sent: sent}
+		sinceSent++
+		if sinceSent >= 6+rng.Intn(12) {
+			sent++
+			sinceSent = 0
+			sentsInPara++
+			if sentsInPara >= 2+rng.Intn(5) {
+				para++
+				sentsInPara = 0
+			}
+		}
+	}
+	return out
+}
+
+// PlantTokens returns the standard plant names qtok0..qtok{n-1}.
+func PlantTokens(n int) []Plant {
+	out := make([]Plant, n)
+	for i := range out {
+		out[i] = Plant{Token: fmt.Sprintf("qtok%d", i), DocFraction: 0.3, PerDoc: 25}
+	}
+	return out
+}
+
+// Workload describes the query shape of the Section 6 experiments.
+type Workload struct {
+	Tokens    int  // toks_Q: number of query tokens
+	Preds     int  // preds_Q: number of predicates
+	Negative  bool // use negative predicates (the -NEG series)
+	DistLimit int  // distance bound used by distance predicates (default 20)
+}
+
+// BoolQuery builds the predicate-free BOOL query over the first Tokens
+// plant tokens: t0 AND t1 AND ... (the BOOL series of Figures 5–8).
+func (w Workload) BoolQuery(plants []string) lang.Query {
+	toks := w.pick(plants)
+	var q lang.Query = lang.Lit{Tok: toks[0]}
+	for _, t := range toks[1:] {
+		q = lang.And{L: q, R: lang.Lit{Tok: t}}
+	}
+	return q
+}
+
+// PipelinedQuery builds the COMP query
+//
+//	SOME p0 .. SOME pk (p0 HAS t0 AND ... AND pred_1 AND ... AND pred_P)
+//
+// with predicates cycling over variable pairs: distance/ordered/window for
+// the positive series, not_distance/not_ordered/not_samepara for the
+// negative series.
+func (w Workload) PipelinedQuery(plants []string) lang.Query {
+	toks := w.pick(plants)
+	k := len(toks)
+	vars := make([]string, k)
+	var conj []lang.Query
+	for i, t := range toks {
+		vars[i] = fmt.Sprintf("p%d", i)
+		conj = append(conj, lang.Has{Var: vars[i], Tok: t})
+	}
+	lim := w.DistLimit
+	if lim <= 0 {
+		lim = 20
+	}
+	for i := 0; i < w.Preds; i++ {
+		a := vars[i%k]
+		b := vars[(i+1)%k]
+		if k == 1 {
+			b = a
+		}
+		var p lang.Pred
+		if w.Negative {
+			switch i % 3 {
+			case 0:
+				p = lang.Pred{Name: "not_distance", Vars: []string{a, b}, Consts: []int{lim}}
+			case 1:
+				p = lang.Pred{Name: "not_ordered", Vars: []string{a, b}}
+			default:
+				p = lang.Pred{Name: "not_samepara", Vars: []string{a, b}}
+			}
+		} else {
+			switch i % 3 {
+			case 0:
+				p = lang.Pred{Name: "distance", Vars: []string{a, b}, Consts: []int{lim}}
+			case 1:
+				p = lang.Pred{Name: "ordered", Vars: []string{a, b}}
+			default:
+				p = lang.Pred{Name: "window", Vars: []string{a, b}, Consts: []int{4 * lim}}
+			}
+		}
+		conj = append(conj, p)
+	}
+	body := conj[0]
+	for _, c := range conj[1:] {
+		body = lang.And{L: body, R: c}
+	}
+	var q lang.Query = body
+	for i := k - 1; i >= 0; i-- {
+		q = lang.Some{Var: vars[i], Q: q}
+	}
+	return q
+}
+
+// QueryString renders a workload query for logging.
+func QueryString(q lang.Query) string {
+	return strings.TrimSpace(q.String())
+}
+
+func (w Workload) pick(plants []string) []string {
+	k := w.Tokens
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(plants) {
+		k = len(plants)
+	}
+	return plants[:k]
+}

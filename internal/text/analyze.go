@@ -1,0 +1,145 @@
+package text
+
+import (
+	"sort"
+	"strings"
+
+	"fulltext/internal/core"
+)
+
+// EnglishStopWords is a compact default stop list.
+var EnglishStopWords = []string{
+	"a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+	"had", "has", "have", "he", "her", "his", "if", "in", "into", "is", "it",
+	"its", "no", "not", "of", "on", "or", "s", "she", "such", "t", "that",
+	"the", "their", "then", "there", "these", "they", "this", "to", "was",
+	"were", "will", "with",
+}
+
+// StopSet is a set of stop words.
+type StopSet map[string]struct{}
+
+// NewStopSet builds a set from words (lowercased).
+func NewStopSet(words []string) StopSet {
+	s := make(StopSet, len(words))
+	for _, w := range words {
+		s[strings.ToLower(w)] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s StopSet) Contains(tok string) bool {
+	_, ok := s[tok]
+	return ok
+}
+
+// Words returns the sorted stop words (for serialization).
+func (s StopSet) Words() []string {
+	out := make([]string, 0, len(s))
+	for w := range s {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Thesaurus canonicalizes synonyms: every member of a group maps to the
+// group's first member.
+type Thesaurus struct {
+	canon  map[string]string
+	groups [][]string
+}
+
+// NewThesaurus builds a thesaurus from synonym groups. Later groups win on
+// conflicting members.
+func NewThesaurus(groups [][]string) *Thesaurus {
+	t := &Thesaurus{canon: make(map[string]string)}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		gg := make([]string, len(g))
+		head := strings.ToLower(g[0])
+		for i, w := range g {
+			w = strings.ToLower(w)
+			gg[i] = w
+			t.canon[w] = head
+		}
+		t.groups = append(t.groups, gg)
+	}
+	return t
+}
+
+// Canonical maps a token to its group representative (itself when not in
+// any group).
+func (t *Thesaurus) Canonical(tok string) string {
+	if t == nil {
+		return tok
+	}
+	if c, ok := t.canon[tok]; ok {
+		return c
+	}
+	return tok
+}
+
+// Groups returns the synonym groups (for serialization).
+func (t *Thesaurus) Groups() [][]string {
+	if t == nil {
+		return nil
+	}
+	return t.groups
+}
+
+// Analyzer composes the linguistic transformations. The zero value is the
+// identity.
+type Analyzer struct {
+	Stem bool
+	Stop StopSet
+	Syn  *Thesaurus
+}
+
+// Identity reports whether the analyzer performs no transformation.
+func (a *Analyzer) Identity() bool {
+	return a == nil || (!a.Stem && len(a.Stop) == 0 && (a.Syn == nil || len(a.Syn.groups) == 0))
+}
+
+// Token normalizes a single token: synonym canonicalization first (so the
+// thesaurus can be written in surface forms), then stemming. Stop words
+// map to "" — callers drop them.
+func (a *Analyzer) Token(tok string) string {
+	if a == nil {
+		return tok
+	}
+	if a.Stop.Contains(tok) {
+		return ""
+	}
+	if a.Syn != nil {
+		tok = a.Syn.Canonical(tok)
+	}
+	if a.Stem {
+		tok = PorterStem(tok)
+	}
+	return tok
+}
+
+// Apply transforms a tokenized document. Stop words are removed but the
+// surviving tokens keep their original ordinals (the model supports sparse
+// positions), so distance/order/samepara predicates retain their
+// original-text semantics.
+func (a *Analyzer) Apply(tokens []string, positions []core.Pos) ([]string, []core.Pos) {
+	if a.Identity() {
+		return tokens, positions
+	}
+	outT := make([]string, 0, len(tokens))
+	outP := make([]core.Pos, 0, len(positions))
+	for i, tok := range tokens {
+		nt := a.Token(tok)
+		if nt == "" {
+			continue
+		}
+		outT = append(outT, nt)
+		outP = append(outP, positions[i])
+	}
+	return outT, outP
+}

@@ -1,0 +1,279 @@
+// Package text implements the linguistic extensions the paper names as
+// future work in Section 8 — "we are planning to add new full-text
+// primitives such as stemming, thesaurus and stop-words" — as token-level
+// transformations applied at indexing and query time:
+//
+//   - PorterStem: the Porter (1980) suffix-stripping stemmer;
+//   - StopSet: stop-word removal that preserves the surviving tokens'
+//     original ordinals, so position predicates keep their text semantics;
+//   - Thesaurus: synonym canonicalization.
+//
+// An Analyzer composes the three.
+package text
+
+import "strings"
+
+// PorterStem returns the Porter stem of a word. Input is expected in lower
+// case; words of length <= 2 are returned unchanged, as in the original
+// algorithm.
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := &stemmer{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant per Porter's definition:
+// Y is a consonant when it follows a vowel-position (i.e. at the start or
+// after a consonant it acts as a vowel marker is inverted) — concretely, y
+// is a vowel iff the previous letter is a consonant.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in b[:k].
+func (s *stemmer) measure(k int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < k && s.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < k && !s.isConsonant(i) {
+			i++
+		}
+		if i >= k {
+			return m
+		}
+		m++
+		// Skip consonants.
+		for i < k && s.isConsonant(i) {
+			i++
+		}
+		if i >= k {
+			return m
+		}
+	}
+}
+
+// hasVowel reports whether b[:k] contains a vowel.
+func (s *stemmer) hasVowel(k int) bool {
+	for i := 0; i < k; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[:k] ends with a double consonant.
+func (s *stemmer) doubleConsonant(k int) bool {
+	if k < 2 {
+		return false
+	}
+	return s.b[k-1] == s.b[k-2] && s.isConsonant(k-1)
+}
+
+// cvc reports whether b[:k] ends consonant-vowel-consonant where the final
+// consonant is not w, x or y (the *o condition).
+func (s *stemmer) cvc(k int) bool {
+	if k < 3 {
+		return false
+	}
+	if !s.isConsonant(k-1) || s.isConsonant(k-2) || !s.isConsonant(k-3) {
+		return false
+	}
+	switch s.b[k-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the buffer ends with suffix; if so it returns the
+// stem length.
+func (s *stemmer) ends(suffix string) (int, bool) {
+	if !strings.HasSuffix(string(s.b), suffix) {
+		return 0, false
+	}
+	return len(s.b) - len(suffix), true
+}
+
+// setTo replaces the suffix after stem length k with repl.
+func (s *stemmer) setTo(k int, repl string) {
+	s.b = append(s.b[:k], repl...)
+}
+
+// replaceIf replaces suffix with repl when measure(stem) > m.
+func (s *stemmer) replaceIf(m int, suffix, repl string) bool {
+	if k, ok := s.ends(suffix); ok {
+		if s.measure(k) > m {
+			s.setTo(k, repl)
+		}
+		return true
+	}
+	return false
+}
+
+// step1a: SSES -> SS, IES -> I, SS -> SS, S -> "".
+func (s *stemmer) step1a() {
+	if k, ok := s.ends("sses"); ok {
+		s.setTo(k, "ss")
+		return
+	}
+	if k, ok := s.ends("ies"); ok {
+		s.setTo(k, "i")
+		return
+	}
+	if _, ok := s.ends("ss"); ok {
+		return
+	}
+	if k, ok := s.ends("s"); ok {
+		s.setTo(k, "")
+	}
+}
+
+// step1b: (m>0) EED -> EE; (*v*) ED -> ""; (*v*) ING -> ""; with cleanup.
+func (s *stemmer) step1b() {
+	if k, ok := s.ends("eed"); ok {
+		if s.measure(k) > 0 {
+			s.setTo(k, "ee")
+		}
+		return
+	}
+	cleanup := false
+	if k, ok := s.ends("ed"); ok && s.hasVowel(k) {
+		s.setTo(k, "")
+		cleanup = true
+	} else if k, ok := s.ends("ing"); ok && s.hasVowel(k) {
+		s.setTo(k, "")
+		cleanup = true
+	}
+	if !cleanup {
+		return
+	}
+	switch {
+	case endsAny(s, "at", "bl", "iz"):
+		s.b = append(s.b, 'e')
+	case s.doubleConsonant(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func endsAny(s *stemmer, suffixes ...string) bool {
+	for _, suf := range suffixes {
+		if _, ok := s.ends(suf); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// step1c: (*v*) Y -> I.
+func (s *stemmer) step1c() {
+	if k, ok := s.ends("y"); ok && s.hasVowel(k) {
+		s.setTo(k, "i")
+	}
+}
+
+// step2: long suffix mappings when m > 0.
+func (s *stemmer) step2() {
+	pairs := []struct{ from, to string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+		{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+		{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, p := range pairs {
+		if s.replaceIf(0, p.from, p.to) {
+			return
+		}
+	}
+}
+
+// step3: more suffix mappings when m > 0.
+func (s *stemmer) step3() {
+	pairs := []struct{ from, to string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if s.replaceIf(0, p.from, p.to) {
+			return
+		}
+	}
+}
+
+// step4: drop suffixes when m > 1.
+func (s *stemmer) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, suf := range suffixes {
+		k, ok := s.ends(suf)
+		if !ok {
+			continue
+		}
+		if suf == "ion" {
+			// (m>1 and (*S or *T)) ION -> "".
+			if k > 0 && (s.b[k-1] == 's' || s.b[k-1] == 't') && s.measure(k) > 1 {
+				s.setTo(k, "")
+			}
+			return
+		}
+		if s.measure(k) > 1 {
+			s.setTo(k, "")
+		}
+		return
+	}
+}
+
+// step5a: (m>1) E -> ""; (m=1 and not *o) E -> "".
+func (s *stemmer) step5a() {
+	if k, ok := s.ends("e"); ok {
+		m := s.measure(k)
+		if m > 1 || (m == 1 && !s.cvc(k)) {
+			s.setTo(k, "")
+		}
+	}
+}
+
+// step5b: (m>1 and *d and *L) single letter.
+func (s *stemmer) step5b() {
+	k := len(s.b)
+	if s.measure(k) > 1 && s.doubleConsonant(k) && s.b[k-1] == 'l' {
+		s.b = s.b[:k-1]
+	}
+}

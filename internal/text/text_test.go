@@ -1,0 +1,177 @@
+package text
+
+import (
+	"testing"
+
+	"fulltext/internal/core"
+)
+
+// Classic Porter test vectors from the 1980 paper and its reference
+// implementation.
+func TestPorterVectors(t *testing.T) {
+	vectors := map[string]string{
+		// step 1a
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		// step 1b
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		// step 1c
+		"happy": "happi", "sky": "sky",
+		// step 2
+		"relational": "relat", "conditional": "condit", "rational": "ration",
+		"valenci": "valenc", "hesitanci": "hesit", "digitizer": "digit",
+		"conformabli": "conform", "radicalli": "radic",
+		"differentli": "differ", "vileli": "vile",
+		"analogousli": "analog", "vietnamization": "vietnam",
+		"predication": "predic", "operator": "oper", "feudalism": "feudal",
+		"decisiveness": "decis", "hopefulness": "hope",
+		"callousness": "callous", "formaliti": "formal",
+		"sensitiviti": "sensit", "sensibiliti": "sensibl",
+		// step 3
+		"triplicate": "triplic", "formative": "form", "formalize": "formal",
+		// electriciti/electrical pass step 3 as "electric", then step 4
+		// strips -ic (m("electr") = 2): the full-pipeline stem is "electr".
+		"electriciti": "electr", "electrical": "electr",
+		"hopeful": "hope", "goodness": "good",
+		// step 4
+		"revival": "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "gyroscopic": "gyroscop",
+		"adjustable": "adjust", "defensible": "defens",
+		"irritant": "irrit", "replacement": "replac",
+		"adjustment": "adjust", "dependent": "depend",
+		"adoption": "adopt", "communism": "commun", "activate": "activ",
+		"angulariti": "angular", "homologous": "homolog",
+		"effective": "effect", "bowdlerize": "bowdler",
+		// step 5
+		"probate": "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+		// general behaviour
+		"running": "run", "searches": "search", "indexing": "index",
+		"a": "a", "is": "is", "be": "be",
+	}
+	for in, want := range vectors {
+		if got := PorterStem(in); got != want {
+			t.Errorf("PorterStem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterIdempotentOnStems(t *testing.T) {
+	words := []string{"usability", "testing", "completion", "efficient",
+		"algorithms", "retrieval", "relational", "probabilistic"}
+	for _, w := range words {
+		s1 := PorterStem(w)
+		s2 := PorterStem(s1)
+		// Porter is not idempotent in general, but for these stems it is;
+		// the test guards against runaway stripping.
+		if len(s2) < 2 {
+			t.Errorf("over-stripped %q -> %q -> %q", w, s1, s2)
+		}
+	}
+}
+
+func TestStopSet(t *testing.T) {
+	s := NewStopSet([]string{"The", "and"})
+	if !s.Contains("the") || !s.Contains("and") || s.Contains("cat") {
+		t.Errorf("StopSet membership wrong")
+	}
+	w := s.Words()
+	if len(w) != 2 || w[0] != "and" || w[1] != "the" {
+		t.Errorf("Words = %v", w)
+	}
+	if NewStopSet(nil).Contains("the") {
+		t.Errorf("empty stop set matched")
+	}
+}
+
+func TestThesaurus(t *testing.T) {
+	th := NewThesaurus([][]string{
+		{"car", "automobile", "auto"},
+		{"fast", "quick", "rapid"},
+		nil,
+		{},
+	})
+	cases := map[string]string{
+		"automobile": "car", "auto": "car", "car": "car",
+		"quick": "fast", "rapid": "fast", "slow": "slow",
+	}
+	for in, want := range cases {
+		if got := th.Canonical(in); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if len(th.Groups()) != 2 {
+		t.Errorf("Groups = %v", th.Groups())
+	}
+	var nilTh *Thesaurus
+	if nilTh.Canonical("x") != "x" || nilTh.Groups() != nil {
+		t.Errorf("nil thesaurus must be identity")
+	}
+}
+
+func TestAnalyzerApply(t *testing.T) {
+	a := &Analyzer{
+		Stem: true,
+		Stop: NewStopSet([]string{"the", "a"}),
+		Syn:  NewThesaurus([][]string{{"quick", "fast"}}),
+	}
+	toks := []string{"the", "fast", "runner", "is", "running", "a", "race"}
+	pos := core.PositionsForTokens(len(toks))
+	// Keep "is" (not in this stop list) to check mixed behaviour.
+	outT, outP := a.Apply(toks, pos)
+	want := []string{"quick", "runner", "is", "run", "race"}
+	if len(outT) != len(want) {
+		t.Fatalf("Apply = %v, want %v", outT, want)
+	}
+	for i := range want {
+		if outT[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", outT, want)
+		}
+	}
+	// Stop-word removal preserves original ordinals (sparse positions).
+	wantOrds := []int32{2, 3, 4, 5, 7}
+	for i, p := range outP {
+		if p.Ord != wantOrds[i] {
+			t.Fatalf("ordinals = %v, want %v", outP, wantOrds)
+		}
+	}
+}
+
+func TestAnalyzerIdentity(t *testing.T) {
+	var a *Analyzer
+	if !a.Identity() {
+		t.Errorf("nil analyzer must be identity")
+	}
+	if a.Token("word") != "word" {
+		t.Errorf("nil analyzer Token changed input")
+	}
+	b := &Analyzer{}
+	if !b.Identity() {
+		t.Errorf("zero analyzer must be identity")
+	}
+	toks := []string{"x"}
+	pos := core.PositionsForTokens(1)
+	outT, outP := b.Apply(toks, pos)
+	if &outT[0] != &toks[0] || &outP[0] != &pos[0] {
+		t.Errorf("identity Apply must not copy")
+	}
+	c := &Analyzer{Stem: true}
+	if c.Identity() {
+		t.Errorf("stemming analyzer reported identity")
+	}
+}
+
+func TestAnalyzerTokenStopword(t *testing.T) {
+	a := &Analyzer{Stop: NewStopSet([]string{"the"})}
+	if got := a.Token("the"); got != "" {
+		t.Errorf("stop word Token = %q, want empty", got)
+	}
+	if got := a.Token("cat"); got != "cat" {
+		t.Errorf("Token(cat) = %q", got)
+	}
+}

@@ -1,0 +1,210 @@
+package fulltext
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fulltext/internal/invlist"
+	"fulltext/internal/pred"
+	"fulltext/internal/text"
+)
+
+// Index persistence: a small header with the document id table and the
+// analyzer configuration, followed by the inverted-list codec of
+// internal/invlist. Custom predicates registered with RegisterPredicate are
+// not serialized; re-register them after ReadIndex.
+const (
+	indexMagic   = "FTSX"
+	indexVersion = 2
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(indexMagic)); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		return write(buf[:k])
+	}
+	if err := putUvarint(indexVersion); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(ix.ids))); err != nil {
+		return n, err
+	}
+	for _, id := range ix.ids {
+		if err := putUvarint(uint64(len(id))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(id)); err != nil {
+			return n, err
+		}
+	}
+	// Analyzer configuration.
+	stem := uint64(0)
+	if ix.analyzer != nil && ix.analyzer.Stem {
+		stem = 1
+	}
+	if err := putUvarint(stem); err != nil {
+		return n, err
+	}
+	var stops []string
+	var groups [][]string
+	if ix.analyzer != nil {
+		stops = ix.analyzer.Stop.Words()
+		groups = ix.analyzer.Syn.Groups()
+	}
+	if err := putUvarint(uint64(len(stops))); err != nil {
+		return n, err
+	}
+	for _, w := range stops {
+		if err := putUvarint(uint64(len(w))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(w)); err != nil {
+			return n, err
+		}
+	}
+	if err := putUvarint(uint64(len(groups))); err != nil {
+		return n, err
+	}
+	for _, g := range groups {
+		if err := putUvarint(uint64(len(g))); err != nil {
+			return n, err
+		}
+		for _, w := range g {
+			if err := putUvarint(uint64(len(w))); err != nil {
+				return n, err
+			}
+			if err := write([]byte(w)); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	m, err := ix.inv.WriteTo(w)
+	return n + m, err
+}
+
+// ReadIndex deserializes an index written by WriteTo. The index gets the
+// default predicate registry.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("fulltext: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("fulltext: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading version: %w", err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("fulltext: unsupported version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading id count: %w", err)
+	}
+	if count > 1<<31 {
+		return nil, fmt.Errorf("fulltext: id count %d too large", count)
+	}
+	ids := make([]string, count)
+	for i := range ids {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading id length: %w", err)
+		}
+		if l > 1<<20 {
+			return nil, fmt.Errorf("fulltext: id length %d too large", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("fulltext: reading id: %w", err)
+		}
+		ids[i] = string(b)
+	}
+	readString := func(what string, max uint64) (string, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", fmt.Errorf("fulltext: reading %s length: %w", what, err)
+		}
+		if l > max {
+			return "", fmt.Errorf("fulltext: %s length %d too large", what, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("fulltext: reading %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	stem, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading stem flag: %w", err)
+	}
+	nStops, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading stop-word count: %w", err)
+	}
+	if nStops > 1<<20 {
+		return nil, fmt.Errorf("fulltext: stop-word count %d too large", nStops)
+	}
+	stops := make([]string, nStops)
+	for i := range stops {
+		if stops[i], err = readString("stop word", 1<<16); err != nil {
+			return nil, err
+		}
+	}
+	nGroups, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading synonym group count: %w", err)
+	}
+	if nGroups > 1<<20 {
+		return nil, fmt.Errorf("fulltext: synonym group count %d too large", nGroups)
+	}
+	groups := make([][]string, nGroups)
+	for i := range groups {
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading synonym group size: %w", err)
+		}
+		if sz > 1<<16 {
+			return nil, fmt.Errorf("fulltext: synonym group size %d too large", sz)
+		}
+		groups[i] = make([]string, sz)
+		for j := range groups[i] {
+			if groups[i][j], err = readString("synonym", 1<<16); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	inv, err := invlist.ReadFrom(br)
+	if err != nil {
+		return nil, err
+	}
+	if inv.NumNodes() != len(ids) {
+		return nil, fmt.Errorf("fulltext: id table has %d entries but index has %d nodes", len(ids), inv.NumNodes())
+	}
+	analyzer := &text.Analyzer{
+		Stem: stem != 0,
+		Stop: text.NewStopSet(stops),
+		Syn:  text.NewThesaurus(groups),
+	}
+	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer}, nil
+}

@@ -1,0 +1,183 @@
+package fulltext
+
+import (
+	"bytes"
+	"testing"
+)
+
+func linguisticIndex(t testing.TB) *Index {
+	t.Helper()
+	b := NewBuilderWith(Options{
+		Stemming:  true,
+		StopWords: EnglishStopWords,
+		Synonyms:  [][]string{{"car", "automobile", "auto"}},
+	})
+	for _, d := range []struct{ id, text string }{
+		{"d1", "The cars were racing through the night"},
+		{"d2", "An automobile is racing against a motorcycle"},
+		{"d3", "He races his auto on weekends"},
+		{"d4", "Nothing about vehicles here"},
+	} {
+		if err := b.Add(d.id, d.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestStemmingAndSynonyms: surface forms in queries match analyzed index
+// terms across stemming and the thesaurus.
+func TestStemmingAndSynonyms(t *testing.T) {
+	ix := linguisticIndex(t)
+	cases := map[string][]string{
+		`'car'`:        {"d1", "d2", "d3"}, // cars/automobile/auto all canonicalize+stem to car
+		`'cars'`:       {"d1", "d2", "d3"},
+		`'automobile'`: {"d1", "d2", "d3"},
+		`'racing'`:     {"d1", "d2", "d3"}, // racing/races/race all stem to race
+		`'race'`:       {"d1", "d2", "d3"},
+		`'motorcycle'`: {"d2"},
+		`'vehicles'`:   {"d4"}, // vehicles -> vehicl matches the indexed stem
+	}
+	for src, want := range cases {
+		ms, err := ix.Search(MustParse(BOOL, src))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got := ids(ms)
+		if len(got) != len(want) {
+			t.Errorf("%s = %v, want %v", src, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s = %v, want %v", src, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestStopWordsPreserveDistances: removing stop words keeps the original
+// ordinals, so distance predicates still measure original-text gaps.
+func TestStopWordsPreserveDistances(t *testing.T) {
+	b := NewBuilderWith(Options{StopWords: EnglishStopWords})
+	// "efficient" at ordinal 2, "completion" at ordinal 7: 4 intervening
+	// tokens in the original text even though "of" and "the" are dropped.
+	if err := b.Add("d1", "an efficient approach of the task completion"); err != nil {
+		t.Fatal(err)
+	}
+	ix := b.Build()
+
+	within4 := MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' AND distance(p1,p2,4))`)
+	ms, err := ix.Search(within4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d1")
+
+	within3 := MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' AND distance(p1,p2,3))`)
+	ms, err = ix.Search(within3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("distance must count dropped stop words: got %v", ids(ms))
+	}
+}
+
+// TestStopWordQueriesMatchNothing: a stop-word literal has an empty posting
+// list; NOT of it matches everything.
+func TestStopWordQueriesMatchNothing(t *testing.T) {
+	ix := linguisticIndex(t)
+	ms, err := ix.Search(MustParse(BOOL, `'the'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("stop word matched %v", ids(ms))
+	}
+	ms, err = ix.Search(MustParse(BOOL, `NOT 'the'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("NOT stopword = %v", ids(ms))
+	}
+}
+
+// TestAnalyzerPersistence: analyzer options survive WriteTo/ReadIndex, so a
+// reloaded index still rewrites query tokens.
+func TestAnalyzerPersistence(t *testing.T) {
+	ix := linguisticIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := got.Search(MustParse(BOOL, `'automobile'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d1", "d2", "d3")
+	ms, err = got.Search(MustParse(BOOL, `'racing'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "d1", "d2", "d3")
+}
+
+// TestRankedWithAnalysis: ranking works over analyzed terms.
+func TestRankedWithAnalysis(t *testing.T) {
+	ix := linguisticIndex(t)
+	ms, err := ix.SearchRanked(MustParse(BOOL, `'car'`), TFIDF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("ranked = %v", ms)
+	}
+	for _, m := range ms {
+		if m.Score <= 0 {
+			t.Errorf("score %v for %s", m.Score, m.ID)
+		}
+	}
+}
+
+// TestSparsePositionsThroughEngines: with stop words removed, all engines
+// still agree on predicate queries over sparse ordinals.
+func TestSparsePositionsThroughEngines(t *testing.T) {
+	b := NewBuilderWith(Options{StopWords: EnglishStopWords})
+	for _, d := range []struct{ id, text string }{
+		{"d1", "the efficient task of the completion"},
+		{"d2", "completion of a task is efficient"},
+		{"d3", "efficient completion"},
+	} {
+		if err := b.Add(d.id, d.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := b.Build()
+	for _, src := range []string{
+		`SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' AND ordered(p1,p2))`,
+		`SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' AND distance(p1,p2,2))`,
+		`SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' AND not_distance(p1,p2,1))`,
+	} {
+		q := MustParse(COMP, src)
+		comp, err := ix.SearchWith(q, EngineCOMP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto, err := ix.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(auto, comp) {
+			t.Fatalf("%s: auto=%v comp=%v", src, ids(auto), ids(comp))
+		}
+	}
+}
