@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"fulltext/internal/bench"
 )
@@ -24,6 +26,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
 		seed       = flag.Int64("seed", 2006, "corpus random seed")
 		repeats    = flag.Int("repeats", 3, "timing repetitions per cell")
+		jsonDir    = flag.String("json", "", "also write machine-readable BENCH_<experiment>.json files to this directory (\".\" for the current one)")
 	)
 	flag.Parse()
 
@@ -37,22 +40,37 @@ func main() {
 
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	ran := false
+	emit := func(name string, t *bench.Table) {
+		fmt.Println(t.Format())
+		if *jsonDir == "" {
+			return
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		data, err := json.MarshalIndent(t.JSON(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 
 	if run("fig5") {
-		fmt.Println(bench.VaryTokens(s, []int{1, 2, 3, 4, 5}).Format())
+		emit("fig5", bench.VaryTokens(s, []int{1, 2, 3, 4, 5}))
 		ran = true
 	}
 	if run("fig6") {
-		fmt.Println(bench.VaryPreds(s, []int{0, 1, 2, 3, 4}).Format())
+		emit("fig6", bench.VaryPreds(s, []int{0, 1, 2, 3, 4}))
 		ran = true
 	}
 	if run("fig7") {
 		sizes := []int{scaleInt(2500, *scale), scaleInt(6000, *scale), scaleInt(10000, *scale)}
-		fmt.Println(bench.VaryCNodes(s, sizes).Format())
+		emit("fig7", bench.VaryCNodes(s, sizes))
 		ran = true
 	}
 	if run("fig8") {
-		fmt.Println(bench.VaryPosPerEntry(s, []int{5, 25, 125}).Format())
+		emit("fig8", bench.VaryPosPerEntry(s, []int{5, 25, 125}))
 		ran = true
 	}
 	if run("fig3") {
@@ -62,7 +80,7 @@ func main() {
 			hs.CNodes = 50
 		}
 		t := bench.Hierarchy(hs)
-		fmt.Println(t.Format())
+		emit("fig3", t)
 		fmt.Println("growth x1 -> x4 (linear engines should be near 4, COMP above):")
 		ratios := bench.GrowthRatios(t)
 		for _, series := range bench.Series {
@@ -78,6 +96,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftbench:", err)
+	os.Exit(1)
 }
 
 func scaleInt(v int, f float64) int {

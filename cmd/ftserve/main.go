@@ -1,0 +1,314 @@
+// ftserve is an HTTP search server over a sharded full-text index: queries
+// fan out across shards in parallel, ranked results merge through a
+// bounded top-K heap, and repeated queries hit an LRU result cache.
+//
+// Usage:
+//
+//	ftserve -dir ./docs -shards 4 -addr :8080      index *.txt, serve
+//	ftserve -dir ./docs -shards 4 -save idx.ftss   also persist the index
+//	ftserve -load idx.ftss -addr :8080             serve a persisted index
+//
+// Endpoints (all JSON):
+//
+//	GET /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10
+//	GET /explain?q=QUERY&lang=comp
+//	GET /stats
+//	GET /healthz
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fulltext"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		dir    = flag.String("dir", "", "directory of .txt files to index (one document per file)")
+		load   = flag.String("load", "", "load a persisted sharded index instead of building one")
+		save   = flag.String("save", "", "persist the built index to this file")
+		shards = flag.Int("shards", 4, "number of index shards when building with -dir")
+		cache  = flag.Int("cache", fulltext.DefaultQueryCacheSize, "query-result cache capacity in entries (0 disables)")
+	)
+	flag.Parse()
+
+	ix, err := buildOrLoad(*dir, *load, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	ix.SetQueryCacheSize(*cache)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := ix.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		log.Printf("index saved to %s", *save)
+	}
+	log.Printf("serving %d documents across %d shards on %s", ix.Docs(), ix.Shards(), *addr)
+	if err := http.ListenAndServe(*addr, newServer(ix)); err != nil {
+		fatal(err)
+	}
+}
+
+func buildOrLoad(dir, load string, shards int) (*fulltext.ShardedIndex, error) {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return fulltext.ReadShardedIndex(f)
+	case dir != "":
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+				files = append(files, e.Name())
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no .txt files in %s", dir)
+		}
+		b := fulltext.NewShardedBuilder(shards)
+		for _, name := range files {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Add(strings.TrimSuffix(name, ".txt"), string(data)); err != nil {
+				return nil, err
+			}
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("one of -dir or -load is required")
+	}
+}
+
+// maxTop caps the top query parameter of ranked searches.
+const maxTop = 1000
+
+// server wraps the sharded index with the HTTP front-end.
+type server struct {
+	ix      *fulltext.ShardedIndex
+	started time.Time
+}
+
+// newServer builds the route table; extracted from main so tests can drive
+// it through httptest.
+func newServer(ix *fulltext.ShardedIndex) http.Handler {
+	s := &server{ix: ix, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type matchJSON struct {
+	ID    string   `json:"id"`
+	Score *float64 `json:"score,omitempty"`
+}
+
+type searchResponse struct {
+	Query   string      `json:"query"`
+	Class   string      `json:"class"`
+	Count   int         `json:"count"`
+	TookMS  float64     `json:"took_ms"`
+	Matches []matchJSON `json:"matches"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQueryParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		matches []fulltext.Match
+		ranked  bool
+		start   = time.Now()
+	)
+	switch rank := r.URL.Query().Get("rank"); rank {
+	case "", "none":
+		engine, err := parseEngine(r.URL.Query().Get("engine"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		matches, err = s.ix.SearchWith(q, engine)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	case "tfidf", "pra":
+		model := fulltext.TFIDF
+		if rank == "pra" {
+			model = fulltext.PRA
+		}
+		top := 10
+		if ts := r.URL.Query().Get("top"); ts != "" {
+			if top, err = strconv.Atoi(ts); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", ts))
+				return
+			}
+			// Bounded so a client can neither force a full-corpus response
+			// (topK <= 0 means "all" in the library) nor churn the query
+			// cache with one entry per arbitrary top value.
+			if top < 1 || top > maxTop {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("top must be between 1 and %d", maxTop))
+				return
+			}
+		}
+		ranked = true
+		matches, err = s.ix.SearchRanked(q, model, top)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown rank %q (want none, tfidf, or pra)", rank))
+		return
+	}
+	resp := searchResponse{
+		Query:   q.String(),
+		Class:   s.ix.Classify(q).String(),
+		Count:   len(matches),
+		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Matches: make([]matchJSON, len(matches)),
+	}
+	for i, m := range matches {
+		resp.Matches[i] = matchJSON{ID: m.ID}
+		if ranked {
+			score := m.Score
+			resp.Matches[i].Score = &score
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQueryParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.ix.Explain(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"query": q.String(),
+		"class": s.ix.Classify(q).String(),
+		"plan":  plan,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	cs := s.ix.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":   s.ix.Shards(),
+		"uptime_s": time.Since(s.started).Seconds(),
+		"index": map[string]int{
+			"docs":              st.Docs,
+			"tokens":            st.Tokens,
+			"total_positions":   st.TotalPositions,
+			"pos_per_doc":       st.PosPerDoc,
+			"entries_per_token": st.EntriesPerToken,
+			"pos_per_entry":     st.PosPerEntry,
+		},
+		"cache": map[string]uint64{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"evictions": cs.Evictions,
+			"len":       uint64(cs.Len),
+			"cap":       uint64(cs.Cap),
+		},
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "docs": s.ix.Docs(), "shards": s.ix.Shards()})
+}
+
+func parseQueryParam(r *http.Request) (*fulltext.Query, error) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		return nil, fmt.Errorf("missing query parameter q")
+	}
+	dialect, err := parseDialect(r.URL.Query().Get("lang"))
+	if err != nil {
+		return nil, err
+	}
+	return fulltext.Parse(dialect, src)
+}
+
+func parseDialect(s string) (fulltext.Dialect, error) {
+	switch strings.ToLower(s) {
+	case "bool":
+		return fulltext.BOOL, nil
+	case "dist":
+		return fulltext.DIST, nil
+	case "", "comp":
+		return fulltext.COMP, nil
+	}
+	return 0, fmt.Errorf("unknown dialect %q (want bool, dist, or comp)", s)
+}
+
+func parseEngine(s string) (fulltext.Engine, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return fulltext.EngineAuto, nil
+	case "bool":
+		return fulltext.EngineBOOL, nil
+	case "ppred":
+		return fulltext.EnginePPRED, nil
+	case "npred":
+		return fulltext.EngineNPRED, nil
+	case "comp":
+		return fulltext.EngineCOMP, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("ftserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fulltext"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *fulltext.ShardedIndex) {
+	t.Helper()
+	dir := t.TempDir()
+	docs := map[string]string{
+		"usability": "the usability test ran for quality",
+		"software":  "test usability of the software test",
+		"unrelated": "nothing relevant here",
+	}
+	for name, body := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := buildOrLoad(dir, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(ix))
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+func getJSON(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var resp searchResponse
+	getJSON(t, ts.URL+"/search?q='test'+AND+'usability'&lang=bool", http.StatusOK, &resp)
+	if resp.Count != 2 || len(resp.Matches) != 2 {
+		t.Fatalf("unexpected response %+v", resp)
+	}
+	// Document order: file names are indexed in sorted order.
+	if resp.Matches[0].ID != "software" || resp.Matches[1].ID != "usability" {
+		t.Fatalf("unexpected match order %+v", resp.Matches)
+	}
+	if resp.Matches[0].Score != nil {
+		t.Fatalf("boolean search must not report scores: %+v", resp.Matches[0])
+	}
+
+	var ranked searchResponse
+	getJSON(t, ts.URL+"/search?q='test'+AND+'usability'&lang=bool&rank=tfidf&top=1", http.StatusOK, &ranked)
+	if ranked.Count != 1 || ranked.Matches[0].Score == nil || *ranked.Matches[0].Score <= 0 {
+		t.Fatalf("unexpected ranked response %+v", ranked)
+	}
+
+	comp := "/search?q=SOME+p1+SOME+p2+(p1+HAS+'test'+AND+p2+HAS+'usability'+AND+distance(p1,p2,2))"
+	var compResp searchResponse
+	getJSON(t, ts.URL+comp, http.StatusOK, &compResp)
+	if compResp.Count == 0 {
+		t.Fatalf("COMP query matched nothing: %+v", compResp)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	ts, _ := testServer(t)
+	var e map[string]string
+	for _, path := range []string{
+		"/search",                              // missing q
+		"/search?q='a'&lang=klingon",           // bad dialect
+		"/search?q='a'&engine=warp",            // bad engine
+		"/search?q='a'&rank=sideways",          // bad rank
+		"/search?q='a'&rank=tfidf&top=abc",     // bad top
+		"/search?q='a'&rank=tfidf&top=0",       // top out of range (would mean "all")
+		"/search?q='a'&rank=tfidf&top=-5",      // negative top
+		"/search?q='a'&rank=tfidf&top=9999999", // excessive top
+		"/search?q='a'+AND+&lang=bool",         // parse error
+	} {
+		getJSON(t, ts.URL+path, http.StatusBadRequest, &e)
+		if e["error"] == "" {
+			t.Fatalf("%s: no error message in response", path)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/search?q='a'", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /search: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestExplainStatsHealthz(t *testing.T) {
+	ts, ix := testServer(t)
+	var ex map[string]string
+	getJSON(t, ts.URL+"/explain?q='test'&lang=bool", http.StatusOK, &ex)
+	if ex["plan"] == "" || ex["class"] == "" {
+		t.Fatalf("explain response incomplete: %v", ex)
+	}
+
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &hz)
+	if hz["status"] != "ok" || int(hz["docs"].(float64)) != ix.Docs() {
+		t.Fatalf("healthz response %v", hz)
+	}
+
+	// Two identical searches: the second must be a cache hit.
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	var st struct {
+		Shards int `json:"shards"`
+		Index  struct {
+			Docs int `json:"docs"`
+		} `json:"index"`
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Shards != 2 || st.Index.Docs != 3 {
+		t.Fatalf("stats response %+v", st)
+	}
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Fatalf("cache counters not reported: %+v", st.Cache)
+	}
+}
+
+func TestServeLoadedIndex(t *testing.T) {
+	_, ix := testServer(t)
+	path := filepath.Join(t.TempDir(), "idx.ftss")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := buildOrLoad("", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(loaded))
+	defer ts.Close()
+	var resp searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &resp)
+	if resp.Count != 2 {
+		t.Fatalf("loaded index response %+v", resp)
+	}
+	if _, err := buildOrLoad("", "", 0); err == nil {
+		t.Fatal("buildOrLoad with no source should fail")
+	}
+	if _, err := buildOrLoad(t.TempDir(), "", 2); err == nil {
+		t.Fatal("empty dir should fail")
+	}
+}

@@ -357,20 +357,14 @@ func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, erro
 	if err := lang.Validate(ast, ix.reg); err != nil {
 		return nil, err
 	}
-	var scorer fta.Scorer
-	switch m {
-	case TFIDF:
-		scorer = score.NewTFIDF(ix.inv, score.TokensOf(ast))
-	case PRA:
-		scorer = score.NewPRA(ix.inv)
-	default:
-		return nil, fmt.Errorf("fulltext: unknown scoring model %d", m)
-	}
-	res, err := compeval.EvalScored(ast, ix.inv, ix.reg, compeval.Options{Scorer: scorer})
+	// Normalize exactly as SearchWith does: the complete engine must see the
+	// same shape (desugared negative predicates, hoisted quantifiers) the
+	// Boolean path evaluates, or ranked and unranked results can diverge.
+	norm := lang.Normalize(ast, ix.reg)
+	ranked, err := ix.rankedNodes(norm, m, ix.inv)
 	if err != nil {
 		return nil, err
 	}
-	ranked := score.Rank(res)
 	if topK > 0 && topK < len(ranked) {
 		ranked = ranked[:topK]
 	}
@@ -379,6 +373,27 @@ func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, erro
 		out[i] = Match{ID: ix.idOf(r.Node), Score: r.Score}
 	}
 	return out, nil
+}
+
+// rankedNodes scores a normalized query on the complete engine against the
+// collection statistics st — the index's own inverted lists for a
+// standalone index, or global statistics when the index is one shard of a
+// ShardedIndex.
+func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusStats) ([]score.Ranked, error) {
+	var scorer fta.Scorer
+	switch m {
+	case TFIDF:
+		scorer = score.NewTFIDFWith(ix.inv, st, score.TokensOf(norm))
+	case PRA:
+		scorer = score.NewPRAWith(ix.inv, st)
+	default:
+		return nil, fmt.Errorf("fulltext: unknown scoring model %d", m)
+	}
+	res, err := compeval.EvalScored(norm, ix.inv, ix.reg, compeval.Options{Scorer: scorer})
+	if err != nil {
+		return nil, err
+	}
+	return score.Rank(res), nil
 }
 
 // Explain reports which engine EngineAuto would pick and renders its query

@@ -1,0 +1,3 @@
+module fulltext
+
+go 1.24

@@ -1,0 +1,53 @@
+package bench
+
+// Machine-readable export of experiment tables, consumed by ftbench -json
+// to emit BENCH_*.json files so successive PRs can track a performance
+// trajectory without scraping aligned text.
+
+// TableJSON mirrors Table with stable JSON field names.
+type TableJSON struct {
+	Title  string    `json:"title"`
+	XLabel string    `json:"x_label"`
+	Series []string  `json:"series"`
+	Rows   []RowJSON `json:"rows"`
+}
+
+// RowJSON is one swept value with one cell per measured series.
+type RowJSON struct {
+	X     string              `json:"x"`
+	Cells map[string]CellJSON `json:"cells"`
+}
+
+// CellJSON is one measurement.
+type CellJSON struct {
+	Millis  float64 `json:"ms"`
+	Results int     `json:"results"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// JSON converts the table to its machine-readable form, preserving sweep
+// order and omitting cells that were never measured.
+func (t *Table) JSON() TableJSON {
+	out := TableJSON{
+		Title:  t.Title,
+		XLabel: t.XLabel,
+		Series: append([]string(nil), t.Series...),
+		Rows:   make([]RowJSON, 0, len(t.XVals)),
+	}
+	for _, x := range t.XVals {
+		row := RowJSON{X: x, Cells: make(map[string]CellJSON, len(t.Series))}
+		for _, s := range t.Series {
+			c, ok := t.Cells[x][s]
+			if !ok {
+				continue
+			}
+			row.Cells[s] = CellJSON{
+				Millis:  float64(c.Time.Microseconds()) / 1000,
+				Results: c.Results,
+				Err:     c.Err,
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

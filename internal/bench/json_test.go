@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTableJSON(t *testing.T) {
+	tb := newTable("demo", "x", []string{"A", "B"})
+	tb.set("1", "A", Cell{Time: 1500 * time.Microsecond, Results: 3})
+	tb.set("1", "B", Cell{Err: "nope"})
+	tb.set("2", "A", Cell{Time: 2 * time.Millisecond, Results: 4})
+	// series B never measured at x=2: omitted from that row.
+
+	j := tb.JSON()
+	if j.Title != "demo" || j.XLabel != "x" || len(j.Series) != 2 {
+		t.Fatalf("header wrong: %+v", j)
+	}
+	if len(j.Rows) != 2 || j.Rows[0].X != "1" || j.Rows[1].X != "2" {
+		t.Fatalf("rows wrong: %+v", j.Rows)
+	}
+	if c := j.Rows[0].Cells["A"]; c.Millis != 1.5 || c.Results != 3 || c.Err != "" {
+		t.Fatalf("cell A wrong: %+v", c)
+	}
+	if c := j.Rows[0].Cells["B"]; c.Err != "nope" {
+		t.Fatalf("cell B wrong: %+v", c)
+	}
+	if _, ok := j.Rows[1].Cells["B"]; ok {
+		t.Fatal("unmeasured cell should be omitted")
+	}
+
+	raw, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TableJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0].Cells["A"].Millis != 1.5 {
+		t.Fatalf("round trip lost data: %s", raw)
+	}
+}

@@ -21,12 +21,19 @@ import (
 // possible idf, so leaves always land in [0, 1].
 type PRA struct {
 	ix *invlist.Index
+	st CorpusStats
 	nf float64
 }
 
 // NewPRA builds the model for an index.
 func NewPRA(ix *invlist.Index) *PRA {
-	return &PRA{ix: ix, nf: math.Log(1 + float64(ix.NumNodes()))}
+	return NewPRAWith(ix, ix)
+}
+
+// NewPRAWith builds the model scoring the nodes of ix against the
+// collection statistics st (see NewTFIDFWith).
+func NewPRAWith(ix *invlist.Index, st CorpusStats) *PRA {
+	return &PRA{ix: ix, st: st, nf: math.Log(1 + float64(st.NumNodes()))}
 }
 
 // LeafToken implements fta.Scorer: probability idf(t)/NF.
@@ -34,7 +41,7 @@ func (m *PRA) LeafToken(tok string, node core.NodeID) float64 {
 	if m.nf == 0 {
 		return 0
 	}
-	return clamp01(IDF(m.ix, tok) / m.nf)
+	return clamp01(IDF(m.st, tok) / m.nf)
 }
 
 // LeafHasPos implements fta.Scorer: a position is certainly a position.

@@ -56,14 +56,26 @@ func TokensOf(q lang.Query) []string {
 	return out
 }
 
+// CorpusStats abstracts the collection-level statistics the scoring models
+// depend on. A plain *invlist.Index satisfies it; a sharded deployment
+// passes collection-wide statistics so that every shard scores against the
+// whole corpus and per-shard rankings merge into the exact single-index
+// ranking.
+type CorpusStats interface {
+	// NumNodes returns the collection size db_size (cnodes).
+	NumNodes() int
+	// DF returns the document frequency df(t).
+	DF(tok string) int
+}
+
 // IDF computes idf(t) = ln(1 + db_size/df(t)) (Section 3.1). Tokens absent
 // from the corpus get idf 0.
-func IDF(ix *invlist.Index, tok string) float64 {
-	df := ix.DF(tok)
+func IDF(st CorpusStats, tok string) float64 {
+	df := st.DF(tok)
 	if df == 0 {
 		return 0
 	}
-	return math.Log(1 + float64(ix.NumNodes())/float64(df))
+	return math.Log(1 + float64(st.NumNodes())/float64(df))
 }
 
 // TF computes tf(n, t) = occurs(n, t)/unique_tokens(n) (Section 3.1).
@@ -82,9 +94,17 @@ func TF(ix *invlist.Index, node core.NodeID, tok string) float64 {
 // NodeNorms computes ||n||2 for every node: the L2 norm of the node's
 // TF-IDF vector. One pass over every inverted list.
 func NodeNorms(ix *invlist.Index) map[core.NodeID]float64 {
+	return NodeNormsWith(ix, ix)
+}
+
+// NodeNormsWith computes node norms for the nodes of ix using the idf of st
+// (collection-wide statistics in a sharded deployment). Every token of a
+// node occurs in the node's own shard, so iterating ix's lists covers the
+// node's full TF-IDF vector.
+func NodeNormsWith(ix *invlist.Index, st CorpusStats) map[core.NodeID]float64 {
 	sq := make(map[core.NodeID]float64, ix.NumNodes())
 	for _, tok := range ix.Tokens() {
-		idf := IDF(ix, tok)
+		idf := IDF(st, tok)
 		pl := ix.List(tok)
 		for i := range pl.Entries {
 			e := &pl.Entries[i]

@@ -24,6 +24,7 @@ import (
 // pass scores through.
 type TFIDF struct {
 	ix           *invlist.Index
+	st           CorpusStats
 	idf          map[string]float64
 	norms        map[core.NodeID]float64
 	uniqueSearch int
@@ -33,10 +34,19 @@ type TFIDF struct {
 // NewTFIDF builds the model for one query's search tokens. It precomputes
 // idf per search token, ||n||2 per node and ||q||2.
 func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
+	return NewTFIDFWith(ix, ix, searchTokens)
+}
+
+// NewTFIDFWith builds the model scoring the nodes of ix against the
+// collection statistics st. Passing ix as st gives the single-index model;
+// a sharded index passes its global statistics so every shard produces the
+// same scores the union index would.
+func NewTFIDFWith(ix *invlist.Index, st CorpusStats, searchTokens []string) *TFIDF {
 	m := &TFIDF{
 		ix:    ix,
+		st:    st,
 		idf:   make(map[string]float64, len(searchTokens)),
-		norms: NodeNorms(ix),
+		norms: NodeNormsWith(ix, st),
 	}
 	seen := make(map[string]bool)
 	var qsq float64
@@ -45,7 +55,7 @@ func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
 			continue
 		}
 		seen[t] = true
-		idf := IDF(ix, t)
+		idf := IDF(st, t)
 		m.idf[t] = idf
 		// The query-side vector uses weight w(t) = idf(t).
 		qsq += idf * idf
@@ -61,7 +71,7 @@ func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
 func (m *TFIDF) LeafToken(tok string, node core.NodeID) float64 {
 	idf, ok := m.idf[tok]
 	if !ok {
-		idf = IDF(m.ix, tok)
+		idf = IDF(m.st, tok)
 		m.idf[tok] = idf
 	}
 	u := float64(m.ix.NodeUniqueTokens(node))
@@ -141,7 +151,7 @@ func (m *TFIDF) Cosine(node core.NodeID, searchTokens []string) float64 {
 			continue
 		}
 		seen[t] = true
-		idf := IDF(m.ix, t)
+		idf := IDF(m.st, t)
 		w := idf / float64(m.uniqueSearch)
 		s += w * TF(m.ix, node, t) * idf
 	}

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// generation is a process-wide build counter. Every ShardedIndex build
+// takes the next generation and stamps it into its cache keys, so a cache
+// can never serve results computed against an older build even if a cache
+// instance were shared or keys collide across rebuilds.
+var generation atomic.Uint64
+
+// NextGeneration returns a fresh build generation.
+func NextGeneration() uint64 { return generation.Add(1) }
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Cap       int
+}
+
+// Cache is a concurrency-safe LRU cache of merged query results, keyed on
+// the canonical query string plus engine, scoring model, topK and build
+// generation. A capacity <= 0 disables caching (every Get misses, Put is a
+// no-op).
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List
+	byKey     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	docs []Doc
+}
+
+// NewCache returns an LRU cache holding up to capacity entries.
+func NewCache(capacity int) *Cache {
+	c := &Cache{cap: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.byKey = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the cached result for key, marking it most recently used.
+// The returned slice is shared: callers must not mutate it.
+func (c *Cache) Get(key string) ([]Doc, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		c.misses++
+		return nil, false
+	}
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).docs, true
+}
+
+// Put stores a result, evicting the least recently used entry when full.
+func (c *Cache) Put(key string, docs []Doc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).docs = docs
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, docs: docs})
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Cap: c.cap}
+	if c.ll != nil {
+		s.Len = c.ll.Len()
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// MergeByOrd merges per-shard result lists, each already ascending by Ord,
+// into one list in global document order — the order a single index over
+// the union corpus would return. A k-way heap merge: O(total · log k).
+func MergeByOrd(lists [][]Doc) []Doc {
+	total := 0
+	live := ordHeap{}
+	for i, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			live = append(live, ordCursor{list: i, docs: l})
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Doc, 0, total)
+	heap.Init(&live)
+	for live.Len() > 0 {
+		c := &live[0]
+		out = append(out, c.docs[0])
+		c.docs = c.docs[1:]
+		if len(c.docs) == 0 {
+			heap.Pop(&live)
+		} else {
+			heap.Fix(&live, 0)
+		}
+	}
+	return out
+}
+
+type ordCursor struct {
+	list int
+	docs []Doc
+}
+
+type ordHeap []ordCursor
+
+func (h ordHeap) Len() int            { return len(h) }
+func (h ordHeap) Less(i, j int) bool  { return h[i].docs[0].Ord < h[j].docs[0].Ord }
+func (h ordHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ordHeap) Push(x interface{}) { *h = append(*h, x.(ordCursor)) }
+func (h *ordHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// rankedLess is the global ranking order: descending score, ties by
+// ascending Ord — exactly score.Rank's order with NodeID generalized to the
+// global ordinal.
+func rankedLess(a, b Doc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Ord < b.Ord
+}
+
+// MergeTopK merges per-shard ranked lists (each already sorted by
+// rankedLess) into the global top k, sorted by rankedLess. Each shard only
+// needs to contribute its own top k candidates, so callers can truncate
+// shard results before merging. A bounded min-heap of size k keeps the
+// merge O(total · log k); k <= 0 merges everything.
+func MergeTopK(lists [][]Doc, k int) []Doc {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	if k <= 0 || k >= total {
+		out := make([]Doc, 0, total)
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		sort.Slice(out, func(i, j int) bool { return rankedLess(out[i], out[j]) })
+		return out
+	}
+	// Min-heap of the k best seen so far; the root is the current worst and
+	// is displaced by any better candidate. Each input list is sorted, so
+	// once a list's head cannot beat the root (with the heap full) the rest
+	// of that list cannot either.
+	h := make(minHeap, 0, k)
+	for _, l := range lists {
+		for _, d := range l {
+			if len(h) < k {
+				heap.Push(&h, d)
+				continue
+			}
+			if rankedLess(d, h[0]) {
+				h[0] = d
+				heap.Fix(&h, 0)
+			} else {
+				break
+			}
+		}
+	}
+	out := []Doc(h)
+	sort.Slice(out, func(i, j int) bool { return rankedLess(out[i], out[j]) })
+	return out
+}
+
+// minHeap orders the *worst* ranked doc first.
+type minHeap []Doc
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return rankedLess(h[j], h[i]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Doc)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

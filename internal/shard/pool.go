@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Fanout runs fn(i) for every i in [0, n) across at most workers
+// goroutines and waits for all of them. The first non-nil error is
+// returned; once an error occurs, tasks not yet started are skipped
+// (errgroup-style early abandonment). workers <= 0 uses GOMAXPROCS.
+func Fanout(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstMu sync.Mutex
+		first   error
+		next    int
+	)
+	fail := func(err error) {
+		firstMu.Lock()
+		if first == nil {
+			first = err
+		}
+		firstMu.Unlock()
+	}
+	failed := func() bool {
+		firstMu.Lock()
+		defer firstMu.Unlock()
+		return first != nil
+	}
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok || failed() {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

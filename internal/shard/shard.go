@@ -1,0 +1,27 @@
+// Package shard holds the concurrency machinery behind the public
+// ShardedIndex: document-to-shard routing, an errgroup-style fan-out pool,
+// k-way result merges (document-order and bounded top-K), and an LRU query
+// cache. The package is deliberately ignorant of query ASTs and engines —
+// it moves Docs around; the root package owns parsing, normalization and
+// per-shard evaluation.
+package shard
+
+import "hash/fnv"
+
+// Doc is one shard-local result projected into the global document space.
+// Ord is the document's global insertion ordinal, which defines document
+// order across shards and breaks ranking ties exactly as a single index's
+// ascending NodeID would.
+type Doc struct {
+	Ord   int
+	ID    string
+	Score float64
+}
+
+// Pick routes a document id to one of n shards by FNV-1a hash. n must be
+// positive.
+func Pick(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPickStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		counts := make([]int, n)
+		for i := 0; i < 1000; i++ {
+			id := fmt.Sprintf("doc-%d", i)
+			s := Pick(id, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Pick(%q, %d) = %d out of range", id, n, s)
+			}
+			if s2 := Pick(id, n); s2 != s {
+				t.Fatalf("Pick not stable: %d then %d", s, s2)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if n > 1 && c == 1000 {
+				t.Fatalf("all 1000 ids landed on shard %d of %d", s, n)
+			}
+		}
+	}
+}
+
+func TestFanoutRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 16} {
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		err := Fanout(20, workers, func(i int) error {
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 20 {
+			t.Fatalf("workers=%d: ran %d of 20 tasks", workers, len(seen))
+		}
+	}
+}
+
+func TestFanoutError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Fanout(50, 4, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if err := Fanout(0, 4, func(int) error { return boom }); err != nil {
+		t.Fatalf("n=0 should not run fn: %v", err)
+	}
+}
+
+// refMergeByOrd is the O(total log total) oracle.
+func refMergeByOrd(lists [][]Doc) []Doc {
+	var out []Doc
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	return out
+}
+
+func TestMergeByOrdRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		lists := make([][]Doc, n)
+		ord := 0
+		for ord < rng.Intn(40) {
+			s := rng.Intn(n)
+			lists[s] = append(lists[s], Doc{Ord: ord, ID: fmt.Sprint(ord)})
+			ord++
+		}
+		got := MergeByOrd(lists)
+		want := refMergeByOrd(lists)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMergeTopKRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		lists := make([][]Doc, n)
+		total := rng.Intn(30)
+		for ord := 0; ord < total; ord++ {
+			s := rng.Intn(n)
+			// Coarse scores force ties so the Ord tie-break is exercised.
+			lists[s] = append(lists[s], Doc{Ord: ord, ID: fmt.Sprint(ord), Score: float64(rng.Intn(4))})
+		}
+		var all []Doc
+		for s := range lists {
+			sort.Slice(lists[s], func(i, j int) bool { return rankedLess(lists[s][i], lists[s][j]) })
+			all = append(all, lists[s]...)
+		}
+		sort.Slice(all, func(i, j int) bool { return rankedLess(all[i], all[j]) })
+		for _, k := range []int{0, 1, 3, total, total + 5} {
+			got := MergeTopK(lists, k)
+			want := all
+			if k > 0 && k < len(all) {
+				want = all[:k]
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d k=%d: got %v want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []Doc{{ID: "a"}})
+	c.Put("b", []Doc{{ID: "b"}})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", []Doc{{ID: "c"}}) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Evictions != 1 || s.Len != 2 || s.Cap != 2 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []Doc{{ID: "a"}})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must miss")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Len != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if docs, ok := c.Get(key); ok && len(docs) != 1 {
+					t.Errorf("corrupt cached value for %s", key)
+					return
+				}
+				c.Put(key, []Doc{{ID: key}})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNextGenerationMonotonic(t *testing.T) {
+	a := NextGeneration()
+	b := NextGeneration()
+	if b <= a {
+		t.Fatalf("generations not monotonic: %d then %d", a, b)
+	}
+}

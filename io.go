@@ -20,6 +20,15 @@ const (
 	indexVersion = 2
 )
 
+// Sharded-index persistence: a container header (shard count, per-shard
+// global-ordinal tables) framing one length-prefixed single-index blob per
+// shard, each in the exact Index.WriteTo format.
+const (
+	shardedMagic   = "FTSS"
+	shardedVersion = 1
+	maxShards      = 1 << 16
+)
+
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -207,4 +216,148 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		Syn:  text.NewThesaurus(groups),
 	}
 	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer}, nil
+}
+
+// WriteTo serializes the sharded index. It implements io.WriterTo. Custom
+// predicates are not serialized; re-register them after ReadShardedIndex.
+func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	if len(s.shards) > maxShards {
+		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(s.shards), maxShards)
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		return write(buf[:k])
+	}
+	if err := write([]byte(shardedMagic)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(shardedVersion); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(s.shards))); err != nil {
+		return n, err
+	}
+	for i, ix := range s.shards {
+		// Global-ordinal table, delta encoded (ordinals are strictly
+		// increasing within a shard).
+		ords := s.ords[i]
+		if err := putUvarint(uint64(len(ords))); err != nil {
+			return n, err
+		}
+		prev := -1
+		for _, o := range ords {
+			if err := putUvarint(uint64(o - prev)); err != nil {
+				return n, err
+			}
+			prev = o
+		}
+		// Index.WriteTo is deterministic, so a discard pass yields the length
+		// prefix without materializing the shard's serialized form.
+		blobLen, err := ix.WriteTo(io.Discard)
+		if err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(blobLen)); err != nil {
+			return n, err
+		}
+		m, err := ix.WriteTo(bw)
+		n += m
+		if err != nil {
+			return n, err
+		}
+		if m != blobLen {
+			return n, fmt.Errorf("fulltext: shard %d serialized to %d bytes after declaring %d", i, m, blobLen)
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadShardedIndex deserializes a sharded index written by
+// ShardedIndex.WriteTo. The loaded index gets default predicate registries,
+// a fresh query cache, and a new build generation.
+func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(shardedMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("fulltext: reading sharded magic: %w", err)
+	}
+	if string(magic) != shardedMagic {
+		return nil, fmt.Errorf("fulltext: bad sharded magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading sharded version: %w", err)
+	}
+	if version != shardedVersion {
+		return nil, fmt.Errorf("fulltext: unsupported sharded version %d", version)
+	}
+	nshards, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading shard count: %w", err)
+	}
+	if nshards == 0 || nshards > maxShards {
+		return nil, fmt.Errorf("fulltext: shard count %d out of range", nshards)
+	}
+	shards := make([]*Index, nshards)
+	ords := make([][]int, nshards)
+	total := 0
+	for i := range shards {
+		ndocs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading shard %d doc count: %w", i, err)
+		}
+		if ndocs > 1<<31 {
+			return nil, fmt.Errorf("fulltext: shard %d doc count %d too large", i, ndocs)
+		}
+		ords[i] = make([]int, ndocs)
+		prev := -1
+		for j := range ords[i] {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("fulltext: reading shard %d ordinal: %w", i, err)
+			}
+			if d == 0 || d > 1<<31 {
+				return nil, fmt.Errorf("fulltext: shard %d ordinal delta %d invalid", i, d)
+			}
+			ords[i][j] = prev + int(d)
+			prev = ords[i][j]
+		}
+		total += int(ndocs)
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading shard %d length: %w", i, err)
+		}
+		lr := io.LimitReader(br, int64(blobLen))
+		ix, err := ReadIndex(lr)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: shard %d: %w", i, err)
+		}
+		// ReadIndex buffers internally; skip whatever of the blob it left.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("fulltext: shard %d: %w", i, err)
+		}
+		if ix.Docs() != int(ndocs) {
+			return nil, fmt.Errorf("fulltext: shard %d has %d docs but ordinal table has %d", i, ix.Docs(), ndocs)
+		}
+		shards[i] = ix
+	}
+	// The ordinal tables must be a permutation of 0..total-1.
+	seen := make([]bool, total)
+	for i := range ords {
+		for _, o := range ords[i] {
+			if o < 0 || o >= total || seen[o] {
+				return nil, fmt.Errorf("fulltext: shard %d ordinal %d invalid", i, o)
+			}
+			seen[o] = true
+		}
+	}
+	return newShardedIndex(shards, ords), nil
 }

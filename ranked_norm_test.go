@@ -1,0 +1,76 @@
+package fulltext
+
+// Regression tests for the SearchRanked normalization bug: SearchRanked
+// used to hand the rewritten-but-unnormalized AST to the complete engine
+// while SearchWith normalized first, so queries whose normalization changes
+// their shape (negative-predicate desugaring, quantifier hoisting) could
+// rank a different document set than Boolean search matched.
+
+import (
+	"sort"
+	"testing"
+)
+
+func sortedIDs(ms []Match) []string {
+	out := ids(ms)
+	sort.Strings(out)
+	return out
+}
+
+func TestSearchRankedUsesNormalizedQuery(t *testing.T) {
+	ix := buildIndex(t, map[string]string{
+		"d1": "alpha beta gamma",
+		"d2": "beta alpha gamma",
+		"d3": "alpha gamma beta delta",
+		"d4": "delta gamma",
+		"d5": "beta alpha filler1 filler2 filler3 filler4 filler5 filler6",
+		"d6": "beta alpha",
+	})
+	// Each query changes shape under lang.Normalize: NOT pred(...) desugars
+	// to the complement predicate, and SOME hoists out of conjunctions.
+	queries := []*Query{
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND NOT ordered(p1,p2))`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND NOT distance(p1,p2,0))`),
+		MustParse(COMP, `'gamma' AND SOME p (p HAS 'beta')`),
+	}
+	// Unnormalized, the complete engine scores every NOT pred(...) match 0
+	// (the difference path carries no token weight), collapsing the ranking
+	// into insertion order. d6 is the more relevant match but the later
+	// document: only the normalized (desugared) query ranks it first.
+	nq := MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND NOT ordered(p1,p2))`)
+	ranked, err := ix.SearchRanked(nq, TFIDF, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("%s ranked %v, want d2, d5 and d6", nq, ids(ranked))
+	}
+	if ranked[0].Score <= 0 {
+		t.Fatalf("%s: top score %g, want > 0 (unnormalized evaluation loses token weights)", nq, ranked[0].Score)
+	}
+	if ranked[0].ID != "d6" {
+		t.Fatalf("%s ranked %v, want the more relevant d6 first", nq, ids(ranked))
+	}
+
+	for _, q := range queries {
+		matched, err := ix.SearchWith(q, EngineAuto)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, model := range []ScoringModel{TFIDF, PRA} {
+			ranked, err := ix.SearchRanked(q, model, 0)
+			if err != nil {
+				t.Fatalf("%s (model %d): %v", q, model, err)
+			}
+			got, want := sortedIDs(ranked), sortedIDs(matched)
+			if len(got) != len(want) {
+				t.Fatalf("%s (model %d): ranked %v but Boolean search matched %v", q, model, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s (model %d): ranked %v but Boolean search matched %v", q, model, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package fulltext
+
+import (
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/lang"
+	"fulltext/internal/shard"
+)
+
+// DefaultQueryCacheSize is the query-result cache capacity a ShardedIndex
+// gets at build/load time (entries, not bytes).
+const DefaultQueryCacheSize = 256
+
+// ShardedBuilder hash-partitions documents across N independent shard
+// builders. Build produces a ShardedIndex whose results — IDs, order, and
+// ranking scores — are identical to a single Index built over the same
+// corpus, while queries fan out across shards in parallel.
+type ShardedBuilder struct {
+	shards []*Builder
+	ords   [][]int // per shard: local doc ordinal -> global insertion ordinal
+	seen   map[string]bool
+	total  int
+}
+
+// NewShardedBuilder returns a builder partitioning documents across n
+// shards (n < 1 is treated as 1) with no linguistic analysis.
+func NewShardedBuilder(n int) *ShardedBuilder {
+	return NewShardedBuilderWith(n, Options{})
+}
+
+// NewShardedBuilderWith is NewShardedBuilder with analysis options; every
+// shard applies the same analyzer so query rewriting is shard-independent.
+func NewShardedBuilderWith(n int, o Options) *ShardedBuilder {
+	if n < 1 {
+		n = 1
+	}
+	sb := &ShardedBuilder{
+		shards: make([]*Builder, n),
+		ords:   make([][]int, n),
+		seen:   make(map[string]bool),
+	}
+	for i := range sb.shards {
+		sb.shards[i] = NewBuilderWith(o)
+	}
+	return sb
+}
+
+// Add routes the document to its shard by ID hash and indexes it there.
+// IDs must be unique across the whole sharded corpus.
+func (sb *ShardedBuilder) Add(id, body string) error {
+	return sb.add(id, func(b *Builder) error { return b.Add(id, body) })
+}
+
+// AddTokens adds a pre-tokenized document (see Builder.AddTokens).
+func (sb *ShardedBuilder) AddTokens(id string, tokens []string) error {
+	return sb.add(id, func(b *Builder) error { return b.AddTokens(id, tokens) })
+}
+
+func (sb *ShardedBuilder) add(id string, f func(b *Builder) error) error {
+	if sb.seen[id] {
+		return fmt.Errorf("fulltext: duplicate document id %q", id)
+	}
+	s := shard.Pick(id, len(sb.shards))
+	if err := f(sb.shards[s]); err != nil {
+		return err
+	}
+	sb.seen[id] = true
+	sb.ords[s] = append(sb.ords[s], sb.total)
+	sb.total++
+	return nil
+}
+
+// Len returns the number of documents added so far.
+func (sb *ShardedBuilder) Len() int { return sb.total }
+
+// Shards returns the shard count.
+func (sb *ShardedBuilder) Shards() int { return len(sb.shards) }
+
+// Build constructs the sharded index. The builder remains usable; each
+// Build produces an independent index with a fresh query cache and a new
+// build generation.
+func (sb *ShardedBuilder) Build() *ShardedIndex {
+	shards := make([]*Index, len(sb.shards))
+	ords := make([][]int, len(sb.shards))
+	for i, b := range sb.shards {
+		shards[i] = b.Build()
+		ords[i] = append([]int(nil), sb.ords[i]...)
+	}
+	return newShardedIndex(shards, ords)
+}
+
+// globalStats is the collection-wide view the scoring models need so each
+// shard scores as if it held the whole corpus (score.CorpusStats).
+type globalStats struct {
+	nodes int
+	df    map[string]int
+}
+
+func (g *globalStats) NumNodes() int     { return g.nodes }
+func (g *globalStats) DF(tok string) int { return g.df[tok] }
+func (g *globalStats) Tokens() int       { return len(g.df) }
+func (g *globalStats) MaxDF() (maxDF int) {
+	for _, df := range g.df {
+		if df > maxDF {
+			maxDF = df
+		}
+	}
+	return maxDF
+}
+
+func gatherGlobalStats(shards []*Index) *globalStats {
+	g := &globalStats{df: make(map[string]int)}
+	for _, ix := range shards {
+		g.nodes += ix.inv.NumNodes()
+		for _, tok := range ix.inv.Tokens() {
+			g.df[tok] += ix.inv.DF(tok)
+		}
+	}
+	return g
+}
+
+// ShardedIndex is an immutable set of shard indexes answering queries by
+// parallel fan-out: the query is rewritten, validated and normalized once,
+// evaluated on every shard concurrently, and the per-shard results are
+// merged — a document-order k-way merge for Boolean search, a bounded
+// min-heap top-K merge for ranked search. Merged results are memoized in an
+// LRU cache keyed on (canonical query, engine/model, topK, build
+// generation). All methods are safe for concurrent use.
+type ShardedIndex struct {
+	shards []*Index
+	ords   [][]int
+	stats  *globalStats
+	cache  *shard.Cache
+	gen    uint64
+}
+
+func newShardedIndex(shards []*Index, ords [][]int) *ShardedIndex {
+	return &ShardedIndex{
+		shards: shards,
+		ords:   ords,
+		stats:  gatherGlobalStats(shards),
+		cache:  shard.NewCache(DefaultQueryCacheSize),
+		gen:    shard.NextGeneration(),
+	}
+}
+
+// Shards returns the shard count.
+func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// Docs returns the total number of indexed documents.
+func (s *ShardedIndex) Docs() int { return s.stats.nodes }
+
+// SetQueryCacheSize replaces the query cache with an empty one holding up
+// to n entries (n <= 0 disables caching). Counters restart from zero. Not
+// safe to call concurrently with searches.
+func (s *ShardedIndex) SetQueryCacheSize(n int) { s.cache = shard.NewCache(n) }
+
+// QueryCacheStats reports query-cache effectiveness.
+type QueryCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Cap       int
+}
+
+// CacheStats returns a snapshot of the query cache counters.
+func (s *ShardedIndex) CacheStats() QueryCacheStats {
+	cs := s.cache.Stats()
+	return QueryCacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Len: cs.Len, Cap: cs.Cap}
+}
+
+// Stats aggregates the complexity-model parameters across shards, matching
+// what a single Index over the union corpus would report.
+func (s *ShardedIndex) Stats() Stats {
+	out := Stats{
+		Docs:            s.stats.nodes,
+		Tokens:          s.stats.Tokens(),
+		EntriesPerToken: s.stats.MaxDF(),
+	}
+	for _, ix := range s.shards {
+		st := ix.inv.Stats()
+		out.TotalPositions += st.TotalPositions
+		if st.PosPerCNode > out.PosPerDoc {
+			out.PosPerDoc = st.PosPerCNode
+		}
+		if st.PosPerEntry > out.PosPerEntry {
+			out.PosPerEntry = st.PosPerEntry
+		}
+	}
+	return out
+}
+
+// RegisterPredicate registers a custom position predicate on every shard
+// (see Index.RegisterPredicate). Call before searching, not concurrently
+// with searches.
+func (s *ShardedIndex) RegisterPredicate(name string, posArity, constArity int, eval func(ords []int32, consts []int) bool) error {
+	for _, ix := range s.shards {
+		if err := ix.RegisterPredicate(name, posArity, constArity, eval); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Classify places the query in the hierarchy (see Index.Classify).
+func (s *ShardedIndex) Classify(q *Query) Class { return s.shards[0].Classify(q) }
+
+// Explain reports the engine EngineAuto would pick on each shard and the
+// shard-0 plan (plans are data-independent across shards).
+func (s *ShardedIndex) Explain(q *Query) (string, error) {
+	plan, err := s.shards[0].Explain(q)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("shards: %d (parallel fan-out, merge)\n%s", len(s.shards), plan), nil
+}
+
+// Search evaluates the query with the automatically selected engine on
+// every shard in parallel and merges in document order.
+func (s *ShardedIndex) Search(q *Query) ([]Match, error) {
+	return s.SearchWith(q, EngineAuto)
+}
+
+// SearchWith is Search with an explicit engine.
+func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
+	key := fmt.Sprintf("g%d|bool|%s|%s", s.gen, e, q)
+	if docs, ok := s.cache.Get(key); ok {
+		return docsToMatches(docs, false), nil
+	}
+	// Rewrite/validate/normalize once; shards share the analyzer and the
+	// registry contents, so the normalized AST is shard-independent.
+	lead := s.shards[0]
+	ast := lead.rewrite(q)
+	if err := lang.Validate(ast, lead.reg); err != nil {
+		return nil, err
+	}
+	norm := lang.Normalize(ast, lead.reg)
+	lists := make([][]shard.Doc, len(s.shards))
+	err := shard.Fanout(len(s.shards), 0, func(i int) error {
+		nodes, _, err := s.shards[i].dispatch(norm, e)
+		if err != nil {
+			return err
+		}
+		lists[i] = s.boolDocs(i, nodes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	docs := shard.MergeByOrd(lists)
+	s.cache.Put(key, docs)
+	return docsToMatches(docs, false), nil
+}
+
+// SearchRanked evaluates the query on every shard's complete engine in
+// parallel — each shard scoring against global collection statistics and
+// contributing only its own top K candidates — then merges the global top K
+// with a bounded min-heap. Results are identical to Index.SearchRanked on
+// the union corpus. topK <= 0 returns all matches.
+func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, error) {
+	key := fmt.Sprintf("g%d|rank|%d|%d|%s", s.gen, m, topK, q)
+	if docs, ok := s.cache.Get(key); ok {
+		return docsToMatches(docs, true), nil
+	}
+	lead := s.shards[0]
+	ast := lead.rewrite(q)
+	if err := lang.Validate(ast, lead.reg); err != nil {
+		return nil, err
+	}
+	norm := lang.Normalize(ast, lead.reg)
+	lists := make([][]shard.Doc, len(s.shards))
+	err := shard.Fanout(len(s.shards), 0, func(i int) error {
+		ranked, err := s.shards[i].rankedNodes(norm, m, s.stats)
+		if err != nil {
+			return err
+		}
+		if topK > 0 && topK < len(ranked) {
+			ranked = ranked[:topK]
+		}
+		docs := make([]shard.Doc, len(ranked))
+		for j, r := range ranked {
+			docs[j] = shard.Doc{Ord: s.ords[i][int(r.Node)-1], ID: s.shards[i].idOf(r.Node), Score: r.Score}
+		}
+		lists[i] = docs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	docs := shard.MergeTopK(lists, topK)
+	s.cache.Put(key, docs)
+	return docsToMatches(docs, true), nil
+}
+
+// boolDocs projects shard-local Boolean results (ascending NodeID) into
+// global document order; the global ordinals preserve the ascending order.
+func (s *ShardedIndex) boolDocs(i int, nodes []core.NodeID) []shard.Doc {
+	docs := make([]shard.Doc, len(nodes))
+	for j, n := range nodes {
+		docs[j] = shard.Doc{Ord: s.ords[i][int(n)-1], ID: s.shards[i].idOf(n)}
+	}
+	return docs
+}
+
+func docsToMatches(docs []shard.Doc, scored bool) []Match {
+	out := make([]Match, len(docs))
+	for i, d := range docs {
+		out[i] = Match{ID: d.ID}
+		if scored {
+			out[i].Score = d.Score
+		}
+	}
+	return out
+}

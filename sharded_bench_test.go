@@ -1,0 +1,102 @@
+package fulltext
+
+// Benchmarks comparing single-index evaluation to sharded parallel
+// fan-out, so successive PRs have a perf trajectory for the serving path
+// (run with: go test -bench ShardedSearch -benchtime 1x .).
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func benchCorpus(b *testing.B, nDocs int) ([]string, map[string]string) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2006))
+	vocab := make([]string, 200)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("tok%03d", i)
+	}
+	ids := make([]string, nDocs)
+	texts := make(map[string]string, nDocs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("doc%05d", i)
+		var sb strings.Builder
+		for j := 0; j < 120; j++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteString(" ")
+		}
+		// Plant the query tokens in ~30% of documents.
+		if rng.Intn(10) < 3 {
+			sb.WriteString("quality usability test")
+		}
+		texts[ids[i]] = sb.String()
+	}
+	return ids, texts
+}
+
+func buildShardedBench(b *testing.B, nShards, nDocs int) *ShardedIndex {
+	b.Helper()
+	docIDs, texts := benchCorpus(b, nDocs)
+	sb := NewShardedBuilder(nShards)
+	for _, id := range docIDs {
+		if err := sb.Add(id, texts[id]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sb.Build()
+}
+
+// BenchmarkShardedSearchRanked: ranked top-K over 1 vs N shards. The
+// query cache is disabled so every iteration measures the fan-out, the
+// per-shard complete-engine evaluation and the top-K merge.
+func BenchmarkShardedSearchRanked(b *testing.B) {
+	q := MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'quality' AND p2 HAS 'usability' AND distance(p1,p2,3))`)
+	for _, nShards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			ix := buildShardedBench(b, nShards, 1500)
+			ix.SetQueryCacheSize(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.SearchRanked(q, TFIDF, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearchBool: Boolean merge fan-out, 1 vs N shards.
+func BenchmarkShardedSearchBool(b *testing.B) {
+	q := MustParse(BOOL, `'quality' AND 'usability' AND NOT 'tok000'`)
+	for _, nShards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			ix := buildShardedBench(b, nShards, 1500)
+			ix.SetQueryCacheSize(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedCacheHit measures the cached path: parse-once, merge
+// skipped, LRU hit.
+func BenchmarkShardedCacheHit(b *testing.B) {
+	ix := buildShardedBench(b, 4, 800)
+	q := MustParse(BOOL, `'quality' AND 'usability'`)
+	if _, err := ix.Search(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package fulltext
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildBoth indexes the same documents, in the same insertion order, into a
+// single Index and an n-shard ShardedIndex.
+func buildBoth(t testing.TB, n int, docIDs []string, texts map[string]string) (*Index, *ShardedIndex) {
+	t.Helper()
+	b := NewBuilder()
+	sb := NewShardedBuilder(n)
+	for _, id := range docIDs {
+		if err := b.Add(id, texts[id]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.Add(id, texts[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(), sb.Build()
+}
+
+func randomDocs(rng *rand.Rand, nDocs, maxLen int, vocab []string) ([]string, map[string]string) {
+	ids := make([]string, nDocs)
+	texts := make(map[string]string, nDocs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("doc%03d", i)
+		n := 1 + rng.Intn(maxLen)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			if rng.Intn(7) == 0 {
+				sb.WriteString(". ")
+			} else {
+				sb.WriteString(" ")
+			}
+		}
+		texts[ids[i]] = sb.String()
+	}
+	return ids, texts
+}
+
+// crossCheckQueries covers all three dialects; every engine that accepts
+// each query is exercised by the matrix test.
+func crossCheckQueries() []*Query {
+	return []*Query{
+		MustParse(BOOL, `'aa' AND 'bb'`),
+		MustParse(BOOL, `('aa' OR 'cc') AND NOT 'bb'`),
+		MustParse(BOOL, `NOT 'aa'`),
+		MustParse(DIST, `dist('aa','bb',3)`),
+		MustParse(DIST, `'cc' AND dist('aa','bb',1)`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND distance(p1,p2,2))`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND ordered(p1,p2))`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'aa' AND diffpos(p1,p2))`),
+		MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'aa' AND p2 HAS 'bb' AND not_ordered(p1,p2))`),
+		MustParse(COMP, `EVERY p (p HAS 'aa')`),
+		MustParse(COMP, `SOME p1 (p1 HAS 'aa') AND NOT 'bb'`),
+	}
+}
+
+// TestShardedCrossCheck is the acceptance matrix: on the same corpus the
+// ShardedIndex must return byte-identical Boolean result sets (same IDs,
+// same order) and the same ranked top-K as the single Index, for queries in
+// all three dialects across all four engines plus auto selection.
+func TestShardedCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vocab := []string{"aa", "bb", "cc", "dd", "ee"}
+	engines := []Engine{EngineAuto, EngineBOOL, EnginePPRED, EngineNPRED, EngineCOMP}
+	for _, nShards := range []int{1, 2, 4, 7} {
+		docIDs, texts := randomDocs(rng, 40, 25, vocab)
+		single, sharded := buildBoth(t, nShards, docIDs, texts)
+		if sharded.Shards() != nShards || sharded.Docs() != single.Docs() {
+			t.Fatalf("sharded index shape wrong: %d shards, %d docs", sharded.Shards(), sharded.Docs())
+		}
+		for qi, q := range crossCheckQueries() {
+			for _, e := range engines {
+				want, errW := single.SearchWith(q, e)
+				got, errG := sharded.SearchWith(q, e)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("shards=%d q#%d %s engine %s: error mismatch %v vs %v", nShards, qi, q, e, errW, errG)
+				}
+				if errW != nil {
+					continue // engine rejects the query's class on both
+				}
+				if !matchesEqual(got, want) {
+					t.Fatalf("shards=%d q#%d %s engine %s:\nsharded=%v\nsingle =%v",
+						nShards, qi, q, e, ids(got), ids(want))
+				}
+			}
+			for _, model := range []ScoringModel{TFIDF, PRA} {
+				for _, topK := range []int{0, 1, 5} {
+					want, err := single.SearchRanked(q, model, topK)
+					if err != nil {
+						t.Fatalf("single ranked %s: %v", q, err)
+					}
+					got, err := sharded.SearchRanked(q, model, topK)
+					if err != nil {
+						t.Fatalf("sharded ranked %s: %v", q, err)
+					}
+					compareRanked(t, fmt.Sprintf("shards=%d q#%d %s model=%d topK=%d", nShards, qi, q, model, topK), got, want)
+				}
+			}
+		}
+	}
+}
+
+func compareRanked(t *testing.T, ctx string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\nsharded=%v\nsingle =%v", ctx, len(got), len(want), ids(got), ids(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: rank %d is %s, want %s\nsharded=%v\nsingle =%v", ctx, i, got[i].ID, want[i].ID, ids(got), ids(want))
+		}
+		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("%s: score of %s is %g, want %g", ctx, got[i].ID, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// TestShardedAnalyzerOptions: stemming/stop-word/synonym analysis applies
+// per shard and still matches the single index.
+func TestShardedAnalyzerOptions(t *testing.T) {
+	o := Options{
+		Stemming:  true,
+		StopWords: []string{"the", "of"},
+		Synonyms:  [][]string{{"quick", "fast", "rapid"}},
+	}
+	docIDs := []string{"a", "b", "c", "d"}
+	texts := map[string]string{
+		"a": "the quick testing of algorithms",
+		"b": "a fast test runs rapidly",
+		"c": "rapid tests of the testers",
+		"d": "slow and unrelated words",
+	}
+	b := NewBuilderWith(o)
+	sb := NewShardedBuilderWith(3, o)
+	for _, id := range docIDs {
+		if err := b.Add(id, texts[id]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.Add(id, texts[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single, sharded := b.Build(), sb.Build()
+	for _, src := range []string{`'quick' AND 'test'`, `'fast' OR 'testing'`} {
+		q := MustParse(BOOL, src)
+		want, err := single.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(got, want) {
+			t.Fatalf("%s: sharded=%v single=%v", src, ids(got), ids(want))
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s matched nothing; test corpus broken", src)
+		}
+	}
+}
+
+// TestShardedRoundTrip writes N shards and reads them back; the loaded
+// index must return identical results, stats and metadata.
+func TestShardedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	docIDs, texts := randomDocs(rng, 30, 20, []string{"aa", "bb", "cc", "dd"})
+	_, sharded := buildBoth(t, 4, docIDs, texts)
+
+	var buf bytes.Buffer
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Shards() != sharded.Shards() || loaded.Docs() != sharded.Docs() {
+		t.Fatalf("loaded shape %d/%d, want %d/%d", loaded.Shards(), loaded.Docs(), sharded.Shards(), sharded.Docs())
+	}
+	if loaded.Stats() != sharded.Stats() {
+		t.Fatalf("stats changed across round trip: %+v vs %+v", loaded.Stats(), sharded.Stats())
+	}
+	for _, q := range crossCheckQueries() {
+		want, err := sharded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matchesEqual(got, want) {
+			t.Fatalf("%s: loaded=%v built=%v", q, ids(got), ids(want))
+		}
+		wantR, err := sharded.SearchRanked(q, TFIDF, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := loaded.SearchRanked(q, TFIDF, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareRanked(t, q.String(), gotR, wantR)
+	}
+}
+
+func TestReadShardedIndexErrors(t *testing.T) {
+	_, sharded := buildBoth(t, 2, []string{"a", "b"}, map[string]string{"a": "x y", "b": "y z"})
+	var buf bytes.Buffer
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardedIndex(bytes.NewReader([]byte("JUNK"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// A single-index stream is not a sharded stream and vice versa.
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadIndex accepted a sharded stream")
+	}
+}
+
+// TestShardedConcurrentStress fires concurrent mixed Search/SearchRanked
+// traffic at one ShardedIndex; run under -race this is the concurrency
+// acceptance test. Every goroutine must see exactly the precomputed
+// results.
+func TestShardedConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	docIDs, texts := randomDocs(rng, 25, 15, []string{"aa", "bb", "cc"})
+	single, sharded := buildBoth(t, 4, docIDs, texts)
+
+	queries := crossCheckQueries()
+	wantBool := make([][]Match, len(queries))
+	wantRank := make([][]Match, len(queries))
+	for i, q := range queries {
+		var err error
+		if wantBool[i], err = single.Search(q); err != nil {
+			t.Fatal(err)
+		}
+		if wantRank[i], err = single.SearchRanked(q, TFIDF, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				i := (g + it) % len(queries)
+				switch (g + it) % 3 {
+				case 0, 1:
+					got, err := sharded.Search(queries[i])
+					if err != nil {
+						t.Errorf("concurrent Search %s: %v", queries[i], err)
+						return
+					}
+					if !matchesEqual(got, wantBool[i]) {
+						t.Errorf("concurrent Search %s diverged", queries[i])
+						return
+					}
+				case 2:
+					got, err := sharded.SearchRanked(queries[i], TFIDF, 4)
+					if err != nil {
+						t.Errorf("concurrent SearchRanked %s: %v", queries[i], err)
+						return
+					}
+					if !matchesEqual(got, wantRank[i]) {
+						t.Errorf("concurrent SearchRanked %s diverged", queries[i])
+						return
+					}
+				}
+				_ = sharded.CacheStats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestShardedQueryCache(t *testing.T) {
+	_, sharded := buildBoth(t, 2, []string{"a", "b", "c"},
+		map[string]string{"a": "x y z", "b": "y z", "c": "z q"})
+	q := MustParse(BOOL, `'y' AND 'z'`)
+	first, err := sharded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sharded.CacheStats(); s.Hits != 0 || s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("after first search: %+v", s)
+	}
+	// A textually different but canonically identical query hits the cache.
+	again, err := sharded.Search(MustParse(BOOL, `  'y'   AND 'z'  `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(again, first) {
+		t.Fatalf("cache returned %v, want %v", ids(again), ids(first))
+	}
+	if s := sharded.CacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after cached search: %+v", s)
+	}
+	// Ranked results cache under a distinct key.
+	if _, err := sharded.SearchRanked(q, TFIDF, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.SearchRanked(q, TFIDF, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := sharded.CacheStats(); s.Hits != 2 || s.Misses != 2 || s.Len != 2 {
+		t.Fatalf("after ranked searches: %+v", s)
+	}
+	// Different topK is a different key.
+	if _, err := sharded.SearchRanked(q, TFIDF, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := sharded.CacheStats(); s.Misses != 3 {
+		t.Fatalf("topK should partition the cache: %+v", s)
+	}
+	// Disabling the cache still serves correct results.
+	sharded.SetQueryCacheSize(0)
+	got, err := sharded.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(got, first) {
+		t.Fatal("uncached search diverged")
+	}
+	if s := sharded.CacheStats(); s.Hits != 0 || s.Cap != 0 {
+		t.Fatalf("disabled cache stats: %+v", s)
+	}
+}
+
+// TestShardedCacheInvalidatedPerGeneration: rebuilding from the same
+// builder must never serve results cached by a previous generation.
+func TestShardedCacheGenerations(t *testing.T) {
+	sb := NewShardedBuilder(2)
+	if err := sb.Add("a", "x y"); err != nil {
+		t.Fatal(err)
+	}
+	ix1 := sb.Build()
+	q := MustParse(BOOL, `'x' AND 'w'`)
+	ms, err := ix1.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("unexpected matches %v", ids(ms))
+	}
+	if err := sb.Add("b", "x w"); err != nil {
+		t.Fatal(err)
+	}
+	ix2 := sb.Build()
+	if ix2.gen == ix1.gen {
+		t.Fatal("rebuild did not advance the generation")
+	}
+	ms, err = ix2.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "b")
+}
+
+func TestShardedBuilderValidation(t *testing.T) {
+	sb := NewShardedBuilder(3)
+	if err := sb.Add("dup", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Add("dup", "two"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if sb.Len() != 1 {
+		t.Fatalf("Len = %d after rejected duplicate", sb.Len())
+	}
+	if got := NewShardedBuilder(0).Shards(); got != 1 {
+		t.Fatalf("0 shards should clamp to 1, got %d", got)
+	}
+	empty := NewShardedBuilder(2).Build()
+	ms, err := empty.Search(MustParse(BOOL, `'a'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("empty sharded index matched %v", ids(ms))
+	}
+}
+
+func TestShardedExplainAndClassify(t *testing.T) {
+	_, sharded := buildBoth(t, 2, []string{"a", "b"}, map[string]string{"a": "x y", "b": "y z"})
+	q := MustParse(COMP, `SOME p1 SOME p2 (p1 HAS 'x' AND p2 HAS 'y' AND distance(p1,p2,1))`)
+	plan, err := sharded.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "shards: 2") || !strings.Contains(plan, "engine:") {
+		t.Fatalf("unexpected plan:\n%s", plan)
+	}
+	if c := sharded.Classify(q); c != ClassPPred {
+		t.Fatalf("Classify = %v, want ClassPPred", c)
+	}
+}
+
+func TestShardedCustomPredicate(t *testing.T) {
+	_, sharded := buildBoth(t, 3, []string{"a", "b", "c"},
+		map[string]string{"a": "x q", "b": "q x", "c": "x z q"})
+	err := sharded.RegisterPredicate("adjacent", 2, 0, func(ords []int32, _ []int) bool {
+		d := ords[0] - ords[1]
+		return d == 1 || d == -1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sharded.Search(MustParse(COMP,
+		`SOME p1 SOME p2 (p1 HAS 'x' AND p2 HAS 'q' AND adjacent(p1,p2))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, ms, "a", "b")
+}
