@@ -1,12 +1,16 @@
 // ftbench reproduces the paper's evaluation (Section 6): it generates the
 // synthetic INEX-substitute corpus, runs every engine series, and prints
-// one table per figure.
+// one table per figure. Beyond the paper's figures it measures the ranked
+// top-K serving path (experiment "ranked"): cold vs cached index
+// statistics, exhaustive vs WAND early termination, and single vs sharded
+// fan-out.
 //
 // Usage:
 //
 //	ftbench -experiment all            all figures at the default scale
 //	ftbench -experiment fig5 -scale 1  Figure 5 at the paper's full sizes
 //	ftbench -experiment fig7 -quick    Figure 7 on a small corpus
+//	ftbench -experiment ranked -json . ranked fast path, BENCH_ranked.json
 package main
 
 import (
@@ -15,8 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"fulltext"
 	"fulltext/internal/bench"
+	"fulltext/internal/synth"
 )
 
 func main() {
@@ -92,10 +99,153 @@ func main() {
 		ran = true
 	}
 
+	if run("ranked") {
+		emit("ranked", rankedExperiment(s))
+		ran = true
+	}
+
 	if !ran {
 		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// rankedSeries are the ranked serving regimes, in plot order: first ranked
+// query on a fresh index (pays the O(index) statistics pass), warm
+// exhaustive scan, warm WAND fast path, and the warm fast path fanned out
+// over 4 shards with threshold sharing.
+var rankedSeries = []string{"COLD-STATS", "EXH-WARM", "WAND-WARM", "WAND-4SHARD"}
+
+// rankedExperiment measures ranked top-K latency per regime across K. The
+// corpus reuses the synthetic generator with two planted tokens of very
+// different selectivity so upper-bound pruning has score skew to work
+// with; results are checked for agreement across regimes on every
+// repetition.
+func rankedExperiment(s bench.Setup) *bench.Table {
+	c := synth.Corpus(synth.Config{
+		Seed: s.Seed, NumDocs: s.CNodes, DocLen: s.DocLen, VocabSize: s.Vocab,
+		Plants: []synth.Plant{
+			{Token: "needle", DocFraction: 0.05, PerDoc: 3},
+			{Token: "common", DocFraction: 0.5, PerDoc: 2},
+		}})
+	build := func() *fulltext.Index {
+		b := fulltext.NewBuilder()
+		for _, d := range c.Docs() {
+			if err := b.AddTokens(d.ID, d.Tokens); err != nil {
+				fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	warm := build()
+	sb := fulltext.NewShardedBuilder(4)
+	for _, d := range c.Docs() {
+		if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+			fatal(err)
+		}
+	}
+	sharded := sb.Build()
+	sharded.SetQueryCacheSize(0) // measure evaluation, not the LRU
+
+	q, err := fulltext.Parse(fulltext.BOOL, `'needle' OR 'common'`)
+	if err != nil {
+		fatal(err)
+	}
+	// Warm the cached statistics blocks so the WARM series measure pure
+	// evaluation; COLD-STATS rebuilds per repetition and stays cold.
+	if _, err := warm.SearchRanked(q, fulltext.TFIDF, 1); err != nil {
+		fatal(err)
+	}
+	if _, err := sharded.SearchRanked(q, fulltext.TFIDF, 1); err != nil {
+		fatal(err)
+	}
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Ranked top-K serving (%d docs, TFIDF, 'needle' OR 'common')", warm.Docs()),
+		XLabel: "top K",
+		Series: rankedSeries,
+		Cells:  map[string]map[string]bench.Cell{},
+	}
+	addCell := func(x, series string, c bench.Cell) {
+		if _, ok := t.Cells[x]; !ok {
+			t.XVals = append(t.XVals, x)
+			t.Cells[x] = map[string]bench.Cell{}
+		}
+		t.Cells[x][series] = c
+	}
+	// measure times only run, repeating s.Repeats times; setup (untimed)
+	// produces the index each repetition queries, so COLD-STATS can hand
+	// out a fresh index per repetition without the corpus-indexing cost
+	// leaking into the measured statistics pass.
+	measure := func(setup func() *fulltext.Index, run func(ix *fulltext.Index) (int, error)) bench.Cell {
+		var total time.Duration
+		var results int
+		reps := s.Repeats
+		if reps < 1 {
+			reps = 1
+		}
+		for r := 0; r < reps; r++ {
+			ix := setup()
+			start := time.Now()
+			n, err := run(ix)
+			total += time.Since(start)
+			if err != nil {
+				return bench.Cell{Err: err.Error()}
+			}
+			results = n
+		}
+		return bench.Cell{Time: total / time.Duration(reps), Results: results}
+	}
+	warmSetup := func() *fulltext.Index { return warm }
+
+	for _, k := range []int{1, 10, 100} {
+		x := fmt.Sprintf("top=%d", k)
+		addCell(x, "COLD-STATS", measure(build, func(cold *fulltext.Index) (int, error) {
+			// Fresh index: the first ranked query pays the per-query
+			// NodeNorms-style statistics pass the cache eliminates.
+			ms, err := cold.SearchRankedOpts(q, fulltext.TFIDF, k, fulltext.RankOptions{Exhaustive: true})
+			return len(ms), err
+		}))
+		addCell(x, "EXH-WARM", measure(warmSetup, func(warm *fulltext.Index) (int, error) {
+			ms, err := warm.SearchRankedOpts(q, fulltext.TFIDF, k, fulltext.RankOptions{Exhaustive: true})
+			return len(ms), err
+		}))
+		addCell(x, "WAND-WARM", measure(warmSetup, func(warm *fulltext.Index) (int, error) {
+			ms, err := warm.SearchRanked(q, fulltext.TFIDF, k)
+			return len(ms), err
+		}))
+		addCell(x, "WAND-4SHARD", measure(warmSetup, func(*fulltext.Index) (int, error) {
+			ms, err := sharded.SearchRanked(q, fulltext.TFIDF, k)
+			return len(ms), err
+		}))
+
+		// Equivalence guard: all regimes must agree exactly.
+		want, err := warm.SearchRankedOpts(q, fulltext.TFIDF, k, fulltext.RankOptions{Exhaustive: true})
+		if err != nil {
+			fatal(err)
+		}
+		for _, alt := range []func() ([]fulltext.Match, error){
+			func() ([]fulltext.Match, error) { return warm.SearchRanked(q, fulltext.TFIDF, k) },
+			func() ([]fulltext.Match, error) { return sharded.SearchRanked(q, fulltext.TFIDF, k) },
+		} {
+			got, err := alt()
+			if err != nil {
+				fatal(err)
+			}
+			if len(got) != len(want) {
+				fatal(fmt.Errorf("ranked regimes disagree at top=%d: %d vs %d results", k, len(got), len(want)))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					fatal(fmt.Errorf("ranked regimes disagree at top=%d position %d: %+v vs %+v", k, i, got[i], want[i]))
+				}
+			}
+		}
+	}
+	rs := sharded.RankedEvalStats()
+	fmt.Printf("sharded fast path: %d per-shard evaluations (incl. warm-up and verification queries), %d docs scored, %d pruned by bound, %d cursor seeks\n",
+		rs.FastPathQueries, rs.ScoredDocs, rs.BoundSkippedDocs, rs.CursorSeeks)
+	return t
 }
 
 func fatal(err error) {

@@ -1,12 +1,18 @@
 // ftserve is an HTTP search server over a sharded full-text index: queries
 // fan out across shards in parallel, ranked results merge through a
-// bounded top-K heap, and repeated queries hit an LRU result cache.
+// bounded top-K heap (eligible queries take the WAND fast path with a
+// cross-shard pruning threshold), and repeated queries hit an LRU result
+// cache. The front-end applies backpressure — a bounded concurrency
+// semaphore that sheds load with 503 when saturated — enforces a
+// per-request timeout, and emits one structured (JSON) access-log line per
+// request.
 //
 // Usage:
 //
 //	ftserve -dir ./docs -shards 4 -addr :8080      index *.txt, serve
 //	ftserve -dir ./docs -shards 4 -save idx.ftss   also persist the index
 //	ftserve -load idx.ftss -addr :8080             serve a persisted index
+//	ftserve -dir ./docs -inflight 128 -timeout 5s  tune backpressure
 //
 // Endpoints (all JSON):
 //
@@ -21,12 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fulltext"
@@ -34,12 +43,14 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		dir    = flag.String("dir", "", "directory of .txt files to index (one document per file)")
-		load   = flag.String("load", "", "load a persisted sharded index instead of building one")
-		save   = flag.String("save", "", "persist the built index to this file")
-		shards = flag.Int("shards", 4, "number of index shards when building with -dir")
-		cache  = flag.Int("cache", fulltext.DefaultQueryCacheSize, "query-result cache capacity in entries (0 disables)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		dir      = flag.String("dir", "", "directory of .txt files to index (one document per file)")
+		load     = flag.String("load", "", "load a persisted sharded index instead of building one")
+		save     = flag.String("save", "", "persist the built index to this file")
+		shards   = flag.Int("shards", 4, "number of index shards when building with -dir")
+		cache    = flag.Int("cache", fulltext.DefaultQueryCacheSize, "query-result cache capacity in entries (0 disables)")
+		inflight = flag.Int("inflight", 64, "max concurrent requests before shedding load with 503 (0 disables the limiter)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
 	)
 	flag.Parse()
 
@@ -61,8 +72,14 @@ func main() {
 		}
 		log.Printf("index saved to %s", *save)
 	}
-	log.Printf("serving %d documents across %d shards on %s", ix.Docs(), ix.Shards(), *addr)
-	if err := http.ListenAndServe(*addr, newServer(ix)); err != nil {
+	cfg := serverConfig{
+		MaxInflight: *inflight,
+		Timeout:     *timeout,
+		AccessLog:   slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}
+	log.Printf("serving %d documents across %d shards on %s (inflight=%d timeout=%s)",
+		ix.Docs(), ix.Shards(), *addr, *inflight, *timeout)
+	if err := http.ListenAndServe(*addr, newServerWith(ix, cfg)); err != nil {
 		fatal(err)
 	}
 }
@@ -110,22 +127,179 @@ func buildOrLoad(dir, load string, shards int) (*fulltext.ShardedIndex, error) {
 // maxTop caps the top query parameter of ranked searches.
 const maxTop = 1000
 
+// latencyWindow is the number of recent query latencies the rolling
+// tracker keeps for /stats percentiles.
+const latencyWindow = 512
+
+// serverConfig tunes the HTTP front-end middleware.
+type serverConfig struct {
+	// MaxInflight bounds concurrently served requests; excess requests are
+	// shed immediately with 503 (0 disables the limiter).
+	MaxInflight int
+	// Timeout aborts requests exceeding it with 503 (0 disables).
+	Timeout time.Duration
+	// AccessLog, when non-nil, receives one structured line per request.
+	AccessLog *slog.Logger
+}
+
 // server wraps the sharded index with the HTTP front-end.
 type server struct {
 	ix      *fulltext.ShardedIndex
 	started time.Time
+	lat     *latencyTracker
+	shed    atomic.Uint64 // 503s from the inflight limiter
 }
 
-// newServer builds the route table; extracted from main so tests can drive
-// it through httptest.
+// newServer builds the route table with default middleware settings;
+// extracted from main so tests can drive it through httptest.
 func newServer(ix *fulltext.ShardedIndex) http.Handler {
-	s := &server{ix: ix, started: time.Now()}
+	return newServerWith(ix, serverConfig{MaxInflight: 64, Timeout: 10 * time.Second})
+}
+
+// newServerWith builds the route table and wraps it in the middleware
+// chain: access logging outermost (so shed and timed-out requests are
+// logged with their real status), then the request timeout, then the
+// bounded-semaphore limiter around the actual work.
+func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
+	s := &server{ix: ix, started: time.Now(), lat: newLatencyTracker(latencyWindow)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+
+	h := http.Handler(mux)
+	h = s.limitInflight(h, cfg.MaxInflight)
+	if cfg.Timeout > 0 {
+		h = withJSONTimeout(h, cfg.Timeout)
+	}
+	if cfg.AccessLog != nil {
+		h = accessLog(h, cfg.AccessLog)
+	}
+	return h
+}
+
+// withJSONTimeout aborts requests exceeding d with a 503. TimeoutHandler
+// writes its body without a Content-Type (the sniffer would label the
+// JSON text/plain); pre-setting it keeps the all-JSON contract — handlers
+// that complete in time overwrite it when TimeoutHandler copies their
+// headers out.
+func withJSONTimeout(next http.Handler, d time.Duration) http.Handler {
+	inner := http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// limitInflight is the bounded semaphore: requests acquire a slot without
+// blocking and are shed with 503 when none is free, so saturation degrades
+// into fast failures instead of unbounded queueing.
+func (s *server) limitInflight(next http.Handler, n int) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	slots := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			s.shed.Add(1)
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: %d requests in flight", n))
+		}
+	})
+}
+
+func (s *server) shedCount() uint64 { return s.shed.Load() }
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog emits one structured line per request.
+func accessLog(next http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// latencyTracker keeps a rolling window of query latencies for /stats.
+type latencyTracker struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	count uint64
+}
+
+func newLatencyTracker(window int) *latencyTracker {
+	return &latencyTracker{buf: make([]time.Duration, 0, window)}
+}
+
+func (l *latencyTracker) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, d)
+	} else {
+		l.buf[l.next] = d
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.count++
+}
+
+// latencySnapshot is the rolling-latency section of /stats.
+type latencySnapshot struct {
+	Count  uint64  `json:"count"`
+	Window int     `json:"window"`
+	AvgMS  float64 `json:"avg_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func (l *latencyTracker) snapshot() latencySnapshot {
+	l.mu.Lock()
+	window := append([]time.Duration(nil), l.buf...)
+	count := l.count
+	l.mu.Unlock()
+	out := latencySnapshot{Count: count, Window: len(window)}
+	if len(window) == 0 {
+		return out
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	var sum time.Duration
+	for _, d := range window {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(window)-1))
+		return window[i]
+	}
+	out.AvgMS = ms(sum / time.Duration(len(window)))
+	out.P50MS = ms(pct(0.50))
+	out.P95MS = ms(pct(0.95))
+	out.P99MS = ms(pct(0.99))
+	return out
 }
 
 type matchJSON struct {
@@ -193,11 +367,13 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown rank %q (want none, tfidf, or pra)", rank))
 		return
 	}
+	took := time.Since(start)
+	s.lat.record(took)
 	resp := searchResponse{
 		Query:   q.String(),
 		Class:   s.ix.Classify(q).String(),
 		Count:   len(matches),
-		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+		TookMS:  float64(took.Microseconds()) / 1000,
 		Matches: make([]matchJSON, len(matches)),
 	}
 	for i, m := range matches {
@@ -231,6 +407,16 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Stats()
 	cs := s.ix.CacheStats()
+	rs := s.ix.RankedEvalStats()
+	perShard := make([]map[string]int, 0, s.ix.Shards())
+	for i, ss := range s.ix.ShardStats() {
+		perShard = append(perShard, map[string]int{
+			"shard":           i,
+			"docs":            ss.Docs,
+			"tokens":          ss.Tokens,
+			"total_positions": ss.TotalPositions,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shards":   s.ix.Shards(),
 		"uptime_s": time.Since(s.started).Seconds(),
@@ -242,6 +428,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries_per_token": st.EntriesPerToken,
 			"pos_per_entry":     st.PosPerEntry,
 		},
+		"per_shard": perShard,
+		"latency":   s.lat.snapshot(),
 		"cache": map[string]uint64{
 			"hits":      cs.Hits,
 			"misses":    cs.Misses,
@@ -249,6 +437,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"len":       uint64(cs.Len),
 			"cap":       uint64(cs.Cap),
 		},
+		// Per-shard evaluation counts: one sharded query increments the
+		// *_evals counters once per shard.
+		"ranked": map[string]uint64{
+			"fast_path_evals":    rs.FastPathQueries,
+			"exhaustive_evals":   rs.ExhaustiveQueries,
+			"candidate_docs":     rs.CandidateDocs,
+			"scored_docs":        rs.ScoredDocs,
+			"bound_skipped_docs": rs.BoundSkippedDocs,
+			"cursor_seeks":       rs.CursorSeeks,
+		},
+		"shed_requests": s.shedCount(),
 	})
 }
 

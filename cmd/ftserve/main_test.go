@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
-
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"fulltext"
 )
@@ -152,6 +156,178 @@ func TestExplainStatsHealthz(t *testing.T) {
 	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
 		t.Fatalf("cache counters not reported: %+v", st.Cache)
 	}
+}
+
+func TestStatsPerShardAndLatency(t *testing.T) {
+	ts, ix := testServer(t)
+	// Generate some query latency samples, including a ranked fast-path one.
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	getJSON(t, ts.URL+"/search?q='test'+AND+'usability'&lang=bool&rank=tfidf&top=1", http.StatusOK, &r)
+
+	var st struct {
+		PerShard []struct {
+			Shard  int `json:"shard"`
+			Docs   int `json:"docs"`
+			Tokens int `json:"tokens"`
+		} `json:"per_shard"`
+		Latency struct {
+			Count  uint64  `json:"count"`
+			Window int     `json:"window"`
+			AvgMS  float64 `json:"avg_ms"`
+		} `json:"latency"`
+		Ranked struct {
+			FastPath   uint64 `json:"fast_path_evals"`
+			ScoredDocs uint64 `json:"scored_docs"`
+		} `json:"ranked"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if len(st.PerShard) != ix.Shards() {
+		t.Fatalf("per_shard has %d entries, want %d", len(st.PerShard), ix.Shards())
+	}
+	docs, tokens := 0, 0
+	for i, ps := range st.PerShard {
+		if ps.Shard != i {
+			t.Fatalf("per_shard[%d] labeled shard %d", i, ps.Shard)
+		}
+		docs += ps.Docs
+		tokens += ps.Tokens
+	}
+	if docs != ix.Docs() || tokens == 0 {
+		t.Fatalf("per_shard docs=%d (want %d), tokens=%d", docs, ix.Docs(), tokens)
+	}
+	if st.Latency.Count < 2 || st.Latency.Window < 2 {
+		t.Fatalf("latency tracker did not record queries: %+v", st.Latency)
+	}
+	if st.Ranked.FastPath == 0 {
+		t.Fatalf("ranked fast-path counter not exposed: %+v", st.Ranked)
+	}
+}
+
+func TestInflightLimiterSheds(t *testing.T) {
+	s := &server{lat: newLatencyTracker(8)}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	h := s.limitInflight(inner, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := httptest.NewRecorder()
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(first, httptest.NewRequest("GET", "/search?q='a'", nil))
+	}()
+	<-entered // the slot is now held
+
+	second := httptest.NewRecorder()
+	h.ServeHTTP(second, httptest.NewRequest("GET", "/search?q='a'", nil))
+	if second.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request got %d, want 503", second.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(second.Body.Bytes(), &e); err != nil || e["error"] == "" {
+		t.Fatalf("503 body not a JSON error: %q (%v)", second.Body.String(), err)
+	}
+	if s.shedCount() != 1 {
+		t.Fatalf("shed counter %d, want 1", s.shedCount())
+	}
+
+	close(release)
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Fatalf("held request got %d, want 200", first.Code)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// Deterministic timeout: the inner handler blocks until released, so
+	// the 503 cannot race a fast handler completion.
+	release := make(chan struct{})
+	defer close(release)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	h := withJSONTimeout(slow, 5*time.Millisecond)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q='test'&lang=bool", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request got %d, want 503", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e["error"], "timed out") {
+		t.Fatalf("timeout body %q (%v)", rec.Body.String(), err)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("timeout response Content-Type %q, want application/json", ct)
+	}
+
+	// A generous timeout must not disturb normal JSON responses.
+	_, ix := testServer(t)
+	full := newServerWith(ix, serverConfig{Timeout: time.Minute})
+	rec = httptest.NewRecorder()
+	full.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q='test'&lang=bool", nil))
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("normal request through timeout middleware: status %d, Content-Type %q",
+			rec.Code, rec.Header().Get("Content-Type"))
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	_, ix := testServer(t)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&syncWriter{w: &buf, mu: &mu}, nil))
+	h := newServerWith(ix, serverConfig{AccessLog: logger})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q='test'&lang=bool", nil))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/search", nil)) // 400: missing q
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var entry struct {
+		Msg        string  `json:"msg"`
+		Method     string  `json:"method"`
+		Path       string  `json:"path"`
+		Status     int     `json:"status"`
+		DurationMS float64 `json:"duration_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("access log line not JSON: %q: %v", lines[0], err)
+	}
+	if entry.Method != "GET" || entry.Path != "/search" || entry.Status != http.StatusOK {
+		t.Fatalf("unexpected access log entry %+v", entry)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Status != http.StatusBadRequest {
+		t.Fatalf("error request logged with status %d, want 400", entry.Status)
+	}
+}
+
+type syncWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 func TestServeLoadedIndex(t *testing.T) {

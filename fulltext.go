@@ -30,6 +30,7 @@ package fulltext
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fulltext/internal/booleval"
 	"fulltext/internal/compeval"
@@ -42,6 +43,7 @@ import (
 	"fulltext/internal/pred"
 	"fulltext/internal/score"
 	"fulltext/internal/text"
+	"fulltext/internal/wand"
 )
 
 // Dialect selects the query grammar (Section 4).
@@ -213,6 +215,7 @@ func (b *Builder) Build() *Index {
 		reg:      pred.Default(),
 		ids:      ids,
 		analyzer: b.analyzer,
+		rc:       &rankedCounters{},
 	}
 }
 
@@ -222,6 +225,70 @@ type Index struct {
 	reg      *pred.Registry
 	ids      []string
 	analyzer *text.Analyzer
+	rc       *rankedCounters
+}
+
+// rankedCounters accumulates ranked-evaluation work counters across the
+// index's lifetime (atomics: searches run concurrently).
+type rankedCounters struct {
+	fast       atomic.Uint64
+	exhaustive atomic.Uint64
+	candidates atomic.Uint64
+	scored     atomic.Uint64
+	skipped    atomic.Uint64
+	seeks      atomic.Uint64
+}
+
+func (rc *rankedCounters) addWand(ws wand.Stats) {
+	rc.fast.Add(1)
+	rc.candidates.Add(ws.Candidates)
+	rc.scored.Add(ws.Scored)
+	rc.skipped.Add(ws.BoundSkipped)
+	rc.seeks.Add(ws.Seeks)
+}
+
+func (rc *rankedCounters) addExhaustive(nodes int) {
+	rc.exhaustive.Add(1)
+	rc.candidates.Add(uint64(nodes))
+	rc.scored.Add(uint64(nodes))
+}
+
+// RankedEvalStats is a snapshot of cumulative ranked-evaluation work: how
+// often the WAND fast path vs the exhaustive scan ran, and how many
+// documents were considered, fully scored, or pruned by the upper-bound
+// threshold. The unit is one per-index evaluation — on a ShardedIndex
+// every shard counts separately, so a single sharded query increments the
+// query counters once per shard. The exhaustive scan counts every context
+// node as scored — that is exactly the work the fast path exists to
+// avoid, so ScoredDocs is the number benchmarks compare.
+type RankedEvalStats struct {
+	FastPathQueries   uint64 // per-index fast-path evaluations (shards count individually)
+	ExhaustiveQueries uint64 // per-index exhaustive scans (shards count individually)
+	CandidateDocs     uint64
+	ScoredDocs        uint64
+	BoundSkippedDocs  uint64
+	CursorSeeks       uint64
+}
+
+func (s *RankedEvalStats) add(o RankedEvalStats) {
+	s.FastPathQueries += o.FastPathQueries
+	s.ExhaustiveQueries += o.ExhaustiveQueries
+	s.CandidateDocs += o.CandidateDocs
+	s.ScoredDocs += o.ScoredDocs
+	s.BoundSkippedDocs += o.BoundSkippedDocs
+	s.CursorSeeks += o.CursorSeeks
+}
+
+// RankedEvalStats returns the index's cumulative ranked-query counters.
+func (ix *Index) RankedEvalStats() RankedEvalStats {
+	return RankedEvalStats{
+		FastPathQueries:   ix.rc.fast.Load(),
+		ExhaustiveQueries: ix.rc.exhaustive.Load(),
+		CandidateDocs:     ix.rc.candidates.Load(),
+		ScoredDocs:        ix.rc.scored.Load(),
+		BoundSkippedDocs:  ix.rc.skipped.Load(),
+		CursorSeeks:       ix.rc.seeks.Load(),
+	}
 }
 
 // Stats reports the complexity-model parameters of the index (Section
@@ -349,10 +416,33 @@ func (ix *Index) dispatch(norm lang.Query, e Engine) ([]core.NodeID, Engine, err
 	}
 }
 
-// SearchRanked evaluates the query on the complete engine with the chosen
-// scoring model and returns matches sorted by descending score. topK <= 0
-// returns all matches.
+// RankOptions tunes ranked evaluation.
+type RankOptions struct {
+	// Exhaustive forces the full per-node scan even when the WAND fast
+	// path could serve the query. It exists for verification and as the
+	// baseline in benchmarks; results are identical either way.
+	Exhaustive bool
+	// NoThresholdSharing disables the cross-shard pruning threshold of
+	// sharded top-K queries (ShardedIndex only; ignored on a single
+	// index). Results are identical either way; late shards just score
+	// more documents.
+	NoThresholdSharing bool
+}
+
+// SearchRanked evaluates the query with the chosen scoring model and
+// returns matches sorted by descending score. topK <= 0 returns all
+// matches. Positive topK on a ranked-eligible query (a positive Boolean
+// combination of tokens) takes the WAND fast path: cached index statistics
+// make model construction O(query tokens), and top-K early termination
+// skips documents whose score upper bound cannot reach the running K-th
+// best. Everything else falls back to the exhaustive complete-engine scan;
+// both paths return identical results and scores.
 func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, error) {
+	return ix.SearchRankedOpts(q, m, topK, RankOptions{})
+}
+
+// SearchRankedOpts is SearchRanked with explicit ranked-evaluation options.
+func (ix *Index) SearchRankedOpts(q *Query, m ScoringModel, topK int, o RankOptions) ([]Match, error) {
 	ast := ix.rewrite(q)
 	if err := lang.Validate(ast, ix.reg); err != nil {
 		return nil, err
@@ -361,12 +451,9 @@ func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, erro
 	// same shape (desugared negative predicates, hoisted quantifiers) the
 	// Boolean path evaluates, or ranked and unranked results can diverge.
 	norm := lang.Normalize(ast, ix.reg)
-	ranked, err := ix.rankedNodes(norm, m, ix.inv)
+	ranked, err := ix.rankedNodes(norm, m, ix.inv, topK, o, nil)
 	if err != nil {
 		return nil, err
-	}
-	if topK > 0 && topK < len(ranked) {
-		ranked = ranked[:topK]
 	}
 	out := make([]Match, len(ranked))
 	for i, r := range ranked {
@@ -375,25 +462,60 @@ func (ix *Index) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, erro
 	return out, nil
 }
 
-// rankedNodes scores a normalized query on the complete engine against the
-// collection statistics st — the index's own inverted lists for a
-// standalone index, or global statistics when the index is one shard of a
-// ShardedIndex.
-func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusStats) ([]score.Ranked, error) {
-	var scorer fta.Scorer
+// scorerFor builds the scoring model for a normalized query against the
+// collection statistics st. Both models read the index's cached statistics
+// block, so construction is O(query tokens) once the block is warm.
+func (ix *Index) scorerFor(norm lang.Query, m ScoringModel, st score.CorpusStats) (fta.Scorer, error) {
 	switch m {
 	case TFIDF:
-		scorer = score.NewTFIDFWith(ix.inv, st, score.TokensOf(norm))
+		return score.NewTFIDFWith(ix.inv, st, score.TokensOf(norm)), nil
 	case PRA:
-		scorer = score.NewPRAWith(ix.inv, st)
+		return score.NewPRAWith(ix.inv, st), nil
 	default:
 		return nil, fmt.Errorf("fulltext: unknown scoring model %d", m)
+	}
+}
+
+// rankedNodes scores a normalized query against the collection statistics
+// st — the index's own inverted lists for a standalone index, or global
+// statistics when the index is one shard of a ShardedIndex — returning the
+// top topK (all matches when topK <= 0). Eligible positive-token queries
+// with positive topK run the WAND fast path; shared, when non-nil, is the
+// cross-shard pruning threshold.
+func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusStats, topK int, o RankOptions, shared *wand.Shared) ([]score.Ranked, error) {
+	scorer, err := ix.scorerFor(norm, m, st)
+	if err != nil {
+		return nil, err
+	}
+	if topK > 0 && !o.Exhaustive {
+		if a, ok := wand.Analyze(norm); ok {
+			bounded, ok := scorer.(wand.Scorer)
+			if ok {
+				plan, err := compeval.Compile(norm, ix.reg)
+				if err != nil {
+					return nil, err
+				}
+				ev := &fta.Evaluator{Index: ix.inv, Reg: ix.reg, Scorer: scorer}
+				var ws wand.Stats
+				ranked, err := wand.Eval(ev, plan, a, bounded, topK, shared, &ws)
+				if err != nil {
+					return nil, err
+				}
+				ix.rc.addWand(ws)
+				return ranked, nil
+			}
+		}
 	}
 	res, err := compeval.EvalScored(norm, ix.inv, ix.reg, compeval.Options{Scorer: scorer})
 	if err != nil {
 		return nil, err
 	}
-	return score.Rank(res), nil
+	ix.rc.addExhaustive(ix.inv.NumNodes())
+	ranked := score.Rank(res)
+	if topK > 0 && topK < len(ranked) {
+		ranked = ranked[:topK]
+	}
+	return ranked, nil
 }
 
 // Explain reports which engine EngineAuto would pick and renders its query

@@ -85,6 +85,28 @@ func (ev *Evaluator) Eval(e Expr) (*Result, error) {
 	return res, nil
 }
 
+// EvalNode evaluates a width-0 algebra query for a single context node,
+// reporting whether the node qualifies and, when a scorer is configured,
+// its score. It is the doc-at-a-time entry point of the top-K fast path:
+// callers validate the query once with ValidateQuery, enumerate candidate
+// nodes themselves (seekable cursors, upper-bound pruning) and invoke
+// EvalNode only for survivors — the per-node semantics and scores are
+// byte-identical to Eval's full scan by construction, because both run the
+// same evaluation.
+func (ev *Evaluator) EvalNode(e Expr, node core.NodeID) (matched bool, score float64, err error) {
+	if ev.Scorer == nil {
+		ev.Scorer = NoScore{}
+	}
+	tuples, err := ev.evalNode(e, node)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(tuples) == 0 {
+		return false, 0, nil
+	}
+	return true, tuples[0].Score, nil
+}
+
 // EvalRelation materializes an arbitrary-width expression for every node;
 // used by tests and the Lemma 1/2 round trips.
 func (ev *Evaluator) EvalRelation(e Expr) (map[core.NodeID][]Tuple, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"fulltext/internal/core"
@@ -22,12 +23,20 @@ import (
 //	  nentries uvarint
 //	  per entry: node-delta uvarint | npos uvarint |
 //	    per pos: ord-delta uvarint | para-delta uvarint | sent-delta uvarint
+//	stats-block flag uvarint (version >= 2; 1 = block follows)
+//	  norms[cnodes] float64 (little-endian bits)
+//	  per token (same sorted order): maxTFNorm float64 | maxOcc uvarint
 //
 // IL_ANY is not stored; it is rebuilt from the token lists on load, which
-// keeps the format smaller and guarantees IL_ANY consistency.
+// keeps the format smaller and guarantees IL_ANY consistency. The stats
+// block (node norms and per-list score upper bounds, see stats.go) is
+// derivable from the lists but costs a full pass, so version 2 freezes the
+// standalone block at write time and loaded indexes serve their first
+// ranked query without recomputing it.
 const (
-	codecMagic   = "FTIX"
-	codecVersion = 1
+	codecMagic      = "FTIX"
+	codecVersion    = 2
+	codecMinVersion = 1
 )
 
 // WriteTo serializes the index. It implements io.WriterTo.
@@ -70,6 +79,15 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+
+	// Stats block (self statistics): computed here if no ranked query has
+	// warmed it yet. Deterministic, so repeated WriteTo calls produce
+	// identical bytes (the sharded container relies on that).
+	writeUvarint(cw, 1)
+	if _, err := WriteStatsBlockTo(cw, ix.StatsBlock(nil), toks); err != nil {
+		return cw.n, err
+	}
+
 	if cw.err != nil {
 		return cw.n, cw.err
 	}
@@ -93,7 +111,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("invlist: reading version: %w", err)
 	}
-	if version != codecVersion {
+	if version < codecMinVersion || version > codecVersion {
 		return nil, fmt.Errorf("invlist: unsupported version %d", version)
 	}
 	cnodes, err := readCount(br, "cnodes")
@@ -126,6 +144,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	tokOrder := make([]string, 0, ntokens)
 	for t := 0; t < ntokens; t++ {
 		tlen, err := readCount(br, "token length")
 		if err != nil {
@@ -173,6 +192,25 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			pl.Entries = append(pl.Entries, Entry{Node: core.NodeID(prevNode), Pos: pos})
 		}
 		ix.lists[tok] = pl
+		tokOrder = append(tokOrder, tok)
+	}
+
+	if version >= 2 {
+		flag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("invlist: reading stats-block flag: %w", err)
+		}
+		switch flag {
+		case 0:
+		case 1:
+			blk, err := ReadStatsBlockFrom(br, cnodes, tokOrder)
+			if err != nil {
+				return nil, err
+			}
+			ix.SetStatsBlock(nil, blk)
+		default:
+			return nil, fmt.Errorf("invlist: bad stats-block flag %d", flag)
+		}
 	}
 
 	ix.rebuildAny()
@@ -232,4 +270,76 @@ func writeUvarint(cw *countWriter, v uint64) {
 	}
 	n := binary.PutUvarint(cw.buf[:], v)
 	_, _ = cw.Write(cw.buf[:n])
+}
+
+// WriteStatsBlockTo serializes a stats block body — norms as little-endian
+// float64 bits, then per token (in toks order) its MaxTFNorm bound and
+// MaxOcc count — returning the bytes written. It is the single source of
+// the block layout, shared by this codec's version-2 section and the FTSS
+// sharded container (which persists per-shard global-statistics blocks).
+func WriteStatsBlockTo(w io.Writer, b *StatsBlock, toks []string) (int64, error) {
+	var n int64
+	var buf [binary.MaxVarintLen64]byte
+	putFloat := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
+		m, err := w.Write(buf[:8])
+		n += int64(m)
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		m, err := w.Write(buf[:k])
+		n += int64(m)
+		return err
+	}
+	for _, v := range b.Norms {
+		if err := putFloat(v); err != nil {
+			return n, err
+		}
+	}
+	for _, tok := range toks {
+		if err := putFloat(b.MaxTFNorm[tok]); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(b.MaxOcc[tok])); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadStatsBlockFrom reads a stats block body written by WriteStatsBlockTo
+// with nnorms norms and the vocabulary toks (in write order).
+func ReadStatsBlockFrom(br *bufio.Reader, nnorms int, toks []string) (*StatsBlock, error) {
+	readFloat := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	blk := &StatsBlock{
+		Norms:     make([]float64, nnorms),
+		MaxTFNorm: make(map[string]float64, len(toks)),
+		MaxOcc:    make(map[string]int, len(toks)),
+	}
+	var err error
+	for i := range blk.Norms {
+		if blk.Norms[i], err = readFloat(); err != nil {
+			return nil, fmt.Errorf("invlist: reading node norm: %w", err)
+		}
+	}
+	for _, tok := range toks {
+		v, err := readFloat()
+		if err != nil {
+			return nil, fmt.Errorf("invlist: reading token upper bound: %w", err)
+		}
+		mo, err := readCount(br, "token max occurrences")
+		if err != nil {
+			return nil, err
+		}
+		blk.MaxTFNorm[tok] = v
+		blk.MaxOcc[tok] = mo
+	}
+	return blk, nil
 }

@@ -1,6 +1,10 @@
 package invlist
 
-import "fulltext/internal/core"
+import (
+	"sort"
+
+	"fulltext/internal/core"
+)
 
 // Cursor is the paper's sequential inverted-list access API (Section 5.1.2):
 // NextEntry advances to the next (cn, PosList) entry and returns the context
@@ -15,6 +19,7 @@ type Cursor struct {
 
 	// Counters for the complexity instrumentation.
 	EntrySteps int // number of NextEntry calls that returned an entry
+	SeekSteps  int // number of gallop/binary probes performed by Seek
 }
 
 // Cursor returns a fresh sequential cursor over the list.
@@ -52,6 +57,50 @@ func (c *Cursor) Positions() []core.Pos {
 		return nil
 	}
 	return c.list.Entries[c.i].Pos
+}
+
+// Seek advances the cursor forward to the first entry whose context-node id
+// is >= node and returns that id. It never moves backward: when the cursor
+// is already positioned at or past node it stays put. ok is false when no
+// such entry remains (the cursor is then exhausted). Seek gallops — probe
+// distances double until the target is bracketed, then binary-search the
+// bracket — so skipping d entries costs O(log d), which is what makes
+// WAND-style top-K pruning cheaper than scanning.
+func (c *Cursor) Seek(node core.NodeID) (core.NodeID, bool) {
+	es := c.list.Entries
+	start := c.i
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(es) {
+		c.i = len(es)
+		return 0, false
+	}
+	if es[start].Node >= node {
+		c.i = start
+		return es[start].Node, true
+	}
+	// es[start].Node < node: gallop to bracket the target in (lo, hi].
+	lo, hi := start, len(es)-1
+	step := 1
+	for lo+step <= hi && es[lo+step].Node < node {
+		lo += step
+		step *= 2
+		c.SeekSteps++
+	}
+	if lo+step < hi {
+		hi = lo + step
+	}
+	if es[hi].Node < node {
+		c.i = len(es)
+		return 0, false
+	}
+	k := sort.Search(hi-lo, func(k int) bool {
+		c.SeekSteps++
+		return es[lo+1+k].Node >= node
+	})
+	c.i = lo + 1 + k
+	return es[c.i].Node, true
 }
 
 // Done reports whether the cursor has been exhausted.

@@ -94,6 +94,9 @@ type Index struct {
 	uniqueCount []int32
 
 	stats Stats
+
+	// Lazily computed scoring statistics blocks (see stats.go).
+	statsCache
 }
 
 // List returns IL_tok. For tokens that never occur it returns an empty,

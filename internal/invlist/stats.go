@@ -1,0 +1,189 @@
+package invlist
+
+import (
+	"math"
+	"sync"
+
+	"fulltext/internal/core"
+)
+
+// CollectionStats abstracts the collection-level statistics scoring depends
+// on. A plain *Index satisfies it; a sharded deployment passes
+// collection-wide statistics so every shard scores against the whole corpus
+// (it mirrors score.CorpusStats, which cannot be imported here without a
+// cycle).
+type CollectionStats interface {
+	// NumNodes returns the collection size db_size (cnodes).
+	NumNodes() int
+	// DF returns the document frequency df(t).
+	DF(tok string) int
+}
+
+// IDF computes idf(t) = ln(1 + db_size/df(t)) (Section 3.1). Tokens absent
+// from the corpus get idf 0.
+func IDF(st CollectionStats, tok string) float64 {
+	df := st.DF(tok)
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(st.NumNodes())/float64(df))
+}
+
+// StatsBlock is the per-index scoring statistics block: everything the
+// ranking models need that costs a full pass over the inverted lists,
+// computed once per (index, collection statistics) pair and reused across
+// queries. It is the cache that turns per-query model construction from
+// O(index) into O(query tokens), and it carries the per-list score upper
+// bounds the WAND-style top-K evaluator prunes with.
+type StatsBlock struct {
+	// Norms holds ||n||₂ per node (indexed by NodeID-1): the L2 norm of the
+	// node's TF-IDF vector under the block's collection statistics.
+	Norms []float64
+	// MaxTFNorm holds, per token, max over the entries e of IL_tok of
+	// tf(e)/||node(e)||₂ — the data-dependent factor of the token's largest
+	// possible per-node TF-IDF contribution.
+	MaxTFNorm map[string]float64
+	// MaxOcc holds, per token, the maximum number of positions in any IL_tok
+	// entry — the occurrence count behind the PRA noisy-or upper bound.
+	MaxOcc map[string]int
+}
+
+// Norm returns ||n||₂ for a node (0 when the node is unknown or empty).
+func (b *StatsBlock) Norm(n core.NodeID) float64 {
+	i := int(n) - 1
+	if i < 0 || i >= len(b.Norms) {
+		return 0
+	}
+	return b.Norms[i]
+}
+
+// maxExternalStatsBlocks bounds the per-identity block cache. Callers are
+// expected to reuse one stable statistics identity per deployment (a
+// sharded index passes the same wrapper on every query); the bound is a
+// backstop so a caller constructing a fresh statistics value per query
+// degrades to recomputation instead of unbounded memory growth.
+const maxExternalStatsBlocks = 8
+
+// StatsBlock returns the statistics block for this index scored against st
+// (pass nil or the index itself for standalone statistics). Blocks are
+// computed lazily on first use and cached per st identity for the life of
+// the index, so callers must pass the same st value across queries to hit
+// the cache; the self block additionally round-trips through the codec so
+// loaded indexes serve their first ranked query without the O(index) pass.
+func (ix *Index) StatsBlock(st CollectionStats) *StatsBlock {
+	self := st == nil
+	if !self {
+		if six, ok := st.(*Index); ok && six == ix {
+			self = true
+		}
+	}
+	ix.statsMu.Lock()
+	defer ix.statsMu.Unlock()
+	if self {
+		if ix.selfBlock == nil {
+			ix.selfBlock = ix.computeStatsBlock(ix)
+		}
+		return ix.selfBlock
+	}
+	if b, ok := ix.statsBlocks[st]; ok {
+		return b
+	}
+	b := ix.computeStatsBlock(st)
+	if ix.statsBlocks == nil {
+		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
+	} else if len(ix.statsBlocks) >= maxExternalStatsBlocks {
+		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
+	}
+	ix.statsBlocks[st] = b
+	return b
+}
+
+// InvalidateStats drops every cached statistics block. It exists for
+// benchmarks and tests that measure the cold, per-query recomputation
+// baseline; production code never needs it (the index is immutable).
+func (ix *Index) InvalidateStats() {
+	ix.statsMu.Lock()
+	defer ix.statsMu.Unlock()
+	ix.selfBlock = nil
+	ix.statsBlocks = nil
+}
+
+// SetStatsBlock installs a precomputed block for st (nil: the self block),
+// bypassing computation. It is the persistence load path: the codec
+// installs the deserialized standalone block, and the sharded container
+// installs each shard's global-statistics block keyed by the container's
+// shared statistics identity.
+func (ix *Index) SetStatsBlock(st CollectionStats, b *StatsBlock) {
+	ix.statsMu.Lock()
+	defer ix.statsMu.Unlock()
+	if st == nil {
+		ix.selfBlock = b
+		return
+	}
+	if ix.statsBlocks == nil {
+		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
+	}
+	ix.statsBlocks[st] = b
+}
+
+// computeStatsBlock performs the one-off full pass: node norms first (the
+// token iteration order matches the historical score.NodeNormsWith exactly,
+// so cached and uncached scores are bit-identical), then the per-token
+// maxima over tf/||n||₂ and entry positions.
+func (ix *Index) computeStatsBlock(st CollectionStats) *StatsBlock {
+	b := &StatsBlock{
+		Norms:     make([]float64, len(ix.posCount)),
+		MaxTFNorm: make(map[string]float64, len(ix.lists)),
+		MaxOcc:    make(map[string]int, len(ix.lists)),
+	}
+	toks := ix.Tokens()
+	sq := make([]float64, len(ix.posCount))
+	for _, tok := range toks {
+		idf := IDF(st, tok)
+		pl := ix.lists[tok]
+		for i := range pl.Entries {
+			e := &pl.Entries[i]
+			u := ix.NodeUniqueTokens(e.Node)
+			if u == 0 {
+				continue
+			}
+			tf := float64(len(e.Pos)) / float64(u)
+			sq[int(e.Node)-1] += tf * idf * tf * idf
+		}
+	}
+	for i, v := range sq {
+		if v > 0 {
+			b.Norms[i] = math.Sqrt(v)
+		}
+	}
+	for _, tok := range toks {
+		pl := ix.lists[tok]
+		var maxTF float64
+		var maxOcc int
+		for i := range pl.Entries {
+			e := &pl.Entries[i]
+			if len(e.Pos) > maxOcc {
+				maxOcc = len(e.Pos)
+			}
+			u := ix.NodeUniqueTokens(e.Node)
+			nn := b.Norm(e.Node)
+			if u == 0 || nn == 0 {
+				continue
+			}
+			if v := float64(len(e.Pos)) / float64(u) / nn; v > maxTF {
+				maxTF = v
+			}
+		}
+		b.MaxTFNorm[tok] = maxTF
+		b.MaxOcc[tok] = maxOcc
+	}
+	return b
+}
+
+// statsCache is embedded in Index; split out so the zero value documents
+// itself and Index stays readable.
+type statsCache struct {
+	statsMu     sync.Mutex
+	selfBlock   *StatsBlock
+	statsBlocks map[CollectionStats]*StatsBlock
+}

@@ -1,0 +1,211 @@
+package invlist
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fulltext/internal/core"
+)
+
+func buildStatsIndex(t testing.TB) *Index {
+	t.Helper()
+	c := core.NewCorpus()
+	docs := [][]string{
+		{"a", "b", "a", "c"},
+		{"b", "c"},
+		{"a", "a", "a"},
+		{"d"},
+		{"c", "d", "a", "b", "b"},
+	}
+	for i, toks := range docs {
+		if _, err := c.AddTokens(string(rune('0'+i)), toks, core.PositionsForTokens(len(toks))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Build(c)
+}
+
+// TestStatsBlockNorms cross-checks the cached norms against a direct
+// per-node recomputation from the definition.
+func TestStatsBlockNorms(t *testing.T) {
+	ix := buildStatsIndex(t)
+	blk := ix.StatsBlock(nil)
+	if len(blk.Norms) != ix.NumNodes() {
+		t.Fatalf("norms len %d, want %d", len(blk.Norms), ix.NumNodes())
+	}
+	for n := core.NodeID(1); int(n) <= ix.NumNodes(); n++ {
+		var sq float64
+		for _, tok := range ix.Tokens() {
+			e := ix.List(tok).Find(n)
+			if e == nil {
+				continue
+			}
+			u := float64(ix.NodeUniqueTokens(n))
+			tf := float64(len(e.Pos)) / u
+			idf := IDF(ix, tok)
+			sq += tf * idf * tf * idf
+		}
+		want := math.Sqrt(sq)
+		if got := blk.Norm(n); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("node %d: norm %g, want %g", n, got, want)
+		}
+	}
+	if blk.Norm(0) != 0 || blk.Norm(core.NodeID(ix.NumNodes()+1)) != 0 {
+		t.Fatal("out-of-range nodes must have norm 0")
+	}
+	if ix.StatsBlock(ix) != blk {
+		t.Fatal("StatsBlock(self) must return the cached self block")
+	}
+}
+
+// TestStatsBlockBounds checks MaxTFNorm dominates every entry's tf/norm
+// and MaxOcc every entry's position count.
+func TestStatsBlockBounds(t *testing.T) {
+	ix := buildStatsIndex(t)
+	blk := ix.StatsBlock(nil)
+	for _, tok := range ix.Tokens() {
+		pl := ix.List(tok)
+		for i := range pl.Entries {
+			e := &pl.Entries[i]
+			if len(e.Pos) > blk.MaxOcc[tok] {
+				t.Fatalf("%s: entry with %d positions exceeds MaxOcc %d", tok, len(e.Pos), blk.MaxOcc[tok])
+			}
+			u := float64(ix.NodeUniqueTokens(e.Node))
+			nn := blk.Norm(e.Node)
+			if u == 0 || nn == 0 {
+				continue
+			}
+			if v := float64(len(e.Pos)) / u / nn; v > blk.MaxTFNorm[tok] {
+				t.Fatalf("%s: entry tf/norm %g exceeds MaxTFNorm %g", tok, v, blk.MaxTFNorm[tok])
+			}
+		}
+	}
+}
+
+// TestStatsBlockExternalKey checks external statistics sources get their
+// own cached block, keyed by identity.
+func TestStatsBlockExternalKey(t *testing.T) {
+	ix := buildStatsIndex(t)
+	ext := &fakeStats{nodes: 1000, df: map[string]int{"a": 900, "b": 10, "c": 50, "d": 2}}
+	b1 := ix.StatsBlock(ext)
+	if b1 == ix.StatsBlock(nil) {
+		t.Fatal("external block must differ from the self block")
+	}
+	if ix.StatsBlock(ext) != b1 {
+		t.Fatal("external block must be cached per identity")
+	}
+	ix.InvalidateStats()
+	if ix.StatsBlock(ext) == b1 {
+		t.Fatal("InvalidateStats must drop cached blocks")
+	}
+}
+
+type fakeStats struct {
+	nodes int
+	df    map[string]int
+}
+
+func (f *fakeStats) NumNodes() int     { return f.nodes }
+func (f *fakeStats) DF(tok string) int { return f.df[tok] }
+
+// TestCodecStatsBlockRoundTrip checks version-2 serialization freezes the
+// self block and the loaded index serves it without recomputation.
+func TestCodecStatsBlockRoundTrip(t *testing.T) {
+	ix := buildStatsIndex(t)
+	want := ix.StatsBlock(nil)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.StatsBlock(nil)
+	if len(got.Norms) != len(want.Norms) {
+		t.Fatalf("norms len %d, want %d", len(got.Norms), len(want.Norms))
+	}
+	for i := range want.Norms {
+		if got.Norms[i] != want.Norms[i] {
+			t.Fatalf("norm[%d] = %g, want %g (must be bit-identical)", i, got.Norms[i], want.Norms[i])
+		}
+	}
+	for _, tok := range ix.Tokens() {
+		if got.MaxTFNorm[tok] != want.MaxTFNorm[tok] || got.MaxOcc[tok] != want.MaxOcc[tok] {
+			t.Fatalf("%s: block (%g,%d), want (%g,%d)", tok,
+				got.MaxTFNorm[tok], got.MaxOcc[tok], want.MaxTFNorm[tok], want.MaxOcc[tok])
+		}
+	}
+	// Deterministic re-serialization (the sharded container length-prefix
+	// relies on it).
+	var buf2, buf3 bytes.Buffer
+	if _, err := ix.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.WriteTo(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("serialization must be deterministic across save/load")
+	}
+}
+
+// TestCursorSeek exercises the galloping Seek against a scan oracle.
+func TestCursorSeek(t *testing.T) {
+	pl := &PostingList{Token: "t"}
+	nodes := []core.NodeID{2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for _, n := range nodes {
+		pl.Entries = append(pl.Entries, Entry{Node: n, Pos: []core.Pos{{Ord: int32(n)}}})
+	}
+	for target := core.NodeID(0); target <= 150; target++ {
+		cur := pl.Cursor()
+		got, ok := cur.Seek(target)
+		var want core.NodeID
+		var wantOK bool
+		for _, n := range nodes {
+			if n >= target {
+				want, wantOK = n, true
+				break
+			}
+		}
+		if ok != wantOK || got != want {
+			t.Fatalf("Seek(%d) = (%d,%v), want (%d,%v)", target, got, ok, want, wantOK)
+		}
+		if ok {
+			if cur.Node() != want {
+				t.Fatalf("Seek(%d): cursor Node() %d, want %d", target, cur.Node(), want)
+			}
+			if len(cur.Positions()) != 1 || cur.Positions()[0].Ord != int32(want) {
+				t.Fatalf("Seek(%d): positions not aligned with entry", target)
+			}
+		}
+	}
+
+	// Seek never moves backward and is stable at the current entry.
+	cur := pl.Cursor()
+	if n, ok := cur.Seek(50); !ok || n != 55 {
+		t.Fatalf("Seek(50) = (%d,%v), want (55,true)", n, ok)
+	}
+	if n, ok := cur.Seek(10); !ok || n != 55 {
+		t.Fatalf("backward Seek(10) = (%d,%v), want to stay at (55,true)", n, ok)
+	}
+	if n, ok := cur.Seek(55); !ok || n != 55 {
+		t.Fatalf("Seek(55) = (%d,%v), want (55,true)", n, ok)
+	}
+	if n, ok := cur.NextEntry(); !ok || n != 89 {
+		t.Fatalf("NextEntry after Seek = (%d,%v), want (89,true)", n, ok)
+	}
+	if _, ok := cur.Seek(1000); ok || !cur.Done() {
+		t.Fatal("Seek past the end must exhaust the cursor")
+	}
+	if _, ok := cur.Seek(1); ok {
+		t.Fatal("Seek on an exhausted cursor must fail")
+	}
+
+	// Empty list.
+	empty := (&PostingList{}).Cursor()
+	if _, ok := empty.Seek(1); ok {
+		t.Fatal("Seek on empty list must fail")
+	}
+}

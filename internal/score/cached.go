@@ -1,0 +1,60 @@
+package score
+
+import (
+	"math"
+	"sync"
+
+	"fulltext/internal/invlist"
+)
+
+// Cached wraps a CorpusStats source with a concurrency-safe memo of derived
+// per-token statistics (idf) and the collection normalizer NF. Beyond the
+// memoization, a Cached value is a stable identity: sharded indexes build
+// one Cached over their global statistics at construction time and pass the
+// same pointer to every shard on every query, so each shard's
+// invlist.StatsBlock cache is keyed by it and computed exactly once for the
+// life of the index — the "build the cache once, reuse across queries and
+// shards" contract of the ranked fast path.
+type Cached struct {
+	st CorpusStats
+
+	mu  sync.RWMutex
+	idf map[string]float64
+	nf  float64
+}
+
+// NewCached wraps st. Wrapping an existing Cached returns it unchanged.
+func NewCached(st CorpusStats) *Cached {
+	if c, ok := st.(*Cached); ok {
+		return c
+	}
+	return &Cached{
+		st:  st,
+		idf: make(map[string]float64),
+		nf:  math.Log(1 + float64(st.NumNodes())),
+	}
+}
+
+// NumNodes implements CorpusStats.
+func (c *Cached) NumNodes() int { return c.st.NumNodes() }
+
+// DF implements CorpusStats.
+func (c *Cached) DF(tok string) int { return c.st.DF(tok) }
+
+// IDF returns the memoized idf(t).
+func (c *Cached) IDF(tok string) float64 {
+	c.mu.RLock()
+	v, ok := c.idf[tok]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = invlist.IDF(c.st, tok)
+	c.mu.Lock()
+	c.idf[tok] = v
+	c.mu.Unlock()
+	return v
+}
+
+// NF returns ln(1 + db_size), the PRA leaf normalizer.
+func (c *Cached) NF() float64 { return c.nf }

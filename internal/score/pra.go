@@ -36,6 +36,31 @@ func NewPRAWith(ix *invlist.Index, st CorpusStats) *PRA {
 	return &PRA{ix: ix, st: st, nf: math.Log(1 + float64(st.NumNodes()))}
 }
 
+// UpperBound returns a per-query-leaf probability upper bound for tok: a
+// node's noisy-or aggregation of one leaf's R_tok tuples is
+// 1 − (1−p)^occurs(n,t) with p = idf(t)/NF, which is maximized at the
+// list's largest occurrence count (cached in the statistics block). The
+// bound multiplies (1−p) the same way the Project rule does, so it
+// dominates every node's leaf value in float arithmetic too.
+func (m *PRA) UpperBound(tok string) float64 {
+	if m.nf == 0 {
+		return 0
+	}
+	p := clamp01(IDF(m.st, tok) / m.nf)
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	blk := m.ix.StatsBlock(m.st)
+	q := 1.0
+	for i := 0; i < blk.MaxOcc[tok]; i++ {
+		q *= 1 - p
+	}
+	return clamp01(1 - q)
+}
+
 // LeafToken implements fta.Scorer: probability idf(t)/NF.
 func (m *PRA) LeafToken(tok string, node core.NodeID) float64 {
 	if m.nf == 0 {

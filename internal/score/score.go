@@ -11,7 +11,6 @@
 package score
 
 import (
-	"math"
 	"sort"
 
 	"fulltext/internal/core"
@@ -58,9 +57,9 @@ func TokensOf(q lang.Query) []string {
 
 // CorpusStats abstracts the collection-level statistics the scoring models
 // depend on. A plain *invlist.Index satisfies it; a sharded deployment
-// passes collection-wide statistics so that every shard scores against the
-// whole corpus and per-shard rankings merge into the exact single-index
-// ranking.
+// passes collection-wide statistics (ideally wrapped in Cached) so that
+// every shard scores against the whole corpus and per-shard rankings merge
+// into the exact single-index ranking.
 type CorpusStats interface {
 	// NumNodes returns the collection size db_size (cnodes).
 	NumNodes() int
@@ -69,13 +68,13 @@ type CorpusStats interface {
 }
 
 // IDF computes idf(t) = ln(1 + db_size/df(t)) (Section 3.1). Tokens absent
-// from the corpus get idf 0.
+// from the corpus get idf 0. A Cached statistics source serves the value
+// from its memo table.
 func IDF(st CorpusStats, tok string) float64 {
-	df := st.DF(tok)
-	if df == 0 {
-		return 0
+	if c, ok := st.(*Cached); ok {
+		return c.IDF(tok)
 	}
-	return math.Log(1 + float64(st.NumNodes())/float64(df))
+	return invlist.IDF(st, tok)
 }
 
 // TF computes tf(n, t) = occurs(n, t)/unique_tokens(n) (Section 3.1).
@@ -92,7 +91,7 @@ func TF(ix *invlist.Index, node core.NodeID, tok string) float64 {
 }
 
 // NodeNorms computes ||n||2 for every node: the L2 norm of the node's
-// TF-IDF vector. One pass over every inverted list.
+// TF-IDF vector (cached; see NodeNormsWith).
 func NodeNorms(ix *invlist.Index) map[core.NodeID]float64 {
 	return NodeNormsWith(ix, ix)
 }
@@ -100,25 +99,16 @@ func NodeNorms(ix *invlist.Index) map[core.NodeID]float64 {
 // NodeNormsWith computes node norms for the nodes of ix using the idf of st
 // (collection-wide statistics in a sharded deployment). Every token of a
 // node occurs in the node's own shard, so iterating ix's lists covers the
-// node's full TF-IDF vector.
+// node's full TF-IDF vector. The pass is served from the index's cached
+// statistics block: the first call per (index, st) pays for it, subsequent
+// calls are O(result).
 func NodeNormsWith(ix *invlist.Index, st CorpusStats) map[core.NodeID]float64 {
-	sq := make(map[core.NodeID]float64, ix.NumNodes())
-	for _, tok := range ix.Tokens() {
-		idf := IDF(st, tok)
-		pl := ix.List(tok)
-		for i := range pl.Entries {
-			e := &pl.Entries[i]
-			u := ix.NodeUniqueTokens(e.Node)
-			if u == 0 {
-				continue
-			}
-			tf := float64(len(e.Pos)) / float64(u)
-			sq[e.Node] += tf * idf * tf * idf
+	blk := ix.StatsBlock(st)
+	out := make(map[core.NodeID]float64, len(blk.Norms))
+	for i, v := range blk.Norms {
+		if v > 0 {
+			out[core.NodeID(i+1)] = v
 		}
-	}
-	out := make(map[core.NodeID]float64, len(sq))
-	for n, v := range sq {
-		out[n] = math.Sqrt(v)
 	}
 	return out
 }

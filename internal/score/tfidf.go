@@ -26,13 +26,14 @@ type TFIDF struct {
 	ix           *invlist.Index
 	st           CorpusStats
 	idf          map[string]float64
-	norms        map[core.NodeID]float64
+	block        *invlist.StatsBlock
 	uniqueSearch int
 	qnorm        float64
 }
 
 // NewTFIDF builds the model for one query's search tokens. It precomputes
-// idf per search token, ||n||2 per node and ||q||2.
+// idf per search token and ||q||2; ||n||2 per node comes from the index's
+// cached statistics block.
 func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
 	return NewTFIDFWith(ix, ix, searchTokens)
 }
@@ -40,13 +41,15 @@ func NewTFIDF(ix *invlist.Index, searchTokens []string) *TFIDF {
 // NewTFIDFWith builds the model scoring the nodes of ix against the
 // collection statistics st. Passing ix as st gives the single-index model;
 // a sharded index passes its global statistics so every shard produces the
-// same scores the union index would.
+// same scores the union index would. Construction is O(query tokens): the
+// node norms and per-list upper bounds live in the index's statistics
+// block, computed once per (index, st) and shared across queries.
 func NewTFIDFWith(ix *invlist.Index, st CorpusStats, searchTokens []string) *TFIDF {
 	m := &TFIDF{
 		ix:    ix,
 		st:    st,
 		idf:   make(map[string]float64, len(searchTokens)),
-		norms: NodeNormsWith(ix, st),
+		block: ix.StatsBlock(st),
 	}
 	seen := make(map[string]bool)
 	var qsq float64
@@ -75,11 +78,29 @@ func (m *TFIDF) LeafToken(tok string, node core.NodeID) float64 {
 		m.idf[tok] = idf
 	}
 	u := float64(m.ix.NodeUniqueTokens(node))
-	nn := m.norms[node]
+	nn := m.block.Norm(node)
 	if u == 0 || nn == 0 || m.qnorm == 0 || m.uniqueSearch == 0 {
 		return 0
 	}
 	return idf * idf / (u * float64(m.uniqueSearch) * nn * m.qnorm)
+}
+
+// UpperBound returns a per-query-leaf score upper bound for tok: no node's
+// summed R_tok tuple scores (one leaf occurrence of tok in the query) can
+// exceed it. A node's leaf contribution is tf(n,t)·idf(t)·idf(t) /
+// (unique_search·||n||₂·||q||₂) and the statistics block caches
+// max over IL_tok entries of tf/||n||₂, so the bound is exact up to
+// floating-point reassociation — callers must compare with a relative
+// slack (the WAND evaluator does).
+func (m *TFIDF) UpperBound(tok string) float64 {
+	if m.qnorm == 0 || m.uniqueSearch == 0 {
+		return 0
+	}
+	idf, ok := m.idf[tok]
+	if !ok {
+		idf = IDF(m.st, tok)
+	}
+	return m.block.MaxTFNorm[tok] * idf * idf / (float64(m.uniqueSearch) * m.qnorm)
 }
 
 // LeafHasPos implements fta.Scorer; positions reached through IL_ANY carry
@@ -140,7 +161,7 @@ func (m *TFIDF) Diff(s float64) float64 { return s }
 // Cosine computes the classic cosine TF-IDF score of node for the model's
 // search tokens directly from the index — the ground truth for Theorem 2.
 func (m *TFIDF) Cosine(node core.NodeID, searchTokens []string) float64 {
-	nn := m.norms[node]
+	nn := m.block.Norm(node)
 	if nn == 0 || m.qnorm == 0 {
 		return 0
 	}

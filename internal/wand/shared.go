@@ -1,0 +1,45 @@
+package wand
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Shared is the cross-shard pruning threshold of a sharded top-K query: the
+// maximum K-th-best score any shard has proven so far, published through an
+// atomic so late shards prune against the best-so-far global heap without
+// locking. Scores are non-negative in both scoring models, so the zero
+// value (threshold 0) starts fully permissive.
+//
+// Soundness: when some shard's local heap holds K documents scoring at
+// least τ, the union corpus also holds K such documents, so the final
+// global K-th-best score is at least τ — any document scoring strictly
+// below τ can never enter the global top K, no matter which shard owns it.
+// Documents tying τ exactly must survive (global ties break on document
+// ordinal, which interleaves across shards), which is why Shared pruning is
+// strict while local-heap pruning is not.
+type Shared struct {
+	bits atomic.Uint64
+}
+
+// NewShared returns a threshold holder starting at 0.
+func NewShared() *Shared { return &Shared{} }
+
+// Load returns the current threshold.
+func (s *Shared) Load() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Raise lifts the threshold to v if v is larger; lower values are ignored
+// so the threshold is monotone.
+func (s *Shared) Raise(v float64) {
+	for {
+		old := s.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package wand is the ranked top-K fast path: a WAND-style doc-at-a-time
+// evaluator (Broder et al., and the additional-index pruning line of
+// Veretennikov) for positive Boolean token queries. Instead of scoring
+// every context node the way the complete engine's full scan does, it
+//
+//   - drives candidate enumeration with seekable posting-list cursors
+//     (intersection of the required tokens when the query implies them,
+//     a WAND pivot over upper-bound-sorted cursors otherwise), and
+//   - maintains the running K-th-best score as a threshold, skipping every
+//     document whose per-token upper-bound sum cannot beat it.
+//
+// Documents that survive both filters are scored by the same per-node
+// algebra evaluation the exhaustive engine runs (fta.Evaluator.EvalNode),
+// so the returned top K — results and scores — is identical to the
+// exhaustive evaluator's, which the equivalence matrix test asserts.
+// Queries outside the eligible fragment (NOT, ANY, quantifiers, position
+// predicates) are rejected by Analyze and fall back to the full scan.
+package wand
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"fulltext/internal/core"
+	"fulltext/internal/fta"
+	"fulltext/internal/invlist"
+	"fulltext/internal/lang"
+	"fulltext/internal/score"
+)
+
+// Scorer is a scoring model usable by the fast path: the Section 3 algebra
+// transformations plus a sound per-query-leaf score upper bound.
+type Scorer interface {
+	fta.Scorer
+	// UpperBound returns a value no node's aggregated score contribution
+	// for one query leaf of tok can exceed (up to floating-point
+	// reassociation, which boundSlack absorbs).
+	UpperBound(tok string) float64
+}
+
+// boundSlack absorbs floating-point reassociation between a document's
+// actual evaluated score and its upper-bound sum: a document is pruned only
+// when bound·boundSlack still cannot beat the threshold. Reordering error
+// is ~1e-15 relative; six orders of magnitude of headroom costs a
+// negligible amount of pruning and keeps the skip decisions sound.
+const boundSlack = 1 + 1e-9
+
+// Analysis is the token-level structure of an eligible query.
+type Analysis struct {
+	root lang.Query
+	// Tokens lists the distinct query tokens in first-occurrence order.
+	Tokens []string
+	// Count is the query-leaf multiplicity per distinct token: a token
+	// appearing in k leaves can contribute at most k times its leaf upper
+	// bound to a document's score (join and union both add TF-IDF scores;
+	// PRA's product and noisy-or are dominated by the sum).
+	Count map[string]int
+	// Required holds the tokens every matching document must contain
+	// (intersected across OR branches, unioned across AND).
+	Required map[string]bool
+}
+
+// Analyze inspects a normalized query and returns its token analysis when
+// the fast path can serve it: a pure positive combination of search tokens
+// (Lit, And, Or). Anything else — NOT, ANY, HAS, quantifiers, position
+// predicates — returns ok = false and must use the exhaustive engine.
+func Analyze(q lang.Query) (*Analysis, bool) {
+	a := &Analysis{root: q, Count: make(map[string]int)}
+	req, ok := a.scan(q)
+	if !ok {
+		return nil, false
+	}
+	a.Required = req
+	return a, true
+}
+
+func (a *Analysis) scan(q lang.Query) (map[string]bool, bool) {
+	switch x := q.(type) {
+	case lang.Lit:
+		if a.Count[x.Tok] == 0 {
+			a.Tokens = append(a.Tokens, x.Tok)
+		}
+		a.Count[x.Tok]++
+		return map[string]bool{x.Tok: true}, true
+	case lang.And:
+		l, ok := a.scan(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := a.scan(x.R)
+		if !ok {
+			return nil, false
+		}
+		for t := range r {
+			l[t] = true
+		}
+		return l, true
+	case lang.Or:
+		l, ok := a.scan(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := a.scan(x.R)
+		if !ok {
+			return nil, false
+		}
+		both := make(map[string]bool)
+		for t := range l {
+			if r[t] {
+				both[t] = true
+			}
+		}
+		return both, true
+	default:
+		return nil, false
+	}
+}
+
+// Matches evaluates the query's Boolean structure over token presence. For
+// the eligible fragment a node qualifies iff Matches is true of its token
+// set, so candidates failing it are skipped without touching the algebra.
+func (a *Analysis) Matches(present func(tok string) bool) bool {
+	var rec func(q lang.Query) bool
+	rec = func(q lang.Query) bool {
+		switch x := q.(type) {
+		case lang.Lit:
+			return present(x.Tok)
+		case lang.And:
+			return rec(x.L) && rec(x.R)
+		case lang.Or:
+			return rec(x.L) || rec(x.R)
+		default:
+			return false
+		}
+	}
+	return rec(a.root)
+}
+
+// Stats counts fast-path work for instrumentation and benchmarks.
+type Stats struct {
+	// Candidates is the number of documents the cursor drivers surfaced
+	// (every one contains tokens satisfying the query's Boolean structure,
+	// or at least one query token in the disjunctive driver).
+	Candidates uint64
+	// Scored counts full per-node algebra evaluations — the work WAND
+	// exists to avoid; compare against Candidates and the index size.
+	Scored uint64
+	// Matched counts scored documents that qualified.
+	Matched uint64
+	// BoundSkipped counts candidates pruned by the upper-bound threshold
+	// check without being scored.
+	BoundSkipped uint64
+	// Seeks counts cursor Seek operations issued by the drivers.
+	Seeks uint64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Candidates += o.Candidates
+	s.Scored += o.Scored
+	s.Matched += o.Matched
+	s.BoundSkipped += o.BoundSkipped
+	s.Seeks += o.Seeks
+}
+
+// rankedLess is score.Rank's order: descending score, ties by ascending
+// node id.
+func rankedLess(a, b score.Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
+}
+
+// rankedHeap is a bounded min-heap keeping the K best candidates: the root
+// is the current worst, i.e. the running threshold.
+type rankedHeap []score.Ranked
+
+func (h rankedHeap) Len() int            { return len(h) }
+func (h rankedHeap) Less(i, j int) bool  { return rankedLess(h[j], h[i]) }
+func (h rankedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankedHeap) Push(x interface{}) { *h = append(*h, x.(score.Ranked)) }
+func (h *rankedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// cursor tracks one query token's posting list position.
+type cursor struct {
+	tok      string
+	ub       float64 // multiplicity-weighted upper bound
+	c        *invlist.Cursor
+	node     core.NodeID
+	done     bool
+	required bool
+}
+
+// evaluator bundles the per-query evaluation state.
+type evaluator struct {
+	ev     *fta.Evaluator
+	plan   fta.Expr
+	a      *Analysis
+	k      int
+	shared *Shared
+	st     *Stats
+
+	curs  []*cursor
+	byTok map[string]*cursor
+	h     rankedHeap
+}
+
+// Eval runs the fast path: the top k matches of an Analyze-eligible query,
+// identical — results and scores — to evaluating the plan exhaustively,
+// ranking with score.Rank and truncating to k. ev must carry the same
+// Scorer as sc. shared, when non-nil, is the cross-shard threshold: Eval
+// prunes against it and publishes its own K-th-best into it, and may then
+// return fewer than its local top k — only documents that provably cannot
+// enter the global top k are dropped, so a global top-K merge over all
+// shards is unaffected. st, when non-nil, accumulates work counters.
+func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, shared *Shared, st *Stats) ([]score.Ranked, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("wand: top-K must be positive, got %d", k)
+	}
+	if err := fta.ValidateQuery(plan, ev.Reg); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &Stats{}
+	}
+	e := &evaluator{ev: ev, plan: plan, a: a, k: k, shared: shared, st: st,
+		byTok: make(map[string]*cursor, len(a.Tokens))}
+	for _, tok := range a.Tokens {
+		cc := ev.Index.List(tok).Cursor()
+		node, ok := cc.NextEntry()
+		if !ok {
+			if a.Required[tok] {
+				return nil, nil // a required token absent from this index: no matches
+			}
+			continue
+		}
+		cur := &cursor{
+			tok:      tok,
+			ub:       float64(a.Count[tok]) * sc.UpperBound(tok),
+			c:        cc,
+			node:     node,
+			required: a.Required[tok],
+		}
+		e.curs = append(e.curs, cur)
+		e.byTok[tok] = cur
+	}
+	if len(e.curs) == 0 {
+		return nil, nil
+	}
+	var err error
+	if len(a.Required) > 0 {
+		err = e.runConjunctive()
+	} else {
+		err = e.runPivot()
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := []score.Ranked(e.h)
+	sort.Slice(out, func(i, j int) bool { return rankedLess(out[i], out[j]) })
+	return out, nil
+}
+
+// prunable reports whether a document whose score is bounded by ub cannot
+// enter the result: with the local heap full, candidates are processed in
+// ascending node order so ties at the K-th score always lose, making
+// ub <= threshold safe; against the shared cross-shard threshold the
+// comparison must stay strict because global ties break on document
+// ordinal, which interleaves across shards.
+func (e *evaluator) prunable(ub float64) bool {
+	ubEff := ub * boundSlack
+	if len(e.h) >= e.k && ubEff <= e.h[0].Score {
+		return true
+	}
+	if e.shared != nil && ubEff < e.shared.Load() {
+		return true
+	}
+	return false
+}
+
+// offer inserts a qualified document into the bounded heap and publishes
+// the new K-th-best threshold.
+func (e *evaluator) offer(node core.NodeID, s float64) {
+	d := score.Ranked{Node: node, Score: s}
+	if len(e.h) < e.k {
+		heap.Push(&e.h, d)
+	} else if rankedLess(d, e.h[0]) {
+		e.h[0] = d
+		heap.Fix(&e.h, 0)
+	} else {
+		return
+	}
+	if e.shared != nil && len(e.h) >= e.k {
+		e.shared.Raise(e.h[0].Score)
+	}
+}
+
+// evalDoc runs the bound check and, when it survives, the per-node algebra
+// evaluation for one candidate whose token presence already satisfies the
+// query.
+func (e *evaluator) evalDoc(node core.NodeID, ub float64) error {
+	e.st.Candidates++
+	if e.prunable(ub) {
+		e.st.BoundSkipped++
+		return nil
+	}
+	matched, s, err := e.ev.EvalNode(e.plan, node)
+	if err != nil {
+		return err
+	}
+	e.st.Scored++
+	if matched {
+		e.st.Matched++
+		e.offer(node, s)
+	}
+	return nil
+}
+
+// runConjunctive drives candidates by intersecting the required tokens'
+// posting lists with galloping seeks; optional tokens tag along to settle
+// presence and tighten each candidate's upper-bound sum.
+func (e *evaluator) runConjunctive() error {
+	var req, opt []*cursor
+	var reqUB, totalUB float64
+	for _, c := range e.curs {
+		totalUB += c.ub
+		if c.required {
+			req = append(req, c)
+			reqUB += c.ub
+		} else {
+			opt = append(opt, c)
+		}
+	}
+	target := core.NodeID(1)
+	for _, c := range req {
+		if c.node > target {
+			target = c.node
+		}
+	}
+	for {
+		// Even a document containing every query token cannot qualify any
+		// more: the whole remaining corpus is prunable.
+		if e.prunable(totalUB) {
+			return nil
+		}
+		aligned := true
+		for _, c := range req {
+			if c.node >= target {
+				continue
+			}
+			n, ok := c.c.Seek(target)
+			e.st.Seeks++
+			if !ok {
+				return nil
+			}
+			c.node = n
+			if n > target {
+				target = n
+				aligned = false
+			}
+		}
+		if !aligned {
+			continue
+		}
+		ub := reqUB
+		for _, c := range opt {
+			if !c.done && c.node < target {
+				n, ok := c.c.Seek(target)
+				e.st.Seeks++
+				if ok {
+					c.node = n
+				} else {
+					c.done = true
+				}
+			}
+			if !c.done && c.node == target {
+				ub += c.ub
+			}
+		}
+		present := func(tok string) bool {
+			c := e.byTok[tok]
+			return c != nil && !c.done && c.node == target
+		}
+		if e.a.Matches(present) {
+			if err := e.evalDoc(target, ub); err != nil {
+				return err
+			}
+		}
+		target++
+		if target == 0 { // NodeID overflow guard
+			return nil
+		}
+	}
+}
+
+// runPivot is the classic WAND loop for queries without required tokens:
+// cursors sort by current document, upper bounds accumulate until they
+// could beat the threshold, and everything before the pivot is skipped
+// with galloping seeks.
+func (e *evaluator) runPivot() error {
+	active := append([]*cursor(nil), e.curs...)
+	for len(active) > 0 {
+		sort.Slice(active, func(i, j int) bool { return active[i].node < active[j].node })
+		acc := 0.0
+		pivot := -1
+		for i, c := range active {
+			acc += c.ub
+			if !e.prunable(acc) {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil // no remaining document can beat the threshold
+		}
+		pnode := active[pivot].node
+		if active[0].node == pnode {
+			ub := 0.0
+			for _, c := range active {
+				if c.node == pnode {
+					ub += c.ub
+				}
+			}
+			present := func(tok string) bool {
+				c := e.byTok[tok]
+				return c != nil && !c.done && c.node == pnode
+			}
+			if e.a.Matches(present) {
+				if err := e.evalDoc(pnode, ub); err != nil {
+					return err
+				}
+			}
+			for _, c := range active {
+				if c.node != pnode {
+					continue
+				}
+				if n, ok := c.c.NextEntry(); ok {
+					c.node = n
+				} else {
+					c.done = true
+				}
+			}
+		} else {
+			for _, c := range active {
+				if c.node >= pnode {
+					break
+				}
+				n, ok := c.c.Seek(pnode)
+				e.st.Seeks++
+				if ok {
+					c.node = n
+				} else {
+					c.done = true
+				}
+			}
+		}
+		live := active[:0]
+		for _, c := range active {
+			if !c.done {
+				live = append(live, c)
+			}
+		}
+		active = live
+	}
+	return nil
+}

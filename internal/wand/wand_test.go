@@ -1,0 +1,106 @@
+package wand
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"fulltext/internal/lang"
+)
+
+func mustParse(t *testing.T, src string) lang.Query {
+	t.Helper()
+	q, err := lang.Parse(lang.DialectBOOL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestAnalyzeEligibility(t *testing.T) {
+	cases := []struct {
+		src      string
+		ok       bool
+		tokens   []string
+		required []string
+	}{
+		{`'a'`, true, []string{"a"}, []string{"a"}},
+		{`'a' AND 'b'`, true, []string{"a", "b"}, []string{"a", "b"}},
+		{`'a' OR 'b'`, true, []string{"a", "b"}, nil},
+		{`('a' OR 'b') AND 'c'`, true, []string{"a", "b", "c"}, []string{"c"}},
+		{`('a' AND 'b') OR ('a' AND 'c')`, true, []string{"a", "b", "c"}, []string{"a"}},
+		{`'a' AND 'a'`, true, []string{"a"}, []string{"a"}},
+		{`NOT 'a'`, false, nil, nil},
+		{`'a' AND NOT 'b'`, false, nil, nil},
+		{`ANY`, false, nil, nil},
+		{`'a' OR ANY`, false, nil, nil},
+	}
+	for _, c := range cases {
+		a, ok := Analyze(mustParse(t, c.src))
+		if ok != c.ok {
+			t.Fatalf("%s: eligible=%v, want %v", c.src, ok, c.ok)
+		}
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(a.Tokens, c.tokens) {
+			t.Fatalf("%s: tokens %v, want %v", c.src, a.Tokens, c.tokens)
+		}
+		var req []string
+		for tok := range a.Required {
+			req = append(req, tok)
+		}
+		sort.Strings(req)
+		want := append([]string(nil), c.required...)
+		sort.Strings(want)
+		if !reflect.DeepEqual(req, want) {
+			t.Fatalf("%s: required %v, want %v", c.src, req, want)
+		}
+	}
+}
+
+func TestAnalyzeMultiplicity(t *testing.T) {
+	a, ok := Analyze(mustParse(t, `('a' AND 'a') OR ('a' AND 'b')`))
+	if !ok {
+		t.Fatal("query should be eligible")
+	}
+	if a.Count["a"] != 3 || a.Count["b"] != 1 {
+		t.Fatalf("counts %v, want a:3 b:1", a.Count)
+	}
+}
+
+func TestAnalysisMatches(t *testing.T) {
+	a, ok := Analyze(mustParse(t, `('a' OR 'b') AND 'c'`))
+	if !ok {
+		t.Fatal("query should be eligible")
+	}
+	has := func(toks ...string) func(string) bool {
+		set := map[string]bool{}
+		for _, tk := range toks {
+			set[tk] = true
+		}
+		return func(tok string) bool { return set[tok] }
+	}
+	if !a.Matches(has("a", "c")) || !a.Matches(has("b", "c")) || !a.Matches(has("a", "b", "c")) {
+		t.Fatal("expected matches failed")
+	}
+	if a.Matches(has("a", "b")) || a.Matches(has("c")) || a.Matches(has()) {
+		t.Fatal("non-matches matched")
+	}
+}
+
+func TestSharedThresholdMonotone(t *testing.T) {
+	s := NewShared()
+	if s.Load() != 0 {
+		t.Fatalf("zero value threshold %g, want 0", s.Load())
+	}
+	s.Raise(0.5)
+	s.Raise(0.25) // lower: ignored
+	if s.Load() != 0.5 {
+		t.Fatalf("threshold %g, want 0.5", s.Load())
+	}
+	s.Raise(0.75)
+	if s.Load() != 0.75 {
+		t.Fatalf("threshold %g, want 0.75", s.Load())
+	}
+}

@@ -13,8 +13,11 @@ import (
 
 // Index persistence: a small header with the document id table and the
 // analyzer configuration, followed by the inverted-list codec of
-// internal/invlist. Custom predicates registered with RegisterPredicate are
-// not serialized; re-register them after ReadIndex.
+// internal/invlist (which since its version 2 freezes the standalone
+// scoring-statistics block — node norms and per-list score upper bounds —
+// so loaded indexes serve ranked queries without an O(index) warm-up
+// pass). Custom predicates registered with RegisterPredicate are not
+// serialized; re-register them after ReadIndex.
 const (
 	indexMagic   = "FTSX"
 	indexVersion = 2
@@ -22,11 +25,17 @@ const (
 
 // Sharded-index persistence: a container header (shard count, per-shard
 // global-ordinal tables) framing one length-prefixed single-index blob per
-// shard, each in the exact Index.WriteTo format.
+// shard, each in the exact Index.WriteTo format. Version 2 appends, after
+// each blob, the shard's scoring-statistics block computed against the
+// container's *global* collection statistics (norm and token counts as
+// uvarints, then the invlist.WriteStatsBlockTo body) — the block ranked
+// queries actually use — so a loaded sharded index serves its first ranked
+// query without the per-shard O(index) warm-up pass.
 const (
-	shardedMagic   = "FTSS"
-	shardedVersion = 1
-	maxShards      = 1 << 16
+	shardedMagic      = "FTSS"
+	shardedVersion    = 2
+	shardedMinVersion = 1
+	maxShards         = 1 << 16
 )
 
 // WriteTo serializes the index. It implements io.WriterTo.
@@ -215,7 +224,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		Stop: text.NewStopSet(stops),
 		Syn:  text.NewThesaurus(groups),
 	}
-	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer}, nil
+	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer, rc: &rankedCounters{}}, nil
 }
 
 // WriteTo serializes the sharded index. It implements io.WriterTo. Custom
@@ -276,6 +285,21 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 		if m != blobLen {
 			return n, fmt.Errorf("fulltext: shard %d serialized to %d bytes after declaring %d", i, m, blobLen)
 		}
+		// Global-statistics block (computed now if no ranked query has
+		// warmed it): what this shard's ranked scoring reads at serve time.
+		blk := ix.inv.StatsBlock(s.cstats)
+		toks := ix.inv.Tokens()
+		if err := putUvarint(uint64(len(blk.Norms))); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(len(toks))); err != nil {
+			return n, err
+		}
+		m, err = invlist.WriteStatsBlockTo(bw, blk, toks)
+		n += m
+		if err != nil {
+			return n, err
+		}
 	}
 	return n, bw.Flush()
 }
@@ -296,7 +320,7 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fulltext: reading sharded version: %w", err)
 	}
-	if version != shardedVersion {
+	if version < shardedMinVersion || version > shardedVersion {
 		return nil, fmt.Errorf("fulltext: unsupported sharded version %d", version)
 	}
 	nshards, err := binary.ReadUvarint(br)
@@ -308,6 +332,7 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 	}
 	shards := make([]*Index, nshards)
 	ords := make([][]int, nshards)
+	blocks := make([]*invlist.StatsBlock, nshards)
 	total := 0
 	for i := range shards {
 		ndocs, err := binary.ReadUvarint(br)
@@ -348,6 +373,12 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 			return nil, fmt.Errorf("fulltext: shard %d has %d docs but ordinal table has %d", i, ix.Docs(), ndocs)
 		}
 		shards[i] = ix
+		if version >= 2 {
+			blocks[i], err = readShardStatsBlock(br, ix)
+			if err != nil {
+				return nil, fmt.Errorf("fulltext: shard %d stats block: %w", i, err)
+			}
+		}
 	}
 	// The ordinal tables must be a permutation of 0..total-1.
 	seen := make([]bool, total)
@@ -359,5 +390,36 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 			seen[o] = true
 		}
 	}
-	return newShardedIndex(shards, ords), nil
+	s := newShardedIndex(shards, ords)
+	if version >= 2 {
+		// Install the persisted global-statistics blocks under the new
+		// container's shared statistics identity: ranked queries hit them
+		// directly instead of recomputing the per-shard warm-up pass.
+		for i, blk := range blocks {
+			shards[i].inv.SetStatsBlock(s.cstats, blk)
+		}
+	}
+	return s, nil
+}
+
+// readShardStatsBlock reads one shard's global-statistics block (FTSS
+// version 2), validating counts against the already-loaded shard before
+// delegating to the shared block reader.
+func readShardStatsBlock(br *bufio.Reader, ix *Index) (*invlist.StatsBlock, error) {
+	nnorms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading norm count: %w", err)
+	}
+	if int(nnorms) != ix.Docs() {
+		return nil, fmt.Errorf("norm count %d does not match %d docs", nnorms, ix.Docs())
+	}
+	ntoks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading token count: %w", err)
+	}
+	toks := ix.inv.Tokens()
+	if int(ntoks) != len(toks) {
+		return nil, fmt.Errorf("token count %d does not match vocabulary %d", ntoks, len(toks))
+	}
+	return invlist.ReadStatsBlockFrom(br, int(nnorms), toks)
 }

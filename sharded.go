@@ -5,7 +5,9 @@ import (
 
 	"fulltext/internal/core"
 	"fulltext/internal/lang"
+	"fulltext/internal/score"
 	"fulltext/internal/shard"
+	"fulltext/internal/wand"
 )
 
 // DefaultQueryCacheSize is the query-result cache capacity a ShardedIndex
@@ -131,15 +133,22 @@ type ShardedIndex struct {
 	shards []*Index
 	ords   [][]int
 	stats  *globalStats
+	// cstats wraps stats with memoized derived statistics; its pointer
+	// identity also keys each shard's cached scoring-statistics block, so
+	// the O(index) norms/upper-bound pass runs once per shard for the life
+	// of the index, shared by every query and scoring model.
+	cstats *score.Cached
 	cache  *shard.Cache
 	gen    uint64
 }
 
 func newShardedIndex(shards []*Index, ords [][]int) *ShardedIndex {
+	stats := gatherGlobalStats(shards)
 	return &ShardedIndex{
 		shards: shards,
 		ords:   ords,
-		stats:  gatherGlobalStats(shards),
+		stats:  stats,
+		cstats: score.NewCached(stats),
 		cache:  shard.NewCache(DefaultQueryCacheSize),
 		gen:    shard.NextGeneration(),
 	}
@@ -254,13 +263,21 @@ func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
 	return docsToMatches(docs, false), nil
 }
 
-// SearchRanked evaluates the query on every shard's complete engine in
-// parallel — each shard scoring against global collection statistics and
-// contributing only its own top K candidates — then merges the global top K
-// with a bounded min-heap. Results are identical to Index.SearchRanked on
-// the union corpus. topK <= 0 returns all matches.
+// SearchRanked evaluates the query on every shard in parallel — each shard
+// scoring against global collection statistics and contributing only its
+// own top K candidates — then merges the global top K with a bounded
+// min-heap. Eligible queries run each shard's WAND fast path, and the
+// shards share the running K-th-best score through an atomic threshold so
+// late shards skip documents that provably cannot enter the global top K.
+// Results are identical to Index.SearchRanked on the union corpus. topK <=
+// 0 returns all matches.
 func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, error) {
-	key := fmt.Sprintf("g%d|rank|%d|%d|%s", s.gen, m, topK, q)
+	return s.SearchRankedOpts(q, m, topK, RankOptions{})
+}
+
+// SearchRankedOpts is SearchRanked with explicit ranked-evaluation options.
+func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o RankOptions) ([]Match, error) {
+	key := fmt.Sprintf("g%d|rank|%d|%d|%t%t|%s", s.gen, m, topK, o.Exhaustive, o.NoThresholdSharing, q)
 	if docs, ok := s.cache.Get(key); ok {
 		return docsToMatches(docs, true), nil
 	}
@@ -270,14 +287,15 @@ func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match
 		return nil, err
 	}
 	norm := lang.Normalize(ast, lead.reg)
+	var shared *wand.Shared
+	if topK > 0 && !o.Exhaustive && !o.NoThresholdSharing {
+		shared = wand.NewShared()
+	}
 	lists := make([][]shard.Doc, len(s.shards))
 	err := shard.Fanout(len(s.shards), 0, func(i int) error {
-		ranked, err := s.shards[i].rankedNodes(norm, m, s.stats)
+		ranked, err := s.shards[i].rankedNodes(norm, m, s.cstats, topK, o, shared)
 		if err != nil {
 			return err
-		}
-		if topK > 0 && topK < len(ranked) {
-			ranked = ranked[:topK]
 		}
 		docs := make([]shard.Doc, len(ranked))
 		for j, r := range ranked {
@@ -292,6 +310,28 @@ func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match
 	docs := shard.MergeTopK(lists, topK)
 	s.cache.Put(key, docs)
 	return docsToMatches(docs, true), nil
+}
+
+// RankedEvalStats sums the shards' cumulative ranked-query counters; the
+// ScoredDocs delta across a query is the observable effect of cross-shard
+// threshold sharing.
+func (s *ShardedIndex) RankedEvalStats() RankedEvalStats {
+	var out RankedEvalStats
+	for _, ix := range s.shards {
+		st := ix.RankedEvalStats()
+		out.add(st)
+	}
+	return out
+}
+
+// ShardStats reports each shard's index statistics (doc counts, vocabulary
+// size, position maxima), in shard order.
+func (s *ShardedIndex) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, ix := range s.shards {
+		out[i] = ix.Stats()
+	}
+	return out
 }
 
 // boolDocs projects shard-local Boolean results (ascending NodeID) into
