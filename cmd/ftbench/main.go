@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, segments, or all")
 		scale      = flag.Float64("scale", 0.25, "corpus scale factor (1 = the paper's sizes)")
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
 		seed       = flag.Int64("seed", 2006, "corpus random seed")
@@ -101,6 +101,11 @@ func main() {
 
 	if run("ranked") {
 		emit("ranked", rankedExperiment(s))
+		ran = true
+	}
+
+	if run("segments") {
+		emit("segments", segmentsExperiment(s))
 		ran = true
 	}
 
@@ -245,6 +250,151 @@ func rankedExperiment(s bench.Setup) *bench.Table {
 	rs := sharded.RankedEvalStats()
 	fmt.Printf("sharded fast path: %d per-shard evaluations (incl. warm-up and verification queries), %d docs scored, %d pruned by bound, %d cursor seeks\n",
 		rs.FastPathQueries, rs.ScoredDocs, rs.BoundSkippedDocs, rs.CursorSeeks)
+	return t
+}
+
+// segmentSeries are the incremental-ingestion regimes: appending a batch of
+// documents as delta segments with lazy merges, versus rebuilding the whole
+// sharded index from scratch to absorb the same batch, plus the query-side
+// cost of each outcome (a multi-segment index vs a freshly built one).
+var segmentSeries = []string{"APPEND+MERGE", "REBUILD", "QUERY-SEG", "QUERY-REBUILT"}
+
+// segmentsExperiment measures incremental ingestion (experiment
+// "segments"): for increasing batch sizes it times absorbing the batch via
+// ShardedIndex.Add — delta segments plus the tiered lazy merges they
+// trigger — against a from-scratch ShardedBuilder rebuild over the union
+// corpus, then times a ranked query over the resulting segmented and
+// rebuilt indexes. Results are verified identical between the two on every
+// repetition, and the segmented index is verified to have performed zero
+// shard rebuilds.
+func segmentsExperiment(s bench.Setup) *bench.Table {
+	const shards = 4
+	c := synth.Corpus(synth.Config{
+		Seed: s.Seed, NumDocs: s.CNodes, DocLen: s.DocLen, VocabSize: s.Vocab,
+		Plants: []synth.Plant{
+			{Token: "needle", DocFraction: 0.05, PerDoc: 3},
+			{Token: "common", DocFraction: 0.5, PerDoc: 2},
+		}})
+	docs := c.Docs()
+	baseN := len(docs) * 3 / 4
+	if baseN < 1 {
+		baseN = 1
+	}
+	buildUpTo := func(n int) *fulltext.ShardedIndex {
+		sb := fulltext.NewShardedBuilder(shards)
+		for _, d := range docs[:n] {
+			if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+				fatal(err)
+			}
+		}
+		ix := sb.Build()
+		ix.SetQueryCacheSize(0) // measure evaluation, not the LRU
+		return ix
+	}
+	q, err := fulltext.Parse(fulltext.BOOL, `'needle' OR 'common'`)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Incremental segment ingestion (%d base docs, %d shards)", baseN, shards),
+		XLabel: "appended docs",
+		Series: segmentSeries,
+		Cells:  map[string]map[string]bench.Cell{},
+	}
+	addCell := func(x, series string, c bench.Cell) {
+		if _, ok := t.Cells[x]; !ok {
+			t.XVals = append(t.XVals, x)
+			t.Cells[x] = map[string]bench.Cell{}
+		}
+		t.Cells[x][series] = c
+	}
+	reps := s.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	// timeIt times run only, repeating reps times; setup (untimed) prepares
+	// each repetition's state.
+	timeIt := func(setup func(), run func() int) bench.Cell {
+		var total time.Duration
+		var results int
+		for r := 0; r < reps; r++ {
+			if setup != nil {
+				setup()
+			}
+			start := time.Now()
+			results = run()
+			total += time.Since(start)
+		}
+		return bench.Cell{Time: total / time.Duration(reps), Results: results}
+	}
+
+	tail := len(docs) - baseN
+	for _, batch := range []int{tail / 16, tail / 4, tail} {
+		if batch < 1 {
+			batch = 1
+		}
+		x := fmt.Sprintf("+%d", batch)
+		var seg, rebuilt *fulltext.ShardedIndex
+		addCell(x, "APPEND+MERGE", timeIt(func() { seg = buildUpTo(baseN) }, func() int {
+			for _, d := range docs[baseN : baseN+batch] {
+				if err := seg.AddTokens(d.ID, d.Tokens); err != nil {
+					fatal(err)
+				}
+			}
+			segsTotal := 0
+			for _, ss := range seg.SegmentStats().Shards {
+				segsTotal += ss.Segments
+			}
+			return segsTotal
+		}))
+		addCell(x, "REBUILD", timeIt(nil, func() int {
+			rebuilt = buildUpTo(baseN + batch)
+			return rebuilt.Docs()
+		}))
+		if st := seg.SegmentStats(); st.Rebuilds != shards {
+			fatal(fmt.Errorf("incremental appends rebuilt shards: %d rebuilds, want %d", st.Rebuilds, shards))
+		}
+		addCell(x, "QUERY-SEG", timeIt(nil, func() int {
+			ms, err := seg.SearchRanked(q, fulltext.TFIDF, 10)
+			if err != nil {
+				fatal(err)
+			}
+			return len(ms)
+		}))
+		addCell(x, "QUERY-REBUILT", timeIt(nil, func() int {
+			ms, err := rebuilt.SearchRanked(q, fulltext.TFIDF, 10)
+			if err != nil {
+				fatal(err)
+			}
+			return len(ms)
+		}))
+		// Equivalence guard: the segmented and rebuilt indexes must agree
+		// exactly, Boolean and ranked.
+		for _, check := range []func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error){
+			func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error) { return ix.Search(q) },
+			func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error) {
+				return ix.SearchRanked(q, fulltext.TFIDF, 25)
+			},
+		} {
+			got, err := check(seg)
+			if err != nil {
+				fatal(err)
+			}
+			want, err := check(rebuilt)
+			if err != nil {
+				fatal(err)
+			}
+			if len(got) != len(want) {
+				fatal(fmt.Errorf("segmented and rebuilt indexes disagree at %s: %d vs %d results", x, len(got), len(want)))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					fatal(fmt.Errorf("segmented and rebuilt indexes disagree at %s position %d: %+v vs %+v", x, i, got[i], want[i]))
+				}
+			}
+		}
+	}
 	return t
 }
 

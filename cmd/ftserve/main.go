@@ -14,18 +14,28 @@
 //	ftserve -load idx.ftss -addr :8080             serve a persisted index
 //	ftserve -dir ./docs -inflight 128 -timeout 5s  tune backpressure
 //
+// The index is incrementally updatable: POST /docs appends a document as a
+// delta segment on its hash shard (no shard rebuild), DELETE /docs/{id}
+// tombstones one, and a tiered policy merges segments lazily in the
+// background of the write path. /stats exposes the per-shard segment
+// tails and merge counters.
+//
 // Endpoints (all JSON):
 //
-//	GET /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10
-//	GET /explain?q=QUERY&lang=comp
-//	GET /stats
-//	GET /healthz
+//	GET    /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10
+//	GET    /explain?q=QUERY&lang=comp
+//	POST   /docs               body {"id": "...", "body": "..."}
+//	DELETE /docs/{id}
+//	GET    /stats
+//	GET    /healthz
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
@@ -165,6 +175,8 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("POST /docs", s.handleAddDoc)
+	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -404,10 +416,69 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// addDocRequest is the POST /docs body.
+type addDocRequest struct {
+	ID   string `json:"id"`
+	Body string `json:"body"`
+}
+
+// maxDocBody bounds one POST /docs payload.
+const maxDocBody = 1 << 22 // 4 MiB
+
+func (s *server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req addDocRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxDocBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding document: %w", err))
+		return
+	}
+	if req.ID == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing document id"))
+		return
+	}
+	start := time.Now()
+	if err := s.ix.Add(req.ID, req.Body); err != nil {
+		// A live document already owns the id: 409. Anything else is a
+		// validation failure in the request itself.
+		code := http.StatusBadRequest
+		if errors.Is(err, fulltext.ErrDuplicateID) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":      req.ID,
+		"docs":    s.ix.Docs(),
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	start := time.Now()
+	deleted, err := s.ix.Delete(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !deleted {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no live document %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"docs":    s.ix.Docs(),
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Stats()
 	cs := s.ix.CacheStats()
 	rs := s.ix.RankedEvalStats()
+	gs := s.ix.SegmentStats()
 	perShard := make([]map[string]int, 0, s.ix.Shards())
 	for i, ss := range s.ix.ShardStats() {
 		perShard = append(perShard, map[string]int{
@@ -415,6 +486,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"docs":            ss.Docs,
 			"tokens":          ss.Tokens,
 			"total_positions": ss.TotalPositions,
+			"segments":        gs.Shards[i].Segments,
+			"delta_segments":  gs.Shards[i].Deltas,
+			"tombstones":      gs.Shards[i].DeadDocs,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -445,7 +519,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"candidate_docs":     rs.CandidateDocs,
 			"scored_docs":        rs.ScoredDocs,
 			"bound_skipped_docs": rs.BoundSkippedDocs,
+			"tombstoned_docs":    rs.TombstonedDocs,
 			"cursor_seeks":       rs.CursorSeeks,
+		},
+		// Incremental ingestion state: segment tails and the lazy-merge
+		// counters. "rebuilds" stays at its build/load value no matter how
+		// many documents are added — that is the segment subsystem's
+		// contract.
+		"segments": map[string]uint64{
+			"rebuilds":        gs.Rebuilds,
+			"merges":          gs.Merges,
+			"segments_merged": gs.SegmentsMerged,
+			"docs_merged":     gs.DocsMerged,
 		},
 		"shed_requests": s.shedCount(),
 	})

@@ -361,3 +361,122 @@ func TestServeLoadedIndex(t *testing.T) {
 		t.Fatal("empty dir should fail")
 	}
 }
+
+// doJSON issues a request with an optional JSON body and decodes the JSON
+// response.
+func doJSON(t *testing.T, method, url string, body string, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d\n%s", method, url, resp.StatusCode, wantCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+}
+
+func TestAddAndDeleteDocEndpoints(t *testing.T) {
+	ts, ix := testServer(t)
+
+	// A new document becomes searchable immediately, with no shard rebuild.
+	before := ix.SegmentStats()
+	var added struct {
+		ID   string `json:"id"`
+		Docs int    `json:"docs"`
+	}
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"fresh","body":"a fresh usability document"}`, http.StatusCreated, &added)
+	if added.ID != "fresh" || added.Docs != 4 {
+		t.Fatalf("add response = %+v", added)
+	}
+	if after := ix.SegmentStats(); after.Rebuilds != before.Rebuilds {
+		t.Fatalf("POST /docs rebuilt a shard (%d -> %d rebuilds)", before.Rebuilds, after.Rebuilds)
+	}
+	var sr searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &sr)
+	if sr.Count != 3 {
+		t.Fatalf("search after add found %d docs, want 3", sr.Count)
+	}
+
+	// Duplicate ids conflict.
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"fresh","body":"again"}`, http.StatusConflict, nil)
+	// Malformed and empty-id bodies are client errors.
+	doJSON(t, "POST", ts.URL+"/docs", `{`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/docs", `{"body":"no id"}`, http.StatusBadRequest, nil)
+
+	// Deleting removes the document from results; a second delete is 404.
+	var del struct {
+		Docs int `json:"docs"`
+	}
+	doJSON(t, "DELETE", ts.URL+"/docs/fresh", "", http.StatusOK, &del)
+	if del.Docs != 3 {
+		t.Fatalf("delete response docs = %d, want 3", del.Docs)
+	}
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &sr)
+	if sr.Count != 2 {
+		t.Fatalf("search after delete found %d docs, want 2", sr.Count)
+	}
+	doJSON(t, "DELETE", ts.URL+"/docs/fresh", "", http.StatusNotFound, nil)
+
+	// The id is free again: delete-then-add round-trips.
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"fresh","body":"usability reborn"}`, http.StatusCreated, nil)
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &sr)
+	if sr.Count != 3 {
+		t.Fatalf("search after re-add found %d docs, want 3", sr.Count)
+	}
+}
+
+func TestStatsSegmentsSection(t *testing.T) {
+	ts, _ := testServer(t)
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"extra","body":"one more document"}`, http.StatusCreated, nil)
+	doJSON(t, "DELETE", ts.URL+"/docs/unrelated", "", http.StatusOK, nil)
+
+	var stats struct {
+		Segments map[string]uint64 `json:"segments"`
+		PerShard []struct {
+			Segments   int `json:"segments"`
+			Deltas     int `json:"delta_segments"`
+			Tombstones int `json:"tombstones"`
+		} `json:"per_shard"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	if _, ok := stats.Segments["rebuilds"]; !ok {
+		t.Fatalf("stats missing segments.rebuilds: %+v", stats.Segments)
+	}
+	segs, tombs := 0, 0
+	for _, ps := range stats.PerShard {
+		if ps.Segments < 1 {
+			t.Fatalf("per-shard segment count missing: %+v", stats.PerShard)
+		}
+		segs += ps.Segments
+		tombs += ps.Tombstones
+	}
+	// On a tiny corpus the base-ratio trigger may fold the fresh delta into
+	// the base immediately; either the delta is still visible or a merge
+	// was counted.
+	if segs < 3 && stats.Segments["merges"] == 0 {
+		t.Fatalf("expected a delta segment or a merge after POST /docs, got %d segments, %d merges", segs, stats.Segments["merges"])
+	}
+	// Likewise the tombstone-ratio trigger may already have compacted the
+	// deleted document away.
+	if tombs != 1 && stats.Segments["merges"] == 0 {
+		t.Fatalf("expected a tombstone or a compaction after DELETE, got %d tombstones, %d merges", tombs, stats.Segments["merges"])
+	}
+}

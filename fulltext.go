@@ -17,6 +17,14 @@
 // Results can be ranked with TF-IDF (Section 3.1) or probabilistic
 // relational algebra scoring (Section 3.2).
 //
+// Beyond the paper, ShardedIndex serves the same queries over
+// hash-partitioned shards with parallel fan-out, a WAND top-K fast path,
+// and incremental ingestion: Add appends per-shard delta segments without
+// rebuilding, Delete tombstones, and a tiered policy merges segments
+// lazily — with results byte-identical to a from-scratch rebuild. See
+// docs/ARCHITECTURE.md for the system map and docs/QUERY_LANGUAGES.md for
+// the dialect reference.
+//
 // Basic usage:
 //
 //	b := fulltext.NewBuilder()
@@ -75,6 +83,7 @@ const (
 	ClassComp
 )
 
+// String returns the class name used in Explain output and benchmarks.
 func (c Class) String() string { return lang.Class(c).String() }
 
 // Engine selects an evaluation strategy.
@@ -95,6 +104,7 @@ const (
 	EngineCOMP
 )
 
+// String returns the engine name used in Explain output and benchmarks.
 func (e Engine) String() string {
 	switch e {
 	case EngineAuto:
@@ -236,6 +246,7 @@ type rankedCounters struct {
 	candidates atomic.Uint64
 	scored     atomic.Uint64
 	skipped    atomic.Uint64
+	tombstoned atomic.Uint64
 	seeks      atomic.Uint64
 }
 
@@ -244,6 +255,7 @@ func (rc *rankedCounters) addWand(ws wand.Stats) {
 	rc.candidates.Add(ws.Candidates)
 	rc.scored.Add(ws.Scored)
 	rc.skipped.Add(ws.BoundSkipped)
+	rc.tombstoned.Add(ws.Tombstoned)
 	rc.seeks.Add(ws.Seeks)
 }
 
@@ -257,37 +269,38 @@ func (rc *rankedCounters) addExhaustive(nodes int) {
 // often the WAND fast path vs the exhaustive scan ran, and how many
 // documents were considered, fully scored, or pruned by the upper-bound
 // threshold. The unit is one per-index evaluation — on a ShardedIndex
-// every shard counts separately, so a single sharded query increments the
-// query counters once per shard. The exhaustive scan counts every context
-// node as scored — that is exactly the work the fast path exists to
-// avoid, so ScoredDocs is the number benchmarks compare.
+// every segment of every shard counts separately, so a single sharded
+// query increments the query counters once per segment. The exhaustive
+// scan counts every context node as scored — that is exactly the work the
+// fast path exists to avoid, so ScoredDocs is the number benchmarks
+// compare.
 type RankedEvalStats struct {
-	FastPathQueries   uint64 // per-index fast-path evaluations (shards count individually)
-	ExhaustiveQueries uint64 // per-index exhaustive scans (shards count individually)
+	FastPathQueries   uint64 // per-index fast-path evaluations (segments count individually)
+	ExhaustiveQueries uint64 // per-index exhaustive scans (segments count individually)
 	CandidateDocs     uint64
 	ScoredDocs        uint64
 	BoundSkippedDocs  uint64
-	CursorSeeks       uint64
-}
-
-func (s *RankedEvalStats) add(o RankedEvalStats) {
-	s.FastPathQueries += o.FastPathQueries
-	s.ExhaustiveQueries += o.ExhaustiveQueries
-	s.CandidateDocs += o.CandidateDocs
-	s.ScoredDocs += o.ScoredDocs
-	s.BoundSkippedDocs += o.BoundSkippedDocs
-	s.CursorSeeks += o.CursorSeeks
+	// TombstonedDocs counts fast-path candidates dropped because they were
+	// deleted documents awaiting compaction — the per-query cost of
+	// tombstones between merges.
+	TombstonedDocs uint64
+	CursorSeeks    uint64
 }
 
 // RankedEvalStats returns the index's cumulative ranked-query counters.
 func (ix *Index) RankedEvalStats() RankedEvalStats {
+	return ix.rc.snapshot()
+}
+
+func (rc *rankedCounters) snapshot() RankedEvalStats {
 	return RankedEvalStats{
-		FastPathQueries:   ix.rc.fast.Load(),
-		ExhaustiveQueries: ix.rc.exhaustive.Load(),
-		CandidateDocs:     ix.rc.candidates.Load(),
-		ScoredDocs:        ix.rc.scored.Load(),
-		BoundSkippedDocs:  ix.rc.skipped.Load(),
-		CursorSeeks:       ix.rc.seeks.Load(),
+		FastPathQueries:   rc.fast.Load(),
+		ExhaustiveQueries: rc.exhaustive.Load(),
+		CandidateDocs:     rc.candidates.Load(),
+		ScoredDocs:        rc.scored.Load(),
+		BoundSkippedDocs:  rc.skipped.Load(),
+		TombstonedDocs:    rc.tombstoned.Load(),
+		CursorSeeks:       rc.seeks.Load(),
 	}
 }
 
@@ -451,7 +464,7 @@ func (ix *Index) SearchRankedOpts(q *Query, m ScoringModel, topK int, o RankOpti
 	// same shape (desugared negative predicates, hoisted quantifiers) the
 	// Boolean path evaluates, or ranked and unranked results can diverge.
 	norm := lang.Normalize(ast, ix.reg)
-	ranked, err := ix.rankedNodes(norm, m, ix.inv, topK, o, nil)
+	ranked, err := ix.rankedNodes(norm, m, ix.inv, topK, o, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -478,11 +491,12 @@ func (ix *Index) scorerFor(norm lang.Query, m ScoringModel, st score.CorpusStats
 
 // rankedNodes scores a normalized query against the collection statistics
 // st — the index's own inverted lists for a standalone index, or global
-// statistics when the index is one shard of a ShardedIndex — returning the
-// top topK (all matches when topK <= 0). Eligible positive-token queries
-// with positive topK run the WAND fast path; shared, when non-nil, is the
-// cross-shard pruning threshold.
-func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusStats, topK int, o RankOptions, shared *wand.Shared) ([]score.Ranked, error) {
+// statistics when the index is one segment of a ShardedIndex — returning
+// the top topK (all matches when topK <= 0). Eligible positive-token
+// queries with positive topK run the WAND fast path; shared, when non-nil,
+// is the cross-shard pruning threshold; live, when non-nil, filters
+// tombstoned documents out before ranking (and before topK truncation).
+func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusStats, topK int, o RankOptions, shared *wand.Shared, live wand.Live) ([]score.Ranked, error) {
 	scorer, err := ix.scorerFor(norm, m, st)
 	if err != nil {
 		return nil, err
@@ -497,7 +511,7 @@ func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusSta
 				}
 				ev := &fta.Evaluator{Index: ix.inv, Reg: ix.reg, Scorer: scorer}
 				var ws wand.Stats
-				ranked, err := wand.Eval(ev, plan, a, bounded, topK, shared, &ws)
+				ranked, err := wand.Eval(ev, plan, a, bounded, topK, shared, &ws, live)
 				if err != nil {
 					return nil, err
 				}
@@ -512,6 +526,15 @@ func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusSta
 	}
 	ix.rc.addExhaustive(ix.inv.NumNodes())
 	ranked := score.Rank(res)
+	if live != nil {
+		kept := ranked[:0]
+		for _, r := range ranked {
+			if live(r.Node) {
+				kept = append(kept, r)
+			}
+		}
+		ranked = kept
+	}
 	if topK > 0 && topK < len(ranked) {
 		ranked = ranked[:topK]
 	}

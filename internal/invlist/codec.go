@@ -39,8 +39,27 @@ const (
 	codecMinVersion = 1
 )
 
-// WriteTo serializes the index. It implements io.WriterTo.
+// WriteOptions tunes WriteToWith.
+type WriteOptions struct {
+	// OmitStatsBlock writes stats-block flag 0 instead of freezing the
+	// standalone scoring-statistics block. Containers that persist their own
+	// statistics (the FTSS sharded/segmented format stores per-segment
+	// blocks computed against *global* collection statistics, which is what
+	// sharded serving actually reads) set this so the standalone block — a
+	// full float64 per node plus two values per token that such deployments
+	// never use — is not written at all. Loading a block-less stream simply
+	// recomputes the block lazily on the first standalone ranked query.
+	OmitStatsBlock bool
+}
+
+// WriteTo serializes the index with the standalone scoring-statistics block
+// included. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.WriteToWith(w, WriteOptions{})
+}
+
+// WriteToWith serializes the index with explicit options.
+func (ix *Index) WriteToWith(w io.Writer, o WriteOptions) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
@@ -83,9 +102,13 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	// Stats block (self statistics): computed here if no ranked query has
 	// warmed it yet. Deterministic, so repeated WriteTo calls produce
 	// identical bytes (the sharded container relies on that).
-	writeUvarint(cw, 1)
-	if _, err := WriteStatsBlockTo(cw, ix.StatsBlock(nil), toks); err != nil {
-		return cw.n, err
+	if o.OmitStatsBlock {
+		writeUvarint(cw, 0)
+	} else {
+		writeUvarint(cw, 1)
+		if _, err := WriteStatsBlockTo(cw, ix.StatsBlock(nil), toks); err != nil {
+			return cw.n, err
+		}
 	}
 
 	if cw.err != nil {

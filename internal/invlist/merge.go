@@ -1,0 +1,111 @@
+package invlist
+
+import (
+	"sort"
+
+	"fulltext/internal/core"
+)
+
+// MergePart is one input of Merge: an index plus an optional liveness mask
+// (indexed by NodeID-1; nil means every node is live). Dead nodes — the
+// tombstones of an incremental segment — are dropped from the merged index.
+type MergePart struct {
+	Index *Index
+	Live  []bool
+}
+
+// alive reports whether the part's local node id n is live.
+func (p MergePart) alive(n core.NodeID) bool {
+	i := int(n) - 1
+	return p.Live == nil || (i >= 0 && i < len(p.Live) && p.Live[i])
+}
+
+// Merge concatenates the live nodes of the given parts, in part order, into
+// one new index with dense NodeIDs starting at 1. It is the physical
+// segment-merge operation of the incremental ingestion subsystem: posting
+// lists are merged token by token (entries keep their position slices, which
+// are immutable and safely shared with the inputs), per-node metadata is
+// copied, and IL_ANY is rebuilt. The returned remap gives, per part, the new
+// NodeID of each old local node (0 for dead nodes).
+//
+// Because new ids are assigned in part order and entries within every input
+// list are already ascending, the merged lists are ascending by construction
+// — no per-list sort is needed.
+func Merge(parts []MergePart) (*Index, [][]core.NodeID) {
+	remap := make([][]core.NodeID, len(parts))
+	total := 0
+	for pi, p := range parts {
+		n := p.Index.NumNodes()
+		remap[pi] = make([]core.NodeID, n)
+		for i := 0; i < n; i++ {
+			if p.alive(core.NodeID(i + 1)) {
+				total++
+				remap[pi][i] = core.NodeID(total)
+			}
+		}
+	}
+
+	out := &Index{
+		lists:       make(map[string]*PostingList),
+		any:         &PostingList{},
+		posCount:    make([]int32, total),
+		uniqueCount: make([]int32, total),
+	}
+	vocab := make(map[string]bool)
+	for _, p := range parts {
+		for t := range p.Index.lists {
+			vocab[t] = true
+		}
+	}
+	toks := make([]string, 0, len(vocab))
+	for t := range vocab {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		var entries []Entry
+		for pi, p := range parts {
+			pl := p.Index.lists[tok]
+			if pl == nil {
+				continue
+			}
+			for _, e := range pl.Entries {
+				if nn := remap[pi][int(e.Node)-1]; nn != 0 {
+					entries = append(entries, Entry{Node: nn, Pos: e.Pos})
+				}
+			}
+		}
+		if len(entries) > 0 {
+			out.lists[tok] = &PostingList{Token: tok, Entries: entries}
+		}
+	}
+	for pi, p := range parts {
+		for i, nn := range remap[pi] {
+			if nn == 0 {
+				continue
+			}
+			out.posCount[int(nn)-1] = p.Index.posCount[i]
+			out.uniqueCount[int(nn)-1] = p.Index.uniqueCount[i]
+		}
+	}
+	out.rebuildAny()
+	out.recomputeStats()
+	return out, remap
+}
+
+// NodeTokens returns the distinct tokens occurring in node n, in sorted
+// order. It costs a binary search per vocabulary term — O(tokens · log
+// entries_per_token) — and exists for tombstone bookkeeping: deleting a
+// document needs its token set to keep collection-level document
+// frequencies (and therefore idf and scores) identical to a from-scratch
+// rebuild without the deleted document.
+func (ix *Index) NodeTokens(n core.NodeID) []string {
+	var out []string
+	for tok, pl := range ix.lists {
+		if pl.Find(n) != nil {
+			out = append(out, tok)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package segment
+
+// Policy is the tiered lazy-merge policy deciding when a shard's segment
+// tail gets compacted. Merges are deliberately decoupled from ingestion:
+// every Add appends a small delta segment in O(document) time, and the
+// policy amortizes the compaction work behind it.
+//
+// Three triggers, checked in order:
+//
+//  1. base ratio — when the deltas together hold at least BaseRatio of the
+//     base segment's live documents, everything merges into a new base
+//     (the expensive, rare, whole-shard compaction);
+//  2. delta count — when more than MaxDeltas delta segments have
+//     accumulated, a suffix of size-similar deltas merges into one (the
+//     cheap, frequent, tail compaction; suffix selection keeps the merge
+//     schedule logarithmic instead of re-merging a large delta on every
+//     trigger);
+//  3. tombstones — when a segment's dead fraction reaches TombstoneRatio,
+//     that segment alone is compacted to reclaim space and re-tighten its
+//     score upper bounds.
+type Policy struct {
+	// MaxDeltas is the delta-count trigger: a shard tolerates at most this
+	// many delta segments before the tail is merged. <= 0 uses the default.
+	MaxDeltas int
+	// BaseRatio is the size-ratio trigger for folding all deltas into the
+	// base: total live delta docs >= BaseRatio * live base docs. <= 0 uses
+	// the default.
+	BaseRatio float64
+	// TombstoneRatio is the dead-fraction trigger for compacting a single
+	// segment. <= 0 uses the default.
+	TombstoneRatio float64
+}
+
+// DefaultPolicy returns the production defaults: at most 8 deltas, a full
+// merge when deltas reach half the base, compaction at 25% tombstones.
+func DefaultPolicy() Policy {
+	return Policy{MaxDeltas: 8, BaseRatio: 0.5, TombstoneRatio: 0.25}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxDeltas <= 0 {
+		p.MaxDeltas = d.MaxDeltas
+	}
+	if p.BaseRatio <= 0 {
+		p.BaseRatio = d.BaseRatio
+	}
+	if p.TombstoneRatio <= 0 {
+		p.TombstoneRatio = d.TombstoneRatio
+	}
+	return p
+}
+
+// Plan inspects a shard's segments (segs[0] is the base) and returns the
+// inclusive range [lo, hi] to merge next, or ok = false when the shard is
+// within policy. Callers apply the merge and call Plan again: one mutation
+// can cascade (a delta-tail merge can push the deltas over the base ratio).
+// Only contiguous ranges are ever proposed, preserving the global-ordinal
+// ordering invariant.
+func (p Policy) Plan(segs []*Segment) (lo, hi int, ok bool) {
+	p = p.withDefaults()
+	if len(segs) < 2 {
+		// A single (base) segment: only tombstone compaction can apply.
+		if len(segs) == 1 && p.tombstoned(segs[0]) {
+			return 0, 0, true
+		}
+		return 0, 0, false
+	}
+	base := segs[0].Live()
+	deltaDocs := 0
+	for _, s := range segs[1:] {
+		deltaDocs += s.Live()
+	}
+	if float64(deltaDocs) >= p.BaseRatio*float64(base) {
+		return 0, len(segs) - 1, true
+	}
+	if len(segs)-1 > p.MaxDeltas {
+		lo = p.suffixStart(segs)
+		return lo, len(segs) - 1, true
+	}
+	for i, s := range segs {
+		if p.tombstoned(s) {
+			return i, i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// suffixStart picks the start of the delta suffix to merge: walking from
+// the newest delta backwards, a delta joins the run while its live size
+// does not dominate the accumulated run (live <= sum so far). This merges
+// the many small fresh deltas without repeatedly rewriting an older, much
+// larger merged delta — the logarithmic schedule. If the run would be a
+// single segment (a degenerate staircase of sizes), every delta merges.
+func (p Policy) suffixStart(segs []*Segment) int {
+	sum := 0
+	lo := len(segs) - 1
+	for i := len(segs) - 1; i >= 1; i-- {
+		if sum > 0 && segs[i].Live() > sum {
+			break
+		}
+		sum += segs[i].Live()
+		lo = i
+	}
+	if lo == len(segs)-1 {
+		return 1 // degenerate: fold the whole delta tail
+	}
+	return lo
+}
+
+// tombstoned reports whether the segment crossed the dead-fraction trigger.
+func (p Policy) tombstoned(s *Segment) bool {
+	return s.Docs() > 0 && s.Dead() > 0 &&
+		float64(s.Dead()) >= p.TombstoneRatio*float64(s.Docs())
+}

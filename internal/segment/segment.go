@@ -1,0 +1,208 @@
+// Package segment implements the incremental ingestion model of the
+// sharded index: instead of rebuilding a shard on every document change,
+// each shard holds one immutable base segment plus a tail of appendable
+// delta segments, merged lazily when a tiered policy says the tail has
+// grown too long or too large relative to the base (cf. the incremental
+// auxiliary-index construction of Veretennikov, arXiv:1812.07640, and the
+// log-structured merge family generally).
+//
+// A Segment bundles an immutable inverted index with the bookkeeping that
+// makes per-segment query evaluation exactly equivalent to evaluating one
+// big index:
+//
+//   - Ords maps segment-local NodeIDs to global insertion ordinals, so
+//     per-segment results project into the global document order (and the
+//     global ranking tie-break) a from-scratch rebuild would produce;
+//   - tombstones mark deleted documents, which stay physically present in
+//     the segment's posting lists until a merge compacts them away but are
+//     filtered from every result and subtracted from collection statistics.
+//
+// The package is deliberately ignorant of query ASTs, engines and scoring:
+// it moves inverted lists, ordinals and tombstones around. The root
+// fulltext package owns evaluation and threads segments through it.
+package segment
+
+import (
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+)
+
+// Segment is one immutable index fragment of a shard. The inverted index,
+// id table and ordinal table never change after construction; only the
+// tombstone set grows (under the owner's write lock). NodeIDs are
+// segment-local and dense starting at 1; Ords is strictly increasing, so
+// ascending NodeID order within a segment is ascending global document
+// order.
+type Segment struct {
+	Inv *invlist.Index
+	// IDs maps local NodeID-1 to the external document id.
+	IDs []string
+	// Ords maps local NodeID-1 to the document's global insertion ordinal.
+	Ords []int
+
+	dead  []bool // tombstones, local NodeID-1; nil until the first delete
+	ndead int
+}
+
+// New wraps an index built over the given documents. ids and ords must have
+// exactly one entry per index node, with ords strictly increasing.
+func New(inv *invlist.Index, ids []string, ords []int) (*Segment, error) {
+	if inv.NumNodes() != len(ids) || len(ids) != len(ords) {
+		return nil, fmt.Errorf("segment: %d nodes, %d ids, %d ordinals", inv.NumNodes(), len(ids), len(ords))
+	}
+	for i := 1; i < len(ords); i++ {
+		if ords[i] <= ords[i-1] {
+			return nil, fmt.Errorf("segment: ordinals not strictly increasing at %d", i)
+		}
+	}
+	return &Segment{Inv: inv, IDs: ids, Ords: ords}, nil
+}
+
+// Docs returns the total number of documents in the segment, dead or alive.
+func (s *Segment) Docs() int { return len(s.IDs) }
+
+// Live returns the number of live (non-tombstoned) documents.
+func (s *Segment) Live() int { return len(s.IDs) - s.ndead }
+
+// Dead returns the number of tombstoned documents.
+func (s *Segment) Dead() int { return s.ndead }
+
+// Alive reports whether local node n exists and is not tombstoned.
+func (s *Segment) Alive(n core.NodeID) bool {
+	i := int(n) - 1
+	if i < 0 || i >= len(s.IDs) {
+		return false
+	}
+	return s.dead == nil || !s.dead[i]
+}
+
+// Delete tombstones local node n. It reports whether the node was live.
+// Callers must serialize Delete against reads (the owning index holds a
+// write lock across mutations).
+func (s *Segment) Delete(n core.NodeID) bool {
+	if !s.Alive(n) {
+		return false
+	}
+	if s.dead == nil {
+		s.dead = make([]bool, len(s.IDs))
+	}
+	s.dead[int(n)-1] = true
+	s.ndead++
+	return true
+}
+
+// LiveFilter returns a node-liveness predicate for query evaluation, or nil
+// when the segment has no tombstones (the common case, letting evaluators
+// skip the filter entirely).
+func (s *Segment) LiveFilter() func(core.NodeID) bool {
+	if s.ndead == 0 {
+		return nil
+	}
+	return s.Alive
+}
+
+// DeadLocal returns the tombstoned local node ids in ascending order (nil
+// when none); it is the persistence form of the tombstone set.
+func (s *Segment) DeadLocal() []core.NodeID {
+	if s.ndead == 0 {
+		return nil
+	}
+	out := make([]core.NodeID, 0, s.ndead)
+	for i, d := range s.dead {
+		if d {
+			out = append(out, core.NodeID(i+1))
+		}
+	}
+	return out
+}
+
+// Restore re-applies a persisted tombstone set onto a freshly loaded
+// segment.
+func (s *Segment) Restore(deadLocal []core.NodeID) error {
+	for _, n := range deadLocal {
+		if int(n) < 1 || int(n) > len(s.IDs) {
+			return fmt.Errorf("segment: tombstone node %d out of range [1,%d]", n, len(s.IDs))
+		}
+		if !s.Delete(n) {
+			return fmt.Errorf("segment: duplicate tombstone for node %d", n)
+		}
+	}
+	return nil
+}
+
+// TallyInto accumulates the segment's live contribution to collection-level
+// statistics: live document count, per-token live document frequency, and
+// live position total. Tombstoned documents are excluded entry by entry, so
+// the tally matches a from-scratch rebuild without the deleted documents —
+// the property that keeps idf, node norms and therefore ranking scores
+// byte-identical across the incremental and rebuilt indexes.
+func (s *Segment) TallyInto(nodes *int, df map[string]int, totalPos *int) {
+	*nodes += s.Live()
+	if s.ndead == 0 {
+		for _, tok := range s.Inv.Tokens() {
+			df[tok] += s.Inv.DF(tok)
+		}
+		*totalPos += s.Inv.Stats().TotalPositions
+		return
+	}
+	for _, tok := range s.Inv.Tokens() {
+		pl := s.Inv.List(tok)
+		n := 0
+		for _, e := range pl.Entries {
+			if s.Alive(e.Node) {
+				n++
+			}
+		}
+		if n > 0 {
+			df[tok] += n
+		}
+	}
+	for i := range s.IDs {
+		if s.dead == nil || !s.dead[i] {
+			*totalPos += s.Inv.NodePositions(core.NodeID(i + 1))
+		}
+	}
+}
+
+// Merge compacts the given segments — in order, which must be their shard
+// order so ordinals stay increasing — into one new segment containing only
+// their live documents. Tombstoned documents are physically dropped; the
+// inputs are left untouched (their position slices are shared, not copied).
+func Merge(segs []*Segment) (*Segment, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("segment: merging zero segments")
+	}
+	parts := make([]invlist.MergePart, len(segs))
+	live := 0
+	for i, s := range segs {
+		parts[i] = invlist.MergePart{Index: s.Inv, Live: s.liveMask()}
+		live += s.Live()
+	}
+	inv, remap := invlist.Merge(parts)
+	ids := make([]string, 0, live)
+	ords := make([]int, 0, live)
+	for i, s := range segs {
+		for j, nn := range remap[i] {
+			if nn == 0 {
+				continue
+			}
+			ids = append(ids, s.IDs[j])
+			ords = append(ords, s.Ords[j])
+		}
+	}
+	return New(inv, ids, ords)
+}
+
+// liveMask returns the per-node liveness mask (nil when fully live).
+func (s *Segment) liveMask() []bool {
+	if s.ndead == 0 {
+		return nil
+	}
+	mask := make([]bool, len(s.IDs))
+	for i := range mask {
+		mask[i] = !s.dead[i]
+	}
+	return mask
+}

@@ -1,0 +1,235 @@
+package segment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+)
+
+// mkSeg builds a segment over the given (id, text) pairs with global
+// ordinals starting at firstOrd.
+func mkSeg(t *testing.T, firstOrd int, docs ...[2]string) *Segment {
+	t.Helper()
+	c := core.NewCorpus()
+	ids := make([]string, 0, len(docs))
+	ords := make([]int, 0, len(docs))
+	for i, d := range docs {
+		if _, err := c.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, d[0])
+		ords = append(ords, firstOrd+i)
+	}
+	s, err := New(invlist.Build(c), ids, ords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	c := core.NewCorpus()
+	c.MustAdd("a", "x y")
+	inv := invlist.Build(c)
+	if _, err := New(inv, []string{"a", "b"}, []int{0, 1}); err == nil {
+		t.Fatal("id/node count mismatch must be rejected")
+	}
+	if _, err := New(inv, []string{"a"}, []int{0, 0}); err == nil {
+		t.Fatal("ords length mismatch must be rejected")
+	}
+	c2 := core.NewCorpus()
+	c2.MustAdd("a", "x")
+	c2.MustAdd("b", "y")
+	if _, err := New(invlist.Build(c2), []string{"a", "b"}, []int{5, 5}); err == nil {
+		t.Fatal("non-increasing ordinals must be rejected")
+	}
+}
+
+func TestDeleteAndLiveness(t *testing.T) {
+	s := mkSeg(t, 0, [2]string{"a", "x y"}, [2]string{"b", "y z"}, [2]string{"c", "z"})
+	if s.Live() != 3 || s.Dead() != 0 || s.LiveFilter() != nil {
+		t.Fatalf("fresh segment: live=%d dead=%d", s.Live(), s.Dead())
+	}
+	if !s.Delete(2) {
+		t.Fatal("deleting a live node must report true")
+	}
+	if s.Delete(2) {
+		t.Fatal("double delete must report false")
+	}
+	if s.Delete(99) {
+		t.Fatal("deleting an unknown node must report false")
+	}
+	if s.Live() != 2 || s.Dead() != 1 {
+		t.Fatalf("after delete: live=%d dead=%d", s.Live(), s.Dead())
+	}
+	f := s.LiveFilter()
+	if f == nil || f(2) || !f(1) || !f(3) {
+		t.Fatal("LiveFilter must exclude exactly the tombstoned node")
+	}
+	if got := s.DeadLocal(); !reflect.DeepEqual(got, []core.NodeID{2}) {
+		t.Fatalf("DeadLocal = %v", got)
+	}
+}
+
+func TestRestore(t *testing.T) {
+	s := mkSeg(t, 0, [2]string{"a", "x"}, [2]string{"b", "y"})
+	if err := s.Restore([]core.NodeID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive(2) || !s.Alive(1) {
+		t.Fatal("Restore must tombstone node 2")
+	}
+	if err := s.Restore([]core.NodeID{2}); err == nil {
+		t.Fatal("duplicate tombstone must be rejected")
+	}
+	if err := s.Restore([]core.NodeID{9}); err == nil {
+		t.Fatal("out-of-range tombstone must be rejected")
+	}
+}
+
+func TestTallyExcludesTombstones(t *testing.T) {
+	s := mkSeg(t, 0, [2]string{"a", "x y"}, [2]string{"b", "y z"}, [2]string{"c", "z z"})
+	tally := func() (int, map[string]int, int) {
+		nodes, totalPos := 0, 0
+		df := map[string]int{}
+		s.TallyInto(&nodes, df, &totalPos)
+		return nodes, df, totalPos
+	}
+	nodes, df, pos := tally()
+	if nodes != 3 || pos != 6 || df["y"] != 2 || df["z"] != 2 || df["x"] != 1 {
+		t.Fatalf("fresh tally: nodes=%d pos=%d df=%v", nodes, pos, df)
+	}
+	s.Delete(2)
+	nodes, df, pos = tally()
+	if nodes != 2 || pos != 4 || df["y"] != 1 || df["z"] != 1 || df["x"] != 1 {
+		t.Fatalf("post-delete tally: nodes=%d pos=%d df=%v", nodes, pos, df)
+	}
+}
+
+func TestMergeDropsTombstonesAndKeepsOrder(t *testing.T) {
+	a := mkSeg(t, 0, [2]string{"a", "x y"}, [2]string{"b", "y z"})
+	b := mkSeg(t, 2, [2]string{"c", "z"}, [2]string{"d", "x"})
+	a.Delete(1)
+	m, err := Merge([]*Segment{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.IDs, []string{"b", "c", "d"}) {
+		t.Fatalf("merged ids = %v", m.IDs)
+	}
+	if !reflect.DeepEqual(m.Ords, []int{1, 2, 3}) {
+		t.Fatalf("merged ords = %v", m.Ords)
+	}
+	if m.Dead() != 0 || m.Live() != 3 {
+		t.Fatal("merge must drop tombstones")
+	}
+	if m.Inv.DF("x") != 1 || m.Inv.DF("y") != 1 || m.Inv.DF("z") != 2 {
+		t.Fatalf("merged DFs wrong: x=%d y=%d z=%d", m.Inv.DF("x"), m.Inv.DF("y"), m.Inv.DF("z"))
+	}
+	// Entry for "z" must be ascending NodeIDs and carry the original
+	// positions.
+	pl := m.Inv.List("z")
+	if pl.Len() != 2 || pl.Entries[0].Node >= pl.Entries[1].Node {
+		t.Fatalf("merged list not ascending: %+v", pl.Entries)
+	}
+}
+
+func TestMergeSingleCompacts(t *testing.T) {
+	a := mkSeg(t, 0, [2]string{"a", "x"}, [2]string{"b", "y"}, [2]string{"c", "x y"})
+	a.Delete(2)
+	m, err := Merge([]*Segment{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Docs() != 2 || m.Inv.DF("y") != 1 {
+		t.Fatalf("compaction kept dead docs: docs=%d df(y)=%d", m.Docs(), m.Inv.DF("y"))
+	}
+}
+
+// segOfSize fabricates a segment with n one-token docs (used for policy
+// tests where only sizes matter).
+func segOfSize(t *testing.T, firstOrd, n int) *Segment {
+	t.Helper()
+	docs := make([][2]string, n)
+	for i := range docs {
+		docs[i] = [2]string{fmt.Sprintf("d%d-%d", firstOrd, i), "tok"}
+	}
+	return mkSeg(t, firstOrd, docs...)
+}
+
+func TestPolicyTriggers(t *testing.T) {
+	p := Policy{MaxDeltas: 3, BaseRatio: 0.5, TombstoneRatio: 0.25}
+
+	// Within policy: no merge.
+	base := segOfSize(t, 0, 100)
+	d1 := segOfSize(t, 100, 2)
+	if _, _, ok := p.Plan([]*Segment{base, d1}); ok {
+		t.Fatal("small tail must not trigger a merge")
+	}
+
+	// Delta count: 4 deltas > MaxDeltas=3 merges the tail suffix.
+	segs := []*Segment{base, segOfSize(t, 100, 8), segOfSize(t, 110, 1), segOfSize(t, 111, 1), segOfSize(t, 112, 1)}
+	lo, hi, ok := p.Plan(segs)
+	if !ok || lo != 2 || hi != 4 {
+		t.Fatalf("delta-count plan = [%d,%d] ok=%v, want [2,4]", lo, hi, ok)
+	}
+
+	// Base ratio: deltas holding >= half the base fold into it.
+	segs = []*Segment{segOfSize(t, 0, 10), segOfSize(t, 10, 3), segOfSize(t, 13, 3)}
+	lo, hi, ok = p.Plan(segs)
+	if !ok || lo != 0 || hi != 2 {
+		t.Fatalf("base-ratio plan = [%d,%d] ok=%v, want [0,2]", lo, hi, ok)
+	}
+
+	// Tombstones: a single over-threshold segment compacts alone.
+	tb := segOfSize(t, 0, 8)
+	tb.Delete(1)
+	tb.Delete(2)
+	lo, hi, ok = p.Plan([]*Segment{tb})
+	if !ok || lo != 0 || hi != 0 {
+		t.Fatalf("tombstone plan = [%d,%d] ok=%v, want [0,0]", lo, hi, ok)
+	}
+
+	// Degenerate staircase: suffix selection would pick one segment, so the
+	// whole delta tail folds.
+	segs = []*Segment{segOfSize(t, 0, 100), segOfSize(t, 100, 8), segOfSize(t, 108, 4), segOfSize(t, 112, 2), segOfSize(t, 114, 1)}
+	lo, hi, ok = p.Plan(segs)
+	if !ok || lo != 1 || hi != 4 {
+		t.Fatalf("staircase plan = [%d,%d] ok=%v, want [1,4]", lo, hi, ok)
+	}
+}
+
+func TestPolicyCascade(t *testing.T) {
+	// Applying plans repeatedly must terminate with a within-policy shard.
+	p := Policy{MaxDeltas: 2, BaseRatio: 0.5, TombstoneRatio: 0.25}
+	segs := []*Segment{segOfSize(t, 0, 4)}
+	ord := 4
+	for i := 0; i < 40; i++ {
+		segs = append(segs, segOfSize(t, ord, 1))
+		ord++
+		for {
+			lo, hi, ok := p.Plan(segs)
+			if !ok {
+				break
+			}
+			m, err := Merge(segs[lo : hi+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs[:lo], append([]*Segment{m}, segs[hi+1:]...)...)
+		}
+		if len(segs) > p.MaxDeltas+1 {
+			t.Fatalf("step %d: %d segments exceed policy", i, len(segs))
+		}
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Live()
+	}
+	if total != 44 {
+		t.Fatalf("lost documents: %d live, want 44", total)
+	}
+}

@@ -151,6 +151,9 @@ type Stats struct {
 	// BoundSkipped counts candidates pruned by the upper-bound threshold
 	// check without being scored.
 	BoundSkipped uint64
+	// Tombstoned counts candidates dropped by the liveness filter (deleted
+	// documents surfaced by a segment's posting lists).
+	Tombstoned uint64
 	// Seeks counts cursor Seek operations issued by the drivers.
 	Seeks uint64
 }
@@ -160,6 +163,7 @@ func (s *Stats) add(o Stats) {
 	s.Scored += o.Scored
 	s.Matched += o.Matched
 	s.BoundSkipped += o.BoundSkipped
+	s.Tombstoned += o.Tombstoned
 	s.Seeks += o.Seeks
 }
 
@@ -198,6 +202,14 @@ type cursor struct {
 	required bool
 }
 
+// Live filters candidate documents by local node id; nil admits every node.
+// It is how the incremental segment layer threads tombstones into the fast
+// path: dead documents are skipped before the bound check, never scored,
+// and never enter the heap, so the published K-th-best threshold counts
+// live documents only and stays sound for cross-segment and cross-shard
+// sharing.
+type Live func(core.NodeID) bool
+
 // evaluator bundles the per-query evaluation state.
 type evaluator struct {
 	ev     *fta.Evaluator
@@ -206,6 +218,7 @@ type evaluator struct {
 	k      int
 	shared *Shared
 	st     *Stats
+	live   Live
 
 	curs  []*cursor
 	byTok map[string]*cursor
@@ -219,8 +232,9 @@ type evaluator struct {
 // prunes against it and publishes its own K-th-best into it, and may then
 // return fewer than its local top k — only documents that provably cannot
 // enter the global top k are dropped, so a global top-K merge over all
-// shards is unaffected. st, when non-nil, accumulates work counters.
-func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, shared *Shared, st *Stats) ([]score.Ranked, error) {
+// shards is unaffected. st, when non-nil, accumulates work counters. live,
+// when non-nil, excludes tombstoned documents from candidacy.
+func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, shared *Shared, st *Stats, live Live) ([]score.Ranked, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("wand: top-K must be positive, got %d", k)
 	}
@@ -230,7 +244,7 @@ func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, share
 	if st == nil {
 		st = &Stats{}
 	}
-	e := &evaluator{ev: ev, plan: plan, a: a, k: k, shared: shared, st: st,
+	e := &evaluator{ev: ev, plan: plan, a: a, k: k, shared: shared, st: st, live: live,
 		byTok: make(map[string]*cursor, len(a.Tokens))}
 	for _, tok := range a.Tokens {
 		cc := ev.Index.List(tok).Cursor()
@@ -302,11 +316,15 @@ func (e *evaluator) offer(node core.NodeID, s float64) {
 	}
 }
 
-// evalDoc runs the bound check and, when it survives, the per-node algebra
-// evaluation for one candidate whose token presence already satisfies the
-// query.
+// evalDoc runs the liveness filter, the bound check and, when both survive,
+// the per-node algebra evaluation for one candidate whose token presence
+// already satisfies the query.
 func (e *evaluator) evalDoc(node core.NodeID, ub float64) error {
 	e.st.Candidates++
+	if e.live != nil && !e.live(node) {
+		e.st.Tombstoned++
+		return nil
+	}
 	if e.prunable(ub) {
 		e.st.BoundSkipped++
 		return nil

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 
+	"fulltext/internal/core"
 	"fulltext/internal/invlist"
 	"fulltext/internal/pred"
+	"fulltext/internal/segment"
 	"fulltext/internal/text"
 )
 
@@ -23,23 +25,41 @@ const (
 	indexVersion = 2
 )
 
-// Sharded-index persistence: a container header (shard count, per-shard
-// global-ordinal tables) framing one length-prefixed single-index blob per
-// shard, each in the exact Index.WriteTo format. Version 2 appends, after
-// each blob, the shard's scoring-statistics block computed against the
-// container's *global* collection statistics (norm and token counts as
-// uvarints, then the invlist.WriteStatsBlockTo body) — the block ranked
-// queries actually use — so a loaded sharded index serves its first ranked
-// query without the per-shard O(index) warm-up pass.
+// Sharded-index persistence, version 3 (segmented): a container header
+// (shard count, next global ordinal) framing, per shard, the shard's
+// segment tail. Each segment stores its global-ordinal table (delta
+// encoded), its tombstone list, a length-prefixed single-index blob in the
+// Index.WriteTo format — with the standalone scoring-statistics block
+// omitted, because sharded serving only ever reads global-statistics
+// blocks — and finally the segment's scoring-statistics block computed
+// against the container's *global* live collection statistics (norm and
+// token counts as uvarints, then the invlist.WriteStatsBlockTo body), so a
+// loaded index serves its first ranked query without the per-segment
+// O(segment) warm-up pass.
+//
+// Versions 1 and 2 (one monolithic blob per shard, version 2 adding the
+// per-shard global-statistics block) are still readable; each shard loads
+// as a single base segment. Those versions also embedded each shard's
+// standalone statistics block inside the FTIX blob — bytes sharded serving
+// never reads — which is exactly the waste the version-3 blob omission
+// removes.
 const (
 	shardedMagic      = "FTSS"
-	shardedVersion    = 2
+	shardedVersion    = 3
 	shardedMinVersion = 1
 	maxShards         = 1 << 16
+	maxSegments       = 1 << 16
 )
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.writeToWith(w, invlist.WriteOptions{})
+}
+
+// writeToWith is WriteTo with explicit inverted-list codec options; the
+// sharded container omits the standalone statistics block from embedded
+// blobs.
+func (ix *Index) writeToWith(w io.Writer, o invlist.WriteOptions) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(p []byte) error {
@@ -113,7 +133,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return n, err
 	}
-	m, err := ix.inv.WriteTo(w)
+	m, err := ix.inv.WriteToWith(w, o)
 	return n + m, err
 }
 
@@ -227,9 +247,13 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer, rc: &rankedCounters{}}, nil
 }
 
-// WriteTo serializes the sharded index. It implements io.WriterTo. Custom
-// predicates are not serialized; re-register them after ReadShardedIndex.
+// WriteTo serializes the sharded index in the segmented version-3 layout.
+// It implements io.WriterTo and is safe to call concurrently with
+// searches. Custom predicates and the merge policy are not serialized;
+// re-register/re-set them after ReadShardedIndex.
 func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.shards) > maxShards {
 		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(s.shards), maxShards)
 	}
@@ -254,59 +278,97 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	if err := putUvarint(uint64(len(s.shards))); err != nil {
 		return n, err
 	}
-	for i, ix := range s.shards {
-		// Global-ordinal table, delta encoded (ordinals are strictly
-		// increasing within a shard).
-		ords := s.ords[i]
-		if err := putUvarint(uint64(len(ords))); err != nil {
+	if err := putUvarint(uint64(s.nextOrd)); err != nil {
+		return n, err
+	}
+	for i, segs := range s.shards {
+		if len(segs) > maxSegments {
+			return n, fmt.Errorf("fulltext: shard %d has %d segments, format limit is %d", i, len(segs), maxSegments)
+		}
+		if err := putUvarint(uint64(len(segs))); err != nil {
 			return n, err
 		}
-		prev := -1
-		for _, o := range ords {
-			if err := putUvarint(uint64(o - prev)); err != nil {
+		for _, sg := range segs {
+			m, err := s.writeSegment(bw, putUvarint, sg)
+			n += m
+			if err != nil {
 				return n, err
 			}
-			prev = o
-		}
-		// Index.WriteTo is deterministic, so a discard pass yields the length
-		// prefix without materializing the shard's serialized form.
-		blobLen, err := ix.WriteTo(io.Discard)
-		if err != nil {
-			return n, err
-		}
-		if err := putUvarint(uint64(blobLen)); err != nil {
-			return n, err
-		}
-		m, err := ix.WriteTo(bw)
-		n += m
-		if err != nil {
-			return n, err
-		}
-		if m != blobLen {
-			return n, fmt.Errorf("fulltext: shard %d serialized to %d bytes after declaring %d", i, m, blobLen)
-		}
-		// Global-statistics block (computed now if no ranked query has
-		// warmed it): what this shard's ranked scoring reads at serve time.
-		blk := ix.inv.StatsBlock(s.cstats)
-		toks := ix.inv.Tokens()
-		if err := putUvarint(uint64(len(blk.Norms))); err != nil {
-			return n, err
-		}
-		if err := putUvarint(uint64(len(toks))); err != nil {
-			return n, err
-		}
-		m, err = invlist.WriteStatsBlockTo(bw, blk, toks)
-		n += m
-		if err != nil {
-			return n, err
 		}
 	}
 	return n, bw.Flush()
 }
 
+// writeSegment writes one segment: ordinal table, tombstones, the index
+// blob (standalone statistics omitted — sharded serving reads the global
+// block that follows instead), and the global-statistics block. It returns
+// the bytes it wrote directly (the varint framing is counted by the
+// caller's putUvarint closure).
+func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) error, sg *seg) (int64, error) {
+	var n int64
+	meta := sg.meta
+	// Global-ordinal table, delta encoded (strictly increasing within a
+	// segment).
+	if err := putUvarint(uint64(len(meta.Ords))); err != nil {
+		return n, err
+	}
+	prev := -1
+	for _, o := range meta.Ords {
+		if err := putUvarint(uint64(o - prev)); err != nil {
+			return n, err
+		}
+		prev = o
+	}
+	// Tombstones, delta encoded over ascending local node ids.
+	dead := meta.DeadLocal()
+	if err := putUvarint(uint64(len(dead))); err != nil {
+		return n, err
+	}
+	prevNode := uint64(0)
+	for _, d := range dead {
+		if err := putUvarint(uint64(d) - prevNode); err != nil {
+			return n, err
+		}
+		prevNode = uint64(d)
+	}
+	// writeToWith is deterministic, so a discard pass yields the length
+	// prefix without materializing the segment's serialized form.
+	opts := invlist.WriteOptions{OmitStatsBlock: true}
+	blobLen, err := sg.ix.writeToWith(io.Discard, opts)
+	if err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(blobLen)); err != nil {
+		return n, err
+	}
+	m, err := sg.ix.writeToWith(bw, opts)
+	n += m
+	if err != nil {
+		return n, err
+	}
+	if m != blobLen {
+		return n, fmt.Errorf("fulltext: segment serialized to %d bytes after declaring %d", m, blobLen)
+	}
+	// Global-statistics block (computed now if no ranked query has warmed
+	// it): what this segment's ranked scoring reads at serve time.
+	blk := sg.ix.inv.StatsBlock(s.cstats)
+	toks := sg.ix.inv.Tokens()
+	if err := putUvarint(uint64(len(blk.Norms))); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(toks))); err != nil {
+		return n, err
+	}
+	m, err = invlist.WriteStatsBlockTo(bw, blk, toks)
+	n += m
+	return n, err
+}
+
 // ReadShardedIndex deserializes a sharded index written by
-// ShardedIndex.WriteTo. The loaded index gets default predicate registries,
-// a fresh query cache, and a new build generation.
+// ShardedIndex.WriteTo — any supported version; versions 1 and 2 load each
+// shard as a single base segment. The loaded index gets a default
+// predicate registry, the default merge policy, a fresh query cache, and a
+// new build generation.
 func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(shardedMagic))
@@ -330,47 +392,31 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 	if nshards == 0 || nshards > maxShards {
 		return nil, fmt.Errorf("fulltext: shard count %d out of range", nshards)
 	}
+	if version >= 3 {
+		return readSegmentedShards(br, int(nshards))
+	}
+	return readLegacyShards(br, version, int(nshards))
+}
+
+// readLegacyShards loads the version-1/2 monolithic-shard layout, wrapping
+// each shard as one base segment.
+func readLegacyShards(br *bufio.Reader, version uint64, nshards int) (*ShardedIndex, error) {
 	shards := make([]*Index, nshards)
 	ords := make([][]int, nshards)
 	blocks := make([]*invlist.StatsBlock, nshards)
 	total := 0
 	for i := range shards {
-		ndocs, err := binary.ReadUvarint(br)
+		var err error
+		if ords[i], err = readOrdTable(br, fmt.Sprintf("shard %d", i)); err != nil {
+			return nil, err
+		}
+		total += len(ords[i])
+		ix, err := readIndexBlob(br, fmt.Sprintf("shard %d", i))
 		if err != nil {
-			return nil, fmt.Errorf("fulltext: reading shard %d doc count: %w", i, err)
+			return nil, err
 		}
-		if ndocs > 1<<31 {
-			return nil, fmt.Errorf("fulltext: shard %d doc count %d too large", i, ndocs)
-		}
-		ords[i] = make([]int, ndocs)
-		prev := -1
-		for j := range ords[i] {
-			d, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("fulltext: reading shard %d ordinal: %w", i, err)
-			}
-			if d == 0 || d > 1<<31 {
-				return nil, fmt.Errorf("fulltext: shard %d ordinal delta %d invalid", i, d)
-			}
-			ords[i][j] = prev + int(d)
-			prev = ords[i][j]
-		}
-		total += int(ndocs)
-		blobLen, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("fulltext: reading shard %d length: %w", i, err)
-		}
-		lr := io.LimitReader(br, int64(blobLen))
-		ix, err := ReadIndex(lr)
-		if err != nil {
-			return nil, fmt.Errorf("fulltext: shard %d: %w", i, err)
-		}
-		// ReadIndex buffers internally; skip whatever of the blob it left.
-		if _, err := io.Copy(io.Discard, lr); err != nil {
-			return nil, fmt.Errorf("fulltext: shard %d: %w", i, err)
-		}
-		if ix.Docs() != int(ndocs) {
-			return nil, fmt.Errorf("fulltext: shard %d has %d docs but ordinal table has %d", i, ix.Docs(), ndocs)
+		if ix.Docs() != len(ords[i]) {
+			return nil, fmt.Errorf("fulltext: shard %d has %d docs but ordinal table has %d", i, ix.Docs(), len(ords[i]))
 		}
 		shards[i] = ix
 		if version >= 2 {
@@ -390,7 +436,10 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 			seen[o] = true
 		}
 	}
-	s := newShardedIndex(shards, ords)
+	s, err := newShardedIndex(shards, ords)
+	if err != nil {
+		return nil, err
+	}
 	if version >= 2 {
 		// Install the persisted global-statistics blocks under the new
 		// container's shared statistics identity: ranked queries hit them
@@ -400,6 +449,170 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 		}
 	}
 	return s, nil
+}
+
+// readSegmentedShards loads the version-3 segmented layout.
+func readSegmentedShards(br *bufio.Reader, nshards int) (*ShardedIndex, error) {
+	nextOrd, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading next ordinal: %w", err)
+	}
+	if nextOrd > 1<<31 {
+		return nil, fmt.Errorf("fulltext: next ordinal %d too large", nextOrd)
+	}
+	shardSegs := make([][]*segment.Segment, nshards)
+	var analyzer *text.Analyzer
+	type loadedBlock struct {
+		inv *invlist.Index
+		blk *invlist.StatsBlock
+	}
+	var blocks []loadedBlock
+	seenOrd := make(map[int]bool)
+	for i := range shardSegs {
+		nsegs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading shard %d segment count: %w", i, err)
+		}
+		if nsegs == 0 || nsegs > maxSegments {
+			return nil, fmt.Errorf("fulltext: shard %d segment count %d out of range", i, nsegs)
+		}
+		shardSegs[i] = make([]*segment.Segment, nsegs)
+		prevLast := -1
+		for j := range shardSegs[i] {
+			what := fmt.Sprintf("shard %d segment %d", i, j)
+			ords, err := readOrdTable(br, what)
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range ords {
+				if o >= int(nextOrd) || seenOrd[o] {
+					return nil, fmt.Errorf("fulltext: %s ordinal %d invalid", what, o)
+				}
+				seenOrd[o] = true
+			}
+			// Ordinals must also increase across a shard's segments (the
+			// invariant merges rely on); catching a violation here keeps a
+			// corrupt file from loading "successfully" and then failing on
+			// its first merge.
+			if len(ords) > 0 {
+				if ords[0] <= prevLast {
+					return nil, fmt.Errorf("fulltext: %s ordinal %d not above preceding segment's %d", what, ords[0], prevLast)
+				}
+				prevLast = ords[len(ords)-1]
+			}
+			dead, err := readTombstones(br, what, len(ords))
+			if err != nil {
+				return nil, err
+			}
+			ix, err := readIndexBlob(br, what)
+			if err != nil {
+				return nil, err
+			}
+			if ix.Docs() != len(ords) {
+				return nil, fmt.Errorf("fulltext: %s has %d docs but ordinal table has %d", what, ix.Docs(), len(ords))
+			}
+			meta, err := segment.New(ix.inv, ix.ids, ords)
+			if err != nil {
+				return nil, fmt.Errorf("fulltext: %s: %w", what, err)
+			}
+			if err := meta.Restore(dead); err != nil {
+				return nil, fmt.Errorf("fulltext: %s: %w", what, err)
+			}
+			blk, err := readShardStatsBlock(br, ix)
+			if err != nil {
+				return nil, fmt.Errorf("fulltext: %s stats block: %w", what, err)
+			}
+			blocks = append(blocks, loadedBlock{inv: ix.inv, blk: blk})
+			shardSegs[i][j] = meta
+			if analyzer == nil {
+				analyzer = ix.analyzer
+			}
+		}
+	}
+	s, err := newShardedIndexFromSegments(shardSegs, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	s.nextOrd = int(nextOrd)
+	// Install the persisted global-statistics blocks under the new
+	// container's shared statistics identity: ranked queries hit them
+	// directly instead of recomputing the per-segment warm-up pass.
+	for _, lb := range blocks {
+		lb.inv.SetStatsBlock(s.cstats, lb.blk)
+	}
+	return s, nil
+}
+
+// readOrdTable reads one delta-encoded strictly-increasing global-ordinal
+// table.
+func readOrdTable(br *bufio.Reader, what string) ([]int, error) {
+	ndocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading %s doc count: %w", what, err)
+	}
+	if ndocs > 1<<31 {
+		return nil, fmt.Errorf("fulltext: %s doc count %d too large", what, ndocs)
+	}
+	ords := make([]int, ndocs)
+	prev := -1
+	for j := range ords {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading %s ordinal: %w", what, err)
+		}
+		if d == 0 || d > 1<<31 {
+			return nil, fmt.Errorf("fulltext: %s ordinal delta %d invalid", what, d)
+		}
+		ords[j] = prev + int(d)
+		prev = ords[j]
+	}
+	return ords, nil
+}
+
+// readTombstones reads one delta-encoded ascending tombstone list.
+func readTombstones(br *bufio.Reader, what string, ndocs int) ([]core.NodeID, error) {
+	ndead, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading %s tombstone count: %w", what, err)
+	}
+	if int(ndead) > ndocs {
+		return nil, fmt.Errorf("fulltext: %s has %d tombstones for %d docs", what, ndead, ndocs)
+	}
+	dead := make([]core.NodeID, ndead)
+	prev := uint64(0)
+	for j := range dead {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: reading %s tombstone: %w", what, err)
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("fulltext: %s tombstone delta 0 invalid", what)
+		}
+		prev += d
+		if prev > uint64(ndocs) {
+			return nil, fmt.Errorf("fulltext: %s tombstone node %d out of range", what, prev)
+		}
+		dead[j] = core.NodeID(prev)
+	}
+	return dead, nil
+}
+
+// readIndexBlob reads one length-prefixed Index blob.
+func readIndexBlob(br *bufio.Reader, what string) (*Index, error) {
+	blobLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: reading %s length: %w", what, err)
+	}
+	lr := io.LimitReader(br, int64(blobLen))
+	ix, err := ReadIndex(lr)
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: %s: %w", what, err)
+	}
+	// ReadIndex buffers internally; skip whatever of the blob it left.
+	if _, err := io.Copy(io.Discard, lr); err != nil {
+		return nil, fmt.Errorf("fulltext: %s: %w", what, err)
+	}
+	return ix, nil
 }
 
 // readShardStatsBlock reads one shard's global-statistics block (FTSS

@@ -1,0 +1,241 @@
+package fulltext
+
+import (
+	"errors"
+	"fmt"
+
+	"fulltext/internal/core"
+	"fulltext/internal/invlist"
+	"fulltext/internal/score"
+	"fulltext/internal/segment"
+	"fulltext/internal/shard"
+)
+
+// ErrDuplicateID is returned (wrapped, with the offending id) when Add is
+// given the id of a live document. Deleting the document first frees its
+// id.
+var ErrDuplicateID = errors.New("duplicate document id")
+
+// This file is the incremental ingestion surface of ShardedIndex: Add
+// appends a delta segment in O(document) time, Delete tombstones in place
+// (paying a vocabulary scan of the owning segment to recover the
+// document's token set for statistics), and afterMutate runs the lazy
+// tiered merge policy plus the bookkeeping that keeps search results
+// byte-identical to a from-scratch rebuild (global statistics, build
+// generation, statistics-cache identity).
+
+// Add tokenizes text exactly as the builder does (lowercasing, sentence and
+// paragraph detection, then the index's analysis options) and appends it as
+// one live document: a single-document delta segment on the document's
+// hash shard. No shard is rebuilt; the tiered merge policy compacts delta
+// tails lazily. The id must not collide with a live document (deleting the
+// old document first frees its id).
+func (s *ShardedIndex) Add(id, body string) error {
+	toks, pos := core.Tokenize(body)
+	return s.addTokens(id, toks, pos)
+}
+
+// AddTokens appends a pre-tokenized document with structureless positions
+// (see Builder.AddTokens).
+func (s *ShardedIndex) AddTokens(id string, tokens []string) error {
+	return s.addTokens(id, tokens, core.PositionsForTokens(len(tokens)))
+}
+
+func (s *ShardedIndex) addTokens(id string, toks []string, pos []core.Pos) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[id]; dup {
+		return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, id)
+	}
+	if len(s.shards) == 0 {
+		return fmt.Errorf("fulltext: sharded index has no shards")
+	}
+	toks, pos = s.analyzer.Apply(toks, pos)
+	c := core.NewCorpus()
+	doc, err := c.AddTokens(id, toks, pos)
+	if err != nil {
+		return err
+	}
+	meta, err := segment.New(invlist.Build(c), []string{id}, []int{s.nextOrd})
+	if err != nil {
+		return err
+	}
+	si := shard.Pick(id, len(s.shards))
+	sg := s.newSeg(meta)
+	s.shards[si] = append(s.shards[si], sg)
+	s.byID[id] = docLoc{shard: si, sg: sg, node: 1}
+	s.nextOrd++
+
+	// Incremental global statistics: one new live node, its positions, and
+	// one df per distinct token.
+	s.stats.nodes++
+	s.stats.totalPos += doc.Len()
+	seen := make(map[string]bool, len(doc.Tokens))
+	for _, t := range doc.Tokens {
+		if !seen[t] {
+			seen[t] = true
+			s.stats.df[t]++
+		}
+	}
+	s.afterMutate(si)
+	return nil
+}
+
+// Delete tombstones the live document with the given id, subtracting it
+// from collection statistics so subsequent scores match a rebuild without
+// it. The posting-list entries stay on disk-shaped segments until a lazy
+// merge compacts them. It reports whether a live document was deleted.
+// Cost: O(segment vocabulary · log entries) — recovering the document's
+// token set means probing every posting list of the owning segment (see
+// invlist.NodeTokens); ROADMAP.md tracks a per-segment forward index for
+// delete-heavy workloads.
+func (s *ShardedIndex) Delete(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.byID[id]
+	if !ok {
+		return false, nil
+	}
+	// The token set must be recovered from the segment's posting lists
+	// before tombstoning so document frequencies (and therefore idf and
+	// every score) stop counting the document immediately.
+	toks := loc.sg.meta.Inv.NodeTokens(loc.node)
+	if !loc.sg.meta.Delete(loc.node) {
+		// byID holds live documents only, so the node must have been alive.
+		panic(fmt.Sprintf("fulltext: live-document table pointed at tombstoned %q", id))
+	}
+	delete(s.byID, id)
+	s.stats.nodes--
+	s.stats.totalPos -= loc.sg.meta.Inv.NodePositions(loc.node)
+	for _, t := range toks {
+		if s.stats.df[t]--; s.stats.df[t] <= 0 {
+			delete(s.stats.df, t)
+		}
+	}
+	s.afterMutate(loc.shard)
+	return true, nil
+}
+
+// afterMutate finishes one mutation under the write lock: a fresh build
+// generation (cache entries under the old generation can no longer hit), a
+// fresh statistics identity (per-segment scoring blocks and idf memos
+// rebuild lazily against the updated corpus), and the lazy merge policy on
+// the touched shard. It runs after the mutation has fully taken effect and
+// cannot fail — merge-policy invariant violations panic, so Add/Delete
+// never report an error for an operation that was actually applied.
+func (s *ShardedIndex) afterMutate(si int) {
+	s.gen = shard.NextGeneration()
+	s.cstats = score.NewCached(s.stats)
+	s.applyMergePolicy(si)
+}
+
+// applyMergePolicy runs the tiered policy on shard si until it is within
+// policy, cascading when a delta-tail merge pushes the deltas over the
+// base ratio. Merges never consult the original documents — posting lists
+// merge physically, dropping tombstones — and never touch other shards.
+// The segment invariants (strictly increasing ordinals, consistent id
+// tables) are established at build/load time, so a merge failure here is
+// corrupted internal state and panics.
+func (s *ShardedIndex) applyMergePolicy(si int) {
+	for guard := 0; ; guard++ {
+		if guard > len(s.shards[si])+32 {
+			panic(fmt.Sprintf("fulltext: merge policy did not converge on shard %d", si))
+		}
+		metas := make([]*segment.Segment, len(s.shards[si]))
+		for i, sg := range s.shards[si] {
+			metas[i] = sg.meta
+		}
+		lo, hi, ok := s.policy.Plan(metas)
+		if !ok {
+			return
+		}
+		merged, err := segment.Merge(metas[lo : hi+1])
+		if err != nil {
+			panic(fmt.Sprintf("fulltext: merging shard %d segments [%d,%d]: %v", si, lo, hi, err))
+		}
+		// Rebuild the tail into a fresh slice: no aliasing with the old
+		// backing array, so merged-away segments become collectable
+		// immediately.
+		next := make([]*seg, 0, len(s.shards[si])-(hi-lo))
+		next = append(next, s.shards[si][:lo]...)
+		if merged.Docs() > 0 || hi-lo+1 == len(s.shards[si]) {
+			// Keep the merged segment — unless compacting fully-dead
+			// segments emptied it and the shard has other segments (every
+			// shard keeps at least one).
+			sg := s.newSeg(merged)
+			for i, id := range merged.IDs {
+				s.byID[id] = docLoc{shard: si, sg: sg, node: core.NodeID(i + 1)}
+			}
+			next = append(next, sg)
+		}
+		next = append(next, s.shards[si][hi+1:]...)
+		s.shards[si] = next
+		s.merges++
+		s.segsMerged += uint64(hi - lo + 1)
+		s.docsMerged += uint64(merged.Live())
+	}
+}
+
+// SetMergePolicy replaces the lazy-merge policy (zero fields take
+// defaults) and immediately re-plans every shard under the new thresholds.
+// Safe for concurrent use.
+func (s *ShardedIndex) SetMergePolicy(p segment.Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+	for si := range s.shards {
+		s.applyMergePolicy(si)
+	}
+}
+
+// ShardSegments describes one shard's segment tail for monitoring.
+type ShardSegments struct {
+	// Segments is the shard's total segment count (base + deltas).
+	Segments int
+	// Deltas is the number of delta segments awaiting a merge.
+	Deltas int
+	// LiveDocs and DeadDocs count documents across the shard's segments.
+	LiveDocs int
+	DeadDocs int
+}
+
+// SegmentStats is a snapshot of the incremental ingestion state: per-shard
+// segment tails plus the container's cumulative maintenance counters.
+type SegmentStats struct {
+	Shards []ShardSegments
+	// Rebuilds counts from-scratch shard constructions (ShardedBuilder.Build
+	// only; loading a persisted index starts at zero). Incremental
+	// Add/Delete never increment it — the invariant the segment subsystem
+	// exists for.
+	Rebuilds uint64
+	// Merges counts lazy merge operations; SegmentsMerged and DocsMerged
+	// are the input segments consumed and live documents rewritten by them.
+	Merges         uint64
+	SegmentsMerged uint64
+	DocsMerged     uint64
+}
+
+// SegmentStats returns a snapshot of segment and merge-policy state.
+func (s *ShardedIndex) SegmentStats() SegmentStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := SegmentStats{
+		Shards:         make([]ShardSegments, len(s.shards)),
+		Rebuilds:       s.rebuilds,
+		Merges:         s.merges,
+		SegmentsMerged: s.segsMerged,
+		DocsMerged:     s.docsMerged,
+	}
+	for i, segs := range s.shards {
+		ss := ShardSegments{Segments: len(segs)}
+		if len(segs) > 1 {
+			ss.Deltas = len(segs) - 1
+		}
+		for _, sg := range segs {
+			ss.LiveDocs += sg.meta.Live()
+			ss.DeadDocs += sg.meta.Dead()
+		}
+		out.Shards[i] = ss
+	}
+	return out
+}

@@ -1,0 +1,562 @@
+package fulltext
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fulltext/internal/invlist"
+	"fulltext/internal/segment"
+)
+
+// segCorpus is a deterministic test corpus with enough token skew for
+// ranked queries to produce distinct scores.
+func segCorpus(n int) [][2]string {
+	rng := rand.New(rand.NewSource(42))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "needle", "common", "task", "completion"}
+	docs := make([][2]string, n)
+	for i := range docs {
+		words := ""
+		for w := 0; w < 4+rng.Intn(8); w++ {
+			if words != "" {
+				words += " "
+			}
+			words += vocab[rng.Intn(len(vocab))]
+		}
+		docs[i] = [2]string{fmt.Sprintf("doc%03d", i), words}
+	}
+	return docs
+}
+
+// segQueries covers all three dialects, including constructs off the WAND
+// fast path (NOT, position predicates, quantifiers).
+func segQueries(t *testing.T) map[*Query]string {
+	t.Helper()
+	qs := map[string]struct {
+		d   Dialect
+		src string
+	}{
+		"bool-and":  {BOOL, `'alpha' AND 'beta'`},
+		"bool-or":   {BOOL, `'needle' OR 'common'`},
+		"bool-not":  {BOOL, `'alpha' AND NOT 'gamma'`},
+		"dist":      {DIST, `dist('alpha', 'beta', 3)`},
+		"comp-some": {COMP, `SOME t1 SOME t2 (t1 HAS 'task' AND t2 HAS 'completion' AND ordered(t1,t2))`},
+	}
+	out := make(map[*Query]string, len(qs))
+	for name, q := range qs {
+		out[MustParse(q.d, q.src)] = name
+	}
+	return out
+}
+
+// rebuildLive reconstructs a sharded index from scratch over the live
+// documents in insertion order — the reference the incremental index must
+// match byte for byte.
+func rebuildLive(t *testing.T, shards int, live [][2]string) *ShardedIndex {
+	t.Helper()
+	sb := NewShardedBuilder(shards)
+	for _, d := range live {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.Build()
+}
+
+// assertSameResults compares Boolean and ranked results between the
+// incremental index and a from-scratch rebuild. Score comparison is exact
+// float64 equality: "byte-identical".
+func assertSameResults(t *testing.T, label string, inc, ref *ShardedIndex) {
+	t.Helper()
+	for q, name := range segQueries(t) {
+		got, err := inc.Search(q)
+		if err != nil {
+			t.Fatalf("%s/%s: incremental search: %v", label, name, err)
+		}
+		want, err := ref.Search(q)
+		if err != nil {
+			t.Fatalf("%s/%s: rebuild search: %v", label, name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s/%s: boolean results diverged\n got %v\nwant %v", label, name, got, want)
+		}
+		for _, m := range []ScoringModel{TFIDF, PRA} {
+			for _, topK := range []int{3, 0} {
+				got, err := inc.SearchRanked(q, m, topK)
+				if err != nil {
+					t.Fatalf("%s/%s: incremental ranked: %v", label, name, err)
+				}
+				want, err := ref.SearchRanked(q, m, topK)
+				if err != nil {
+					t.Fatalf("%s/%s: rebuild ranked: %v", label, name, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s: ranked (model %d, top %d) diverged\n got %v\nwant %v", label, name, m, topK, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalEquivalence drives a mixed add/delete workload and checks
+// at every stage that search and ranked results over the segmented index
+// are byte-identical to a from-scratch rebuild over the live documents.
+func TestIncrementalEquivalence(t *testing.T) {
+	docs := segCorpus(60)
+	const shards = 3
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs[:30] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc := rebuildFreeIndex(t, sb)
+	live := append([][2]string(nil), docs[:30]...)
+
+	step := func(label string) {
+		t.Helper()
+		assertSameResults(t, label, inc, rebuildLive(t, shards, live))
+	}
+	step("initial")
+
+	// Appends: deltas accumulate, the policy merges lazily.
+	for i := 30; i < 50; i++ {
+		if err := inc.Add(docs[i][0], docs[i][1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, docs[i])
+	}
+	step("after-appends")
+
+	// Deletes: tombstones must drop documents from results and statistics.
+	for _, i := range []int{3, 17, 31, 44} {
+		ok, err := inc.Delete(docs[i][0])
+		if err != nil || !ok {
+			t.Fatalf("delete %s: ok=%v err=%v", docs[i][0], ok, err)
+		}
+		live = removeDoc(live, docs[i][0])
+	}
+	step("after-deletes")
+
+	// Delete-then-add of the same id: the re-added document is a new
+	// insertion (fresh ordinal at the end), exactly like a rebuild that
+	// appends it last.
+	if ok, err := inc.Delete("doc010"); err != nil || !ok {
+		t.Fatalf("delete doc010: ok=%v err=%v", ok, err)
+	}
+	live = removeDoc(live, "doc010")
+	if err := inc.Add("doc010", "needle common alpha resurrection"); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"doc010", "needle common alpha resurrection"})
+	step("after-readd")
+
+	// More appends on top of tombstones.
+	for i := 50; i < 60; i++ {
+		if err := inc.Add(docs[i][0], docs[i][1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, docs[i])
+	}
+	step("final")
+
+	if inc.Docs() != len(live) {
+		t.Fatalf("Docs() = %d, want %d", inc.Docs(), len(live))
+	}
+}
+
+// rebuildFreeIndex builds and then asserts the build itself is the only
+// rebuild the index ever performs.
+func rebuildFreeIndex(t *testing.T, sb *ShardedBuilder) *ShardedIndex {
+	t.Helper()
+	ix := sb.Build()
+	if got := ix.SegmentStats().Rebuilds; got != uint64(sb.Shards()) {
+		t.Fatalf("fresh index reports %d rebuilds, want %d", got, sb.Shards())
+	}
+	return ix
+}
+
+func removeDoc(live [][2]string, id string) [][2]string {
+	out := live[:0]
+	for _, d := range live {
+		if d[0] != id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestAddNeverRebuilds is the acceptance check: incremental Add appends
+// delta segments and triggers lazy merges, but the rebuild counter stays
+// where Build left it.
+func TestAddNeverRebuilds(t *testing.T) {
+	docs := segCorpus(80)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs[:20] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	base := ix.SegmentStats()
+	if base.Rebuilds != 2 {
+		t.Fatalf("build rebuilds = %d, want 2", base.Rebuilds)
+	}
+	sawDeltas := false
+	for _, d := range docs[20:] {
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		for _, ss := range ix.SegmentStats().Shards {
+			if ss.Deltas > 0 {
+				sawDeltas = true
+			}
+		}
+	}
+	st := ix.SegmentStats()
+	if st.Rebuilds != base.Rebuilds {
+		t.Fatalf("adds performed %d rebuilds", st.Rebuilds-base.Rebuilds)
+	}
+	if !sawDeltas {
+		t.Fatal("adds never produced a delta segment")
+	}
+	if st.Merges == 0 {
+		t.Fatal("60 adds over MaxDeltas=8 never triggered a lazy merge")
+	}
+	for i, ss := range st.Shards {
+		if ss.Segments > segment.DefaultPolicy().MaxDeltas+1 {
+			t.Fatalf("shard %d has %d segments, policy allows %d", i, ss.Segments, segment.DefaultPolicy().MaxDeltas+1)
+		}
+	}
+	if ix.Docs() != 80 {
+		t.Fatalf("Docs() = %d, want 80", ix.Docs())
+	}
+}
+
+// TestSegmentedRoundTrip saves a mid-merge state — base segments, a delta
+// tail, and tombstones — and checks the loaded index matches both the
+// original and a from-scratch rebuild, byte for byte.
+func TestSegmentedRoundTrip(t *testing.T) {
+	docs := segCorpus(40)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs[:30] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	live := append([][2]string(nil), docs[:30]...)
+	for _, d := range docs[30:34] { // few enough adds to leave deltas unmerged
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+	}
+	for _, id := range []string{"doc002", "doc031"} {
+		if ok, err := ix.Delete(id); err != nil || !ok {
+			t.Fatalf("delete %s: ok=%v err=%v", id, ok, err)
+		}
+		live = removeDoc(live, id)
+	}
+	pre := ix.SegmentStats()
+	deltas, dead := 0, 0
+	for _, ss := range pre.Shards {
+		deltas += ss.Deltas
+		dead += ss.DeadDocs
+	}
+	if deltas == 0 || dead == 0 {
+		t.Fatalf("test setup must persist a mid-merge state, got %d deltas %d tombstones", deltas, dead)
+	}
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := loaded.SegmentStats()
+	for i := range pre.Shards {
+		if pre.Shards[i].Segments != post.Shards[i].Segments ||
+			pre.Shards[i].DeadDocs != post.Shards[i].DeadDocs ||
+			pre.Shards[i].LiveDocs != post.Shards[i].LiveDocs {
+			t.Fatalf("shard %d state changed across round trip: %+v -> %+v", i, pre.Shards[i], post.Shards[i])
+		}
+	}
+	assertSameResults(t, "loaded-vs-original", loaded, ix)
+	assertSameResults(t, "loaded-vs-rebuild", loaded, rebuildLive(t, 2, live))
+
+	// The loaded index must keep accepting updates: delete-then-add of the
+	// same id across a persistence boundary.
+	if ok, err := loaded.Delete("doc005"); err != nil || !ok {
+		t.Fatalf("post-load delete: ok=%v err=%v", ok, err)
+	}
+	live = removeDoc(live, "doc005")
+	if err := loaded.Add("doc005", "alpha beta reborn"); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"doc005", "alpha beta reborn"})
+	assertSameResults(t, "post-load-mutations", loaded, rebuildLive(t, 2, live))
+}
+
+// TestFullyDeadSegmentIsDropped: tombstone compaction of an all-dead delta
+// must remove the segment from the shard tail entirely, not leave a
+// permanent zero-document segment behind.
+func TestFullyDeadSegmentIsDropped(t *testing.T) {
+	docs := segCorpus(40)
+	sb := NewShardedBuilder(1)
+	for _, d := range docs[:30] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	if err := ix.Add("ephemeral", "alpha beta gamma"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.SegmentStats().Shards[0].Segments; got != 2 {
+		t.Fatalf("expected base + delta, got %d segments", got)
+	}
+	if ok, err := ix.Delete("ephemeral"); err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	st := ix.SegmentStats().Shards[0]
+	if st.Segments != 1 || st.DeadDocs != 0 {
+		t.Fatalf("all-dead delta not dropped: %+v", st)
+	}
+	if ix.Docs() != 30 {
+		t.Fatalf("Docs() = %d, want 30", ix.Docs())
+	}
+	// A shard must always keep one segment, even fully emptied.
+	one := NewShardedBuilder(1)
+	if err := one.Add("only", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	sx := one.Build()
+	if ok, err := sx.Delete("only"); err != nil || !ok {
+		t.Fatalf("delete only doc: ok=%v err=%v", ok, err)
+	}
+	if got := sx.SegmentStats().Shards[0].Segments; got != 1 {
+		t.Fatalf("emptied shard has %d segments, want 1", got)
+	}
+	if sx.Docs() != 0 {
+		t.Fatalf("Docs() = %d, want 0", sx.Docs())
+	}
+	if err := sx.Add("only", "alpha again"); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sx.Search(MustParse(BOOL, `'alpha'`))
+	if err != nil || len(ms) != 1 || ms[0].ID != "only" {
+		t.Fatalf("search after empty-shard re-add: %v %v", ms, err)
+	}
+}
+
+// TestConcurrentMutationAndSearch hammers the segmented index with
+// concurrent readers and one writer; the -race CI run turns any unlocked
+// state sharing into a failure. Readers may observe any prefix of the
+// mutation stream but must never see an error or a torn result.
+func TestConcurrentMutationAndSearch(t *testing.T) {
+	docs := segCorpus(120)
+	sb := NewShardedBuilder(3)
+	for _, d := range docs[:40] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	q := MustParse(BOOL, `'needle' OR 'common'`)
+	done := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := ix.Search(q); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := ix.SearchRanked(q, TFIDF, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i, d := range docs[40:] {
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if _, err := ix.Delete(docs[40+i/2][0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(done)
+	select {
+	case err := <-errs:
+		t.Fatalf("concurrent search failed: %v", err)
+	default:
+	}
+}
+
+// TestShardedSaveOmitsStandaloneStats asserts the satellite fix: the index
+// blobs framed inside an FTSS stream must not embed the standalone
+// statistics block (bytes sharded serving never reads) — each declared
+// blob length must match the block-omitting encoding, not the standalone
+// Index.WriteTo encoding.
+func TestShardedSaveOmitsStandaloneStats(t *testing.T) {
+	docs := segCorpus(30)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	var sharded bytes.Buffer
+	if _, err := ix.WriteTo(&sharded); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(sharded.Bytes()))
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != "FTSS" {
+		t.Fatalf("bad magic %q (%v)", magic, err)
+	}
+	read := func(what string) uint64 {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			t.Fatalf("reading %s: %v", what, err)
+		}
+		return v
+	}
+	if v := read("version"); v != 3 {
+		t.Fatalf("sharded version = %d, want 3", v)
+	}
+	nshards := read("shards")
+	read("nextOrd")
+	segIdx := 0
+	for i := uint64(0); i < nshards; i++ {
+		nsegs := read("nsegs")
+		for j := uint64(0); j < nsegs; j++ {
+			ndocs := read("ndocs")
+			for k := uint64(0); k < ndocs; k++ {
+				read("ord delta")
+			}
+			ndead := read("ndead")
+			for k := uint64(0); k < ndead; k++ {
+				read("tombstone delta")
+			}
+			blobLen := read("blob length")
+			sg := ix.shards[i][j]
+			omitLen, err := sg.ix.writeToWith(io.Discard, invlist.WriteOptions{OmitStatsBlock: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullLen, err := sg.ix.writeToWith(io.Discard, invlist.WriteOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(blobLen) != omitLen {
+				t.Fatalf("segment %d blob is %d bytes, want the stats-omitting %d (standalone form is %d)", segIdx, blobLen, omitLen, fullLen)
+			}
+			if int64(blobLen) >= fullLen {
+				t.Fatalf("segment %d blob (%d bytes) still carries the standalone stats block (%d bytes)", segIdx, blobLen, fullLen)
+			}
+			if _, err := io.CopyN(io.Discard, br, int64(blobLen)); err != nil {
+				t.Fatal(err)
+			}
+			nnorms := read("norm count")
+			ntoks := read("token count")
+			// Global-statistics block body: nnorms float64s then per token a
+			// float64 + uvarint(maxOcc).
+			if _, err := io.CopyN(io.Discard, br, int64(nnorms)*8); err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(0); k < ntoks; k++ {
+				if _, err := io.CopyN(io.Discard, br, 8); err != nil {
+					t.Fatal(err)
+				}
+				read("max occurrences")
+			}
+			segIdx++
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("trailing bytes after last segment (err=%v)", err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(sharded.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "no-standalone-stats", loaded, ix)
+}
+
+// TestLegacyShardedFormatsStillLoad fabricates version-1 and version-2
+// streams (the pre-segmentation monolithic-shard layouts) and checks they
+// load as single-base-segment shards with identical results.
+func TestLegacyShardedFormatsStillLoad(t *testing.T) {
+	docs := segCorpus(24)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+
+	for _, version := range []uint64{1, 2} {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		var vbuf [binary.MaxVarintLen64]byte
+		putUvarint := func(v uint64) {
+			k := binary.PutUvarint(vbuf[:], v)
+			bw.Write(vbuf[:k])
+		}
+		bw.WriteString("FTSS")
+		putUvarint(version)
+		putUvarint(uint64(len(ix.shards)))
+		for _, segs := range ix.shards {
+			sg := segs[0]
+			putUvarint(uint64(len(sg.meta.Ords)))
+			prev := -1
+			for _, o := range sg.meta.Ords {
+				putUvarint(uint64(o - prev))
+				prev = o
+			}
+			var blob bytes.Buffer
+			if _, err := sg.ix.WriteTo(&blob); err != nil {
+				t.Fatal(err)
+			}
+			putUvarint(uint64(blob.Len()))
+			bw.Write(blob.Bytes())
+			if version >= 2 {
+				blk := sg.ix.inv.StatsBlock(ix.cstats)
+				toks := sg.ix.inv.Tokens()
+				putUvarint(uint64(len(blk.Norms)))
+				putUvarint(uint64(len(toks)))
+				if _, err := invlist.WriteStatsBlockTo(bw, blk, toks); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("version %d: %v", version, err)
+		}
+		assertSameResults(t, fmt.Sprintf("legacy-v%d", version), loaded, ix)
+	}
+}

@@ -2,11 +2,15 @@ package fulltext
 
 import (
 	"fmt"
+	"sync"
 
 	"fulltext/internal/core"
 	"fulltext/internal/lang"
+	"fulltext/internal/pred"
 	"fulltext/internal/score"
+	"fulltext/internal/segment"
 	"fulltext/internal/shard"
+	"fulltext/internal/text"
 	"fulltext/internal/wand"
 )
 
@@ -79,9 +83,10 @@ func (sb *ShardedBuilder) Len() int { return sb.total }
 // Shards returns the shard count.
 func (sb *ShardedBuilder) Shards() int { return len(sb.shards) }
 
-// Build constructs the sharded index. The builder remains usable; each
-// Build produces an independent index with a fresh query cache and a new
-// build generation.
+// Build constructs the sharded index: every shard becomes one immutable
+// base segment, ready for incremental Add/Delete. The builder remains
+// usable; each Build produces an independent index with a fresh query cache
+// and a new build generation.
 func (sb *ShardedBuilder) Build() *ShardedIndex {
 	shards := make([]*Index, len(sb.shards))
 	ords := make([][]int, len(sb.shards))
@@ -89,14 +94,27 @@ func (sb *ShardedBuilder) Build() *ShardedIndex {
 		shards[i] = b.Build()
 		ords[i] = append([]int(nil), sb.ords[i]...)
 	}
-	return newShardedIndex(shards, ords)
+	s, err := newShardedIndex(shards, ords)
+	if err != nil {
+		// The builder's invariants (unique ids, dense increasing ordinals)
+		// make constructor failure impossible; a panic here means a bug, not
+		// bad input.
+		panic(fmt.Sprintf("fulltext: building sharded index: %v", err))
+	}
+	s.rebuilds += uint64(len(shards))
+	return s
 }
 
-// globalStats is the collection-wide view the scoring models need so each
-// shard scores as if it held the whole corpus (score.CorpusStats).
+// globalStats is the live collection-wide view the scoring models need so
+// each segment scores as if it held the whole corpus (score.CorpusStats).
+// It is maintained incrementally across Add/Delete — tombstoned documents
+// are subtracted — so idf and node norms always match a from-scratch
+// rebuild over the live documents. Mutations happen under the owning
+// index's write lock.
 type globalStats struct {
-	nodes int
-	df    map[string]int
+	nodes    int
+	totalPos int
+	df       map[string]int
 }
 
 func (g *globalStats) NumNodes() int     { return g.nodes }
@@ -111,54 +129,149 @@ func (g *globalStats) MaxDF() (maxDF int) {
 	return maxDF
 }
 
-func gatherGlobalStats(shards []*Index) *globalStats {
-	g := &globalStats{df: make(map[string]int)}
-	for _, ix := range shards {
-		g.nodes += ix.inv.NumNodes()
-		for _, tok := range ix.inv.Tokens() {
-			g.df[tok] += ix.inv.DF(tok)
-		}
-	}
-	return g
+// seg pairs one immutable index fragment with the evaluation wrapper the
+// engines need. The wrapped Index shares the container's predicate
+// registry, analyzer and ranked counters; its id table is the segment's.
+type seg struct {
+	meta *segment.Segment
+	ix   *Index
 }
 
-// ShardedIndex is an immutable set of shard indexes answering queries by
-// parallel fan-out: the query is rewritten, validated and normalized once,
-// evaluated on every shard concurrently, and the per-shard results are
-// merged — a document-order k-way merge for Boolean search, a bounded
-// min-heap top-K merge for ranked search. Merged results are memoized in an
-// LRU cache keyed on (canonical query, engine/model, topK, build
-// generation). All methods are safe for concurrent use.
+// docLoc locates a live document inside the container. It holds the
+// segment pointer, not its slice position, so lazy merges only have to
+// re-point the documents they rewrite.
+type docLoc struct {
+	shard int
+	sg    *seg
+	node  core.NodeID
+}
+
+// ShardedIndex is a set of hash-partitioned shards answering queries by
+// parallel fan-out and, unlike the immutable single Index, accepting
+// incremental updates. Each shard holds one immutable base segment plus a
+// tail of delta segments: Add appends a delta in O(document) time without
+// rebuilding anything, Delete tombstones in place, and a tiered policy
+// merges segments lazily (see internal/segment). Queries are rewritten,
+// validated and normalized once, evaluated on every shard concurrently —
+// within a shard, segment results merge in document order (Boolean) or
+// through a bounded top-K heap (ranked) — and per-shard results merge the
+// same way globally. Every segment scores against incrementally maintained
+// global collection statistics, so results and scores are byte-identical
+// to a from-scratch rebuild over the live documents. Merged results are
+// memoized in an LRU cache keyed on (canonical query, engine/model, topK,
+// build generation); mutations bump the generation, naturally invalidating
+// cached entries. All methods are safe for concurrent use; mutations
+// serialize behind in-flight searches.
 type ShardedIndex struct {
-	shards []*Index
-	ords   [][]int
-	stats  *globalStats
+	mu       sync.RWMutex
+	shards   [][]*seg
+	reg      *pred.Registry
+	analyzer *text.Analyzer
+	rc       *rankedCounters
+	byID     map[string]docLoc
+	nextOrd  int
+	policy   segment.Policy
+
+	stats *globalStats
 	// cstats wraps stats with memoized derived statistics; its pointer
-	// identity also keys each shard's cached scoring-statistics block, so
-	// the O(index) norms/upper-bound pass runs once per shard for the life
-	// of the index, shared by every query and scoring model.
+	// identity also keys each segment's cached scoring-statistics block, so
+	// the O(segment) norms/upper-bound pass runs once per segment per
+	// corpus version, shared by every query and scoring model. Mutations
+	// install a fresh identity, invalidating the memos.
 	cstats *score.Cached
 	cache  *shard.Cache
 	gen    uint64
+
+	// Maintenance counters (under mu).
+	rebuilds   uint64 // from-scratch shard builds (Build/load only — never Add/Delete)
+	merges     uint64 // lazy merge operations applied
+	segsMerged uint64 // input segments consumed by those merges
+	docsMerged uint64 // live documents rewritten by those merges
 }
 
-func newShardedIndex(shards []*Index, ords [][]int) *ShardedIndex {
-	stats := gatherGlobalStats(shards)
-	return &ShardedIndex{
-		shards: shards,
-		ords:   ords,
-		stats:  stats,
-		cstats: score.NewCached(stats),
-		cache:  shard.NewCache(DefaultQueryCacheSize),
-		gen:    shard.NextGeneration(),
+// newShardedIndex wraps per-shard indexes (from ShardedBuilder.Build or the
+// FTSS v1/v2 load path) as single base segments.
+func newShardedIndex(shards []*Index, ords [][]int) (*ShardedIndex, error) {
+	segs := make([][]*segment.Segment, len(shards))
+	for i, ix := range shards {
+		m, err := segment.New(ix.inv, ix.ids, ords[i])
+		if err != nil {
+			return nil, fmt.Errorf("fulltext: shard %d: %w", i, err)
+		}
+		segs[i] = []*segment.Segment{m}
 	}
+	var analyzer *text.Analyzer
+	if len(shards) > 0 {
+		analyzer = shards[0].analyzer
+	}
+	return newShardedIndexFromSegments(segs, analyzer)
+}
+
+// newShardedIndexFromSegments is the shared constructor: it tallies live
+// global statistics across all segments, indexes live document ids, and
+// wraps every segment for evaluation under one registry/analyzer/counter
+// set.
+func newShardedIndexFromSegments(shardSegs [][]*segment.Segment, analyzer *text.Analyzer) (*ShardedIndex, error) {
+	if analyzer == nil {
+		analyzer = &text.Analyzer{}
+	}
+	s := &ShardedIndex{
+		shards:   make([][]*seg, len(shardSegs)),
+		reg:      pred.Default(),
+		analyzer: analyzer,
+		rc:       &rankedCounters{},
+		byID:     make(map[string]docLoc),
+		policy:   segment.DefaultPolicy(),
+		stats:    &globalStats{df: make(map[string]int)},
+		cache:    shard.NewCache(DefaultQueryCacheSize),
+		gen:      shard.NextGeneration(),
+	}
+	for i, metas := range shardSegs {
+		s.shards[i] = make([]*seg, len(metas))
+		for j, m := range metas {
+			sg := s.newSeg(m)
+			s.shards[i][j] = sg
+			m.TallyInto(&s.stats.nodes, s.stats.df, &s.stats.totalPos)
+			for k, id := range m.IDs {
+				n := core.NodeID(k + 1)
+				if !m.Alive(n) {
+					continue
+				}
+				if _, dup := s.byID[id]; dup {
+					return nil, fmt.Errorf("fulltext: duplicate document id %q", id)
+				}
+				s.byID[id] = docLoc{shard: i, sg: sg, node: n}
+				if m.Ords[k] >= s.nextOrd {
+					s.nextOrd = m.Ords[k] + 1
+				}
+			}
+			// Tombstoned documents still occupy their ordinals.
+			if n := len(m.Ords); n > 0 && m.Ords[n-1] >= s.nextOrd {
+				s.nextOrd = m.Ords[n-1] + 1
+			}
+		}
+	}
+	s.cstats = score.NewCached(s.stats)
+	return s, nil
+}
+
+// newSeg wraps a segment for evaluation, sharing the container's registry,
+// analyzer and ranked counters.
+func (s *ShardedIndex) newSeg(m *segment.Segment) *seg {
+	return &seg{meta: m, ix: &Index{inv: m.Inv, reg: s.reg, ids: m.IDs, analyzer: s.analyzer, rc: s.rc}}
 }
 
 // Shards returns the shard count.
-func (s *ShardedIndex) Shards() int { return len(s.shards) }
+func (s *ShardedIndex) Shards() int {
+	return len(s.shards) // immutable after construction
+}
 
-// Docs returns the total number of indexed documents.
-func (s *ShardedIndex) Docs() int { return s.stats.nodes }
+// Docs returns the number of live indexed documents.
+func (s *ShardedIndex) Docs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats.nodes
+}
 
 // SetQueryCacheSize replaces the query cache with an empty one holding up
 // to n entries (n <= 0 disables caching). Counters restart from zero. Not
@@ -180,50 +293,85 @@ func (s *ShardedIndex) CacheStats() QueryCacheStats {
 	return QueryCacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Len: cs.Len, Cap: cs.Cap}
 }
 
-// Stats aggregates the complexity-model parameters across shards, matching
-// what a single Index over the union corpus would report.
+// Stats aggregates the complexity-model parameters across shards. Document,
+// token, document-frequency and position totals count live documents only;
+// the per-document and per-entry position maxima are upper bounds while
+// tombstoned documents await compaction (a merge re-tightens them).
 func (s *ShardedIndex) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := Stats{
 		Docs:            s.stats.nodes,
 		Tokens:          s.stats.Tokens(),
+		TotalPositions:  s.stats.totalPos,
 		EntriesPerToken: s.stats.MaxDF(),
 	}
-	for _, ix := range s.shards {
-		st := ix.inv.Stats()
-		out.TotalPositions += st.TotalPositions
-		if st.PosPerCNode > out.PosPerDoc {
-			out.PosPerDoc = st.PosPerCNode
-		}
-		if st.PosPerEntry > out.PosPerEntry {
-			out.PosPerEntry = st.PosPerEntry
+	for _, segs := range s.shards {
+		for _, sg := range segs {
+			st := sg.ix.inv.Stats()
+			if st.PosPerCNode > out.PosPerDoc {
+				out.PosPerDoc = st.PosPerCNode
+			}
+			if st.PosPerEntry > out.PosPerEntry {
+				out.PosPerEntry = st.PosPerEntry
+			}
 		}
 	}
 	return out
 }
 
-// RegisterPredicate registers a custom position predicate on every shard
-// (see Index.RegisterPredicate). Call before searching, not concurrently
-// with searches.
+// RegisterPredicate registers a custom position predicate, shared by every
+// segment of every shard (see Index.RegisterPredicate). It takes the write
+// lock: the registry mutation is excluded from concurrent searches and
+// registrations.
 func (s *ShardedIndex) RegisterPredicate(name string, posArity, constArity int, eval func(ords []int32, consts []int) bool) error {
-	for _, ix := range s.shards {
-		if err := ix.RegisterPredicate(name, posArity, constArity, eval); err != nil {
-			return err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lead := s.leadIndex()
+	if lead == nil {
+		return fmt.Errorf("fulltext: sharded index has no shards")
+	}
+	return lead.RegisterPredicate(name, posArity, constArity, eval)
+}
+
+// leadIndex returns an arbitrary segment wrapper: query rewriting,
+// validation and classification are data-independent, and every segment
+// shares the registry and analyzer.
+func (s *ShardedIndex) leadIndex() *Index {
+	for _, segs := range s.shards {
+		for _, sg := range segs {
+			return sg.ix
 		}
 	}
 	return nil
 }
 
 // Classify places the query in the hierarchy (see Index.Classify).
-func (s *ShardedIndex) Classify(q *Query) Class { return s.shards[0].Classify(q) }
+func (s *ShardedIndex) Classify(q *Query) Class {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Class(lang.Classify(rewriteQueryTokens(q.ast, s.analyzer), s.reg))
+}
 
 // Explain reports the engine EngineAuto would pick on each shard and the
-// shard-0 plan (plans are data-independent across shards).
+// lead-segment plan (plans are data-independent across shards and
+// segments).
 func (s *ShardedIndex) Explain(q *Query) (string, error) {
-	plan, err := s.shards[0].Explain(q)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lead := s.leadIndex()
+	if lead == nil {
+		return "", fmt.Errorf("fulltext: sharded index has no shards")
+	}
+	plan, err := lead.Explain(q)
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("shards: %d (parallel fan-out, merge)\n%s", len(s.shards), plan), nil
+	segs := 0
+	for _, ss := range s.shards {
+		segs += len(ss)
+	}
+	return fmt.Sprintf("shards: %d over %d segments (parallel fan-out, merge)\n%s", len(s.shards), segs, plan), nil
 }
 
 // Search evaluates the query with the automatically selected engine on
@@ -234,25 +382,30 @@ func (s *ShardedIndex) Search(q *Query) ([]Match, error) {
 
 // SearchWith is Search with an explicit engine.
 func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	key := fmt.Sprintf("g%d|bool|%s|%s", s.gen, e, q)
 	if docs, ok := s.cache.Get(key); ok {
 		return docsToMatches(docs, false), nil
 	}
-	// Rewrite/validate/normalize once; shards share the analyzer and the
-	// registry contents, so the normalized AST is shard-independent.
-	lead := s.shards[0]
-	ast := lead.rewrite(q)
-	if err := lang.Validate(ast, lead.reg); err != nil {
+	// Rewrite/validate/normalize once; segments share the analyzer and the
+	// registry, so the normalized AST is shard-independent.
+	ast := rewriteQueryTokens(q.ast, s.analyzer)
+	if err := lang.Validate(ast, s.reg); err != nil {
 		return nil, err
 	}
-	norm := lang.Normalize(ast, lead.reg)
+	norm := lang.Normalize(ast, s.reg)
 	lists := make([][]shard.Doc, len(s.shards))
 	err := shard.Fanout(len(s.shards), 0, func(i int) error {
-		nodes, _, err := s.shards[i].dispatch(norm, e)
-		if err != nil {
-			return err
+		segLists := make([][]shard.Doc, 0, len(s.shards[i]))
+		for _, sg := range s.shards[i] {
+			nodes, _, err := sg.ix.dispatch(norm, e)
+			if err != nil {
+				return err
+			}
+			segLists = append(segLists, sg.boolDocs(nodes))
 		}
-		lists[i] = s.boolDocs(i, nodes)
+		lists[i] = shard.MergeByOrd(segLists)
 		return nil
 	})
 	if err != nil {
@@ -263,45 +416,50 @@ func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
 	return docsToMatches(docs, false), nil
 }
 
-// SearchRanked evaluates the query on every shard in parallel — each shard
-// scoring against global collection statistics and contributing only its
-// own top K candidates — then merges the global top K with a bounded
-// min-heap. Eligible queries run each shard's WAND fast path, and the
-// shards share the running K-th-best score through an atomic threshold so
-// late shards skip documents that provably cannot enter the global top K.
-// Results are identical to Index.SearchRanked on the union corpus. topK <=
-// 0 returns all matches.
+// SearchRanked evaluates the query on every shard in parallel — each
+// segment scoring against global collection statistics and contributing
+// only its own top K candidates — then merges the global top K with a
+// bounded min-heap. Eligible queries run each segment's WAND fast path, and
+// the segments share the running K-th-best score through an atomic
+// threshold so late segments skip documents that provably cannot enter the
+// global top K. Results are identical to Index.SearchRanked on a single
+// index over the live documents. topK <= 0 returns all matches.
 func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match, error) {
 	return s.SearchRankedOpts(q, m, topK, RankOptions{})
 }
 
 // SearchRankedOpts is SearchRanked with explicit ranked-evaluation options.
 func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o RankOptions) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	key := fmt.Sprintf("g%d|rank|%d|%d|%t%t|%s", s.gen, m, topK, o.Exhaustive, o.NoThresholdSharing, q)
 	if docs, ok := s.cache.Get(key); ok {
 		return docsToMatches(docs, true), nil
 	}
-	lead := s.shards[0]
-	ast := lead.rewrite(q)
-	if err := lang.Validate(ast, lead.reg); err != nil {
+	ast := rewriteQueryTokens(q.ast, s.analyzer)
+	if err := lang.Validate(ast, s.reg); err != nil {
 		return nil, err
 	}
-	norm := lang.Normalize(ast, lead.reg)
+	norm := lang.Normalize(ast, s.reg)
 	var shared *wand.Shared
 	if topK > 0 && !o.Exhaustive && !o.NoThresholdSharing {
 		shared = wand.NewShared()
 	}
 	lists := make([][]shard.Doc, len(s.shards))
 	err := shard.Fanout(len(s.shards), 0, func(i int) error {
-		ranked, err := s.shards[i].rankedNodes(norm, m, s.cstats, topK, o, shared)
-		if err != nil {
-			return err
+		segLists := make([][]shard.Doc, 0, len(s.shards[i]))
+		for _, sg := range s.shards[i] {
+			ranked, err := sg.ix.rankedNodes(norm, m, s.cstats, topK, o, shared, sg.meta.LiveFilter())
+			if err != nil {
+				return err
+			}
+			docs := make([]shard.Doc, len(ranked))
+			for j, r := range ranked {
+				docs[j] = shard.Doc{Ord: sg.meta.Ords[int(r.Node)-1], ID: sg.ix.idOf(r.Node), Score: r.Score}
+			}
+			segLists = append(segLists, docs)
 		}
-		docs := make([]shard.Doc, len(ranked))
-		for j, r := range ranked {
-			docs[j] = shard.Doc{Ord: s.ords[i][int(r.Node)-1], ID: s.shards[i].idOf(r.Node), Score: r.Score}
-		}
-		lists[i] = docs
+		lists[i] = shard.MergeTopK(segLists, topK)
 		return nil
 	})
 	if err != nil {
@@ -312,34 +470,56 @@ func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o Ra
 	return docsToMatches(docs, true), nil
 }
 
-// RankedEvalStats sums the shards' cumulative ranked-query counters; the
-// ScoredDocs delta across a query is the observable effect of cross-shard
-// threshold sharing.
+// RankedEvalStats returns the container's cumulative ranked-query
+// counters; every segment evaluation counts separately, so one sharded
+// query increments the query counters once per segment. The ScoredDocs
+// delta across a query is the observable effect of cross-shard threshold
+// sharing.
 func (s *ShardedIndex) RankedEvalStats() RankedEvalStats {
-	var out RankedEvalStats
-	for _, ix := range s.shards {
-		st := ix.RankedEvalStats()
-		out.add(st)
-	}
-	return out
+	return s.rc.snapshot()
 }
 
-// ShardStats reports each shard's index statistics (doc counts, vocabulary
-// size, position maxima), in shard order.
+// ShardStats reports each shard's index statistics (live doc counts,
+// position totals, position maxima), in shard order. With multiple
+// segments per shard, Tokens is the largest single-segment vocabulary (a
+// lower bound on the shard's union vocabulary) and the position values
+// include tombstoned documents until compaction.
 func (s *ShardedIndex) ShardStats() []Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Stats, len(s.shards))
-	for i, ix := range s.shards {
-		out[i] = ix.Stats()
+	for i, segs := range s.shards {
+		for _, sg := range segs {
+			st := sg.ix.inv.Stats()
+			out[i].Docs += sg.meta.Live()
+			out[i].TotalPositions += st.TotalPositions
+			if st.Tokens > out[i].Tokens {
+				out[i].Tokens = st.Tokens
+			}
+			if st.EntriesPerToken > out[i].EntriesPerToken {
+				out[i].EntriesPerToken = st.EntriesPerToken
+			}
+			if st.PosPerCNode > out[i].PosPerDoc {
+				out[i].PosPerDoc = st.PosPerCNode
+			}
+			if st.PosPerEntry > out[i].PosPerEntry {
+				out[i].PosPerEntry = st.PosPerEntry
+			}
+		}
 	}
 	return out
 }
 
-// boolDocs projects shard-local Boolean results (ascending NodeID) into
-// global document order; the global ordinals preserve the ascending order.
-func (s *ShardedIndex) boolDocs(i int, nodes []core.NodeID) []shard.Doc {
-	docs := make([]shard.Doc, len(nodes))
-	for j, n := range nodes {
-		docs[j] = shard.Doc{Ord: s.ords[i][int(n)-1], ID: s.shards[i].idOf(n)}
+// boolDocs projects segment-local Boolean results (ascending NodeID) into
+// global document order; the segment's ordinal table preserves the
+// ascending order, and tombstoned documents are dropped.
+func (sg *seg) boolDocs(nodes []core.NodeID) []shard.Doc {
+	docs := make([]shard.Doc, 0, len(nodes))
+	for _, n := range nodes {
+		if !sg.meta.Alive(n) {
+			continue
+		}
+		docs = append(docs, shard.Doc{Ord: sg.meta.Ords[int(n)-1], ID: sg.ix.idOf(n)})
 	}
 	return docs
 }

@@ -249,8 +249,8 @@ func TestShardedRoundTripStatsBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range loaded.shards {
-		got := loaded.shards[i].inv.StatsBlock(loaded.cstats)
-		ref := six.shards[i].inv.StatsBlock(six.cstats)
+		got := loaded.shards[i][0].ix.inv.StatsBlock(loaded.cstats)
+		ref := six.shards[i][0].ix.inv.StatsBlock(six.cstats)
 		if len(got.Norms) != len(ref.Norms) {
 			t.Fatalf("shard %d: %d norms, want %d", i, len(got.Norms), len(ref.Norms))
 		}
