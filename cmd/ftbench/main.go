@@ -19,16 +19,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"fulltext"
 	"fulltext/internal/bench"
+	"fulltext/internal/segment"
 	"fulltext/internal/synth"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, segments, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, segments, ingest, or all")
 		scale      = flag.Float64("scale", 0.25, "corpus scale factor (1 = the paper's sizes)")
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
 		seed       = flag.Int64("seed", 2006, "corpus random seed")
@@ -106,6 +108,11 @@ func main() {
 
 	if run("segments") {
 		emit("segments", segmentsExperiment(s))
+		ran = true
+	}
+
+	if run("ingest") {
+		emit("ingest", ingestExperiment(s))
 		ran = true
 	}
 
@@ -395,6 +402,204 @@ func segmentsExperiment(s bench.Setup) *bench.Table {
 			}
 		}
 	}
+	return t
+}
+
+// ingestSeries are the write-path regimes (experiment "ingest"): total time
+// to absorb a batch one document at a time vs through AddBatch (throughput,
+// same document count per row), and the p99 of the per-Add latency
+// distribution with merges inline under the write lock vs on the
+// background worker (the merge-stall tail a serving mutation observes).
+var ingestSeries = []string{"ADD-1BY1", "ADD-BATCH", "STALL-INLINE-P99", "STALL-BG-P99"}
+
+// ingestExperiment measures batch ingestion and background merging. Every
+// repetition starts from a fresh base index (built untimed) so merge state
+// does not leak between regimes; the background index is quiesced with
+// WaitMerges before its results are compared. All four regimes are
+// verified byte-identical to a from-scratch rebuild over the union corpus
+// on every row, and none may rebuild a shard.
+func ingestExperiment(s bench.Setup) *bench.Table {
+	const shards = 4
+	c := synth.Corpus(synth.Config{
+		Seed: s.Seed, NumDocs: s.CNodes, DocLen: s.DocLen, VocabSize: s.Vocab,
+		Plants: []synth.Plant{
+			{Token: "needle", DocFraction: 0.05, PerDoc: 3},
+			{Token: "common", DocFraction: 0.5, PerDoc: 2},
+		}})
+	docs := c.Docs()
+	baseN := len(docs) * 3 / 4
+	if baseN < 1 {
+		baseN = 1
+	}
+	inline := segment.DefaultPolicy()
+	inline.BackgroundMinDocs = -1 // every merge inline under the write lock
+	bg := segment.DefaultPolicy()
+	bg.BackgroundMinDocs = 2 // push every real merge to the worker
+	buildBase := func(p segment.Policy) *fulltext.ShardedIndex {
+		sb := fulltext.NewShardedBuilder(shards)
+		for _, d := range docs[:baseN] {
+			if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+				fatal(err)
+			}
+		}
+		ix := sb.Build()
+		ix.SetQueryCacheSize(0) // measure the write path, not the LRU
+		ix.SetMergePolicy(p)
+		return ix
+	}
+	q, err := fulltext.Parse(fulltext.BOOL, `'needle' OR 'common'`)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Batch ingestion and background merges (%d base docs, %d shards)", baseN, shards),
+		XLabel: "appended docs",
+		Series: ingestSeries,
+		Cells:  map[string]map[string]bench.Cell{},
+	}
+	addCell := func(x, series string, c bench.Cell) {
+		if _, ok := t.Cells[x]; !ok {
+			t.XVals = append(t.XVals, x)
+			t.Cells[x] = map[string]bench.Cell{}
+		}
+		t.Cells[x][series] = c
+	}
+	reps := s.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	p99 := func(lat []time.Duration) time.Duration {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[int(0.99*float64(len(lat)-1))]
+	}
+
+	tail := docs[baseN:]
+	for _, n := range []int{len(tail) / 4, len(tail)} {
+		if n < 1 {
+			n = 1
+		}
+		batch := tail[:n]
+		x := fmt.Sprintf("+%d", n)
+
+		// Throughput: same documents, one-at-a-time vs one batch call.
+		var oneByOne, batched *fulltext.ShardedIndex
+		var totalSingle, totalBatch, bestSingle, bestBatch time.Duration
+		for r := 0; r < reps; r++ {
+			oneByOne = buildBase(inline)
+			start := time.Now()
+			for _, d := range batch {
+				if err := oneByOne.AddTokens(d.ID, d.Tokens); err != nil {
+					fatal(err)
+				}
+			}
+			el := time.Since(start)
+			totalSingle += el
+			if r == 0 || el < bestSingle {
+				bestSingle = el
+			}
+
+			batched = buildBase(inline)
+			bdocs := make([]fulltext.TokenDocument, len(batch))
+			for i, d := range batch {
+				bdocs[i] = fulltext.TokenDocument{ID: d.ID, Tokens: d.Tokens}
+			}
+			start = time.Now()
+			if err := batched.AddTokensBatch(bdocs); err != nil {
+				fatal(err)
+			}
+			el = time.Since(start)
+			totalBatch += el
+			if r == 0 || el < bestBatch {
+				bestBatch = el
+			}
+		}
+		addCell(x, "ADD-1BY1", bench.Cell{Time: totalSingle / time.Duration(reps), Results: n})
+		addCell(x, "ADD-BATCH", bench.Cell{Time: totalBatch / time.Duration(reps), Results: n})
+		// The batch API exists to amortize per-mutation overheads; if a full
+		// tail's worth of documents stops ingesting faster batched than one
+		// at a time, that is a write-path regression. Comparing the best
+		// repetition of each regime (the standard noise-robust estimator)
+		// keeps a GC pause or noisy CI neighbor during one timing from
+		// failing a healthy build; run with -repeats >= 3 for a guard with
+		// real statistical teeth.
+		if n == len(tail) && bestBatch >= bestSingle {
+			fatal(fmt.Errorf("batch ingestion lost to per-document Add at %s: best %v vs %v over %d repetition(s)", x, bestBatch, bestSingle, reps))
+		}
+
+		// Merge-stall tail: per-Add latency p99, merges inline vs background.
+		var bgIx *fulltext.ShardedIndex
+		stall := map[string]time.Duration{}
+		for _, regime := range []struct {
+			series string
+			policy segment.Policy
+		}{{"STALL-INLINE-P99", inline}, {"STALL-BG-P99", bg}} {
+			var worst time.Duration
+			for r := 0; r < reps; r++ {
+				ix := buildBase(regime.policy)
+				lat := make([]time.Duration, 0, n)
+				for _, d := range batch {
+					start := time.Now()
+					if err := ix.AddTokens(d.ID, d.Tokens); err != nil {
+						fatal(err)
+					}
+					lat = append(lat, time.Since(start))
+				}
+				ix.WaitMerges() // quiesce before reuse/verification, untimed
+				if p := p99(lat); p > worst {
+					worst = p // report the worst repetition: stalls are tails
+				}
+				bgIx = ix
+			}
+			stall[regime.series] = worst
+			addCell(x, regime.series, bench.Cell{Time: worst, Results: n})
+		}
+
+		// Equivalence guard: every ingestion regime must agree exactly with
+		// a from-scratch rebuild over the union corpus, and none may have
+		// rebuilt a shard.
+		sb := fulltext.NewShardedBuilder(shards)
+		for _, d := range docs[:baseN+n] {
+			if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+				fatal(err)
+			}
+		}
+		rebuilt := sb.Build()
+		want, err := rebuilt.SearchRanked(q, fulltext.TFIDF, 25)
+		if err != nil {
+			fatal(err)
+		}
+		for name, ix := range map[string]*fulltext.ShardedIndex{"one-by-one": oneByOne, "batched": batched, "background": bgIx} {
+			if st := ix.SegmentStats(); st.Rebuilds != shards {
+				fatal(fmt.Errorf("%s ingestion rebuilt shards at %s: %d rebuilds, want %d", name, x, st.Rebuilds, shards))
+			}
+			got, err := ix.SearchRanked(q, fulltext.TFIDF, 25)
+			if err != nil {
+				fatal(err)
+			}
+			if len(got) != len(want) {
+				fatal(fmt.Errorf("%s ingestion diverged from rebuild at %s: %d vs %d results", name, x, len(got), len(want)))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					fatal(fmt.Errorf("%s ingestion diverged from rebuild at %s position %d: %+v vs %+v", name, x, i, got[i], want[i]))
+				}
+			}
+		}
+		// Small rows may legitimately stay under every merge trigger; but
+		// whenever the background regime merged at all, the worker — not
+		// the write lock — must have done it, and the largest row must
+		// have driven it at least once.
+		if st := bgIx.SegmentStats(); (st.Merges > 0 || n == len(tail)) && st.BackgroundMerges == 0 {
+			fatal(fmt.Errorf("background regime at %s never merged on the worker (%d merges)", x, st.Merges))
+		}
+		persec := func(d time.Duration) float64 { return float64(n) / d.Seconds() }
+		fmt.Printf("ingest %s: one-by-one %.0f docs/s, batch %.0f docs/s (%.1fx); add p99 inline %s vs background %s\n",
+			x, persec(totalSingle/time.Duration(reps)), persec(totalBatch/time.Duration(reps)),
+			(totalSingle.Seconds())/(totalBatch.Seconds()),
+			stall["STALL-INLINE-P99"], stall["STALL-BG-P99"])
+	}
+	fmt.Println()
 	return t
 }
 

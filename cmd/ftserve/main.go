@@ -15,9 +15,14 @@
 //	ftserve -dir ./docs -inflight 128 -timeout 5s  tune backpressure
 //
 // The index is incrementally updatable: POST /docs appends a document as a
-// delta segment on its hash shard (no shard rebuild), DELETE /docs/{id}
-// tombstones one, and a tiered policy merges segments lazily in the
-// background of the write path. /stats exposes the per-shard segment
+// delta segment on its hash shard (no shard rebuild), POST /docs/batch
+// applies many documents as one mutation (one lock acquisition, one
+// generation bump), DELETE /docs/{id} tombstones one in O(document) via
+// the per-segment forward index, and a tiered policy merges segments
+// lazily. Merges at or above the -bgmerge document threshold run on a
+// background worker against copy-on-write segment snapshots, so requests
+// never wait on a large compaction (sub-threshold merges stay inline —
+// they are cheap by definition). /stats exposes the per-shard segment
 // tails and merge counters.
 //
 // Endpoints (all JSON):
@@ -25,6 +30,7 @@
 //	GET    /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10
 //	GET    /explain?q=QUERY&lang=comp
 //	POST   /docs               body {"id": "...", "body": "..."}
+//	POST   /docs/batch         body {"docs": [{"id": "...", "body": "..."}, ...]}
 //	DELETE /docs/{id}
 //	GET    /stats
 //	GET    /healthz
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"fulltext"
+	"fulltext/internal/segment"
 )
 
 func main() {
@@ -61,6 +68,7 @@ func main() {
 		cache    = flag.Int("cache", fulltext.DefaultQueryCacheSize, "query-result cache capacity in entries (0 disables)")
 		inflight = flag.Int("inflight", 64, "max concurrent requests before shedding load with 503 (0 disables the limiter)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
+		bgmerge  = flag.Int("bgmerge", 0, "min input docs for a segment merge to run on the background worker (0 = default 4096, negative = always inline)")
 	)
 	flag.Parse()
 
@@ -69,6 +77,11 @@ func main() {
 		fatal(err)
 	}
 	ix.SetQueryCacheSize(*cache)
+	if *bgmerge != 0 {
+		p := segment.DefaultPolicy()
+		p.BackgroundMinDocs = *bgmerge
+		ix.SetMergePolicy(p)
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -176,6 +189,7 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("POST /docs", s.handleAddDoc)
+	mux.HandleFunc("POST /docs/batch", s.handleAddBatch)
 	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -422,8 +436,12 @@ type addDocRequest struct {
 	Body string `json:"body"`
 }
 
-// maxDocBody bounds one POST /docs payload.
-const maxDocBody = 1 << 22 // 4 MiB
+// maxDocBody bounds one POST /docs payload; maxBatchBody bounds one
+// POST /docs/batch payload (many documents amortized into one mutation).
+const (
+	maxDocBody   = 1 << 22 // 4 MiB
+	maxBatchBody = 1 << 26 // 64 MiB
+)
 
 func (s *server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	var req addDocRequest
@@ -455,15 +473,62 @@ func (s *server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// addBatchRequest is the POST /docs/batch body.
+type addBatchRequest struct {
+	Docs []addDocRequest `json:"docs"`
+}
+
+func (s *server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
+	var req addBatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if len(req.Docs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	docs := make([]fulltext.Document, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.ID == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("document %d: missing id", i))
+			return
+		}
+		// The batch limit bounds the request; each document inside it obeys
+		// the same cap POST /docs enforces, so batching is not a loophole
+		// for oversized documents.
+		if len(d.Body) > maxDocBody {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("document %d (%q): body exceeds %d bytes", i, d.ID, maxDocBody))
+			return
+		}
+		docs[i] = fulltext.Document{ID: d.ID, Body: d.Body}
+	}
+	start := time.Now()
+	// AddBatch is all-or-nothing: on any error (including a duplicate id
+	// anywhere in the batch) no document was applied.
+	if err := s.ix.AddBatch(docs); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, fulltext.ErrDuplicateID) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"added":   len(docs),
+		"docs":    s.ix.Docs(),
+		"took_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	start := time.Now()
-	deleted, err := s.ix.Delete(id)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	if !deleted {
+	// Delete reports hit/miss only — deleting a live document cannot fail —
+	// so the handler has exactly two outcomes: 200 or 404.
+	if !s.ix.Delete(id) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no live document %q", id))
 		return
 	}
@@ -525,12 +590,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Incremental ingestion state: segment tails and the lazy-merge
 		// counters. "rebuilds" stays at its build/load value no matter how
 		// many documents are added — that is the segment subsystem's
-		// contract.
+		// contract. background_* track the off-lock merge worker and
+		// forward_lookups the O(document) delete path.
 		"segments": map[string]uint64{
-			"rebuilds":        gs.Rebuilds,
-			"merges":          gs.Merges,
-			"segments_merged": gs.SegmentsMerged,
-			"docs_merged":     gs.DocsMerged,
+			"rebuilds":              gs.Rebuilds,
+			"merges":                gs.Merges,
+			"segments_merged":       gs.SegmentsMerged,
+			"docs_merged":           gs.DocsMerged,
+			"background_merges":     gs.BackgroundMerges,
+			"inflight_merges":       uint64(gs.InFlightMerges),
+			"background_aborts":     gs.BackgroundAborts,
+			"background_tombstones": gs.BackgroundTombstones,
+			"forward_lookups":       gs.ForwardLookups,
 		},
 		"shed_requests": s.shedCount(),
 	})

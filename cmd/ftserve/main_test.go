@@ -480,3 +480,41 @@ func TestStatsSegmentsSection(t *testing.T) {
 		t.Fatalf("expected a tombstone or a compaction after DELETE, got %d tombstones, %d merges", tombs, stats.Segments["merges"])
 	}
 }
+
+func TestAddBatchEndpoint(t *testing.T) {
+	ts, ix := testServer(t)
+
+	// A whole batch lands as one mutation: searchable immediately, no
+	// shard rebuild, and the response reports the batch size.
+	before := ix.SegmentStats()
+	var added struct {
+		Added int `json:"added"`
+		Docs  int `json:"docs"`
+	}
+	doJSON(t, "POST", ts.URL+"/docs/batch",
+		`{"docs":[{"id":"b1","body":"usability batch one"},{"id":"b2","body":"usability batch two"},{"id":"b3","body":"unrelated filler"}]}`,
+		http.StatusCreated, &added)
+	if added.Added != 3 || added.Docs != 6 {
+		t.Fatalf("batch response = %+v", added)
+	}
+	if after := ix.SegmentStats(); after.Rebuilds != before.Rebuilds {
+		t.Fatalf("POST /docs/batch rebuilt a shard (%d -> %d rebuilds)", before.Rebuilds, after.Rebuilds)
+	}
+	var sr searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &sr)
+	if sr.Count != 4 {
+		t.Fatalf("search after batch found %d docs, want 4", sr.Count)
+	}
+
+	// All-or-nothing: a batch with one conflicting id applies nothing.
+	doJSON(t, "POST", ts.URL+"/docs/batch",
+		`{"docs":[{"id":"b4","body":"never lands"},{"id":"b1","body":"conflict"}]}`,
+		http.StatusConflict, nil)
+	if got := ix.Docs(); got != 6 {
+		t.Fatalf("failed batch changed the corpus: %d docs, want 6", got)
+	}
+	// Malformed, empty, and missing-id batches are client errors.
+	doJSON(t, "POST", ts.URL+"/docs/batch", `{`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/docs/batch", `{"docs":[]}`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/docs/batch", `{"docs":[{"body":"no id"}]}`, http.StatusBadRequest, nil)
+}

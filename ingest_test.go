@@ -1,0 +1,585 @@
+package fulltext
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fulltext/internal/segment"
+)
+
+// bgAll is a merge policy that sends every planned merge to the background
+// worker, merging aggressively so the worker is exercised constantly.
+func bgAll() segment.Policy {
+	p := segment.DefaultPolicy()
+	p.MaxDeltas = 2
+	p.BackgroundMinDocs = 1
+	return p
+}
+
+// TestAddBatchEquivalence checks that a batch lands exactly like the same
+// documents added one by one — byte-identical to a from-scratch rebuild
+// across dialects and scoring models — while paying its bookkeeping once:
+// a single generation bump for the whole batch and no shard rebuilds.
+func TestAddBatchEquivalence(t *testing.T) {
+	docs := segCorpus(60)
+	const shards = 3
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs[:20] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := rebuildFreeIndex(t, sb)
+	live := append([][2]string(nil), docs[:20]...)
+
+	batch := make([]Document, 0, 25)
+	for _, d := range docs[20:45] {
+		batch = append(batch, Document{ID: d[0], Body: d[1]})
+		live = append(live, d)
+	}
+	genBefore := ix.gen
+	if err := ix.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if ix.gen != genBefore+1 {
+		t.Fatalf("a batch must bump the generation exactly once, got %d bumps", ix.gen-genBefore)
+	}
+	assertSameResults(t, "after-batch", ix, rebuildLive(t, shards, live))
+
+	// A second batch through the token API, interleaved with deletes.
+	if !ix.Delete(docs[5][0]) || !ix.Delete(docs[30][0]) {
+		t.Fatal("deletes of live documents must succeed")
+	}
+	live = removeDoc(removeDoc(live, docs[5][0]), docs[30][0])
+	tb := make([]TokenDocument, 0, 15)
+	for _, d := range docs[45:] {
+		tb = append(tb, TokenDocument{ID: d[0], Tokens: []string{"alpha", "needle", d[0]}})
+		live = append(live, [2]string{d[0], "alpha needle " + d[0]})
+	}
+	if err := ix.AddTokensBatch(tb); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "after-token-batch", ix, rebuildLive(t, shards, live))
+
+	if st := ix.SegmentStats(); st.Rebuilds != shards {
+		t.Fatalf("batches rebuilt shards: %d rebuilds, want %d", st.Rebuilds, shards)
+	}
+	if ix.Docs() != len(live) {
+		t.Fatalf("Docs() = %d, want %d", ix.Docs(), len(live))
+	}
+}
+
+// TestAddBatchAllOrNothing: a batch containing any invalid document (a
+// duplicate of a live id, or an internal duplicate) must leave the index
+// completely untouched — no documents applied, no generation bump.
+func TestAddBatchAllOrNothing(t *testing.T) {
+	docs := segCorpus(10)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs[:5] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	before := ix.Docs()
+	genBefore := ix.gen
+
+	err := ix.AddBatch([]Document{
+		{ID: "fresh1", Body: "alpha beta"},
+		{ID: docs[2][0], Body: "collides with a live id"},
+		{ID: "fresh2", Body: "gamma delta"},
+	})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("batch with a live-id collision: err = %v, want ErrDuplicateID", err)
+	}
+	err = ix.AddBatch([]Document{
+		{ID: "twin", Body: "alpha"},
+		{ID: "twin", Body: "beta"},
+	})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("batch with an internal duplicate: err = %v, want ErrDuplicateID", err)
+	}
+	if ix.Docs() != before || ix.gen != genBefore {
+		t.Fatalf("failed batch mutated the index: docs %d->%d, gen %d->%d", before, ix.Docs(), genBefore, ix.gen)
+	}
+	for _, id := range []string{"fresh1", "fresh2", "twin"} {
+		if _, ok := ix.byID[id]; ok {
+			t.Fatalf("failed batch leaked document %q", id)
+		}
+	}
+	// An empty batch is a no-op, not a mutation.
+	if err := ix.AddBatch(nil); err != nil || ix.gen != genBefore {
+		t.Fatalf("empty batch: err=%v, gen %d->%d", err, genBefore, ix.gen)
+	}
+}
+
+// TestBackgroundMergeEquivalence drives a mixed workload with every merge
+// on the background worker and checks — after quiescing — that results
+// stay byte-identical to a from-scratch rebuild, that the worker (not the
+// mutating goroutine) performed the merges, and that nothing was rebuilt.
+func TestBackgroundMergeEquivalence(t *testing.T) {
+	docs := segCorpus(100)
+	const shards = 3
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs[:40] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	ix.SetMergePolicy(bgAll())
+	live := append([][2]string(nil), docs[:40]...)
+
+	for i, d := range docs[40:] {
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+		if i%5 == 0 {
+			victim := docs[i/2][0]
+			if ix.Delete(victim) {
+				live = removeDoc(live, victim)
+			}
+		}
+	}
+	ix.WaitMerges()
+	st := ix.SegmentStats()
+	if st.BackgroundMerges == 0 {
+		t.Fatal("a BackgroundMinDocs=1 policy never used the worker")
+	}
+	if st.InFlightMerges != 0 {
+		t.Fatalf("WaitMerges returned with %d merges in flight", st.InFlightMerges)
+	}
+	if st.Rebuilds != shards {
+		t.Fatalf("background merging rebuilt shards: %d rebuilds, want %d", st.Rebuilds, shards)
+	}
+	assertSameResults(t, "background-merged", ix, rebuildLive(t, shards, live))
+
+	// The quiesced index must be fully merge-caught-up: deltas within
+	// policy on every shard.
+	for i, ss := range st.Shards {
+		if ss.Deltas > bgAll().MaxDeltas {
+			t.Fatalf("shard %d still has %d deltas after WaitMerges", i, ss.Deltas)
+		}
+	}
+}
+
+// TestBackgroundMergeValidatesConcurrentDeletes pins the validation step:
+// documents deleted — and one deleted-then-re-added — while a background
+// merge is running must be tombstoned in the merged result before it is
+// swapped in, keeping results byte-identical to a rebuild over the final
+// live set.
+func TestBackgroundMergeValidatesConcurrentDeletes(t *testing.T) {
+	docs := segCorpus(30)
+	sb := NewShardedBuilder(1)
+	for _, d := range docs[:20] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	live := append([][2]string(nil), docs[:20]...)
+
+	// The hook fires on the worker goroutine after the physical merge but
+	// before validation/swap: exactly the window a racing delete lands in.
+	// It mutates the first merge's own inputs — the three delta segments
+	// appended below — deleting two and re-adding one, so the merged
+	// result holds stale copies of all three.
+	var once sync.Once
+	raced := make(chan struct{})
+	ix.bgHook = func() {
+		once.Do(func() {
+			defer close(raced)
+			if !ix.Delete(docs[20][0]) || !ix.Delete(docs[21][0]) {
+				t.Error("racing delete of a merge input failed")
+			}
+			if err := ix.Add(docs[21][0], "reborn needle common"); err != nil {
+				t.Errorf("racing re-add failed: %v", err)
+			}
+		})
+	}
+
+	// Three appends under MaxDeltas=2 trigger a background merge of
+	// exactly those deltas; the main goroutine then parks until the hook
+	// has run, so insertion ordinals stay deterministic for the rebuild.
+	ix.SetMergePolicy(bgAll())
+	for _, d := range docs[20:23] {
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-raced
+	live = append(live, docs[22], [2]string{docs[21][0], "reborn needle common"})
+	for _, d := range docs[23:] {
+		if err := ix.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+	}
+	ix.WaitMerges()
+
+	st := ix.SegmentStats()
+	if st.BackgroundMerges == 0 {
+		t.Fatal("no background merge ran; the race window was never open")
+	}
+	// Both racing deletes hit merge inputs, so validation must tombstone
+	// their merged copies (the re-add's younger copy lives in a later
+	// delta and is untouched).
+	if st.BackgroundTombstones < 2 {
+		t.Fatalf("expected >= 2 tombstones applied at validation, got %d", st.BackgroundTombstones)
+	}
+	assertSameResults(t, "post-race", ix, rebuildLive(t, 1, live))
+}
+
+// TestConcurrentIngestQueryBackgroundMerge is the -race stress test named
+// in CI: concurrent readers, a mutator mixing Add/AddBatch/Delete, and
+// background merges in flight throughout. After quiescing, results must be
+// byte-identical to a from-scratch rebuild of the surviving documents.
+func TestConcurrentIngestQueryBackgroundMerge(t *testing.T) {
+	docs := segCorpus(200)
+	const shards = 3
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs[:50] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	ix.SetMergePolicy(bgAll())
+
+	queries := []*Query{
+		MustParse(BOOL, `'needle' OR 'common'`),
+		MustParse(BOOL, `'alpha' AND NOT 'gamma'`),
+		MustParse(COMP, `SOME t1 SOME t2 (t1 HAS 'task' AND t2 HAS 'completion' AND ordered(t1,t2))`),
+	}
+	done := make(chan struct{})
+	var readErr atomic.Value
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := queries[(r+i)%len(queries)]
+				if _, err := ix.Search(q); err != nil {
+					readErr.Store(err)
+					return
+				}
+				if _, err := ix.SearchRanked(q, TFIDF, 5); err != nil {
+					readErr.Store(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// A waiter hammers WaitMerges while mutations keep scheduling new
+	// merges from an idle worker pool — the pattern that is documented
+	// misuse for a bare WaitGroup (Add from zero concurrent with Wait)
+	// and must be safe here.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				ix.WaitMerges()
+			}
+		}
+	}()
+
+	// One mutator: single adds, batches of 7, and periodic deletes — every
+	// merge the policy plans lands on the worker while reads run.
+	live := append([][2]string(nil), docs[:50]...)
+	i := 50
+	for i < len(docs) {
+		if i%3 == 0 {
+			hi := i + 7
+			if hi > len(docs) {
+				hi = len(docs)
+			}
+			batch := make([]Document, 0, hi-i)
+			for _, d := range docs[i:hi] {
+				batch = append(batch, Document{ID: d[0], Body: d[1]})
+				live = append(live, d)
+			}
+			if err := ix.AddBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			i = hi
+		} else {
+			if err := ix.Add(docs[i][0], docs[i][1]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, docs[i])
+			i++
+		}
+		if i%11 == 0 {
+			victim := docs[i/3][0]
+			if ix.Delete(victim) {
+				live = removeDoc(live, victim)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := readErr.Load(); err != nil {
+		t.Fatalf("concurrent search failed: %v", err)
+	}
+	ix.WaitMerges()
+
+	st := ix.SegmentStats()
+	if st.BackgroundMerges == 0 {
+		t.Fatal("stress run never exercised the background worker")
+	}
+	if st.Rebuilds != shards {
+		t.Fatalf("stress run rebuilt shards: %d rebuilds, want %d", st.Rebuilds, shards)
+	}
+	assertSameResults(t, "stress-final", ix, rebuildLive(t, shards, live))
+
+	// The mutated index must also round-trip through persistence with its
+	// merged tail intact (the forward index is rebuilt on load, so deletes
+	// keep working).
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Delete(live[0][0]) {
+		t.Fatal("post-load delete must hit the forward index")
+	}
+	live = live[1:]
+	assertSameResults(t, "stress-loaded", loaded, rebuildLive(t, shards, live))
+}
+
+// TestDeleteUsesForwardIndex asserts the O(document) delete path: every
+// successful Delete performs exactly one forward-index token-set recovery
+// (the vocabulary-probing invlist path no longer exists to fall back to),
+// and misses perform none.
+func TestDeleteUsesForwardIndex(t *testing.T) {
+	docs := segCorpus(20)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	if got := ix.SegmentStats().ForwardLookups; got != 0 {
+		t.Fatalf("fresh index reports %d forward lookups", got)
+	}
+	for _, i := range []int{2, 9, 17} {
+		if !ix.Delete(docs[i][0]) {
+			t.Fatalf("delete %s failed", docs[i][0])
+		}
+	}
+	if got := ix.SegmentStats().ForwardLookups; got != 3 {
+		t.Fatalf("3 deletes performed %d forward lookups, want 3", got)
+	}
+	if ix.Delete("no-such-doc") {
+		t.Fatal("deleting an unknown id must report false")
+	}
+	if got := ix.SegmentStats().ForwardLookups; got != 3 {
+		t.Fatalf("a miss must not recover tokens, got %d lookups", got)
+	}
+	// Deletes on a loaded index exercise the forward index rebuilt at load
+	// time.
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Delete(docs[5][0]) {
+		t.Fatal("post-load delete failed")
+	}
+	if got := loaded.SegmentStats().ForwardLookups; got != 1 {
+		t.Fatalf("post-load delete performed %d forward lookups, want 1", got)
+	}
+}
+
+// TestQueryCachePurgedOnMutation is the regression test for the
+// dead-generation cache leak: mutation keys embed the build generation, so
+// after any mutation every cached entry is unreachable and must be purged
+// rather than left to crowd live results out of the LRU.
+func TestQueryCachePurgedOnMutation(t *testing.T) {
+	docs := segCorpus(20)
+	sb := NewShardedBuilder(2)
+	for _, d := range docs[:15] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	q := MustParse(BOOL, `'needle' OR 'common'`)
+	fill := func() {
+		t.Helper()
+		if _, err := ix.Search(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.SearchRanked(q, TFIDF, 5); err != nil {
+			t.Fatal(err)
+		}
+		if got := ix.CacheStats().Len; got == 0 {
+			t.Fatal("test setup: queries did not populate the cache")
+		}
+	}
+
+	fill()
+	if err := ix.Add(docs[15][0], docs[15][1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CacheStats().Len; got != 0 {
+		t.Fatalf("cache holds %d dead-generation entries after Add, want 0", got)
+	}
+	fill()
+	if !ix.Delete(docs[0][0]) {
+		t.Fatal("delete failed")
+	}
+	if got := ix.CacheStats().Len; got != 0 {
+		t.Fatalf("cache holds %d dead-generation entries after Delete, want 0", got)
+	}
+	fill()
+	if err := ix.AddBatch([]Document{{ID: docs[16][0], Body: docs[16][1]}, {ID: docs[17][0], Body: docs[17][1]}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CacheStats().Len; got != 0 {
+		t.Fatalf("cache holds %d dead-generation entries after AddBatch, want 0", got)
+	}
+	// And the purged cache still works: repeat a query, then hit it.
+	hitsBefore := ix.CacheStats().Hits
+	if _, err := ix.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CacheStats().Hits; got != hitsBefore+1 {
+		t.Fatalf("post-purge cache never hit: hits %d -> %d", hitsBefore, got)
+	}
+}
+
+// TestEmptyDocumentLifecycle pins zero-token documents end to end: Add
+// with an empty (or all-analyzed-away) body succeeds, the document behaves
+// exactly as in a rebuild (it matches pure-NOT semantics through IL_ANY
+// but no token), survives save/load, and deletes cleanly.
+func TestEmptyDocumentLifecycle(t *testing.T) {
+	docs := segCorpus(12)
+	const shards = 2
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs[:10] {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	live := append([][2]string(nil), docs[:10]...)
+
+	if err := ix.Add("empty1", ""); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"empty1", ""})
+	assertSameResults(t, "after-empty-add", ix, rebuildLive(t, shards, live))
+	if ix.Docs() != len(live) {
+		t.Fatalf("Docs() = %d, want %d (empty documents are live documents)", ix.Docs(), len(live))
+	}
+
+	// Batches may mix empty and non-empty documents.
+	if err := ix.AddBatch([]Document{{ID: "empty2", Body: ""}, {ID: docs[10][0], Body: docs[10][1]}}); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"empty2", ""}, docs[10])
+	assertSameResults(t, "after-empty-batch", ix, rebuildLive(t, shards, live))
+
+	// Round trip with empty documents present.
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "loaded-with-empties", loaded, rebuildLive(t, shards, live))
+
+	// Deleting an empty document must work on both the original and the
+	// loaded index (its token set is empty; statistics only lose the node).
+	for name, target := range map[string]*ShardedIndex{"original": ix, "loaded": loaded} {
+		if !target.Delete("empty1") {
+			t.Fatalf("%s: delete of empty document failed", name)
+		}
+	}
+	live = removeDoc(live, "empty1")
+	assertSameResults(t, "after-empty-delete", ix, rebuildLive(t, shards, live))
+	assertSameResults(t, "after-empty-delete-loaded", loaded, rebuildLive(t, shards, live))
+}
+
+// TestDeleteEverythingThenSaveLoad empties the whole index through the
+// incremental path, round-trips the empty state, and re-adds into it.
+func TestDeleteEverythingThenSaveLoad(t *testing.T) {
+	docs := segCorpus(16)
+	const shards = 2
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := sb.Build()
+	for _, d := range docs {
+		if !ix.Delete(d[0]) {
+			t.Fatalf("delete %s failed", d[0])
+		}
+	}
+	if ix.Docs() != 0 {
+		t.Fatalf("Docs() = %d after deleting everything", ix.Docs())
+	}
+	for q := range segQueries(t) {
+		ms, err := ix.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 0 {
+			t.Fatalf("empty index matched %v for %v", ms, q)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Docs() != 0 {
+		t.Fatalf("loaded Docs() = %d, want 0", loaded.Docs())
+	}
+	// The emptied index must keep accepting documents — including ids that
+	// existed before the wipe — on both sides of the persistence boundary.
+	id, body := docs[0][0], fmt.Sprintf("revived %s needle", docs[0][0])
+	for name, target := range map[string]*ShardedIndex{"original": ix, "loaded": loaded} {
+		if err := target.Add(id, body); err != nil {
+			t.Fatalf("re-add into emptied %s index: %v", name, err)
+		}
+	}
+	ref := rebuildLive(t, shards, [][2]string{{id, body}})
+	assertSameResults(t, "revived", ix, ref)
+	assertSameResults(t, "revived-loaded", loaded, ref)
+}

@@ -92,20 +92,3 @@ func Merge(parts []MergePart) (*Index, [][]core.NodeID) {
 	out.recomputeStats()
 	return out, remap
 }
-
-// NodeTokens returns the distinct tokens occurring in node n, in sorted
-// order. It costs a binary search per vocabulary term — O(tokens · log
-// entries_per_token) — and exists for tombstone bookkeeping: deleting a
-// document needs its token set to keep collection-level document
-// frequencies (and therefore idf and scores) identical to a from-scratch
-// rebuild without the deleted document.
-func (ix *Index) NodeTokens(n core.NodeID) []string {
-	var out []string
-	for tok, pl := range ix.lists {
-		if pl.Find(n) != nil {
-			out = append(out, tok)
-		}
-	}
-	sort.Strings(out)
-	return out
-}

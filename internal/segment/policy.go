@@ -29,12 +29,20 @@ type Policy struct {
 	// TombstoneRatio is the dead-fraction trigger for compacting a single
 	// segment. <= 0 uses the default.
 	TombstoneRatio float64
+	// BackgroundMinDocs is the size threshold separating inline from
+	// background merges: a planned merge whose inputs together hold at
+	// least this many documents (live + dead) runs on a background worker
+	// against copy-on-write inputs instead of inline under the write lock.
+	// 0 uses the default; negative disables background merging (every
+	// merge runs inline).
+	BackgroundMinDocs int
 }
 
 // DefaultPolicy returns the production defaults: at most 8 deltas, a full
-// merge when deltas reach half the base, compaction at 25% tombstones.
+// merge when deltas reach half the base, compaction at 25% tombstones, and
+// merges of 4096+ documents pushed to the background worker.
 func DefaultPolicy() Policy {
-	return Policy{MaxDeltas: 8, BaseRatio: 0.5, TombstoneRatio: 0.25}
+	return Policy{MaxDeltas: 8, BaseRatio: 0.5, TombstoneRatio: 0.25, BackgroundMinDocs: 4096}
 }
 
 func (p Policy) withDefaults() Policy {
@@ -48,7 +56,26 @@ func (p Policy) withDefaults() Policy {
 	if p.TombstoneRatio <= 0 {
 		p.TombstoneRatio = d.TombstoneRatio
 	}
+	if p.BackgroundMinDocs == 0 {
+		p.BackgroundMinDocs = d.BackgroundMinDocs
+	}
 	return p
+}
+
+// Background reports whether a planned merge over segs is large enough to
+// run on the background worker. Document counts include tombstoned
+// documents: they are merge work (their postings are read and dropped)
+// even though they carry no query weight.
+func (p Policy) Background(segs []*Segment) bool {
+	p = p.withDefaults()
+	if p.BackgroundMinDocs < 0 {
+		return false
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Docs()
+	}
+	return total >= p.BackgroundMinDocs
 }
 
 // Plan inspects a shard's segments (segs[0] is the base) and returns the

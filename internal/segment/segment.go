@@ -42,6 +42,18 @@ type Segment struct {
 	// Ords maps local NodeID-1 to the document's global insertion ordinal.
 	Ords []int
 
+	// The forward index: fwd maps local NodeID-1 to the node's distinct
+	// tokens, as ascending indices into the sorted vocabulary vocab. It is
+	// built once at construction (segment build, merge, and load all
+	// funnel through New) and immutable after, so deleting a document
+	// recovers its token set — needed to keep collection document
+	// frequencies exact — in O(document tokens) instead of probing every
+	// posting list of the segment. Storing 4-byte vocabulary ordinals
+	// rather than string headers keeps the permanent cost at one int32
+	// per (node, distinct token) pair, read-only serving included.
+	vocab []string
+	fwd   [][]int32
+
 	dead  []bool // tombstones, local NodeID-1; nil until the first delete
 	ndead int
 }
@@ -57,7 +69,60 @@ func New(inv *invlist.Index, ids []string, ords []int) (*Segment, error) {
 			return nil, fmt.Errorf("segment: ordinals not strictly increasing at %d", i)
 		}
 	}
-	return &Segment{Inv: inv, IDs: ids, Ords: ords}, nil
+	vocab, fwd := forwardIndex(inv)
+	return &Segment{Inv: inv, IDs: ids, Ords: ords, vocab: vocab, fwd: fwd}, nil
+}
+
+// forwardIndex inverts the posting lists into per-node vocabulary-ordinal
+// slices. Iterating the vocabulary in sorted order keeps each node's slice
+// ascending by construction; a counting pass first sizes every slice
+// exactly, so large segments build without append re-allocation.
+func forwardIndex(inv *invlist.Index) (vocab []string, fwd [][]int32) {
+	vocab = inv.Tokens()
+	counts := make([]int32, inv.NumNodes())
+	for _, tok := range vocab {
+		for _, e := range inv.List(tok).Entries {
+			counts[int(e.Node)-1]++
+		}
+	}
+	fwd = make([][]int32, inv.NumNodes())
+	for i, c := range counts {
+		fwd[i] = make([]int32, 0, c)
+	}
+	for ti, tok := range vocab {
+		for _, e := range inv.List(tok).Entries {
+			i := int(e.Node) - 1
+			fwd[i] = append(fwd[i], int32(ti))
+		}
+	}
+	return vocab, fwd
+}
+
+// NodeTokens returns the distinct tokens of local node n in sorted order,
+// materialized from the forward index in O(distinct tokens). Unknown
+// nodes return nil.
+func (s *Segment) NodeTokens(n core.NodeID) []string {
+	i := int(n) - 1
+	if i < 0 || i >= len(s.fwd) {
+		return nil
+	}
+	out := make([]string, len(s.fwd[i]))
+	for k, ti := range s.fwd[i] {
+		out[k] = s.vocab[ti]
+	}
+	return out
+}
+
+// Clone returns a copy-on-write snapshot: it shares the immutable inverted
+// index, id/ordinal tables and forward index, but owns a private copy of
+// the tombstone set. A background merge reads the clone without any lock
+// while the original keeps taking deletes under the owner's write lock.
+func (s *Segment) Clone() *Segment {
+	c := &Segment{Inv: s.Inv, IDs: s.IDs, Ords: s.Ords, vocab: s.vocab, fwd: s.fwd, ndead: s.ndead}
+	if s.dead != nil {
+		c.dead = append([]bool(nil), s.dead...)
+	}
+	return c
 }
 
 // Docs returns the total number of documents in the segment, dead or alive.

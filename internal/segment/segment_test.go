@@ -202,6 +202,91 @@ func TestPolicyTriggers(t *testing.T) {
 	}
 }
 
+func TestNodeTokensForwardIndex(t *testing.T) {
+	s := mkSeg(t, 0, [2]string{"a", "y x y"}, [2]string{"b", "z"}, [2]string{"c", ""})
+	if got := s.NodeTokens(1); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("NodeTokens(1) = %v, want sorted distinct [x y]", got)
+	}
+	if got := s.NodeTokens(2); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Fatalf("NodeTokens(2) = %v", got)
+	}
+	if got := s.NodeTokens(3); len(got) != 0 {
+		t.Fatalf("empty document must have no tokens, got %v", got)
+	}
+	if got := s.NodeTokens(99); got != nil {
+		t.Fatalf("unknown node must return nil, got %v", got)
+	}
+	// The forward index must be rebuilt for merged segments too: merge two
+	// segments with a tombstone and check the survivors' token sets.
+	b := mkSeg(t, 3, [2]string{"d", "x w"})
+	s.Delete(1)
+	m, err := Merge([]*Segment{s, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors in order: b ("z"), c (""), d ("x w").
+	if got := m.NodeTokens(1); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Fatalf("merged NodeTokens(1) = %v", got)
+	}
+	if got := m.NodeTokens(3); !reflect.DeepEqual(got, []string{"w", "x"}) {
+		t.Fatalf("merged NodeTokens(3) = %v", got)
+	}
+}
+
+func TestCloneIsolatesTombstones(t *testing.T) {
+	s := mkSeg(t, 0, [2]string{"a", "x"}, [2]string{"b", "y"}, [2]string{"c", "z"})
+	s.Delete(1)
+	c := s.Clone()
+	if c.Inv != s.Inv || c.Live() != 2 || c.Alive(1) {
+		t.Fatalf("clone must share the index and carry the snapshot tombstones: live=%d", c.Live())
+	}
+	// Deletes on the original after the snapshot must not leak into the
+	// clone (the copy-on-write contract a background merge relies on), and
+	// vice versa.
+	s.Delete(2)
+	if !c.Alive(2) {
+		t.Fatal("post-snapshot delete leaked into the clone")
+	}
+	c.Delete(3)
+	if !s.Alive(3) {
+		t.Fatal("clone delete leaked into the original")
+	}
+	// A clone of a tombstone-free segment starts with no dead set at all.
+	fresh := mkSeg(t, 10, [2]string{"d", "w"})
+	if cl := fresh.Clone(); cl.dead != nil || cl.Live() != 1 {
+		t.Fatal("clean clone must not allocate a tombstone set")
+	}
+}
+
+func TestPolicyBackgroundThreshold(t *testing.T) {
+	small := []*Segment{segOfSize(t, 0, 2), segOfSize(t, 2, 2)}
+	big := []*Segment{segOfSize(t, 0, 5), segOfSize(t, 5, 5)}
+
+	p := Policy{BackgroundMinDocs: 10}
+	if p.Background(small) {
+		t.Fatal("4 docs under a 10-doc threshold must merge inline")
+	}
+	if !p.Background(big) {
+		t.Fatal("10 docs at a 10-doc threshold must go to the worker")
+	}
+	// Tombstoned documents are still merge work and count toward the size.
+	big[0].Delete(1)
+	if !p.Background(big) {
+		t.Fatal("tombstones must not shrink the merge size")
+	}
+	// Negative disables background merging outright; zero takes the default.
+	if (Policy{BackgroundMinDocs: -1}).Background(big) {
+		t.Fatal("negative threshold must force inline merges")
+	}
+	if (Policy{}).Background(big) {
+		t.Fatal("10 docs must stay inline under the 4096-doc default")
+	}
+	huge := []*Segment{segOfSize(t, 0, DefaultPolicy().BackgroundMinDocs)}
+	if !(Policy{}).Background(huge) {
+		t.Fatal("default threshold must trigger at its own size")
+	}
+}
+
 func TestPolicyCascade(t *testing.T) {
 	// Applying plans repeatedly must terminate with a within-policy shard.
 	p := Policy{MaxDeltas: 2, BaseRatio: 0.5, TombstoneRatio: 0.25}

@@ -54,12 +54,13 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the cached result for key, marking it most recently used.
-// The returned slice is shared: callers must not mutate it.
+// The returned slice is shared: callers must not mutate it. Lookups on a
+// disabled cache (capacity <= 0) are not counted as misses — a server run
+// with caching off reports zero traffic, not a 0% hit rate.
 func (c *Cache) Get(key string) ([]Doc, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
-		c.misses++
 		return nil, false
 	}
 	el, ok := c.byKey[key]
@@ -91,6 +92,20 @@ func (c *Cache) Put(key string, docs []Doc) {
 		c.evictions++
 	}
 	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, docs: docs})
+}
+
+// Purge drops every entry, keeping the capacity and the hit/miss/eviction
+// counters. Owners call it when a mutation bumps the build generation:
+// keys embed the generation, so every existing entry just became
+// unreachable and would only crowd live results out of the LRU.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	c.ll.Init()
+	clear(c.byKey)
 }
 
 // Stats returns a snapshot of the counters.

@@ -161,8 +161,36 @@ func TestCacheDisabled(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache must miss")
 	}
-	if s := c.Stats(); s.Misses != 1 || s.Len != 0 {
-		t.Fatalf("unexpected stats %+v", s)
+	// A disabled cache serves no traffic, so it must count none: a server
+	// run with -cache 0 would otherwise report a misleading 0% hit rate.
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Len != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", s)
+	}
+	c.Purge() // must not panic with no backing structures
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", []Doc{{ID: "a"}})
+	c.Put("b", []Doc{{ID: "b"}})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Purge()
+	if s := c.Stats(); s.Len != 0 || s.Cap != 4 {
+		t.Fatalf("purge left entries or lost capacity: %+v", s)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be gone after purge")
+	}
+	// Counters survive the purge (hit=1 from above, miss=1 from the
+	// post-purge lookup), and the cache keeps working.
+	c.Put("c", []Doc{{ID: "c"}})
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("cache must accept entries after purge")
+	}
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("unexpected stats after purge %+v", s)
 	}
 }
 

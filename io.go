@@ -43,6 +43,11 @@ const (
 // standalone statistics block inside the FTIX blob — bytes sharded serving
 // never reads — which is exactly the waste the version-3 blob omission
 // removes.
+//
+// The per-segment forward index (node → distinct tokens, backing the
+// O(document) delete path) is not persisted in any version: it is derived
+// state, rebuilt from the posting lists when each loaded segment passes
+// through segment.New.
 const (
 	shardedMagic      = "FTSS"
 	shardedVersion    = 3

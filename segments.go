@@ -16,13 +16,35 @@ import (
 // id.
 var ErrDuplicateID = errors.New("duplicate document id")
 
-// This file is the incremental ingestion surface of ShardedIndex: Add
-// appends a delta segment in O(document) time, Delete tombstones in place
-// (paying a vocabulary scan of the owning segment to recover the
-// document's token set for statistics), and afterMutate runs the lazy
-// tiered merge policy plus the bookkeeping that keeps search results
-// byte-identical to a from-scratch rebuild (global statistics, build
-// generation, statistics-cache identity).
+// This file is the incremental ingestion surface of ShardedIndex: Add and
+// AddBatch append delta segments in O(batch) time, Delete tombstones in
+// place (recovering the document's token set from the segment's forward
+// index in O(document tokens)), and afterMutate runs the lazy tiered merge
+// policy plus the bookkeeping that keeps search results byte-identical to
+// a from-scratch rebuild (global statistics, build generation, query-cache
+// purge, statistics-cache identity). Merges above the policy's size
+// threshold run on a background worker against copy-on-write segment
+// snapshots, so readers and small mutations never wait on a compaction.
+
+// Document is one AddBatch input: an external id plus the raw text body.
+type Document struct {
+	ID   string
+	Body string
+}
+
+// TokenDocument is one AddTokensBatch input: an external id plus a
+// pre-tokenized body with structureless positions (see Builder.AddTokens).
+type TokenDocument struct {
+	ID     string
+	Tokens []string
+}
+
+// preDoc is a tokenized document waiting to be committed by addBatch.
+type preDoc struct {
+	id   string
+	toks []string
+	pos  []core.Pos
+}
 
 // Add tokenizes text exactly as the builder does (lowercasing, sentence and
 // paragraph detection, then the index's analysis options) and appends it as
@@ -32,74 +54,162 @@ var ErrDuplicateID = errors.New("duplicate document id")
 // old document first frees its id).
 func (s *ShardedIndex) Add(id, body string) error {
 	toks, pos := core.Tokenize(body)
-	return s.addTokens(id, toks, pos)
+	return s.addBatch([]preDoc{{id: id, toks: toks, pos: pos}})
 }
 
 // AddTokens appends a pre-tokenized document with structureless positions
 // (see Builder.AddTokens).
 func (s *ShardedIndex) AddTokens(id string, tokens []string) error {
-	return s.addTokens(id, tokens, core.PositionsForTokens(len(tokens)))
+	return s.addBatch([]preDoc{{id: id, toks: tokens, pos: core.PositionsForTokens(len(tokens))}})
 }
 
-func (s *ShardedIndex) addTokens(id string, toks []string, pos []core.Pos) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.byID[id]; dup {
-		return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, id)
+// AddBatch appends N documents as one mutation: the whole batch is
+// tokenized outside the lock, validated all-or-nothing (no document is
+// applied if any id collides, inside the batch or with a live document),
+// and committed under a single lock acquisition with one delta segment per
+// touched shard, one build-generation bump, and one statistics-identity
+// roll — where N single-document Adds would pay each of those N times.
+// Documents receive consecutive insertion ordinals in batch order, exactly
+// as if added one by one.
+func (s *ShardedIndex) AddBatch(docs []Document) error {
+	pre := make([]preDoc, len(docs))
+	for i, d := range docs {
+		toks, pos := core.Tokenize(d.Body)
+		pre[i] = preDoc{id: d.ID, toks: toks, pos: pos}
+	}
+	return s.addBatch(pre)
+}
+
+// AddTokensBatch is AddBatch for pre-tokenized documents.
+func (s *ShardedIndex) AddTokensBatch(docs []TokenDocument) error {
+	pre := make([]preDoc, len(docs))
+	for i, d := range docs {
+		pre[i] = preDoc{id: d.ID, toks: d.Tokens, pos: core.PositionsForTokens(len(d.Tokens))}
+	}
+	return s.addBatch(pre)
+}
+
+// addBatch validates, builds and commits one batch of tokenized documents.
+// Analysis and per-shard delta-segment construction — the O(batch) work —
+// happen before the write lock is taken (the shard count and analyzer are
+// immutable after construction), so concurrent readers stall only for the
+// commit bookkeeping, never for index building. Segments are built with
+// batch-relative ordinals and rebased onto the live ordinal allocator at
+// commit, preserving the strictly-increasing invariant. Every failure
+// (duplicate id inside the batch or against a live document, invalid
+// document) happens before any container state changes, so an error
+// leaves the index exactly as it was.
+func (s *ShardedIndex) addBatch(pre []preDoc) error {
+	if len(pre) == 0 {
+		return nil
 	}
 	if len(s.shards) == 0 {
 		return fmt.Errorf("fulltext: sharded index has no shards")
 	}
-	toks, pos = s.analyzer.Apply(toks, pos)
-	c := core.NewCorpus()
-	doc, err := c.AddTokens(id, toks, pos)
-	if err != nil {
-		return err
+	seen := make(map[string]bool, len(pre))
+	for _, d := range pre {
+		if seen[d.id] {
+			return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, d.id)
+		}
+		seen[d.id] = true
 	}
-	meta, err := segment.New(invlist.Build(c), []string{id}, []int{s.nextOrd})
-	if err != nil {
-		return err
-	}
-	si := shard.Pick(id, len(s.shards))
-	sg := s.newSeg(meta)
-	s.shards[si] = append(s.shards[si], sg)
-	s.byID[id] = docLoc{shard: si, sg: sg, node: 1}
-	s.nextOrd++
 
-	// Incremental global statistics: one new live node, its positions, and
-	// one df per distinct token.
-	s.stats.nodes++
-	s.stats.totalPos += doc.Len()
-	seen := make(map[string]bool, len(doc.Tokens))
-	for _, t := range doc.Tokens {
-		if !seen[t] {
-			seen[t] = true
-			s.stats.df[t]++
+	// Group by destination shard, preserving batch order so each group's
+	// ordinals stay strictly increasing; ordinal i is the document's
+	// batch-relative position, rebased by the allocator under the lock.
+	type group struct {
+		corpus *core.Corpus
+		docs   []*core.Doc
+		ids    []string
+		ords   []int
+	}
+	groups := make(map[int]*group, len(s.shards))
+	order := make([]int, 0, len(s.shards)) // shard visit order, deterministic commit
+	for i, d := range pre {
+		si := shard.Pick(d.id, len(s.shards))
+		g := groups[si]
+		if g == nil {
+			g = &group{corpus: core.NewCorpus()}
+			groups[si] = g
+			order = append(order, si)
+		}
+		toks, pos := s.analyzer.Apply(d.toks, d.pos)
+		doc, err := g.corpus.AddTokens(d.id, toks, pos)
+		if err != nil {
+			return err
+		}
+		g.docs = append(g.docs, doc)
+		g.ids = append(g.ids, d.id)
+		g.ords = append(g.ords, i)
+	}
+	metas := make(map[int]*segment.Segment, len(groups))
+	for si, g := range groups {
+		meta, err := segment.New(invlist.Build(g.corpus), g.ids, g.ords)
+		if err != nil {
+			return err
+		}
+		metas[si] = meta
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range pre {
+		if _, dup := s.byID[d.id]; dup {
+			return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, d.id)
 		}
 	}
-	s.afterMutate(si)
+
+	// Commit: nothing below can fail. Rebasing mutates each segment's
+	// ordinal table in place, which is safe because the segment is not yet
+	// visible to any reader.
+	for _, si := range order {
+		g, meta := groups[si], metas[si]
+		for k := range meta.Ords {
+			meta.Ords[k] += s.nextOrd
+		}
+		sg := s.newSeg(meta)
+		s.shards[si] = append(s.shards[si], sg)
+		for k, id := range meta.IDs {
+			s.byID[id] = docLoc{shard: si, sg: sg, node: core.NodeID(k + 1)}
+		}
+		// Incremental global statistics: one new live node per document,
+		// its positions, and one df per distinct token.
+		for _, doc := range g.docs {
+			s.stats.nodes++
+			s.stats.totalPos += doc.Len()
+			seenTok := make(map[string]bool, len(doc.Tokens))
+			for _, t := range doc.Tokens {
+				if !seenTok[t] {
+					seenTok[t] = true
+					s.stats.df[t]++
+				}
+			}
+		}
+	}
+	s.nextOrd += len(pre)
+	s.afterMutate(order...)
 	return nil
 }
 
 // Delete tombstones the live document with the given id, subtracting it
 // from collection statistics so subsequent scores match a rebuild without
 // it. The posting-list entries stay on disk-shaped segments until a lazy
-// merge compacts them. It reports whether a live document was deleted.
-// Cost: O(segment vocabulary · log entries) — recovering the document's
-// token set means probing every posting list of the owning segment (see
-// invlist.NodeTokens); ROADMAP.md tracks a per-segment forward index for
-// delete-heavy workloads.
-func (s *ShardedIndex) Delete(id string) (bool, error) {
+// merge compacts them. It reports whether a live document was deleted; a
+// miss is not an error, so the method has no error return (deletion of a
+// live document cannot fail). Cost: O(document tokens) — the owning
+// segment's forward index recovers the token set directly.
+func (s *ShardedIndex) Delete(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	loc, ok := s.byID[id]
 	if !ok {
-		return false, nil
+		return false
 	}
-	// The token set must be recovered from the segment's posting lists
-	// before tombstoning so document frequencies (and therefore idf and
-	// every score) stop counting the document immediately.
-	toks := loc.sg.meta.Inv.NodeTokens(loc.node)
+	// The token set must be recovered before tombstoning so document
+	// frequencies (and therefore idf and every score) stop counting the
+	// document immediately.
+	toks := loc.sg.meta.NodeTokens(loc.node)
+	s.fwdLookups++
 	if !loc.sg.meta.Delete(loc.node) {
 		// byID holds live documents only, so the node must have been alive.
 		panic(fmt.Sprintf("fulltext: live-document table pointed at tombstoned %q", id))
@@ -113,30 +223,42 @@ func (s *ShardedIndex) Delete(id string) (bool, error) {
 		}
 	}
 	s.afterMutate(loc.shard)
-	return true, nil
+	return true
 }
 
 // afterMutate finishes one mutation under the write lock: a fresh build
-// generation (cache entries under the old generation can no longer hit), a
-// fresh statistics identity (per-segment scoring blocks and idf memos
-// rebuild lazily against the updated corpus), and the lazy merge policy on
-// the touched shard. It runs after the mutation has fully taken effect and
-// cannot fail — merge-policy invariant violations panic, so Add/Delete
-// never report an error for an operation that was actually applied.
-func (s *ShardedIndex) afterMutate(si int) {
+// generation, a query-cache purge (entries under the old generation can
+// never hit again, so leaving them in place would only crowd out live
+// results), a fresh statistics identity (per-segment scoring blocks and
+// idf memos rebuild lazily against the updated corpus), and the lazy merge
+// policy on every touched shard. It runs after the mutation has fully
+// taken effect and cannot fail — merge-policy invariant violations panic,
+// so Add/AddBatch/Delete never report an error for an operation that was
+// actually applied.
+func (s *ShardedIndex) afterMutate(shards ...int) {
 	s.gen = shard.NextGeneration()
+	s.cache.Purge()
 	s.cstats = score.NewCached(s.stats)
-	s.applyMergePolicy(si)
+	for _, si := range shards {
+		s.applyMergePolicy(si)
+	}
 }
 
 // applyMergePolicy runs the tiered policy on shard si until it is within
 // policy, cascading when a delta-tail merge pushes the deltas over the
 // base ratio. Merges never consult the original documents — posting lists
 // merge physically, dropping tombstones — and never touch other shards.
-// The segment invariants (strictly increasing ordinals, consistent id
-// tables) are established at build/load time, so a merge failure here is
-// corrupted internal state and panics.
+// Plans at or above the policy's background threshold are handed to a
+// worker goroutine (one per shard at a time) so large compactions never
+// run under the write lock; while one is in flight the shard's planning is
+// suspended, and the worker re-runs the policy when it completes. The
+// segment invariants (strictly increasing ordinals, consistent id tables)
+// are established at build/load time, so a merge failure here is corrupted
+// internal state and panics.
 func (s *ShardedIndex) applyMergePolicy(si int) {
+	if s.bgInflight[si] {
+		return
+	}
 	for guard := 0; ; guard++ {
 		if guard > len(s.shards[si])+32 {
 			panic(fmt.Sprintf("fulltext: merge policy did not converge on shard %d", si))
@@ -149,31 +271,169 @@ func (s *ShardedIndex) applyMergePolicy(si int) {
 		if !ok {
 			return
 		}
+		if s.policy.Background(metas[lo : hi+1]) {
+			s.startBackgroundMerge(si, lo, hi)
+			return
+		}
 		merged, err := segment.Merge(metas[lo : hi+1])
 		if err != nil {
 			panic(fmt.Sprintf("fulltext: merging shard %d segments [%d,%d]: %v", si, lo, hi, err))
 		}
-		// Rebuild the tail into a fresh slice: no aliasing with the old
-		// backing array, so merged-away segments become collectable
-		// immediately.
-		next := make([]*seg, 0, len(s.shards[si])-(hi-lo))
-		next = append(next, s.shards[si][:lo]...)
-		if merged.Docs() > 0 || hi-lo+1 == len(s.shards[si]) {
-			// Keep the merged segment — unless compacting fully-dead
-			// segments emptied it and the shard has other segments (every
-			// shard keeps at least one).
-			sg := s.newSeg(merged)
-			for i, id := range merged.IDs {
-				s.byID[id] = docLoc{shard: si, sg: sg, node: core.NodeID(i + 1)}
-			}
-			next = append(next, sg)
-		}
-		next = append(next, s.shards[si][hi+1:]...)
-		s.shards[si] = next
+		s.swapMerged(si, lo, hi, merged)
 		s.merges++
 		s.segsMerged += uint64(hi - lo + 1)
 		s.docsMerged += uint64(merged.Live())
 	}
+}
+
+// swapMerged replaces s.shards[si][lo:hi+1] with the merged segment,
+// re-pointing the live-document table at the surviving copies. The tail is
+// rebuilt into a fresh slice: no aliasing with the old backing array, so
+// merged-away segments become collectable immediately. A merged segment
+// with no live documents is dropped — unless it is the shard's only
+// segment (every shard keeps at least one).
+func (s *ShardedIndex) swapMerged(si, lo, hi int, merged *segment.Segment) {
+	next := make([]*seg, 0, len(s.shards[si])-(hi-lo))
+	next = append(next, s.shards[si][:lo]...)
+	if merged.Live() > 0 || hi-lo+1 == len(s.shards[si]) {
+		sg := s.newSeg(merged)
+		for i, id := range merged.IDs {
+			n := core.NodeID(i + 1)
+			if !merged.Alive(n) {
+				// Tombstoned during a background merge: the id is either
+				// gone or owned by a younger copy — never re-point it here.
+				continue
+			}
+			s.byID[id] = docLoc{shard: si, sg: sg, node: n}
+		}
+		next = append(next, sg)
+	}
+	next = append(next, s.shards[si][hi+1:]...)
+	s.shards[si] = next
+}
+
+// startBackgroundMerge snapshots the planned inputs copy-on-write and
+// hands the merge to a worker goroutine. Caller holds the write lock. The
+// clones share the immutable posting lists and tables but own private
+// tombstone sets, so the worker reads them lock-free while the originals
+// keep serving queries and taking deletes.
+func (s *ShardedIndex) startBackgroundMerge(si, lo, hi int) {
+	inputs := append([]*seg(nil), s.shards[si][lo:hi+1]...)
+	frozen := make([]*segment.Segment, len(inputs))
+	for i, sg := range inputs {
+		frozen[i] = sg.meta.Clone()
+	}
+	s.bgInflight[si] = true
+	s.bgEnter()
+	go s.runBackgroundMerge(si, inputs, frozen)
+}
+
+// bgEnter and bgExit track in-flight background merges for WaitMerges. A
+// worker chaining a follow-up merge calls bgEnter (via applyMergePolicy)
+// before its own bgExit, so the active count never dips to zero while a
+// merge chain is still running.
+func (s *ShardedIndex) bgEnter() {
+	s.bgMu.Lock()
+	s.bgActive++
+	s.bgMu.Unlock()
+}
+
+func (s *ShardedIndex) bgExit() {
+	s.bgMu.Lock()
+	if s.bgActive--; s.bgActive == 0 {
+		s.bgCond.Broadcast()
+	}
+	s.bgMu.Unlock()
+}
+
+// runBackgroundMerge is the worker: it performs the physical merge with no
+// lock held, then re-acquires the write lock to validate the result
+// against whatever happened while it ran and swap it in. Validation walks
+// the merged id table once: a document survives only if the live-document
+// table still maps its id into one of the input segments — a delete (or a
+// delete-then-re-add, whose younger copy lives in a newer delta) that
+// raced the merge tombstones the merged copy before it ever serves a
+// query. Deltas appended during the merge sit after the input run, so the
+// follow-up policy pass picks them up.
+func (s *ShardedIndex) runBackgroundMerge(si int, inputs []*seg, frozen []*segment.Segment) {
+	defer s.bgExit()
+	merged, err := segment.Merge(frozen)
+	if hook := s.bgHook; hook != nil {
+		hook()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bgInflight[si] = false
+	if err != nil {
+		panic(fmt.Sprintf("fulltext: background merge on shard %d: %v", si, err))
+	}
+	lo, ok := s.findInputRun(si, inputs)
+	if !ok {
+		// The inputs are no longer an intact run (possible only if a future
+		// restructuring of the shard tail races this merge); the result
+		// cannot be swapped safely, so discard it and re-plan.
+		s.bgAborts++
+		s.applyMergePolicy(si)
+		return
+	}
+	owns := make(map[*seg]bool, len(inputs))
+	for _, sg := range inputs {
+		owns[sg] = true
+	}
+	for i, id := range merged.IDs {
+		n := core.NodeID(i + 1)
+		loc, live := s.byID[id]
+		if live && owns[loc.sg] {
+			continue
+		}
+		if !merged.Delete(n) {
+			panic(fmt.Sprintf("fulltext: background merge produced dead document %q", id))
+		}
+		s.bgTombstones++
+	}
+	s.swapMerged(si, lo, lo+len(inputs)-1, merged)
+	s.merges++
+	s.bgMerges++
+	s.segsMerged += uint64(len(inputs))
+	s.docsMerged += uint64(merged.Live())
+	s.applyMergePolicy(si)
+}
+
+// findInputRun locates inputs as a contiguous run of shard si's segment
+// tail, by pointer identity.
+func (s *ShardedIndex) findInputRun(si int, inputs []*seg) (int, bool) {
+	tail := s.shards[si]
+	for lo := 0; lo+len(inputs) <= len(tail); lo++ {
+		if tail[lo] != inputs[0] {
+			continue
+		}
+		match := true
+		for k := 1; k < len(inputs); k++ {
+			if tail[lo+k] != inputs[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return lo, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// WaitMerges blocks until no background merge is in flight (follow-up
+// merges a completing worker schedules are waited for too, since a worker
+// registers them before signing off). Safe for concurrent use, including
+// against mutations that schedule new merges while it blocks — though
+// under sustained write traffic it may then wait for those as well; call
+// it after quiescing writers for a deterministic tail.
+func (s *ShardedIndex) WaitMerges() {
+	s.bgMu.Lock()
+	for s.bgActive > 0 {
+		s.bgCond.Wait()
+	}
+	s.bgMu.Unlock()
 }
 
 // SetMergePolicy replaces the lazy-merge policy (zero fields take
@@ -205,14 +465,27 @@ type SegmentStats struct {
 	Shards []ShardSegments
 	// Rebuilds counts from-scratch shard constructions (ShardedBuilder.Build
 	// only; loading a persisted index starts at zero). Incremental
-	// Add/Delete never increment it — the invariant the segment subsystem
-	// exists for.
+	// Add/AddBatch/Delete never increment it — the invariant the segment
+	// subsystem exists for.
 	Rebuilds uint64
 	// Merges counts lazy merge operations; SegmentsMerged and DocsMerged
 	// are the input segments consumed and live documents rewritten by them.
 	Merges         uint64
 	SegmentsMerged uint64
 	DocsMerged     uint64
+	// BackgroundMerges counts the subset of Merges completed on the worker
+	// (copy-on-write inputs, off the write lock); InFlightMerges is the
+	// number currently running. BackgroundAborts counts worker results
+	// discarded at validation, and BackgroundTombstones counts merged
+	// documents tombstoned because a delete raced the merge.
+	BackgroundMerges     uint64
+	InFlightMerges       int
+	BackgroundAborts     uint64
+	BackgroundTombstones uint64
+	// ForwardLookups counts Delete token-set recoveries served by the
+	// per-segment forward index — the O(document) delete path. Every
+	// successful Delete performs exactly one.
+	ForwardLookups uint64
 }
 
 // SegmentStats returns a snapshot of segment and merge-policy state.
@@ -220,11 +493,20 @@ func (s *ShardedIndex) SegmentStats() SegmentStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := SegmentStats{
-		Shards:         make([]ShardSegments, len(s.shards)),
-		Rebuilds:       s.rebuilds,
-		Merges:         s.merges,
-		SegmentsMerged: s.segsMerged,
-		DocsMerged:     s.docsMerged,
+		Shards:               make([]ShardSegments, len(s.shards)),
+		Rebuilds:             s.rebuilds,
+		Merges:               s.merges,
+		SegmentsMerged:       s.segsMerged,
+		DocsMerged:           s.docsMerged,
+		BackgroundMerges:     s.bgMerges,
+		BackgroundAborts:     s.bgAborts,
+		BackgroundTombstones: s.bgTombstones,
+		ForwardLookups:       s.fwdLookups,
+	}
+	for _, inflight := range s.bgInflight {
+		if inflight {
+			out.InFlightMerges++
+		}
 	}
 	for i, segs := range s.shards {
 		ss := ShardSegments{Segments: len(segs)}

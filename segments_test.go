@@ -135,9 +135,8 @@ func TestIncrementalEquivalence(t *testing.T) {
 
 	// Deletes: tombstones must drop documents from results and statistics.
 	for _, i := range []int{3, 17, 31, 44} {
-		ok, err := inc.Delete(docs[i][0])
-		if err != nil || !ok {
-			t.Fatalf("delete %s: ok=%v err=%v", docs[i][0], ok, err)
+		if !inc.Delete(docs[i][0]) {
+			t.Fatalf("delete %s: no live document", docs[i][0])
 		}
 		live = removeDoc(live, docs[i][0])
 	}
@@ -146,8 +145,8 @@ func TestIncrementalEquivalence(t *testing.T) {
 	// Delete-then-add of the same id: the re-added document is a new
 	// insertion (fresh ordinal at the end), exactly like a rebuild that
 	// appends it last.
-	if ok, err := inc.Delete("doc010"); err != nil || !ok {
-		t.Fatalf("delete doc010: ok=%v err=%v", ok, err)
+	if !inc.Delete("doc010") {
+		t.Fatal("delete doc010: no live document")
 	}
 	live = removeDoc(live, "doc010")
 	if err := inc.Add("doc010", "needle common alpha resurrection"); err != nil {
@@ -258,8 +257,8 @@ func TestSegmentedRoundTrip(t *testing.T) {
 		live = append(live, d)
 	}
 	for _, id := range []string{"doc002", "doc031"} {
-		if ok, err := ix.Delete(id); err != nil || !ok {
-			t.Fatalf("delete %s: ok=%v err=%v", id, ok, err)
+		if !ix.Delete(id) {
+			t.Fatalf("delete %s: no live document", id)
 		}
 		live = removeDoc(live, id)
 	}
@@ -294,8 +293,8 @@ func TestSegmentedRoundTrip(t *testing.T) {
 
 	// The loaded index must keep accepting updates: delete-then-add of the
 	// same id across a persistence boundary.
-	if ok, err := loaded.Delete("doc005"); err != nil || !ok {
-		t.Fatalf("post-load delete: ok=%v err=%v", ok, err)
+	if !loaded.Delete("doc005") {
+		t.Fatal("post-load delete: no live document")
 	}
 	live = removeDoc(live, "doc005")
 	if err := loaded.Add("doc005", "alpha beta reborn"); err != nil {
@@ -323,8 +322,8 @@ func TestFullyDeadSegmentIsDropped(t *testing.T) {
 	if got := ix.SegmentStats().Shards[0].Segments; got != 2 {
 		t.Fatalf("expected base + delta, got %d segments", got)
 	}
-	if ok, err := ix.Delete("ephemeral"); err != nil || !ok {
-		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	if !ix.Delete("ephemeral") {
+		t.Fatal("delete: no live document")
 	}
 	st := ix.SegmentStats().Shards[0]
 	if st.Segments != 1 || st.DeadDocs != 0 {
@@ -339,8 +338,8 @@ func TestFullyDeadSegmentIsDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	sx := one.Build()
-	if ok, err := sx.Delete("only"); err != nil || !ok {
-		t.Fatalf("delete only doc: ok=%v err=%v", ok, err)
+	if !sx.Delete("only") {
+		t.Fatal("delete only doc: no live document")
 	}
 	if got := sx.SegmentStats().Shards[0].Segments; got != 1 {
 		t.Fatalf("emptied shard has %d segments, want 1", got)
@@ -397,9 +396,7 @@ func TestConcurrentMutationAndSearch(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i%7 == 0 {
-			if _, err := ix.Delete(docs[40+i/2][0]); err != nil {
-				t.Fatal(err)
-			}
+			ix.Delete(docs[40+i/2][0])
 		}
 	}
 	close(done)

@@ -150,18 +150,24 @@ type docLoc struct {
 // parallel fan-out and, unlike the immutable single Index, accepting
 // incremental updates. Each shard holds one immutable base segment plus a
 // tail of delta segments: Add appends a delta in O(document) time without
-// rebuilding anything, Delete tombstones in place, and a tiered policy
-// merges segments lazily (see internal/segment). Queries are rewritten,
-// validated and normalized once, evaluated on every shard concurrently —
-// within a shard, segment results merge in document order (Boolean) or
-// through a bounded top-K heap (ranked) — and per-shard results merge the
-// same way globally. Every segment scores against incrementally maintained
-// global collection statistics, so results and scores are byte-identical
-// to a from-scratch rebuild over the live documents. Merged results are
-// memoized in an LRU cache keyed on (canonical query, engine/model, topK,
-// build generation); mutations bump the generation, naturally invalidating
-// cached entries. All methods are safe for concurrent use; mutations
-// serialize behind in-flight searches.
+// rebuilding anything (AddBatch amortizes N documents into one mutation),
+// Delete tombstones in place in O(document) via the per-segment forward
+// index, and a tiered policy merges segments lazily (see
+// internal/segment) — merges above the policy's size threshold run on a
+// background worker against copy-on-write segment snapshots, so neither
+// readers nor small mutations ever wait on a compaction. Queries are
+// rewritten, validated and normalized once, evaluated on every shard
+// concurrently — within a shard, segment results merge in document order
+// (Boolean) or through a bounded top-K heap (ranked) — and per-shard
+// results merge the same way globally. Every segment scores against
+// incrementally maintained global collection statistics, so results and
+// scores are byte-identical to a from-scratch rebuild over the live
+// documents. Merged results are memoized in an LRU cache keyed on
+// (canonical query, engine/model, topK, build generation); mutations bump
+// the generation and purge the cache (the old generation's entries could
+// never hit again). All methods are safe for concurrent use; mutations
+// serialize behind in-flight searches, but background merges do their
+// heavy lifting off the lock.
 type ShardedIndex struct {
 	mu       sync.RWMutex
 	shards   [][]*seg
@@ -182,11 +188,27 @@ type ShardedIndex struct {
 	cache  *shard.Cache
 	gen    uint64
 
+	// Background merge worker state (under mu except bgActive/bgCond,
+	// which use their own bgMu so WaitMerges never touches the main lock;
+	// bgHook is set only before any worker starts). A plain WaitGroup
+	// would not do: mutations may legally schedule new merges from a zero
+	// counter while another goroutine is blocked waiting, which is
+	// documented WaitGroup misuse.
+	bgMu       sync.Mutex
+	bgCond     *sync.Cond
+	bgActive   int    // background merges in flight (under bgMu)
+	bgInflight []bool // per shard: a background merge owns the shard's planning
+	bgHook     func() // test hook, runs between the off-lock merge and the swap
+
 	// Maintenance counters (under mu).
-	rebuilds   uint64 // from-scratch shard builds (Build/load only — never Add/Delete)
-	merges     uint64 // lazy merge operations applied
-	segsMerged uint64 // input segments consumed by those merges
-	docsMerged uint64 // live documents rewritten by those merges
+	rebuilds     uint64 // from-scratch shard builds (Build/load only — never Add/Delete)
+	merges       uint64 // lazy merge operations applied (inline + background)
+	segsMerged   uint64 // input segments consumed by those merges
+	docsMerged   uint64 // live documents rewritten by those merges
+	bgMerges     uint64 // merges completed on the background worker
+	bgAborts     uint64 // background merge results discarded at validation
+	bgTombstones uint64 // merged documents tombstoned for deletes that raced the merge
+	fwdLookups   uint64 // Delete token-set recoveries served by the forward index
 }
 
 // newShardedIndex wraps per-shard indexes (from ShardedBuilder.Build or the
@@ -216,16 +238,18 @@ func newShardedIndexFromSegments(shardSegs [][]*segment.Segment, analyzer *text.
 		analyzer = &text.Analyzer{}
 	}
 	s := &ShardedIndex{
-		shards:   make([][]*seg, len(shardSegs)),
-		reg:      pred.Default(),
-		analyzer: analyzer,
-		rc:       &rankedCounters{},
-		byID:     make(map[string]docLoc),
-		policy:   segment.DefaultPolicy(),
-		stats:    &globalStats{df: make(map[string]int)},
-		cache:    shard.NewCache(DefaultQueryCacheSize),
-		gen:      shard.NextGeneration(),
+		shards:     make([][]*seg, len(shardSegs)),
+		reg:        pred.Default(),
+		analyzer:   analyzer,
+		rc:         &rankedCounters{},
+		byID:       make(map[string]docLoc),
+		policy:     segment.DefaultPolicy(),
+		stats:      &globalStats{df: make(map[string]int)},
+		cache:      shard.NewCache(DefaultQueryCacheSize),
+		gen:        shard.NextGeneration(),
+		bgInflight: make([]bool, len(shardSegs)),
 	}
+	s.bgCond = sync.NewCond(&s.bgMu)
 	for i, metas := range shardSegs {
 		s.shards[i] = make([]*seg, len(metas))
 		for j, m := range metas {
