@@ -26,11 +26,12 @@ import (
 	"fulltext/internal/bench"
 	"fulltext/internal/segment"
 	"fulltext/internal/synth"
+	"fulltext/internal/wal"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, segments, ingest, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, segments, ingest, wal, or all")
 		scale      = flag.Float64("scale", 0.25, "corpus scale factor (1 = the paper's sizes)")
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
 		seed       = flag.Int64("seed", 2006, "corpus random seed")
@@ -113,6 +114,11 @@ func main() {
 
 	if run("ingest") {
 		emit("ingest", ingestExperiment(s))
+		ran = true
+	}
+
+	if run("wal") {
+		emit("wal", walExperiment(s))
 		ran = true
 	}
 
@@ -598,6 +604,189 @@ func ingestExperiment(s bench.Setup) *bench.Table {
 			x, persec(totalSingle/time.Duration(reps)), persec(totalBatch/time.Duration(reps)),
 			(totalSingle.Seconds())/(totalBatch.Seconds()),
 			stall["STALL-INLINE-P99"], stall["STALL-BG-P99"])
+	}
+	fmt.Println()
+	return t
+}
+
+// walSeries are the durability regimes (experiment "wal"): per-document
+// ingestion throughput with the write-ahead log under each sync policy —
+// no sync, interval group commit, and per-record fsync — plus the startup
+// recovery cost of replaying the log the interval regime left behind.
+var walSeries = []string{"INGEST-NONE", "INGEST-INTERVAL", "INGEST-ALWAYS", "REPLAY"}
+
+// walExperiment measures the write-ahead log (experiment "wal"): for each
+// row it ingests N documents one at a time — one log record and one
+// acknowledged mutation each — into a fresh durable directory per sync
+// policy, then reopens the interval directory cold and measures recovery
+// replay (the row doubles as "replay time vs log length"). Recovered
+// results are verified byte-identical to a from-scratch rebuild, and
+// group commit must beat per-record fsync on the largest row: if an fsync
+// per mutation is ever as cheap as one per interval, either the clock or
+// the durability is lying.
+func walExperiment(s bench.Setup) *bench.Table {
+	const shards = 2
+	c := synth.Corpus(synth.Config{
+		Seed: s.Seed, NumDocs: s.CNodes, DocLen: s.DocLen, VocabSize: s.Vocab,
+		Plants: []synth.Plant{
+			{Token: "needle", DocFraction: 0.05, PerDoc: 3},
+			{Token: "common", DocFraction: 0.5, PerDoc: 2},
+		}})
+	docs := c.Docs()
+	// Per-record fsync costs milliseconds a row; cap the row sizes so the
+	// ALWAYS series finishes in seconds while still fsyncing hundreds of
+	// times.
+	maxN := len(docs)
+	if maxN > 400 {
+		maxN = 400
+	}
+	reps := s.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	q, err := fulltext.Parse(fulltext.BOOL, `'needle' OR 'common'`)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("WAL ingestion and recovery (%d shards, per-document records)", shards),
+		XLabel: "documents (= log records)",
+		Series: walSeries,
+		Cells:  map[string]map[string]bench.Cell{},
+	}
+	addCell := func(x, series string, c bench.Cell) {
+		if _, ok := t.Cells[x]; !ok {
+			t.XVals = append(t.XVals, x)
+			t.Cells[x] = map[string]bench.Cell{}
+		}
+		t.Cells[x][series] = c
+	}
+
+	policies := []struct {
+		series string
+		sync   wal.SyncPolicy
+	}{
+		{"INGEST-NONE", wal.SyncNone},
+		{"INGEST-INTERVAL", wal.SyncInterval},
+		{"INGEST-ALWAYS", wal.SyncAlways},
+	}
+	opts := func(sync wal.SyncPolicy) fulltext.DurableOptions {
+		return fulltext.DurableOptions{Shards: shards, Sync: sync}
+	}
+	var bestInterval, bestAlways time.Duration
+	for _, n := range []int{maxN / 4, maxN} {
+		if n < 1 {
+			n = 1
+		}
+		batch := docs[:n]
+		x := fmt.Sprintf("%d", n)
+		var intervalDir string
+		for _, regime := range policies {
+			var total, best time.Duration
+			for r := 0; r < reps; r++ {
+				dir, err := os.MkdirTemp("", "ftbench-wal-*")
+				if err != nil {
+					fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				ix, err := fulltext.OpenDurable(dir, opts(regime.sync))
+				if err != nil {
+					fatal(err)
+				}
+				start := time.Now()
+				for _, d := range batch {
+					if err := ix.AddTokens(d.ID, d.Tokens); err != nil {
+						fatal(err)
+					}
+				}
+				el := time.Since(start)
+				if err := ix.Close(); err != nil {
+					fatal(err)
+				}
+				total += el
+				if r == 0 || el < best {
+					best = el
+				}
+				intervalDir = dir // the last closed dir of this regime
+			}
+			addCell(x, regime.series, bench.Cell{Time: total / time.Duration(reps), Results: n})
+			switch regime.series {
+			case "INGEST-INTERVAL":
+				if n == maxN {
+					bestInterval = best
+				}
+			case "INGEST-ALWAYS":
+				if n == maxN {
+					bestAlways = best
+				}
+			}
+			if regime.series != "INGEST-INTERVAL" {
+				continue
+			}
+			// Recovery: reopen the just-written directory cold. The whole
+			// log replays (no checkpoint was taken), so the row size is the
+			// replayed log length.
+			start := time.Now()
+			re, err := fulltext.OpenDurable(intervalDir, opts(wal.SyncInterval))
+			if err != nil {
+				fatal(err)
+			}
+			replay := time.Since(start)
+			rec := re.WALStats().Recovery
+			if rec.ReplayedRecords != uint64(n) {
+				fatal(fmt.Errorf("recovery replayed %d records, want %d", rec.ReplayedRecords, n))
+			}
+			addCell(x, "REPLAY", bench.Cell{Time: replay, Results: n})
+			// Equivalence guard: the recovered index must answer exactly
+			// like a from-scratch rebuild over the same documents.
+			sb := fulltext.NewShardedBuilder(shards)
+			for _, d := range batch {
+				if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+					fatal(err)
+				}
+			}
+			rebuilt := sb.Build()
+			for _, check := range []func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error){
+				func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error) { return ix.Search(q) },
+				func(ix *fulltext.ShardedIndex) ([]fulltext.Match, error) {
+					return ix.SearchRanked(q, fulltext.TFIDF, 25)
+				},
+			} {
+				got, err := check(re)
+				if err != nil {
+					fatal(err)
+				}
+				want, err := check(rebuilt)
+				if err != nil {
+					fatal(err)
+				}
+				if len(got) != len(want) {
+					fatal(fmt.Errorf("recovered index diverged at %s: %d vs %d results", x, len(got), len(want)))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						fatal(fmt.Errorf("recovered index diverged at %s position %d: %+v vs %+v", x, i, got[i], want[i]))
+					}
+				}
+			}
+			if err := re.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		persec := func(series string) float64 {
+			return float64(n) / t.Cells[x][series].Time.Seconds()
+		}
+		fmt.Printf("wal %s: none %.0f docs/s, interval %.0f docs/s, always %.0f docs/s; replay %s\n",
+			x, persec("INGEST-NONE"), persec("INGEST-INTERVAL"), persec("INGEST-ALWAYS"),
+			t.Cells[x]["REPLAY"].Time)
+	}
+	// The durability ladder must actually be a ladder: group commit exists
+	// to amortize fsyncs, so per-record fsync losing to it (best repetition
+	// against best repetition) is a regression in the sync path.
+	if bestInterval >= bestAlways {
+		fatal(fmt.Errorf("group-commit ingestion (%v) did not beat per-record fsync (%v) over %d documents",
+			bestInterval, bestAlways, maxN))
 	}
 	fmt.Println()
 	return t

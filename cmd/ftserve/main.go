@@ -18,12 +18,25 @@
 // delta segment on its hash shard (no shard rebuild), POST /docs/batch
 // applies many documents as one mutation (one lock acquisition, one
 // generation bump), DELETE /docs/{id} tombstones one in O(document) via
-// the per-segment forward index, and a tiered policy merges segments
-// lazily. Merges at or above the -bgmerge document threshold run on a
-// background worker against copy-on-write segment snapshots, so requests
-// never wait on a large compaction (sub-threshold merges stay inline —
-// they are cheap by definition). /stats exposes the per-shard segment
-// tails and merge counters.
+// the per-segment forward index (POST /docs/delete-batch does the same for
+// many ids as one mutation), and a tiered policy merges segments lazily.
+// Merges at or above the -bgmerge document threshold run on a bounded
+// background worker pool (-merge-workers) against copy-on-write segment
+// snapshots, so requests never wait on a large compaction (sub-threshold
+// merges stay inline — they are cheap by definition). /stats exposes the
+// per-shard segment tails and merge counters.
+//
+// With -data-dir the server is durable: every mutation is appended to a
+// write-ahead log (sync policy per -wal-sync: "always" fsyncs per record,
+// "interval" group-commits, "none" trusts the OS) before it is applied,
+// startup recovers by loading the newest snapshot and replaying the log
+// tail, and POST /checkpoint persists a fresh snapshot and truncates the
+// replayed-over log prefix. Recovery counters appear under "wal" in
+// /stats.
+//
+//	ftserve -data-dir ./data -shards 4            durable, fresh or recovered
+//	ftserve -data-dir ./data -dir ./docs          seed an empty store from *.txt
+//	ftserve -data-dir ./data -wal-sync always     fsync every mutation
 //
 // Endpoints (all JSON):
 //
@@ -31,7 +44,9 @@
 //	GET    /explain?q=QUERY&lang=comp
 //	POST   /docs               body {"id": "...", "body": "..."}
 //	POST   /docs/batch         body {"docs": [{"id": "...", "body": "..."}, ...]}
+//	POST   /docs/delete-batch  body {"ids": ["...", ...]}
 //	DELETE /docs/{id}
+//	POST   /checkpoint
 //	GET    /stats
 //	GET    /healthz
 package main
@@ -56,6 +71,7 @@ import (
 
 	"fulltext"
 	"fulltext/internal/segment"
+	"fulltext/internal/wal"
 )
 
 func main() {
@@ -64,22 +80,32 @@ func main() {
 		dir      = flag.String("dir", "", "directory of .txt files to index (one document per file)")
 		load     = flag.String("load", "", "load a persisted sharded index instead of building one")
 		save     = flag.String("save", "", "persist the built index to this file")
-		shards   = flag.Int("shards", 4, "number of index shards when building with -dir")
+		shards   = flag.Int("shards", 4, "number of index shards when building with -dir or opening a fresh -data-dir")
 		cache    = flag.Int("cache", fulltext.DefaultQueryCacheSize, "query-result cache capacity in entries (0 disables)")
 		inflight = flag.Int("inflight", 64, "max concurrent requests before shedding load with 503 (0 disables the limiter)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 disables)")
-		bgmerge  = flag.Int("bgmerge", 0, "min input docs for a segment merge to run on the background worker (0 = default 4096, negative = always inline)")
+		bgmerge  = flag.Int("bgmerge", 0, "min input docs for a segment merge to run on the background pool (0 = default 4096, negative = always inline)")
+		workers  = flag.Int("merge-workers", 0, "max concurrent background merges (0 = default GOMAXPROCS/2)")
+
+		dataDir  = flag.String("data-dir", "", "durable data directory: snapshot + write-ahead log, with crash recovery on start")
+		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always (per record), interval (group commit), or none")
+		walEvery = flag.Duration("wal-sync-interval", wal.DefaultInterval, "group-commit fsync cadence under -wal-sync interval")
 	)
 	flag.Parse()
 
-	ix, err := buildOrLoad(*dir, *load, *shards)
+	ix, err := buildOrLoad(*dir, *load, *dataDir, *shards, *walSync, *walEvery)
 	if err != nil {
 		fatal(err)
 	}
 	ix.SetQueryCacheSize(*cache)
-	if *bgmerge != 0 {
+	if *bgmerge != 0 || *workers != 0 {
 		p := segment.DefaultPolicy()
-		p.BackgroundMinDocs = *bgmerge
+		if *bgmerge != 0 {
+			p.BackgroundMinDocs = *bgmerge
+		}
+		if *workers != 0 {
+			p.MaxBackgroundWorkers = *workers
+		}
 		ix.SetMergePolicy(p)
 	}
 	if *save != "" {
@@ -107,7 +133,13 @@ func main() {
 	}
 }
 
-func buildOrLoad(dir, load string, shards int) (*fulltext.ShardedIndex, error) {
+func buildOrLoad(dir, load, dataDir string, shards int, walSync string, walEvery time.Duration) (*fulltext.ShardedIndex, error) {
+	if dataDir != "" {
+		if load != "" {
+			return nil, fmt.Errorf("-data-dir and -load are mutually exclusive (a data directory carries its own snapshots)")
+		}
+		return openDurable(dir, dataDir, shards, walSync, walEvery)
+	}
 	switch {
 	case load != "":
 		f, err := os.Open(load)
@@ -117,34 +149,81 @@ func buildOrLoad(dir, load string, shards int) (*fulltext.ShardedIndex, error) {
 		defer f.Close()
 		return fulltext.ReadShardedIndex(f)
 	case dir != "":
-		entries, err := os.ReadDir(dir)
+		docs, err := readTxtDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		var files []string
-		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
-				files = append(files, e.Name())
-			}
-		}
-		sort.Strings(files)
-		if len(files) == 0 {
-			return nil, fmt.Errorf("no .txt files in %s", dir)
-		}
 		b := fulltext.NewShardedBuilder(shards)
-		for _, name := range files {
-			data, err := os.ReadFile(filepath.Join(dir, name))
-			if err != nil {
-				return nil, err
-			}
-			if err := b.Add(strings.TrimSuffix(name, ".txt"), string(data)); err != nil {
+		for _, d := range docs {
+			if err := b.Add(d.ID, d.Body); err != nil {
 				return nil, err
 			}
 		}
 		return b.Build(), nil
 	default:
-		return nil, fmt.Errorf("one of -dir or -load is required")
+		return nil, fmt.Errorf("one of -dir, -load, or -data-dir is required")
 	}
+}
+
+// openDurable opens the durable store, logging what recovery replayed, and
+// seeds an empty store from -dir when both are given (the seed batch goes
+// through the write-ahead log like any other mutation).
+func openDurable(dir, dataDir string, shards int, walSync string, walEvery time.Duration) (*fulltext.ShardedIndex, error) {
+	policy, err := wal.ParseSyncPolicy(walSync)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := fulltext.OpenDurable(dataDir, fulltext.DurableOptions{
+		Shards:       shards,
+		Sync:         policy,
+		SyncInterval: walEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := ix.WALStats().Recovery
+	log.Printf("recovered %s: snapshot LSN %d, replayed %d records (%d adds, %d deletes, %d skipped) in %s",
+		dataDir, rec.SnapshotLSN, rec.ReplayedRecords, rec.ReplayedAdds, rec.ReplayedDeletes,
+		rec.SkippedRecords, rec.ReplayDuration.Round(time.Millisecond))
+	if dir != "" && ix.Docs() == 0 {
+		docs, err := readTxtDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.AddBatch(docs); err != nil {
+			return nil, err
+		}
+		log.Printf("seeded %d documents from %s", len(docs), dir)
+	}
+	return ix, nil
+}
+
+// readTxtDir reads a directory of .txt files, one document per file, in
+// name order.
+func readTxtDir(dir string) ([]fulltext.Document, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .txt files in %s", dir)
+	}
+	docs := make([]fulltext.Document, 0, len(files))
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, fulltext.Document{ID: strings.TrimSuffix(name, ".txt"), Body: string(data)})
+	}
+	return docs, nil
 }
 
 // maxTop caps the top query parameter of ranked searches.
@@ -190,7 +269,9 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("POST /docs", s.handleAddDoc)
 	mux.HandleFunc("POST /docs/batch", s.handleAddBatch)
+	mux.HandleFunc("POST /docs/delete-batch", s.handleDeleteBatch)
 	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 
@@ -523,6 +604,60 @@ func (s *server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// deleteBatchRequest is the POST /docs/delete-batch body.
+type deleteBatchRequest struct {
+	IDs []string `json:"ids"`
+}
+
+func (s *server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req deleteBatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	start := time.Now()
+	// Misses are skipped, not errors — bulk expiry routinely re-deletes —
+	// so the response reports both requested and deleted counts. The only
+	// failure mode is the durable write-ahead log append.
+	deleted, err := s.ix.DeleteBatch(req.IDs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requested": len(req.IDs),
+		"deleted":   deleted,
+		"docs":      s.ix.Docs(),
+		"took_ms":   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ck, err := s.ix.Checkpoint("")
+	if err != nil {
+		// Without -data-dir there is nothing to checkpoint into: the
+		// request is wrong for this deployment, not a server fault.
+		code := http.StatusConflict
+		if s.ix.WALStats().Attached {
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"lsn":                ck.LSN,
+		"snapshot_bytes":     ck.SnapshotBytes,
+		"truncated_segments": ck.TruncatedSegments,
+		"took_ms":            float64(ck.Duration.Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	start := time.Now()
@@ -554,6 +689,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"segments":        gs.Shards[i].Segments,
 			"delta_segments":  gs.Shards[i].Deltas,
 			"tombstones":      gs.Shards[i].DeadDocs,
+			"merge_priority":  gs.Shards[i].MergePriority,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -599,12 +735,43 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"docs_merged":           gs.DocsMerged,
 			"background_merges":     gs.BackgroundMerges,
 			"inflight_merges":       uint64(gs.InFlightMerges),
+			"queued_merges":         uint64(gs.QueuedMerges),
+			"merge_workers":         uint64(gs.MergeWorkers),
 			"background_aborts":     gs.BackgroundAborts,
 			"background_tombstones": gs.BackgroundTombstones,
 			"forward_lookups":       gs.ForwardLookups,
 		},
+		// Durability: log position/activity plus what startup recovery had
+		// to replay. "attached" is false (and the section otherwise zero)
+		// without -data-dir.
+		"wal":           walSection(s.ix.WALStats()),
 		"shed_requests": s.shedCount(),
 	})
+}
+
+// walSection renders WALStats for /stats.
+func walSection(ws fulltext.WALStats) map[string]any {
+	return map[string]any{
+		"attached":            ws.Attached,
+		"next_lsn":            ws.NextLSN,
+		"appends":             ws.Appends,
+		"syncs":               ws.Syncs,
+		"segments":            ws.Segments,
+		"active_bytes":        ws.ActiveBytes,
+		"sync_policy":         ws.SyncPolicy,
+		"checkpoints":         ws.Checkpoints,
+		"last_checkpoint_lsn": ws.LastCheckpointLSN,
+		"recovery": map[string]any{
+			"snapshot_lsn":         ws.Recovery.SnapshotLSN,
+			"replayed_records":     ws.Recovery.ReplayedRecords,
+			"replayed_adds":        ws.Recovery.ReplayedAdds,
+			"replayed_deletes":     ws.Recovery.ReplayedDeletes,
+			"replayed_checkpoints": ws.Recovery.ReplayedCheckpoints,
+			"skipped_records":      ws.Recovery.SkippedRecords,
+			"torn_tail_dropped":    ws.Recovery.TornTailDropped,
+			"replay_ms":            float64(ws.Recovery.ReplayDuration.Microseconds()) / 1000,
+		},
+	}
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

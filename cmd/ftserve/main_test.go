@@ -30,7 +30,7 @@ func testServer(t *testing.T) (*httptest.Server, *fulltext.ShardedIndex) {
 			t.Fatal(err)
 		}
 	}
-	ix, err := buildOrLoad(dir, "", 2)
+	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestServeLoadedIndex(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := buildOrLoad("", path, 0)
+	loaded, err := buildOrLoad("", path, "", 0, "interval", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,10 +354,10 @@ func TestServeLoadedIndex(t *testing.T) {
 	if resp.Count != 2 {
 		t.Fatalf("loaded index response %+v", resp)
 	}
-	if _, err := buildOrLoad("", "", 0); err == nil {
+	if _, err := buildOrLoad("", "", "", 0, "interval", 0); err == nil {
 		t.Fatal("buildOrLoad with no source should fail")
 	}
-	if _, err := buildOrLoad(t.TempDir(), "", 2); err == nil {
+	if _, err := buildOrLoad(t.TempDir(), "", "", 2, "interval", 0); err == nil {
 		t.Fatal("empty dir should fail")
 	}
 }
@@ -517,4 +517,160 @@ func TestAddBatchEndpoint(t *testing.T) {
 	doJSON(t, "POST", ts.URL+"/docs/batch", `{`, http.StatusBadRequest, nil)
 	doJSON(t, "POST", ts.URL+"/docs/batch", `{"docs":[]}`, http.StatusBadRequest, nil)
 	doJSON(t, "POST", ts.URL+"/docs/batch", `{"docs":[{"body":"no id"}]}`, http.StatusBadRequest, nil)
+}
+
+func TestDeleteBatchEndpoint(t *testing.T) {
+	ts, ix := testServer(t)
+	var resp struct {
+		Requested int `json:"requested"`
+		Deleted   int `json:"deleted"`
+		Docs      int `json:"docs"`
+	}
+	// Misses and duplicates are skipped, hits are deleted, one mutation.
+	doJSON(t, "POST", ts.URL+"/docs/delete-batch",
+		`{"ids":["usability","ghost","usability","software"]}`,
+		http.StatusOK, &resp)
+	if resp.Requested != 4 || resp.Deleted != 2 || resp.Docs != 1 {
+		t.Fatalf("delete-batch response = %+v", resp)
+	}
+	if ix.Docs() != 1 {
+		t.Fatalf("%d docs after delete-batch, want 1", ix.Docs())
+	}
+	var sr searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &sr)
+	if sr.Count != 0 {
+		t.Fatalf("deleted docs still match: %+v", sr)
+	}
+	// Malformed and empty batches are client errors.
+	doJSON(t, "POST", ts.URL+"/docs/delete-batch", `{`, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/docs/delete-batch", `{"ids":[]}`, http.StatusBadRequest, nil)
+}
+
+func TestCheckpointEndpointWithoutDataDir(t *testing.T) {
+	ts, _ := testServer(t)
+	// Not durable: checkpointing is a deployment mismatch, not a 500.
+	doJSON(t, "POST", ts.URL+"/checkpoint", "", http.StatusConflict, nil)
+}
+
+// durableServer builds a durable server over a fresh data directory.
+func durableServer(t *testing.T, dataDir string) (*httptest.Server, *fulltext.ShardedIndex) {
+	t.Helper()
+	ix, err := buildOrLoad("", "", dataDir, 2, "interval", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(ix))
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+func TestDurableServerCheckpointAndRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	ts, ix := durableServer(t, dataDir)
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"a","body":"usability quality"}`, http.StatusCreated, nil)
+	doJSON(t, "POST", ts.URL+"/docs/batch",
+		`{"docs":[{"id":"b","body":"software test"},{"id":"c","body":"usability test"}]}`,
+		http.StatusCreated, nil)
+
+	var ck struct {
+		LSN           uint64  `json:"lsn"`
+		SnapshotBytes int64   `json:"snapshot_bytes"`
+		TookMS        float64 `json:"took_ms"`
+	}
+	doJSON(t, "POST", ts.URL+"/checkpoint", "", http.StatusOK, &ck)
+	if ck.LSN != 2 || ck.SnapshotBytes == 0 {
+		t.Fatalf("checkpoint response = %+v", ck)
+	}
+	// Post-checkpoint mutations live only in the log tail.
+	doJSON(t, "POST", ts.URL+"/docs", `{"id":"d","body":"late arrival"}`, http.StatusCreated, nil)
+	doJSON(t, "DELETE", ts.URL+"/docs/b", "", http.StatusOK, nil)
+
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	walSec, ok := stats["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing wal section: %v", stats)
+	}
+	if walSec["attached"] != true || walSec["sync_policy"] != "interval" ||
+		walSec["checkpoints"].(float64) != 1 {
+		t.Fatalf("wal stats = %v", walSec)
+	}
+
+	// Reference answer before the crash.
+	var before searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&rank=tfidf&top=10&lang=bool", http.StatusOK, &before)
+
+	// Crash (abandon without closing) and restart from the directory.
+	if err := ix.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts2, ix2 := durableServer(t, dataDir)
+	defer ix2.Close()
+	rec := ix2.WALStats().Recovery
+	if rec.SnapshotLSN != 2 || rec.ReplayedRecords == 0 {
+		t.Fatalf("recovery after restart: %+v", rec)
+	}
+	var after searchResponse
+	getJSON(t, ts2.URL+"/search?q='usability'&rank=tfidf&top=10&lang=bool", http.StatusOK, &after)
+	if after.Count != before.Count || len(after.Matches) != len(before.Matches) {
+		t.Fatalf("recovered results diverged: %+v vs %+v", after, before)
+	}
+	for i := range before.Matches {
+		if after.Matches[i].ID != before.Matches[i].ID ||
+			*after.Matches[i].Score != *before.Matches[i].Score {
+			t.Fatalf("recovered match %d diverged: %+v vs %+v", i, after.Matches[i], before.Matches[i])
+		}
+	}
+	// And the recovery counters are visible over HTTP.
+	var stats2 map[string]any
+	getJSON(t, ts2.URL+"/stats", http.StatusOK, &stats2)
+	recSec := stats2["wal"].(map[string]any)["recovery"].(map[string]any)
+	if recSec["snapshot_lsn"].(float64) != 2 || recSec["replayed_records"].(float64) == 0 {
+		t.Fatalf("recovery stats over HTTP: %v", recSec)
+	}
+}
+
+func TestDurableSeedFromTxtDir(t *testing.T) {
+	txt := t.TempDir()
+	for name, body := range map[string]string{
+		"one": "usability first",
+		"two": "software second",
+	} {
+		if err := os.WriteFile(filepath.Join(txt, name+".txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dataDir := t.TempDir()
+	ix, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Docs() != 2 {
+		t.Fatalf("seeded %d docs, want 2", ix.Docs())
+	}
+	// The seed went through the WAL: a restart replays it.
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Docs() != 2 {
+		t.Fatalf("recovered %d docs, want 2", re.Docs())
+	}
+	// A non-empty store is not re-seeded (ids would conflict).
+	if rec := re.WALStats().Recovery; rec.ReplayedAdds != 2 {
+		t.Fatalf("recovery replayed %d adds, want 2", rec.ReplayedAdds)
+	}
+}
+
+func TestDataDirAndLoadAreExclusive(t *testing.T) {
+	if _, err := buildOrLoad("", "some.ftss", t.TempDir(), 2, "interval", 0); err == nil {
+		t.Fatal("-data-dir with -load should fail")
+	}
+	if _, err := buildOrLoad("", "", t.TempDir(), 2, "bogus", 0); err == nil {
+		t.Fatal("bogus -wal-sync should fail")
+	}
 }

@@ -1,0 +1,528 @@
+package fulltext
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fulltext/internal/wal"
+)
+
+// This file is the durability layer of ShardedIndex: OpenDurable binds an
+// index to a data directory holding an FTSS snapshot plus a write-ahead
+// log (internal/wal), so that every acknowledged mutation survives a
+// crash. The recovery sequence is: load the newest snapshot (or build an
+// empty index for a fresh directory), replay the log tail over it, then
+// attach the log so new mutations append before they apply. Replay runs
+// the exact mutation code paths the original operations ran — the same
+// tokenization, the same ordinal allocation, the same merge policy — so a
+// recovered index answers every query byte-identically to one that never
+// crashed. Checkpoint bounds the log: it atomically persists a snapshot
+// named by the log position it covers, then truncates the segments that
+// position seals.
+//
+// Directory layout:
+//
+//	<dir>/snapshot-<LSN as %016d>.ftss   newest snapshot wins; *.tmp are
+//	                                     aborted checkpoints, removed at open
+//	<dir>/wal/wal-<LSN>.log              the redo log (see internal/wal)
+
+const (
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".ftss"
+	walSubdir      = "wal"
+)
+
+// DurableOptions configures OpenDurable. The zero value opens a
+// single-shard index with no linguistic analysis, group-commit syncing and
+// default WAL sizing.
+type DurableOptions struct {
+	// Shards is the shard count used when the directory holds no snapshot
+	// (an existing snapshot fixes the count). < 1 is treated as 1.
+	Shards int
+	// Build is the linguistic analysis applied when building a fresh index;
+	// an existing snapshot carries its own analyzer configuration. Like a
+	// schema, it must be the same on every open of the same directory —
+	// replayed raw-text records are re-tokenized under it.
+	Build Options
+	// Sync is the write-ahead log's fsync policy (see wal.SyncPolicy).
+	Sync wal.SyncPolicy
+	// SyncInterval is the group-commit cadence under wal.SyncInterval;
+	// <= 0 uses wal.DefaultInterval.
+	SyncInterval time.Duration
+	// WALSegmentBytes rotates log segments at this size; <= 0 uses
+	// wal.DefaultSegmentBytes.
+	WALSegmentBytes int64
+}
+
+// RecoveryStats describes what one OpenDurable had to do: where the
+// snapshot stood, how much log was replayed over it, and how long that
+// took. Exposed via WALStats and ftserve's /stats.
+type RecoveryStats struct {
+	// SnapshotLSN is the log position the loaded snapshot covered (zero
+	// when the directory had no snapshot).
+	SnapshotLSN uint64
+	// ReplayedRecords counts log records applied over the snapshot;
+	// ReplayedAdds/ReplayedDeletes count the documents those records added
+	// and tombstoned, and ReplayedCheckpoints the barrier markers seen.
+	ReplayedRecords     uint64
+	ReplayedAdds        uint64
+	ReplayedDeletes     uint64
+	ReplayedCheckpoints uint64
+	// SkippedRecords counts records below the snapshot LSN — present only
+	// after a crash between checkpoint and truncation, and skipped exactly
+	// because the snapshot already reflects them (idempotent recovery).
+	SkippedRecords uint64
+	// TornTailDropped reports that the log ended with an incomplete record
+	// — a write torn by the crash — which was dropped and truncated.
+	TornTailDropped bool
+	// ReplayDuration is the wall-clock cost of the replay pass.
+	ReplayDuration time.Duration
+}
+
+// OpenDurable opens (creating if necessary) a durable sharded index in
+// dir: it loads the newest snapshot, replays the write-ahead log tail over
+// it, and attaches the log so every subsequent mutation is appended before
+// it is applied. The recovered index is byte-identical — results and
+// scores, all dialects, both scoring models — to one that applied the same
+// mutations and never crashed. Call Close to flush and release the log,
+// and Checkpoint to bound recovery time. Only one process may own a data
+// directory at a time.
+func OpenDurable(dir string, o DurableOptions) (*ShardedIndex, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fulltext: creating %s: %w", dir, err)
+	}
+	if err := removeStaleTemp(dir); err != nil {
+		return nil, err
+	}
+	s, snapLSN, err := loadNewestSnapshot(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	walDir := filepath.Join(dir, walSubdir)
+	rec := RecoveryStats{SnapshotLSN: snapLSN}
+	start := time.Now()
+	rst, err := wal.Replay(walDir, snapLSN, func(r wal.Record) error { return s.applyRecord(r, &rec) })
+	if err != nil {
+		return nil, fmt.Errorf("fulltext: replaying %s: %w", walDir, err)
+	}
+	rec.ReplayedRecords = rst.Delivered
+	rec.SkippedRecords = rst.Skipped
+	rec.TornTailDropped = rst.TornTail
+	rec.ReplayDuration = time.Since(start)
+	log, _, err := wal.Open(walDir, wal.Options{
+		Sync:         o.Sync,
+		Interval:     o.SyncInterval,
+		SegmentBytes: o.WALSegmentBytes,
+		StartLSN:     snapLSN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.wal = log
+	s.dataDir = dir
+	s.recovery = rec
+	s.lastCkptLSN = snapLSN
+	s.mu.Unlock()
+	return s, nil
+}
+
+// removeStaleTemp deletes aborted checkpoint temp files (a crash between
+// temp write and rename leaves one; it was never the newest snapshot).
+func removeStaleTemp(dir string) error {
+	stale, err := filepath.Glob(filepath.Join(dir, snapshotPrefix+"*.tmp"))
+	if err != nil {
+		return err
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("fulltext: removing stale checkpoint %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// loadNewestSnapshot loads the highest-LSN snapshot in dir, or builds a
+// fresh empty index per the options when none exists.
+func loadNewestSnapshot(dir string, o DurableOptions) (*ShardedIndex, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fulltext: reading %s: %w", dir, err)
+	}
+	best := ""
+	var bestLSN uint64
+	found := false
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		lsn, ok := parseSnapshotName(e.Name())
+		if !ok {
+			continue
+		}
+		if !found || lsn > bestLSN {
+			found, bestLSN, best = true, lsn, filepath.Join(dir, e.Name())
+		}
+	}
+	if !found {
+		return NewShardedBuilderWith(o.Shards, o.Build).Build(), 0, nil
+	}
+	f, err := os.Open(best)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fulltext: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	s, err := ReadShardedIndex(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fulltext: loading snapshot %s: %w", best, err)
+	}
+	return s, bestLSN, nil
+}
+
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("%s%016d%s", snapshotPrefix, lsn, snapshotSuffix)
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// applyRecord re-applies one replayed mutation through the public mutation
+// path it originally took (no WAL is attached yet, so nothing re-appends).
+// Apply errors are corruption by construction: every logged mutation was
+// validated against exactly the state replay has rebuilt, so it must
+// succeed again.
+func (s *ShardedIndex) applyRecord(r wal.Record, rec *RecoveryStats) error {
+	switch r.Type {
+	case wal.TypeAdd:
+		d, err := wal.DecodeAdd(r.Payload)
+		if err != nil {
+			return err
+		}
+		if err := s.Add(d.ID, d.Body); err != nil {
+			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
+		}
+		rec.ReplayedAdds++
+	case wal.TypeAddTokens:
+		d, err := wal.DecodeAddTokens(r.Payload)
+		if err != nil {
+			return err
+		}
+		if err := s.AddTokens(d.ID, d.Tokens); err != nil {
+			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
+		}
+		rec.ReplayedAdds++
+	case wal.TypeAddBatch:
+		logged, err := wal.DecodeAddBatch(r.Payload)
+		if err != nil {
+			return err
+		}
+		docs := make([]Document, len(logged))
+		for i, d := range logged {
+			docs[i] = Document{ID: d.ID, Body: d.Body}
+		}
+		if err := s.AddBatch(docs); err != nil {
+			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
+		}
+		rec.ReplayedAdds += uint64(len(docs))
+	case wal.TypeAddTokensBatch:
+		logged, err := wal.DecodeAddTokensBatch(r.Payload)
+		if err != nil {
+			return err
+		}
+		docs := make([]TokenDocument, len(logged))
+		for i, d := range logged {
+			docs[i] = TokenDocument{ID: d.ID, Tokens: d.Tokens}
+		}
+		if err := s.AddTokensBatch(docs); err != nil {
+			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
+		}
+		rec.ReplayedAdds += uint64(len(docs))
+	case wal.TypeDelete:
+		id, err := wal.DecodeDelete(r.Payload)
+		if err != nil {
+			return err
+		}
+		if !s.Delete(id) {
+			return fmt.Errorf("record %d (%s): no live document %q", r.LSN, r.Type, id)
+		}
+		rec.ReplayedDeletes++
+	case wal.TypeDeleteBatch:
+		ids, err := wal.DecodeDeleteBatch(r.Payload)
+		if err != nil {
+			return err
+		}
+		n, err := s.DeleteBatch(ids)
+		if err != nil {
+			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
+		}
+		// A batch with zero hits is never logged, so zero hits on replay
+		// means the rebuilt state diverged from the logged one.
+		if n == 0 {
+			return fmt.Errorf("record %d (%s): no live documents among %d ids", r.LSN, r.Type, len(ids))
+		}
+		rec.ReplayedDeletes += uint64(n)
+	case wal.TypeCheckpoint:
+		if _, err := wal.DecodeCheckpoint(r.Payload); err != nil {
+			return err
+		}
+		rec.ReplayedCheckpoints++
+	default:
+		return fmt.Errorf("record %d: unknown type %s", r.LSN, r.Type)
+	}
+	return nil
+}
+
+// AttachWAL attaches an open write-ahead log: every subsequent mutation is
+// appended (in application order — appends happen under the index's write
+// lock) before it is applied, and a mutation whose append fails is not
+// applied. OpenDurable is the normal way to get an attached index; attach
+// directly only when the index's current state is already covered by a
+// snapshot whose LSN the log was opened at (wal.Options.StartLSN),
+// otherwise recovery has a log tail with no base to replay onto.
+func (s *ShardedIndex) AttachWAL(l *wal.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = l
+}
+
+// WAL returns the attached write-ahead log (nil when the index is not
+// durable).
+func (s *ShardedIndex) WAL() *wal.Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
+}
+
+// CheckpointStats describes one completed checkpoint.
+type CheckpointStats struct {
+	// LSN is the log position the snapshot covers: every record below it is
+	// in the snapshot, every record at or above it survives in the log.
+	LSN uint64
+	// SnapshotBytes is the size of the persisted snapshot.
+	SnapshotBytes int64
+	// TruncatedSegments is how many sealed log segments the checkpoint
+	// retired.
+	TruncatedSegments uint64
+	// Duration is the wall-clock cost, snapshot write included.
+	Duration time.Duration
+}
+
+// Checkpoint persists a point-in-time snapshot and truncates the log
+// prefix it covers, bounding both recovery replay time and log disk use.
+// dir overrides where the snapshot is written; "" uses the OpenDurable
+// data directory. The sequence is crash-safe at every step:
+//
+//  1. the snapshot is serialized to a temp file and fsynced while mutations
+//     are briefly excluded (the read lock spans the serialization), naming
+//     the log position it covers;
+//  2. the temp file is atomically renamed to snapshot-<LSN>.ftss and the
+//     directory fsynced — this rename is the commit point;
+//  3. a checkpoint barrier is appended to the log and the log is rotated
+//     and truncated below the snapshot LSN; older snapshots are removed.
+//
+// A crash before the rename recovers from the previous snapshot (the temp
+// file is garbage, removed at open); a crash after the rename but before
+// truncation recovers from the new snapshot and skips the not-yet-truncated
+// records below it — replay is idempotent by LSN, not by luck.
+func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
+	start := time.Now()
+	// One checkpoint at a time: overlapping calls would race on the
+	// rename/truncate ordering their crash-safety argument depends on.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.RLock()
+	log := s.wal
+	if dir == "" {
+		dir = s.dataDir
+	}
+	if log == nil || dir == "" {
+		s.mu.RUnlock()
+		return CheckpointStats{}, fmt.Errorf("fulltext: Checkpoint requires a durable index (OpenDurable) or an explicit directory and attached WAL")
+	}
+	// Mutations append to the log under the write lock, so the position
+	// cannot advance while we hold the read lock across serialization: the
+	// snapshot covers exactly the records below lsn.
+	lsn := log.NextLSN()
+	tmp, err := os.CreateTemp(dir, snapshotPrefix+"*.tmp")
+	if err != nil {
+		s.mu.RUnlock()
+		return CheckpointStats{}, fmt.Errorf("fulltext: creating snapshot: %w", err)
+	}
+	n, err := s.writeToLocked(tmp)
+	s.mu.RUnlock()
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return CheckpointStats{}, fmt.Errorf("fulltext: writing snapshot: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(lsn))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return CheckpointStats{}, fmt.Errorf("fulltext: committing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointStats{}, err
+	}
+	// The snapshot is durable and discoverable; everything below is
+	// housekeeping that recovery tolerates losing to a crash. The rotation
+	// happens before the barrier is appended so the barrier lands in the
+	// fresh active segment — were it sealed with the history, the segment
+	// holding it could never satisfy TruncateBefore(lsn) and the log would
+	// retain one segment of stale records forever.
+	if err := log.Rotate(); err != nil {
+		return CheckpointStats{}, err
+	}
+	if _, err := log.Append(wal.TypeCheckpoint, wal.EncodeCheckpoint(lsn)); err != nil {
+		return CheckpointStats{}, fmt.Errorf("fulltext: appending checkpoint barrier: %w", err)
+	}
+	if err := log.Sync(); err != nil {
+		return CheckpointStats{}, err
+	}
+	before := log.Stats().TruncatedSegments
+	if err := log.TruncateBefore(lsn); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := removeSnapshotsBelow(dir, lsn); err != nil {
+		return CheckpointStats{}, err
+	}
+	s.mu.Lock()
+	s.checkpoints++
+	if lsn > s.lastCkptLSN {
+		s.lastCkptLSN = lsn
+	}
+	s.mu.Unlock()
+	return CheckpointStats{
+		LSN:               lsn,
+		SnapshotBytes:     n,
+		TruncatedSegments: log.Stats().TruncatedSegments - before,
+		Duration:          time.Since(start),
+	}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fulltext: syncing %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fulltext: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// removeSnapshotsBelow retires snapshots older than the one at lsn.
+func removeSnapshotsBelow(dir string, lsn uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("fulltext: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if old, ok := parseSnapshotName(e.Name()); ok && old < lsn {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("fulltext: removing old snapshot: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// WALStats is a snapshot of the durability layer: log position and
+// activity, checkpoint progress, and what recovery had to replay.
+type WALStats struct {
+	// Attached reports whether the index has a write-ahead log at all;
+	// every other field is zero when it does not.
+	Attached bool
+	// NextLSN is the next log sequence number to be assigned; Appends,
+	// Syncs, Segments and ActiveBytes mirror wal.Stats.
+	NextLSN     uint64
+	Appends     uint64
+	Syncs       uint64
+	Segments    int
+	ActiveBytes int64
+	// SyncPolicy is the attached log's fsync policy name.
+	SyncPolicy string
+	// Checkpoints counts completed Checkpoint calls on this index instance;
+	// LastCheckpointLSN is the newest covered position (the snapshot LSN
+	// recovery would start from after a crash right now).
+	Checkpoints       uint64
+	LastCheckpointLSN uint64
+	// Recovery describes what this instance's OpenDurable replayed.
+	Recovery RecoveryStats
+}
+
+// WALStats returns a snapshot of the durability state (zero Attached for a
+// non-durable index).
+func (s *ShardedIndex) WALStats() WALStats {
+	s.mu.RLock()
+	log, rec, ckpts, last := s.wal, s.recovery, s.checkpoints, s.lastCkptLSN
+	s.mu.RUnlock()
+	if log == nil {
+		return WALStats{}
+	}
+	ls := log.Stats()
+	return WALStats{
+		Attached:          true,
+		NextLSN:           ls.NextLSN,
+		Appends:           ls.Appends,
+		Syncs:             ls.Syncs,
+		Segments:          ls.Segments,
+		ActiveBytes:       ls.ActiveBytes,
+		SyncPolicy:        ls.Policy.String(),
+		Checkpoints:       ckpts,
+		LastCheckpointLSN: last,
+		Recovery:          rec,
+	}
+}
+
+// Close quiesces background merges and, when a write-ahead log is
+// attached, flushes, fsyncs and closes it; further mutations on a durable
+// index will fail (adds and batch deletes with an error, Delete with a
+// panic). A non-durable index has nothing to release and Close is a no-op
+// beyond the merge quiesce. Closing twice is safe.
+func (s *ShardedIndex) Close() error {
+	s.WaitMerges()
+	s.mu.Lock()
+	log := s.wal
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Close()
+}
+
+// SnapshotLSNs lists the snapshot positions present in a data directory,
+// newest last — a maintenance helper for operators and tests.
+func SnapshotLSNs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		if lsn, ok := parseSnapshotName(e.Name()); ok {
+			out = append(out, lsn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

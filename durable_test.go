@@ -1,0 +1,569 @@
+package fulltext
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fulltext/internal/segment"
+	"fulltext/internal/shard"
+)
+
+// durableOpts is the test default: group commit with a tight interval so
+// ticker-side code paths run, and small log segments so rotation happens.
+func durableOpts(shards int) DurableOptions {
+	return DurableOptions{
+		Shards:          shards,
+		SyncInterval:    5 * time.Millisecond,
+		WALSegmentBytes: 1 << 12,
+	}
+}
+
+// crashReopen simulates a crash and restart: the original index is
+// abandoned mid-flight (its log closed without quiescing merges — under
+// the group-commit policy every acknowledged record has already reached
+// the kernel, exactly as it would have when SIGKILL landed) and the
+// directory is reopened from disk.
+func crashReopen(t *testing.T, s *ShardedIndex, dir string, shards int) *ShardedIndex {
+	t.Helper()
+	if err := s.WAL().Close(); err != nil {
+		t.Fatalf("closing abandoned log: %v", err)
+	}
+	re, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatalf("reopening %s: %v", dir, err)
+	}
+	t.Cleanup(func() { re.Close() })
+	return re
+}
+
+func TestDurableFreshOpenIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Docs() != 0 || s.Shards() != 3 {
+		t.Fatalf("fresh durable index: %d docs, %d shards", s.Docs(), s.Shards())
+	}
+	ws := s.WALStats()
+	if !ws.Attached || ws.NextLSN != 0 || ws.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("fresh WAL stats: %+v", ws)
+	}
+	if err := s.Add("a", "alpha beta"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Search(MustParse(BOOL, `'alpha'`))
+	if err != nil || len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("search on fresh durable index: %v, %v", got, err)
+	}
+	if ws := s.WALStats(); ws.Appends != 1 || ws.NextLSN != 1 {
+		t.Fatalf("WAL stats after one add: %+v", ws)
+	}
+}
+
+// TestCrashReplayEquivalence is the acceptance criterion: after a mixed
+// mutation workload — single adds, batch adds, pre-tokenized adds, single
+// and batch deletes, re-adds, zero-token documents — with nothing
+// checkpointed, a crashed-and-recovered index must answer every query
+// byte-identically (results and scores, all three dialects, both scoring
+// models) to the index that never crashed, and to a from-scratch rebuild
+// over the live documents.
+func TestCrashReplayEquivalence(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(40)
+	live := applyMixedWorkload(t, s, docs)
+
+	re := crashReopen(t, s, dir, shards)
+	if got := re.WALStats(); got.Recovery.ReplayedRecords == 0 || got.Recovery.SnapshotLSN != 0 {
+		t.Fatalf("recovery stats after crash: %+v", got.Recovery)
+	}
+	assertSameResults(t, "recovered-vs-uncrashed", re, s)
+	assertSameResults(t, "recovered-vs-rebuild", re, rebuildLive(t, shards, live))
+	// Recovery must not have rebuilt any shard: replay goes through the
+	// same incremental paths as the original mutations (load counts the
+	// initial empty-shard constructions only).
+	if st := re.SegmentStats(); st.Rebuilds != shards {
+		t.Fatalf("recovery rebuilt shards: %d rebuilds, want %d", st.Rebuilds, shards)
+	}
+}
+
+// applyMixedWorkload drives every mutation entry point and returns the
+// final live document set (insertion-ordered, as a rebuild would add it).
+func applyMixedWorkload(t *testing.T, s *ShardedIndex, docs [][2]string) [][2]string {
+	t.Helper()
+	var live [][2]string
+	// Singles.
+	for _, d := range docs[:10] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+	}
+	// One batch.
+	batch := make([]Document, 0, 10)
+	for _, d := range docs[10:20] {
+		batch = append(batch, Document{ID: d[0], Body: d[1]})
+		live = append(live, d)
+	}
+	if err := s.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-tokenized, singly and batched.
+	if err := s.AddTokens("tok-1", []string{"needle", "gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"tok-1", "needle gamma"})
+	if err := s.AddTokensBatch([]TokenDocument{
+		{ID: "tok-2", Tokens: []string{"alpha", "common"}},
+		{ID: "tok-3", Tokens: nil}, // zero-token document
+	}); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"tok-2", "alpha common"}, [2]string{"tok-3", ""})
+	// A zero-token document through the raw-text path too.
+	if err := s.Add("empty-doc", ""); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{"empty-doc", ""})
+	// Single deletes, including a miss.
+	if !s.Delete(docs[3][0]) {
+		t.Fatalf("delete %s missed", docs[3][0])
+	}
+	live = removeDoc(live, docs[3][0])
+	if s.Delete("never-existed") {
+		t.Fatal("deleted a ghost")
+	}
+	// Batch delete with misses and duplicates mixed in.
+	delIDs := []string{docs[12][0], "never-existed", docs[15][0], docs[12][0]}
+	n, err := s.DeleteBatch(delIDs)
+	if err != nil || n != 2 {
+		t.Fatalf("DeleteBatch = %d, %v; want 2", n, err)
+	}
+	live = removeDoc(removeDoc(live, docs[12][0]), docs[15][0])
+	// Re-add a deleted id with a different body.
+	if err := s.Add(docs[3][0], "gamma gamma needle"); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, [2]string{docs[3][0], "gamma gamma needle"})
+	// Tail of singles to leave unmerged deltas behind.
+	for _, d := range docs[20:] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+	}
+	return live
+}
+
+// TestCrashReplayEquivalenceMidBackgroundMerge crashes while background
+// merges are still in flight (never quiesced): whatever the merge state
+// was at the crash, recovery must reconstruct the same logical index.
+func TestCrashReplayEquivalenceMidBackgroundMerge(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := segment.DefaultPolicy()
+	p.BackgroundMinDocs = 2 // every real merge on the worker pool
+	s.SetMergePolicy(p)
+	docs := segCorpus(60)
+	var live [][2]string
+	for i, d := range docs {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+		if i%7 == 3 {
+			s.Delete(d[0])
+			live = removeDoc(live, d[0])
+		}
+	}
+	// No WaitMerges: the crash lands wherever the merge pool happens to be.
+	re := crashReopen(t, s, dir, shards)
+	re.WaitMerges()
+	assertSameResults(t, "mid-merge-crash", re, rebuildLive(t, shards, live))
+}
+
+func TestCheckpointTruncatesAndBoundsReplay(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(30)
+	for _, d := range docs[:20] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, err := s.Checkpoint("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.LSN != 20 || ck.SnapshotBytes == 0 {
+		t.Fatalf("checkpoint stats: %+v", ck)
+	}
+	if lsns, err := SnapshotLSNs(dir); err != nil || len(lsns) != 1 || lsns[0] != 20 {
+		t.Fatalf("snapshots after checkpoint: %v, %v", lsns, err)
+	}
+	// The log must have shrunk to just the post-checkpoint tail (the
+	// barrier record in the fresh active segment).
+	if ws := s.WALStats(); ws.Segments != 1 || ws.Checkpoints != 1 || ws.LastCheckpointLSN != 20 {
+		t.Fatalf("WAL stats after checkpoint: %+v", ws)
+	}
+	// Mutations after the checkpoint live only in the log tail.
+	for _, d := range docs[20:] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete(docs[0][0])
+
+	re := crashReopen(t, s, dir, shards)
+	rec := re.WALStats().Recovery
+	if rec.SnapshotLSN != 20 {
+		t.Fatalf("recovered from snapshot LSN %d, want 20", rec.SnapshotLSN)
+	}
+	// Tail = 1 barrier + 10 adds + 1 delete; nothing skipped (truncation
+	// completed before the crash).
+	if rec.ReplayedRecords != 12 || rec.ReplayedAdds != 10 || rec.ReplayedDeletes != 1 ||
+		rec.ReplayedCheckpoints != 1 || rec.SkippedRecords != 0 {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+	live := docs[1:]
+	assertSameResults(t, "checkpoint-recovery", re, rebuildLive(t, shards, live))
+
+	// A second checkpoint retires the first snapshot.
+	if _, err := re.Checkpoint(""); err != nil {
+		t.Fatal(err)
+	}
+	if lsns, _ := SnapshotLSNs(dir); len(lsns) != 1 || lsns[0] <= 20 {
+		t.Fatalf("old snapshot not retired: %v", lsns)
+	}
+}
+
+// TestCheckpointCrashBeforeTruncateReplaysIdempotently restores the
+// pre-checkpoint log segments after a checkpoint — exactly the on-disk
+// state a crash between "snapshot renamed" and "segments truncated"
+// leaves — and verifies recovery skips the already-snapshotted records
+// instead of applying them twice.
+func TestCheckpointCrashBeforeTruncateReplaysIdempotently(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, walSubdir)
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(25)
+	for _, d := range docs {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete(docs[2][0])
+
+	// Save every log segment, checkpoint (which truncates them), then put
+	// the truncated ones back.
+	saved := map[string][]byte{}
+	paths, err := filepath.Glob(filepath.Join(walDir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = data
+	}
+	ck, err := s.Checkpoint("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.TruncatedSegments == 0 {
+		t.Fatalf("checkpoint truncated nothing: %+v (need truncation to simulate the crash window)", ck)
+	}
+	restored := 0
+	for p, data := range saved {
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			restored++
+		}
+	}
+	if restored == 0 {
+		t.Fatal("no segments to restore; the crash window is empty")
+	}
+
+	re := crashReopen(t, s, dir, shards)
+	rec := re.WALStats().Recovery
+	if rec.SkippedRecords == 0 {
+		t.Fatalf("idempotent replay skipped nothing: %+v", rec)
+	}
+	if rec.SnapshotLSN != ck.LSN {
+		t.Fatalf("recovered from LSN %d, want %d", rec.SnapshotLSN, ck.LSN)
+	}
+	live := removeDoc(append([][2]string(nil), docs...), docs[2][0])
+	assertSameResults(t, "crash-before-truncate", re, rebuildLive(t, shards, live))
+}
+
+func TestZeroTokenDocumentsSurviveReplay(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBatch([]Document{
+		{ID: "real", Body: "alpha beta needle"},
+		{ID: "empty-1", Body: ""},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("empty-2", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Delete("empty-1") {
+		t.Fatal("empty-1 not deleted")
+	}
+	re := crashReopen(t, s, dir, shards)
+	if re.Docs() != 2 {
+		t.Fatalf("recovered %d docs, want 2", re.Docs())
+	}
+	if re.Delete("empty-1") {
+		t.Fatal("tombstoned zero-token document came back to life")
+	}
+	if !re.Delete("empty-2") {
+		t.Fatal("zero-token document lost in replay")
+	}
+	assertSameResults(t, "zero-token", re, rebuildLive(t, shards, [][2]string{{"real", "alpha beta needle"}}))
+}
+
+func TestDurableTornTailDropsLastMutation(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(10)
+	for _, d := range docs {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-write.
+	paths, _ := filepath.Glob(filepath.Join(dir, walSubdir, "wal-*.log"))
+	last := paths[len(paths)-1]
+	info, _ := os.Stat(last)
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatalf("torn tail not dropped cleanly: %v", err)
+	}
+	defer re.Close()
+	rec := re.WALStats().Recovery
+	if !rec.TornTailDropped || rec.ReplayedRecords != 9 {
+		t.Fatalf("recovery stats after torn tail: %+v", rec)
+	}
+	assertSameResults(t, "torn-tail", re, rebuildLive(t, shards, docs[:9]))
+}
+
+func TestDurableCorruptCRCFailsOpen(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range segCorpus(10) {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, walSubdir, "wal-*.log"))
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(dir, durableOpts(shards)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt log opened: %v", err)
+	}
+}
+
+func TestCheckpointRequiresDurableIndex(t *testing.T) {
+	sb := NewShardedBuilder(2)
+	if err := sb.Add("a", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.Build()
+	if _, err := s.Checkpoint(""); err == nil {
+		t.Fatal("Checkpoint succeeded without a WAL")
+	}
+	if ws := s.WALStats(); ws.Attached {
+		t.Fatalf("non-durable index reports attached WAL: %+v", ws)
+	}
+	if err := s.Close(); err != nil { // no-op without a WAL
+		t.Fatal(err)
+	}
+}
+
+// TestDurableReopenAfterCleanClose is the no-crash path: close, reopen,
+// everything still there, and the WAL keeps extending the same history.
+func TestDurableReopenAfterCleanClose(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(12)
+	for _, d := range docs[:6] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, d := range docs[6:] {
+		if err := re.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if re.Docs() != 12 {
+		t.Fatalf("%d docs after reopen+extend, want 12", re.Docs())
+	}
+	assertSameResults(t, "clean-reopen", re, rebuildLive(t, shards, docs))
+}
+
+// TestDurableMutationsFailAfterClose pins the contract that a closed
+// durable index refuses new mutations instead of applying them unlogged.
+func TestDurableMutationsFailAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("b", "beta"); err == nil {
+		t.Fatal("Add succeeded on a closed durable index")
+	}
+	if _, err := s.DeleteBatch([]string{"a"}); err == nil {
+		t.Fatal("DeleteBatch succeeded on a closed durable index")
+	}
+	// The rejected mutations must not have half-applied.
+	if s.Docs() != 1 {
+		t.Fatalf("%d docs after rejected mutations, want 1", s.Docs())
+	}
+}
+
+// TestDurableWorkloadUnderRace exercises concurrent durable ingest,
+// queries and checkpoints together (run under -race in CI), then crashes
+// and verifies recovery equivalence.
+func TestDurableWorkloadUnderRace(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, durableOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := segment.DefaultPolicy()
+	p.BackgroundMinDocs = 2
+	p.MaxBackgroundWorkers = 2
+	s.SetMergePolicy(p)
+	docs := segCorpus(50)
+	q := MustParse(BOOL, `'needle' OR 'common'`)
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := s.Search(q); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.SearchRanked(q, TFIDF, 5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var live [][2]string
+	for i, d := range docs {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, d)
+		if i%10 == 5 {
+			if _, err := s.Checkpoint(""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%6 == 2 {
+			s.Delete(d[0])
+			live = removeDoc(live, d[0])
+		}
+	}
+	<-done
+	re := crashReopen(t, s, dir, shards)
+	re.WaitMerges()
+	assertSameResults(t, "race-workload", re, rebuildLive(t, shards, live))
+}
+
+// idsForShard generates n document ids that all hash to the given shard,
+// so merge tests can aim mutations at specific shards.
+func idsForShard(t *testing.T, nshards, si, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		id := fmt.Sprintf("s%d-%d", si, i)
+		if shard.Pick(id, nshards) == si {
+			out = append(out, id)
+		}
+		if i > 100000 {
+			t.Fatalf("could not find %d ids for shard %d/%d", n, si, nshards)
+		}
+	}
+	return out
+}

@@ -21,7 +21,11 @@
 // hash-partitioned shards with parallel fan-out, a WAND top-K fast path,
 // and incremental ingestion: Add appends per-shard delta segments without
 // rebuilding, Delete tombstones, and a tiered policy merges segments
-// lazily — with results byte-identical to a from-scratch rebuild. See
+// lazily on a bounded background worker pool — with results
+// byte-identical to a from-scratch rebuild. OpenDurable adds crash
+// safety: every mutation is written ahead to a checksummed redo log
+// (internal/wal) before it applies, Checkpoint bounds the log with
+// atomic snapshots, and recovery replays the tail byte-identically. See
 // docs/ARCHITECTURE.md for the system map and docs/QUERY_LANGUAGES.md for
 // the dialect reference.
 //

@@ -1,5 +1,7 @@
 package segment
 
+import "runtime"
+
 // Policy is the tiered lazy-merge policy deciding when a shard's segment
 // tail gets compacted. Merges are deliberately decoupled from ingestion:
 // every Add appends a small delta segment in O(document) time, and the
@@ -36,13 +38,37 @@ type Policy struct {
 	// 0 uses the default; negative disables background merging (every
 	// merge runs inline).
 	BackgroundMinDocs int
+	// MaxBackgroundWorkers bounds how many background merges may run at
+	// once across all shards (each shard still has at most one in flight).
+	// When every worker is busy, eligible shards queue and are taken
+	// largest-reclaimable-tombstone-mass first. <= 0 uses the default:
+	// GOMAXPROCS/2, minimum 1 — merges are CPU-bound, so a many-shard
+	// deployment must not hand every core to compaction at once.
+	MaxBackgroundWorkers int
 }
 
 // DefaultPolicy returns the production defaults: at most 8 deltas, a full
-// merge when deltas reach half the base, compaction at 25% tombstones, and
-// merges of 4096+ documents pushed to the background worker.
+// merge when deltas reach half the base, compaction at 25% tombstones,
+// merges of 4096+ documents pushed to the background worker pool, and at
+// most GOMAXPROCS/2 workers merging concurrently.
 func DefaultPolicy() Policy {
-	return Policy{MaxDeltas: 8, BaseRatio: 0.5, TombstoneRatio: 0.25, BackgroundMinDocs: 4096}
+	return Policy{MaxDeltas: 8, BaseRatio: 0.5, TombstoneRatio: 0.25, BackgroundMinDocs: 4096,
+		MaxBackgroundWorkers: defaultWorkers()}
+}
+
+// defaultWorkers is the MaxBackgroundWorkers default: half the schedulable
+// CPUs, but always at least one.
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0) / 2; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// MaxWorkers returns the policy's background-worker bound with defaults
+// applied.
+func (p Policy) MaxWorkers() int {
+	return p.withDefaults().MaxBackgroundWorkers
 }
 
 func (p Policy) withDefaults() Policy {
@@ -58,6 +84,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.BackgroundMinDocs == 0 {
 		p.BackgroundMinDocs = d.BackgroundMinDocs
+	}
+	if p.MaxBackgroundWorkers <= 0 {
+		p.MaxBackgroundWorkers = defaultWorkers()
 	}
 	return p
 }

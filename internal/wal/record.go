@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file defines the payload wire format of each record type: uvarint
+// length-prefixed strings and uvarint counts, mirroring the index
+// persistence codecs. Encoders never fail; decoders validate every length
+// against sane bounds so a flipped bit in a count cannot turn into a
+// multi-gigabyte allocation (the CRC catches flipped bits first, but
+// decode-time bounds keep the failure mode an error either way).
+
+// Decode-time sanity bounds.
+const (
+	maxIDLen   = 1 << 20
+	maxBodyLen = maxRecordBytes
+	maxCount   = 1 << 31
+)
+
+// Doc is the logged form of one raw-text document (TypeAdd, TypeAddBatch).
+type Doc struct {
+	ID   string
+	Body string
+}
+
+// TokenDoc is the logged form of one pre-tokenized document
+// (TypeAddTokens, TypeAddTokensBatch).
+type TokenDoc struct {
+	ID     string
+	Tokens []string
+}
+
+func appendString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+// payloadReader decodes the uvarint-framed payload encoding.
+type payloadReader struct {
+	p   []byte
+	off int
+}
+
+func (r *payloadReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.p[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated %s", what)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *payloadReader) str(what string, max uint64) (string, error) {
+	l, err := r.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if l > max {
+		return "", fmt.Errorf("wal: %s length %d too large", what, l)
+	}
+	if uint64(len(r.p)-r.off) < l {
+		return "", fmt.Errorf("wal: truncated %s", what)
+	}
+	s := string(r.p[r.off : r.off+int(l)])
+	r.off += int(l)
+	return s, nil
+}
+
+// done verifies the whole payload was consumed: trailing bytes mean the
+// record was encoded by something this decoder does not understand.
+func (r *payloadReader) done(t Type) error {
+	if r.off != len(r.p) {
+		return fmt.Errorf("wal: %s record has %d trailing bytes", t, len(r.p)-r.off)
+	}
+	return nil
+}
+
+// EncodeAdd encodes a TypeAdd payload.
+func EncodeAdd(d Doc) []byte {
+	p := appendString(nil, d.ID)
+	return appendString(p, d.Body)
+}
+
+// DecodeAdd decodes a TypeAdd payload.
+func DecodeAdd(p []byte) (Doc, error) {
+	r := &payloadReader{p: p}
+	var d Doc
+	var err error
+	if d.ID, err = r.str("id", maxIDLen); err != nil {
+		return Doc{}, err
+	}
+	if d.Body, err = r.str("body", maxBodyLen); err != nil {
+		return Doc{}, err
+	}
+	return d, r.done(TypeAdd)
+}
+
+// EncodeAddBatch encodes a TypeAddBatch payload.
+func EncodeAddBatch(docs []Doc) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(docs)))
+	for _, d := range docs {
+		p = appendString(p, d.ID)
+		p = appendString(p, d.Body)
+	}
+	return p
+}
+
+// DecodeAddBatch decodes a TypeAddBatch payload.
+func DecodeAddBatch(p []byte) ([]Doc, error) {
+	r := &payloadReader{p: p}
+	n, err := r.uvarint("batch size")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, fmt.Errorf("wal: batch size %d too large", n)
+	}
+	docs := make([]Doc, n)
+	for i := range docs {
+		if docs[i].ID, err = r.str("id", maxIDLen); err != nil {
+			return nil, err
+		}
+		if docs[i].Body, err = r.str("body", maxBodyLen); err != nil {
+			return nil, err
+		}
+	}
+	return docs, r.done(TypeAddBatch)
+}
+
+func appendTokenDoc(p []byte, d TokenDoc) []byte {
+	p = appendString(p, d.ID)
+	p = binary.AppendUvarint(p, uint64(len(d.Tokens)))
+	for _, t := range d.Tokens {
+		p = appendString(p, t)
+	}
+	return p
+}
+
+func (r *payloadReader) tokenDoc() (TokenDoc, error) {
+	var d TokenDoc
+	var err error
+	if d.ID, err = r.str("id", maxIDLen); err != nil {
+		return TokenDoc{}, err
+	}
+	n, err := r.uvarint("token count")
+	if err != nil {
+		return TokenDoc{}, err
+	}
+	if n > maxCount {
+		return TokenDoc{}, fmt.Errorf("wal: token count %d too large", n)
+	}
+	d.Tokens = make([]string, n)
+	for i := range d.Tokens {
+		if d.Tokens[i], err = r.str("token", maxIDLen); err != nil {
+			return TokenDoc{}, err
+		}
+	}
+	return d, nil
+}
+
+// EncodeAddTokens encodes a TypeAddTokens payload.
+func EncodeAddTokens(d TokenDoc) []byte {
+	return appendTokenDoc(nil, d)
+}
+
+// DecodeAddTokens decodes a TypeAddTokens payload.
+func DecodeAddTokens(p []byte) (TokenDoc, error) {
+	r := &payloadReader{p: p}
+	d, err := r.tokenDoc()
+	if err != nil {
+		return TokenDoc{}, err
+	}
+	return d, r.done(TypeAddTokens)
+}
+
+// EncodeAddTokensBatch encodes a TypeAddTokensBatch payload.
+func EncodeAddTokensBatch(docs []TokenDoc) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(docs)))
+	for _, d := range docs {
+		p = appendTokenDoc(p, d)
+	}
+	return p
+}
+
+// DecodeAddTokensBatch decodes a TypeAddTokensBatch payload.
+func DecodeAddTokensBatch(p []byte) ([]TokenDoc, error) {
+	r := &payloadReader{p: p}
+	n, err := r.uvarint("batch size")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, fmt.Errorf("wal: batch size %d too large", n)
+	}
+	docs := make([]TokenDoc, n)
+	for i := range docs {
+		if docs[i], err = r.tokenDoc(); err != nil {
+			return nil, err
+		}
+	}
+	return docs, r.done(TypeAddTokensBatch)
+}
+
+// EncodeDelete encodes a TypeDelete payload.
+func EncodeDelete(id string) []byte {
+	return appendString(nil, id)
+}
+
+// DecodeDelete decodes a TypeDelete payload.
+func DecodeDelete(p []byte) (string, error) {
+	r := &payloadReader{p: p}
+	id, err := r.str("id", maxIDLen)
+	if err != nil {
+		return "", err
+	}
+	return id, r.done(TypeDelete)
+}
+
+// EncodeDeleteBatch encodes a TypeDeleteBatch payload.
+func EncodeDeleteBatch(ids []string) []byte {
+	p := binary.AppendUvarint(nil, uint64(len(ids)))
+	for _, id := range ids {
+		p = appendString(p, id)
+	}
+	return p
+}
+
+// DecodeDeleteBatch decodes a TypeDeleteBatch payload.
+func DecodeDeleteBatch(p []byte) ([]string, error) {
+	r := &payloadReader{p: p}
+	n, err := r.uvarint("batch size")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCount {
+		return nil, fmt.Errorf("wal: batch size %d too large", n)
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		if ids[i], err = r.str("id", maxIDLen); err != nil {
+			return nil, err
+		}
+	}
+	return ids, r.done(TypeDeleteBatch)
+}
+
+// EncodeCheckpoint encodes a TypeCheckpoint payload: the LSN the persisted
+// snapshot covers (every record below it is reflected in the snapshot).
+func EncodeCheckpoint(snapshotLSN uint64) []byte {
+	return binary.AppendUvarint(nil, snapshotLSN)
+}
+
+// DecodeCheckpoint decodes a TypeCheckpoint payload.
+func DecodeCheckpoint(p []byte) (uint64, error) {
+	r := &payloadReader{p: p}
+	lsn, err := r.uvarint("snapshot LSN")
+	if err != nil {
+		return 0, err
+	}
+	return lsn, r.done(TypeCheckpoint)
+}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Record is one replayed log entry.
+type Record struct {
+	LSN     uint64
+	Type    Type
+	Payload []byte
+}
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	// Delivered counts records handed to the callback (LSN >= from).
+	Delivered uint64
+	// Skipped counts records below the starting LSN — history already
+	// reflected in the snapshot being replayed over. Non-zero after a crash
+	// between checkpoint and truncation; their harmlessness is what makes
+	// recovery idempotent.
+	Skipped uint64
+	// TornTail reports that the final segment ended mid-record and the
+	// incomplete tail was dropped.
+	TornTail bool
+	// LastLSN is the LSN of the last valid record seen (delivered or
+	// skipped); zero when the log is empty.
+	LastLSN uint64
+}
+
+// Replay reads every record in the log directory in LSN order, invoking fn
+// for each record with LSN >= from. It validates the whole log as it goes:
+// segment headers must chain contiguously (each segment starting where the
+// previous ended), every record checksum must verify, and only the final
+// segment may end mid-record — that torn tail is dropped and reported in
+// the stats, exactly as Open would truncate it. A callback error aborts the
+// replay and is returned verbatim.
+//
+// Replay opens the files read-only and takes no locks, so it must run
+// before the same directory is opened for appending (the recovery sequence:
+// load snapshot, Replay, then Open and attach).
+func Replay(dir string, from uint64, fn func(Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return st, nil
+		}
+		return st, err
+	}
+	var expect uint64
+	for i, seg := range segs {
+		if i > 0 && seg.firstLSN != expect {
+			return st, fmt.Errorf("wal: segment chain gap: %s starts at LSN %d, expected %d", seg.path, seg.firstLSN, expect)
+		}
+		last := i == len(segs)-1
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return st, fmt.Errorf("wal: opening %s: %w", seg.path, err)
+		}
+		br := bufio.NewReader(f)
+		scan, err := readSegment(br, seg.path, func(idx int, t Type, payload []byte) error {
+			lsn := seg.firstLSN + uint64(idx)
+			st.LastLSN = lsn
+			if lsn < from {
+				st.Skipped++
+				return nil
+			}
+			st.Delivered++
+			return fn(Record{LSN: lsn, Type: t, Payload: payload})
+		})
+		f.Close()
+		if err == errTorn {
+			if !last {
+				return st, fmt.Errorf("wal: %s truncated mid-record but is not the final segment", seg.path)
+			}
+			st.TornTail = true
+			err = nil
+		}
+		if err != nil {
+			return st, err
+		}
+		if !scan.headerOK {
+			continue // final segment died before its header; it holds nothing
+		}
+		if scan.firstLSN != seg.firstLSN {
+			return st, fmt.Errorf("wal: %s header claims first LSN %d", seg.path, scan.firstLSN)
+		}
+		expect = scan.firstLSN + uint64(scan.records)
+	}
+	return st, nil
+}

@@ -1,0 +1,763 @@
+// Package wal implements the durability subsystem's write-ahead log: an
+// append-only, CRC-checksummed redo log of index mutations, segmented into
+// sequence-numbered files so fully-checkpointed prefixes can be truncated
+// by deleting whole files.
+//
+// Every mutation of a durable ShardedIndex is appended here as one typed
+// record — add, add-tokens, add-batch, add-tokens-batch, delete,
+// delete-batch, or a checkpoint barrier — before it is applied in memory,
+// so a crashed process recovers by loading the latest snapshot and
+// replaying the log tail (see Replay). Records carry monotonically
+// increasing log sequence numbers (LSNs); a snapshot is named by the LSN it
+// covers, and replay skips everything below it, which is what makes
+// recovery idempotent when a crash lands between "snapshot persisted" and
+// "log truncated".
+//
+// On-disk layout (one directory per log):
+//
+//	wal-<firstLSN as %016d>.log
+//	  "FTWL" magic, version byte, firstLSN (8 bytes little-endian)
+//	  record*:
+//	    bodyLen  uint32 little-endian   (length of type byte + payload)
+//	    body     1 type byte + payload
+//	    crc      uint32 little-endian   (CRC-32C of body)
+//
+// A record's LSN is implicit: the segment's firstLSN plus its index within
+// the segment. The CRC closes the record, so a write torn by a crash is
+// detectable: a tail of the final segment that ends mid-record is dropped
+// (and physically truncated on the next Open), while a checksum mismatch
+// anywhere — including the final record — is corruption and fails loudly.
+// The distinction is deliberate: only provably incomplete bytes are
+// forgiven.
+//
+// Durability is tunable per log (Options.Sync):
+//
+//	SyncAlways    fsync after every record — each acknowledged mutation
+//	              survives OS crash; the slowest policy by far.
+//	SyncInterval  group commit: every record is written to the kernel
+//	              before the mutation is acknowledged (surviving process
+//	              death, e.g. SIGKILL), and a background ticker fsyncs the
+//	              file every Interval, bounding loss on OS crash to one
+//	              interval.
+//	SyncNone      records buffer in process and reach the file on rotation,
+//	              Sync, or Close; fastest, loses the buffer on any crash.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Type tags one log record with the mutation it carries. Payload formats
+// are defined by the Encode/Decode pairs in record.go.
+type Type uint8
+
+const (
+	// TypeAdd is one raw-text document (Doc payload).
+	TypeAdd Type = 1 + iota
+	// TypeAddTokens is one pre-tokenized document (TokenDoc payload).
+	TypeAddTokens
+	// TypeAddBatch is an all-or-nothing batch of raw-text documents.
+	TypeAddBatch
+	// TypeAddTokensBatch is an all-or-nothing batch of pre-tokenized
+	// documents.
+	TypeAddTokensBatch
+	// TypeDelete is one document id to tombstone.
+	TypeDelete
+	// TypeDeleteBatch is a batch of document ids tombstoned as one mutation.
+	TypeDeleteBatch
+	// TypeCheckpoint is a barrier recording that a snapshot covering every
+	// record below its payload LSN has been durably persisted. Replay treats
+	// it as a marker, not a mutation.
+	TypeCheckpoint
+)
+
+// String returns the record-type name used in errors and stats.
+func (t Type) String() string {
+	switch t {
+	case TypeAdd:
+		return "add"
+	case TypeAddTokens:
+		return "add-tokens"
+	case TypeAddBatch:
+		return "add-batch"
+	case TypeAddTokensBatch:
+		return "add-tokens-batch"
+	case TypeDelete:
+		return "delete"
+	case TypeDeleteBatch:
+		return "delete-batch"
+	case TypeCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// SyncPolicy selects when appended records are fsynced (see the package
+// comment for the durability each policy buys).
+type SyncPolicy int
+
+const (
+	// SyncInterval is group commit: write-to-kernel per record, fsync on a
+	// background ticker. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every record, before the append returns.
+	SyncAlways
+	// SyncNone never fsyncs and buffers records in process.
+	SyncNone
+)
+
+// String returns the policy name used in flags, stats and BENCH output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses a policy name as accepted by ftserve's -wal-sync.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// Options configures a Log. The zero value is the production default:
+// group commit every DefaultInterval, rotation at DefaultSegmentBytes.
+type Options struct {
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// Interval is the group-commit fsync cadence under SyncInterval.
+	// <= 0 uses DefaultInterval.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// <= 0 uses DefaultSegmentBytes.
+	SegmentBytes int64
+	// StartLSN is the first LSN assigned when the directory holds no
+	// segments. A durable index opening a fresh log over an existing
+	// snapshot passes the snapshot's LSN here so new records can never be
+	// mistaken for pre-snapshot history.
+	StartLSN uint64
+}
+
+// Defaults for Options.
+const (
+	DefaultInterval     = 50 * time.Millisecond
+	DefaultSegmentBytes = 16 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// File-format framing constants.
+const (
+	fileMagic   = "FTWL"
+	fileVersion = 1
+	// headerSize is magic + version byte + firstLSN.
+	headerSize = len(fileMagic) + 1 + 8
+	// maxRecordBytes bounds one record body; larger lengths are treated as
+	// corruption rather than attempted allocations.
+	maxRecordBytes = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segMeta is one on-disk segment the Log knows about, in LSN order.
+type segMeta struct {
+	firstLSN uint64
+	path     string
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016d.log", firstLSN)
+}
+
+// parseSegName extracts the firstLSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use;
+// appends are serialized, and their on-disk order is their LSN order.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs    []segMeta // all segments, ascending firstLSN; last is active
+	f       *os.File  // active segment
+	w       *bufio.Writer
+	size    int64 // bytes written to the active segment (including header)
+	nextLSN uint64
+
+	dirty   bool // bytes handed to the kernel since the last fsync
+	syncErr error
+
+	appends    uint64
+	syncs      uint64
+	rotations  uint64
+	truncated  uint64 // segments removed by TruncateBefore
+	tornDropt  int64  // torn tail bytes truncated at Open
+	closed     bool
+	stopTicker chan struct{}
+	tickerDone chan struct{}
+}
+
+// OpenStats reports what Open found in the directory.
+type OpenStats struct {
+	// Segments is the number of log segments present after opening.
+	Segments int
+	// NextLSN is the LSN the next appended record will receive.
+	NextLSN uint64
+	// TornTailBytes is the size of the incomplete final record dropped (and
+	// physically truncated) from the last segment, zero when the log ended
+	// cleanly.
+	TornTailBytes int64
+}
+
+// Open opens (creating if necessary) the log in dir and positions it for
+// appending. The final segment's tail is validated: an incomplete final
+// record — a write torn by a crash — is truncated away and reported in
+// OpenStats, while a checksum mismatch is corruption and fails the open.
+// Earlier segments are not scanned here; Replay validates them.
+func Open(dir string, opts Options) (*Log, OpenStats, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, OpenStats{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, OpenStats{}, err
+	}
+	l := &Log{dir: dir, opts: opts, segs: segs}
+	var st OpenStats
+	for len(l.segs) > 0 {
+		last := l.segs[len(l.segs)-1]
+		scan, err := scanSegment(last.path, true)
+		if err != nil {
+			return nil, OpenStats{}, err
+		}
+		if !scan.headerOK {
+			// The newest segment died before its header reached the disk (a
+			// rotation torn by a crash): it carries nothing. Remove it and
+			// let the previous segment become the active tail again.
+			if err := os.Remove(last.path); err != nil {
+				return nil, OpenStats{}, fmt.Errorf("wal: removing headerless %s: %w", last.path, err)
+			}
+			l.tornDropt += scan.tornBytes
+			st.TornTailBytes += scan.tornBytes
+			l.segs = l.segs[:len(l.segs)-1]
+			continue
+		}
+		if scan.firstLSN != last.firstLSN {
+			return nil, OpenStats{}, fmt.Errorf("wal: %s header claims first LSN %d", last.path, scan.firstLSN)
+		}
+		if scan.tornBytes > 0 {
+			if err := os.Truncate(last.path, scan.validEnd); err != nil {
+				return nil, OpenStats{}, fmt.Errorf("wal: truncating torn tail of %s: %w", last.path, err)
+			}
+			l.tornDropt += scan.tornBytes
+			st.TornTailBytes += scan.tornBytes
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, OpenStats{}, fmt.Errorf("wal: reopening %s: %w", last.path, err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+		l.size = scan.validEnd
+		l.nextLSN = scan.firstLSN + uint64(scan.records)
+		break
+	}
+	if l.f == nil {
+		if err := l.newSegmentLocked(opts.StartLSN); err != nil {
+			return nil, OpenStats{}, err
+		}
+	} else if l.nextLSN < opts.StartLSN {
+		// The log is behind the caller's snapshot (segments were lost or
+		// removed out of band). Appending here would mint LSNs that a
+		// future replay-from-snapshot must skip, silently dropping real
+		// mutations — rotate so numbering restarts at the snapshot.
+		if err := l.rotateLocked(opts.StartLSN); err != nil {
+			return nil, OpenStats{}, err
+		}
+	}
+	if opts.Sync == SyncInterval {
+		l.stopTicker = make(chan struct{})
+		l.tickerDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	st.Segments = len(l.segs)
+	st.NextLSN = l.nextLSN
+	return l, st, nil
+}
+
+// listSegments enumerates dir's wal segments in ascending LSN order.
+func listSegments(dir string) ([]segMeta, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []segMeta
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segMeta{firstLSN: lsn, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// newSegmentLocked creates and activates a fresh segment starting at
+// firstLSN, fsyncing the directory so the new file's entry survives power
+// loss (records fsynced into a file whose dirent was never committed
+// would vanish with it). Callers hold l.mu (or own the log exclusively
+// during Open).
+func (l *Log) newSegmentLocked(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segName(firstLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, fileMagic...)
+	hdr = append(hdr, fileVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstLSN)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w = f, w
+	l.size = int64(headerSize)
+	l.nextLSN = firstLSN
+	l.segs = append(l.segs, segMeta{firstLSN: firstLSN, path: path})
+	return nil
+}
+
+// syncDir fsyncs a directory, committing entries for files created or
+// removed in it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// rotateLocked finishes the active segment (flushing and fsyncing it — a
+// sealed segment is always durable regardless of policy) and starts a new
+// one at firstLSN.
+func (l *Log) rotateLocked(firstLSN uint64) error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flushing segment: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing segment: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	l.dirty = false
+	l.rotations++
+	return l.newSegmentLocked(firstLSN)
+}
+
+// fail poisons the log: once an I/O error has (possibly) left a partial
+// record or an unsynced tail behind, no further append may succeed — a
+// record written after the damage could replay while its predecessor did
+// not, reordering history. The caller crashes into recovery instead.
+// Callers hold l.mu.
+func (l *Log) fail(err error) error {
+	if l.syncErr == nil {
+		l.syncErr = err
+	}
+	return err
+}
+
+// Append writes one record and returns its LSN. Whether the record has
+// reached the disk when Append returns depends on the sync policy; the
+// on-disk record order always matches LSN order. Any I/O failure poisons
+// the log permanently (see fail): in particular, a record that reached
+// the file but whose fsync failed must never be followed by an applied
+// mutation, or a later replay would resurrect the unapplied record.
+func (l *Log) Append(t Type, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if l.syncErr != nil {
+		return 0, l.syncErr
+	}
+	if len(payload)+1 > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record payload of %d bytes exceeds limit", len(payload))
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(l.nextLSN); err != nil {
+			return 0, l.fail(err)
+		}
+	}
+	lsn := l.nextLSN
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, byte(t))
+	body = append(body, payload...)
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(body)))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: appending record: %w", err))
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: appending record: %w", err))
+	}
+	binary.LittleEndian.PutUint32(frame[:], crc32.Checksum(body, crcTable))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: appending record: %w", err))
+	}
+	l.size += int64(8 + len(body))
+	l.nextLSN++
+	l.appends++
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.w.Flush(); err != nil {
+			return 0, l.fail(fmt.Errorf("wal: flushing record: %w", err))
+		}
+		if err := l.f.Sync(); err != nil {
+			return 0, l.fail(fmt.Errorf("wal: syncing record: %w", err))
+		}
+		l.syncs++
+	case SyncInterval:
+		// To the kernel now (survives SIGKILL); to the platter on the ticker.
+		if err := l.w.Flush(); err != nil {
+			return 0, l.fail(fmt.Errorf("wal: flushing record: %w", err))
+		}
+		l.dirty = true
+	case SyncNone:
+		l.dirty = true
+	}
+	return lsn, nil
+}
+
+// syncLoop is the group-commit ticker: under SyncInterval it fsyncs the
+// active segment every Options.Interval while appends have dirtied it.
+func (l *Log) syncLoop() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTicker:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed && l.syncErr == nil {
+				if err := l.syncLocked(); err != nil {
+					// Surfaced to the next Append/Sync: a log that cannot
+					// reach the disk must stop accepting mutations.
+					l.syncErr = err
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// syncLocked flushes buffered records and fsyncs the active segment.
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flushing log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing log: %w", err)
+	}
+	l.dirty = false
+	l.syncs++
+	return nil
+}
+
+// Sync flushes and fsyncs the active segment now, under any policy. A
+// failure poisons the log (see fail).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: sync on closed log")
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if err := l.syncLocked(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one at the current LSN,
+// so a following TruncateBefore(NextLSN()) can delete every sealed segment.
+// A checkpoint calls this to leave the log holding only post-snapshot
+// records. Rotating an empty segment is a no-op.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: rotate on closed log")
+	}
+	if l.size == int64(headerSize) {
+		return nil
+	}
+	return l.rotateLocked(l.nextLSN)
+}
+
+// TruncateBefore deletes sealed segments every record of which has LSN
+// below lsn — segments fully covered by a persisted snapshot. The active
+// segment is never deleted. Deleting files is not atomic with the snapshot
+// that justified it, and does not need to be: a crash between the two
+// leaves extra segments whose records replay as skips.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: truncate on closed log")
+	}
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		// A segment's records end where the next segment begins; the active
+		// (last) segment is always kept.
+		if i+1 < len(l.segs) && l.segs[i+1].firstLSN <= lsn {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: removing %s: %w", s.path, err)
+			}
+			l.truncated++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = append([]segMeta(nil), kept...)
+	return nil
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the log's sync policy.
+func (l *Log) Policy() SyncPolicy { return l.opts.Sync }
+
+// Stats is a snapshot of the log's position and activity counters.
+type Stats struct {
+	NextLSN  uint64
+	Segments int
+	// ActiveBytes is the size of the active segment, header included.
+	ActiveBytes int64
+	Appends     uint64
+	// Syncs counts fsyncs: per record under SyncAlways, per dirty interval
+	// under SyncInterval, explicit Sync/Close/rotation flushes otherwise.
+	Syncs     uint64
+	Rotations uint64
+	// TruncatedSegments counts sealed segments deleted by TruncateBefore.
+	TruncatedSegments uint64
+	// TornTailBytes is the incomplete final-record tail truncated at Open.
+	TornTailBytes int64
+	Policy        SyncPolicy
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		NextLSN:           l.nextLSN,
+		Segments:          len(l.segs),
+		ActiveBytes:       l.size,
+		Appends:           l.appends,
+		Syncs:             l.syncs,
+		Rotations:         l.rotations,
+		TruncatedSegments: l.truncated,
+		TornTailBytes:     l.tornDropt,
+		Policy:            l.opts.Sync,
+	}
+}
+
+// Close flushes, fsyncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	stop := l.stopTicker
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.tickerDone
+	}
+	return err
+}
+
+// segmentScan is the result of reading one segment file front to back.
+type segmentScan struct {
+	firstLSN uint64
+	records  int
+	// headerOK reports the 13-byte header was complete; false means the
+	// segment was created but died before its header reached the disk (a
+	// rotation torn by a crash) and carries no information at all.
+	headerOK bool
+	// validEnd is the offset just past the last complete, checksum-valid
+	// record; tornBytes is whatever followed it (only ever non-zero when
+	// scanning tolerates a torn tail).
+	validEnd  int64
+	tornBytes int64
+}
+
+// errTorn is an internal marker: the segment ends with an incomplete
+// record. Callers translate it into either tolerated truncation (last
+// segment) or a corruption error (any other segment).
+var errTorn = fmt.Errorf("wal: segment ends mid-record")
+
+// scanSegment reads a whole segment, validating every record's checksum.
+// With tolerateTorn (the final segment of a log), an incomplete final
+// record is reported via tornBytes instead of an error; a checksum mismatch
+// is always an error.
+func scanSegment(path string, tolerateTorn bool) (segmentScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return segmentScan{}, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return segmentScan{}, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	br := bufio.NewReader(f)
+	scan, err := readSegment(br, path, nil)
+	if err == errTorn {
+		if !tolerateTorn {
+			return segmentScan{}, fmt.Errorf("wal: %s truncated mid-record but is not the final segment", path)
+		}
+		scan.tornBytes = info.Size() - scan.validEnd
+		return scan, nil
+	}
+	return scan, err
+}
+
+// readSegment reads records from a positioned reader, invoking fn (when
+// non-nil) with each record's type and payload. It returns errTorn when the
+// stream ends inside a record.
+func readSegment(br *bufio.Reader, path string, fn func(idx int, t Type, payload []byte) error) (segmentScan, error) {
+	// An incomplete header is torn, not corrupt: a crash between segment
+	// creation and the header write leaves exactly this. Wrong bytes that
+	// are fully present are corruption as everywhere else.
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return segmentScan{}, errTorn
+		}
+		return segmentScan{}, fmt.Errorf("wal: %s: reading header: %w", path, err)
+	}
+	if string(magic) != fileMagic {
+		return segmentScan{}, fmt.Errorf("wal: %s: bad magic", path)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return segmentScan{}, errTorn
+	}
+	if version != fileVersion {
+		return segmentScan{}, fmt.Errorf("wal: %s: unsupported version %d", path, version)
+	}
+	var lsnBuf [8]byte
+	if _, err := io.ReadFull(br, lsnBuf[:]); err != nil {
+		return segmentScan{}, errTorn
+	}
+	scan := segmentScan{firstLSN: binary.LittleEndian.Uint64(lsnBuf[:]), validEnd: int64(headerSize), headerOK: true}
+	var frame [4]byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err == io.EOF {
+			return scan, nil // clean end at a record boundary
+		} else if err != nil {
+			return scan, errTorn
+		}
+		bodyLen := binary.LittleEndian.Uint32(frame[:])
+		if bodyLen == 0 || bodyLen > maxRecordBytes {
+			return scan, fmt.Errorf("wal: %s: record %d declares %d bytes", path, scan.records, bodyLen)
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return scan, errTorn
+		}
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return scan, errTorn
+		}
+		if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(frame[:]); got != want {
+			return scan, fmt.Errorf("wal: %s: record %d (LSN %d) checksum mismatch (%08x != %08x)",
+				path, scan.records, scan.firstLSN+uint64(scan.records), got, want)
+		}
+		if fn != nil {
+			if err := fn(scan.records, Type(body[0]), body[1:]); err != nil {
+				return scan, err
+			}
+		}
+		scan.records++
+		scan.validEnd += int64(8 + len(body))
+	}
+}

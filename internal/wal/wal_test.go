@@ -1,0 +1,559 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect replays the whole directory into a slice.
+func collect(t *testing.T, dir string, from uint64) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	st, err := Replay(dir, from, func(r Record) error {
+		recs = append(recs, Record{LSN: r.LSN, Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestAppendAndReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, st, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextLSN != 0 || st.Segments != 1 {
+		t.Fatalf("fresh open: %+v", st)
+	}
+	want := []struct {
+		t Type
+		p []byte
+	}{
+		{TypeAdd, EncodeAdd(Doc{ID: "a", Body: "hello world"})},
+		{TypeAddTokens, EncodeAddTokens(TokenDoc{ID: "b", Tokens: []string{"x", "y"}})},
+		{TypeAddBatch, EncodeAddBatch([]Doc{{ID: "c", Body: ""}, {ID: "d", Body: "zz"}})},
+		{TypeDelete, EncodeDelete("a")},
+		{TypeDeleteBatch, EncodeDeleteBatch([]string{"b", "missing"})},
+		{TypeCheckpoint, EncodeCheckpoint(3)},
+	}
+	for i, w := range want {
+		lsn, err := l.Append(w.t, w.p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append %d: lsn %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rst := collect(t, dir, 0)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i) || r.Type != want[i].t || !reflect.DeepEqual(r.Payload, want[i].p) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+	if rst.Delivered != uint64(len(want)) || rst.Skipped != 0 || rst.TornTail {
+		t.Fatalf("replay stats: %+v", rst)
+	}
+
+	// Replaying from a later LSN skips the prefix.
+	recs, rst = collect(t, dir, 4)
+	if len(recs) != 2 || recs[0].LSN != 4 || rst.Skipped != 4 {
+		t.Fatalf("partial replay: %d records, stats %+v", len(recs), rst)
+	}
+}
+
+func TestPayloadCodecs(t *testing.T) {
+	d, err := DecodeAdd(EncodeAdd(Doc{ID: "id", Body: "body text"}))
+	if err != nil || d.ID != "id" || d.Body != "body text" {
+		t.Fatalf("add: %+v, %v", d, err)
+	}
+	td, err := DecodeAddTokens(EncodeAddTokens(TokenDoc{ID: "t", Tokens: []string{"a", "", "c"}}))
+	if err != nil || td.ID != "t" || !reflect.DeepEqual(td.Tokens, []string{"a", "", "c"}) {
+		t.Fatalf("add-tokens: %+v, %v", td, err)
+	}
+	batch, err := DecodeAddBatch(EncodeAddBatch(nil))
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("empty batch: %+v, %v", batch, err)
+	}
+	tb, err := DecodeAddTokensBatch(EncodeAddTokensBatch([]TokenDoc{{ID: "z"}}))
+	if err != nil || len(tb) != 1 || tb[0].ID != "z" || len(tb[0].Tokens) != 0 {
+		t.Fatalf("token batch: %+v, %v", tb, err)
+	}
+	ids, err := DecodeDeleteBatch(EncodeDeleteBatch([]string{"p", "q"}))
+	if err != nil || !reflect.DeepEqual(ids, []string{"p", "q"}) {
+		t.Fatalf("delete batch: %+v, %v", ids, err)
+	}
+	lsn, err := DecodeCheckpoint(EncodeCheckpoint(42))
+	if err != nil || lsn != 42 {
+		t.Fatalf("checkpoint: %d, %v", lsn, err)
+	}
+	// Truncated and trailing-garbage payloads fail.
+	if _, err := DecodeAdd([]byte{200}); err == nil {
+		t.Fatal("truncated add decoded")
+	}
+	if _, err := DecodeDelete(append(EncodeDelete("x"), 0)); err == nil {
+		t.Fatal("trailing bytes decoded")
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every couple of records rotates.
+	l, _, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(TypeDelete, EncodeDelete("some-document-id")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Sync(); err != nil { // SyncNone buffers in process until asked
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+
+	// Truncating below the newest segment's first LSN removes sealed
+	// segments; every surviving record is still replayable.
+	cut := l.NextLSN() - 2
+	if err := l.TruncateBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments >= st.Segments || after.TruncatedSegments == 0 {
+		t.Fatalf("truncate removed nothing: %+v -> %+v", st, after)
+	}
+	recs, rst := collect(t, dir, cut)
+	if rst.Delivered != 2 || recs[len(recs)-1].LSN != uint64(n-1) {
+		t.Fatalf("post-truncate replay: %+v", rst)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen continues numbering where the log left off.
+	l2, ost, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if ost.NextLSN != uint64(n) {
+		t.Fatalf("reopen NextLSN %d, want %d", ost.NextLSN, n)
+	}
+}
+
+func TestEmptyDirAndStartLSN(t *testing.T) {
+	dir := t.TempDir()
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 0 || st.Delivered != 0 || st.TornTail {
+		t.Fatalf("empty dir replay: %d records, %+v", len(recs), st)
+	}
+	// A fresh log over an existing snapshot starts at the snapshot's LSN.
+	l, ost, err := Open(dir, Options{Sync: SyncNone, StartLSN: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.NextLSN != 100 {
+		t.Fatalf("StartLSN ignored: %+v", ost)
+	}
+	lsn, err := l.Append(TypeDelete, EncodeDelete("x"))
+	if err != nil || lsn != 100 {
+		t.Fatalf("append at StartLSN: %d, %v", lsn, err)
+	}
+	l.Close()
+}
+
+// tornWrite chops the last n bytes off the newest segment, simulating a
+// crash mid-write.
+func tornWrite(t *testing.T, dir string, n int64) {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	path := segs[len(segs)-1].path
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornFinalRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(TypeAdd, EncodeAdd(Doc{ID: "doc", Body: "payload payload payload"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	tornWrite(t, dir, 5) // mid-CRC of the final record
+
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 2 || !st.TornTail {
+		t.Fatalf("torn tail not dropped: %d records, %+v", len(recs), st)
+	}
+
+	// Open truncates the torn bytes and appends cleanly after them.
+	l2, ost, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.TornTailBytes == 0 || ost.NextLSN != 2 {
+		t.Fatalf("open after torn write: %+v", ost)
+	}
+	if _, err := l2.Append(TypeDelete, EncodeDelete("doc")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, st = collect(t, dir, 0)
+	if len(recs) != 3 || st.TornTail || recs[2].Type != TypeDelete {
+		t.Fatalf("append after truncation: %d records, %+v", len(recs), st)
+	}
+}
+
+func TestCorruptCRCFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(TypeAdd, EncodeAdd(Doc{ID: "doc", Body: "payload"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip one byte inside the middle record's body.
+	segs, _ := listSegments(dir)
+	path := segs[0].path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := (len(data) - headerSize) / 3
+	data[headerSize+recLen+6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupt CRC replayed without a checksum error: %v", err)
+	}
+	// Open scans the final segment too and must refuse it as well.
+	if _, _, err := Open(dir, Options{Sync: SyncNone}); err == nil {
+		t.Fatal("Open accepted a corrupt final segment")
+	}
+}
+
+func TestTornMiddleSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(TypeDelete, EncodeDelete("some-document-id")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	info, _ := os.Stat(segs[0].path)
+	if err := os.Truncate(segs[0].path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "not the final segment") {
+		t.Fatalf("mid-log truncation tolerated: %v", err)
+	}
+}
+
+func TestSegmentChainGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(TypeDelete, EncodeDelete("some-document-id")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "chain gap") {
+		t.Fatalf("missing middle segment tolerated: %v", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, Options{Sync: policy, Interval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if policy == SyncInterval {
+				// Group commit: records reach the kernel per append, so a
+				// reader sees them before any fsync happens.
+				recs, _ := collect(t, dir, 0)
+				if len(recs) != 5 {
+					t.Fatalf("interval policy: %d records visible before sync", len(recs))
+				}
+				// And the ticker must eventually fsync.
+				deadline := time.Now().Add(2 * time.Second)
+				for l.Stats().Syncs == 0 {
+					if time.Now().After(deadline) {
+						t.Fatal("interval ticker never synced")
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recs, _ := collect(t, dir, 0)
+			if len(recs) != 5 {
+				t.Fatalf("%s: %d records after close", policy, len(recs))
+			}
+			if st := l.Stats(); policy == SyncAlways && st.Syncs < 5 {
+				t.Fatalf("always: only %d syncs for 5 appends", st.Syncs)
+			}
+		})
+	}
+}
+
+func TestRotateSealsForTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint sequence: rotate, then truncate everything below the
+	// current LSN — the whole history disappears, the active segment stays.
+	lsn := l.NextLSN()
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("after rotate+truncate: %+v", st)
+	}
+	recs, st := collect(t, dir, lsn)
+	if len(recs) != 0 || st.Skipped != 0 {
+		t.Fatalf("sealed history survived truncation: %d records, %+v", len(recs), st)
+	}
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextLSN(); got != lsn+1 {
+		t.Fatalf("LSN after rotate: %d, want %d", got, lsn+1)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "": SyncInterval, "none": SyncNone, "NONE": SyncNone} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+}
+
+func TestHeaderNameMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Rename the segment so its name no longer matches its header.
+	if err := os.Rename(filepath.Join(dir, segName(0)), filepath.Join(dir, segName(7))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil {
+		t.Fatal("renamed segment replayed")
+	}
+	if _, _, err := Open(dir, Options{Sync: SyncNone}); err == nil {
+		t.Fatal("renamed segment opened")
+	}
+}
+
+func TestAbsurdRecordLengthRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	f, err := os.OpenFile(segs[0].path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], maxRecordBytes+1)
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Replay(dir, 0, func(Record) error { return nil }); err == nil {
+		t.Fatal("absurd record length replayed")
+	}
+}
+
+// TestTornHeaderFinalSegmentDropped simulates power loss between segment
+// creation and its header reaching the disk: the headerless final segment
+// is dropped (Replay) and removed (Open), and the log resumes on the
+// previous segment.
+func TestTornHeaderFinalSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Tear the rotated-to segment's header: 5 of its 13 bytes reached disk.
+	segs, _ := listSegments(dir)
+	last := segs[len(segs)-1].path
+	if err := os.Truncate(last, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 3 || !st.TornTail {
+		t.Fatalf("torn-header replay: %d records, %+v", len(recs), st)
+	}
+	l2, ost, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("torn header not tolerated at open: %v", err)
+	}
+	defer l2.Close()
+	if ost.NextLSN != 3 || ost.TornTailBytes != 5 {
+		t.Fatalf("open after torn header: %+v", ost)
+	}
+	if _, err := os.Stat(last); !os.IsNotExist(err) {
+		t.Fatal("headerless segment not removed")
+	}
+	if lsn, err := l2.Append(TypeDelete, EncodeDelete("id")); err != nil || lsn != 3 {
+		t.Fatalf("append after torn header: %d, %v", lsn, err)
+	}
+	// An empty (zero-byte) final segment is the same crash one instant
+	// earlier and must be tolerated identically.
+	l2.Close()
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, st = collect(t, dir, 0)
+	if len(recs) != 4 || !st.TornTail {
+		t.Fatalf("empty-segment replay: %d records, %+v", len(recs), st)
+	}
+	l3, ost, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("empty final segment not tolerated: %v", err)
+	}
+	defer l3.Close()
+	if ost.NextLSN != 4 {
+		t.Fatalf("open after empty segment: %+v", ost)
+	}
+}
+
+// TestAppendFailurePoisonsLog pins the poisoning contract: once an append
+// has failed, every later append fails too — a half-written or unsynced
+// record must never be followed by a successfully acknowledged one.
+func TestAppendFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err != nil {
+		t.Fatal(err)
+	}
+	// Force the next flush/sync to fail by closing the file out from
+	// under the log.
+	l.f.Close()
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err == nil {
+		t.Fatal("append succeeded on a closed file")
+	}
+	if _, err := l.Append(TypeDelete, EncodeDelete("id")); err == nil {
+		t.Fatal("append succeeded after a failed append (log not poisoned)")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync succeeded after poisoning")
+	}
+}

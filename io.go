@@ -259,6 +259,13 @@ func ReadIndex(r io.Reader) (*Index, error) {
 func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.writeToLocked(w)
+}
+
+// writeToLocked is WriteTo's body; callers hold at least the read lock
+// (Checkpoint holds it across serialization so the snapshot and its
+// recorded log position cannot drift apart).
+func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 	if len(s.shards) > maxShards {
 		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(s.shards), maxShards)
 	}

@@ -1,0 +1,333 @@
+package fulltext
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fulltext/internal/segment"
+)
+
+// poolPolicy drives every real merge onto the background pool with the
+// given worker bound: the delta-count trigger fires after one extra delta,
+// the base-ratio trigger is effectively off (so tests control exactly
+// which trigger fires), and the tombstone trigger fires on any dead doc.
+func poolPolicy(workers int) segment.Policy {
+	return segment.Policy{
+		MaxDeltas:            1,
+		BaseRatio:            1000,
+		TombstoneRatio:       0.001,
+		BackgroundMinDocs:    1,
+		MaxBackgroundWorkers: workers,
+	}
+}
+
+// buildShardTargets builds a sharded index where each shard holds exactly
+// docsPerShard base documents with test-controlled ids, returning the ids
+// per shard.
+func buildShardTargets(t *testing.T, shards, docsPerShard int) (*ShardedIndex, [][]string) {
+	t.Helper()
+	ids := make([][]string, shards)
+	sb := NewShardedBuilder(shards)
+	for si := 0; si < shards; si++ {
+		ids[si] = idsForShard(t, shards, si, docsPerShard)
+		for _, id := range ids[si] {
+			if err := sb.Add(id, "alpha beta gamma needle"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sb.Build(), ids
+}
+
+// waitShardState polls SegmentStats until cond holds or the deadline hits.
+func waitShardState(t *testing.T, s *ShardedIndex, what string, cond func(SegmentStats) bool) SegmentStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.SegmentStats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBackgroundMergePoolBounded pins the pool contract: with one worker
+// slot, a second and third background-eligible shard queue instead of
+// spawning their own goroutines, and the queue drains through the single
+// slot once it frees.
+func TestBackgroundMergePoolBounded(t *testing.T) {
+	const shards = 3
+	s, _ := buildShardTargets(t, shards, 4)
+	gate := make(chan struct{})
+	s.bgHook = func() { <-gate } // blocks each worker between merge and swap
+	s.SetMergePolicy(poolPolicy(1))
+
+	// Two extra deltas per shard trip the delta-count trigger everywhere.
+	for si := 0; si < shards; si++ {
+		for _, id := range idsForShard(t, shards, si, 8)[4:6] {
+			if err := s.AddTokens(id, []string{"delta"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Scheduling is synchronous under the mutation lock: exactly one shard
+	// got the slot, the others must be queued, not running.
+	st := s.SegmentStats()
+	if st.InFlightMerges != 1 || st.QueuedMerges != 2 {
+		t.Fatalf("pool of 1: %d in flight, %d queued", st.InFlightMerges, st.QueuedMerges)
+	}
+	if st.MergeWorkers != 1 {
+		t.Fatalf("MergeWorkers = %d, want 1", st.MergeWorkers)
+	}
+	running, queued := 0, 0
+	for _, ss := range st.Shards {
+		if ss.MergeRunning {
+			running++
+		}
+		if ss.MergeQueued {
+			queued++
+		}
+	}
+	if running != 1 || queued != 2 {
+		t.Fatalf("per-shard states: %d running, %d queued; %+v", running, queued, st.Shards)
+	}
+
+	close(gate) // release the slot; the queue drains through it
+	s.WaitMerges()
+	st = waitShardState(t, s, "queue drain", func(st SegmentStats) bool {
+		return st.InFlightMerges == 0 && st.QueuedMerges == 0
+	})
+	if st.BackgroundMerges < shards {
+		t.Fatalf("only %d background merges after drain, want >= %d", st.BackgroundMerges, shards)
+	}
+	for si, ss := range st.Shards {
+		if ss.Deltas > 1 {
+			t.Fatalf("shard %d still has %d deltas after drain", si, ss.Deltas)
+		}
+	}
+}
+
+// TestMergePriorityTakesLargestTombstoneMass pins the queue ordering: when
+// multiple shards wait for the single pool slot, the one with the most
+// reclaimable (tombstoned) documents is compacted first, and the chosen
+// priority is visible in SegmentStats.
+func TestMergePriorityTakesLargestTombstoneMass(t *testing.T) {
+	const shards = 3
+	s, ids := buildShardTargets(t, shards, 8)
+	gate := make(chan struct{})
+	s.bgHook = func() { <-gate }
+	s.SetMergePolicy(poolPolicy(1))
+
+	// Occupy the only slot with a delta merge on shard 0.
+	for _, id := range idsForShard(t, shards, 0, 10)[8:10] {
+		if err := s.AddTokens(id, []string{"delta"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.SegmentStats(); st.InFlightMerges != 1 || !st.Shards[0].MergeRunning {
+		t.Fatalf("shard 0 did not take the slot: %+v", st)
+	}
+	// Queue tombstone compactions with different reclaimable mass: shard 1
+	// loses one document, shard 2 loses three.
+	s.Delete(ids[1][0])
+	for _, id := range ids[2][:3] {
+		s.Delete(id)
+	}
+	st := s.SegmentStats()
+	if !st.Shards[1].MergeQueued || !st.Shards[2].MergeQueued {
+		t.Fatalf("tombstoned shards not queued: %+v", st.Shards)
+	}
+	if st.Shards[1].MergePriority != 1 || st.Shards[2].MergePriority != 3 {
+		t.Fatalf("priorities: shard1 %d (want 1), shard2 %d (want 3)",
+			st.Shards[1].MergePriority, st.Shards[2].MergePriority)
+	}
+
+	// Free the slot once: the scheduler must hand it to shard 2 (mass 3)
+	// ahead of shard 1 (mass 1) even though shard 1 queued first.
+	gate <- struct{}{}
+	st = waitShardState(t, s, "shard 2 to win the slot", func(st SegmentStats) bool {
+		return st.Shards[2].MergeRunning
+	})
+	if !st.Shards[1].MergeQueued {
+		t.Fatalf("shard 1 should still be queued while shard 2 merges: %+v", st.Shards)
+	}
+
+	close(gate)
+	s.WaitMerges()
+	st = s.SegmentStats()
+	for si, ss := range st.Shards {
+		if ss.DeadDocs != 0 {
+			t.Fatalf("shard %d kept %d tombstones after compaction", si, ss.DeadDocs)
+		}
+	}
+	// The compaction order must not have changed what queries see.
+	live := make([][2]string, 0, 3*8)
+	for si := 0; si < shards; si++ {
+		for _, id := range ids[si] {
+			live = append(live, [2]string{id, "alpha beta gamma needle"})
+		}
+	}
+	live = removeDoc(live, ids[1][0])
+	for _, id := range ids[2][:3] {
+		live = removeDoc(live, id)
+	}
+	for _, extra := range [][]string{idsForShard(t, shards, 0, 10)[8:10]} {
+		for _, id := range extra {
+			live = append(live, [2]string{id, "delta"})
+		}
+	}
+	ref := NewShardedBuilder(shards)
+	for _, d := range live {
+		if err := ref.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = ref // ordinals differ from the mutated index; compare counts only
+	if got := s.Docs(); got != len(live) {
+		t.Fatalf("%d live docs after pooled merges, want %d", got, len(live))
+	}
+}
+
+// TestPoolAllowsParallelWorkers verifies the bound is a bound, not a
+// serializer: with two slots, two shards merge concurrently.
+func TestPoolAllowsParallelWorkers(t *testing.T) {
+	const shards = 3
+	s, _ := buildShardTargets(t, shards, 4)
+	gate := make(chan struct{})
+	s.bgHook = func() { <-gate }
+	s.SetMergePolicy(poolPolicy(2))
+	for si := 0; si < shards; si++ {
+		for _, id := range idsForShard(t, shards, si, 8)[4:6] {
+			if err := s.AddTokens(id, []string{"delta"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := s.SegmentStats(); st.InFlightMerges != 2 || st.QueuedMerges != 1 {
+		t.Fatalf("pool of 2: %d in flight, %d queued", st.InFlightMerges, st.QueuedMerges)
+	}
+	close(gate)
+	s.WaitMerges()
+	if st := s.SegmentStats(); st.InFlightMerges != 0 || st.QueuedMerges != 0 {
+		t.Fatalf("pool did not drain: %+v", st)
+	}
+}
+
+func TestDeleteBatchEquivalence(t *testing.T) {
+	const shards = 3
+	docs := segCorpus(40)
+	sb := NewShardedBuilder(shards)
+	for _, d := range docs {
+		if err := sb.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := sb.Build()
+	ids := []string{docs[1][0], docs[7][0], docs[20][0], docs[33][0]}
+	n, err := s.DeleteBatch(ids)
+	if err != nil || n != len(ids) {
+		t.Fatalf("DeleteBatch = %d, %v; want %d", n, err, len(ids))
+	}
+	live := append([][2]string(nil), docs...)
+	for _, id := range ids {
+		live = removeDoc(live, id)
+	}
+	assertSameResults(t, "delete-batch", s, rebuildLive(t, shards, live))
+	// The batch rolled statistics exactly once per container invariant:
+	// deleting the same ids again is a full miss and a no-op.
+	n, err = s.DeleteBatch(ids)
+	if err != nil || n != 0 {
+		t.Fatalf("re-delete = %d, %v; want 0", n, err)
+	}
+}
+
+func TestDeleteBatchSkipsMissesAndDuplicates(t *testing.T) {
+	sb := NewShardedBuilder(2)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := sb.Add(id, "alpha beta"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := sb.Build()
+	n, err := s.DeleteBatch([]string{"a", "ghost", "a", "c", "c"})
+	if err != nil || n != 2 {
+		t.Fatalf("DeleteBatch = %d, %v; want 2", n, err)
+	}
+	if s.Docs() != 1 {
+		t.Fatalf("%d docs left, want 1", s.Docs())
+	}
+}
+
+// TestDeleteBatchZeroHitsIsNoOp pins that an all-miss batch does not bump
+// the build generation (observable through the query cache surviving).
+func TestDeleteBatchZeroHitsIsNoOp(t *testing.T) {
+	sb := NewShardedBuilder(2)
+	if err := sb.Add("a", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.Build()
+	q := MustParse(BOOL, `'alpha'`)
+	if _, err := s.Search(q); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	if n, err := s.DeleteBatch([]string{"ghost", "phantom"}); err != nil || n != 0 {
+		t.Fatalf("DeleteBatch = %d, %v; want 0", n, err)
+	}
+	if _, err := s.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Hits != 1 {
+		t.Fatalf("all-miss DeleteBatch purged the cache: %+v", cs)
+	}
+	// And a batch with hits does bump it.
+	if n, err := s.DeleteBatch([]string{"a"}); err != nil || n != 1 {
+		t.Fatalf("DeleteBatch = %d, %v; want 1", n, err)
+	}
+	if _, err := s.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Hits != 1 {
+		t.Fatalf("hit DeleteBatch did not invalidate the cache: %+v", cs)
+	}
+}
+
+// TestDeleteBatchSingleGenerationBump asserts the one-mutation contract
+// directly: a 10-document batch moves the generation once, where 10 single
+// deletes move it 10 times.
+func TestDeleteBatchSingleGenerationBump(t *testing.T) {
+	build := func() (*ShardedIndex, []string) {
+		sb := NewShardedBuilder(2)
+		ids := make([]string, 10)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("doc%d", i)
+			if err := sb.Add(ids[i], "alpha beta gamma"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.Build(), ids
+	}
+	// Generations come from one process-global monotone counter, and this
+	// test is the only mutator while it runs, so the generation delta is
+	// exactly the number of mutations the index observed.
+	batched, ids := build()
+	genBefore := batched.gen
+	if _, err := batched.DeleteBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := batched.gen - genBefore; got != 1 {
+		t.Fatalf("DeleteBatch consumed %d generations, want 1", got)
+	}
+	singles, ids2 := build()
+	genBefore = singles.gen
+	for _, id := range ids2 {
+		singles.Delete(id)
+	}
+	if got := singles.gen - genBefore; got != 10 {
+		t.Fatalf("10 single Deletes consumed %d generations, want 10", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fulltext/internal/score"
 	"fulltext/internal/segment"
 	"fulltext/internal/shard"
+	"fulltext/internal/wal"
 )
 
 // ErrDuplicateID is returned (wrapped, with the offending id) when Add is
@@ -54,13 +55,18 @@ type preDoc struct {
 // old document first frees its id).
 func (s *ShardedIndex) Add(id, body string) error {
 	toks, pos := core.Tokenize(body)
-	return s.addBatch([]preDoc{{id: id, toks: toks, pos: pos}})
+	return s.addBatch([]preDoc{{id: id, toks: toks, pos: pos}}, func() (wal.Type, []byte) {
+		return wal.TypeAdd, wal.EncodeAdd(wal.Doc{ID: id, Body: body})
+	})
 }
 
 // AddTokens appends a pre-tokenized document with structureless positions
 // (see Builder.AddTokens).
 func (s *ShardedIndex) AddTokens(id string, tokens []string) error {
-	return s.addBatch([]preDoc{{id: id, toks: tokens, pos: core.PositionsForTokens(len(tokens))}})
+	return s.addBatch([]preDoc{{id: id, toks: tokens, pos: core.PositionsForTokens(len(tokens))}},
+		func() (wal.Type, []byte) {
+			return wal.TypeAddTokens, wal.EncodeAddTokens(wal.TokenDoc{ID: id, Tokens: tokens})
+		})
 }
 
 // AddBatch appends N documents as one mutation: the whole batch is
@@ -77,7 +83,13 @@ func (s *ShardedIndex) AddBatch(docs []Document) error {
 		toks, pos := core.Tokenize(d.Body)
 		pre[i] = preDoc{id: d.ID, toks: toks, pos: pos}
 	}
-	return s.addBatch(pre)
+	return s.addBatch(pre, func() (wal.Type, []byte) {
+		logged := make([]wal.Doc, len(docs))
+		for i, d := range docs {
+			logged[i] = wal.Doc{ID: d.ID, Body: d.Body}
+		}
+		return wal.TypeAddBatch, wal.EncodeAddBatch(logged)
+	})
 }
 
 // AddTokensBatch is AddBatch for pre-tokenized documents.
@@ -86,7 +98,13 @@ func (s *ShardedIndex) AddTokensBatch(docs []TokenDocument) error {
 	for i, d := range docs {
 		pre[i] = preDoc{id: d.ID, toks: d.Tokens, pos: core.PositionsForTokens(len(d.Tokens))}
 	}
-	return s.addBatch(pre)
+	return s.addBatch(pre, func() (wal.Type, []byte) {
+		logged := make([]wal.TokenDoc, len(docs))
+		for i, d := range docs {
+			logged[i] = wal.TokenDoc{ID: d.ID, Tokens: d.Tokens}
+		}
+		return wal.TypeAddTokensBatch, wal.EncodeAddTokensBatch(logged)
+	})
 }
 
 // addBatch validates, builds and commits one batch of tokenized documents.
@@ -97,9 +115,14 @@ func (s *ShardedIndex) AddTokensBatch(docs []TokenDocument) error {
 // batch-relative ordinals and rebased onto the live ordinal allocator at
 // commit, preserving the strictly-increasing invariant. Every failure
 // (duplicate id inside the batch or against a live document, invalid
-// document) happens before any container state changes, so an error
-// leaves the index exactly as it was.
-func (s *ShardedIndex) addBatch(pre []preDoc) error {
+// document, write-ahead log append failure) happens before any container
+// state changes, so an error leaves the index exactly as it was.
+//
+// logRec builds the mutation's write-ahead log record from the caller's
+// raw inputs; it is invoked — after all validation, so the log only ever
+// holds mutations that applied — only when a WAL is attached, keeping the
+// undurable path free of encoding cost.
+func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) error {
 	if len(pre) == 0 {
 		return nil
 	}
@@ -158,6 +181,12 @@ func (s *ShardedIndex) addBatch(pre []preDoc) error {
 			return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, d.id)
 		}
 	}
+	if s.wal != nil {
+		t, payload := logRec()
+		if _, err := s.wal.Append(t, payload); err != nil {
+			return fmt.Errorf("fulltext: write-ahead log: %w", err)
+		}
+	}
 
 	// Commit: nothing below can fail. Rebasing mutates each segment's
 	// ordinal table in place, which is safe because the segment is not yet
@@ -196,8 +225,12 @@ func (s *ShardedIndex) addBatch(pre []preDoc) error {
 // it. The posting-list entries stay on disk-shaped segments until a lazy
 // merge compacts them. It reports whether a live document was deleted; a
 // miss is not an error, so the method has no error return (deletion of a
-// live document cannot fail). Cost: O(document tokens) — the owning
-// segment's forward index recovers the token set directly.
+// live document cannot fail — with one exception: on a durable index a
+// write-ahead log append failure panics, because acknowledging a delete
+// that cannot be made durable would silently break the recovery contract,
+// and a log that cannot reach its disk has no better recourse than
+// crashing into recovery). Cost: O(document tokens) — the owning segment's
+// forward index recovers the token set directly.
 func (s *ShardedIndex) Delete(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,6 +238,68 @@ func (s *ShardedIndex) Delete(id string) bool {
 	if !ok {
 		return false
 	}
+	if s.wal != nil {
+		if _, err := s.wal.Append(wal.TypeDelete, wal.EncodeDelete(id)); err != nil {
+			panic(fmt.Sprintf("fulltext: write-ahead log: %v", err))
+		}
+	}
+	s.deleteLocked(id, loc)
+	s.afterMutate(loc.shard)
+	return true
+}
+
+// DeleteBatch tombstones every live document in ids as one mutation: one
+// lock acquisition, one write-ahead log record, one build-generation bump
+// and one statistics-identity roll — where N single Deletes would pay each
+// N times (the bulk-expiry mirror of AddBatch). Ids with no live document
+// (including repeats within the batch) are skipped, not errors; it returns
+// how many documents were deleted. All-or-nothing: the only possible
+// failure is the write-ahead log append, which happens before any document
+// is touched. A batch with zero live targets changes nothing — no log
+// record, no generation bump.
+func (s *ShardedIndex) DeleteBatch(ids []string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits := make([]string, 0, len(ids))
+	locs := make([]docLoc, 0, len(ids))
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if loc, ok := s.byID[id]; ok {
+			hits = append(hits, id)
+			locs = append(locs, loc)
+		}
+	}
+	if len(hits) == 0 {
+		return 0, nil
+	}
+	if s.wal != nil {
+		// The raw request is logged, not the hit set: replay re-derives the
+		// same hits from the same pre-record state.
+		if _, err := s.wal.Append(wal.TypeDeleteBatch, wal.EncodeDeleteBatch(ids)); err != nil {
+			return 0, fmt.Errorf("fulltext: write-ahead log: %w", err)
+		}
+	}
+	touched := make(map[int]bool, len(hits))
+	shards := make([]int, 0, len(hits))
+	for i, id := range hits {
+		s.deleteLocked(id, locs[i])
+		if !touched[locs[i].shard] {
+			touched[locs[i].shard] = true
+			shards = append(shards, locs[i].shard)
+		}
+	}
+	s.afterMutate(shards...)
+	return len(hits), nil
+}
+
+// deleteLocked tombstones one live document (loc must be s.byID[id]) and
+// subtracts it from global statistics. Callers hold the write lock and run
+// afterMutate afterwards.
+func (s *ShardedIndex) deleteLocked(id string, loc docLoc) {
 	// The token set must be recovered before tombstoning so document
 	// frequencies (and therefore idf and every score) stop counting the
 	// document immediately.
@@ -222,8 +317,6 @@ func (s *ShardedIndex) Delete(id string) bool {
 			delete(s.stats.df, t)
 		}
 	}
-	s.afterMutate(loc.shard)
-	return true
 }
 
 // afterMutate finishes one mutation under the write lock: a fresh build
@@ -242,21 +335,38 @@ func (s *ShardedIndex) afterMutate(shards ...int) {
 	for _, si := range shards {
 		s.applyMergePolicy(si)
 	}
+	s.scheduleBg()
 }
+
+// bgMergeState is a shard's position in the background merge pool: idle
+// (planning runs normally), queued (a background-eligible plan is waiting
+// for a pool slot), or running (a worker owns the shard's planning).
+type bgMergeState int8
+
+const (
+	bgIdle bgMergeState = iota
+	bgQueued
+	bgRunning
+)
 
 // applyMergePolicy runs the tiered policy on shard si until it is within
 // policy, cascading when a delta-tail merge pushes the deltas over the
 // base ratio. Merges never consult the original documents — posting lists
 // merge physically, dropping tombstones — and never touch other shards.
-// Plans at or above the policy's background threshold are handed to a
-// worker goroutine (one per shard at a time) so large compactions never
-// run under the write lock; while one is in flight the shard's planning is
-// suspended, and the worker re-runs the policy when it completes. The
-// segment invariants (strictly increasing ordinals, consistent id tables)
-// are established at build/load time, so a merge failure here is corrupted
-// internal state and panics.
+// Plans at or above the policy's background threshold are queued for the
+// bounded worker pool (scheduleBg starts them as slots free up) so large
+// compactions never run under the write lock; while a shard is queued or
+// running its planning is suspended, and the worker re-runs the policy
+// when it completes. The segment invariants (strictly increasing ordinals,
+// consistent id tables) are established at build/load time, so a merge
+// failure here is corrupted internal state and panics.
 func (s *ShardedIndex) applyMergePolicy(si int) {
-	if s.bgInflight[si] {
+	if s.bgState[si] != bgIdle {
+		if s.bgState[si] == bgQueued {
+			// Deletes that landed since the shard queued raise its
+			// reclaimable mass; keep the queue ordering honest.
+			s.bgPrio[si] = s.mergePriority(si)
+		}
 		return
 	}
 	for guard := 0; ; guard++ {
@@ -272,7 +382,9 @@ func (s *ShardedIndex) applyMergePolicy(si int) {
 			return
 		}
 		if s.policy.Background(metas[lo : hi+1]) {
-			s.startBackgroundMerge(si, lo, hi)
+			s.bgState[si] = bgQueued
+			s.bgPrio[si] = s.mergePriority(si)
+			s.bgPlan[si] = [2]int{lo, hi}
 			return
 		}
 		merged, err := segment.Merge(metas[lo : hi+1])
@@ -283,6 +395,50 @@ func (s *ShardedIndex) applyMergePolicy(si int) {
 		s.merges++
 		s.segsMerged += uint64(hi - lo + 1)
 		s.docsMerged += uint64(merged.Live())
+	}
+}
+
+// mergePriority is the queue ordering key: the shard's reclaimable
+// tombstone mass, i.e. dead documents across its segment tail. Under
+// skewed delete traffic the shard sitting on the most dead postings is
+// compacted first, reclaiming memory fastest; ties (in particular the
+// all-zero tie of pure-append traffic) fall back to lowest shard index.
+func (s *ShardedIndex) mergePriority(si int) int {
+	dead := 0
+	for _, sg := range s.shards[si] {
+		dead += sg.meta.Dead()
+	}
+	return dead
+}
+
+// scheduleBg starts queued background merges while pool slots are free,
+// taking the highest-priority shard first. Caller holds the write lock.
+// Every enqueue point (afterMutate, SetMergePolicy, worker completion)
+// calls it, so whenever work is queued the pool is saturated — which is
+// also why WaitMerges need not watch the queue: queued work implies a
+// running worker that will chain into it before signing off.
+func (s *ShardedIndex) scheduleBg() {
+	for s.bgWorkers < s.bgMaxWorkers {
+		si := -1
+		for j, st := range s.bgState {
+			if st == bgQueued && (si < 0 || s.bgPrio[j] > s.bgPrio[si]) {
+				si = j
+			}
+		}
+		if si < 0 {
+			return
+		}
+		// The queued plan may be stale: the shard changed since it queued
+		// (more deltas, deletes, a cascading merge). Re-run the policy from
+		// idle — it merges inline what shrank below the threshold and
+		// re-queues what is still background-sized, recording a fresh plan
+		// in bgPlan, which is exactly the plan started here.
+		s.bgState[si] = bgIdle
+		s.applyMergePolicy(si)
+		if s.bgState[si] != bgQueued {
+			continue
+		}
+		s.startBackgroundMerge(si, s.bgPlan[si][0], s.bgPlan[si][1])
 	}
 }
 
@@ -313,17 +469,19 @@ func (s *ShardedIndex) swapMerged(si, lo, hi int, merged *segment.Segment) {
 }
 
 // startBackgroundMerge snapshots the planned inputs copy-on-write and
-// hands the merge to a worker goroutine. Caller holds the write lock. The
-// clones share the immutable posting lists and tables but own private
-// tombstone sets, so the worker reads them lock-free while the originals
-// keep serving queries and taking deletes.
+// hands the merge to a worker goroutine, taking one pool slot. Caller
+// holds the write lock and has verified a slot is free. The clones share
+// the immutable posting lists and tables but own private tombstone sets,
+// so the worker reads them lock-free while the originals keep serving
+// queries and taking deletes.
 func (s *ShardedIndex) startBackgroundMerge(si, lo, hi int) {
 	inputs := append([]*seg(nil), s.shards[si][lo:hi+1]...)
 	frozen := make([]*segment.Segment, len(inputs))
 	for i, sg := range inputs {
 		frozen[i] = sg.meta.Clone()
 	}
-	s.bgInflight[si] = true
+	s.bgState[si] = bgRunning
+	s.bgWorkers++
 	s.bgEnter()
 	go s.runBackgroundMerge(si, inputs, frozen)
 }
@@ -363,7 +521,12 @@ func (s *ShardedIndex) runBackgroundMerge(si int, inputs []*seg, frozen []*segme
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.bgInflight[si] = false
+	s.bgState[si] = bgIdle
+	s.bgWorkers--
+	// The freed slot is handed on before this worker signs off (bgExit runs
+	// after the deferred unlock), so a merge chain never drops to zero
+	// in-flight workers while queued work remains.
+	defer s.scheduleBg()
 	if err != nil {
 		panic(fmt.Sprintf("fulltext: background merge on shard %d: %v", si, err))
 	}
@@ -422,12 +585,13 @@ func (s *ShardedIndex) findInputRun(si int, inputs []*seg) (int, bool) {
 	return 0, false
 }
 
-// WaitMerges blocks until no background merge is in flight (follow-up
-// merges a completing worker schedules are waited for too, since a worker
-// registers them before signing off). Safe for concurrent use, including
-// against mutations that schedule new merges while it blocks — though
-// under sustained write traffic it may then wait for those as well; call
-// it after quiescing writers for a deterministic tail.
+// WaitMerges blocks until no background merge is in flight or queued
+// (follow-up and queued merges a completing worker schedules are waited
+// for too, since a worker hands its pool slot on before signing off).
+// Safe for concurrent use, including against mutations that schedule new
+// merges while it blocks — though under sustained write traffic it may
+// then wait for those as well; call it after quiescing writers for a
+// deterministic tail.
 func (s *ShardedIndex) WaitMerges() {
 	s.bgMu.Lock()
 	for s.bgActive > 0 {
@@ -438,14 +602,18 @@ func (s *ShardedIndex) WaitMerges() {
 
 // SetMergePolicy replaces the lazy-merge policy (zero fields take
 // defaults) and immediately re-plans every shard under the new thresholds.
-// Safe for concurrent use.
+// Safe for concurrent use. Shrinking MaxBackgroundWorkers does not stop
+// merges already running; the pool converges to the new bound as they
+// complete.
 func (s *ShardedIndex) SetMergePolicy(p segment.Policy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.policy = p
+	s.bgMaxWorkers = p.MaxWorkers()
 	for si := range s.shards {
 		s.applyMergePolicy(si)
 	}
+	s.scheduleBg()
 }
 
 // ShardSegments describes one shard's segment tail for monitoring.
@@ -457,6 +625,14 @@ type ShardSegments struct {
 	// LiveDocs and DeadDocs count documents across the shard's segments.
 	LiveDocs int
 	DeadDocs int
+	// MergePriority is the shard's current background-queue ordering key:
+	// its reclaimable tombstone mass (see SegmentStats.QueuedMerges for the
+	// pool this ordering feeds).
+	MergePriority int
+	// MergeQueued and MergeRunning report the shard's position in the
+	// background merge pool.
+	MergeQueued  bool
+	MergeRunning bool
 }
 
 // SegmentStats is a snapshot of the incremental ingestion state: per-shard
@@ -474,12 +650,16 @@ type SegmentStats struct {
 	SegmentsMerged uint64
 	DocsMerged     uint64
 	// BackgroundMerges counts the subset of Merges completed on the worker
-	// (copy-on-write inputs, off the write lock); InFlightMerges is the
-	// number currently running. BackgroundAborts counts worker results
+	// pool (copy-on-write inputs, off the write lock); InFlightMerges is
+	// the number currently running and QueuedMerges the shards waiting for
+	// a pool slot (taken largest reclaimable tombstone mass first), with
+	// MergeWorkers the pool bound. BackgroundAborts counts worker results
 	// discarded at validation, and BackgroundTombstones counts merged
 	// documents tombstoned because a delete raced the merge.
 	BackgroundMerges     uint64
 	InFlightMerges       int
+	QueuedMerges         int
+	MergeWorkers         int
 	BackgroundAborts     uint64
 	BackgroundTombstones uint64
 	// ForwardLookups counts Delete token-set recoveries served by the
@@ -503,13 +683,22 @@ func (s *ShardedIndex) SegmentStats() SegmentStats {
 		BackgroundTombstones: s.bgTombstones,
 		ForwardLookups:       s.fwdLookups,
 	}
-	for _, inflight := range s.bgInflight {
-		if inflight {
+	out.MergeWorkers = s.bgMaxWorkers
+	for _, st := range s.bgState {
+		switch st {
+		case bgRunning:
 			out.InFlightMerges++
+		case bgQueued:
+			out.QueuedMerges++
 		}
 	}
 	for i, segs := range s.shards {
-		ss := ShardSegments{Segments: len(segs)}
+		ss := ShardSegments{
+			Segments:      len(segs),
+			MergePriority: s.mergePriority(i),
+			MergeQueued:   s.bgState[i] == bgQueued,
+			MergeRunning:  s.bgState[i] == bgRunning,
+		}
 		if len(segs) > 1 {
 			ss.Deltas = len(segs) - 1
 		}

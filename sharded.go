@@ -11,6 +11,7 @@ import (
 	"fulltext/internal/segment"
 	"fulltext/internal/shard"
 	"fulltext/internal/text"
+	"fulltext/internal/wal"
 	"fulltext/internal/wand"
 )
 
@@ -188,17 +189,35 @@ type ShardedIndex struct {
 	cache  *shard.Cache
 	gen    uint64
 
-	// Background merge worker state (under mu except bgActive/bgCond,
-	// which use their own bgMu so WaitMerges never touches the main lock;
-	// bgHook is set only before any worker starts). A plain WaitGroup
-	// would not do: mutations may legally schedule new merges from a zero
-	// counter while another goroutine is blocked waiting, which is
-	// documented WaitGroup misuse.
-	bgMu       sync.Mutex
-	bgCond     *sync.Cond
-	bgActive   int    // background merges in flight (under bgMu)
-	bgInflight []bool // per shard: a background merge owns the shard's planning
-	bgHook     func() // test hook, runs between the off-lock merge and the swap
+	// Background merge pool state (under mu except bgActive/bgCond, which
+	// use their own bgMu so WaitMerges never touches the main lock; bgHook
+	// is set only before any worker starts). A plain WaitGroup would not
+	// do: mutations may legally schedule new merges from a zero counter
+	// while another goroutine is blocked waiting, which is documented
+	// WaitGroup misuse. At most bgMaxWorkers merges run concurrently
+	// across all shards (and at most one per shard); further eligible
+	// shards wait in the queued state and are taken largest reclaimable
+	// tombstone mass first when a worker frees up.
+	bgMu         sync.Mutex
+	bgCond       *sync.Cond
+	bgActive     int            // background merges in flight (under bgMu)
+	bgState      []bgMergeState // per shard: idle, queued, or running
+	bgPrio       []int          // per shard: queue priority while queued
+	bgPlan       [][2]int       // per shard: the queued [lo, hi] merge range
+	bgWorkers    int            // workers currently running (under mu)
+	bgMaxWorkers int            // pool bound, from the policy (under mu)
+	bgHook       func()         // test hook, runs between the off-lock merge and the swap
+
+	// Durability state (see durable.go). wal, when attached, receives one
+	// record per mutation before it is applied; appends happen under mu so
+	// log order is application order. dataDir is where Checkpoint places
+	// snapshots for an OpenDurable index.
+	wal         *wal.Log
+	dataDir     string
+	recovery    RecoveryStats
+	ckptMu      sync.Mutex // serializes whole Checkpoint calls
+	checkpoints uint64     // completed Checkpoint calls (under mu)
+	lastCkptLSN uint64     // snapshot LSN of the newest completed checkpoint
 
 	// Maintenance counters (under mu).
 	rebuilds     uint64 // from-scratch shard builds (Build/load only — never Add/Delete)
@@ -238,17 +257,20 @@ func newShardedIndexFromSegments(shardSegs [][]*segment.Segment, analyzer *text.
 		analyzer = &text.Analyzer{}
 	}
 	s := &ShardedIndex{
-		shards:     make([][]*seg, len(shardSegs)),
-		reg:        pred.Default(),
-		analyzer:   analyzer,
-		rc:         &rankedCounters{},
-		byID:       make(map[string]docLoc),
-		policy:     segment.DefaultPolicy(),
-		stats:      &globalStats{df: make(map[string]int)},
-		cache:      shard.NewCache(DefaultQueryCacheSize),
-		gen:        shard.NextGeneration(),
-		bgInflight: make([]bool, len(shardSegs)),
+		shards:   make([][]*seg, len(shardSegs)),
+		reg:      pred.Default(),
+		analyzer: analyzer,
+		rc:       &rankedCounters{},
+		byID:     make(map[string]docLoc),
+		policy:   segment.DefaultPolicy(),
+		stats:    &globalStats{df: make(map[string]int)},
+		cache:    shard.NewCache(DefaultQueryCacheSize),
+		gen:      shard.NextGeneration(),
+		bgState:  make([]bgMergeState, len(shardSegs)),
+		bgPrio:   make([]int, len(shardSegs)),
+		bgPlan:   make([][2]int, len(shardSegs)),
 	}
+	s.bgMaxWorkers = s.policy.MaxWorkers()
 	s.bgCond = sync.NewCond(&s.bgMu)
 	for i, metas := range shardSegs {
 		s.shards[i] = make([]*seg, len(metas))
