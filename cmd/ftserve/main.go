@@ -38,9 +38,22 @@
 //	ftserve -data-dir ./data -dir ./docs          seed an empty store from *.txt
 //	ftserve -data-dir ./data -wal-sync always     fsync every mutation
 //
-// Endpoints (all JSON):
+// Observability: GET /metrics serves Prometheus text exposition — every
+// endpoint's latency histogram plus the engine's query, WAND-pruning,
+// merge-pool, WAL and checkpoint metrics (see internal/telemetry and the
+// Observability section of docs/ARCHITECTURE.md). Query endpoints accept
+// ?trace=1 to return a per-request span tree (plan, per-shard evaluation,
+// merge) inline in the JSON response; -slow-query logs the same span tree
+// via slog for any request exceeding the threshold; -pprof exposes
+// net/http/pprof on /debug/pprof/, bypassing the request timeout so CPU
+// profiles longer than -timeout still stream.
 //
-//	GET    /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10
+//	ftserve -data-dir ./data -slow-query 250ms    log span trees of slow requests
+//	ftserve -dir ./docs -pprof                    enable live profiling
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET    /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10&trace=1
 //	GET    /explain?q=QUERY&lang=comp
 //	POST   /docs               body {"id": "...", "body": "..."}
 //	POST   /docs/batch         body {"docs": [{"id": "...", "body": "..."}, ...]}
@@ -48,10 +61,12 @@
 //	DELETE /docs/{id}
 //	POST   /checkpoint
 //	GET    /stats
+//	GET    /metrics            Prometheus text exposition
 //	GET    /healthz
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -60,17 +75,18 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"fulltext"
 	"fulltext/internal/segment"
+	"fulltext/internal/telemetry"
 	"fulltext/internal/wal"
 )
 
@@ -90,6 +106,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable data directory: snapshot + write-ahead log, with crash recovery on start")
 		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always (per record), interval (group commit), or none")
 		walEvery = flag.Duration("wal-sync-interval", wal.DefaultInterval, "group-commit fsync cadence under -wal-sync interval")
+
+		slowQuery = flag.Duration("slow-query", 0, "log the span tree of any request slower than this via slog (0 disables)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on /debug/pprof/ (bypasses the request timeout)")
 	)
 	flag.Parse()
 
@@ -125,9 +144,11 @@ func main() {
 		MaxInflight: *inflight,
 		Timeout:     *timeout,
 		AccessLog:   slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		SlowQuery:   *slowQuery,
+		PProf:       *pprofOn,
 	}
-	log.Printf("serving %d documents across %d shards on %s (inflight=%d timeout=%s)",
-		ix.Docs(), ix.Shards(), *addr, *inflight, *timeout)
+	log.Printf("serving %d documents across %d shards on %s (inflight=%d timeout=%s slow-query=%s pprof=%t)",
+		ix.Docs(), ix.Shards(), *addr, *inflight, *timeout, *slowQuery, *pprofOn)
 	if err := http.ListenAndServe(*addr, newServerWith(ix, cfg)); err != nil {
 		fatal(err)
 	}
@@ -229,10 +250,6 @@ func readTxtDir(dir string) ([]fulltext.Document, error) {
 // maxTop caps the top query parameter of ranked searches.
 const maxTop = 1000
 
-// latencyWindow is the number of recent query latencies the rolling
-// tracker keeps for /stats percentiles.
-const latencyWindow = 512
-
 // serverConfig tunes the HTTP front-end middleware.
 type serverConfig struct {
 	// MaxInflight bounds concurrently served requests; excess requests are
@@ -242,14 +259,45 @@ type serverConfig struct {
 	Timeout time.Duration
 	// AccessLog, when non-nil, receives one structured line per request.
 	AccessLog *slog.Logger
+	// SlowQuery, when positive, logs the span tree of any request slower
+	// than it (via AccessLog, or slog's default logger without one).
+	SlowQuery time.Duration
+	// PProf exposes net/http/pprof on /debug/pprof/, outside the request
+	// timeout and the inflight limiter (a CPU profile streams for longer
+	// than any sane request timeout).
+	PProf bool
 }
 
-// server wraps the sharded index with the HTTP front-end.
+// server wraps the sharded index with the HTTP front-end. Every server
+// owns a telemetry registry (per-endpoint latency histograms plus the
+// engine metrics EnableTelemetry registers) and a tracer handing out
+// per-request span trees.
 type server struct {
 	ix      *fulltext.ShardedIndex
 	started time.Time
-	lat     *latencyTracker
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	reqH    map[string]*telemetry.Histogram // endpoint -> latency histogram
+	slow    time.Duration
+	slowLog *slog.Logger
+	slowN   atomic.Uint64 // requests over the slow-query threshold
 	shed    atomic.Uint64 // 503s from the inflight limiter
+}
+
+// endpointNames maps route patterns to the endpoint label of
+// ftserve_http_request_duration_seconds, registered eagerly so the
+// metric family is complete (all series present, even at zero) from the
+// first scrape.
+var endpointNames = map[string]string{
+	"GET /search":             "search",
+	"GET /explain":            "explain",
+	"POST /docs":              "docs",
+	"POST /docs/batch":        "docs_batch",
+	"POST /docs/delete-batch": "delete_batch",
+	"DELETE /docs/{id}":       "delete_doc",
+	"POST /checkpoint":        "checkpoint",
+	"GET /stats":              "stats",
+	"GET /healthz":            "healthz",
 }
 
 // newServer builds the route table with default middleware settings;
@@ -261,29 +309,147 @@ func newServer(ix *fulltext.ShardedIndex) http.Handler {
 // newServerWith builds the route table and wraps it in the middleware
 // chain: access logging outermost (so shed and timed-out requests are
 // logged with their real status), then the request timeout, then the
-// bounded-semaphore limiter around the actual work.
+// bounded-semaphore limiter around the actual work. Every route is
+// individually wrapped by instrument, which feeds the endpoint's latency
+// histogram and owns the per-request trace span.
 func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
-	s := &server{ix: ix, started: time.Now(), lat: newLatencyTracker(latencyWindow)}
+	s := &server{
+		ix:      ix,
+		started: time.Now(),
+		reg:     telemetry.New(),
+		tracer:  telemetry.NewTracer(),
+		reqH:    make(map[string]*telemetry.Histogram, len(endpointNames)),
+		slow:    cfg.SlowQuery,
+		slowLog: cfg.AccessLog,
+	}
+	if s.slowLog == nil {
+		s.slowLog = slog.Default()
+	}
+	ix.EnableTelemetry(s.reg)
+	for _, name := range endpointNames {
+		s.reqH[name] = s.reg.Histogram("ftserve_http_request_duration_seconds",
+			"Request latency by endpoint.", nil,
+			telemetry.Label{Name: "endpoint", Value: name})
+	}
+	s.reg.CounterFunc("ftserve_shed_requests_total",
+		"Requests shed with 503 by the inflight limiter.", s.shed.Load)
+	s.reg.CounterFunc("ftserve_slow_queries_total",
+		"Requests exceeding the -slow-query threshold.", s.slowN.Load)
+	s.reg.CounterFunc("ftserve_trace_spans_started_total",
+		"Trace spans started (roots and children).", s.tracer.Started)
+	s.reg.CounterFunc("ftserve_trace_spans_dropped_total",
+		"Trace spans refused at the per-trace cap.", s.tracer.Dropped)
+	s.reg.GaugeFunc("ftserve_uptime_seconds", "Server uptime.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /explain", s.handleExplain)
-	mux.HandleFunc("POST /docs", s.handleAddDoc)
-	mux.HandleFunc("POST /docs/batch", s.handleAddBatch)
-	mux.HandleFunc("POST /docs/delete-batch", s.handleDeleteBatch)
-	mux.HandleFunc("DELETE /docs/{id}", s.handleDeleteDoc)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(endpointNames[pattern], h))
+	}
+	route("GET /search", s.handleSearch)
+	route("GET /explain", s.handleExplain)
+	route("POST /docs", s.handleAddDoc)
+	route("POST /docs/batch", s.handleAddBatch)
+	route("POST /docs/delete-batch", s.handleDeleteBatch)
+	route("DELETE /docs/{id}", s.handleDeleteDoc)
+	route("POST /checkpoint", s.handleCheckpoint)
+	route("GET /stats", s.handleStats)
+	route("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	h := http.Handler(mux)
 	h = s.limitInflight(h, cfg.MaxInflight)
 	if cfg.Timeout > 0 {
 		h = withJSONTimeout(h, cfg.Timeout)
 	}
+	if cfg.PProf {
+		h = withPProf(h)
+	}
 	if cfg.AccessLog != nil {
 		h = accessLog(h, cfg.AccessLog)
 	}
 	return h
+}
+
+// spanKey carries the request's root trace span in its context.
+type spanKey struct{}
+
+// spanFrom returns the request's trace span, nil when the request is not
+// traced — safe to pass on as-is, every span method is nil-safe.
+func spanFrom(r *http.Request) *telemetry.Span {
+	sp, _ := r.Context().Value(spanKey{}).(*telemetry.Span)
+	return sp
+}
+
+// traced reports whether the client asked for the span tree inline
+// (?trace=1 or any other strconv truthy value).
+func traced(r *http.Request) bool {
+	ok, err := strconv.ParseBool(r.URL.Query().Get("trace"))
+	return err == nil && ok
+}
+
+// instrument wraps one route: it observes the endpoint latency histogram
+// on every request and, when the client asked for a trace or a
+// slow-query threshold is armed, threads a root span through the request
+// context, logging its tree when the request comes in over the
+// threshold.
+func (s *server) instrument(endpoint string, next http.Handler) http.Handler {
+	h := s.reqH[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var sp *telemetry.Span
+		if traced(r) || s.slow > 0 {
+			sp = s.tracer.Start(endpoint)
+			sp.Annotate("method", r.Method)
+			sp.Annotate("path", r.URL.Path)
+			r = r.WithContext(context.WithValue(r.Context(), spanKey{}, sp))
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		took := time.Since(start)
+		h.Observe(took.Seconds())
+		sp.End()
+		if s.slow > 0 && took >= s.slow {
+			s.slowN.Add(1)
+			tree, err := json.Marshal(sp)
+			if err != nil {
+				tree = []byte("null")
+			}
+			s.slowLog.Warn("slow request",
+				"endpoint", endpoint,
+				"query", r.URL.RawQuery,
+				"duration_ms", float64(took.Microseconds())/1000,
+				"threshold_ms", float64(s.slow.Microseconds())/1000,
+				"trace", json.RawMessage(tree),
+			)
+		}
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ExpositionContentType)
+	if _, err := s.reg.WriteTo(w); err != nil {
+		log.Printf("ftserve: writing /metrics: %v", err)
+	}
+}
+
+// withPProf routes /debug/pprof/ to net/http/pprof ahead of the timeout
+// and inflight middleware: profiles stream for longer than any request
+// timeout, and a saturated server is exactly when profiling matters.
+func withPProf(next http.Handler) http.Handler {
+	pp := http.NewServeMux()
+	pp.HandleFunc("/debug/pprof/", pprof.Index)
+	pp.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	pp.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	pp.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	pp.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			pp.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withJSONTimeout aborts requests exceeding d with a 503. TimeoutHandler
@@ -349,63 +515,34 @@ func accessLog(next http.Handler, logger *slog.Logger) http.Handler {
 	})
 }
 
-// latencyTracker keeps a rolling window of query latencies for /stats.
-type latencyTracker struct {
-	mu    sync.Mutex
-	buf   []time.Duration
-	next  int
-	count uint64
-}
-
-func newLatencyTracker(window int) *latencyTracker {
-	return &latencyTracker{buf: make([]time.Duration, 0, window)}
-}
-
-func (l *latencyTracker) record(d time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.buf) < cap(l.buf) {
-		l.buf = append(l.buf, d)
-	} else {
-		l.buf[l.next] = d
-		l.next = (l.next + 1) % cap(l.buf)
-	}
-	l.count++
-}
-
-// latencySnapshot is the rolling-latency section of /stats.
+// latencySnapshot is the per-endpoint latency section of /stats, derived
+// from the endpoint's registry histogram. The JSON shape is the one the
+// old rolling-window tracker served; Window now mirrors Count because a
+// histogram aggregates the whole lifetime rather than the last N
+// requests, and the percentiles are bucket-interpolated estimates (see
+// telemetry.HistogramSnapshot.Quantile) rather than exact order
+// statistics.
 type latencySnapshot struct {
 	Count  uint64  `json:"count"`
-	Window int     `json:"window"`
+	Window uint64  `json:"window"`
 	AvgMS  float64 `json:"avg_ms"`
 	P50MS  float64 `json:"p50_ms"`
 	P95MS  float64 `json:"p95_ms"`
 	P99MS  float64 `json:"p99_ms"`
 }
 
-func (l *latencyTracker) snapshot() latencySnapshot {
-	l.mu.Lock()
-	window := append([]time.Duration(nil), l.buf...)
-	count := l.count
-	l.mu.Unlock()
-	out := latencySnapshot{Count: count, Window: len(window)}
-	if len(window) == 0 {
+// latencyOf renders one endpoint histogram as the /stats latency shape.
+func latencyOf(h *telemetry.Histogram) latencySnapshot {
+	snap := h.Snapshot()
+	out := latencySnapshot{Count: snap.Count, Window: snap.Count}
+	if snap.Count == 0 {
 		return out
 	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	var sum time.Duration
-	for _, d := range window {
-		sum += d
-	}
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(window)-1))
-		return window[i]
-	}
-	out.AvgMS = ms(sum / time.Duration(len(window)))
-	out.P50MS = ms(pct(0.50))
-	out.P95MS = ms(pct(0.95))
-	out.P99MS = ms(pct(0.99))
+	toMS := 1000.0
+	out.AvgMS = snap.Mean() * toMS
+	out.P50MS = snap.Quantile(0.50) * toMS
+	out.P95MS = snap.Quantile(0.95) * toMS
+	out.P99MS = snap.Quantile(0.99) * toMS
 	return out
 }
 
@@ -420,6 +557,8 @@ type searchResponse struct {
 	Count   int         `json:"count"`
 	TookMS  float64     `json:"took_ms"`
 	Matches []matchJSON `json:"matches"`
+	// Trace is the request's span tree, present only under ?trace=1.
+	Trace *telemetry.SpanJSON `json:"trace,omitempty"`
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -432,7 +571,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		matches []fulltext.Match
 		ranked  bool
 		start   = time.Now()
+		sp      = spanFrom(r)
 	)
+	sp.Annotate("query", q.String())
 	switch rank := r.URL.Query().Get("rank"); rank {
 	case "", "none":
 		engine, err := parseEngine(r.URL.Query().Get("engine"))
@@ -440,7 +581,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		matches, err = s.ix.SearchWith(q, engine)
+		matches, err = s.ix.SearchWithTrace(q, engine, sp)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -465,7 +606,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		ranked = true
-		matches, err = s.ix.SearchRanked(q, model, top)
+		matches, err = s.ix.SearchRankedOpts(q, model, top, fulltext.RankOptions{Trace: sp})
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -475,7 +616,6 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	took := time.Since(start)
-	s.lat.record(took)
 	resp := searchResponse{
 		Query:   q.String(),
 		Class:   s.ix.Classify(q).String(),
@@ -489,6 +629,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			score := m.Score
 			resp.Matches[i].Score = &score
 		}
+	}
+	if sp != nil && traced(r) {
+		tree := sp.Tree()
+		resp.Trace = &tree
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -692,6 +836,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"merge_priority":  gs.Shards[i].MergePriority,
 		})
 	}
+	// Per-endpoint latency, every endpoint with traffic; "latency" keeps
+	// the historical shape and still means GET /search specifically.
+	endpoints := make(map[string]latencySnapshot, len(s.reqH))
+	for name, h := range s.reqH {
+		if snap := latencyOf(h); snap.Count > 0 {
+			endpoints[name] = snap
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shards":   s.ix.Shards(),
 		"uptime_s": time.Since(s.started).Seconds(),
@@ -704,7 +856,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pos_per_entry":     st.PosPerEntry,
 		},
 		"per_shard": perShard,
-		"latency":   s.lat.snapshot(),
+		"latency":   latencyOf(s.reqH["search"]),
+		"endpoints": endpoints,
+		// Tracing activity: span volume, spans dropped at the per-trace
+		// cap, and requests over the -slow-query threshold.
+		"telemetry": map[string]uint64{
+			"spans_started": s.tracer.Started(),
+			"spans_dropped": s.tracer.Dropped(),
+			"slow_queries":  s.slowN.Load(),
+		},
 		"cache": map[string]uint64{
 			"hits":      cs.Hits,
 			"misses":    cs.Misses,

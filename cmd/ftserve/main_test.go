@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"fulltext"
+	"fulltext/internal/telemetry"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *fulltext.ShardedIndex) {
@@ -205,7 +207,7 @@ func TestStatsPerShardAndLatency(t *testing.T) {
 }
 
 func TestInflightLimiterSheds(t *testing.T) {
-	s := &server{lat: newLatencyTracker(8)}
+	s := &server{}
 	release := make(chan struct{})
 	entered := make(chan struct{})
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -672,5 +674,264 @@ func TestDataDirAndLoadAreExclusive(t *testing.T) {
 	}
 	if _, err := buildOrLoad("", "", t.TempDir(), 2, "bogus", 0); err == nil {
 		t.Fatal("bogus -wal-sync should fail")
+	}
+}
+
+// metricsFamilies scrapes url's /metrics and returns the parsed families
+// by name, failing the test on any exposition-format violation.
+func metricsFamilies(t *testing.T, base string) map[string]telemetry.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ExpositionContentType {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	fams, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	byName := make(map[string]telemetry.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	// Traffic across the endpoint spectrum so the histograms have counts.
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	getJSON(t, ts.URL+"/search?q='test'+AND+'usability'&lang=bool&rank=tfidf&top=2", http.StatusOK, &r)
+	var added map[string]any
+	postJSON(t, ts.URL+"/docs", `{"id": "metric-doc", "body": "telemetry test body"}`, http.StatusCreated, &added)
+
+	fams := metricsFamilies(t, ts.URL)
+	for _, want := range []string{
+		"ftserve_http_request_duration_seconds",
+		"fulltext_query_plan_seconds",
+		"fulltext_query_shard_eval_seconds",
+		"fulltext_query_merge_seconds",
+		"fulltext_ranked_evals_total",
+		"fulltext_wand_scored_docs_total",
+		"fulltext_query_cache_misses_total",
+		"fulltext_segment_merges_total",
+		"fulltext_merge_queue_depth",
+		"fulltext_merge_workers",
+		"fulltext_docs",
+		"fulltext_wal_appends_total",
+		"fulltext_checkpoints_total",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("metric family %q missing from /metrics", want)
+		}
+	}
+	// The search endpoint histogram saw both queries.
+	var searchCount float64
+	for _, s := range fams["ftserve_http_request_duration_seconds"].Samples {
+		if s.Name == "ftserve_http_request_duration_seconds_count" && s.Labels["endpoint"] == "search" {
+			searchCount = s.Value
+		}
+	}
+	if searchCount < 2 {
+		t.Fatalf("search endpoint histogram count = %v, want >= 2", searchCount)
+	}
+	// The WAND fast path ran for the ranked query.
+	var wandEvals float64
+	for _, s := range fams["fulltext_ranked_evals_total"].Samples {
+		if s.Labels["path"] == "wand" {
+			wandEvals = s.Value
+		}
+	}
+	if wandEvals == 0 {
+		t.Fatalf("fulltext_ranked_evals_total{path=\"wand\"} = 0 after a ranked query")
+	}
+	// The mutation endpoint histogram saw the POST /docs.
+	var docsCount float64
+	for _, s := range fams["ftserve_http_request_duration_seconds"].Samples {
+		if s.Name == "ftserve_http_request_duration_seconds_count" && s.Labels["endpoint"] == "docs" {
+			docsCount = s.Value
+		}
+	}
+	if docsCount != 1 {
+		t.Fatalf("docs endpoint histogram count = %v, want 1", docsCount)
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d\n%s", url, resp.StatusCode, wantCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: bad JSON %q: %v", url, data, err)
+		}
+	}
+}
+
+// spanNames flattens a span tree into its set of node names.
+func spanNames(tree *telemetry.SpanJSON, into map[string]int) {
+	if tree == nil {
+		return
+	}
+	into[tree.Name]++
+	for i := range tree.Children {
+		spanNames(&tree.Children[i], into)
+	}
+}
+
+func TestTraceCoversEveryShard(t *testing.T) {
+	ts, ix := testServer(t)
+	for _, path := range []string{
+		"/search?q='test'&lang=bool&trace=1",
+		"/search?q='test'+AND+'usability'&lang=bool&rank=tfidf&top=2&trace=true",
+	} {
+		var r searchResponse
+		getJSON(t, ts.URL+path, http.StatusOK, &r)
+		if r.Trace == nil {
+			t.Fatalf("%s: no trace in response", path)
+		}
+		names := map[string]int{}
+		spanNames(r.Trace, names)
+		if names["plan"] != 1 || names["merge"] != 1 {
+			t.Fatalf("%s: span tree missing plan/merge: %v", path, names)
+		}
+		for i := 0; i < ix.Shards(); i++ {
+			if names[fmt.Sprintf("shard %d", i)] != 1 {
+				t.Fatalf("%s: span tree does not cover shard %d: %v", path, i, names)
+			}
+		}
+		if r.Trace.DurationMS < 0 {
+			t.Fatalf("%s: negative root duration", path)
+		}
+	}
+	// Untraced requests must not carry a span tree.
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	if r.Trace != nil {
+		t.Fatalf("untraced request returned a trace")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output
+// written from server handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSlowQueryLogging(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("slow query test doc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	h := newServerWith(ix, serverConfig{
+		MaxInflight: 8,
+		Timeout:     10 * time.Second,
+		AccessLog:   slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		SlowQuery:   time.Nanosecond, // everything is slow
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='slow'&lang=bool", http.StatusOK, &r)
+
+	// The slow-query line is written before the handler returns (it is
+	// inside the instrument middleware), but the access-log line may land
+	// after the client sees the response; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(logBuf.String(), "slow request") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-query log line; log:\n%s", logBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, `"trace":`) || !strings.Contains(logged, `"name":"search"`) {
+		t.Fatalf("slow-query line lacks the span tree:\n%s", logged)
+	}
+
+	var st struct {
+		Telemetry struct {
+			SpansStarted uint64 `json:"spans_started"`
+			SlowQueries  uint64 `json:"slow_queries"`
+		} `json:"telemetry"`
+		Endpoints map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Telemetry.SlowQueries == 0 || st.Telemetry.SpansStarted == 0 {
+		t.Fatalf("telemetry section not populated: %+v", st.Telemetry)
+	}
+	if st.Endpoints["search"].Count == 0 {
+		t.Fatalf("endpoints section missing search traffic: %+v", st.Endpoints)
+	}
+}
+
+func TestPProfRouting(t *testing.T) {
+	ts, _ := testServer(t)
+	// Disabled by default: the route must not exist.
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof served without -pprof")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("pprof doc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := buildOrLoad(dir, "", "", 1, "interval", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := httptest.NewServer(newServerWith(ix, serverConfig{PProf: true, Timeout: time.Second}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline with -pprof: status %d", resp.StatusCode)
 	}
 }

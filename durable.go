@@ -345,6 +345,7 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	defer s.ckptMu.Unlock()
 	s.mu.RLock()
 	log := s.wal
+	tel := s.tel
 	if dir == "" {
 		dir = s.dataDir
 	}
@@ -373,6 +374,18 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		os.Remove(tmp.Name())
 		return CheckpointStats{}, fmt.Errorf("fulltext: writing snapshot: %w", err)
 	}
+	// Phase boundaries for the checkpoint-phase histograms; a failed
+	// checkpoint records only the phases it completed.
+	phaseStart := start
+	phase := func(i int) {
+		if tel == nil {
+			return
+		}
+		now := time.Now()
+		tel.ckptPhaseH[i].Observe(now.Sub(phaseStart).Seconds())
+		phaseStart = now
+	}
+	phase(ckptPhaseSerialize)
 	final := filepath.Join(dir, snapshotName(lsn))
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
@@ -381,6 +394,7 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	if err := syncDir(dir); err != nil {
 		return CheckpointStats{}, err
 	}
+	phase(ckptPhaseCommit)
 	// The snapshot is durable and discoverable; everything below is
 	// housekeeping that recovery tolerates losing to a crash. The rotation
 	// happens before the barrier is appended so the barrier lands in the
@@ -396,12 +410,17 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	if err := log.Sync(); err != nil {
 		return CheckpointStats{}, err
 	}
+	phase(ckptPhaseRotate)
 	before := log.Stats().TruncatedSegments
 	if err := log.TruncateBefore(lsn); err != nil {
 		return CheckpointStats{}, err
 	}
 	if err := removeSnapshotsBelow(dir, lsn); err != nil {
 		return CheckpointStats{}, err
+	}
+	phase(ckptPhaseTruncate)
+	if tel != nil {
+		tel.ckptH.ObserveSince(start)
 	}
 	s.mu.Lock()
 	s.checkpoints++

@@ -54,6 +54,7 @@ import (
 	"fulltext/internal/ppred"
 	"fulltext/internal/pred"
 	"fulltext/internal/score"
+	"fulltext/internal/telemetry"
 	"fulltext/internal/text"
 	"fulltext/internal/wand"
 )
@@ -444,6 +445,11 @@ type RankOptions struct {
 	// index). Results are identical either way; late shards just score
 	// more documents.
 	NoThresholdSharing bool
+	// Trace, when non-nil, receives plan/shard/merge child spans during
+	// sharded evaluation (see internal/telemetry; ignored on a single
+	// index). It never changes results and is excluded from the query
+	// cache key.
+	Trace *telemetry.Span
 }
 
 // SearchRanked evaluates the query with the chosen scoring model and

@@ -1,0 +1,480 @@
+package telemetry
+
+// This file is the Prometheus text exposition boundary: WriteTo renders a
+// registry in the version 0.0.4 text format, and ParseExposition is the
+// strict line parser the tests and the CI metrics smoke use to prove what
+// WriteTo produces is really scrapeable — families announced before
+// samples, names and labels well-formed, histogram buckets cumulative and
+// consistent with their _count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the text format.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in the text exposition format, sorted by
+// family name and, within a family, by label signature, so output is
+// deterministic and diffable. Pull-style series sample their functions
+// here, under the registry lock — closures must not re-enter the registry.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSeries(bw, f, f.series[k])
+		}
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch f.typ {
+	case typeCounter:
+		v := uint64(0)
+		if s.counterFn != nil {
+			v = s.counterFn()
+		} else {
+			v = s.counter.Value()
+		}
+		fmt.Fprintf(w, "%s%s %d\n", f.name, s.key, v)
+	case typeGauge:
+		if s.gaugeFn != nil {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, s.key, formatFloat(s.gaugeFn()))
+		} else {
+			fmt.Fprintf(w, "%s%s %d\n", f.name, s.key, s.gauge.Value())
+		}
+	case typeHistogram:
+		snap := s.hist.Snapshot()
+		cum := uint64(0)
+		for i, b := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(b)), cum)
+		}
+		if len(snap.Counts) > 0 {
+			cum += snap.Counts[len(snap.Counts)-1]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.key, formatFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.key, snap.Count)
+	}
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// labelKey renders sorted labels as the exposition signature, "" when
+// unlabeled.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLE is labelKey with the histogram bucket label appended last.
+func withLE(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's full metric name (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// ParseExposition parses text exposition strictly: every sample must
+// belong to a family announced by a preceding # TYPE line, names and
+// labels must be well-formed, values must parse, and histogram families
+// must have cumulative non-decreasing buckets whose +Inf bucket equals
+// their _count. It returns the families in announcement order. This is
+// deliberately stricter than real scrapers — it is the contract test for
+// WriteTo and the CI smoke, not a general-purpose ingester.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		fams  []Family
+		byIdx = map[string]int{}
+		cur   = -1 // family currently announced by # TYPE
+		line  = 0
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			switch fields[1] {
+			case "HELP":
+				name := fields[2]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", line, name)
+				}
+				if i, ok := byIdx[name]; ok && len(fams[i].Samples) > 0 {
+					return nil, fmt.Errorf("line %d: HELP for %s after its samples", line, name)
+				}
+				i := ensureFamily(&fams, byIdx, name)
+				if len(fields) == 4 {
+					fams[i].Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", line, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", line, typ)
+				}
+				i := ensureFamily(&fams, byIdx, name)
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(fams[i].Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				fams[i].Type = typ
+				cur = i
+			default:
+				// Free-form comments are legal in the format; ignore.
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if cur < 0 || !sampleBelongs(fams[cur], s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", line, s.Name)
+		}
+		fams[cur].Samples = append(fams[cur].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func ensureFamily(fams *[]Family, byIdx map[string]int, name string) int {
+	if i, ok := byIdx[name]; ok {
+		return i
+	}
+	*fams = append(*fams, Family{Name: name})
+	byIdx[name] = len(*fams) - 1
+	return len(*fams) - 1
+}
+
+// sampleBelongs reports whether a sample name is legal inside family f's
+// TYPE block.
+func sampleBelongs(f Family, sample string) bool {
+	if f.Type == "histogram" {
+		return sample == f.Name+"_bucket" || sample == f.Name+"_sum" || sample == f.Name+"_count"
+	}
+	return sample == f.Name
+}
+
+// parseSample parses `name{labels} value` (timestamps are rejected: this
+// engine never emits them).
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(text) && text[i] != '{' && text[i] != ' ' {
+		i++
+	}
+	s.Name = text[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := text[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("missing value separator in %q", text)
+	}
+	valueText := strings.TrimSpace(rest)
+	if strings.ContainsAny(valueText, " \t") {
+		return s, fmt.Errorf("trailing content after value in %q", text)
+	}
+	v, err := parseValue(valueText)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at text[0] == '{'
+// into out, returning the index just past the closing brace.
+func parseLabels(text string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(text) && text[i] != '=' {
+			i++
+		}
+		name := text[start:i]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		if i+1 >= len(text) || text[i+1] != '"' {
+			return 0, fmt.Errorf("label %q: missing quoted value", name)
+		}
+		i += 2
+		var v strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch text[i+1] {
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				case 'n':
+					v.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %q: unknown escape \\%c", name, text[i+1])
+				}
+				i += 2
+				continue
+			}
+			v.WriteByte(c)
+			i++
+		}
+		out[name] = v.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(text string) (float64, error) {
+	switch text {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", text)
+	}
+	return v, nil
+}
+
+// checkHistogramFamily verifies bucket soundness per label series: le
+// values parse, cumulative counts never decrease as le increases, the
+// +Inf bucket exists and equals _count, and _sum/_count exist.
+func checkHistogramFamily(f Family) error {
+	type group struct {
+		les      []float64
+		counts   []uint64
+		count    uint64
+		hasCount bool
+		hasSum   bool
+		hasInf   bool
+		inf      uint64
+	}
+	groups := map[string]*group{}
+	get := func(labels map[string]string) *group {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		g := groups[b.String()]
+		if g == nil {
+			g = &group{}
+			groups[b.String()] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			leText, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			le, err := parseValue(leText)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, leText)
+			}
+			if math.IsInf(le, 1) {
+				g.hasInf = true
+				g.inf = uint64(s.Value)
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, uint64(s.Value))
+		case f.Name + "_sum":
+			g.hasSum = true
+		case f.Name + "_count":
+			g.hasCount = true
+			g.count = uint64(s.Value)
+		}
+	}
+	for _, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("%s: missing le=\"+Inf\" bucket", f.Name)
+		}
+		if !g.hasSum || !g.hasCount {
+			return fmt.Errorf("%s: missing _sum or _count", f.Name)
+		}
+		if g.inf != g.count {
+			return fmt.Errorf("%s: +Inf bucket %d != count %d", f.Name, g.inf, g.count)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s: le values not increasing", f.Name)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s: cumulative bucket counts decrease at le=%v", f.Name, g.les[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("t_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_ops_total", "ops"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("t_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Labeled series of one family are distinct instruments.
+	a := r.Counter("t_hits_total", "hits", Label{"kind", "a"})
+	b := r.Counter("t_hits_total", "hits", Label{"kind", "b"})
+	if a == b {
+		t.Fatalf("distinct label values shared an instrument")
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out live instruments")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	h.ObserveSince(time.Now())
+	r.CounterFunc("y_total", "", func() uint64 { return 1 })
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+	if got := h.Snapshot(); got.Count != 0 {
+		t.Fatalf("nil histogram snapshot counted %d", got.Count)
+	}
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatalf("nil tracer started a span")
+	}
+	sp.Child("c").Annotate("k", "v")
+	sp.End()
+	sp.ChildDone("d", time.Millisecond)
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Fatalf("nil span leaked state")
+	}
+}
+
+func TestHistogramBucketBoundariesAreInclusive(t *testing.T) {
+	r := New()
+	h := r.Histogram("t_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	// Prometheus le semantics: an observation exactly on a bound lands in
+	// that bound's bucket, one ulp above lands in the next.
+	h.Observe(0.001)
+	h.Observe(math.Nextafter(0.001, 1))
+	h.Observe(0.01)
+	h.Observe(0.1)
+	h.Observe(0.5) // +Inf bucket
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-(0.001+math.Nextafter(0.001, 1)+0.01+0.1+0.5)) > 1e-12 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// TestHistogramQuantileVsExactSort drives random samples through the
+// histogram and checks the interpolated quantile estimate against the
+// exact order statistic: the estimate must land within the bucket that
+// contains the exact value — the tightest guarantee a fixed-bucket
+// histogram can make.
+func TestHistogramQuantileVsExactSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		r := New()
+		h := r.Histogram("t_q_seconds", "", nil)
+		n := 2000 + rng.Intn(3000)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform over the default bucket range, the shape of real
+			// latency distributions.
+			samples[i] = math.Exp(rng.Float64()*math.Log(1e6)) * 1e-5
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		snap := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			exact := samples[int(math.Ceil(q*float64(n)))-1]
+			est := snap.Quantile(q)
+			lo, hi := bucketFor(snap.Bounds, exact)
+			if est < lo || est > hi {
+				t.Fatalf("trial %d q=%v: estimate %v outside exact value's bucket [%v, %v] (exact %v)",
+					trial, q, est, lo, hi, exact)
+			}
+		}
+	}
+}
+
+// bucketFor returns the [lower, upper] bounds of the bucket holding v.
+func bucketFor(bounds []float64, v float64) (float64, float64) {
+	i := sort.SearchFloat64s(bounds, v)
+	lo := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+	}
+	if i >= len(bounds) {
+		return lo, math.Inf(1)
+	}
+	return lo, bounds[i]
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := New()
+	h := r.Histogram("t_e_seconds", "", []float64{1, 2, 4})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf: quantile reports the last finite bound
+	if got := h.Snapshot().Quantile(0.99); got != 4 {
+		t.Fatalf("+Inf quantile = %v, want 4", got)
+	}
+}
+
+func TestExpositionRoundTripsThroughStrictParser(t *testing.T) {
+	r := New()
+	r.Counter("rt_ops_total", "total operations").Add(3)
+	r.Counter("rt_hits_total", "hits by kind", Label{"kind", "a"}).Add(1)
+	r.Counter("rt_hits_total", "hits by kind", Label{"kind", `quote " slash \ nl` + "\n"}).Add(2)
+	r.Gauge("rt_depth", "queue depth").Set(-4)
+	r.GaugeFunc("rt_temp", "sampled", func() float64 { return 36.6 })
+	r.CounterFunc("rt_pull_total", "pulled", func() uint64 { return 9 })
+	h := r.Histogram("rt_lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	hl := r.Histogram("rt_lab_seconds", "labeled latency", []float64{0.5}, Label{"endpoint", "search"})
+	hl.Observe(0.1)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("strict parse of own exposition failed: %v\n%s", err, b.String())
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["rt_ops_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 3 {
+		t.Fatalf("rt_ops_total = %+v", f)
+	}
+	if f := byName["rt_hits_total"]; len(f.Samples) != 2 {
+		t.Fatalf("rt_hits_total series = %d, want 2", len(f.Samples))
+	} else {
+		found := false
+		for _, s := range f.Samples {
+			if s.Labels["kind"] == `quote " slash \ nl`+"\n" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("escaped label value did not round-trip: %+v", f.Samples)
+		}
+	}
+	if f := byName["rt_depth"]; f.Samples[0].Value != -4 {
+		t.Fatalf("rt_depth = %+v", f)
+	}
+	if f := byName["rt_temp"]; f.Samples[0].Value != 36.6 {
+		t.Fatalf("rt_temp = %+v", f)
+	}
+	if f := byName["rt_pull_total"]; f.Samples[0].Value != 9 {
+		t.Fatalf("rt_pull_total = %+v", f)
+	}
+	lat := byName["rt_lat_seconds"]
+	if lat.Type != "histogram" {
+		t.Fatalf("rt_lat_seconds type = %q", lat.Type)
+	}
+	// _bucket lines are cumulative; +Inf equals _count (3). The parser
+	// already asserted the invariants; spot-check the values.
+	var infV, countV float64
+	for _, s := range lat.Samples {
+		switch {
+		case s.Name == "rt_lat_seconds_bucket" && s.Labels["le"] == "+Inf":
+			infV = s.Value
+		case s.Name == "rt_lat_seconds_count":
+			countV = s.Value
+		}
+	}
+	if infV != 3 || countV != 3 {
+		t.Fatalf("+Inf = %v, count = %v, want 3 and 3", infV, countV)
+	}
+	if f := byName["rt_lab_seconds"]; len(f.Samples) == 0 || f.Samples[0].Labels["endpoint"] != "search" {
+		t.Fatalf("labeled histogram lost its label: %+v", f.Samples)
+	}
+}
+
+func TestStrictParserRejectsMalformedExposition(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":      "orphan_total 3\n",
+		"bad metric name":          "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":                "# TYPE a_total counter\na_total zero\n",
+		"unterminated labels":      "# TYPE a_total counter\na_total{x=\"y\" 1\n",
+		"unknown escape":           "# TYPE a_total counter\na_total{x=\"\\q\"} 1\n",
+		"duplicate TYPE":           "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"foreign sample in family": "# TYPE a_total counter\nb_total 1\n",
+		"histogram without inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram non-cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf bucket != count":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, text)
+		}
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("conflict_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("conflict_total", "")
+}
+
+func TestConcurrentInstrumentsAndExposition(t *testing.T) {
+	r := New()
+	c := r.Counter("cc_total", "")
+	h := r.Histogram("cc_seconds", "", nil)
+	g := r.Gauge("cc_depth", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) * 1e-5)
+				if j%100 == 0 {
+					var b strings.Builder
+					if _, err := r.WriteTo(&b); err != nil {
+						t.Errorf("WriteTo: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", s.Count)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("post-stress exposition unparseable: %v", err)
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("GET /search")
+	root.Annotate("query", "'a' AND 'b'")
+	plan := root.Child("plan")
+	time.Sleep(time.Millisecond)
+	plan.End()
+	root.ChildDone("merge", 2*time.Millisecond)
+	root.End()
+
+	tree := root.Tree()
+	if tree.Name != "GET /search" || len(tree.Children) != 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if tree.Notes["query"] != "'a' AND 'b'" {
+		t.Fatalf("notes = %+v", tree.Notes)
+	}
+	if tree.Children[0].Name != "plan" || tree.Children[0].DurationMS <= 0 {
+		t.Fatalf("plan child = %+v", tree.Children[0])
+	}
+	if tree.Children[1].DurationMS != 2 {
+		t.Fatalf("merge child duration = %v, want 2ms", tree.Children[1].DurationMS)
+	}
+	if tree.DurationMS < tree.Children[0].DurationMS {
+		t.Fatalf("root shorter than child: %+v", tree)
+	}
+	// End is idempotent: a later End must not stretch the duration.
+	d := root.Duration()
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	if root.Duration() != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, root.Duration())
+	}
+	if tr.Started() != 3 {
+		t.Fatalf("started = %d, want 3", tr.Started())
+	}
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"name":"GET /search"`) || !strings.Contains(string(b), `"plan"`) {
+		t.Fatalf("span JSON = %s", b)
+	}
+}
+
+func TestTracerSpanBudgetDrops(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	live := 1 // the root
+	for i := 0; i < DefaultMaxSpans+100; i++ {
+		if c := root.Child("c"); c != nil {
+			live++
+		}
+	}
+	if live != DefaultMaxSpans {
+		t.Fatalf("live spans = %d, want %d", live, DefaultMaxSpans)
+	}
+	if tr.Dropped() != 101 {
+		t.Fatalf("dropped = %d, want 101", tr.Dropped())
+	}
+	// Dropped children must be safe to use.
+	c := root.Child("over")
+	c.Annotate("k", "v")
+	c.End()
+}
+
+// TestTracerConcurrentChildren is the -race stress: many goroutines hang
+// children, grandchildren and annotations off one shared root while
+// another walks and serializes the tree.
+func TestTracerConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				c := root.Child("shard")
+				c.Annotate("i", i)
+				gc := c.Child("segment")
+				gc.Annotate("j", j)
+				gc.End()
+				c.End()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			root.Walk(func(s *Span) { _ = s.Duration() })
+			if _, err := json.Marshal(root); err != nil {
+				t.Errorf("concurrent marshal: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	root.End()
+	total := 0
+	root.Walk(func(*Span) { total++ })
+	if want := int(tr.Started()); total != want {
+		t.Fatalf("walked %d spans, tracer started %d", total, want)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatalf("expected the %d-span budget to drop some of the %d attempts", DefaultMaxSpans, 1+8*40*2)
+	}
+}

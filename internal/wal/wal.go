@@ -56,6 +56,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"fulltext/internal/telemetry"
 )
 
 // Type tags one log record with the mutation it carries. Payload formats
@@ -236,6 +238,35 @@ type Log struct {
 	closed     bool
 	stopTicker chan struct{}
 	tickerDone chan struct{}
+
+	// Telemetry histograms, nil until Instrument: an un-instrumented log
+	// pays one nil check per append/sync/rotation and never calls
+	// time.Now for them.
+	appendH *telemetry.Histogram
+	syncH   *telemetry.Histogram
+	rotateH *telemetry.Histogram
+}
+
+// Instrument attaches append/sync/rotation latency histograms registered
+// with r (a nil registry leaves the log un-instrumented). Call before
+// concurrent use: the histogram fields are written without the lock.
+// Under SyncAlways the append histogram includes the per-record fsync —
+// that stall is exactly what the metric exists to expose — and the fsync
+// itself is also observed separately as a sync.
+func (l *Log) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	l.appendH = r.Histogram("fulltext_wal_append_seconds",
+		"WAL record append latency, policy-dependent fsync included.", nil)
+	l.syncH = r.Histogram("fulltext_wal_sync_seconds",
+		"WAL flush+fsync latency.", nil)
+	l.rotateH = r.Histogram("fulltext_wal_rotation_seconds",
+		"WAL segment rotation latency (seal, fsync, create).", nil)
+	r.CounterFunc("fulltext_wal_rotations_total", "WAL segment rotations.",
+		func() uint64 { return l.Stats().Rotations })
+	r.CounterFunc("fulltext_wal_truncated_segments_total", "Sealed WAL segments deleted by checkpoint truncation.",
+		func() uint64 { return l.Stats().TruncatedSegments })
 }
 
 // OpenStats reports what Open found in the directory.
@@ -399,6 +430,10 @@ func syncDir(dir string) error {
 // sealed segment is always durable regardless of policy) and starts a new
 // one at firstLSN.
 func (l *Log) rotateLocked(firstLSN uint64) error {
+	var start time.Time
+	if l.rotateH != nil {
+		start = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flushing segment: %w", err)
 	}
@@ -410,7 +445,13 @@ func (l *Log) rotateLocked(firstLSN uint64) error {
 	}
 	l.dirty = false
 	l.rotations++
-	return l.newSegmentLocked(firstLSN)
+	if err := l.newSegmentLocked(firstLSN); err != nil {
+		return err
+	}
+	if l.rotateH != nil {
+		l.rotateH.ObserveSince(start)
+	}
+	return nil
 }
 
 // fail poisons the log: once an I/O error has (possibly) left a partial
@@ -434,6 +475,10 @@ func (l *Log) fail(err error) error {
 func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var start time.Time
+	if l.appendH != nil {
+		start = time.Now()
+	}
 	if l.closed {
 		return 0, fmt.Errorf("wal: append on closed log")
 	}
@@ -469,6 +514,10 @@ func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 	l.appends++
 	switch l.opts.Sync {
 	case SyncAlways:
+		var syncStart time.Time
+		if l.syncH != nil {
+			syncStart = time.Now()
+		}
 		if err := l.w.Flush(); err != nil {
 			return 0, l.fail(fmt.Errorf("wal: flushing record: %w", err))
 		}
@@ -476,6 +525,9 @@ func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 			return 0, l.fail(fmt.Errorf("wal: syncing record: %w", err))
 		}
 		l.syncs++
+		if l.syncH != nil {
+			l.syncH.ObserveSince(syncStart)
+		}
 	case SyncInterval:
 		// To the kernel now (survives SIGKILL); to the platter on the ticker.
 		if err := l.w.Flush(); err != nil {
@@ -484,6 +536,9 @@ func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 		l.dirty = true
 	case SyncNone:
 		l.dirty = true
+	}
+	if l.appendH != nil {
+		l.appendH.ObserveSince(start)
 	}
 	return lsn, nil
 }
@@ -514,6 +569,10 @@ func (l *Log) syncLoop() {
 
 // syncLocked flushes buffered records and fsyncs the active segment.
 func (l *Log) syncLocked() error {
+	var start time.Time
+	if l.syncH != nil {
+		start = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flushing log: %w", err)
 	}
@@ -522,6 +581,9 @@ func (l *Log) syncLocked() error {
 	}
 	l.dirty = false
 	l.syncs++
+	if l.syncH != nil {
+		l.syncH.ObserveSince(start)
+	}
 	return nil
 }
 

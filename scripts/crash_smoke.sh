@@ -100,6 +100,15 @@ if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
 fi
 log "recovery replayed $replayed records"
 
+# The same recovery must surface on the Prometheus surface: a valid
+# exposition whose recovery counters are non-zero after the restart.
+curl -sf "$BASE/metrics" | go run ./scripts/promcheck \
+  -require fulltext_wal_recovery_replayed_records_total,fulltext_wal_recovery_replayed_adds_total \
+  -nonzero fulltext_wal_recovery_replayed_records_total || {
+  echo "/metrics recovery counters missing or zero after restart" >&2
+  exit 1
+}
+
 capture_queries "$WORK/after.txt"
 if ! diff -u "$WORK/before.txt" "$WORK/after.txt"; then
   echo "query results diverged across the crash" >&2

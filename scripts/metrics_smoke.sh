@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Observability smoke test: start a durable ftserve, ingest, query (traced
+# and untraced), checkpoint, then scrape /metrics and validate the
+# exposition with the strict parser (scripts/promcheck), requiring the
+# core metric families to be present and the ones this traffic must have
+# moved to be non-zero. Also asserts the exposition content type, the
+# ?trace=1 span tree, and the /stats telemetry section. Run from the
+# repository root; CI runs it on every push.
+set -euo pipefail
+
+PORT="${PORT:-18081}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+SRV_PID=""
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "metrics_smoke: $*"; }
+
+go build -o "$WORK/ftserve" ./cmd/ftserve
+go build -o "$WORK/promcheck" ./scripts/promcheck
+
+"$WORK/ftserve" -data-dir "$DATA" -shards 4 -addr "127.0.0.1:$PORT" \
+  -slow-query 5m >>"$WORK/server.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || {
+  echo "server did not become healthy; log:" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+log "ingesting and querying"
+batch='{"docs":['
+for i in $(seq 0 19); do
+  [ "$i" -gt 0 ] && batch+=','
+  batch+="{\"id\":\"doc-$i\",\"body\":\"alpha beta needle entry $i\"}"
+done
+batch+=']}'
+curl -sf -X POST "$BASE/docs/batch" -d "$batch" >/dev/null
+curl -sf "$BASE/search?q='alpha'+AND+'needle'&lang=bool" >/dev/null
+curl -sf "$BASE/search?q='alpha'&lang=bool&rank=tfidf&top=5" >/dev/null
+curl -sf -X DELETE "$BASE/docs/doc-3" >/dev/null
+curl -sf -X POST "$BASE/checkpoint" >/dev/null
+
+# A traced query must return the span tree inline: a root span named after
+# the endpoint with plan/shard/merge children.
+traced=$(curl -sf "$BASE/search?q='alpha'&lang=bool&trace=1")
+echo "$traced" | grep -q '"trace":{"name":"search"' || {
+  echo "traced response carries no span tree: $traced" >&2
+  exit 1
+}
+echo "$traced" | grep -q '"shard 0"' || {
+  echo "span tree missing shard spans: $traced" >&2
+  exit 1
+}
+
+# /stats must expose the registry-backed telemetry and endpoints sections.
+stats=$(curl -sf "$BASE/stats")
+echo "$stats" | grep -q '"telemetry"' || {
+  echo "/stats lost its telemetry section" >&2
+  exit 1
+}
+echo "$stats" | grep -q '"endpoints"' || {
+  echo "/stats lost its endpoints section" >&2
+  exit 1
+}
+
+log "scraping /metrics"
+headers=$(curl -sfI "$BASE/metrics" 2>/dev/null || curl -sf -o /dev/null -D - "$BASE/metrics")
+echo "$headers" | grep -qi 'content-type: text/plain; version=0.0.4' || {
+  echo "wrong /metrics content type:" >&2
+  echo "$headers" >&2
+  exit 1
+}
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
+
+"$WORK/promcheck" <"$WORK/metrics.txt" \
+  -require ftserve_http_request_duration_seconds,ftserve_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
+  -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total
+
+log "OK: exposition valid, core families present, hot-path families non-zero"

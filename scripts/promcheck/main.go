@@ -1,0 +1,84 @@
+// promcheck validates Prometheus text exposition read from stdin with the
+// engine's strict parser (internal/telemetry.ParseExposition): well-formed
+// HELP/TYPE/sample lines, cumulative histogram buckets, the +Inf == _count
+// invariant. Beyond well-formedness it can require specific metric
+// families to be present, and specific families to carry a non-zero
+// sample — which is how the CI smoke scripts assert that a scraped
+// ftserve actually measured something:
+//
+//	curl -s localhost:8080/metrics | go run ./scripts/promcheck \
+//	    -require fulltext_docs,fulltext_query_plan_seconds \
+//	    -nonzero fulltext_wal_recovery_replayed_records_total
+//
+// Exits 0 and prints a one-line summary on success; exits 1 with the
+// parse error or the missing/zero family names otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fulltext/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "",
+		"comma-separated families that must be present with at least one sample")
+	nonzero := flag.String("nonzero", "",
+		"comma-separated families that must carry at least one sample with a value > 0")
+	flag.Parse()
+
+	fams, err := telemetry.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: invalid exposition: %v\n", err)
+		os.Exit(1)
+	}
+	byName := make(map[string]telemetry.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	split := func(s string) []string {
+		var out []string
+		for _, name := range strings.Split(s, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				out = append(out, name)
+			}
+		}
+		return out
+	}
+
+	var bad []string
+	required := split(*require)
+	for _, name := range required {
+		if f, ok := byName[name]; !ok || len(f.Samples) == 0 {
+			bad = append(bad, name+" (missing)")
+		}
+	}
+	wantNonzero := split(*nonzero)
+	for _, name := range wantNonzero {
+		f, ok := byName[name]
+		if !ok {
+			bad = append(bad, name+" (missing)")
+			continue
+		}
+		found := false
+		for _, s := range f.Samples {
+			if s.Value > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, name+" (all samples zero)")
+		}
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: %s\n", strings.Join(bad, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d families valid, %d required present, %d non-zero\n",
+		len(fams), len(required), len(wantNonzero))
+}

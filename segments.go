@@ -3,6 +3,7 @@ package fulltext
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fulltext/internal/core"
 	"fulltext/internal/invlist"
@@ -387,9 +388,16 @@ func (s *ShardedIndex) applyMergePolicy(si int) {
 			s.bgPlan[si] = [2]int{lo, hi}
 			return
 		}
+		var t0 time.Time
+		if s.tel != nil {
+			t0 = time.Now()
+		}
 		merged, err := segment.Merge(metas[lo : hi+1])
 		if err != nil {
 			panic(fmt.Sprintf("fulltext: merging shard %d segments [%d,%d]: %v", si, lo, hi, err))
+		}
+		if s.tel != nil {
+			s.tel.mergeInlH.ObserveSince(t0)
 		}
 		s.swapMerged(si, lo, hi, merged)
 		s.merges++
@@ -483,7 +491,9 @@ func (s *ShardedIndex) startBackgroundMerge(si, lo, hi int) {
 	s.bgState[si] = bgRunning
 	s.bgWorkers++
 	s.bgEnter()
-	go s.runBackgroundMerge(si, inputs, frozen)
+	// The instrument set is captured under the lock: the worker reads it
+	// lock-free while merging.
+	go s.runBackgroundMerge(si, inputs, frozen, s.tel)
 }
 
 // bgEnter and bgExit track in-flight background merges for WaitMerges. A
@@ -513,9 +523,16 @@ func (s *ShardedIndex) bgExit() {
 // raced the merge tombstones the merged copy before it ever serves a
 // query. Deltas appended during the merge sit after the input run, so the
 // follow-up policy pass picks them up.
-func (s *ShardedIndex) runBackgroundMerge(si int, inputs []*seg, frozen []*segment.Segment) {
+func (s *ShardedIndex) runBackgroundMerge(si int, inputs []*seg, frozen []*segment.Segment, tel *engineTel) {
 	defer s.bgExit()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	merged, err := segment.Merge(frozen)
+	if tel != nil && err == nil {
+		tel.mergeBgH.ObserveSince(t0)
+	}
 	if hook := s.bgHook; hook != nil {
 		hook()
 	}

@@ -3,6 +3,7 @@ package fulltext
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fulltext/internal/core"
 	"fulltext/internal/lang"
@@ -10,6 +11,7 @@ import (
 	"fulltext/internal/score"
 	"fulltext/internal/segment"
 	"fulltext/internal/shard"
+	"fulltext/internal/telemetry"
 	"fulltext/internal/text"
 	"fulltext/internal/wal"
 	"fulltext/internal/wand"
@@ -218,6 +220,15 @@ type ShardedIndex struct {
 	ckptMu      sync.Mutex // serializes whole Checkpoint calls
 	checkpoints uint64     // completed Checkpoint calls (under mu)
 	lastCkptLSN uint64     // snapshot LSN of the newest completed checkpoint
+
+	// tel holds the push-style duration instruments installed by
+	// EnableTelemetry (nil until then — and nil forever on an
+	// un-instrumented index, which is why every use is guarded).
+	// telInstalled keeps the instrument set across SetTelemetryEnabled
+	// toggles so re-enabling never re-registers. Both written under mu;
+	// tel is read under either lock mode.
+	tel          *engineTel
+	telInstalled *engineTel
 
 	// Maintenance counters (under mu).
 	rebuilds     uint64 // from-scratch shard builds (Build/load only — never Add/Delete)
@@ -428,21 +439,42 @@ func (s *ShardedIndex) Search(q *Query) ([]Match, error) {
 
 // SearchWith is Search with an explicit engine.
 func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
+	return s.SearchWithTrace(q, e, nil)
+}
+
+// SearchWithTrace is SearchWith recording plan/shard/merge child spans on
+// tr (nil disables tracing; see internal/telemetry).
+func (s *ShardedIndex) SearchWithTrace(q *Query, e Engine, tr *telemetry.Span) ([]Match, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	tel := s.tel
+	timed := tel != nil || tr != nil
 	key := fmt.Sprintf("g%d|bool|%s|%s", s.gen, e, q)
 	if docs, ok := s.cache.Get(key); ok {
+		tr.Annotate("cache", "hit")
 		return docsToMatches(docs, false), nil
 	}
 	// Rewrite/validate/normalize once; segments share the analyzer and the
 	// registry, so the normalized AST is shard-independent.
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	ast := rewriteQueryTokens(q.ast, s.analyzer)
 	if err := lang.Validate(ast, s.reg); err != nil {
 		return nil, err
 	}
 	norm := lang.Normalize(ast, s.reg)
+	if timed {
+		d := time.Since(t0)
+		if tel != nil {
+			tel.planH.Observe(d.Seconds())
+		}
+		tr.ChildDone("plan", d)
+	}
 	lists := make([][]shard.Doc, len(s.shards))
 	err := shard.Fanout(len(s.shards), 0, func(i int) error {
+		sp, st := s.startShardSpan(tel, tr, i)
 		segLists := make([][]shard.Doc, 0, len(s.shards[i]))
 		for _, sg := range s.shards[i] {
 			nodes, _, err := sg.ix.dispatch(norm, e)
@@ -452,14 +484,53 @@ func (s *ShardedIndex) SearchWith(q *Query, e Engine) ([]Match, error) {
 			segLists = append(segLists, sg.boolDocs(nodes))
 		}
 		lists[i] = shard.MergeByOrd(segLists)
+		s.endShardSpan(tel, sp, st, len(s.shards[i]), len(lists[i]))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	if timed {
+		t0 = time.Now()
+	}
 	docs := shard.MergeByOrd(lists)
+	if timed {
+		d := time.Since(t0)
+		if tel != nil {
+			tel.mergeH.Observe(d.Seconds())
+		}
+		tr.ChildDone("merge", d)
+	}
 	s.cache.Put(key, docs)
 	return docsToMatches(docs, false), nil
+}
+
+// startShardSpan begins the per-shard fan-out instrumentation: a child
+// span named after the shard (only when tracing) and a start timestamp
+// for the shard-evaluation histogram (only when either sink wants it).
+func (s *ShardedIndex) startShardSpan(tel *engineTel, tr *telemetry.Span, i int) (*telemetry.Span, time.Time) {
+	var sp *telemetry.Span
+	if tr != nil {
+		sp = tr.Child(fmt.Sprintf("shard %d", i))
+	}
+	var st time.Time
+	if tel != nil || sp != nil {
+		st = time.Now()
+	}
+	return sp, st
+}
+
+// endShardSpan closes what startShardSpan opened, annotating the span
+// with the shard's segment count and merged result size.
+func (s *ShardedIndex) endShardSpan(tel *engineTel, sp *telemetry.Span, st time.Time, segs, docs int) {
+	if tel != nil {
+		tel.shardH.ObserveSince(st)
+	}
+	if sp != nil {
+		sp.Annotate("segments", segs)
+		sp.Annotate("docs", docs)
+		sp.End()
+	}
 }
 
 // SearchRanked evaluates the query on every shard in parallel — each
@@ -478,21 +549,37 @@ func (s *ShardedIndex) SearchRanked(q *Query, m ScoringModel, topK int) ([]Match
 func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o RankOptions) ([]Match, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	tel := s.tel
+	tr := o.Trace
+	timed := tel != nil || tr != nil
 	key := fmt.Sprintf("g%d|rank|%d|%d|%t%t|%s", s.gen, m, topK, o.Exhaustive, o.NoThresholdSharing, q)
 	if docs, ok := s.cache.Get(key); ok {
+		tr.Annotate("cache", "hit")
 		return docsToMatches(docs, true), nil
+	}
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
 	}
 	ast := rewriteQueryTokens(q.ast, s.analyzer)
 	if err := lang.Validate(ast, s.reg); err != nil {
 		return nil, err
 	}
 	norm := lang.Normalize(ast, s.reg)
+	if timed {
+		d := time.Since(t0)
+		if tel != nil {
+			tel.planH.Observe(d.Seconds())
+		}
+		tr.ChildDone("plan", d)
+	}
 	var shared *wand.Shared
 	if topK > 0 && !o.Exhaustive && !o.NoThresholdSharing {
 		shared = wand.NewShared()
 	}
 	lists := make([][]shard.Doc, len(s.shards))
 	err := shard.Fanout(len(s.shards), 0, func(i int) error {
+		sp, st := s.startShardSpan(tel, tr, i)
 		segLists := make([][]shard.Doc, 0, len(s.shards[i]))
 		for _, sg := range s.shards[i] {
 			ranked, err := sg.ix.rankedNodes(norm, m, s.cstats, topK, o, shared, sg.meta.LiveFilter())
@@ -506,12 +593,23 @@ func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o Ra
 			segLists = append(segLists, docs)
 		}
 		lists[i] = shard.MergeTopK(segLists, topK)
+		s.endShardSpan(tel, sp, st, len(s.shards[i]), len(lists[i]))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	if timed {
+		t0 = time.Now()
+	}
 	docs := shard.MergeTopK(lists, topK)
+	if timed {
+		d := time.Since(t0)
+		if tel != nil {
+			tel.mergeH.Observe(d.Seconds())
+		}
+		tr.ChildDone("merge", d)
+	}
 	s.cache.Put(key, docs)
 	return docsToMatches(docs, true), nil
 }

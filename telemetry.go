@@ -1,0 +1,200 @@
+package fulltext
+
+// Engine-side observability (see internal/telemetry for the registry and
+// tracer themselves). EnableTelemetry wires a ShardedIndex into a metrics
+// registry in two ways, chosen per metric by what it costs on the hot
+// path:
+//
+//   - Counters the engine already maintains — ranked-evaluation atomics,
+//     merge/segment bookkeeping, WAL and recovery counters, query-cache
+//     stats — are exported as pull-style CounterFunc/GaugeFunc samples.
+//     They are read only when /metrics is scraped, so enabling them
+//     costs the query path nothing at all.
+//   - Durations that nothing measured before — query plan/fan-out/merge
+//     phases, segment merge passes, WAL append/sync/rotate, checkpoint
+//     phases — get push-style histograms. Each observation is one
+//     time.Since plus one atomic add, and the time.Now calls are guarded
+//     so an index without telemetry (tel == nil) skips them entirely.
+//
+// The second mechanism is shared with per-query tracing: a query that
+// carries a *telemetry.Span times the same phases and hangs them on the
+// span tree, whether or not a registry is attached.
+
+import (
+	"fulltext/internal/telemetry"
+)
+
+// engineTel holds the push-style instruments of one ShardedIndex. A nil
+// *engineTel (telemetry never enabled) is valid everywhere: every field
+// access is guarded or nil-safe, so the disabled hot path pays one
+// pointer comparison per instrumentation site.
+type engineTel struct {
+	planH      *telemetry.Histogram // query rewrite+validate+normalize
+	shardH     *telemetry.Histogram // one shard's evaluation within the fan-out
+	mergeH     *telemetry.Histogram // global cross-shard result merge
+	mergeInlH  *telemetry.Histogram // inline segment merge (under the write lock)
+	mergeBgH   *telemetry.Histogram // background segment merge (off-lock physical pass)
+	ckptH      *telemetry.Histogram // whole checkpoint
+	ckptPhaseH [4]*telemetry.Histogram
+}
+
+// Checkpoint phase indexes into engineTel.ckptPhaseH, in execution order.
+const (
+	ckptPhaseSerialize = iota
+	ckptPhaseCommit
+	ckptPhaseRotate
+	ckptPhaseTruncate
+)
+
+var ckptPhaseNames = [4]string{"serialize", "commit", "rotate", "truncate"}
+
+// EnableTelemetry registers the index's metrics with r and attaches
+// duration histograms to the query, merge, WAL and checkpoint paths. Call
+// it once, after OpenDurable/Build and before serving; a nil registry is
+// a no-op. Pull-style metrics snapshot engine state at scrape time only;
+// push-style histograms add one timestamp per instrumented phase. The
+// WAL attached at call time (if any) is instrumented too — attach the
+// log first.
+func (s *ShardedIndex) EnableTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	tel := &engineTel{
+		planH: r.Histogram("fulltext_query_plan_seconds",
+			"Query rewrite, validation and normalization time.", nil),
+		shardH: r.Histogram("fulltext_query_shard_eval_seconds",
+			"Single-shard evaluation time within the parallel fan-out.", nil),
+		mergeH: r.Histogram("fulltext_query_merge_seconds",
+			"Cross-shard result merge time.", nil),
+		mergeInlH: r.Histogram("fulltext_segment_merge_seconds",
+			"Physical segment merge time by execution kind.", nil,
+			telemetry.Label{Name: "kind", Value: "inline"}),
+		mergeBgH: r.Histogram("fulltext_segment_merge_seconds",
+			"Physical segment merge time by execution kind.", nil,
+			telemetry.Label{Name: "kind", Value: "background"}),
+		ckptH: r.Histogram("fulltext_checkpoint_seconds",
+			"Whole-checkpoint wall time, snapshot write included.", nil),
+	}
+	for i, name := range ckptPhaseNames {
+		tel.ckptPhaseH[i] = r.Histogram("fulltext_checkpoint_phase_seconds",
+			"Checkpoint time by phase (serialize, commit, rotate, truncate).", nil,
+			telemetry.Label{Name: "phase", Value: name})
+	}
+
+	r.GaugeFunc("fulltext_docs", "Live indexed documents.",
+		func() float64 { return float64(s.Docs()) })
+	r.GaugeFunc("fulltext_shards", "Shard count.",
+		func() float64 { return float64(s.Shards()) })
+
+	// Query cache.
+	r.CounterFunc("fulltext_query_cache_hits_total", "Query-cache hits.",
+		func() uint64 { return s.CacheStats().Hits })
+	r.CounterFunc("fulltext_query_cache_misses_total", "Query-cache misses.",
+		func() uint64 { return s.CacheStats().Misses })
+	r.CounterFunc("fulltext_query_cache_evictions_total", "Query-cache evictions.",
+		func() uint64 { return s.CacheStats().Evictions })
+
+	// Ranked evaluation / WAND pruning. One sharded query counts once per
+	// segment (see RankedEvalStats).
+	r.CounterFunc("fulltext_ranked_evals_total", "Per-segment ranked evaluations by path.",
+		func() uint64 { return s.rc.fast.Load() },
+		telemetry.Label{Name: "path", Value: "wand"})
+	r.CounterFunc("fulltext_ranked_evals_total", "Per-segment ranked evaluations by path.",
+		func() uint64 { return s.rc.exhaustive.Load() },
+		telemetry.Label{Name: "path", Value: "exhaustive"})
+	r.CounterFunc("fulltext_wand_candidate_docs_total", "Documents considered by ranked evaluation.",
+		func() uint64 { return s.rc.candidates.Load() })
+	r.CounterFunc("fulltext_wand_scored_docs_total", "Documents fully scored by ranked evaluation.",
+		func() uint64 { return s.rc.scored.Load() })
+	r.CounterFunc("fulltext_wand_bound_skipped_docs_total", "Documents pruned by the WAND upper-bound threshold.",
+		func() uint64 { return s.rc.skipped.Load() })
+	r.CounterFunc("fulltext_wand_tombstoned_docs_total", "WAND candidates dropped as tombstoned.",
+		func() uint64 { return s.rc.tombstoned.Load() })
+	r.CounterFunc("fulltext_wand_cursor_seeks_total", "WAND posting-cursor seeks.",
+		func() uint64 { return s.rc.seeks.Load() })
+
+	// Segment maintenance and the background merge pool.
+	r.CounterFunc("fulltext_segment_merges_total", "Lazy segment merges applied (inline and background).",
+		func() uint64 { return s.SegmentStats().Merges })
+	r.CounterFunc("fulltext_segment_background_merges_total", "Merges completed on the background worker pool.",
+		func() uint64 { return s.SegmentStats().BackgroundMerges })
+	r.CounterFunc("fulltext_segment_merge_aborts_total", "Background merge results discarded at validation.",
+		func() uint64 { return s.SegmentStats().BackgroundAborts })
+	r.CounterFunc("fulltext_segment_merge_tombstones_total", "Merged documents tombstoned for deletes that raced the merge.",
+		func() uint64 { return s.SegmentStats().BackgroundTombstones })
+	r.CounterFunc("fulltext_segments_merged_total", "Input segments consumed by merges.",
+		func() uint64 { return s.SegmentStats().SegmentsMerged })
+	r.CounterFunc("fulltext_docs_merged_total", "Live documents rewritten by merges.",
+		func() uint64 { return s.SegmentStats().DocsMerged })
+	r.GaugeFunc("fulltext_merge_queue_depth", "Shards queued for a background merge slot.",
+		func() float64 { return float64(s.SegmentStats().QueuedMerges) })
+	r.GaugeFunc("fulltext_merges_inflight", "Background merges currently running.",
+		func() float64 { return float64(s.SegmentStats().InFlightMerges) })
+	r.GaugeFunc("fulltext_merge_workers", "Background merge pool bound.",
+		func() float64 { return float64(s.SegmentStats().MergeWorkers) })
+	r.GaugeFunc("fulltext_segments", "Total segments across all shards.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.SegmentStats().Shards {
+				n += sh.Segments
+			}
+			return float64(n)
+		})
+
+	// Durability: WAL activity, recovery, checkpoints. All zero on a
+	// non-durable index (WALStats returns the zero value).
+	r.CounterFunc("fulltext_wal_appends_total", "WAL records appended.",
+		func() uint64 { return s.WALStats().Appends })
+	r.CounterFunc("fulltext_wal_syncs_total", "WAL fsyncs.",
+		func() uint64 { return s.WALStats().Syncs })
+	r.GaugeFunc("fulltext_wal_segments", "WAL segments on disk.",
+		func() float64 { return float64(s.WALStats().Segments) })
+	r.GaugeFunc("fulltext_wal_active_bytes", "Active WAL segment size, header included.",
+		func() float64 { return float64(s.WALStats().ActiveBytes) })
+	r.CounterFunc("fulltext_checkpoints_total", "Completed checkpoints.",
+		func() uint64 { return s.WALStats().Checkpoints })
+	r.GaugeFunc("fulltext_checkpoint_last_lsn", "Snapshot LSN of the newest completed checkpoint.",
+		func() float64 { return float64(s.WALStats().LastCheckpointLSN) })
+	r.CounterFunc("fulltext_wal_recovery_replayed_records_total", "Log records replayed by this process's recovery.",
+		func() uint64 { return s.WALStats().Recovery.ReplayedRecords })
+	r.CounterFunc("fulltext_wal_recovery_replayed_adds_total", "Documents added by recovery replay.",
+		func() uint64 { return s.WALStats().Recovery.ReplayedAdds })
+	r.CounterFunc("fulltext_wal_recovery_replayed_deletes_total", "Documents tombstoned by recovery replay.",
+		func() uint64 { return s.WALStats().Recovery.ReplayedDeletes })
+	r.CounterFunc("fulltext_wal_recovery_skipped_records_total", "Pre-snapshot records skipped by idempotent replay.",
+		func() uint64 { return s.WALStats().Recovery.SkippedRecords })
+
+	s.mu.Lock()
+	s.tel = tel
+	s.telInstalled = tel
+	log := s.wal
+	s.mu.Unlock()
+	if log != nil {
+		log.Instrument(r)
+	}
+}
+
+// SetTelemetryEnabled attaches (true) or detaches (false) the push-style
+// duration instruments installed by EnableTelemetry, without touching the
+// registry: pull-style counters and gauges keep sampling engine state at
+// scrape time, and the instrument set is retained so re-enabling never
+// re-registers. A detached index skips every instrumentation timestamp on
+// the query path, which is what ftbench's telemetry experiment exploits to
+// A/B the instrumented and uninstrumented hot paths on one index. No-op
+// before EnableTelemetry.
+func (s *ShardedIndex) SetTelemetryEnabled(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on {
+		s.tel = s.telInstalled
+	} else {
+		s.tel = nil
+	}
+}
+
+// telSnapshot reads the instrument set without assuming any lock.
+func (s *ShardedIndex) telSnapshot() *engineTel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
+}

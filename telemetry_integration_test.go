@@ -1,0 +1,218 @@
+package fulltext
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fulltext/internal/telemetry"
+)
+
+// scrape renders the registry and re-parses it with the strict parser,
+// returning families by name.
+func scrape(t *testing.T, r *telemetry.Registry) map[string]telemetry.Family {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	fams, err := telemetry.ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not re-parse: %v\n%s", err, b.String())
+	}
+	out := make(map[string]telemetry.Family, len(fams))
+	for _, f := range fams {
+		out[f.Name] = f
+	}
+	return out
+}
+
+// histCount returns the _count of the family's series matching labels.
+func histCount(f telemetry.Family, labels map[string]string) float64 {
+	for _, s := range f.Samples {
+		if !strings.HasSuffix(s.Name, "_count") {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	return -1
+}
+
+func TestEnableTelemetryQueryMetrics(t *testing.T) {
+	b := NewShardedBuilder(3)
+	for i := 0; i < 30; i++ {
+		if err := b.Add(fmt.Sprintf("d%d", i), fmt.Sprintf("common token %d needle", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := b.Build()
+	ix.SetQueryCacheSize(0) // every query runs the full path
+	reg := telemetry.New()
+	ix.EnableTelemetry(reg)
+
+	q, err := Parse(BOOL, "'common' AND 'needle'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SearchRanked(q, TFIDF, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	fams := scrape(t, reg)
+	if got := histCount(fams["fulltext_query_plan_seconds"], nil); got != 2 {
+		t.Fatalf("plan histogram count = %v, want 2", got)
+	}
+	// One shard-eval observation per shard per query.
+	if got := histCount(fams["fulltext_query_shard_eval_seconds"], nil); got != float64(2*ix.Shards()) {
+		t.Fatalf("shard-eval histogram count = %v, want %d", got, 2*ix.Shards())
+	}
+	if got := histCount(fams["fulltext_query_merge_seconds"], nil); got != 2 {
+		t.Fatalf("merge histogram count = %v, want 2", got)
+	}
+	var wand float64
+	for _, s := range fams["fulltext_ranked_evals_total"].Samples {
+		if s.Labels["path"] == "wand" {
+			wand = s.Value
+		}
+	}
+	if wand == 0 {
+		t.Fatalf("ranked query did not count a WAND evaluation")
+	}
+	var docs float64
+	for _, s := range fams["fulltext_docs"].Samples {
+		docs = s.Value
+	}
+	if docs != 30 {
+		t.Fatalf("fulltext_docs = %v, want 30", docs)
+	}
+}
+
+func TestSearchWithTraceCoversShardsWithoutRegistry(t *testing.T) {
+	b := NewShardedBuilder(4)
+	for i := 0; i < 20; i++ {
+		if err := b.Add(fmt.Sprintf("d%d", i), "alpha beta gamma"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := b.Build()
+	ix.SetQueryCacheSize(0)
+	q, err := Parse(BOOL, "'alpha'")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := telemetry.NewTracer()
+	root := tracer.Start("query")
+	if _, err := ix.SearchWithTrace(q, EngineAuto, root); err != nil {
+		t.Fatal(err)
+	}
+	tree := root.Tree()
+	names := map[string]int{}
+	var walk func(telemetry.SpanJSON)
+	walk = func(s telemetry.SpanJSON) {
+		names[s.Name]++
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if names["plan"] != 1 || names["merge"] != 1 {
+		t.Fatalf("span tree missing plan/merge: %v", names)
+	}
+	for i := 0; i < ix.Shards(); i++ {
+		if names[fmt.Sprintf("shard %d", i)] != 1 {
+			t.Fatalf("span tree missing shard %d: %v", i, names)
+		}
+	}
+
+	// Ranked path via RankOptions.Trace, and the cache-hit annotation.
+	ix.SetQueryCacheSize(16)
+	r2 := tracer.Start("ranked")
+	if _, err := ix.SearchRankedOpts(q, TFIDF, 5, RankOptions{Trace: r2}); err != nil {
+		t.Fatal(err)
+	}
+	r3 := tracer.Start("ranked-cached")
+	if _, err := ix.SearchRankedOpts(q, TFIDF, 5, RankOptions{Trace: r3}); err != nil {
+		t.Fatal(err)
+	}
+	hit := r3.Tree()
+	if hit.Notes["cache"] != "hit" {
+		t.Fatalf("repeat query span not annotated as cache hit: %+v", hit)
+	}
+	if len(hit.Children) != 0 {
+		t.Fatalf("cache hit ran evaluation spans: %+v", hit)
+	}
+}
+
+func TestTelemetryDurableCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	ix.EnableTelemetry(reg)
+	for i := 0; i < 10; i++ {
+		if err := ix.Add(fmt.Sprintf("d%d", i), "durable telemetry doc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ix.Checkpoint(""); err != nil {
+		t.Fatal(err)
+	}
+	fams := scrape(t, reg)
+	for _, phase := range []string{"serialize", "commit", "rotate", "truncate"} {
+		if got := histCount(fams["fulltext_checkpoint_phase_seconds"], map[string]string{"phase": phase}); got != 1 {
+			t.Fatalf("checkpoint phase %q count = %v, want 1", phase, got)
+		}
+	}
+	if got := histCount(fams["fulltext_checkpoint_seconds"], nil); got != 1 {
+		t.Fatalf("checkpoint total count = %v, want 1", got)
+	}
+	if got := histCount(fams["fulltext_wal_append_seconds"], nil); got < 10 {
+		t.Fatalf("wal append histogram count = %v, want >= 10", got)
+	}
+	var ckpts float64
+	for _, s := range fams["fulltext_checkpoints_total"].Samples {
+		ckpts = s.Value
+	}
+	if ckpts != 1 {
+		t.Fatalf("fulltext_checkpoints_total = %v, want 1", ckpts)
+	}
+
+	// Post-checkpoint mutations replay on reopen and surface as recovery
+	// counters in a fresh registry (the crash-smoke assertion).
+	if err := ix.Add("post-ckpt", "replayed after restart"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	reg2 := telemetry.New()
+	re.EnableTelemetry(reg2)
+	fams2 := scrape(t, reg2)
+	var replayed float64
+	for _, s := range fams2["fulltext_wal_recovery_replayed_records_total"].Samples {
+		replayed = s.Value
+	}
+	if replayed == 0 {
+		t.Fatalf("recovery counter zero after replaying a post-checkpoint record")
+	}
+}
