@@ -253,6 +253,7 @@ type rankedCounters struct {
 	skipped    atomic.Uint64
 	tombstoned atomic.Uint64
 	seeks      atomic.Uint64
+	blockSkips atomic.Uint64
 }
 
 func (rc *rankedCounters) addWand(ws wand.Stats) {
@@ -262,6 +263,7 @@ func (rc *rankedCounters) addWand(ws wand.Stats) {
 	rc.skipped.Add(ws.BoundSkipped)
 	rc.tombstoned.Add(ws.Tombstoned)
 	rc.seeks.Add(ws.Seeks)
+	rc.blockSkips.Add(ws.BlocksSkipped)
 }
 
 func (rc *rankedCounters) addExhaustive(nodes int) {
@@ -290,6 +292,9 @@ type RankedEvalStats struct {
 	// tombstones between merges.
 	TombstonedDocs uint64
 	CursorSeeks    uint64
+	// BlocksSkipped counts posting-list block boundaries crossed through
+	// per-block score bounds (block-max WAND) instead of entry stepping.
+	BlocksSkipped uint64
 }
 
 // RankedEvalStats returns the index's cumulative ranked-query counters.
@@ -306,8 +311,15 @@ func (rc *rankedCounters) snapshot() RankedEvalStats {
 		BoundSkippedDocs:  rc.skipped.Load(),
 		TombstonedDocs:    rc.tombstoned.Load(),
 		CursorSeeks:       rc.seeks.Load(),
+		BlocksSkipped:     rc.blockSkips.Load(),
 	}
 }
+
+// SetStatsBlockSize overrides the posting-list block granularity used for
+// per-block score bounds (0 restores the default). Cached statistics are
+// invalidated; the next ranked query rebuilds them at the new granularity.
+// Exists for tests and benchmarks — the default suits production.
+func (ix *Index) SetStatsBlockSize(n int) { ix.inv.SetBlockSize(n) }
 
 // Stats reports the complexity-model parameters of the index (Section
 // 5.1.2).
@@ -445,6 +457,13 @@ type RankOptions struct {
 	// index). Results are identical either way; late shards just score
 	// more documents.
 	NoThresholdSharing bool
+	// NoAdaptiveFanout disables upper-bound-ordered shard dispatch of
+	// sharded top-K queries (ShardedIndex only; ignored on a single
+	// index). Results are identical either way; with adaptive fan-out the
+	// shard that can raise the shared threshold most starts first, so late
+	// shards begin pre-pruned. It exists for benchmarks isolating the
+	// fan-out-order effect.
+	NoAdaptiveFanout bool
 	// Trace, when non-nil, receives plan/shard/merge child spans during
 	// sharded evaluation (see internal/telemetry; ignored on a single
 	// index). It never changes results and is excluded from the query
@@ -549,6 +568,31 @@ func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusSta
 		ranked = ranked[:topK]
 	}
 	return ranked, nil
+}
+
+// rankedUpperBound returns the largest score any document of this index
+// could reach for the analyzed query: the sum over query tokens of their
+// multiplicity-weighted per-list upper bounds. ok is false when the bound
+// is unavailable without paying the O(index) statistics pass — the caller
+// (adaptive shard fan-out) must then treat the index as unbounded. The
+// bound is a planning hint only; it never affects results.
+func (ix *Index) rankedUpperBound(norm lang.Query, m ScoringModel, st score.CorpusStats, a *wand.Analysis) (float64, bool) {
+	if ix.inv.StatsBlockIfWarm(st) == nil {
+		return 0, false
+	}
+	scorer, err := ix.scorerFor(norm, m, st)
+	if err != nil {
+		return 0, false
+	}
+	ws, ok := scorer.(wand.Scorer)
+	if !ok {
+		return 0, false
+	}
+	var ub float64
+	for _, tok := range a.Tokens {
+		ub += float64(a.Count[tok]) * ws.UpperBound(tok)
+	}
+	return ub, true
 }
 
 // Explain reports which engine EngineAuto would pick and renders its query

@@ -1,0 +1,253 @@
+package invlist
+
+import (
+	"bytes"
+	"testing"
+
+	"fulltext/internal/core"
+)
+
+// metasFor hand-builds the First/Last part of a block directory for a list.
+// SeekBlock only consults First/Last, so the score bounds stay zero.
+func metasFor(pl *PostingList, size int) []BlockMeta {
+	var metas []BlockMeta
+	for lo := 0; lo < len(pl.Entries); lo += size {
+		hi := lo + size
+		if hi > len(pl.Entries) {
+			hi = len(pl.Entries)
+		}
+		metas = append(metas, BlockMeta{First: pl.Entries[lo].Node, Last: pl.Entries[hi-1].Node})
+	}
+	return metas
+}
+
+// TestSeekBlockOracle checks SeekBlock against the same scan oracle as
+// TestCursorSeek, for block sizes that cut the list at every boundary
+// pattern: every landing position and return value must match plain Seek,
+// from a fresh cursor and from every possible starting entry.
+func TestSeekBlockOracle(t *testing.T) {
+	pl := &PostingList{Token: "t"}
+	nodes := []core.NodeID{2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for _, n := range nodes {
+		pl.Entries = append(pl.Entries, Entry{Node: n, Pos: []core.Pos{{Ord: int32(n)}}})
+	}
+	for _, size := range []int{1, 2, 3, 4, 7, 1 << 20} {
+		metas := metasFor(pl, size)
+		for start := -1; start < len(nodes); start++ {
+			for target := core.NodeID(0); target <= 150; target++ {
+				ref := pl.Cursor()
+				got := pl.Cursor()
+				if start >= 0 {
+					ref.Seek(nodes[start])
+					got.Seek(nodes[start])
+				}
+				wantNode, wantOK := ref.Seek(target)
+				gotNode, gotOK := got.SeekBlock(metas, size, target)
+				if gotOK != wantOK || gotNode != wantNode || got.EntryIndex() != ref.EntryIndex() {
+					t.Fatalf("size=%d start=%d: SeekBlock(%d) = (%d,%v) at %d, Seek = (%d,%v) at %d",
+						size, start, target, gotNode, gotOK, got.EntryIndex(), wantNode, wantOK, ref.EntryIndex())
+				}
+			}
+		}
+	}
+}
+
+// TestSeekBlockSkipCounting pins BlockSkips semantics: jumping straight
+// from block 0 to block k through the directory counts k boundary
+// crossings, seeks inside the current block count none, and the empty or
+// disabled directory degrades to plain Seek without counting.
+func TestSeekBlockSkipCounting(t *testing.T) {
+	pl := &PostingList{Token: "t"}
+	for i := 1; i <= 100; i++ {
+		pl.Entries = append(pl.Entries, Entry{Node: core.NodeID(2 * i), Pos: []core.Pos{{Ord: int32(i)}}})
+	}
+	metas := metasFor(pl, 10)
+
+	cur := pl.Cursor()
+	cur.NextEntry() // position on entry 0 (node 2), block 0
+	if n, ok := cur.SeekBlock(metas, 10, 190); !ok || n != 190 {
+		t.Fatalf("SeekBlock(190) = (%d,%v), want (190,true)", n, ok)
+	}
+	// Node 190 is entry 94, block 9: nine boundaries crossed from block 0.
+	if cur.BlockSkips != 9 {
+		t.Fatalf("BlockSkips = %d after a block-0 to block-9 jump, want 9", cur.BlockSkips)
+	}
+	if n, ok := cur.SeekBlock(metas, 10, 196); !ok || n != 196 {
+		t.Fatalf("SeekBlock(196) = (%d,%v), want (196,true)", n, ok)
+	}
+	if cur.BlockSkips != 9 {
+		t.Fatalf("BlockSkips = %d after an in-block seek, want still 9", cur.BlockSkips)
+	}
+	// Past the last block: exhausted, and the directory answers it without
+	// touching more entries.
+	if _, ok := cur.SeekBlock(metas, 10, 1000); ok || !cur.Done() {
+		t.Fatal("SeekBlock past the end must exhaust the cursor")
+	}
+	if _, ok := cur.SeekBlock(metas, 10, 2); ok {
+		t.Fatal("SeekBlock on an exhausted cursor must fail")
+	}
+
+	// No directory: plain Seek, no skip accounting.
+	plain := pl.Cursor()
+	if n, ok := plain.SeekBlock(nil, 10, 190); !ok || n != 190 {
+		t.Fatalf("directory-less SeekBlock(190) = (%d,%v), want (190,true)", n, ok)
+	}
+	if plain.BlockSkips != 0 {
+		t.Fatalf("directory-less SeekBlock counted %d skips, want 0", plain.BlockSkips)
+	}
+	disabled := pl.Cursor()
+	if n, ok := disabled.SeekBlock(metas, 0, 190); !ok || n != 190 || disabled.BlockSkips != 0 {
+		t.Fatalf("size<=0 SeekBlock = (%d,%v) with %d skips, want (190,true) and 0", n, ok, disabled.BlockSkips)
+	}
+
+	// Empty list.
+	empty := (&PostingList{}).Cursor()
+	if _, ok := empty.SeekBlock(metas, 10, 1); ok {
+		t.Fatal("SeekBlock on empty list must fail")
+	}
+}
+
+// TestBlockDirectoryShape checks the computed directory against the lists:
+// ceil(len/size) blocks per token, First/Last on the actual entry ids, and
+// the global per-token bounds exactly equal to the maxima over the blocks.
+func TestBlockDirectoryShape(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 1 << 20} {
+		ix := buildStatsIndex(t)
+		ix.SetBlockSize(size)
+		b := ix.StatsBlock(nil)
+		if b.BlockSize != size {
+			t.Fatalf("BlockSize = %d, want %d", b.BlockSize, size)
+		}
+		for _, tok := range ix.Tokens() {
+			pl := ix.List(tok)
+			metas := b.Blocks[tok]
+			wantBlocks := (pl.Len() + size - 1) / size
+			if len(metas) != wantBlocks {
+				t.Fatalf("size=%d %s: %d blocks, want %d", size, tok, len(metas), wantBlocks)
+			}
+			var gOcc int32
+			var gTF float64
+			for k, m := range metas {
+				lo, hi := k*size, k*size+size
+				if hi > pl.Len() {
+					hi = pl.Len()
+				}
+				if m.First != pl.Entries[lo].Node || m.Last != pl.Entries[hi-1].Node {
+					t.Fatalf("size=%d %s block %d: range [%d,%d], want [%d,%d]",
+						size, tok, k, m.First, m.Last, pl.Entries[lo].Node, pl.Entries[hi-1].Node)
+				}
+				var occ int32
+				for i := lo; i < hi; i++ {
+					if int32(len(pl.Entries[i].Pos)) > occ {
+						occ = int32(len(pl.Entries[i].Pos))
+					}
+				}
+				if m.MaxOcc != occ {
+					t.Fatalf("size=%d %s block %d: MaxOcc %d, want %d", size, tok, k, m.MaxOcc, occ)
+				}
+				if m.MaxOcc > gOcc {
+					gOcc = m.MaxOcc
+				}
+				if m.MaxTFNorm > gTF {
+					gTF = m.MaxTFNorm
+				}
+			}
+			if int(gOcc) != b.MaxOcc[tok] || gTF != b.MaxTFNorm[tok] {
+				t.Fatalf("size=%d %s: block maxima (%g,%d) disagree with global bounds (%g,%d)",
+					size, tok, gTF, gOcc, b.MaxTFNorm[tok], b.MaxOcc[tok])
+			}
+		}
+	}
+}
+
+// TestCodecBlockSectionRoundTrip checks version-3 serialization freezes the
+// block directory bit-identically, including a non-default block size, and
+// that the loaded index serves it without a statistics rebuild.
+func TestCodecBlockSectionRoundTrip(t *testing.T) {
+	ix := buildStatsIndex(t)
+	ix.SetBlockSize(2)
+	want := ix.StatsBlock(nil)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.StatsBlock(nil)
+	if loaded.StatsBlockBuilds() != 0 {
+		t.Fatalf("loading a v3 stream cost %d statistics builds, want 0", loaded.StatsBlockBuilds())
+	}
+	if got.BlockSize != want.BlockSize {
+		t.Fatalf("BlockSize = %d, want %d", got.BlockSize, want.BlockSize)
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%d block directories, want %d", len(got.Blocks), len(want.Blocks))
+	}
+	for tok, wantMetas := range want.Blocks {
+		gotMetas := got.Blocks[tok]
+		if len(gotMetas) != len(wantMetas) {
+			t.Fatalf("%s: %d blocks, want %d", tok, len(gotMetas), len(wantMetas))
+		}
+		for k := range wantMetas {
+			if gotMetas[k] != wantMetas[k] {
+				t.Fatalf("%s block %d: %+v, want %+v (must be bit-identical)", tok, k, gotMetas[k], wantMetas[k])
+			}
+		}
+	}
+}
+
+// TestLegacyV2StreamSynthesizesBlocks loads a version-2 stream (stats block
+// but no block section) and requires StatsBlock to lazily synthesize a
+// directory identical to a freshly computed one.
+func TestLegacyV2StreamSynthesizesBlocks(t *testing.T) {
+	ix := buildStatsIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.writeToVersion(&buf, WriteOptions{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.StatsBlock(nil)
+	want := ix.StatsBlock(nil)
+	if got.BlockSize != want.BlockSize {
+		t.Fatalf("synthesized BlockSize = %d, want %d", got.BlockSize, want.BlockSize)
+	}
+	if got.Blocks == nil {
+		t.Fatal("v2-loaded statistics block did not synthesize its block directory")
+	}
+	for tok, wantMetas := range want.Blocks {
+		gotMetas := got.Blocks[tok]
+		if len(gotMetas) != len(wantMetas) {
+			t.Fatalf("%s: %d synthesized blocks, want %d", tok, len(gotMetas), len(wantMetas))
+		}
+		for k := range wantMetas {
+			if gotMetas[k] != wantMetas[k] {
+				t.Fatalf("%s block %d: synthesized %+v, want %+v", tok, k, gotMetas[k], wantMetas[k])
+			}
+		}
+	}
+}
+
+// TestFutureVersionRejected checks that readers refuse streams from codec
+// versions they do not understand instead of misparsing them.
+func TestFutureVersionRejected(t *testing.T) {
+	ix := buildStatsIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The version uvarint sits right after the 4-byte magic; the current
+	// version fits one byte, so bumping it in place forges a future stream.
+	if raw[len(codecMagic)] != codecVersion {
+		t.Fatalf("stream version byte = %d, want %d", raw[len(codecMagic)], codecVersion)
+	}
+	raw[len(codecMagic)] = codecVersion + 1
+	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("ReadFrom accepted a stream from a future codec version")
+	}
+}

@@ -26,16 +26,25 @@ import (
 //	stats-block flag uvarint (version >= 2; 1 = block follows)
 //	  norms[cnodes] float64 (little-endian bits)
 //	  per token (same sorted order): maxTFNorm float64 | maxOcc uvarint
+//	block section (version >= 3, only when stats-block flag == 1):
+//	  blockSize uvarint
+//	  per token (same sorted order):
+//	    nblocks uvarint
+//	    per block: (first - prev block's last) uvarint | (last - first) uvarint |
+//	      maxOcc uvarint | maxTFNorm float64 (little-endian bits)
 //
 // IL_ANY is not stored; it is rebuilt from the token lists on load, which
 // keeps the format smaller and guarantees IL_ANY consistency. The stats
 // block (node norms and per-list score upper bounds, see stats.go) is
 // derivable from the lists but costs a full pass, so version 2 freezes the
 // standalone block at write time and loaded indexes serve their first
-// ranked query without recomputing it.
+// ranked query without recomputing it. Version 3 appends the per-block
+// score bounds (block-max WAND skip metadata); streams from older versions
+// load fine — the index synthesizes blocks lazily — and older readers
+// reject version-3 streams cleanly via the version check.
 const (
 	codecMagic      = "FTIX"
-	codecVersion    = 2
+	codecVersion    = 3
 	codecMinVersion = 1
 )
 
@@ -60,13 +69,20 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 
 // WriteToWith serializes the index with explicit options.
 func (ix *Index) WriteToWith(w io.Writer, o WriteOptions) (int64, error) {
+	return ix.writeToVersion(w, o, codecVersion)
+}
+
+// writeToVersion serializes at an explicit codec version. Only the current
+// version is written in production; tests use older versions to produce
+// legacy fixtures for the lazy block-synthesis path.
+func (ix *Index) writeToVersion(w io.Writer, o WriteOptions, version int) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
 	if _, err := cw.Write([]byte(codecMagic)); err != nil {
 		return cw.n, err
 	}
-	writeUvarint(cw, codecVersion)
+	writeUvarint(cw, uint64(version))
 	writeUvarint(cw, uint64(len(ix.posCount)))
 	for _, v := range ix.posCount {
 		writeUvarint(cw, uint64(v))
@@ -102,12 +118,20 @@ func (ix *Index) WriteToWith(w io.Writer, o WriteOptions) (int64, error) {
 	// Stats block (self statistics): computed here if no ranked query has
 	// warmed it yet. Deterministic, so repeated WriteTo calls produce
 	// identical bytes (the sharded container relies on that).
-	if o.OmitStatsBlock {
-		writeUvarint(cw, 0)
+	if o.OmitStatsBlock || version < 2 {
+		if version >= 2 {
+			writeUvarint(cw, 0)
+		}
 	} else {
 		writeUvarint(cw, 1)
-		if _, err := WriteStatsBlockTo(cw, ix.StatsBlock(nil), toks); err != nil {
+		blk := ix.StatsBlock(nil)
+		if _, err := WriteStatsBlockTo(cw, blk, toks); err != nil {
 			return cw.n, err
+		}
+		if version >= 3 {
+			if _, err := WriteBlockSectionTo(cw, blk, toks); err != nil {
+				return cw.n, err
+			}
 		}
 	}
 
@@ -230,6 +254,14 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
+			if version >= 3 {
+				size, blocks, err := ReadBlockSectionFrom(br, tokOrder)
+				if err != nil {
+					return nil, err
+				}
+				blk.BlockSize = size
+				blk.Blocks = blocks
+			}
 			ix.SetStatsBlock(nil, blk)
 		default:
 			return nil, fmt.Errorf("invlist: bad stats-block flag %d", flag)
@@ -329,6 +361,105 @@ func WriteStatsBlockTo(w io.Writer, b *StatsBlock, toks []string) (int64, error)
 		}
 	}
 	return n, nil
+}
+
+// WriteBlockSectionTo serializes the per-block score-bound metadata of a
+// stats block — the block size, then per token (in toks order) its block
+// directory with node ids delta-encoded across consecutive blocks. Like
+// WriteStatsBlockTo it is the single source of the layout, shared by the
+// FTIX version-3 section and the FTSS sharded container's per-segment
+// global-statistics blocks.
+func WriteBlockSectionTo(w io.Writer, b *StatsBlock, toks []string) (int64, error) {
+	var n int64
+	var buf [binary.MaxVarintLen64]byte
+	putFloat := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
+		m, err := w.Write(buf[:8])
+		n += int64(m)
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		m, err := w.Write(buf[:k])
+		n += int64(m)
+		return err
+	}
+	if err := putUvarint(uint64(b.BlockSize)); err != nil {
+		return n, err
+	}
+	for _, tok := range toks {
+		metas := b.Blocks[tok]
+		if err := putUvarint(uint64(len(metas))); err != nil {
+			return n, err
+		}
+		prevLast := uint64(0)
+		for _, m := range metas {
+			if err := putUvarint(uint64(m.First) - prevLast); err != nil {
+				return n, err
+			}
+			if err := putUvarint(uint64(m.Last) - uint64(m.First)); err != nil {
+				return n, err
+			}
+			prevLast = uint64(m.Last)
+			if err := putUvarint(uint64(m.MaxOcc)); err != nil {
+				return n, err
+			}
+			if err := putFloat(m.MaxTFNorm); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// ReadBlockSectionFrom reads a block section written by WriteBlockSectionTo
+// with the vocabulary toks (in write order).
+func ReadBlockSectionFrom(br *bufio.Reader, toks []string) (int, map[string][]BlockMeta, error) {
+	size, err := readCount(br, "block size")
+	if err != nil {
+		return 0, nil, err
+	}
+	if size <= 0 {
+		return 0, nil, fmt.Errorf("invlist: bad block size %d", size)
+	}
+	blocks := make(map[string][]BlockMeta, len(toks))
+	for _, tok := range toks {
+		nblocks, err := readCount(br, "block count")
+		if err != nil {
+			return 0, nil, err
+		}
+		metas := make([]BlockMeta, nblocks)
+		prevLast := uint64(0)
+		for i := range metas {
+			fd, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, nil, fmt.Errorf("invlist: reading block first delta: %w", err)
+			}
+			ld, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, nil, fmt.Errorf("invlist: reading block last delta: %w", err)
+			}
+			first := prevLast + fd
+			last := first + ld
+			prevLast = last
+			mo, err := readCount(br, "block max occurrences")
+			if err != nil {
+				return 0, nil, err
+			}
+			var b8 [8]byte
+			if _, err := io.ReadFull(br, b8[:]); err != nil {
+				return 0, nil, fmt.Errorf("invlist: reading block bound: %w", err)
+			}
+			metas[i] = BlockMeta{
+				First:     core.NodeID(first),
+				Last:      core.NodeID(last),
+				MaxOcc:    int32(mo),
+				MaxTFNorm: math.Float64frombits(binary.LittleEndian.Uint64(b8[:])),
+			}
+		}
+		blocks[tok] = metas
+	}
+	return size, blocks, nil
 }
 
 // ReadStatsBlockFrom reads a stats block body written by WriteStatsBlockTo

@@ -20,7 +20,14 @@ type Cursor struct {
 	// Counters for the complexity instrumentation.
 	EntrySteps int // number of NextEntry calls that returned an entry
 	SeekSteps  int // number of gallop/binary probes performed by Seek
+	BlockSkips int // number of block boundaries crossed via the block directory
 }
+
+// EntryIndex returns the ordinal position of the current entry within the
+// list (-1 before the first NextEntry/Seek). The block-max evaluator uses
+// it to map the cursor position to a block: entry i lies in block
+// i/blockSize.
+func (c *Cursor) EntryIndex() int { return c.i }
 
 // Cursor returns a fresh sequential cursor over the list.
 func (pl *PostingList) Cursor() *Cursor {
@@ -101,6 +108,59 @@ func (c *Cursor) Seek(node core.NodeID) (core.NodeID, bool) {
 	})
 	c.i = lo + 1 + k
 	return es[c.i].Node, true
+}
+
+// SeekBlock advances the cursor forward to the first entry with id >= node,
+// like Seek, but consults the list's block directory first: when the target
+// lies beyond the current block it binary-searches the directory for the
+// first block whose Last id reaches node and jumps straight to that block's
+// first entry, then finishes with a local Seek. Skipped blocks cost one
+// directory probe instead of O(log d) entry probes, and BlockSkips counts
+// the block boundaries crossed through the directory. metas/size must be
+// the block directory and block size of this cursor's list (from the
+// governing StatsBlock); with an empty directory it degrades to plain Seek.
+func (c *Cursor) SeekBlock(metas []BlockMeta, size int, node core.NodeID) (core.NodeID, bool) {
+	es := c.list.Entries
+	cur := c.i
+	if cur < 0 {
+		cur = 0
+	}
+	if cur >= len(es) {
+		c.i = len(es)
+		return 0, false
+	}
+	if len(metas) == 0 || size <= 0 {
+		return c.Seek(node)
+	}
+	cb := cur / size
+	if cb >= len(metas) || metas[cb].Last >= node {
+		// Target is inside the current block (or the directory is stale
+		// short): a local gallop is already cheap.
+		return c.Seek(node)
+	}
+	// Directory search over the blocks after cb for the first one that can
+	// contain node.
+	k := sort.Search(len(metas)-cb-1, func(k int) bool {
+		c.SeekSteps++
+		return metas[cb+1+k].Last >= node
+	})
+	tb := cb + 1 + k
+	if tb >= len(metas) {
+		c.i = len(es)
+		return 0, false
+	}
+	c.BlockSkips += tb - cb
+	c.i = tb * size
+	if c.i >= len(es) {
+		// Defensive: a directory longer than the list cannot happen when
+		// metas matches the list, but never index out of range.
+		c.i = len(es)
+		return 0, false
+	}
+	if es[c.i].Node >= node {
+		return es[c.i].Node, true
+	}
+	return c.Seek(node)
 }
 
 // Done reports whether the cursor has been exhausted.

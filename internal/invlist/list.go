@@ -95,8 +95,28 @@ type Index struct {
 
 	stats Stats
 
+	// blockSize overrides DefaultBlockSize for per-block score metadata
+	// when positive (see SetBlockSize).
+	blockSize int
+
 	// Lazily computed scoring statistics blocks (see stats.go).
 	statsCache
+}
+
+// SetBlockSize overrides the posting-list block granularity used for
+// per-block score bounds (0 restores DefaultBlockSize). Cached statistics
+// blocks are dropped so the next StatsBlock call rebuilds them at the new
+// granularity. Tests use small sizes to exercise block boundaries; a huge
+// size degenerates to one block per list, i.e. the pre-block per-list
+// bounds.
+func (ix *Index) SetBlockSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ix.statsMu.Lock()
+	ix.blockSize = n
+	ix.statsMu.Unlock()
+	ix.InvalidateStats()
 }
 
 // List returns IL_tok. For tokens that never occur it returns an empty,

@@ -3,6 +3,7 @@ package invlist
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"fulltext/internal/core"
 )
@@ -29,6 +30,28 @@ func IDF(st CollectionStats, tok string) float64 {
 	return math.Log(1 + float64(st.NumNodes())/float64(df))
 }
 
+// DefaultBlockSize is the posting-list block granularity used when an index
+// has no explicit SetBlockSize override: each run of DefaultBlockSize
+// consecutive entries of a list forms one block with its own score bounds.
+const DefaultBlockSize = 32
+
+// BlockMeta is the per-block metadata of one fixed ordinal-range block of a
+// posting list: block k of IL_tok covers entries [k*size, (k+1)*size). The
+// evaluator uses First/Last to locate the block covering a target node and
+// MaxTFNorm/MaxOcc to bound the score any document inside the block can
+// reach, which is what lets it skip whole blocks instead of stepping
+// documents.
+type BlockMeta struct {
+	// First and Last are the context-node ids of the block's first and last
+	// entries (entries are node-ordered, so the block covers [First, Last]).
+	First, Last core.NodeID
+	// MaxOcc is the maximum number of positions in any entry of the block.
+	MaxOcc int32
+	// MaxTFNorm is max over the block's entries e of tf(e)/||node(e)||₂ —
+	// the block-local version of StatsBlock.MaxTFNorm.
+	MaxTFNorm float64
+}
+
 // StatsBlock is the per-index scoring statistics block: everything the
 // ranking models need that costs a full pass over the inverted lists,
 // computed once per (index, collection statistics) pair and reused across
@@ -46,6 +69,23 @@ type StatsBlock struct {
 	// MaxOcc holds, per token, the maximum number of positions in any IL_tok
 	// entry — the occurrence count behind the PRA noisy-or upper bound.
 	MaxOcc map[string]int
+
+	// BlockSize and Blocks carry the per-block refinement of the two maps
+	// above: Blocks[tok][k] bounds entries [k*BlockSize, (k+1)*BlockSize) of
+	// IL_tok. Blocks is nil on statistics blocks deserialized from codec
+	// versions that predate block metadata; the index synthesizes it lazily
+	// on first StatsBlock access.
+	BlockSize int
+	Blocks    map[string][]BlockMeta
+
+	// depN/depDF fingerprint the collection statistics this block was
+	// computed against: the collection size and the df of every token in
+	// this index's vocabulary, in Tokens() order. Norms and all bounds
+	// depend on the collection statistics only through these values, so an
+	// identical fingerprint under a new statistics identity means the block
+	// can be adopted as-is instead of recomputed (see StatsBlock).
+	depN  int
+	depDF []int
 }
 
 // Norm returns ||n||₂ for a node (0 when the node is unknown or empty).
@@ -83,19 +123,74 @@ func (ix *Index) StatsBlock(st CollectionStats) *StatsBlock {
 		if ix.selfBlock == nil {
 			ix.selfBlock = ix.computeStatsBlock(ix)
 		}
+		ix.ensureBlocks(ix.selfBlock)
 		return ix.selfBlock
 	}
 	if b, ok := ix.statsBlocks[st]; ok {
+		ix.ensureBlocks(b)
 		return b
 	}
-	b := ix.computeStatsBlock(st)
+	// Cache miss under a new statistics identity. Before paying the full
+	// recomputation pass, check whether the most recently produced external
+	// block was computed against statistics with an identical fingerprint
+	// (same collection size and per-vocabulary-token df): a mutation
+	// elsewhere in a sharded deployment rolls the shared statistics identity
+	// for every segment, but segments whose scoring inputs are unchanged —
+	// the common case for update-heavy workloads — can adopt their previous
+	// block instead of rebuilding it.
+	b := ix.lastExternal
+	if b == nil || !ix.depMatches(b, st) {
+		b = ix.computeStatsBlock(st)
+	}
 	if ix.statsBlocks == nil {
 		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
 	} else if len(ix.statsBlocks) >= maxExternalStatsBlocks {
 		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
 	}
 	ix.statsBlocks[st] = b
+	ix.lastExternal = b
+	ix.ensureBlocks(b)
 	return b
+}
+
+// StatsBlockIfWarm returns the cached statistics block for st when one is
+// already computed (or installed by the persistence layer) and nil
+// otherwise. It never triggers the O(index) computation pass — the adaptive
+// fan-out planner uses it to rank shards by upper bound without forcing
+// cold shards warm on the planning path.
+func (ix *Index) StatsBlockIfWarm(st CollectionStats) *StatsBlock {
+	self := st == nil
+	if !self {
+		if six, ok := st.(*Index); ok && six == ix {
+			self = true
+		}
+	}
+	ix.statsMu.Lock()
+	defer ix.statsMu.Unlock()
+	if self {
+		return ix.selfBlock
+	}
+	return ix.statsBlocks[st]
+}
+
+// StatsBlockBuilds returns the number of full statistics-block computation
+// passes this index has performed. Tests use it to verify that mutations
+// elsewhere in a sharded deployment do not force untouched segments to
+// rebuild their blocks.
+func (ix *Index) StatsBlockBuilds() int64 { return ix.builds.Load() }
+
+// depMatches reports whether b's recorded statistics fingerprint equals what
+// st would produce for this index's vocabulary.
+func (ix *Index) depMatches(b *StatsBlock, st CollectionStats) bool {
+	if b.depDF == nil || b.depN != st.NumNodes() || len(b.depDF) != len(ix.lists) {
+		return false
+	}
+	for i, tok := range ix.Tokens() {
+		if b.depDF[i] != st.DF(tok) {
+			return false
+		}
+	}
+	return true
 }
 
 // InvalidateStats drops every cached statistics block. It exists for
@@ -106,6 +201,7 @@ func (ix *Index) InvalidateStats() {
 	defer ix.statsMu.Unlock()
 	ix.selfBlock = nil
 	ix.statsBlocks = nil
+	ix.lastExternal = nil
 }
 
 // SetStatsBlock installs a precomputed block for st (nil: the self block),
@@ -120,10 +216,24 @@ func (ix *Index) SetStatsBlock(st CollectionStats, b *StatsBlock) {
 		ix.selfBlock = b
 		return
 	}
+	if b.depDF == nil {
+		ix.captureDeps(b, st)
+	}
 	if ix.statsBlocks == nil {
 		ix.statsBlocks = make(map[CollectionStats]*StatsBlock)
 	}
 	ix.statsBlocks[st] = b
+	ix.lastExternal = b
+}
+
+// captureDeps records the statistics fingerprint the block depends on, so a
+// later identity roll with unchanged inputs can adopt it (see StatsBlock).
+func (ix *Index) captureDeps(b *StatsBlock, st CollectionStats) {
+	b.depN = st.NumNodes()
+	b.depDF = make([]int, 0, len(ix.lists))
+	for _, tok := range ix.Tokens() {
+		b.depDF = append(b.depDF, st.DF(tok))
+	}
 }
 
 // computeStatsBlock performs the one-off full pass: node norms first (the
@@ -131,10 +241,13 @@ func (ix *Index) SetStatsBlock(st CollectionStats, b *StatsBlock) {
 // so cached and uncached scores are bit-identical), then the per-token
 // maxima over tf/||n||₂ and entry positions.
 func (ix *Index) computeStatsBlock(st CollectionStats) *StatsBlock {
+	ix.builds.Add(1)
 	b := &StatsBlock{
 		Norms:     make([]float64, len(ix.posCount)),
 		MaxTFNorm: make(map[string]float64, len(ix.lists)),
 		MaxOcc:    make(map[string]int, len(ix.lists)),
+		BlockSize: ix.blockSizeOrDefault(),
+		Blocks:    make(map[string][]BlockMeta, len(ix.lists)),
 	}
 	toks := ix.Tokens()
 	sq := make([]float64, len(ix.posCount))
@@ -157,27 +270,83 @@ func (ix *Index) computeStatsBlock(st CollectionStats) *StatsBlock {
 		}
 	}
 	for _, tok := range toks {
-		pl := ix.lists[tok]
+		metas := ix.computeBlocks(ix.lists[tok], b.Norms, b.BlockSize)
 		var maxTF float64
 		var maxOcc int
-		for i := range pl.Entries {
-			e := &pl.Entries[i]
-			if len(e.Pos) > maxOcc {
-				maxOcc = len(e.Pos)
+		for i := range metas {
+			if int(metas[i].MaxOcc) > maxOcc {
+				maxOcc = int(metas[i].MaxOcc)
 			}
-			u := ix.NodeUniqueTokens(e.Node)
-			nn := b.Norm(e.Node)
-			if u == 0 || nn == 0 {
-				continue
-			}
-			if v := float64(len(e.Pos)) / float64(u) / nn; v > maxTF {
-				maxTF = v
+			if metas[i].MaxTFNorm > maxTF {
+				maxTF = metas[i].MaxTFNorm
 			}
 		}
 		b.MaxTFNorm[tok] = maxTF
 		b.MaxOcc[tok] = maxOcc
+		b.Blocks[tok] = metas
 	}
+	ix.captureDeps(b, st)
 	return b
+}
+
+// computeBlocks builds the per-block metadata for one posting list: block k
+// covers entries [k*size, (k+1)*size). The per-entry arithmetic matches
+// computeStatsBlock's historical per-token maxima pass exactly, so the
+// global maxima derived from blocks are bit-identical to the pre-block code.
+func (ix *Index) computeBlocks(pl *PostingList, norms []float64, size int) []BlockMeta {
+	n := pl.Len()
+	if n == 0 {
+		return nil
+	}
+	metas := make([]BlockMeta, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		m := BlockMeta{First: pl.Entries[lo].Node, Last: pl.Entries[hi-1].Node}
+		for i := lo; i < hi; i++ {
+			e := &pl.Entries[i]
+			if int32(len(e.Pos)) > m.MaxOcc {
+				m.MaxOcc = int32(len(e.Pos))
+			}
+			u := ix.NodeUniqueTokens(e.Node)
+			ni := int(e.Node) - 1
+			if u == 0 || ni < 0 || ni >= len(norms) || norms[ni] == 0 {
+				continue
+			}
+			if v := float64(len(e.Pos)) / float64(u) / norms[ni]; v > m.MaxTFNorm {
+				m.MaxTFNorm = v
+			}
+		}
+		metas = append(metas, m)
+	}
+	return metas
+}
+
+// ensureBlocks synthesizes the per-block metadata for a statistics block
+// that was deserialized from a codec version predating blocks (Blocks nil).
+// Called with statsMu held; the synthesized blocks reuse the block's own
+// Norms, so they are exactly what computeStatsBlock would have produced.
+func (ix *Index) ensureBlocks(b *StatsBlock) {
+	if b == nil || b.Blocks != nil {
+		return
+	}
+	if b.BlockSize <= 0 {
+		b.BlockSize = ix.blockSizeOrDefault()
+	}
+	blocks := make(map[string][]BlockMeta, len(ix.lists))
+	for tok, pl := range ix.lists {
+		blocks[tok] = ix.computeBlocks(pl, b.Norms, b.BlockSize)
+	}
+	b.Blocks = blocks
+}
+
+func (ix *Index) blockSizeOrDefault() int {
+	if ix.blockSize > 0 {
+		return ix.blockSize
+	}
+	return DefaultBlockSize
 }
 
 // statsCache is embedded in Index; split out so the zero value documents
@@ -186,4 +355,10 @@ type statsCache struct {
 	statsMu     sync.Mutex
 	selfBlock   *StatsBlock
 	statsBlocks map[CollectionStats]*StatsBlock
+	// lastExternal is the most recent externally-keyed block, kept outside
+	// statsBlocks so it survives the maxExternalStatsBlocks backstop reset
+	// and stays available for fingerprint adoption across identity rolls.
+	lastExternal *StatsBlock
+	// builds counts full computeStatsBlock passes (see StatsBlockBuilds).
+	builds atomic.Int64
 }

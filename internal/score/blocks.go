@@ -1,0 +1,74 @@
+package score
+
+import "fulltext/internal/invlist"
+
+// BlockBounds is the per-block refinement of a model's UpperBound for one
+// token on one index: UBs[k] bounds the score any single leaf occurrence of
+// the token can contribute for documents inside block k of the token's
+// posting list (entries [k*Size, (k+1)*Size)), and Metas carries the block's
+// ordinal range so the evaluator can locate the block covering a candidate
+// document. A zero-value BlockBounds (nil Metas) means block refinement is
+// unavailable and callers must fall back to the per-list bound.
+type BlockBounds struct {
+	// Size is the block granularity of Metas (entries per block).
+	Size int
+	// Metas is the posting list's block directory, shared with the index's
+	// statistics block; must not be mutated.
+	Metas []invlist.BlockMeta
+	// UBs holds the per-leaf score upper bound of each block, parallel to
+	// Metas. Like UpperBound the values are exact up to floating-point
+	// reassociation; callers compare with a relative slack.
+	UBs []float64
+}
+
+// BlockBounds returns the per-block refinement of UpperBound(tok): UBs[k]
+// applies the same idf and query-normalization factors to block k's cached
+// max tf/||n||₂ that UpperBound applies to the whole-list maximum, so
+// UBs[k] <= UpperBound(tok) for every block in float arithmetic too (the
+// whole-list maximum is the max over block maxima).
+func (m *TFIDF) BlockBounds(tok string) BlockBounds {
+	metas := m.block.Blocks[tok]
+	if len(metas) == 0 || m.qnorm == 0 || m.uniqueSearch == 0 {
+		return BlockBounds{}
+	}
+	idf, ok := m.idf[tok]
+	if !ok {
+		idf = IDF(m.st, tok)
+	}
+	scale := idf * idf / (float64(m.uniqueSearch) * m.qnorm)
+	ubs := make([]float64, len(metas))
+	for k := range metas {
+		ubs[k] = metas[k].MaxTFNorm * scale
+	}
+	return BlockBounds{Size: m.block.BlockSize, Metas: metas, UBs: ubs}
+}
+
+// BlockBounds returns the per-block refinement of UpperBound(tok) for the
+// probabilistic model: 1 − (1−p)^maxOcc(block) with p = idf(t)/NF, the
+// noisy-or of the block's largest occurrence count, accumulated with the
+// same repeated multiplication the Project rule uses so each block bound
+// dominates its documents' leaf values in float arithmetic.
+func (m *PRA) BlockBounds(tok string) BlockBounds {
+	blk := m.ix.StatsBlock(m.st)
+	metas := blk.Blocks[tok]
+	if len(metas) == 0 || m.nf == 0 {
+		return BlockBounds{}
+	}
+	p := clamp01(IDF(m.st, tok) / m.nf)
+	if p <= 0 {
+		return BlockBounds{}
+	}
+	ubs := make([]float64, len(metas))
+	for k := range metas {
+		if p >= 1 {
+			ubs[k] = 1
+			continue
+		}
+		q := 1.0
+		for i := int32(0); i < metas[k].MaxOcc; i++ {
+			q *= 1 - p
+		}
+		ubs[k] = clamp01(1 - q)
+	}
+	return BlockBounds{Size: blk.BlockSize, Metas: metas, UBs: ubs}
+}

@@ -13,6 +13,25 @@ func Fanout(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return FanoutOrdered(order, workers, fn)
+}
+
+// FanoutOrdered is Fanout with an explicit dispatch order: fn is called for
+// every index in order, and workers pull indices in the given sequence, so
+// earlier entries start earlier (with a single worker they also finish in
+// order). It exists for adaptive shard scheduling — dispatching the shard
+// with the highest score upper bound first raises the shared pruning
+// threshold before the rest begin — while keeping the completion barrier
+// and error semantics of Fanout.
+func FanoutOrdered(order []int, workers int, fn func(i int) error) error {
+	n := len(order)
+	if n == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -20,7 +39,7 @@ func Fanout(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	if workers == 1 {
-		for i := 0; i < n; i++ {
+		for _, i := range order {
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -53,7 +72,7 @@ func Fanout(n, workers int, fn func(i int) error) error {
 		if next >= n {
 			return 0, false
 		}
-		i := next
+		i := order[next]
 		next++
 		return i, true
 	}

@@ -13,7 +13,22 @@
 // algebra evaluation the exhaustive engine runs (fta.Evaluator.EvalNode),
 // so the returned top K — results and scores — is identical to the
 // exhaustive evaluator's, which the equivalence matrix test asserts.
-// Queries outside the eligible fragment (NOT, ANY, quantifiers, position
+//
+// When the scorer exposes per-block bounds (BlockScorer), the pivot step
+// additionally refines its upper bound with the block maxima of the lists
+// involved (block-max WAND, Ding & Suel): if even the refined bound cannot
+// beat the threshold, the evaluator jumps every participating cursor past
+// the current block configuration with Cursor.SeekBlock instead of
+// stepping documents, so a long tail after one hot document prunes in
+// whole blocks.
+//
+// NOT is eligible when the query remains positively grounded — every
+// matching document must still contain at least one positively occurring
+// token (NOT only ever restricts such a branch, as in 'a' AND NOT 'b').
+// Purely negative tokens get complement cursors: zero-upper-bound cursors
+// kept out of the pivot driver that are only seek-aligned to settle token
+// presence for the Boolean structure check. Queries outside the eligible
+// fragment (top-level or OR-reachable NOT, ANY, quantifiers, position
 // predicates) are rejected by Analyze and fall back to the full scan.
 package wand
 
@@ -39,6 +54,17 @@ type Scorer interface {
 	UpperBound(tok string) float64
 }
 
+// BlockScorer is a Scorer that can additionally refine its upper bound per
+// posting-list block; both built-in models implement it. The evaluator
+// type-asserts for it, so plain Scorers keep working with per-list bounds
+// only.
+type BlockScorer interface {
+	Scorer
+	// BlockBounds returns the per-block refinement of UpperBound(tok); a
+	// zero value (nil Metas) disables block refinement for the token.
+	BlockBounds(tok string) score.BlockBounds
+}
+
 // boundSlack absorbs floating-point reassociation between a document's
 // actual evaluated score and its upper-bound sum: a document is pruned only
 // when bound·boundSlack still cannot beat the threshold. Reordering error
@@ -49,61 +75,102 @@ const boundSlack = 1 + 1e-9
 // Analysis is the token-level structure of an eligible query.
 type Analysis struct {
 	root lang.Query
-	// Tokens lists the distinct query tokens in first-occurrence order.
+	// Tokens lists the distinct positively occurring query tokens in
+	// first-occurrence order. Tokens appearing only under NOT are in
+	// NegTokens instead.
 	Tokens []string
-	// Count is the query-leaf multiplicity per distinct token: a token
-	// appearing in k leaves can contribute at most k times its leaf upper
-	// bound to a document's score (join and union both add TF-IDF scores;
-	// PRA's product and noisy-or are dominated by the sum).
+	// Count is the positive query-leaf multiplicity per distinct token: a
+	// token appearing in k positive leaves can contribute at most k times
+	// its leaf upper bound to a document's score (join and union both add
+	// TF-IDF scores; PRA's product and noisy-or are dominated by the sum).
+	// Negated leaves never add score — they compile to difference
+	// operators, which only drop or pass through tuples — so they do not
+	// count.
 	Count map[string]int
 	// Required holds the tokens every matching document must contain
-	// (intersected across OR branches, unioned across AND).
+	// (intersected across OR branches, unioned across AND; NOT branches
+	// require nothing).
 	Required map[string]bool
+	// NegTokens lists the distinct tokens that occur only under NOT, in
+	// first-occurrence order. They carry no score upper bound; the
+	// evaluator aligns complement cursors over them solely to settle
+	// presence for Matches.
+	NegTokens []string
+
+	negSet map[string]bool
 }
 
 // Analyze inspects a normalized query and returns its token analysis when
-// the fast path can serve it: a pure positive combination of search tokens
-// (Lit, And, Or). Anything else — NOT, ANY, HAS, quantifiers, position
-// predicates — returns ok = false and must use the exhaustive engine.
+// the fast path can serve it: a combination of search tokens under And, Or
+// and Not that stays positively grounded — every matching document is
+// guaranteed to contain at least one positively occurring token, which is
+// what lets cursors over the positive lists enumerate all candidates. A
+// literal is grounded; an And is grounded if either branch is; an Or only
+// if both branches are; a Not never is (it matches token-free documents).
+// Anything else — ANY, HAS, quantifiers, position predicates, or a query
+// whose root is not grounded (e.g. a bare NOT 'a') — returns ok = false
+// and must use the exhaustive engine.
 func Analyze(q lang.Query) (*Analysis, bool) {
-	a := &Analysis{root: q, Count: make(map[string]int)}
-	req, ok := a.scan(q)
-	if !ok {
+	a := &Analysis{root: q, Count: make(map[string]int), negSet: make(map[string]bool)}
+	req, grounded, ok := a.scan(q, true)
+	if !ok || !grounded {
 		return nil, false
 	}
 	a.Required = req
 	return a, true
 }
 
-func (a *Analysis) scan(q lang.Query) (map[string]bool, bool) {
+// scan walks the query at the given polarity (pos is false under an odd
+// number of NOTs), accumulating positive counts, negative-only tokens, the
+// required set, and the positively-grounded property.
+func (a *Analysis) scan(q lang.Query, pos bool) (req map[string]bool, grounded, ok bool) {
 	switch x := q.(type) {
 	case lang.Lit:
+		if !pos {
+			if !a.negSet[x.Tok] {
+				a.negSet[x.Tok] = true
+				if a.Count[x.Tok] == 0 {
+					a.NegTokens = append(a.NegTokens, x.Tok)
+				}
+			}
+			return map[string]bool{}, false, true
+		}
 		if a.Count[x.Tok] == 0 {
 			a.Tokens = append(a.Tokens, x.Tok)
+			// Promote a token first seen under NOT: it now has a scoring
+			// cursor, so it no longer needs a complement cursor.
+			if a.negSet[x.Tok] {
+				for i, t := range a.NegTokens {
+					if t == x.Tok {
+						a.NegTokens = append(a.NegTokens[:i], a.NegTokens[i+1:]...)
+						break
+					}
+				}
+			}
 		}
 		a.Count[x.Tok]++
-		return map[string]bool{x.Tok: true}, true
+		return map[string]bool{x.Tok: true}, true, true
 	case lang.And:
-		l, ok := a.scan(x.L)
+		l, gl, ok := a.scan(x.L, pos)
 		if !ok {
-			return nil, false
+			return nil, false, false
 		}
-		r, ok := a.scan(x.R)
+		r, gr, ok := a.scan(x.R, pos)
 		if !ok {
-			return nil, false
+			return nil, false, false
 		}
 		for t := range r {
 			l[t] = true
 		}
-		return l, true
+		return l, gl || gr, true
 	case lang.Or:
-		l, ok := a.scan(x.L)
+		l, gl, ok := a.scan(x.L, pos)
 		if !ok {
-			return nil, false
+			return nil, false, false
 		}
-		r, ok := a.scan(x.R)
+		r, gr, ok := a.scan(x.R, pos)
 		if !ok {
-			return nil, false
+			return nil, false, false
 		}
 		both := make(map[string]bool)
 		for t := range l {
@@ -111,9 +178,14 @@ func (a *Analysis) scan(q lang.Query) (map[string]bool, bool) {
 				both[t] = true
 			}
 		}
-		return both, true
+		return both, gl && gr, true
+	case lang.Not:
+		if _, _, ok := a.scan(x.Q, !pos); !ok {
+			return nil, false, false
+		}
+		return map[string]bool{}, false, true
 	default:
-		return nil, false
+		return nil, false, false
 	}
 }
 
@@ -130,6 +202,8 @@ func (a *Analysis) Matches(present func(tok string) bool) bool {
 			return rec(x.L) && rec(x.R)
 		case lang.Or:
 			return rec(x.L) || rec(x.R)
+		case lang.Not:
+			return !rec(x.Q)
 		default:
 			return false
 		}
@@ -156,6 +230,10 @@ type Stats struct {
 	Tombstoned uint64
 	// Seeks counts cursor Seek operations issued by the drivers.
 	Seeks uint64
+	// BlocksSkipped counts posting-list block boundaries crossed through
+	// the block directory instead of entry-level galloping — the work
+	// block-max evaluation avoids.
+	BlocksSkipped uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -165,6 +243,7 @@ func (s *Stats) add(o Stats) {
 	s.BoundSkipped += o.BoundSkipped
 	s.Tombstoned += o.Tombstoned
 	s.Seeks += o.Seeks
+	s.BlocksSkipped += o.BlocksSkipped
 }
 
 // rankedLess is score.Rank's order: descending score, ties by ascending
@@ -200,6 +279,47 @@ type cursor struct {
 	node     core.NodeID
 	done     bool
 	required bool
+
+	// Block-max refinement (nil/zero when the scorer has no block bounds
+	// for the token): the list's block directory, its granularity, and the
+	// multiplicity-weighted per-block upper bounds parallel to blocks.
+	blocks []invlist.BlockMeta
+	bsize  int
+	bubs   []float64
+}
+
+// curBlock returns the block index covering the cursor's current entry.
+func (c *cursor) curBlock() int { return c.c.EntryIndex() / c.bsize }
+
+// blockFor locates the first block at or after the cursor's position whose
+// ordinal range reaches node; ok is false when the list ends before node.
+// The cursor must be positioned on an entry and have block metadata.
+func (c *cursor) blockFor(node core.NodeID) (int, bool) {
+	cb := c.curBlock()
+	if cb >= len(c.blocks) {
+		return 0, false
+	}
+	if c.blocks[cb].Last >= node {
+		return cb, true
+	}
+	k := sort.Search(len(c.blocks)-cb-1, func(k int) bool { return c.blocks[cb+1+k].Last >= node })
+	b := cb + 1 + k
+	if b >= len(c.blocks) {
+		return 0, false
+	}
+	return b, true
+}
+
+// curBound returns the tightest known upper bound for the cursor's current
+// document: the block bound when available, the per-list bound otherwise.
+func (c *cursor) curBound() float64 {
+	if c.bubs == nil {
+		return c.ub
+	}
+	if b := c.curBlock(); b >= 0 && b < len(c.bubs) {
+		return c.bubs[b]
+	}
+	return c.ub
 }
 
 // Live filters candidate documents by local node id; nil admits every node.
@@ -221,6 +341,7 @@ type evaluator struct {
 	live   Live
 
 	curs  []*cursor
+	negs  []*cursor // complement cursors for NOT-only tokens (zero bound)
 	byTok map[string]*cursor
 	h     rankedHeap
 }
@@ -245,7 +366,8 @@ func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, share
 		st = &Stats{}
 	}
 	e := &evaluator{ev: ev, plan: plan, a: a, k: k, shared: shared, st: st, live: live,
-		byTok: make(map[string]*cursor, len(a.Tokens))}
+		byTok: make(map[string]*cursor, len(a.Tokens)+len(a.NegTokens))}
+	bs, _ := sc.(BlockScorer)
 	for _, tok := range a.Tokens {
 		cc := ev.Index.List(tok).Cursor()
 		node, ok := cc.NextEntry()
@@ -262,11 +384,36 @@ func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, share
 			node:     node,
 			required: a.Required[tok],
 		}
+		if bs != nil {
+			if bb := bs.BlockBounds(tok); len(bb.Metas) > 0 && bb.Size > 0 {
+				cur.blocks, cur.bsize = bb.Metas, bb.Size
+				cur.bubs = make([]float64, len(bb.UBs))
+				cnt := float64(a.Count[tok])
+				for i, u := range bb.UBs {
+					cur.bubs[i] = cnt * u
+				}
+			}
+		}
 		e.curs = append(e.curs, cur)
 		e.byTok[tok] = cur
 	}
 	if len(e.curs) == 0 {
-		return nil, nil
+		return nil, nil // no positive token present: grounded queries cannot match
+	}
+	for _, tok := range a.NegTokens {
+		cc := ev.Index.List(tok).Cursor()
+		node, ok := cc.NextEntry()
+		if !ok {
+			continue // absent token: present() is false, the NOT holds everywhere
+		}
+		cur := &cursor{tok: tok, c: cc, node: node}
+		if bs != nil {
+			if bb := bs.BlockBounds(tok); len(bb.Metas) > 0 && bb.Size > 0 {
+				cur.blocks, cur.bsize = bb.Metas, bb.Size
+			}
+		}
+		e.negs = append(e.negs, cur)
+		e.byTok[tok] = cur
 	}
 	var err error
 	if len(a.Required) > 0 {
@@ -276,6 +423,12 @@ func Eval(ev *fta.Evaluator, plan fta.Expr, a *Analysis, sc Scorer, k int, share
 	}
 	if err != nil {
 		return nil, err
+	}
+	for _, c := range e.curs {
+		st.BlocksSkipped += uint64(c.c.BlockSkips)
+	}
+	for _, c := range e.negs {
+		st.BlocksSkipped += uint64(c.c.BlockSkips)
 	}
 	out := []score.Ranked(e.h)
 	sort.Slice(out, func(i, j int) bool { return rankedLess(out[i], out[j]) })
@@ -316,6 +469,31 @@ func (e *evaluator) offer(node core.NodeID, s float64) {
 	}
 }
 
+// seek advances a cursor to the first document >= node, through the block
+// directory when the cursor has one.
+func (e *evaluator) seek(c *cursor, node core.NodeID) (core.NodeID, bool) {
+	e.st.Seeks++
+	if len(c.blocks) > 0 {
+		return c.c.SeekBlock(c.blocks, c.bsize, node)
+	}
+	return c.c.Seek(node)
+}
+
+// alignNegs seeks every complement cursor to the candidate so Matches sees
+// accurate presence for negated tokens.
+func (e *evaluator) alignNegs(target core.NodeID) {
+	for _, c := range e.negs {
+		if c.done || c.node >= target {
+			continue
+		}
+		if n, ok := e.seek(c, target); ok {
+			c.node = n
+		} else {
+			c.done = true
+		}
+	}
+}
+
 // evalDoc runs the liveness filter, the bound check and, when both survive,
 // the per-node algebra evaluation for one candidate whose token presence
 // already satisfies the query.
@@ -346,12 +524,11 @@ func (e *evaluator) evalDoc(node core.NodeID, ub float64) error {
 // presence and tighten each candidate's upper-bound sum.
 func (e *evaluator) runConjunctive() error {
 	var req, opt []*cursor
-	var reqUB, totalUB float64
+	var totalUB float64
 	for _, c := range e.curs {
 		totalUB += c.ub
 		if c.required {
 			req = append(req, c)
-			reqUB += c.ub
 		} else {
 			opt = append(opt, c)
 		}
@@ -373,8 +550,7 @@ func (e *evaluator) runConjunctive() error {
 			if c.node >= target {
 				continue
 			}
-			n, ok := c.c.Seek(target)
-			e.st.Seeks++
+			n, ok := e.seek(c, target)
 			if !ok {
 				return nil
 			}
@@ -387,11 +563,16 @@ func (e *evaluator) runConjunctive() error {
 		if !aligned {
 			continue
 		}
-		ub := reqUB
+		// The candidate's bound uses each aligned cursor's block-refined
+		// bound when available: the required cursors all sit on target, so
+		// their current block bounds apply.
+		ub := 0.0
+		for _, c := range req {
+			ub += c.curBound()
+		}
 		for _, c := range opt {
 			if !c.done && c.node < target {
-				n, ok := c.c.Seek(target)
-				e.st.Seeks++
+				n, ok := e.seek(c, target)
 				if ok {
 					c.node = n
 				} else {
@@ -399,9 +580,10 @@ func (e *evaluator) runConjunctive() error {
 				}
 			}
 			if !c.done && c.node == target {
-				ub += c.ub
+				ub += c.curBound()
 			}
 		}
+		e.alignNegs(target)
 		present := func(tok string) bool {
 			c := e.byTok[tok]
 			return c != nil && !c.done && c.node == target
@@ -418,10 +600,15 @@ func (e *evaluator) runConjunctive() error {
 	}
 }
 
-// runPivot is the classic WAND loop for queries without required tokens:
-// cursors sort by current document, upper bounds accumulate until they
-// could beat the threshold, and everything before the pivot is skipped
-// with galloping seeks.
+// runPivot is the WAND loop for queries without required tokens: cursors
+// sort by current document, per-list upper bounds accumulate until they
+// could beat the threshold (the pivot), and everything before the pivot is
+// skipped with galloping seeks. When cursors carry block bounds the pivot
+// step is block-max refined: the bound is recomputed from the block each
+// cursor would contribute at the pivot document, and if even that refined
+// bound is prunable, the whole block configuration — every document up to
+// the nearest block boundary — is skipped in one SeekBlock jump per cursor
+// instead of being stepped through.
 func (e *evaluator) runPivot() error {
 	active := append([]*cursor(nil), e.curs...)
 	for len(active) > 0 {
@@ -439,19 +626,75 @@ func (e *evaluator) runPivot() error {
 			return nil // no remaining document can beat the threshold
 		}
 		pnode := active[pivot].node
-		if active[0].node == pnode {
-			ub := 0.0
-			for _, c := range active {
-				if c.node == pnode {
-					ub += c.ub
+		// Extend the pivot group over every cursor already at pnode so the
+		// refined bound covers the whole candidate and the group's skip
+		// window is bounded by a strictly later document.
+		for pivot+1 < len(active) && active[pivot+1].node == pnode {
+			pivot++
+		}
+
+		// Block-max refinement: bound every document in [pnode, change) by
+		// the block each group cursor covers it with. change is the nearest
+		// document at which any cursor's covering block (or gap) ends, so
+		// within the window the per-cursor contributions cannot grow.
+		rub := 0.0
+		var change core.NodeID
+		haveChange := false
+		shrink := func(n core.NodeID) {
+			if !haveChange || n < change {
+				change, haveChange = n, true
+			}
+		}
+		for _, c := range active[:pivot+1] {
+			if c.bubs == nil {
+				rub += c.ub // per-list bound holds for every document
+				continue
+			}
+			b, ok := c.blockFor(pnode)
+			if !ok {
+				continue // list ends before pnode: contributes nothing from here on
+			}
+			m := &c.blocks[b]
+			if m.First > pnode {
+				// pnode falls in the gap before block b: zero contribution
+				// until the block starts.
+				shrink(m.First)
+				continue
+			}
+			rub += c.bubs[b]
+			shrink(m.Last + 1)
+		}
+
+		if haveChange && e.prunable(rub) {
+			// Even the refined bound loses inside the window: jump every
+			// group cursor to its end. Cap at the next cursor's document —
+			// beyond it a new list joins the configuration and the bound no
+			// longer applies.
+			d := change
+			if pivot+1 < len(active) && active[pivot+1].node < d {
+				d = active[pivot+1].node
+			}
+			for _, c := range active[:pivot+1] {
+				if c.node >= d {
+					continue
+				}
+				if n, ok := e.seek(c, d); ok {
+					c.node = n
+				} else {
+					c.done = true
 				}
 			}
+		} else if active[0].node == pnode {
+			// Aligned: every group cursor sits on pnode, so rub is exactly
+			// the candidate's block-refined bound (or the per-list sum when
+			// blocks are unavailable).
+			e.alignNegs(pnode)
 			present := func(tok string) bool {
 				c := e.byTok[tok]
 				return c != nil && !c.done && c.node == pnode
 			}
 			if e.a.Matches(present) {
-				if err := e.evalDoc(pnode, ub); err != nil {
+				if err := e.evalDoc(pnode, rub); err != nil {
 					return err
 				}
 			}
@@ -470,8 +713,7 @@ func (e *evaluator) runPivot() error {
 				if c.node >= pnode {
 					break
 				}
-				n, ok := c.c.Seek(pnode)
-				e.st.Seeks++
+				n, ok := e.seek(c, pnode)
 				if ok {
 					c.node = n
 				} else {

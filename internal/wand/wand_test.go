@@ -30,10 +30,17 @@ func TestAnalyzeEligibility(t *testing.T) {
 		{`('a' OR 'b') AND 'c'`, true, []string{"a", "b", "c"}, []string{"c"}},
 		{`('a' AND 'b') OR ('a' AND 'c')`, true, []string{"a", "b", "c"}, []string{"a"}},
 		{`'a' AND 'a'`, true, []string{"a"}, []string{"a"}},
+		{`'a' AND NOT 'b'`, true, []string{"a"}, []string{"a"}},
+		{`('a' OR 'c') AND NOT 'b'`, true, []string{"a", "c"}, nil},
+		{`'a' AND NOT ('b' AND 'c')`, true, []string{"a"}, []string{"a"}},
+		{`'a' AND NOT 'a'`, true, []string{"a"}, []string{"a"}},
+		{`('a' AND NOT 'b') OR 'c'`, true, []string{"a", "c"}, nil},
 		{`NOT 'a'`, false, nil, nil},
-		{`'a' AND NOT 'b'`, false, nil, nil},
+		{`NOT NOT 'a'`, false, nil, nil},
+		{`'a' OR NOT 'b'`, false, nil, nil},
 		{`ANY`, false, nil, nil},
 		{`'a' OR ANY`, false, nil, nil},
+		{`'a' AND NOT ANY`, false, nil, nil},
 	}
 	for _, c := range cases {
 		a, ok := Analyze(mustParse(t, c.src))

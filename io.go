@@ -25,7 +25,7 @@ const (
 	indexVersion = 2
 )
 
-// Sharded-index persistence, version 3 (segmented): a container header
+// Sharded-index persistence, version 4 (segmented): a container header
 // (shard count, next global ordinal) framing, per shard, the shard's
 // segment tail. Each segment stores its global-ordinal table (delta
 // encoded), its tombstone list, a length-prefixed single-index blob in the
@@ -35,14 +35,17 @@ const (
 // against the container's *global* live collection statistics (norm and
 // token counts as uvarints, then the invlist.WriteStatsBlockTo body), so a
 // loaded index serves its first ranked query without the per-segment
-// O(segment) warm-up pass.
+// O(segment) warm-up pass. Version 4 appends the per-block score-bound
+// section (invlist.WriteBlockSectionTo) after each segment's statistics
+// block, so block-max skipping is warm at load time too.
 //
 // Versions 1 and 2 (one monolithic blob per shard, version 2 adding the
 // per-shard global-statistics block) are still readable; each shard loads
 // as a single base segment. Those versions also embedded each shard's
 // standalone statistics block inside the FTIX blob — bytes sharded serving
 // never reads — which is exactly the waste the version-3 blob omission
-// removes.
+// removes. Version 3 (segmented, no block sections) loads with per-block
+// metadata synthesized lazily on first statistics access.
 //
 // The per-segment forward index (node → distinct tokens, backing the
 // O(document) delete path) is not persisted in any version: it is derived
@@ -50,7 +53,7 @@ const (
 // through segment.New.
 const (
 	shardedMagic      = "FTSS"
-	shardedVersion    = 3
+	shardedVersion    = 4
 	shardedMinVersion = 1
 	maxShards         = 1 << 16
 	maxSegments       = 1 << 16
@@ -252,7 +255,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return &Index{inv: inv, reg: pred.Default(), ids: ids, analyzer: analyzer, rc: &rankedCounters{}}, nil
 }
 
-// WriteTo serializes the sharded index in the segmented version-3 layout.
+// WriteTo serializes the sharded index in the segmented version-4 layout.
 // It implements io.WriterTo and is safe to call concurrently with
 // searches. Custom predicates and the merge policy are not serialized;
 // re-register/re-set them after ReadShardedIndex.
@@ -266,6 +269,13 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 // (Checkpoint holds it across serialization so the snapshot and its
 // recorded log position cannot drift apart).
 func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
+	return s.writeToLockedVersion(w, shardedVersion)
+}
+
+// writeToLockedVersion writes the segmented layout at an explicit container
+// version; version 3 omits the per-segment block sections. Tests use it to
+// produce legacy streams, production writes always pass shardedVersion.
+func (s *ShardedIndex) writeToLockedVersion(w io.Writer, version int) (int64, error) {
 	if len(s.shards) > maxShards {
 		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(s.shards), maxShards)
 	}
@@ -284,7 +294,7 @@ func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 	if err := write([]byte(shardedMagic)); err != nil {
 		return n, err
 	}
-	if err := putUvarint(shardedVersion); err != nil {
+	if err := putUvarint(uint64(version)); err != nil {
 		return n, err
 	}
 	if err := putUvarint(uint64(len(s.shards))); err != nil {
@@ -301,7 +311,7 @@ func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 			return n, err
 		}
 		for _, sg := range segs {
-			m, err := s.writeSegment(bw, putUvarint, sg)
+			m, err := s.writeSegment(bw, putUvarint, sg, version)
 			n += m
 			if err != nil {
 				return n, err
@@ -313,10 +323,11 @@ func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 
 // writeSegment writes one segment: ordinal table, tombstones, the index
 // blob (standalone statistics omitted — sharded serving reads the global
-// block that follows instead), and the global-statistics block. It returns
-// the bytes it wrote directly (the varint framing is counted by the
-// caller's putUvarint closure).
-func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) error, sg *seg) (int64, error) {
+// block that follows instead), the global-statistics block, and (version
+// >= 4) the per-block score-bound section. It returns the bytes it wrote
+// directly (the varint framing is counted by the caller's putUvarint
+// closure).
+func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) error, sg *seg, version int) (int64, error) {
 	var n int64
 	meta := sg.meta
 	// Global-ordinal table, delta encoded (strictly increasing within a
@@ -373,6 +384,11 @@ func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) er
 	}
 	m, err = invlist.WriteStatsBlockTo(bw, blk, toks)
 	n += m
+	if err != nil || version < 4 {
+		return n, err
+	}
+	m, err = invlist.WriteBlockSectionTo(bw, blk, toks)
+	n += m
 	return n, err
 }
 
@@ -405,7 +421,7 @@ func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("fulltext: shard count %d out of range", nshards)
 	}
 	if version >= 3 {
-		return readSegmentedShards(br, int(nshards))
+		return readSegmentedShards(br, version, int(nshards))
 	}
 	return readLegacyShards(br, version, int(nshards))
 }
@@ -463,8 +479,9 @@ func readLegacyShards(br *bufio.Reader, version uint64, nshards int) (*ShardedIn
 	return s, nil
 }
 
-// readSegmentedShards loads the version-3 segmented layout.
-func readSegmentedShards(br *bufio.Reader, nshards int) (*ShardedIndex, error) {
+// readSegmentedShards loads the segmented layout (versions 3 and 4;
+// version 4 adds the per-segment block sections).
+func readSegmentedShards(br *bufio.Reader, version uint64, nshards int) (*ShardedIndex, error) {
 	nextOrd, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("fulltext: reading next ordinal: %w", err)
@@ -533,6 +550,14 @@ func readSegmentedShards(br *bufio.Reader, nshards int) (*ShardedIndex, error) {
 			blk, err := readShardStatsBlock(br, ix)
 			if err != nil {
 				return nil, fmt.Errorf("fulltext: %s stats block: %w", what, err)
+			}
+			if version >= 4 {
+				size, metas, err := invlist.ReadBlockSectionFrom(br, ix.inv.Tokens())
+				if err != nil {
+					return nil, fmt.Errorf("fulltext: %s block section: %w", what, err)
+				}
+				blk.BlockSize = size
+				blk.Blocks = metas
 			}
 			blocks = append(blocks, loadedBlock{inv: ix.inv, blk: blk})
 			shardSegs[i][j] = meta

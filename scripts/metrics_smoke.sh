@@ -51,6 +51,32 @@ curl -sf "$BASE/search?q='alpha'&lang=bool&rank=tfidf&top=5" >/dev/null
 curl -sf -X DELETE "$BASE/docs/doc-3" >/dev/null
 curl -sf -X POST "$BASE/checkpoint" >/dev/null
 
+# Block-max traffic: a skewed corpus shaped so the WAND evaluator must
+# jump posting-list blocks. Mid docs fill the top-3 heap early (setting
+# the threshold), the long tail of low-tf docs sits strictly below it
+# (their blocks are skippable), and a few late high-tf docs keep the
+# needle list's global upper bound above the threshold so the pivot loop
+# keeps running instead of terminating early. The ranked OR query then
+# must move fulltext_wand_blocks_skipped_total.
+log "block-max ranked traffic"
+bm='{"docs":['
+for i in $(seq 0 11); do
+  [ "$i" -gt 0 ] && bm+=','
+  bm+="{\"id\":\"bm-mid-$i\",\"body\":\"needle needle needle mid\"}"
+done
+for i in $(seq 0 299); do
+  bm+=",{\"id\":\"bm-tail-$i\",\"body\":\"needle t1 t2 t3 t4 t5 t6 t7\"}"
+done
+for i in $(seq 0 3); do
+  bm+=",{\"id\":\"bm-hot-$i\",\"body\":\"needle needle needle needle needle needle needle hotmark\"}"
+done
+for i in $(seq 300 599); do
+  bm+=",{\"id\":\"bm-tail-$i\",\"body\":\"needle t1 t2 t3 t4 t5 t6 t7\"}"
+done
+bm+=']}'
+curl -sf -X POST "$BASE/docs/batch" -d "$bm" >/dev/null
+curl -sf "$BASE/search?q='needle'+OR+'hotmark'&lang=bool&rank=tfidf&top=3" >/dev/null
+
 # A traced query must return the span tree inline: a root span named after
 # the endpoint with plan/shard/merge children.
 traced=$(curl -sf "$BASE/search?q='alpha'&lang=bool&trace=1")
@@ -84,7 +110,7 @@ echo "$headers" | grep -qi 'content-type: text/plain; version=0.0.4' || {
 curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 
 "$WORK/promcheck" <"$WORK/metrics.txt" \
-  -require ftserve_http_request_duration_seconds,ftserve_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
-  -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total
+  -require ftserve_http_request_duration_seconds,ftserve_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
+  -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total
 
 log "OK: exposition valid, core families present, hot-path families non-zero"

@@ -437,8 +437,8 @@ func TestShardedSaveOmitsStandaloneStats(t *testing.T) {
 		}
 		return v
 	}
-	if v := read("version"); v != 3 {
-		t.Fatalf("sharded version = %d, want 3", v)
+	if v := read("version"); v != 4 {
+		t.Fatalf("sharded version = %d, want 4", v)
 	}
 	nshards := read("shards")
 	read("nextOrd")
@@ -485,6 +485,20 @@ func TestShardedSaveOmitsStandaloneStats(t *testing.T) {
 					t.Fatal(err)
 				}
 				read("max occurrences")
+			}
+			// Version-4 block section: block size, then per token its block
+			// directory (two node deltas, maxOcc, and a float64 bound each).
+			read("block size")
+			for k := uint64(0); k < ntoks; k++ {
+				nblocks := read("block count")
+				for b := uint64(0); b < nblocks; b++ {
+					read("block first delta")
+					read("block last delta")
+					read("block max occurrences")
+					if _, err := io.CopyN(io.Discard, br, 8); err != nil {
+						t.Fatal(err)
+					}
+				}
 			}
 			segIdx++
 		}

@@ -2,6 +2,8 @@ package fulltext
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -190,6 +192,10 @@ type ShardedIndex struct {
 	cstats *score.Cached
 	cache  *shard.Cache
 	gen    uint64
+	// blockSize, when positive, overrides the per-block score-bound
+	// granularity of every segment, including ones created later by
+	// deltas and merges (see SetStatsBlockSize).
+	blockSize int
 
 	// Background merge pool state (under mu except bgActive/bgCond, which
 	// use their own bgMu so WaitMerges never touches the main lock; bgHook
@@ -313,9 +319,46 @@ func newShardedIndexFromSegments(shardSegs [][]*segment.Segment, analyzer *text.
 }
 
 // newSeg wraps a segment for evaluation, sharing the container's registry,
-// analyzer and ranked counters.
+// analyzer and ranked counters. Every segment — base, delta, or merge
+// output — funnels through here, so a container-level block-size override
+// reaches segments created after it was set.
 func (s *ShardedIndex) newSeg(m *segment.Segment) *seg {
+	if s.blockSize > 0 {
+		m.Inv.SetBlockSize(s.blockSize)
+	}
 	return &seg{meta: m, ix: &Index{inv: m.Inv, reg: s.reg, ids: m.IDs, analyzer: s.analyzer, rc: s.rc}}
+}
+
+// SetStatsBlockSize overrides the posting-list block granularity used for
+// per-block score bounds on every current and future segment (0 restores
+// the default). Cached statistics rebuild at the new granularity on the
+// next ranked query. Exists for tests and benchmarks — the default suits
+// production. Not safe to call concurrently with searches.
+func (s *ShardedIndex) SetStatsBlockSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockSize = n
+	for _, segs := range s.shards {
+		for _, sg := range segs {
+			sg.ix.inv.SetBlockSize(n)
+		}
+	}
+}
+
+// StatsBlockBuilds returns the total number of O(segment) statistics-block
+// computation passes across all current segments. Tests use it to verify
+// that a mutation in one shard does not force untouched segments to rebuild
+// their cached blocks (the count excludes segments retired by merges).
+func (s *ShardedIndex) StatsBlockBuilds() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, segs := range s.shards {
+		for _, sg := range segs {
+			n += sg.ix.inv.StatsBlockBuilds()
+		}
+	}
+	return n
 }
 
 // Shards returns the shard count.
@@ -552,7 +595,7 @@ func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o Ra
 	tel := s.tel
 	tr := o.Trace
 	timed := tel != nil || tr != nil
-	key := fmt.Sprintf("g%d|rank|%d|%d|%t%t|%s", s.gen, m, topK, o.Exhaustive, o.NoThresholdSharing, q)
+	key := fmt.Sprintf("g%d|rank|%d|%d|%t%t%t|%s", s.gen, m, topK, o.Exhaustive, o.NoThresholdSharing, o.NoAdaptiveFanout, q)
 	if docs, ok := s.cache.Get(key); ok {
 		tr.Annotate("cache", "hit")
 		return docsToMatches(docs, true), nil
@@ -577,8 +620,9 @@ func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o Ra
 	if topK > 0 && !o.Exhaustive && !o.NoThresholdSharing {
 		shared = wand.NewShared()
 	}
+	order := s.fanoutOrder(norm, m, o, shared)
 	lists := make([][]shard.Doc, len(s.shards))
-	err := shard.Fanout(len(s.shards), 0, func(i int) error {
+	err := shard.FanoutOrdered(order, 0, func(i int) error {
 		sp, st := s.startShardSpan(tel, tr, i)
 		segLists := make([][]shard.Doc, 0, len(s.shards[i]))
 		for _, sg := range s.shards[i] {
@@ -612,6 +656,47 @@ func (s *ShardedIndex) SearchRankedOpts(q *Query, m ScoringModel, topK int, o Ra
 	}
 	s.cache.Put(key, docs)
 	return docsToMatches(docs, true), nil
+}
+
+// fanoutOrder returns the shard dispatch order for a ranked query. With
+// cross-shard threshold sharing on an eligible query, shards are ordered by
+// descending global score upper bound (the max over their segments of the
+// query's per-list upper-bound sum) so the shard that can raise the shared
+// threshold most runs first and late shards start pre-pruned. The order
+// delays goroutine launch only — every shard still runs and results are
+// merged identically — so it can never change results. A shard with any
+// cold segment (no cached statistics yet) gets an infinite bound and runs
+// early, warming it where the wait is least likely to be on the critical
+// path's tail.
+func (s *ShardedIndex) fanoutOrder(norm lang.Query, m ScoringModel, o RankOptions, shared *wand.Shared) []int {
+	order := make([]int, len(s.shards))
+	for i := range order {
+		order[i] = i
+	}
+	if shared == nil || o.NoAdaptiveFanout || len(s.shards) < 2 {
+		return order
+	}
+	a, ok := wand.Analyze(norm)
+	if !ok {
+		return order
+	}
+	bounds := make([]float64, len(s.shards))
+	for i, segs := range s.shards {
+		b := math.Inf(-1)
+		for _, sg := range segs {
+			ub, ok := sg.ix.rankedUpperBound(norm, m, s.cstats, a)
+			if !ok {
+				b = math.Inf(1)
+				break
+			}
+			if ub > b {
+				b = ub
+			}
+		}
+		bounds[i] = b
+	}
+	sort.SliceStable(order, func(x, y int) bool { return bounds[order[x]] > bounds[order[y]] })
+	return order
 }
 
 // RankedEvalStats returns the container's cumulative ranked-query

@@ -108,6 +108,8 @@ func (s *ShardedIndex) EnableTelemetry(r *telemetry.Registry) {
 		func() uint64 { return s.rc.scored.Load() })
 	r.CounterFunc("fulltext_wand_bound_skipped_docs_total", "Documents pruned by the WAND upper-bound threshold.",
 		func() uint64 { return s.rc.skipped.Load() })
+	r.CounterFunc("fulltext_wand_blocks_skipped_total", "Posting-list blocks jumped over by block-max skipping.",
+		func() uint64 { return s.rc.blockSkips.Load() })
 	r.CounterFunc("fulltext_wand_tombstoned_docs_total", "WAND candidates dropped as tombstoned.",
 		func() uint64 { return s.rc.tombstoned.Load() })
 	r.CounterFunc("fulltext_wand_cursor_seeks_total", "WAND posting-cursor seeks.",

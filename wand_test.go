@@ -59,9 +59,15 @@ func buildWandIndexes(t testing.TB) (*Index, []*ShardedIndex) {
 		}
 		six := sb.Build()
 		six.SetQueryCacheSize(0)
+		// A tiny block size forces multi-block posting lists on this small
+		// corpus, so the matrix exercises block-max skipping and block
+		// boundary handling, not just the single-block degenerate case.
+		six.SetStatsBlockSize(3)
 		sharded = append(sharded, six)
 	}
-	return b.Build(), sharded
+	single := b.Build()
+	single.SetStatsBlockSize(3)
+	return single, sharded
 }
 
 // wandMatrixQueries returns the query matrix: eligible fast-path queries
@@ -80,8 +86,16 @@ func wandMatrixQueries() []*Query {
 		MustParse(BOOL, `'missing' OR 'alpha'`),
 		MustParse(BOOL, `'alpha' AND 'missing'`),
 		MustParse(BOOL, `('alpha' AND 'beta') OR ('gamma' AND 'delta')`),
-		// BOOL: fallback (negation, ANY).
+		// BOOL: eligible grounded negation (NOT under a positively grounded
+		// conjunction runs on the fast path via complement cursors).
 		MustParse(BOOL, `'alpha' AND NOT 'beta'`),
+		MustParse(BOOL, `('alpha' OR 'gamma') AND NOT 'rare'`),
+		MustParse(BOOL, `'alpha' AND NOT ('beta' AND 'gamma')`),
+		MustParse(BOOL, `'alpha' AND NOT 'missing'`),
+		MustParse(BOOL, `'alpha' AND NOT 'alpha'`),
+		MustParse(BOOL, `('delta' AND NOT 'dup') OR 'rare'`),
+		// BOOL: fallback (ungrounded negation, ANY).
+		MustParse(BOOL, `NOT 'alpha'`),
 		MustParse(BOOL, `ANY AND 'rare'`),
 		// DIST: eligible when no dist construct, fallback with one.
 		MustParse(DIST, `'beta' OR 'delta'`),
@@ -205,6 +219,17 @@ func TestWandFastPathEngages(t *testing.T) {
 		t.Fatalf("top-1 fast path scored %d docs, expected fewer than the %d matches (no pruning happened)", scored, len(matches))
 	}
 
+	// Grounded negation is eligible: NOT under a positive conjunction must
+	// engage the fast path via complement cursors, not fall back.
+	before = single.RankedEvalStats()
+	if _, err := single.SearchRanked(MustParse(BOOL, `'alpha' AND NOT 'beta'`), TFIDF, 2); err != nil {
+		t.Fatal(err)
+	}
+	after = single.RankedEvalStats()
+	if after.FastPathQueries != before.FastPathQueries+1 {
+		t.Fatalf("grounded NOT query did not take the fast path: %+v -> %+v", before, after)
+	}
+
 	// Ineligible query: must fall back and say so.
 	before = single.RankedEvalStats()
 	if _, err := single.SearchRanked(MustParse(BOOL, `NOT 'alpha'`), TFIDF, 3); err != nil {
@@ -263,6 +288,22 @@ func TestShardedRoundTripStatsBlocks(t *testing.T) {
 			if got.MaxTFNorm[tok] != v || got.MaxOcc[tok] != ref.MaxOcc[tok] {
 				t.Fatalf("shard %d token %q: block (%g,%d), want (%g,%d)", i, tok,
 					got.MaxTFNorm[tok], got.MaxOcc[tok], v, ref.MaxOcc[tok])
+			}
+		}
+		// FTSS v4 also persists the per-block directories: same size, same
+		// per-token block metadata, bit for bit.
+		if got.BlockSize != ref.BlockSize {
+			t.Fatalf("shard %d block size %d, want %d", i, got.BlockSize, ref.BlockSize)
+		}
+		for tok, refMetas := range ref.Blocks {
+			gotMetas := got.Blocks[tok]
+			if len(gotMetas) != len(refMetas) {
+				t.Fatalf("shard %d token %q: %d blocks, want %d", i, tok, len(gotMetas), len(refMetas))
+			}
+			for j := range refMetas {
+				if gotMetas[j] != refMetas[j] {
+					t.Fatalf("shard %d token %q block %d = %+v, want %+v", i, tok, j, gotMetas[j], refMetas[j])
+				}
 			}
 		}
 	}
