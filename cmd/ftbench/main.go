@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"fulltext"
@@ -830,8 +831,10 @@ func ingestExperiment(s bench.Setup) *bench.Table {
 // walSeries are the durability regimes (experiment "wal"): per-document
 // ingestion throughput with the write-ahead log under each sync policy —
 // no sync, interval group commit, and per-record fsync — plus the startup
-// recovery cost of replaying the log the interval regime left behind.
-var walSeries = []string{"INGEST-NONE", "INGEST-INTERVAL", "INGEST-ALWAYS", "REPLAY"}
+// recovery cost of replaying the log the interval regime left behind, and
+// the sustained-write phase's per-add p99 between checkpoints vs while a
+// checkpoint is serializing (the off-lock checkpoint guard).
+var walSeries = []string{"INGEST-NONE", "INGEST-INTERVAL", "INGEST-ALWAYS", "REPLAY", "ADD-P99-STEADY", "ADD-P99-CKPT"}
 
 // walExperiment measures the write-ahead log (experiment "wal"): for each
 // row it ingests N documents one at a time — one log record and one
@@ -1005,6 +1008,95 @@ func walExperiment(s bench.Setup) *bench.Table {
 	if bestInterval >= bestAlways {
 		fatal(fmt.Errorf("group-commit ingestion (%v) did not beat per-record fsync (%v) over %d documents",
 			bestInterval, bestAlways, maxN))
+	}
+
+	// Sustained-write phase: a continuous stream of single-document adds
+	// while checkpoints run back to back in the background. Checkpoints
+	// serialize from copy-on-write clones off the index lock, so the only
+	// mutation-visible cost is the brief view-clone critical section: the
+	// per-add p99 while a checkpoint is in flight must stay in the same
+	// regime as the steady-state p99 — a flat line across checkpoint
+	// boundaries, not a sawtooth.
+	{
+		dir, err := os.MkdirTemp("", "ftbench-wal-sustain-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ix, err := fulltext.OpenDurable(dir, opts(wal.SyncInterval))
+		if err != nil {
+			fatal(err)
+		}
+		var ckptBusy atomic.Bool
+		stop := make(chan struct{})
+		ckptErr := make(chan error, 1)
+		var ckpts int
+		go func() {
+			for {
+				select {
+				case <-stop:
+					ckptErr <- nil
+					return
+				default:
+				}
+				ckptBusy.Store(true)
+				_, err := ix.Checkpoint("")
+				ckptBusy.Store(false)
+				if err != nil {
+					ckptErr <- err
+					return
+				}
+				ckpts++
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		const sustained = 2500
+		var steady, during []time.Duration
+		for i := 0; i < sustained; i++ {
+			d := docs[i%len(docs)]
+			busy := ckptBusy.Load()
+			start := time.Now()
+			if err := ix.AddTokens(fmt.Sprintf("sustain%05d-%s", i, d.ID), d.Tokens); err != nil {
+				fatal(err)
+			}
+			el := time.Since(start)
+			if busy || ckptBusy.Load() {
+				during = append(during, el)
+			} else {
+				steady = append(steady, el)
+			}
+		}
+		close(stop)
+		if err := <-ckptErr; err != nil {
+			fatal(fmt.Errorf("background checkpoint during sustained writes: %w", err))
+		}
+		if err := ix.Close(); err != nil {
+			fatal(err)
+		}
+		p99 := func(ds []time.Duration) time.Duration {
+			if len(ds) == 0 {
+				return 0
+			}
+			sorted := append([]time.Duration(nil), ds...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			return sorted[len(sorted)*99/100]
+		}
+		p99Steady, p99During := p99(steady), p99(during)
+		addCell("sustained", "ADD-P99-STEADY", bench.Cell{Time: p99Steady, Results: len(steady)})
+		addCell("sustained", "ADD-P99-CKPT", bench.Cell{Time: p99During, Results: len(during)})
+		fmt.Printf("wal sustained: %d adds across %d checkpoints; p99 steady %s, p99 during checkpoint %s\n",
+			sustained, ckpts, p99Steady, p99During)
+		// The flat-p99 guard: allow generous scheduler noise (these are
+		// microsecond-scale operations) but fail on anything resembling
+		// "mutations wait for snapshot serialization".
+		limit := 10 * p99Steady
+		if floor := 10 * time.Millisecond; limit < floor {
+			limit = floor
+		}
+		if len(during) > 0 && p99During > limit {
+			fatal(fmt.Errorf("per-add p99 during checkpoints (%v) exceeds %v (10x steady p99 %v): checkpoint is blocking the write path",
+				p99During, limit, p99Steady))
+		}
 	}
 	fmt.Println()
 	return t

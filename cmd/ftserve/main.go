@@ -103,16 +103,19 @@ func main() {
 		bgmerge  = flag.Int("bgmerge", 0, "min input docs for a segment merge to run on the background pool (0 = default 4096, negative = always inline)")
 		workers  = flag.Int("merge-workers", 0, "max concurrent background merges (0 = default GOMAXPROCS/2)")
 
-		dataDir  = flag.String("data-dir", "", "durable data directory: snapshot + write-ahead log, with crash recovery on start")
-		walSync  = flag.String("wal-sync", "interval", "WAL fsync policy: always (per record), interval (group commit), or none")
-		walEvery = flag.Duration("wal-sync-interval", wal.DefaultInterval, "group-commit fsync cadence under -wal-sync interval")
+		dataDir       = flag.String("data-dir", "", "durable data directory: snapshot + write-ahead log, with crash recovery on start")
+		walSync       = flag.String("wal-sync", "interval", "WAL fsync policy: always (per record), interval (group commit), or none")
+		walEvery      = flag.Duration("wal-sync-interval", wal.DefaultInterval, "group-commit fsync cadence under -wal-sync interval")
+		autoCkptBytes = flag.Int64("auto-checkpoint-bytes", 0, "checkpoint automatically once this many WAL bytes accumulate since the last checkpoint (0 disables)")
+		autoCkptRecs  = flag.Uint64("auto-checkpoint-records", 0, "checkpoint automatically once this many WAL records accumulate since the last checkpoint (0 disables)")
 
 		slowQuery = flag.Duration("slow-query", 0, "log the span tree of any request slower than this via slog (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on /debug/pprof/ (bypasses the request timeout)")
 	)
 	flag.Parse()
 
-	ix, err := buildOrLoad(*dir, *load, *dataDir, *shards, *walSync, *walEvery)
+	auto := fulltext.AutoCheckpoint{MaxLogBytes: *autoCkptBytes, MaxLogRecords: *autoCkptRecs}
+	ix, err := buildOrLoad(*dir, *load, *dataDir, *shards, *walSync, *walEvery, auto)
 	if err != nil {
 		fatal(err)
 	}
@@ -154,12 +157,12 @@ func main() {
 	}
 }
 
-func buildOrLoad(dir, load, dataDir string, shards int, walSync string, walEvery time.Duration) (*fulltext.ShardedIndex, error) {
+func buildOrLoad(dir, load, dataDir string, shards int, walSync string, walEvery time.Duration, auto fulltext.AutoCheckpoint) (*fulltext.ShardedIndex, error) {
 	if dataDir != "" {
 		if load != "" {
 			return nil, fmt.Errorf("-data-dir and -load are mutually exclusive (a data directory carries its own snapshots)")
 		}
-		return openDurable(dir, dataDir, shards, walSync, walEvery)
+		return openDurable(dir, dataDir, shards, walSync, walEvery, auto)
 	}
 	switch {
 	case load != "":
@@ -189,15 +192,16 @@ func buildOrLoad(dir, load, dataDir string, shards int, walSync string, walEvery
 // openDurable opens the durable store, logging what recovery replayed, and
 // seeds an empty store from -dir when both are given (the seed batch goes
 // through the write-ahead log like any other mutation).
-func openDurable(dir, dataDir string, shards int, walSync string, walEvery time.Duration) (*fulltext.ShardedIndex, error) {
+func openDurable(dir, dataDir string, shards int, walSync string, walEvery time.Duration, auto fulltext.AutoCheckpoint) (*fulltext.ShardedIndex, error) {
 	policy, err := wal.ParseSyncPolicy(walSync)
 	if err != nil {
 		return nil, err
 	}
 	ix, err := fulltext.OpenDurable(dataDir, fulltext.DurableOptions{
-		Shards:       shards,
-		Sync:         policy,
-		SyncInterval: walEvery,
+		Shards:         shards,
+		Sync:           policy,
+		SyncInterval:   walEvery,
+		AutoCheckpoint: auto,
 	})
 	if err != nil {
 		return nil, err
@@ -912,15 +916,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // walSection renders WALStats for /stats.
 func walSection(ws fulltext.WALStats) map[string]any {
 	return map[string]any{
-		"attached":            ws.Attached,
-		"next_lsn":            ws.NextLSN,
-		"appends":             ws.Appends,
-		"syncs":               ws.Syncs,
-		"segments":            ws.Segments,
-		"active_bytes":        ws.ActiveBytes,
-		"sync_policy":         ws.SyncPolicy,
-		"checkpoints":         ws.Checkpoints,
-		"last_checkpoint_lsn": ws.LastCheckpointLSN,
+		"attached":             ws.Attached,
+		"next_lsn":             ws.NextLSN,
+		"durable_lsn":          ws.DurableLSN,
+		"appends":              ws.Appends,
+		"syncs":                ws.Syncs,
+		"group_commits":        ws.GroupCommits,
+		"group_commit_records": ws.GroupCommitRecords,
+		"segments":             ws.Segments,
+		"active_bytes":         ws.ActiveBytes,
+		"sync_policy":          ws.SyncPolicy,
+		"checkpoints":          ws.Checkpoints,
+		"last_checkpoint_lsn":  ws.LastCheckpointLSN,
+		"auto_checkpoints":     ws.AutoCheckpoints,
+		"auto_checkpoint_err":  ws.AutoCheckpointError,
 		"recovery": map[string]any{
 			"snapshot_lsn":         ws.Recovery.SnapshotLSN,
 			"replayed_records":     ws.Recovery.ReplayedRecords,

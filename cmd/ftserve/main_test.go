@@ -32,7 +32,7 @@ func testServer(t *testing.T) (*httptest.Server, *fulltext.ShardedIndex) {
 			t.Fatal(err)
 		}
 	}
-	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0)
+	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestServeLoadedIndex(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := buildOrLoad("", path, "", 0, "interval", 0)
+	loaded, err := buildOrLoad("", path, "", 0, "interval", 0, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,10 +356,10 @@ func TestServeLoadedIndex(t *testing.T) {
 	if resp.Count != 2 {
 		t.Fatalf("loaded index response %+v", resp)
 	}
-	if _, err := buildOrLoad("", "", "", 0, "interval", 0); err == nil {
+	if _, err := buildOrLoad("", "", "", 0, "interval", 0, fulltext.AutoCheckpoint{}); err == nil {
 		t.Fatal("buildOrLoad with no source should fail")
 	}
-	if _, err := buildOrLoad(t.TempDir(), "", "", 2, "interval", 0); err == nil {
+	if _, err := buildOrLoad(t.TempDir(), "", "", 2, "interval", 0, fulltext.AutoCheckpoint{}); err == nil {
 		t.Fatal("empty dir should fail")
 	}
 }
@@ -557,7 +557,7 @@ func TestCheckpointEndpointWithoutDataDir(t *testing.T) {
 // durableServer builds a durable server over a fresh data directory.
 func durableServer(t *testing.T, dataDir string) (*httptest.Server, *fulltext.ShardedIndex) {
 	t.Helper()
-	ix, err := buildOrLoad("", "", dataDir, 2, "interval", time.Millisecond)
+	ix, err := buildOrLoad("", "", dataDir, 2, "interval", time.Millisecond, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -643,7 +643,7 @@ func TestDurableSeedFromTxtDir(t *testing.T) {
 		}
 	}
 	dataDir := t.TempDir()
-	ix, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond)
+	ix, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -654,7 +654,7 @@ func TestDurableSeedFromTxtDir(t *testing.T) {
 	if err := ix.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond)
+	re, err := buildOrLoad(txt, "", dataDir, 2, "interval", time.Millisecond, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -669,10 +669,10 @@ func TestDurableSeedFromTxtDir(t *testing.T) {
 }
 
 func TestDataDirAndLoadAreExclusive(t *testing.T) {
-	if _, err := buildOrLoad("", "some.ftss", t.TempDir(), 2, "interval", 0); err == nil {
+	if _, err := buildOrLoad("", "some.ftss", t.TempDir(), 2, "interval", 0, fulltext.AutoCheckpoint{}); err == nil {
 		t.Fatal("-data-dir with -load should fail")
 	}
-	if _, err := buildOrLoad("", "", t.TempDir(), 2, "bogus", 0); err == nil {
+	if _, err := buildOrLoad("", "", t.TempDir(), 2, "bogus", 0, fulltext.AutoCheckpoint{}); err == nil {
 		t.Fatal("bogus -wal-sync should fail")
 	}
 }
@@ -853,7 +853,7 @@ func TestSlowQueryLogging(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("slow query test doc"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0)
+	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -919,7 +919,7 @@ func TestPProfRouting(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("pprof doc"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ix, err := buildOrLoad(dir, "", "", 1, "interval", 0)
+	ix, err := buildOrLoad(dir, "", "", 1, "interval", 0, fulltext.AutoCheckpoint{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"fulltext/internal/errfs"
 	"fulltext/internal/wal"
 )
 
@@ -21,21 +22,41 @@ import (
 // the exact mutation code paths the original operations ran — the same
 // tokenization, the same ordinal allocation, the same merge policy — so a
 // recovered index answers every query byte-identically to one that never
-// crashed. Checkpoint bounds the log: it atomically persists a snapshot
-// named by the log position it covers, then truncates the segments that
-// position seals.
+// crashed. Checkpoint bounds the log: it persists a snapshot named by the
+// log position it covers (serialized from copy-on-write clones, off the
+// index lock), then truncates the segments that position seals; the
+// AutoCheckpoint policy runs it hands-off.
 //
 // Directory layout:
 //
 //	<dir>/snapshot-<LSN as %016d>.ftss   newest snapshot wins; *.tmp are
 //	                                     aborted checkpoints, removed at open
 //	<dir>/wal/wal-<LSN>.log              the redo log (see internal/wal)
+//
+// All snapshot and log I/O goes through an errfs.FS (DurableOptions.FS),
+// so the fault-injection suites can fail any fsync, tear any write, and
+// crash the filesystem at any point deterministically.
 
 const (
 	snapshotPrefix = "snapshot-"
 	snapshotSuffix = ".ftss"
 	walSubdir      = "wal"
 )
+
+// AutoCheckpoint is a hands-off checkpointing policy: once the log has
+// grown past either threshold since the last checkpoint, one checkpoint
+// runs in the background (single-flight — a trigger while one is in
+// flight is a no-op). The zero value disables auto-checkpointing.
+type AutoCheckpoint struct {
+	// MaxLogBytes triggers once this many log bytes have been appended
+	// since the last checkpoint; <= 0 disables the byte trigger.
+	MaxLogBytes int64
+	// MaxLogRecords triggers once this many records have been appended
+	// since the last checkpoint; 0 disables the record trigger.
+	MaxLogRecords uint64
+}
+
+func (a AutoCheckpoint) enabled() bool { return a.MaxLogBytes > 0 || a.MaxLogRecords > 0 }
 
 // DurableOptions configures OpenDurable. The zero value opens a
 // single-shard index with no linguistic analysis, group-commit syncing and
@@ -51,12 +72,20 @@ type DurableOptions struct {
 	Build Options
 	// Sync is the write-ahead log's fsync policy (see wal.SyncPolicy).
 	Sync wal.SyncPolicy
-	// SyncInterval is the group-commit cadence under wal.SyncInterval;
+	// SyncInterval is the flusher's fsync cadence under wal.SyncInterval;
 	// <= 0 uses wal.DefaultInterval.
 	SyncInterval time.Duration
 	// WALSegmentBytes rotates log segments at this size; <= 0 uses
 	// wal.DefaultSegmentBytes.
 	WALSegmentBytes int64
+	// AutoCheckpoint, when either threshold is set, checkpoints in the
+	// background as the log grows, so recovery time and log disk use stay
+	// bounded without operator traffic.
+	AutoCheckpoint AutoCheckpoint
+	// FS is the filesystem snapshots and the log live on. nil uses the
+	// real one (errfs.OS); the durability test suites inject an errfs.Mem
+	// to enumerate fault points.
+	FS errfs.FS
 }
 
 // RecoveryStats describes what one OpenDurable had to do: where the
@@ -93,20 +122,24 @@ type RecoveryStats struct {
 // and Checkpoint to bound recovery time. Only one process may own a data
 // directory at a time.
 func OpenDurable(dir string, o DurableOptions) (*ShardedIndex, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := o.FS
+	if fsys == nil {
+		fsys = errfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fulltext: creating %s: %w", dir, err)
 	}
-	if err := removeStaleTemp(dir); err != nil {
+	if err := removeStaleTemp(fsys, dir); err != nil {
 		return nil, err
 	}
-	s, snapLSN, err := loadNewestSnapshot(dir, o)
+	s, snapLSN, err := loadNewestSnapshot(fsys, dir, o)
 	if err != nil {
 		return nil, err
 	}
 	walDir := filepath.Join(dir, walSubdir)
 	rec := RecoveryStats{SnapshotLSN: snapLSN}
 	start := time.Now()
-	rst, err := wal.Replay(walDir, snapLSN, func(r wal.Record) error { return s.applyRecord(r, &rec) })
+	rst, err := wal.ReplayFS(fsys, walDir, snapLSN, func(r wal.Record) error { return s.applyRecord(r, &rec) })
 	if err != nil {
 		return nil, fmt.Errorf("fulltext: replaying %s: %w", walDir, err)
 	}
@@ -119,29 +152,55 @@ func OpenDurable(dir string, o DurableOptions) (*ShardedIndex, error) {
 		Interval:     o.SyncInterval,
 		SegmentBytes: o.WALSegmentBytes,
 		StartLSN:     snapLSN,
+		FS:           fsys,
+		// The flusher drives the auto-checkpoint policy: after every batched
+		// fsync (no locks held) the thresholds get a cheap atomic check.
+		OnDurable: func() { s.pollAutoCheckpoint() },
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Finish any checkpoint a crash interrupted after its commit point: a
+	// crash between "snapshot renamed durable" and "old snapshots removed,
+	// log truncated" leaves stale snapshots and a long replay tail (the
+	// records below snapLSN were just skipped above). Both cleanups are
+	// idempotent, so re-running them here closes the window.
+	if snapLSN > 0 {
+		if err := removeSnapshotsBelow(fsys, dir, snapLSN); err != nil {
+			log.Close()
+			return nil, err
+		}
+		if err := log.TruncateBefore(snapLSN); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	s.wal = log
 	s.dataDir = dir
+	s.fsys = fsys
 	s.recovery = rec
 	s.lastCkptLSN = snapLSN
+	s.autoCkpt = o.AutoCheckpoint
 	s.mu.Unlock()
+	s.autoLastLSN.Store(log.NextLSN())
 	return s, nil
 }
 
 // removeStaleTemp deletes aborted checkpoint temp files (a crash between
 // temp write and rename leaves one; it was never the newest snapshot).
-func removeStaleTemp(dir string) error {
-	stale, err := filepath.Glob(filepath.Join(dir, snapshotPrefix+"*.tmp"))
+func removeStaleTemp(fsys errfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return err
+		return fmt.Errorf("fulltext: reading %s: %w", dir, err)
 	}
-	for _, p := range stale {
-		if err := os.Remove(p); err != nil {
-			return fmt.Errorf("fulltext: removing stale checkpoint %s: %w", p, err)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("fulltext: removing stale checkpoint %s: %w", name, err)
 		}
 	}
 	return nil
@@ -149,8 +208,8 @@ func removeStaleTemp(dir string) error {
 
 // loadNewestSnapshot loads the highest-LSN snapshot in dir, or builds a
 // fresh empty index per the options when none exists.
-func loadNewestSnapshot(dir string, o DurableOptions) (*ShardedIndex, uint64, error) {
-	entries, err := os.ReadDir(dir)
+func loadNewestSnapshot(fsys errfs.FS, dir string, o DurableOptions) (*ShardedIndex, uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("fulltext: reading %s: %w", dir, err)
 	}
@@ -172,7 +231,7 @@ func loadNewestSnapshot(dir string, o DurableOptions) (*ShardedIndex, uint64, er
 	if !found {
 		return NewShardedBuilderWith(o.Shards, o.Build).Build(), 0, nil
 	}
-	f, err := os.Open(best)
+	f, err := fsys.OpenFile(best, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, 0, fmt.Errorf("fulltext: opening snapshot: %w", err)
 	}
@@ -306,6 +365,14 @@ func (s *ShardedIndex) WAL() *wal.Log {
 	return s.wal
 }
 
+// snapshotFS returns the filesystem snapshots are written to.
+func (s *ShardedIndex) snapshotFS() errfs.FS {
+	if s.fsys != nil {
+		return s.fsys
+	}
+	return errfs.OS
+}
+
 // CheckpointStats describes one completed checkpoint.
 type CheckpointStats struct {
 	// LSN is the log position the snapshot covers: every record below it is
@@ -323,20 +390,26 @@ type CheckpointStats struct {
 // Checkpoint persists a point-in-time snapshot and truncates the log
 // prefix it covers, bounding both recovery replay time and log disk use.
 // dir overrides where the snapshot is written; "" uses the OpenDurable
-// data directory. The sequence is crash-safe at every step:
+// data directory. Mutations are excluded only while the copy-on-write
+// view is taken (cloning tombstone sets and copying the statistics table
+// — microseconds, not the serialization), so a checkpoint runs
+// concurrently with a write-heavy workload without a latency spike. The
+// sequence is crash-safe at every step:
 //
-//  1. the snapshot is serialized to a temp file and fsynced while mutations
-//     are briefly excluded (the read lock spans the serialization), naming
-//     the log position it covers;
-//  2. the temp file is atomically renamed to snapshot-<LSN>.ftss and the
-//     directory fsynced — this rename is the commit point;
-//  3. a checkpoint barrier is appended to the log and the log is rotated
-//     and truncated below the snapshot LSN; older snapshots are removed.
+//  1. under a brief read lock, record the log position and take a frozen
+//     copy-on-write view of every segment (see snapshotViewLocked);
+//  2. with no index lock held, serialize the view to a temp file and
+//     fsync it;
+//  3. atomically rename to snapshot-<LSN>.ftss and fsync the directory —
+//     this rename is the commit point;
+//  4. append a checkpoint barrier, rotate the log, truncate the segments
+//     below the snapshot LSN, and remove older snapshots.
 //
 // A crash before the rename recovers from the previous snapshot (the temp
 // file is garbage, removed at open); a crash after the rename but before
-// truncation recovers from the new snapshot and skips the not-yet-truncated
-// records below it — replay is idempotent by LSN, not by luck.
+// truncation recovers from the new snapshot, skips the not-yet-truncated
+// records below it, and finishes the truncation itself at open — replay
+// is idempotent by LSN, not by luck.
 func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	start := time.Now()
 	// One checkpoint at a time: overlapping calls would race on the
@@ -346,6 +419,7 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	s.mu.RLock()
 	log := s.wal
 	tel := s.tel
+	fsys := s.snapshotFS()
 	if dir == "" {
 		dir = s.dataDir
 	}
@@ -354,16 +428,22 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		return CheckpointStats{}, fmt.Errorf("fulltext: Checkpoint requires a durable index (OpenDurable) or an explicit directory and attached WAL")
 	}
 	// Mutations append to the log under the write lock, so the position
-	// cannot advance while we hold the read lock across serialization: the
-	// snapshot covers exactly the records below lsn.
+	// cannot advance while the view is taken: the frozen view covers
+	// exactly the records below lsn. This read-locked region is the whole
+	// mutation-visible cost of a checkpoint.
 	lsn := log.NextLSN()
-	tmp, err := os.CreateTemp(dir, snapshotPrefix+"*.tmp")
+	view := s.snapshotViewLocked()
+	s.mu.RUnlock()
+
+	s.ckptPhaseHook("view")
+	// Serialization and the snapshot fsync run with no index lock held:
+	// concurrent Adds, Deletes and queries proceed against the live
+	// segments while the frozen clones drain to disk.
+	tmp, err := fsys.CreateTemp(dir, snapshotPrefix+"*.tmp")
 	if err != nil {
-		s.mu.RUnlock()
 		return CheckpointStats{}, fmt.Errorf("fulltext: creating snapshot: %w", err)
 	}
-	n, err := s.writeToLocked(tmp)
-	s.mu.RUnlock()
+	n, err := view.writeTo(tmp, shardedVersion)
 	if err == nil {
 		err = tmp.Sync()
 	}
@@ -371,7 +451,7 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return CheckpointStats{}, fmt.Errorf("fulltext: writing snapshot: %w", err)
 	}
 	// Phase boundaries for the checkpoint-phase histograms; a failed
@@ -386,21 +466,24 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		phaseStart = now
 	}
 	phase(ckptPhaseSerialize)
+	s.ckptPhaseHook("serialized")
 	final := filepath.Join(dir, snapshotName(lsn))
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), final); err != nil {
+		fsys.Remove(tmp.Name())
 		return CheckpointStats{}, fmt.Errorf("fulltext: committing snapshot: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return CheckpointStats{}, err
 	}
 	phase(ckptPhaseCommit)
+	s.ckptPhaseHook("committed")
 	// The snapshot is durable and discoverable; everything below is
-	// housekeeping that recovery tolerates losing to a crash. The rotation
-	// happens before the barrier is appended so the barrier lands in the
-	// fresh active segment — were it sealed with the history, the segment
-	// holding it could never satisfy TruncateBefore(lsn) and the log would
-	// retain one segment of stale records forever.
+	// housekeeping that recovery tolerates losing to a crash (OpenDurable
+	// finishes it). The rotation happens before the barrier is appended so
+	// the barrier lands in the fresh active segment — were it sealed with
+	// the history, the segment holding it could never satisfy
+	// TruncateBefore(lsn) and the log would retain one segment of stale
+	// records forever.
 	if err := log.Rotate(); err != nil {
 		return CheckpointStats{}, err
 	}
@@ -411,11 +494,12 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 	phase(ckptPhaseRotate)
+	s.ckptPhaseHook("rotated")
 	before := log.Stats().TruncatedSegments
 	if err := log.TruncateBefore(lsn); err != nil {
 		return CheckpointStats{}, err
 	}
-	if err := removeSnapshotsBelow(dir, lsn); err != nil {
+	if err := removeSnapshotsBelow(fsys, dir, lsn); err != nil {
 		return CheckpointStats{}, err
 	}
 	phase(ckptPhaseTruncate)
@@ -428,6 +512,11 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 		s.lastCkptLSN = lsn
 	}
 	s.mu.Unlock()
+	// Reset the auto-checkpoint baselines (manual checkpoints count: the
+	// log is just as short either way).
+	_, bytes := log.Position()
+	s.autoLastLSN.Store(log.NextLSN())
+	s.autoLastBytes.Store(bytes)
 	return CheckpointStats{
 		LSN:               lsn,
 		SnapshotBytes:     n,
@@ -436,28 +525,78 @@ func (s *ShardedIndex) Checkpoint(dir string) (CheckpointStats, error) {
 	}, nil
 }
 
-// syncDir fsyncs a directory so a just-renamed file survives power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("fulltext: syncing %s: %w", dir, err)
+// ckptPhaseHook invokes the test hook, when set, between checkpoint
+// phases; the fault-injection suite uses it to crash the filesystem at a
+// named point.
+func (s *ShardedIndex) ckptPhaseHook(phase string) {
+	if s.ckptHook != nil {
+		s.ckptHook(phase)
 	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+}
+
+// pollAutoCheckpoint is the cheap threshold check, called after every
+// durable mutation and by the WAL flusher after every batched fsync. It
+// takes no index locks on the common (not-due) path.
+func (s *ShardedIndex) pollAutoCheckpoint() {
+	if !s.autoCkpt.enabled() {
+		return
+	}
+	log := s.WAL()
+	if log == nil {
+		return
+	}
+	if !s.autoCkptDue(log) || !s.autoCkptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.autoCkptWG.Add(1)
+	go func() {
+		defer s.autoCkptWG.Done()
+		defer s.autoCkptBusy.Store(false)
+		// Re-check under the latch: a manual checkpoint may have reset the
+		// baselines between the trigger and this goroutine running.
+		if !s.autoCkptDue(log) {
+			return
+		}
+		_, err := s.Checkpoint("")
+		s.mu.Lock()
+		if err == nil {
+			s.autoCheckpoints++
+		}
+		s.autoCkptErr = err
+		s.mu.Unlock()
+	}()
+}
+
+// autoCkptDue reports whether the log has outgrown a threshold since the
+// last completed checkpoint.
+func (s *ShardedIndex) autoCkptDue(log *wal.Log) bool {
+	next, bytes := log.Position()
+	ac := s.autoCkpt
+	if ac.MaxLogRecords > 0 && next >= s.autoLastLSN.Load()+ac.MaxLogRecords {
+		return true
+	}
+	return ac.MaxLogBytes > 0 && bytes >= s.autoLastBytes.Load()+ac.MaxLogBytes
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(fsys errfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("fulltext: syncing %s: %w", dir, err)
 	}
 	return nil
 }
 
-// removeSnapshotsBelow retires snapshots older than the one at lsn.
-func removeSnapshotsBelow(dir string, lsn uint64) error {
-	entries, err := os.ReadDir(dir)
+// removeSnapshotsBelow retires snapshots older than the one at lsn. It
+// runs at the end of every checkpoint and again at OpenDurable, because a
+// crash can separate the rename that commits a snapshot from this cleanup.
+func removeSnapshotsBelow(fsys errfs.FS, dir string, lsn uint64) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("fulltext: reading %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if old, ok := parseSnapshotName(e.Name()); ok && old < lsn {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
 				return fmt.Errorf("fulltext: removing old snapshot: %w", err)
 			}
 		}
@@ -471,13 +610,19 @@ type WALStats struct {
 	// Attached reports whether the index has a write-ahead log at all;
 	// every other field is zero when it does not.
 	Attached bool
-	// NextLSN is the next log sequence number to be assigned; Appends,
-	// Syncs, Segments and ActiveBytes mirror wal.Stats.
+	// NextLSN is the next log sequence number to be assigned; DurableLSN,
+	// Appends, Syncs, Segments and ActiveBytes mirror wal.Stats.
 	NextLSN     uint64
+	DurableLSN  uint64
 	Appends     uint64
 	Syncs       uint64
 	Segments    int
 	ActiveBytes int64
+	// GroupCommits counts fsyncs that made at least one record durable;
+	// GroupCommitRecords is the records they carried (their ratio is the
+	// mean group-commit batch size).
+	GroupCommits       uint64
+	GroupCommitRecords uint64
 	// SyncPolicy is the attached log's fsync policy name.
 	SyncPolicy string
 	// Checkpoints counts completed Checkpoint calls on this index instance;
@@ -485,6 +630,11 @@ type WALStats struct {
 	// recovery would start from after a crash right now).
 	Checkpoints       uint64
 	LastCheckpointLSN uint64
+	// AutoCheckpoints counts checkpoints the AutoCheckpoint policy
+	// completed; AutoCheckpointError is the newest auto run's failure
+	// ("" when it succeeded or none has run).
+	AutoCheckpoints     uint64
+	AutoCheckpointError string
 	// Recovery describes what this instance's OpenDurable replayed.
 	Recovery RecoveryStats
 }
@@ -494,32 +644,43 @@ type WALStats struct {
 func (s *ShardedIndex) WALStats() WALStats {
 	s.mu.RLock()
 	log, rec, ckpts, last := s.wal, s.recovery, s.checkpoints, s.lastCkptLSN
+	auto, autoErr := s.autoCheckpoints, s.autoCkptErr
 	s.mu.RUnlock()
 	if log == nil {
 		return WALStats{}
 	}
 	ls := log.Stats()
-	return WALStats{
-		Attached:          true,
-		NextLSN:           ls.NextLSN,
-		Appends:           ls.Appends,
-		Syncs:             ls.Syncs,
-		Segments:          ls.Segments,
-		ActiveBytes:       ls.ActiveBytes,
-		SyncPolicy:        ls.Policy.String(),
-		Checkpoints:       ckpts,
-		LastCheckpointLSN: last,
-		Recovery:          rec,
+	st := WALStats{
+		Attached:           true,
+		NextLSN:            ls.NextLSN,
+		DurableLSN:         ls.DurableLSN,
+		Appends:            ls.Appends,
+		Syncs:              ls.Syncs,
+		Segments:           ls.Segments,
+		ActiveBytes:        ls.ActiveBytes,
+		GroupCommits:       ls.GroupCommits,
+		GroupCommitRecords: ls.GroupCommitRecords,
+		SyncPolicy:         ls.Policy.String(),
+		Checkpoints:        ckpts,
+		LastCheckpointLSN:  last,
+		AutoCheckpoints:    auto,
+		Recovery:           rec,
 	}
+	if autoErr != nil {
+		st.AutoCheckpointError = autoErr.Error()
+	}
+	return st
 }
 
-// Close quiesces background merges and, when a write-ahead log is
-// attached, flushes, fsyncs and closes it; further mutations on a durable
-// index will fail (adds and batch deletes with an error, Delete with a
-// panic). A non-durable index has nothing to release and Close is a no-op
-// beyond the merge quiesce. Closing twice is safe.
+// Close quiesces background merges and any in-flight auto checkpoint
+// and, when a write-ahead log is attached, flushes, fsyncs and closes it;
+// further mutations on a durable index will fail (adds and batch deletes
+// with an error, Delete with a panic). A non-durable index has nothing to
+// release and Close is a no-op beyond the merge quiesce. Closing twice is
+// safe.
 func (s *ShardedIndex) Close() error {
 	s.WaitMerges()
+	s.autoCkptWG.Wait()
 	s.mu.Lock()
 	log := s.wal
 	s.mu.Unlock()
@@ -532,7 +693,12 @@ func (s *ShardedIndex) Close() error {
 // SnapshotLSNs lists the snapshot positions present in a data directory,
 // newest last — a maintenance helper for operators and tests.
 func SnapshotLSNs(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+	return SnapshotLSNsFS(errfs.OS, dir)
+}
+
+// SnapshotLSNsFS is SnapshotLSNs on an explicit filesystem.
+func SnapshotLSNsFS(fsys errfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,384 @@
+package fulltext
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"fulltext/internal/errfs"
+	"fulltext/internal/wal"
+)
+
+// memDurableOpts is the fault-injection default: synchronous durability
+// (every acknowledged mutation fsynced, via group commit) on an in-memory
+// filesystem whose fsyncs the test controls.
+func memDurableOpts(shards int, m *errfs.Mem) DurableOptions {
+	return DurableOptions{
+		Shards:          shards,
+		Sync:            wal.SyncAlways,
+		WALSegmentBytes: 1 << 12,
+		FS:              m,
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDurableConcurrentAddsShareFsyncs is the acceptance criterion for
+// group commit at the index level: N concurrent Adds under SyncAlways —
+// each one individually guaranteed durable on return — complete with
+// fewer than N fsyncs, because the commit wait happens off the write lock
+// and parked committers share the flusher's batches.
+func TestDurableConcurrentAddsShareFsyncs(t *testing.T) {
+	m := errfs.NewMem()
+	opts := memDurableOpts(2, m)
+	opts.WALSegmentBytes = 0 // default size: no rotation fsyncs mid-test
+	s, err := OpenDurable("data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m.SyncDelay(2 * time.Millisecond)
+	const n = 24
+	base := m.SyncCalls()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Add(fmt.Sprintf("doc%02d", i), "alpha beta gamma")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	syncs := m.SyncCalls() - base
+	if syncs >= n {
+		t.Fatalf("%d concurrent durable adds took %d fsyncs; group commit should need fewer", n, syncs)
+	}
+	ws := s.WALStats()
+	if ws.DurableLSN != n || ws.GroupCommitRecords != n {
+		t.Fatalf("durable=%d groupRecords=%d after %d adds", ws.DurableLSN, ws.GroupCommitRecords, n)
+	}
+	t.Logf("%d adds, %d fsyncs, %d group commits", n, syncs, ws.GroupCommits)
+}
+
+// TestCheckpointCrashAfterCommitFinishesCleanupAtOpen is the regression
+// test for the checkpoint crash window: a crash after the snapshot rename
+// (the commit point) but before log truncation must leave a directory the
+// next open fully repairs — newest snapshot loaded, the stale records
+// below it skipped, the old snapshot and sealed log history removed by
+// open itself, results byte-identical.
+func TestCheckpointCrashAfterCommitFinishesCleanupAtOpen(t *testing.T) {
+	m := errfs.NewMem()
+	docs := segCorpus(20)
+	s, err := OpenDurable("data", memDurableOpts(2, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[:10] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Checkpoint(""); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[10:] {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the filesystem the instant the snapshot rename is durable.
+	s.ckptHook = func(phase string) {
+		if phase == "committed" {
+			m.Crash()
+		}
+	}
+	if _, err := s.Checkpoint(""); err == nil {
+		t.Fatal("checkpoint across a filesystem crash reported success")
+	}
+	s.Close() // stale handles everywhere; only stops the goroutines
+
+	re, err := OpenDurable("data", memDurableOpts(2, m))
+	if err != nil {
+		t.Fatalf("reopening after mid-checkpoint crash: %v", err)
+	}
+	defer re.Close()
+	rec := re.WALStats().Recovery
+	if rec.SnapshotLSN != 21 { // 20 adds + 1 checkpoint barrier
+		t.Fatalf("recovered from snapshot LSN %d, want the crashed checkpoint's 21", rec.SnapshotLSN)
+	}
+	if rec.SkippedRecords == 0 {
+		t.Fatal("no skipped records: the crash window (snapshot committed, log not truncated) was not exercised")
+	}
+	if rec.ReplayedAdds != 0 {
+		t.Fatalf("replayed %d adds that the committed snapshot already held", rec.ReplayedAdds)
+	}
+	// Open must have finished the crashed checkpoint's housekeeping.
+	lsns, err := SnapshotLSNsFS(m, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 1 || lsns[0] != 21 {
+		t.Fatalf("snapshots after reopen: %v, want the crash-committed [21] only", lsns)
+	}
+	if segs := re.WAL().Stats().Segments; segs > 2 {
+		t.Fatalf("%d log segments survived reopen; open must truncate below the snapshot", segs)
+	}
+	assertSameResults(t, "post-crash", re, rebuildLive(t, 2, docs))
+	// And the repaired directory keeps working.
+	if err := re.Add("after", "needle epsilon"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Search(MustParse(BOOL, `'needle'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, match := range got {
+		found = found || match.ID == "after"
+	}
+	if !found {
+		t.Fatalf("post-recovery add missing from search: %v", got)
+	}
+}
+
+// TestAutoCheckpointByRecords drives the record-count trigger: mutations
+// alone must produce a checkpoint in the background, bounding what a
+// subsequent open replays.
+func TestAutoCheckpointByRecords(t *testing.T) {
+	m := errfs.NewMem()
+	opts := memDurableOpts(2, m)
+	opts.AutoCheckpoint = AutoCheckpoint{MaxLogRecords: 8}
+	s, err := OpenDurable("data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := segCorpus(30)
+	for _, d := range docs {
+		if err := s.Add(d[0], d[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "auto checkpoint", func() bool {
+		return s.WALStats().AutoCheckpoints >= 1
+	})
+	ws := s.WALStats()
+	if ws.AutoCheckpointError != "" {
+		t.Fatalf("auto checkpoint error: %s", ws.AutoCheckpointError)
+	}
+	if ws.LastCheckpointLSN == 0 {
+		t.Fatal("auto checkpoint completed but recorded no LSN")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable("data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rec := re.WALStats().Recovery
+	if rec.SnapshotLSN == 0 {
+		t.Fatal("reopen found no snapshot after auto checkpointing")
+	}
+	if rec.ReplayedRecords >= 30 {
+		t.Fatalf("replayed %d records; auto checkpoints should have bounded the tail", rec.ReplayedRecords)
+	}
+	assertSameResults(t, "auto-ckpt", re, rebuildLive(t, 2, docs))
+}
+
+// TestAutoCheckpointByBytes drives the byte-size trigger.
+func TestAutoCheckpointByBytes(t *testing.T) {
+	m := errfs.NewMem()
+	opts := memDurableOpts(2, m)
+	opts.AutoCheckpoint = AutoCheckpoint{MaxLogBytes: 1 << 10}
+	s, err := OpenDurable("data", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		if err := s.Add(fmt.Sprintf("doc%03d", i), "alpha beta gamma delta epsilon zeta"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "auto checkpoint by bytes", func() bool {
+		return s.WALStats().AutoCheckpoints >= 1
+	})
+	if lsns, err := SnapshotLSNsFS(m, "data"); err != nil || len(lsns) == 0 {
+		t.Fatalf("snapshots %v, err %v after byte-triggered auto checkpoint", lsns, err)
+	}
+}
+
+// TestDurableFaultInjectionProperty interleaves every mutation kind with
+// checkpoints, injected fsync failures and crashes, holding one property
+// throughout: after every recovery, search results — Boolean and ranked,
+// every dialect, exact score equality — are byte-identical to an index
+// built from scratch over exactly the acknowledged live documents. The
+// schedule is seeded and the seed is in the subtest name, so a failure
+// replays deterministically.
+func TestDurableFaultInjectionProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDurableProperty(t, seed)
+		})
+	}
+}
+
+func runDurableProperty(t *testing.T, seed int64) {
+	const shards = 3
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "needle", "common", "task", "completion"}
+	body := func() string {
+		words := ""
+		for w := 0; w < 4+rng.Intn(8); w++ {
+			if words != "" {
+				words += " "
+			}
+			words += vocab[rng.Intn(len(vocab))]
+		}
+		return words
+	}
+
+	m := errfs.NewMem()
+	s, err := OpenDurable("data", memDurableOpts(shards, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle: live documents in insertion order, exactly the
+	// acknowledged state. SyncAlways means acknowledged == durable, so a
+	// crash never costs the oracle anything.
+	var live [][2]string
+	pos := map[string]int{}
+	nextID := 0
+	addOracle := func(id, text string) {
+		pos[id] = len(live)
+		live = append(live, [2]string{id, text})
+	}
+	delOracle := func(id string) {
+		i, ok := pos[id]
+		if !ok {
+			return
+		}
+		copy(live[i:], live[i+1:])
+		live = live[:len(live)-1]
+		delete(pos, id)
+		for j := i; j < len(live); j++ {
+			pos[live[j][0]] = j
+		}
+	}
+	randLive := func() string { return live[rng.Intn(len(live))][0] }
+	crashReopenMem := func(label string) {
+		m.Crash()
+		s.Close() // tolerated failure on stale handles; stops goroutines
+		var err error
+		s, err = OpenDurable("data", memDurableOpts(shards, m))
+		if err != nil {
+			t.Fatalf("%s: reopening after crash: %v", label, err)
+		}
+		assertSameResults(t, label, s, rebuildLive(t, shards, live))
+	}
+
+	const steps = 120
+	for i := 0; i < steps; i++ {
+		label := fmt.Sprintf("step %d", i)
+		switch p := rng.Intn(100); {
+		case p < 35: // single add
+			id := fmt.Sprintf("doc%04d", nextID)
+			nextID++
+			text := body()
+			if err := s.Add(id, text); err != nil {
+				t.Fatalf("%s: add %s: %v", label, id, err)
+			}
+			addOracle(id, text)
+		case p < 45: // batch add
+			n := 2 + rng.Intn(3)
+			docs := make([]Document, n)
+			for j := range docs {
+				docs[j] = Document{ID: fmt.Sprintf("doc%04d", nextID), Body: body()}
+				nextID++
+			}
+			if err := s.AddBatch(docs); err != nil {
+				t.Fatalf("%s: add batch: %v", label, err)
+			}
+			for _, d := range docs {
+				addOracle(d.ID, d.Body)
+			}
+		case p < 60: // single delete
+			if len(live) == 0 {
+				continue
+			}
+			id := randLive()
+			if !s.Delete(id) {
+				t.Fatalf("%s: delete of live %s missed", label, id)
+			}
+			delOracle(id)
+		case p < 70: // batch delete, dups and misses included
+			if len(live) == 0 {
+				continue
+			}
+			ids := []string{randLive(), randLive(), "doc-never-existed"}
+			ids = append(ids, ids[0])
+			n, err := s.DeleteBatch(ids)
+			if err != nil {
+				t.Fatalf("%s: delete batch: %v", label, err)
+			}
+			uniq := map[string]bool{ids[0]: true, ids[1]: true}
+			if n != len(uniq) {
+				t.Fatalf("%s: delete batch removed %d of %d live targets", label, n, len(uniq))
+			}
+			for id := range uniq {
+				delOracle(id)
+			}
+		case p < 80: // checkpoint
+			if _, err := s.Checkpoint(""); err != nil {
+				t.Fatalf("%s: checkpoint: %v", label, err)
+			}
+		case p < 95: // crash and recover
+			crashReopenMem(label)
+		default: // injected fsync failure: ack must fail, then recover
+			m.FailSyncAt(1)
+			id := fmt.Sprintf("doc%04d", nextID)
+			nextID++
+			if err := s.Add(id, body()); err == nil {
+				t.Fatalf("%s: add over failed fsync acknowledged", label)
+			}
+			// Durability unknown; the log is poisoned — the only safe
+			// continuation is crash recovery, and the document must be gone.
+			crashReopenMem(label)
+			if s.Docs() != len(live) {
+				t.Fatalf("%s: %d docs after failed-ack recovery, oracle has %d", label, s.Docs(), len(live))
+			}
+		}
+	}
+	// Final verification: one more crash recovery, then a clean close and
+	// reopen, both byte-identical to the oracle.
+	crashReopenMem("final crash")
+	if err := s.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+	re, err := OpenDurable("data", memDurableOpts(shards, m))
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer re.Close()
+	assertSameResults(t, "final clean reopen", re, rebuildLive(t, shards, live))
+}

@@ -1,0 +1,72 @@
+// Package errfs is a minimal filesystem abstraction with deterministic
+// fault injection, built for testing durability code. The production
+// implementation (OS) is a thin passthrough to the os package; the test
+// implementation (Mem) keeps every file in memory and models exactly the
+// failure surface a crash-safe system has to survive:
+//
+//   - Sync durability: bytes written to a file are volatile until Sync;
+//     a simulated crash (Crash / CrashKeep) discards the un-synced
+//     suffix of every file, so a torn write at byte K is expressed as
+//     "crash keeping K extra un-synced bytes".
+//   - Directory-entry durability: a created or renamed file is volatile
+//     until SyncDir on its parent directory; a crash reverts the
+//     directory to its last-synced entry set (so a rename without a
+//     directory fsync can vanish, and a remove without one can
+//     resurrect the file).
+//   - Injected errors: FailSyncAt(n) fails the n-th Sync/SyncDir call
+//     process-wide, FailWriteAt(n) the n-th Write; both return
+//     ErrInjected so tests can distinguish injected faults from bugs.
+//   - Latency: SyncDelay(d) makes every Sync sleep outside the lock,
+//     which widens the group-commit window deterministically.
+//
+// The model is append-only (every Write appends to the end of the
+// file), which matches how logs and snapshot temp files are written.
+package errfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+)
+
+// ErrInjected is returned by operations that fail because a test armed
+// an injection point (FailSyncAt, FailWriteAt), never by a real fault.
+var ErrInjected = errors.New("errfs: injected fault")
+
+// ErrCrashed is returned by any operation on a file handle that was
+// open when Crash was called. A crashed process cannot keep using its
+// descriptors; neither can a test.
+var ErrCrashed = errors.New("errfs: file handle did not survive simulated crash")
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync makes previously written bytes durable (survive Crash).
+	Sync() error
+	Close() error
+	// Name reports the path the file was opened with.
+	Name() string
+	// Size reports the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// FS is the subset of filesystem operations the durability layer needs.
+// Paths are interpreted like the os package interprets them.
+type FS interface {
+	// OpenFile opens a file with os.O_* flags. Only the combinations
+	// the WAL and snapshot writer use are required: read-only, and
+	// append-mode writes (with optional O_CREATE|O_EXCL).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp mirrors os.CreateTemp: pattern's final "*" is
+	// replaced with a unique suffix inside dir.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory, making its current entry set (names
+	// created, renamed, or removed inside it) durable.
+	SyncDir(dir string) error
+}

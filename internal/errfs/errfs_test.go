@@ -1,0 +1,245 @@
+package errfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+func mustWrite(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, m *Mem, name string) []byte {
+	t.Helper()
+	f, err := m.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+// Un-synced bytes vanish on crash; synced bytes survive; handles that
+// straddle the crash die with ErrCrashed while fresh opens see the
+// post-crash image.
+func TestMemCrashDropsUnsyncedSuffix(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenFile("d/a.log", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("-volatile"))
+	if got := m.UnsyncedBytes("d/a.log"); got != len("-volatile") {
+		t.Fatalf("unsynced = %d", got)
+	}
+
+	m.Crash()
+
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle sync err = %v, want ErrCrashed", err)
+	}
+	if got := string(readAll(t, m, "d/a.log")); got != "durable" {
+		t.Fatalf("post-crash contents = %q", got)
+	}
+}
+
+// CrashKeep(k) keeps exactly k extra un-synced bytes: the deterministic
+// torn write.
+func TestMemCrashKeepTearsWriteAtByteK(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		m := NewMem()
+		f, _ := m.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+		m.SyncDir(".")
+		mustWrite(t, f, []byte("AB"))
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		mustWrite(t, f, []byte("wxyz"))
+		m.CrashKeep(k)
+		want := "AB" + "wxyz"[:min(k, 4)]
+		if got := string(readAll(t, m, "a")); got != want {
+			t.Fatalf("k=%d: contents = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// A file created (or renamed into place) without SyncDir on its parent
+// does not survive a crash; with SyncDir it does. A removal without
+// SyncDir resurrects.
+func TestMemDirectoryEntryDurability(t *testing.T) {
+	m := NewMem()
+
+	f, _ := m.OpenFile("d/ghost", os.O_CREATE|os.O_WRONLY, 0o644)
+	mustWrite(t, f, []byte("data"))
+	f.Sync()
+	f.Close()
+	m.Crash()
+	if _, err := m.OpenFile("d/ghost", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("un-dir-synced file survived crash: err=%v", err)
+	}
+
+	f, _ = m.OpenFile("d/tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	mustWrite(t, f, []byte("snap"))
+	f.Sync()
+	f.Close()
+	if err := m.Rename("d/tmp", "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.OpenFile("d/final", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("un-dir-synced rename survived crash")
+	}
+
+	f, _ = m.OpenFile("d/kept", os.O_CREATE|os.O_WRONLY, 0o644)
+	mustWrite(t, f, []byte("kept"))
+	f.Sync()
+	f.Close()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("d/kept"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got := string(readAll(t, m, "d/kept")); got != "kept" {
+		t.Fatalf("un-dir-synced remove did not resurrect: %q", got)
+	}
+}
+
+func TestMemFailSyncAt(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+	mustWrite(t, f, []byte("abc"))
+	m.FailSyncAt(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v, want ErrInjected", err)
+	}
+	if got := m.UnsyncedBytes("a"); got != 3 {
+		t.Fatalf("failed sync made bytes durable: unsynced=%d", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if got := m.UnsyncedBytes("a"); got != 0 {
+		t.Fatalf("unsynced after good sync = %d", got)
+	}
+}
+
+func TestMemFailWriteAt(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+	m.FailWriteAt(2)
+	mustWrite(t, f, []byte("ok"))
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	mustWrite(t, f, []byte("-again"))
+	f.Sync()
+	if got := string(readAll(t, m, "a")); got != "ok-again" {
+		t.Fatalf("contents = %q", got)
+	}
+}
+
+func TestMemReadDirAndTemp(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("x/y", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := m.CreateTemp("x/y", "snap-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, tf, []byte("z"))
+	tf.Close()
+	ents, err := m.ReadDir("x/y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].IsDir() {
+		t.Fatalf("entries = %v", ents)
+	}
+	info, err := ents[0].Info()
+	if err != nil || info.Size() != 1 {
+		t.Fatalf("info = %v, %v", info, err)
+	}
+	ents, err = m.ReadDir("x")
+	if err != nil || len(ents) != 1 || !ents[0].IsDir() || ents[0].Name() != "y" {
+		t.Fatalf("x entries = %v, %v", ents, err)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("readdir missing: %v", err)
+	}
+}
+
+// SyncDelay sleeps outside the lock: a concurrent write during an
+// in-flight Sync must not block for the whole delay.
+func TestMemSyncDelayDoesNotBlockWrites(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+	mustWrite(t, f, []byte("x"))
+	m.SyncDelay(200 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		f.Sync()
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Sync enter its sleep
+	start := time.Now()
+	mustWrite(t, f, []byte("y"))
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("write blocked %v behind a delayed sync", d)
+	}
+	<-done
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS.OpenFile(dir+"/f", os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Size(); err != nil || n != 5 {
+		t.Fatalf("size = %d, %v", n, err)
+	}
+	f.Close()
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir: %v, %v", ents, err)
+	}
+	if err := OS.Rename(dir+"/f", dir+"/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Truncate(dir+"/g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(dir + "/g"); err != nil {
+		t.Fatal(err)
+	}
+}

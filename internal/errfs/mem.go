@@ -1,0 +1,459 @@
+package errfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory FS with deterministic fault injection. Every byte
+// written and every directory entry created, renamed, or removed is
+// volatile until the corresponding Sync/SyncDir; Crash reverts the
+// filesystem to its durable image. Safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	epoch   int                 // bumped by Crash; stale handles fail
+	files   map[string]*memNode // current (volatile) name -> contents
+	durable map[string]*memNode // last dir-synced name -> contents
+	dirs    map[string]bool
+	tempSeq int
+
+	syncCalls  int // file Sync + SyncDir, 1-based
+	writeCalls int
+	crashes    int
+
+	failSyncAt  int // fail the Nth sync call (0 = disarmed)
+	failWriteAt int
+	syncDelay   time.Duration // applied to file Sync only, outside the lock
+}
+
+type memNode struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{
+		files:   map[string]*memNode{},
+		durable: map[string]*memNode{},
+		dirs:    map[string]bool{".": true, "/": true},
+	}
+}
+
+// FailSyncAt arms the injector: the n-th Sync or SyncDir call from now
+// (1 = the very next one) returns ErrInjected without making anything
+// durable. n <= 0 disarms.
+func (m *Mem) FailSyncAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		m.failSyncAt = 0
+		return
+	}
+	m.failSyncAt = m.syncCalls + n
+}
+
+// FailWriteAt arms the injector: the n-th Write call from now returns
+// ErrInjected having written nothing. n <= 0 disarms.
+func (m *Mem) FailWriteAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		m.failWriteAt = 0
+		return
+	}
+	m.failWriteAt = m.writeCalls + n
+}
+
+// SyncDelay makes every subsequent file Sync sleep for d before taking
+// effect. The sleep happens outside the filesystem lock, so concurrent
+// writes proceed — this is the deterministic way to widen a
+// group-commit batching window.
+func (m *Mem) SyncDelay(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncDelay = d
+}
+
+// SyncCalls reports the number of Sync and SyncDir calls so far.
+func (m *Mem) SyncCalls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncCalls
+}
+
+// WriteCalls reports the number of Write calls so far.
+func (m *Mem) WriteCalls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeCalls
+}
+
+// Crashes reports how many times Crash/CrashKeep has been called.
+func (m *Mem) Crashes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashes
+}
+
+// Crash simulates a process + machine crash: every open handle dies
+// (subsequent operations return ErrCrashed), every file loses its
+// un-synced suffix, and every directory reverts to its last SyncDir'd
+// entry set — files created or renamed without a directory sync vanish,
+// files removed without one resurrect. The filesystem stays usable:
+// new opens see the post-crash image, as a restarted process would.
+func (m *Mem) Crash() { m.CrashKeep(0) }
+
+// CrashKeep is Crash, except each file keeps up to extra bytes of its
+// un-synced suffix — a deterministic torn write: "the first K bytes of
+// the in-flight write reached the platter, the rest did not".
+func (m *Mem) CrashKeep(extra int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	m.crashes++
+	next := make(map[string]*memNode, len(m.durable))
+	for name, n := range m.durable {
+		keep := n.synced
+		if extra > 0 && keep < len(n.data) {
+			keep += extra
+			if keep > len(n.data) {
+				keep = len(n.data)
+			}
+		}
+		next[name] = &memNode{data: append([]byte(nil), n.data[:keep]...), synced: keep}
+	}
+	m.files = next
+	m.durable = make(map[string]*memNode, len(next))
+	for name, n := range next {
+		n.synced = len(n.data) // what survived the crash is durable
+		m.durable[name] = n
+	}
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+func notExist(op, name string) error {
+	return &fs.PathError{Op: op, Path: name, Err: fs.ErrNotExist}
+}
+
+func exist(op, name string) error {
+	return &fs.PathError{Op: op, Path: name, Err: fs.ErrExist}
+}
+
+// OpenFile supports the flag combinations a log/snapshot writer uses:
+// O_RDONLY, and O_WRONLY/O_RDWR with O_APPEND/O_CREATE/O_EXCL. All
+// writes append regardless of O_APPEND (the model is append-only).
+func (m *Mem) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[name]
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if flag&os.O_CREATE != 0 {
+		if ok && flag&os.O_EXCL != 0 {
+			return nil, exist("open", name)
+		}
+		if !ok {
+			node = &memNode{}
+			m.files[name] = node
+			m.dirs[filepath.Dir(name)] = true
+		}
+	} else if !ok {
+		return nil, notExist("open", name)
+	}
+	return &memFile{m: m, node: node, name: name, epoch: m.epoch, writable: writable}, nil
+}
+
+// CreateTemp mirrors os.CreateTemp with a sequential (deterministic)
+// unique suffix in place of pattern's final "*".
+func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix, suffix := pattern, ""
+	if i := strings.LastIndexByte(pattern, '*'); i >= 0 {
+		prefix, suffix = pattern[:i], pattern[i+1:]
+	}
+	for {
+		m.tempSeq++
+		name := clean(filepath.Join(dir, fmt.Sprintf("%s%d%s", prefix, m.tempSeq, suffix)))
+		if _, ok := m.files[name]; ok {
+			continue
+		}
+		node := &memNode{}
+		m.files[name] = node
+		m.dirs[filepath.Dir(name)] = true
+		return &memFile{m: m, node: node, name: name, epoch: m.epoch, writable: true}, nil
+	}
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = node
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *Mem) Truncate(name string, size int64) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[name]
+	if !ok {
+		return notExist("truncate", name)
+	}
+	if size < 0 || size > int64(len(node.data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrInvalid}
+	}
+	node.data = node.data[:size]
+	if node.synced > int(size) {
+		node.synced = int(size)
+	}
+	return nil
+}
+
+func (m *Mem) MkdirAll(path string, perm fs.FileMode) error {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *Mem) ReadDir(name string) ([]fs.DirEntry, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[string]dirEntry{}
+	found := m.dirs[name]
+	for p, node := range m.files {
+		dir, base := filepath.Dir(p), filepath.Base(p)
+		if dir == name {
+			seen[base] = dirEntry{name: base, size: int64(len(node.data))}
+			found = true
+		}
+	}
+	for d := range m.dirs {
+		if filepath.Dir(d) == name && d != name {
+			seen[filepath.Base(d)] = dirEntry{name: filepath.Base(d), dir: true}
+			found = true
+		}
+	}
+	if !found {
+		return nil, notExist("readdir", name)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+// SyncDir makes dir's current entry set durable: creates, renames, and
+// removals inside dir now survive Crash. Counts toward FailSyncAt.
+func (m *Mem) SyncDir(dir string) error {
+	dir = clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncCalls++
+	if m.failSyncAt != 0 && m.syncCalls == m.failSyncAt {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: ErrInjected}
+	}
+	for name := range m.durable {
+		if filepath.Dir(name) == dir {
+			if _, ok := m.files[name]; !ok {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, node := range m.files {
+		if filepath.Dir(name) == dir {
+			m.durable[name] = node
+		}
+	}
+	return nil
+}
+
+type memFile struct {
+	m        *Mem
+	node     *memNode
+	name     string
+	epoch    int
+	off      int
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) guard(op string) error {
+	if f.closed {
+		return &fs.PathError{Op: op, Path: f.name, Err: fs.ErrClosed}
+	}
+	if f.epoch != f.m.epoch {
+		return &fs.PathError{Op: op, Path: f.name, Err: ErrCrashed}
+	}
+	return nil
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.guard("read"); err != nil {
+		return 0, err
+	}
+	if f.off >= len(f.node.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.guard("write"); err != nil {
+		return 0, err
+	}
+	if !f.writable {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: fs.ErrPermission}
+	}
+	f.m.writeCalls++
+	if f.m.failWriteAt != 0 && f.m.writeCalls == f.m.failWriteAt {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: ErrInjected}
+	}
+	f.node.data = append(f.node.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	if err := f.guard("sync"); err != nil {
+		f.m.mu.Unlock()
+		return err
+	}
+	f.m.syncCalls++
+	fail := f.m.failSyncAt != 0 && f.m.syncCalls == f.m.failSyncAt
+	delay := f.m.syncDelay
+	f.m.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay) // outside the lock: concurrent writes proceed
+	}
+
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.guard("sync"); err != nil {
+		return err // crashed mid-fsync
+	}
+	if fail {
+		return &fs.PathError{Op: "sync", Path: f.name, Err: ErrInjected}
+	}
+	f.node.synced = len(f.node.data)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Size() (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.guard("size"); err != nil {
+		return 0, err
+	}
+	return int64(len(f.node.data)), nil
+}
+
+// ReadFileCurrent returns the volatile (pre-crash) contents of a file,
+// for test assertions.
+func (m *Mem) ReadFileCurrent(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), n.data...), true
+}
+
+// UnsyncedBytes reports how many bytes of name would be lost by a
+// Crash right now (entry durability aside), for test assertions.
+func (m *Mem) UnsyncedBytes(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[clean(name)]
+	if !ok {
+		return 0
+	}
+	return len(n.data) - n.synced
+}
+
+type dirEntry struct {
+	name string
+	dir  bool
+	size int64
+}
+
+func (d dirEntry) Name() string { return d.name }
+func (d dirEntry) IsDir() bool  { return d.dir }
+func (d dirEntry) Type() fs.FileMode {
+	if d.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (d dirEntry) Info() (fs.FileInfo, error) { return fileInfo{d}, nil }
+
+type fileInfo struct{ d dirEntry }
+
+func (fi fileInfo) Name() string { return fi.d.name }
+func (fi fileInfo) Size() int64  { return fi.d.size }
+func (fi fileInfo) Mode() fs.FileMode {
+	if fi.d.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.d.dir }
+func (fi fileInfo) Sys() any           { return nil }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"fulltext/internal/errfs"
 )
 
 // Record is one replayed log entry.
@@ -43,8 +45,15 @@ type ReplayStats struct {
 // before the same directory is opened for appending (the recovery sequence:
 // load snapshot, Replay, then Open and attach).
 func Replay(dir string, from uint64, fn func(Record) error) (ReplayStats, error) {
+	return ReplayFS(errfs.OS, dir, from, fn)
+}
+
+// ReplayFS is Replay on an explicit filesystem (see errfs); recovery of a
+// fault-injected durable index replays through the same injected FS it
+// crashed on.
+func ReplayFS(fsys errfs.FS, dir string, from uint64, fn func(Record) error) (ReplayStats, error) {
 	var st ReplayStats
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return st, nil
@@ -57,7 +66,7 @@ func Replay(dir string, from uint64, fn func(Record) error) (ReplayStats, error)
 			return st, fmt.Errorf("wal: segment chain gap: %s starts at LSN %d, expected %d", seg.path, seg.firstLSN, expect)
 		}
 		last := i == len(segs)-1
-		f, err := os.Open(seg.path)
+		f, err := fsys.OpenFile(seg.path, os.O_RDONLY, 0)
 		if err != nil {
 			return st, fmt.Errorf("wal: opening %s: %w", seg.path, err)
 		}

@@ -32,15 +32,23 @@
 //
 // Durability is tunable per log (Options.Sync):
 //
-//	SyncAlways    fsync after every record — each acknowledged mutation
-//	              survives OS crash; the slowest policy by far.
-//	SyncInterval  group commit: every record is written to the kernel
-//	              before the mutation is acknowledged (surviving process
-//	              death, e.g. SIGKILL), and a background ticker fsyncs the
-//	              file every Interval, bounding loss on OS crash to one
-//	              interval.
+//	SyncAlways    every acknowledged record survives OS crash. Commit is
+//	              two-phase: AppendAsync assigns the LSN and hands the
+//	              record to the kernel under the log lock, WaitDurable
+//	              parks the caller on a commit waiter that the flusher
+//	              goroutine releases after batching one fsync across all
+//	              concurrent committers (group commit) — the fsync itself
+//	              never runs under the lock.
+//	SyncInterval  every record is written to the kernel before the
+//	              mutation is acknowledged (surviving process death, e.g.
+//	              SIGKILL), and the flusher fsyncs the file every
+//	              Interval, bounding loss on OS crash to one interval.
 //	SyncNone      records buffer in process and reach the file on rotation,
 //	              Sync, or Close; fastest, loses the buffer on any crash.
+//
+// All file I/O goes through an errfs.FS (Options.FS), so tests inject
+// failed fsyncs, torn writes, and whole-filesystem crashes
+// deterministically; production uses the errfs.OS passthrough.
 package wal
 
 import (
@@ -55,8 +63,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fulltext/internal/errfs"
 	"fulltext/internal/telemetry"
 )
 
@@ -111,10 +121,11 @@ func (t Type) String() string {
 type SyncPolicy int
 
 const (
-	// SyncInterval is group commit: write-to-kernel per record, fsync on a
-	// background ticker. The default.
+	// SyncInterval is kernel-write per record, fsync on the flusher's
+	// ticker. The default.
 	SyncInterval SyncPolicy = iota
-	// SyncAlways fsyncs after every record, before the append returns.
+	// SyncAlways makes every acknowledged record durable via group commit:
+	// committers park on WaitDurable and share one batched fsync.
 	SyncAlways
 	// SyncNone never fsyncs and buffers records in process.
 	SyncNone
@@ -150,7 +161,7 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 type Options struct {
 	// Sync is the fsync policy.
 	Sync SyncPolicy
-	// Interval is the group-commit fsync cadence under SyncInterval.
+	// Interval is the flusher's fsync cadence under SyncInterval.
 	// <= 0 uses DefaultInterval.
 	Interval time.Duration
 	// SegmentBytes rotates the active segment once it exceeds this size.
@@ -161,6 +172,13 @@ type Options struct {
 	// snapshot passes the snapshot's LSN here so new records can never be
 	// mistaken for pre-snapshot history.
 	StartLSN uint64
+	// FS is the filesystem the log lives on. nil uses errfs.OS; tests
+	// inject an errfs.Mem to fail fsyncs, tear writes, and crash.
+	FS errfs.FS
+	// OnDurable, when non-nil, is invoked by the flusher after every
+	// successful batched fsync, with no log locks held. The durable index
+	// hangs its auto-checkpoint policy here.
+	OnDurable func()
 }
 
 // Defaults for Options.
@@ -176,6 +194,9 @@ func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
 	}
+	if o.FS == nil {
+		o.FS = errfs.OS
+	}
 	return o
 }
 
@@ -188,6 +209,9 @@ const (
 	// maxRecordBytes bounds one record body; larger lengths are treated as
 	// corruption rather than attempted allocations.
 	maxRecordBytes = 1 << 30
+	// bodyChunk is the read granularity for record bodies, so memory is
+	// committed only as fast as bytes actually arrive.
+	bodyChunk = 1 << 16
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -214,15 +238,23 @@ func parseSegName(name string) (uint64, bool) {
 	return n, true
 }
 
+// waiter is one parked committer: its record's LSN and the channel the
+// flusher releases it on (buffered so release never blocks).
+type waiter struct {
+	lsn uint64
+	ch  chan error
+}
+
 // Log is an open write-ahead log. All methods are safe for concurrent use;
 // appends are serialized, and their on-disk order is their LSN order.
 type Log struct {
 	mu   sync.Mutex
 	dir  string
 	opts Options
+	fs   errfs.FS
 
-	segs    []segMeta // all segments, ascending firstLSN; last is active
-	f       *os.File  // active segment
+	segs    []segMeta  // all segments, ascending firstLSN; last is active
+	f       errfs.File // active segment
 	w       *bufio.Writer
 	size    int64 // bytes written to the active segment (including header)
 	nextLSN uint64
@@ -230,14 +262,32 @@ type Log struct {
 	dirty   bool // bytes handed to the kernel since the last fsync
 	syncErr error
 
-	appends    uint64
-	syncs      uint64
-	rotations  uint64
-	truncated  uint64 // segments removed by TruncateBefore
-	tornDropt  int64  // torn tail bytes truncated at Open
-	closed     bool
-	stopTicker chan struct{}
-	tickerDone chan struct{}
+	// Group commit: every LSN < durableNext is fsynced; waiters park in
+	// LSN order until a batch fsync covers them. syncBusy marks an
+	// in-flight off-lock fsync by the flusher — rotation and close wait
+	// for it (syncDone) so the fd is never closed under an fsync.
+	durableNext uint64
+	waiters     []waiter
+	flushReq    chan struct{}
+	syncBusy    bool
+	syncDone    *sync.Cond
+
+	appends      uint64
+	syncs        uint64
+	groupCommits uint64 // fsyncs that made >= 1 record durable
+	groupRecords uint64 // records made durable by those fsyncs
+	rotations    uint64
+	truncated    uint64 // segments removed by TruncateBefore
+	tornDropt    int64  // torn tail bytes truncated at Open
+	closed       bool
+	stopFlusher  chan struct{}
+	flusherDone  chan struct{}
+
+	// Lock-free log position for cheap auto-checkpoint threshold checks:
+	// posLSN mirrors nextLSN, posBytes accumulates appended record bytes
+	// monotonically (it never resets on truncation).
+	posLSN   atomic.Uint64
+	posBytes atomic.Int64
 
 	// Telemetry histograms, nil until Instrument: an un-instrumented log
 	// pays one nil check per append/sync/rotation and never calls
@@ -245,24 +295,29 @@ type Log struct {
 	appendH *telemetry.Histogram
 	syncH   *telemetry.Histogram
 	rotateH *telemetry.Histogram
+	batchH  *telemetry.Histogram
 }
 
 // Instrument attaches append/sync/rotation latency histograms registered
 // with r (a nil registry leaves the log un-instrumented). Call before
 // concurrent use: the histogram fields are written without the lock.
-// Under SyncAlways the append histogram includes the per-record fsync —
-// that stall is exactly what the metric exists to expose — and the fsync
-// itself is also observed separately as a sync.
+// The append histogram covers assigning the LSN and handing the record
+// to the kernel; the wait for a batched fsync is not in it (that stall
+// is the sync histogram's, observed once per batch, and the batch size
+// histogram says how many records each fsync carried).
 func (l *Log) Instrument(r *telemetry.Registry) {
 	if r == nil {
 		return
 	}
 	l.appendH = r.Histogram("fulltext_wal_append_seconds",
-		"WAL record append latency, policy-dependent fsync included.", nil)
+		"WAL record append latency (LSN assignment + write to kernel).", nil)
 	l.syncH = r.Histogram("fulltext_wal_sync_seconds",
 		"WAL flush+fsync latency.", nil)
 	l.rotateH = r.Histogram("fulltext_wal_rotation_seconds",
 		"WAL segment rotation latency (seal, fsync, create).", nil)
+	l.batchH = r.Histogram("fulltext_wal_group_commit_batch_size",
+		"Records made durable per batched fsync (group-commit batch size).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
 	r.CounterFunc("fulltext_wal_rotations_total", "WAL segment rotations.",
 		func() uint64 { return l.Stats().Rotations })
 	r.CounterFunc("fulltext_wal_truncated_segments_total", "Sealed WAL segments deleted by checkpoint truncation.",
@@ -288,18 +343,20 @@ type OpenStats struct {
 // Earlier segments are not scanned here; Replay validates them.
 func Open(dir string, opts Options) (*Log, OpenStats, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, OpenStats{}, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, OpenStats{}, err
 	}
-	l := &Log{dir: dir, opts: opts, segs: segs}
+	l := &Log{dir: dir, opts: opts, fs: fsys, segs: segs}
+	l.syncDone = sync.NewCond(&l.mu)
 	var st OpenStats
 	for len(l.segs) > 0 {
 		last := l.segs[len(l.segs)-1]
-		scan, err := scanSegment(last.path, true)
+		scan, err := scanSegment(fsys, last.path, true)
 		if err != nil {
 			return nil, OpenStats{}, err
 		}
@@ -307,7 +364,7 @@ func Open(dir string, opts Options) (*Log, OpenStats, error) {
 			// The newest segment died before its header reached the disk (a
 			// rotation torn by a crash): it carries nothing. Remove it and
 			// let the previous segment become the active tail again.
-			if err := os.Remove(last.path); err != nil {
+			if err := fsys.Remove(last.path); err != nil {
 				return nil, OpenStats{}, fmt.Errorf("wal: removing headerless %s: %w", last.path, err)
 			}
 			l.tornDropt += scan.tornBytes
@@ -319,13 +376,13 @@ func Open(dir string, opts Options) (*Log, OpenStats, error) {
 			return nil, OpenStats{}, fmt.Errorf("wal: %s header claims first LSN %d", last.path, scan.firstLSN)
 		}
 		if scan.tornBytes > 0 {
-			if err := os.Truncate(last.path, scan.validEnd); err != nil {
+			if err := fsys.Truncate(last.path, scan.validEnd); err != nil {
 				return nil, OpenStats{}, fmt.Errorf("wal: truncating torn tail of %s: %w", last.path, err)
 			}
 			l.tornDropt += scan.tornBytes
 			st.TornTailBytes += scan.tornBytes
 		}
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, OpenStats{}, fmt.Errorf("wal: reopening %s: %w", last.path, err)
 		}
@@ -348,10 +405,13 @@ func Open(dir string, opts Options) (*Log, OpenStats, error) {
 			return nil, OpenStats{}, err
 		}
 	}
-	if opts.Sync == SyncInterval {
-		l.stopTicker = make(chan struct{})
-		l.tickerDone = make(chan struct{})
-		go l.syncLoop()
+	l.durableNext = l.nextLSN
+	l.posLSN.Store(l.nextLSN)
+	if opts.Sync == SyncAlways || opts.Sync == SyncInterval {
+		l.flushReq = make(chan struct{}, 1)
+		l.stopFlusher = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flushLoop()
 	}
 	st.Segments = len(l.segs)
 	st.NextLSN = l.nextLSN
@@ -359,8 +419,8 @@ func Open(dir string, opts Options) (*Log, OpenStats, error) {
 }
 
 // listSegments enumerates dir's wal segments in ascending LSN order.
-func listSegments(dir string) ([]segMeta, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys errfs.FS, dir string) ([]segMeta, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
 	}
@@ -384,7 +444,7 @@ func listSegments(dir string) ([]segMeta, error) {
 // during Open).
 func (l *Log) newSegmentLocked(firstLSN uint64) error {
 	path := filepath.Join(l.dir, segName(firstLSN))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
@@ -401,26 +461,22 @@ func (l *Log) newSegmentLocked(firstLSN uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: writing segment header: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
 	}
 	l.f, l.w = f, w
 	l.size = int64(headerSize)
 	l.nextLSN = firstLSN
+	l.posLSN.Store(firstLSN)
 	l.segs = append(l.segs, segMeta{firstLSN: firstLSN, path: path})
 	return nil
 }
 
 // syncDir fsyncs a directory, committing entries for files created or
 // removed in it.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: syncing %s: %w", dir, err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys errfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: syncing %s: %w", dir, err)
 	}
 	return nil
@@ -428,8 +484,10 @@ func syncDir(dir string) error {
 
 // rotateLocked finishes the active segment (flushing and fsyncing it — a
 // sealed segment is always durable regardless of policy) and starts a new
-// one at firstLSN.
+// one at firstLSN. It first waits out any in-flight flusher fsync: the fd
+// must not be closed under one.
 func (l *Log) rotateLocked(firstLSN uint64) error {
+	l.waitSyncIdleLocked()
 	var start time.Time
 	if l.rotateH != nil {
 		start = time.Now()
@@ -444,6 +502,7 @@ func (l *Log) rotateLocked(firstLSN uint64) error {
 		return fmt.Errorf("wal: closing segment: %w", err)
 	}
 	l.dirty = false
+	l.markDurableLocked(l.nextLSN)
 	l.rotations++
 	if err := l.newSegmentLocked(firstLSN); err != nil {
 		return err
@@ -452,6 +511,51 @@ func (l *Log) rotateLocked(firstLSN uint64) error {
 		l.rotateH.ObserveSince(start)
 	}
 	return nil
+}
+
+// waitSyncIdleLocked blocks (releasing l.mu while parked) until no
+// flusher fsync is in flight. Callers hold l.mu.
+func (l *Log) waitSyncIdleLocked() {
+	for l.syncBusy {
+		l.syncDone.Wait()
+	}
+}
+
+// markDurableLocked advances the durability horizon to next (every LSN <
+// next fsynced), releasing covered waiters, and accounts one group
+// commit when the horizon actually moved. Callers hold l.mu and have
+// just completed a successful fsync covering those records.
+func (l *Log) markDurableLocked(next uint64) {
+	if next > l.durableNext {
+		batch := next - l.durableNext
+		l.durableNext = next
+		l.groupCommits++
+		l.groupRecords += batch
+		if l.batchH != nil {
+			l.batchH.Observe(float64(batch))
+		}
+	}
+	if len(l.waiters) == 0 {
+		return
+	}
+	kept := l.waiters[:0]
+	for _, w := range l.waiters {
+		if w.lsn < l.durableNext {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.waiters = kept
+}
+
+// failWaitersLocked releases every parked committer with err. Callers
+// hold l.mu and have poisoned the log.
+func (l *Log) failWaitersLocked(err error) {
+	for _, w := range l.waiters {
+		w.ch <- err
+	}
+	l.waiters = l.waiters[:0]
 }
 
 // fail poisons the log: once an I/O error has (possibly) left a partial
@@ -466,13 +570,27 @@ func (l *Log) fail(err error) error {
 	return err
 }
 
-// Append writes one record and returns its LSN. Whether the record has
-// reached the disk when Append returns depends on the sync policy; the
-// on-disk record order always matches LSN order. Any I/O failure poisons
-// the log permanently (see fail): in particular, a record that reached
-// the file but whose fsync failed must never be followed by an applied
-// mutation, or a later replay would resurrect the unapplied record.
+// Append writes one record and returns its LSN, waiting out the policy's
+// durability: it is AppendAsync followed by WaitDurable. Any I/O failure
+// poisons the log permanently (see fail).
 func (l *Log) Append(t Type, payload []byte) (uint64, error) {
+	lsn, err := l.AppendAsync(t, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendAsync assigns the next LSN and writes one record as far as the
+// kernel (under SyncAlways and SyncInterval; SyncNone buffers in
+// process), without waiting for any fsync. The on-disk record order
+// always matches LSN order. An error means the record was not committed
+// and the log is poisoned; a nil error means the record is sequenced and
+// WaitDurable(lsn) will report when (or whether) it became durable.
+func (l *Log) AppendAsync(t Type, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var start time.Time
@@ -512,24 +630,12 @@ func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 	l.size += int64(8 + len(body))
 	l.nextLSN++
 	l.appends++
+	l.posLSN.Store(l.nextLSN)
+	l.posBytes.Add(int64(8 + len(body)))
 	switch l.opts.Sync {
-	case SyncAlways:
-		var syncStart time.Time
-		if l.syncH != nil {
-			syncStart = time.Now()
-		}
-		if err := l.w.Flush(); err != nil {
-			return 0, l.fail(fmt.Errorf("wal: flushing record: %w", err))
-		}
-		if err := l.f.Sync(); err != nil {
-			return 0, l.fail(fmt.Errorf("wal: syncing record: %w", err))
-		}
-		l.syncs++
-		if l.syncH != nil {
-			l.syncH.ObserveSince(syncStart)
-		}
-	case SyncInterval:
-		// To the kernel now (survives SIGKILL); to the platter on the ticker.
+	case SyncAlways, SyncInterval:
+		// To the kernel now — the record survives process death and is
+		// visible to the flusher's next batch fsync.
 		if err := l.w.Flush(); err != nil {
 			return 0, l.fail(fmt.Errorf("wal: flushing record: %w", err))
 		}
@@ -543,31 +649,128 @@ func (l *Log) Append(t Type, payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// syncLoop is the group-commit ticker: under SyncInterval it fsyncs the
-// active segment every Options.Interval while appends have dirtied it.
-func (l *Log) syncLoop() {
-	defer close(l.tickerDone)
-	t := time.NewTicker(l.opts.Interval)
-	defer t.Stop()
+// WaitDurable blocks until the record at lsn is fsynced, joining the
+// flusher's current group-commit batch. Under SyncInterval and SyncNone
+// it returns immediately: those policies acknowledge before the fsync by
+// design. A non-nil error means the record's durability is unknown and
+// the log is poisoned; the caller must treat the mutation as failed.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.mu.Lock()
+	if l.opts.Sync != SyncAlways || lsn < l.durableNext {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.syncErr != nil {
+		err := l.syncErr
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: wait on closed log")
+	}
+	w := waiter{lsn: lsn, ch: make(chan error, 1)}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+	select {
+	case l.flushReq <- struct{}{}:
+	default: // a wakeup is already pending; the flusher will see us
+	}
+	return <-w.ch
+}
+
+// flushLoop is the flusher goroutine: it serializes every batched fsync.
+// Under SyncAlways it is woken by parked committers; under SyncInterval
+// by the ticker. Either way the fsync itself runs with l.mu released, so
+// concurrent appends never wait on the disk.
+func (l *Log) flushLoop() {
+	defer close(l.flusherDone)
+	var tickC <-chan time.Time
+	if l.opts.Sync == SyncInterval {
+		t := time.NewTicker(l.opts.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
 	for {
 		select {
-		case <-l.stopTicker:
+		case <-l.stopFlusher:
 			return
-		case <-t.C:
-			l.mu.Lock()
-			if l.dirty && !l.closed && l.syncErr == nil {
-				if err := l.syncLocked(); err != nil {
-					// Surfaced to the next Append/Sync: a log that cannot
-					// reach the disk must stop accepting mutations.
-					l.syncErr = err
-				}
-			}
-			l.mu.Unlock()
+		case <-l.flushReq:
+		case <-tickC:
+		}
+		l.commitBatch()
+	}
+}
+
+// commitBatch runs one group commit: flush buffered records, fsync the
+// active segment once off the lock, then advance the durability horizon
+// and release every waiter the fsync covered. Records appended while the
+// fsync was in flight stay pending and trigger the next batch.
+func (l *Log) commitBatch() {
+	l.mu.Lock()
+	if l.closed || l.syncErr != nil {
+		if err := l.syncErr; err != nil {
+			l.failWaitersLocked(err)
+		}
+		l.mu.Unlock()
+		return
+	}
+	if !l.dirty && len(l.waiters) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	var start time.Time
+	if l.syncH != nil {
+		start = time.Now()
+	}
+	if err := l.w.Flush(); err != nil {
+		l.failWaitersLocked(l.fail(fmt.Errorf("wal: flushing log: %w", err)))
+		l.mu.Unlock()
+		return
+	}
+	// Everything below target is in a sealed (already durable) segment or
+	// flushed to the active file the fsync below covers. Rotation cannot
+	// swap the fd out from under us: rotateLocked waits on syncBusy.
+	target := l.nextLSN
+	sizeAtFlush := l.size
+	f := l.f
+	l.syncBusy = true
+	l.mu.Unlock()
+
+	err := f.Sync() // off the lock: appends proceed while the disk works
+
+	l.mu.Lock()
+	l.syncBusy = false
+	l.syncDone.Broadcast()
+	if err != nil {
+		l.failWaitersLocked(l.fail(fmt.Errorf("wal: syncing log: %w", err)))
+		l.mu.Unlock()
+		return
+	}
+	l.syncs++
+	if l.syncH != nil {
+		l.syncH.ObserveSince(start)
+	}
+	if l.size == sizeAtFlush {
+		l.dirty = false // nothing arrived during the fsync
+	}
+	l.markDurableLocked(target)
+	more := len(l.waiters) > 0
+	l.mu.Unlock()
+	if l.opts.OnDurable != nil {
+		l.opts.OnDurable()
+	}
+	if more {
+		select {
+		case l.flushReq <- struct{}{}:
+		default:
 		}
 	}
 }
 
-// syncLocked flushes buffered records and fsyncs the active segment.
+// syncLocked flushes buffered records and fsyncs the active segment,
+// advancing the durability horizon. Callers hold l.mu with no flusher
+// fsync in flight.
 func (l *Log) syncLocked() error {
 	var start time.Time
 	if l.syncH != nil {
@@ -581,6 +784,7 @@ func (l *Log) syncLocked() error {
 	}
 	l.dirty = false
 	l.syncs++
+	l.markDurableLocked(l.nextLSN)
 	if l.syncH != nil {
 		l.syncH.ObserveSince(start)
 	}
@@ -598,8 +802,13 @@ func (l *Log) Sync() error {
 	if l.syncErr != nil {
 		return l.syncErr
 	}
+	l.waitSyncIdleLocked()
+	if l.syncErr != nil { // the fsync we waited out may have poisoned the log
+		return l.syncErr
+	}
 	if err := l.syncLocked(); err != nil {
-		return l.fail(err)
+		l.failWaitersLocked(l.fail(err))
+		return l.syncErr
 	}
 	return nil
 }
@@ -614,10 +823,17 @@ func (l *Log) Rotate() error {
 	if l.closed {
 		return fmt.Errorf("wal: rotate on closed log")
 	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	if l.size == int64(headerSize) {
 		return nil
 	}
-	return l.rotateLocked(l.nextLSN)
+	if err := l.rotateLocked(l.nextLSN); err != nil {
+		l.failWaitersLocked(l.fail(err))
+		return l.syncErr
+	}
+	return nil
 }
 
 // TruncateBefore deletes sealed segments every record of which has LSN
@@ -636,7 +852,7 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 		// A segment's records end where the next segment begins; the active
 		// (last) segment is always kept.
 		if i+1 < len(l.segs) && l.segs[i+1].firstLSN <= lsn {
-			if err := os.Remove(s.path); err != nil {
+			if err := l.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: removing %s: %w", s.path, err)
 			}
 			l.truncated++
@@ -655,6 +871,13 @@ func (l *Log) NextLSN() uint64 {
 	return l.nextLSN
 }
 
+// Position returns the next LSN and the total bytes appended over the
+// log's lifetime, without taking the log lock — cheap enough to call
+// after every mutation (the auto-checkpoint threshold check does).
+func (l *Log) Position() (nextLSN uint64, appendedBytes int64) {
+	return l.posLSN.Load(), l.posBytes.Load()
+}
+
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
 
@@ -663,15 +886,23 @@ func (l *Log) Policy() SyncPolicy { return l.opts.Sync }
 
 // Stats is a snapshot of the log's position and activity counters.
 type Stats struct {
-	NextLSN  uint64
-	Segments int
+	NextLSN uint64
+	// DurableLSN is the LSN one past the newest fsynced record.
+	DurableLSN uint64
+	Segments   int
 	// ActiveBytes is the size of the active segment, header included.
 	ActiveBytes int64
 	Appends     uint64
-	// Syncs counts fsyncs: per record under SyncAlways, per dirty interval
-	// under SyncInterval, explicit Sync/Close/rotation flushes otherwise.
-	Syncs     uint64
-	Rotations uint64
+	// Syncs counts fsyncs of the active segment: batched group commits
+	// under SyncAlways, ticker flushes under SyncInterval, explicit
+	// Sync/Close/rotation flushes otherwise.
+	Syncs uint64
+	// GroupCommits counts fsyncs that made at least one record durable;
+	// GroupCommitRecords is the records they carried, so
+	// GroupCommitRecords/GroupCommits is the mean batch size.
+	GroupCommits       uint64
+	GroupCommitRecords uint64
+	Rotations          uint64
 	// TruncatedSegments counts sealed segments deleted by TruncateBefore.
 	TruncatedSegments uint64
 	// TornTailBytes is the incomplete final-record tail truncated at Open.
@@ -684,35 +915,47 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		NextLSN:           l.nextLSN,
-		Segments:          len(l.segs),
-		ActiveBytes:       l.size,
-		Appends:           l.appends,
-		Syncs:             l.syncs,
-		Rotations:         l.rotations,
-		TruncatedSegments: l.truncated,
-		TornTailBytes:     l.tornDropt,
-		Policy:            l.opts.Sync,
+		NextLSN:            l.nextLSN,
+		DurableLSN:         l.durableNext,
+		Segments:           len(l.segs),
+		ActiveBytes:        l.size,
+		Appends:            l.appends,
+		Syncs:              l.syncs,
+		GroupCommits:       l.groupCommits,
+		GroupCommitRecords: l.groupRecords,
+		Rotations:          l.rotations,
+		TruncatedSegments:  l.truncated,
+		TornTailBytes:      l.tornDropt,
+		Policy:             l.opts.Sync,
 	}
 }
 
-// Close flushes, fsyncs and closes the log. Further appends fail.
+// Close flushes, fsyncs and closes the log. Further appends fail; any
+// committer still parked on WaitDurable is released by the final fsync
+// (or failed by its error).
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil
 	}
+	l.waitSyncIdleLocked()
 	l.closed = true
-	err := l.syncLocked()
+	var err error
+	if l.syncErr != nil {
+		err = l.syncErr
+		l.failWaitersLocked(err)
+	} else if err = l.syncLocked(); err != nil {
+		l.failWaitersLocked(l.fail(err))
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
-	stop := l.stopTicker
+	stop := l.stopFlusher
 	l.mu.Unlock()
 	if stop != nil {
 		close(stop)
-		<-l.tickerDone
+		<-l.flusherDone
 	}
 	return err
 }
@@ -741,13 +984,13 @@ var errTorn = fmt.Errorf("wal: segment ends mid-record")
 // With tolerateTorn (the final segment of a log), an incomplete final
 // record is reported via tornBytes instead of an error; a checksum mismatch
 // is always an error.
-func scanSegment(path string, tolerateTorn bool) (segmentScan, error) {
-	f, err := os.Open(path)
+func scanSegment(fsys errfs.FS, path string, tolerateTorn bool) (segmentScan, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return segmentScan{}, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	info, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		return segmentScan{}, fmt.Errorf("wal: stat %s: %w", path, err)
 	}
@@ -757,7 +1000,7 @@ func scanSegment(path string, tolerateTorn bool) (segmentScan, error) {
 		if !tolerateTorn {
 			return segmentScan{}, fmt.Errorf("wal: %s truncated mid-record but is not the final segment", path)
 		}
-		scan.tornBytes = info.Size() - scan.validEnd
+		scan.tornBytes = size - scan.validEnd
 		return scan, nil
 	}
 	return scan, err
@@ -803,8 +1046,28 @@ func readSegment(br *bufio.Reader, path string, fn func(idx int, t Type, payload
 		if bodyLen == 0 || bodyLen > maxRecordBytes {
 			return scan, fmt.Errorf("wal: %s: record %d declares %d bytes", path, scan.records, bodyLen)
 		}
-		body := make([]byte, bodyLen)
-		if _, err := io.ReadFull(br, body); err != nil {
+		// The declared length is untrusted until the body is actually read:
+		// a corrupt prefix claiming a gigabyte must fail at the file's true
+		// end, not allocate the claim, so the body grows in bounded chunks.
+		initial := bodyLen
+		if initial > bodyChunk {
+			initial = bodyChunk
+		}
+		body := make([]byte, 0, initial)
+		torn := false
+		for uint32(len(body)) < bodyLen {
+			chunk := bodyLen - uint32(len(body))
+			if chunk > bodyChunk {
+				chunk = bodyChunk
+			}
+			off := len(body)
+			body = append(body, make([]byte, chunk)...)
+			if _, err := io.ReadFull(br, body[off:]); err != nil {
+				torn = true
+				break
+			}
+		}
+		if torn {
 			return scan, errTorn
 		}
 		if _, err := io.ReadFull(br, frame[:]); err != nil {

@@ -2,6 +2,8 @@ package wal
 
 import (
 	"encoding/binary"
+
+	"fulltext/internal/errfs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -189,7 +191,7 @@ func TestEmptyDirAndStartLSN(t *testing.T) {
 // crash mid-write.
 func tornWrite(t *testing.T, dir string, n int64) {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(errfs.OS, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments: %v", err)
 	}
@@ -253,7 +255,7 @@ func TestCorruptCRCFailsLoudly(t *testing.T) {
 	}
 	l.Close()
 	// Flip one byte inside the middle record's body.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(errfs.OS, dir)
 	path := segs[0].path
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -287,7 +289,7 @@ func TestTornMiddleSegmentIsCorruption(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(errfs.OS, dir)
 	if len(segs) < 2 {
 		t.Fatalf("need multiple segments, got %d", len(segs))
 	}
@@ -313,7 +315,7 @@ func TestSegmentChainGapDetected(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(errfs.OS, dir)
 	if len(segs) < 3 {
 		t.Fatalf("need >= 3 segments, got %d", len(segs))
 	}
@@ -452,7 +454,7 @@ func TestAbsurdRecordLengthRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(errfs.OS, dir)
 	f, err := os.OpenFile(segs[0].path, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -488,7 +490,7 @@ func TestTornHeaderFinalSegmentDropped(t *testing.T) {
 	}
 	l.Close()
 	// Tear the rotated-to segment's header: 5 of its 13 bytes reached disk.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(errfs.OS, dir)
 	last := segs[len(segs)-1].path
 	if err := os.Truncate(last, 5); err != nil {
 		t.Fatal(err)

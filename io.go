@@ -9,6 +9,7 @@ import (
 	"fulltext/internal/core"
 	"fulltext/internal/invlist"
 	"fulltext/internal/pred"
+	"fulltext/internal/score"
 	"fulltext/internal/segment"
 	"fulltext/internal/text"
 )
@@ -265,9 +266,8 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	return s.writeToLocked(w)
 }
 
-// writeToLocked is WriteTo's body; callers hold at least the read lock
-// (Checkpoint holds it across serialization so the snapshot and its
-// recorded log position cannot drift apart).
+// writeToLocked is WriteTo's body; callers hold at least the read lock,
+// which freezes the fields the borrowed view aliases.
 func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 	return s.writeToLockedVersion(w, shardedVersion)
 }
@@ -276,8 +276,58 @@ func (s *ShardedIndex) writeToLocked(w io.Writer) (int64, error) {
 // version; version 3 omits the per-segment block sections. Tests use it to
 // produce legacy streams, production writes always pass shardedVersion.
 func (s *ShardedIndex) writeToLockedVersion(w io.Writer, version int) (int64, error) {
-	if len(s.shards) > maxShards {
-		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(s.shards), maxShards)
+	v := &snapshotView{shards: s.shards, nextOrd: s.nextOrd, cstats: s.cstats}
+	return v.writeTo(w, version)
+}
+
+// snapshotView is a point-in-time serializable image of a sharded index:
+// the segment set, the ordinal allocator position, and the global
+// statistics every segment's scoring block is computed against. WriteTo
+// borrows the live fields under the read lock; Checkpoint instead builds
+// a frozen copy (snapshotViewLocked) so serialization — the expensive
+// part — runs with no index lock held at all.
+type snapshotView struct {
+	shards  [][]*seg
+	nextOrd int
+	cstats  *score.Cached
+}
+
+// snapshotViewLocked builds a frozen view under the write or read lock:
+// copy-on-write clones of every segment (sharing the immutable posting
+// data, copying only the tombstone set — see segment.Clone) and a private
+// copy of the global statistics (the live ones mutate in place under the
+// write lock). The returned view is safe to serialize after the lock is
+// released, concurrently with any mutation. The O(live tokens) statistics
+// copy and O(documents) tombstone copies are the entire critical section
+// of an off-lock checkpoint.
+func (s *ShardedIndex) snapshotViewLocked() *snapshotView {
+	shards := make([][]*seg, len(s.shards))
+	for i, segs := range s.shards {
+		shards[i] = make([]*seg, len(segs))
+		for j, sg := range segs {
+			c := sg.meta.Clone()
+			// Not newSeg: that would re-apply the block-size override to the
+			// shared posting index. The clone shares Inv, so it already
+			// carries the configured granularity.
+			shards[i][j] = &seg{meta: c, ix: &Index{inv: c.Inv, reg: s.reg, ids: c.IDs, analyzer: s.analyzer, rc: s.rc}}
+		}
+	}
+	df := make(map[string]int, len(s.stats.df))
+	for tok, n := range s.stats.df {
+		df[tok] = n
+	}
+	frozen := &globalStats{nodes: s.stats.nodes, totalPos: s.stats.totalPos, df: df}
+	return &snapshotView{shards: shards, nextOrd: s.nextOrd, cstats: score.NewCached(frozen)}
+}
+
+// writeTo serializes the view. Reading segment data is lock-free by
+// construction (segments are immutable, tombstone sets are private to the
+// view or frozen under the caller's lock); the per-segment statistics
+// blocks it requests are guarded by each posting index's own stats mutex,
+// shared safely with concurrent queries.
+func (v *snapshotView) writeTo(w io.Writer, version int) (int64, error) {
+	if len(v.shards) > maxShards {
+		return 0, fmt.Errorf("fulltext: %d shards exceed the format limit of %d", len(v.shards), maxShards)
 	}
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -297,13 +347,13 @@ func (s *ShardedIndex) writeToLockedVersion(w io.Writer, version int) (int64, er
 	if err := putUvarint(uint64(version)); err != nil {
 		return n, err
 	}
-	if err := putUvarint(uint64(len(s.shards))); err != nil {
+	if err := putUvarint(uint64(len(v.shards))); err != nil {
 		return n, err
 	}
-	if err := putUvarint(uint64(s.nextOrd)); err != nil {
+	if err := putUvarint(uint64(v.nextOrd)); err != nil {
 		return n, err
 	}
-	for i, segs := range s.shards {
+	for i, segs := range v.shards {
 		if len(segs) > maxSegments {
 			return n, fmt.Errorf("fulltext: shard %d has %d segments, format limit is %d", i, len(segs), maxSegments)
 		}
@@ -311,7 +361,7 @@ func (s *ShardedIndex) writeToLockedVersion(w io.Writer, version int) (int64, er
 			return n, err
 		}
 		for _, sg := range segs {
-			m, err := s.writeSegment(bw, putUvarint, sg, version)
+			m, err := writeSegment(bw, putUvarint, sg, version, v.cstats)
 			n += m
 			if err != nil {
 				return n, err
@@ -327,7 +377,7 @@ func (s *ShardedIndex) writeToLockedVersion(w io.Writer, version int) (int64, er
 // >= 4) the per-block score-bound section. It returns the bytes it wrote
 // directly (the varint framing is counted by the caller's putUvarint
 // closure).
-func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) error, sg *seg, version int) (int64, error) {
+func writeSegment(bw *bufio.Writer, putUvarint func(uint64) error, sg *seg, version int, cstats *score.Cached) (int64, error) {
 	var n int64
 	meta := sg.meta
 	// Global-ordinal table, delta encoded (strictly increasing within a
@@ -374,7 +424,7 @@ func (s *ShardedIndex) writeSegment(bw *bufio.Writer, putUvarint func(uint64) er
 	}
 	// Global-statistics block (computed now if no ranked query has warmed
 	// it): what this segment's ranked scoring reads at serve time.
-	blk := sg.ix.inv.StatsBlock(s.cstats)
+	blk := sg.ix.inv.StatsBlock(cstats)
 	toks := sg.ix.inv.Tokens()
 	if err := putUvarint(uint64(len(blk.Norms))); err != nil {
 		return n, err

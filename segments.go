@@ -123,6 +123,16 @@ func (s *ShardedIndex) AddTokensBatch(docs []TokenDocument) error {
 // raw inputs; it is invoked — after all validation, so the log only ever
 // holds mutations that applied — only when a WAL is attached, keeping the
 // undurable path free of encoding cost.
+//
+// Durable commit is two-phase: under the write lock the record is
+// appended to the log's kernel buffer (wal.AppendAsync — sequencing, no
+// fsync) and the mutation applied; the fsync wait (wal.WaitDurable)
+// happens after the lock is released, so concurrent committers share one
+// group-commit fsync instead of serializing a disk flush each under the
+// lock. The mutation is therefore query-visible before it is durable; the
+// call does not return success until it is durable. A WaitDurable error
+// means durability is unknown — the log is poisoned and the process's
+// only safe continuation is recovery.
 func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) error {
 	if len(pre) == 0 {
 		return nil
@@ -176,15 +186,19 @@ func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) 
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, d := range pre {
 		if _, dup := s.byID[d.id]; dup {
+			s.mu.Unlock()
 			return fmt.Errorf("fulltext: %w %q", ErrDuplicateID, d.id)
 		}
 	}
-	if s.wal != nil {
+	log := s.wal
+	var lsn uint64
+	if log != nil {
 		t, payload := logRec()
-		if _, err := s.wal.Append(t, payload); err != nil {
+		var err error
+		if lsn, err = log.AppendAsync(t, payload); err != nil {
+			s.mu.Unlock()
 			return fmt.Errorf("fulltext: write-ahead log: %w", err)
 		}
 	}
@@ -218,6 +232,13 @@ func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) 
 	}
 	s.nextOrd += len(pre)
 	s.afterMutate(order...)
+	s.mu.Unlock()
+	if log != nil {
+		if err := log.WaitDurable(lsn); err != nil {
+			return fmt.Errorf("fulltext: write-ahead log: %w", err)
+		}
+		s.pollAutoCheckpoint()
+	}
 	return nil
 }
 
@@ -234,18 +255,29 @@ func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) 
 // forward index recovers the token set directly.
 func (s *ShardedIndex) Delete(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	loc, ok := s.byID[id]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
-	if s.wal != nil {
-		if _, err := s.wal.Append(wal.TypeDelete, wal.EncodeDelete(id)); err != nil {
+	log := s.wal
+	var lsn uint64
+	if log != nil {
+		var err error
+		if lsn, err = log.AppendAsync(wal.TypeDelete, wal.EncodeDelete(id)); err != nil {
+			s.mu.Unlock()
 			panic(fmt.Sprintf("fulltext: write-ahead log: %v", err))
 		}
 	}
 	s.deleteLocked(id, loc)
 	s.afterMutate(loc.shard)
+	s.mu.Unlock()
+	if log != nil {
+		if err := log.WaitDurable(lsn); err != nil {
+			panic(fmt.Sprintf("fulltext: write-ahead log: %v", err))
+		}
+		s.pollAutoCheckpoint()
+	}
 	return true
 }
 
@@ -260,7 +292,6 @@ func (s *ShardedIndex) Delete(id string) bool {
 // record, no generation bump.
 func (s *ShardedIndex) DeleteBatch(ids []string) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	hits := make([]string, 0, len(ids))
 	locs := make([]docLoc, 0, len(ids))
 	seen := make(map[string]bool, len(ids))
@@ -275,12 +306,17 @@ func (s *ShardedIndex) DeleteBatch(ids []string) (int, error) {
 		}
 	}
 	if len(hits) == 0 {
+		s.mu.Unlock()
 		return 0, nil
 	}
-	if s.wal != nil {
+	log := s.wal
+	var lsn uint64
+	if log != nil {
 		// The raw request is logged, not the hit set: replay re-derives the
 		// same hits from the same pre-record state.
-		if _, err := s.wal.Append(wal.TypeDeleteBatch, wal.EncodeDeleteBatch(ids)); err != nil {
+		var err error
+		if lsn, err = log.AppendAsync(wal.TypeDeleteBatch, wal.EncodeDeleteBatch(ids)); err != nil {
+			s.mu.Unlock()
 			return 0, fmt.Errorf("fulltext: write-ahead log: %w", err)
 		}
 	}
@@ -294,6 +330,13 @@ func (s *ShardedIndex) DeleteBatch(ids []string) (int, error) {
 		}
 	}
 	s.afterMutate(shards...)
+	s.mu.Unlock()
+	if log != nil {
+		if err := log.WaitDurable(lsn); err != nil {
+			return 0, fmt.Errorf("fulltext: write-ahead log: %w", err)
+		}
+		s.pollAutoCheckpoint()
+	}
 	return len(hits), nil
 }
 

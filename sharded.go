@@ -5,9 +5,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fulltext/internal/core"
+	"fulltext/internal/errfs"
 	"fulltext/internal/lang"
 	"fulltext/internal/pred"
 	"fulltext/internal/score"
@@ -222,10 +224,25 @@ type ShardedIndex struct {
 	// snapshots for an OpenDurable index.
 	wal         *wal.Log
 	dataDir     string
+	fsys        errfs.FS // snapshot I/O filesystem; nil means errfs.OS
 	recovery    RecoveryStats
-	ckptMu      sync.Mutex // serializes whole Checkpoint calls
-	checkpoints uint64     // completed Checkpoint calls (under mu)
-	lastCkptLSN uint64     // snapshot LSN of the newest completed checkpoint
+	ckptMu      sync.Mutex         // serializes whole Checkpoint calls
+	checkpoints uint64             // completed Checkpoint calls (under mu)
+	lastCkptLSN uint64             // snapshot LSN of the newest completed checkpoint
+	ckptHook    func(phase string) // test hook between checkpoint phases (set before use)
+
+	// Auto-checkpoint state (see DurableOptions.AutoCheckpoint). autoCkpt
+	// is fixed at open; the atomics carry the trigger baselines so the
+	// post-mutation threshold check takes no locks; autoCkptBusy is the
+	// single-flight latch; the WaitGroup lets Close drain an in-flight
+	// auto checkpoint. Counters under mu.
+	autoCkpt        AutoCheckpoint
+	autoCkptBusy    atomic.Bool
+	autoCkptWG      sync.WaitGroup
+	autoLastLSN     atomic.Uint64 // log position at the last completed checkpoint
+	autoLastBytes   atomic.Int64  // log bytes appended as of that checkpoint
+	autoCheckpoints uint64        // auto-triggered checkpoints completed (under mu)
+	autoCkptErr     error         // outcome of the newest auto checkpoint (under mu)
 
 	// tel holds the push-style duration instruments installed by
 	// EnableTelemetry (nil until then — and nil forever on an
