@@ -1,0 +1,99 @@
+// Command ftlint is the engine's multichecker: it loads the packages
+// named by its arguments (go list patterns, typically ./...), runs every
+// registered analyzer over them, and prints one line per finding. Exit
+// status 1 when anything is found, 0 on a clean run — CI treats it like
+// go vet.
+//
+// Usage:
+//
+//	go run ./cmd/ftlint ./...
+//	go run ./cmd/ftlint -list
+//	go run ./cmd/ftlint -run locksafe,walerr ./...
+//
+// Findings can be acknowledged in place with
+// //ftlint:ignore <analyzer> <reason>; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fulltext/internal/analysis"
+	"fulltext/internal/analysis/atomicfield"
+	"fulltext/internal/analysis/locksafe"
+	"fulltext/internal/analysis/metricname"
+	"fulltext/internal/analysis/walerr"
+)
+
+var all = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	locksafe.Analyzer,
+	metricname.Analyzer,
+	walerr.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	runOnly := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ftlint [-list] [-run a,b] <packages>\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the engine's invariant analyzers over go list patterns.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runOnly != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runOnly, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ftlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -289,7 +289,7 @@ type server struct {
 }
 
 // endpointNames maps route patterns to the endpoint label of
-// ftserve_http_request_duration_seconds, registered eagerly so the
+// fulltext_http_request_duration_seconds, registered eagerly so the
 // metric family is complete (all series present, even at zero) from the
 // first scrape.
 var endpointNames = map[string]string{
@@ -331,19 +331,19 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	}
 	ix.EnableTelemetry(s.reg)
 	for _, name := range endpointNames {
-		s.reqH[name] = s.reg.Histogram("ftserve_http_request_duration_seconds",
+		s.reqH[name] = s.reg.Histogram("fulltext_http_request_duration_seconds",
 			"Request latency by endpoint.", nil,
 			telemetry.Label{Name: "endpoint", Value: name})
 	}
-	s.reg.CounterFunc("ftserve_shed_requests_total",
+	s.reg.CounterFunc("fulltext_http_shed_requests_total",
 		"Requests shed with 503 by the inflight limiter.", s.shed.Load)
-	s.reg.CounterFunc("ftserve_slow_queries_total",
+	s.reg.CounterFunc("fulltext_http_slow_queries_total",
 		"Requests exceeding the -slow-query threshold.", s.slowN.Load)
-	s.reg.CounterFunc("ftserve_trace_spans_started_total",
+	s.reg.CounterFunc("fulltext_trace_spans_started_total",
 		"Trace spans started (roots and children).", s.tracer.Started)
-	s.reg.CounterFunc("ftserve_trace_spans_dropped_total",
+	s.reg.CounterFunc("fulltext_trace_spans_dropped_total",
 		"Trace spans refused at the per-trace cap.", s.tracer.Dropped)
-	s.reg.GaugeFunc("ftserve_uptime_seconds", "Server uptime.",
+	s.reg.GaugeFunc("fulltext_uptime_seconds", "Server uptime.",
 		func() float64 { return time.Since(s.started).Seconds() })
 
 	mux := http.NewServeMux()

@@ -714,7 +714,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	fams := metricsFamilies(t, ts.URL)
 	for _, want := range []string{
-		"ftserve_http_request_duration_seconds",
+		"fulltext_http_request_duration_seconds",
 		"fulltext_query_plan_seconds",
 		"fulltext_query_shard_eval_seconds",
 		"fulltext_query_merge_seconds",
@@ -734,8 +734,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	// The search endpoint histogram saw both queries.
 	var searchCount float64
-	for _, s := range fams["ftserve_http_request_duration_seconds"].Samples {
-		if s.Name == "ftserve_http_request_duration_seconds_count" && s.Labels["endpoint"] == "search" {
+	for _, s := range fams["fulltext_http_request_duration_seconds"].Samples {
+		if s.Name == "fulltext_http_request_duration_seconds_count" && s.Labels["endpoint"] == "search" {
 			searchCount = s.Value
 		}
 	}
@@ -754,8 +754,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	// The mutation endpoint histogram saw the POST /docs.
 	var docsCount float64
-	for _, s := range fams["ftserve_http_request_duration_seconds"].Samples {
-		if s.Name == "ftserve_http_request_duration_seconds_count" && s.Labels["endpoint"] == "docs" {
+	for _, s := range fams["fulltext_http_request_duration_seconds"].Samples {
+		if s.Name == "fulltext_http_request_duration_seconds_count" && s.Labels["endpoint"] == "docs" {
 			docsCount = s.Value
 		}
 	}

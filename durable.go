@@ -1,6 +1,7 @@
 package fulltext
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -167,12 +168,10 @@ func OpenDurable(dir string, o DurableOptions) (*ShardedIndex, error) {
 	// idempotent, so re-running them here closes the window.
 	if snapLSN > 0 {
 		if err := removeSnapshotsBelow(fsys, dir, snapLSN); err != nil {
-			log.Close()
-			return nil, err
+			return nil, errors.Join(err, log.Close())
 		}
 		if err := log.TruncateBefore(snapLSN); err != nil {
-			log.Close()
-			return nil, err
+			return nil, errors.Join(err, log.Close())
 		}
 	}
 	s.mu.Lock()

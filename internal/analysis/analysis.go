@@ -1,0 +1,225 @@
+// Package analysis is the engine's static-analysis framework: a minimal,
+// dependency-free mirror of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the loading and suppression machinery
+// the ftlint multichecker and the per-analyzer test harnesses share.
+//
+// The framework exists because the engine's headline guarantee —
+// byte-identical results across sharding, WAND, incremental ingestion and
+// crash recovery — rests on hand-maintained invariants (no blocking I/O
+// under the index write lock, atomic-only access to shared fields,
+// never-dropped WAL errors, a closed telemetry vocabulary) that dynamic
+// tests can only sample. The analyzers under internal/analysis/... check
+// them on every build of every commit; docs/INVARIANTS.md catalogues
+// which analyzer guards which invariant.
+//
+// Suppression: a finding can be acknowledged in place with
+//
+//	//ftlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or on its own line immediately above. The
+// analyzer list names which checks are waived ("all" waives every
+// analyzer) and the reason is mandatory — a bare ignore is itself
+// reported. Suppressions are handled here, uniformly, so every analyzer
+// honors them without carrying its own comment parsing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Run inspects a single
+// type-checked package through its Pass and reports findings via
+// Pass.Report; it returns an error only for internal failures, never for
+// findings.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in ftlint:ignore directives
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one finding. The runner filters suppressed findings
+	// afterwards, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf is the printf convenience over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a diagnostic attributed to the analyzer that produced it,
+// with its position resolved — the multichecker's output unit.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// ignoreDirective is one parsed //ftlint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // lower-case analyzer names, or "all"
+	line      int             // line the directive suppresses
+	used      bool
+}
+
+const ignorePrefix = "//ftlint:ignore"
+
+// parseIgnores extracts the file's suppression directives, keyed by the
+// line they apply to: the directive's own line for a trailing comment, the
+// following line for a directive standing alone. Malformed directives (no
+// analyzer list, or no reason) are returned as findings — a suppression
+// that does not say what it waives and why is itself a violation.
+func parseIgnores(fset *token.FileSet, file *ast.File) (map[int][]*ignoreDirective, []Finding) {
+	byLine := make(map[int][]*ignoreDirective)
+	var bad []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //ftlint:ignorexyz — not a directive
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Analyzer: "ftlint",
+					Position: pos,
+					Message:  "malformed ftlint:ignore: want \"//ftlint:ignore <analyzer>[,<analyzer>] <reason>\" (the reason is mandatory)",
+				})
+				continue
+			}
+			d := &ignoreDirective{analyzers: make(map[string]bool), line: pos.Line}
+			for _, a := range strings.Split(fields[0], ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					d.analyzers[strings.ToLower(a)] = true
+				}
+			}
+			// A directive alone on its line shields the next line; a
+			// trailing directive shields its own.
+			if onOwnLine(fset, file, c) {
+				d.line = pos.Line + 1
+			}
+			byLine[d.line] = append(byLine[d.line], d)
+		}
+	}
+	return byLine, bad
+}
+
+// onOwnLine reports whether comment c is the first token on its line.
+func onOwnLine(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	var preceded bool
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || preceded {
+			return false
+		}
+		if p := fset.Position(n.Pos()); p.Line == pos.Line && p.Column < pos.Column {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+				// Enclosing nodes span many lines; keep descending.
+				return true
+			default:
+				preceded = true
+				return false
+			}
+		}
+		return true
+	})
+	return !preceded
+}
+
+// suppressions holds every directive of one package run.
+type suppressions struct {
+	fset   *token.FileSet
+	byFile map[string]map[int][]*ignoreDirective
+	bad    []Finding
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byFile: make(map[string]map[int][]*ignoreDirective)}
+	for _, f := range files {
+		byLine, bad := parseIgnores(fset, f)
+		s.byFile[fset.Position(f.Pos()).Filename] = byLine
+		s.bad = append(s.bad, bad...)
+	}
+	return s
+}
+
+// suppressed reports whether a finding by analyzer at pos is waived, and
+// marks the waiving directive used.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range s.byFile[pos.Filename][pos.Line] {
+		if d.analyzers["all"] || d.analyzers[strings.ToLower(analyzer)] {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppression directives are honored across
+// all analyzers; malformed directives are reported as ftlint findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		findings = append(findings, sup.bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

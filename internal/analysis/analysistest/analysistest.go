@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its findings against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library alone.
+//
+// A fixture lives under the analyzer's testdata/src/<importpath>/
+// directory and marks each expected finding with a trailing comment on
+// the offending line:
+//
+//	s.log.Sync() // want `blocking fsync`
+//
+// The backquoted text is a regular expression matched against the
+// finding's message. Every finding must be wanted and every want must be
+// found — so a fixture with want comments fails the moment its check is
+// disabled or broken, which is the property the CI suite leans on.
+// Suppression comments (//ftlint:ignore) are honored before matching:
+// a line carrying both a violation and a valid ignore directive needs no
+// want, and proves the suppression path works.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fulltext/internal/analysis"
+)
+
+// want is one expected-finding marker.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads each fixture package from testdataDir (its src/ subtree),
+// applies the analyzer, and reports mismatches between findings and
+// // want comments through t.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		pkg, err := analysis.LoadOverlay(testdataDir, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", path, err)
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected finding: [%s] %s", f.Position, f.Analyzer, f.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unhit want on the finding's line whose pattern
+// matches, reporting whether one existed.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the // want markers from every fixture file.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %w", pkg.Fset.Position(c.Pos()), m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: wantLine(pkg.Fset, file, c, pos), re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// wantLine resolves which line a want comment describes: its own line for
+// a trailing comment, the next line when the comment stands alone (the
+// same convention ftlint:ignore uses).
+func wantLine(fset *token.FileSet, file *ast.File, c *ast.Comment, pos token.Position) int {
+	if strings.HasPrefix(strings.TrimSpace(c.Text), "// want") && commentAlone(fset, file, c) {
+		return pos.Line + 1
+	}
+	return pos.Line
+}
+
+// commentAlone reports whether the comment starts its line.
+func commentAlone(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	alone := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if p := fset.Position(n.Pos()); p.Line == pos.Line && p.Column < pos.Column {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt:
+				return true
+			default:
+				alone = false
+				return false
+			}
+		}
+		return true
+	})
+	return alone
+}

@@ -1,0 +1,83 @@
+package analysis
+
+// Small go/ast + go/types helpers every analyzer needs: resolving the
+// object a call invokes and describing receivers in package-path terms
+// that work identically on the real module and on test fixtures (which
+// stub engine packages under the same import-path suffixes).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the *types.Func a call invokes, nil for calls of
+// builtins, function values, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// RecvType returns the receiver's named-type name and defining package
+// path for a method ("" for package-level functions). Pointer receivers
+// are dereferenced; interface methods report the interface's name.
+func RecvType(f *types.Func) (pkgPath, typeName string) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	if named.Obj().Pkg() != nil {
+		pkgPath = named.Obj().Pkg().Path()
+	}
+	return pkgPath, named.Obj().Name()
+}
+
+// FuncPkgPath returns the defining package path of f ("" for universe
+// scope).
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// PathIs reports whether an import path is the given engine package: an
+// exact match, or any prefix ending in "/"+suffix — so
+// "fulltext/internal/wal" matches suffix "internal/wal" both in the real
+// module and in fixture overlays.
+func PathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// FieldVar resolves a selector to the struct field it denotes, nil when
+// the selector is not a field access.
+func FieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified references (pkg.Var) and embedded promotions land in Uses.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

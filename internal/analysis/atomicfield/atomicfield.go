@@ -1,0 +1,129 @@
+// Package atomicfield enforces memory-model discipline on shared struct
+// fields: a field that is accessed through sync/atomic anywhere in a
+// package must be accessed through sync/atomic everywhere in that
+// package. A single plain read or write of such a field is a data race
+// — the compiler and CPU are free to tear, cache, or reorder it against
+// the atomic accesses — and it is exactly the bug class that produced
+// the Span.budget race this analyzer was built from: the tracer
+// initialised *s.budget with a plain store while sampled spans
+// decremented it with atomic.AddInt32.
+//
+// Two field shapes are covered:
+//
+//   - value fields whose address is taken for atomic calls
+//     (atomic.LoadUint32(&s.flag)): every other selector of that field
+//     — read, write, or address-taken — must also feed a sync/atomic
+//     call;
+//   - pointer fields passed to atomic calls (atomic.AddInt32(s.budget,
+//     -1)): passing the pointer around is fine, dereferencing it
+//     (*s.budget) is not.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fulltext/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic must be accessed via sync/atomic everywhere in the package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find the fields involved in sync/atomic calls, and remember
+	// the selector expressions that appear inside those calls — they are
+	// the sanctioned accesses.
+	atomicAddr := make(map[*types.Var]token.Position) // &s.f passed to atomic
+	atomicPtr := make(map[*types.Var]token.Position)  // pointer field s.f passed to atomic
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil || analysis.FuncPkgPath(f) != "sync/atomic" || !isAtomicOp(f.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.UnaryExpr:
+					if a.Op != token.AND {
+						continue
+					}
+					if sel, ok := ast.Unparen(a.X).(*ast.SelectorExpr); ok {
+						if v := analysis.FieldVar(pass.TypesInfo, sel); v != nil {
+							if _, seen := atomicAddr[v]; !seen {
+								atomicAddr[v] = pass.Fset.Position(call.Pos())
+							}
+							sanctioned[sel] = true
+						}
+					}
+				case *ast.SelectorExpr:
+					if v := analysis.FieldVar(pass.TypesInfo, a); v != nil {
+						if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+							if _, seen := atomicPtr[v]; !seen {
+								atomicPtr[v] = pass.Fset.Position(call.Pos())
+							}
+						}
+						sanctioned[a] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAddr) == 0 && len(atomicPtr) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields must be sanctioned.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[v] {
+					return true
+				}
+				f := analysis.FieldVar(pass.TypesInfo, v)
+				if f == nil {
+					return true
+				}
+				if at, ok := atomicAddr[f]; ok {
+					pass.Reportf(v.Pos(), "plain access of field %s, which is accessed atomically at %s; use sync/atomic everywhere", f.Name(), at)
+				}
+			case *ast.StarExpr:
+				sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f := analysis.FieldVar(pass.TypesInfo, sel)
+				if f == nil {
+					return true
+				}
+				if at, ok := atomicPtr[f]; ok {
+					pass.Reportf(v.Pos(), "plain dereference of pointer field %s, which is updated atomically at %s; use sync/atomic everywhere", f.Name(), at)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicOp matches the sync/atomic functions that constitute an
+// atomic access (not constants like atomic.Int32 methods, which cannot
+// coexist with plain access anyway).
+func isAtomicOp(name string) bool {
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

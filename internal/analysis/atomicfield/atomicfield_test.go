@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"fulltext/internal/analysis/analysistest"
+	"fulltext/internal/analysis/atomicfield"
+)
+
+// TestAtomicfield checks the analyzer against its fixture package;
+// every // want must fire and every accepted pattern (atomic access,
+// pointer hand-off, untouched fields, reasoned suppression) must stay
+// silent.
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicfield/a")
+}

@@ -1,0 +1,53 @@
+// Fixtures for the atomicfield analyzer, modeled on the Span.budget
+// race: a field touched through sync/atomic anywhere must be touched
+// through sync/atomic everywhere in the package.
+package a
+
+import "sync/atomic"
+
+type tracer struct {
+	spans    int32
+	budget   *int32
+	maxSpans int
+}
+
+func (t *tracer) start() {
+	_ = atomic.AddInt32(&t.spans, 1)  // ok: sanctioned atomic access
+	*t.budget = int32(t.maxSpans) - 1 // want `plain dereference of pointer field budget`
+}
+
+func (t *tracer) sample() bool {
+	return atomic.AddInt32(t.budget, -1) >= 0 // ok: pointer fed to sync/atomic
+}
+
+func (t *tracer) snapshot() int32 {
+	return t.spans // want `plain access of field spans`
+}
+
+func (t *tracer) share() *int32 {
+	return t.budget // ok: passing the pointer around is fine, only dereference races
+}
+
+func (t *tracer) reset() {
+	atomic.StoreInt32(&t.spans, 0)           // ok
+	atomic.StoreInt32(t.budget, 0)           // ok
+	_ = atomic.LoadInt32(&t.spans)           // ok
+	_ = atomic.CompareAndSwapInt32(t.budget, // ok
+		0, 1)
+}
+
+// maxSpans is never accessed atomically, so plain access is fine.
+func (t *tracer) limit() int { return t.maxSpans } // ok
+
+// A type with no atomic involvement at all stays silent.
+type plain struct{ n int }
+
+func (p *plain) inc() { p.n++ } // ok
+
+// A reasoned suppression is honored — no want here.
+func newTracer() *tracer {
+	t := &tracer{budget: new(int32)}
+	//ftlint:ignore atomicfield constructor runs before the tracer is shared
+	t.spans = 0
+	return t
+}

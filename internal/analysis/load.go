@@ -1,0 +1,317 @@
+package analysis
+
+// Package loading for the analyzers, on the standard library alone: the
+// go command enumerates packages and supplies compiled export data for
+// every dependency (go list -export -deps, fully offline against the
+// build cache), the target packages themselves are parsed and
+// type-checked from source, and imports resolve through the export data —
+// so an analyzer sees exactly the types the compiler saw, without
+// golang.org/x/tools. The analysistest harness reuses the same machinery
+// with a source overlay: import paths found under a fixture tree
+// (testdata/src/<path>) are type-checked from those sources instead,
+// shadowing the real packages, which lets fixtures stub
+// fulltext/internal/wal or fulltext/internal/telemetry with just enough
+// surface to trip each analyzer.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of go list -json output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command in dir and decodes its package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader resolves imports for source-checked packages: overlay sources
+// first (analysistest fixtures), compiled export data otherwise.
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	overlay map[string]string // import path -> source dir (fixtures)
+	gc      types.Importer
+	srcPkgs map[string]*types.Package
+	parsed  map[string][]*ast.File
+}
+
+func newLoader(exports map[string]string, overlay map[string]string) *loader {
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		exports: exports,
+		overlay: overlay,
+		srcPkgs: make(map[string]*types.Package),
+		parsed:  make(map[string][]*ast.File),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q (is it built?)", path)
+		}
+		return os.Open(e)
+	})
+	return ld
+}
+
+// Import implements types.Importer for the dependencies of source-checked
+// packages.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir, ok := ld.overlay[path]; ok {
+		if pkg, ok := ld.srcPkgs[path]; ok {
+			return pkg, nil
+		}
+		pkg, _, err := ld.checkSource(path, dir, nil)
+		return pkg, err
+	}
+	return ld.gc.Import(path)
+}
+
+// parseDir parses every non-test .go file in dir, sorted for determinism.
+func (ld *loader) parseDir(dir string, files []string) ([]*ast.File, error) {
+	if files == nil {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, name)
+			}
+		}
+		sort.Strings(files)
+	}
+	var out []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(ld.fset, filepath.Join(dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, af)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return out, nil
+}
+
+// checkSource parses and type-checks one package from source. files may
+// name the package's files explicitly (from go list); nil scans the dir.
+func (ld *loader) checkSource(path, dir string, files []string) (*types.Package, *Package, error) {
+	parsed, err := ld.parseDir(dir, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, parsed, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	ld.srcPkgs[path] = tpkg
+	return tpkg, &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       ld.fset,
+		Files:      parsed,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Load enumerates the packages matching patterns (relative to dir, e.g.
+// "./...") through the go command and type-checks each from source, with
+// every import resolved from compiled export data. This is the ftlint
+// entry point; it requires the module to build.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	ld := newLoader(exports, nil)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		_, pkg, err := ld.checkSource(t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadOverlay type-checks the package at importPath against a fixture
+// tree rooted at overlayRoot: any import found under
+// overlayRoot/src/<path> is checked from those sources (shadowing real
+// packages of the same path); everything else resolves through compiled
+// export data obtained from the enclosing module's build cache. This is
+// the analysistest entry point.
+func LoadOverlay(overlayRoot, importPath string) (*Package, error) {
+	src := filepath.Join(overlayRoot, "src")
+	overlay := make(map[string]string)
+	if err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(src, p)
+				if err != nil {
+					return err
+				}
+				overlay[filepath.ToSlash(rel)] = p
+				break
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("analysis: scanning overlay %s: %w", src, err)
+	}
+	dir, ok := overlay[importPath]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no fixture package %q under %s", importPath, src)
+	}
+
+	// Collect the overlay tree's external imports and fetch export data
+	// for them in one go command run from the enclosing module.
+	external := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, d := range overlay {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			af, err := parser.ParseFile(fset, filepath.Join(d, e.Name()), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range af.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if _, shadowed := overlay[p]; !shadowed && p != "unsafe" {
+					external[p] = true
+				}
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		mod, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(mod, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	ld := newLoader(exports, overlay)
+	_, pkg, err := ld.checkSource(importPath, dir, nil)
+	return pkg, err
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

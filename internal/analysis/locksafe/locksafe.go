@@ -1,0 +1,346 @@
+// Package locksafe enforces the engine's central latency invariant,
+// established when group commit decoupled durability from the index
+// lock: no blocking I/O or unbounded waits while holding ShardedIndex's
+// write lock (mu.Lock .. mu.Unlock). Denied under the write lock:
+//
+//   - fsync in any spelling (File.Sync, wal Sync/SyncDir, errfs SyncDir);
+//   - blocking write-ahead-log calls: Append, Sync, WaitDurable, Rotate,
+//     TruncateBefore, Close (AppendAsync is the sanctioned exception —
+//     it only stages bytes and signals the group-commit loop);
+//   - file writes and file-system mutation (os.File writes, os.Create,
+//     os.Rename, ..., and the errfs fault-injection equivalents);
+//   - network calls (net, net/http, net/rpc dials, serves, round trips);
+//   - histogram observation (telemetry.Histogram Observe/ObserveSince),
+//     which takes the histogram's own mutex and showed up in merge-path
+//     lock-hold profiles.
+//
+// The read lock is exempt: searches observe latency histograms under
+// RLock by design. Calls launched with go run outside the lock's
+// critical path and are skipped. The analyzer also follows calls to
+// other methods on the same receiver and checks their bodies as if
+// locked, so hiding an fsync one hop away still reports.
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fulltext/internal/analysis"
+)
+
+// indexType is the receiver type whose write lock the invariant guards.
+const indexType = "ShardedIndex"
+
+// lockField is the mutex field name; other locks (bgMu, telemetry
+// internals) are out of scope.
+const lockField = "mu"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "forbid blocking I/O, durability waits, network calls and histogram observation while holding the ShardedIndex write lock",
+	Run:  run,
+}
+
+// checker carries one package's scan state.
+type checker struct {
+	pass *analysis.Pass
+	// methods of ShardedIndex in this package, by name.
+	methods map[string]*ast.FuncDecl
+	// methods whose whole body must be treated as locked because some
+	// locked region calls them (transitively).
+	lockedBody map[string]bool
+	// reported de-duplicates diagnostics between the direct scan and the
+	// propagated rescans.
+	reported map[ast.Node]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		methods:    make(map[string]*ast.FuncDecl),
+		lockedBody: make(map[string]bool),
+		reported:   make(map[ast.Node]bool),
+	}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+				if c.isIndexMethod(fd) {
+					c.methods[fd.Name.Name] = fd
+				}
+			}
+		}
+	}
+	// First pass: scan every function, tracking explicit Lock/Unlock
+	// regions. Same-receiver calls made under the lock seed the worklist.
+	var worklist []string
+	enqueue := func(name string) {
+		if _, ok := c.methods[name]; ok && !c.lockedBody[name] {
+			c.lockedBody[name] = true
+			worklist = append(worklist, name)
+		}
+	}
+	for _, fd := range decls {
+		c.scanStmts(fd.Body.List, false, enqueue)
+	}
+	// Propagation: any method reachable from a locked region runs with
+	// the lock held; its entire body is subject to the same rules.
+	for len(worklist) > 0 {
+		name := worklist[0]
+		worklist = worklist[1:]
+		c.scanStmts(c.methods[name].Body.List, true, enqueue)
+	}
+	return nil
+}
+
+// isIndexMethod reports whether fd is a method on (*)ShardedIndex.
+func (c *checker) isIndexMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == indexType
+}
+
+// scanStmts walks one statement list tracking the write-lock state.
+// locked is the state on entry; the return value is the state on normal
+// fall-through. A defer of mu.Unlock() marks the rest of the function
+// locked. Nested blocks inherit the current state and may clear it
+// locally (early-unlock branches); conservatively, they do not clear the
+// enclosing scope's state.
+func (c *checker) scanStmts(stmts []ast.Stmt, locked bool, enqueue func(string)) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if c.isLockCall(call, "Lock") {
+					locked = true
+					continue
+				}
+				if c.isLockCall(call, "Unlock") {
+					locked = false
+					continue
+				}
+			}
+			if locked {
+				c.checkExpr(s.X, enqueue)
+			}
+		case *ast.DeferStmt:
+			if c.isLockCall(s.Call, "Unlock") {
+				if locked {
+					// defer s.mu.Unlock() after Lock: held to return.
+					// (Registered before Lock — the post-unlock flush
+					// pattern — it runs unlocked and is not flagged.)
+					locked = true
+				}
+				continue
+			}
+			if locked {
+				c.checkExpr(s.Call, enqueue)
+			}
+		case *ast.GoStmt:
+			// The goroutine body runs outside this critical section.
+		case *ast.BlockStmt:
+			c.scanStmts(s.List, locked, enqueue)
+		case *ast.IfStmt:
+			if locked {
+				c.checkOptional(s.Init, enqueue)
+				c.checkExpr(s.Cond, enqueue)
+			}
+			c.scanStmts(s.Body.List, locked, enqueue)
+			if s.Else != nil {
+				c.scanStmts([]ast.Stmt{s.Else}, locked, enqueue)
+			}
+		case *ast.ForStmt:
+			if locked {
+				c.checkOptional(s.Init, enqueue)
+				if s.Cond != nil {
+					c.checkExpr(s.Cond, enqueue)
+				}
+				c.checkOptional(s.Post, enqueue)
+			}
+			c.scanStmts(s.Body.List, locked, enqueue)
+		case *ast.RangeStmt:
+			if locked {
+				c.checkExpr(s.X, enqueue)
+			}
+			c.scanStmts(s.Body.List, locked, enqueue)
+		case *ast.SwitchStmt:
+			if locked {
+				c.checkOptional(s.Init, enqueue)
+				if s.Tag != nil {
+					c.checkExpr(s.Tag, enqueue)
+				}
+			}
+			c.scanStmts(s.Body.List, locked, enqueue)
+		case *ast.TypeSwitchStmt:
+			c.scanStmts(s.Body.List, locked, enqueue)
+		case *ast.SelectStmt:
+			c.scanStmts(s.Body.List, locked, enqueue)
+		case *ast.CaseClause:
+			if locked {
+				for _, e := range s.List {
+					c.checkExpr(e, enqueue)
+				}
+			}
+			c.scanStmts(s.Body, locked, enqueue)
+		case *ast.CommClause:
+			if locked {
+				c.checkOptional(s.Comm, enqueue)
+			}
+			c.scanStmts(s.Body, locked, enqueue)
+		case *ast.LabeledStmt:
+			c.scanStmts([]ast.Stmt{s.Stmt}, locked, enqueue)
+		default:
+			if locked {
+				c.checkOptional(st, enqueue)
+			}
+		}
+	}
+	return locked
+}
+
+// checkOptional checks the expressions of a simple statement.
+func (c *checker) checkOptional(st ast.Stmt, enqueue func(string)) {
+	if st == nil {
+		return
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			c.checkExpr(e, enqueue)
+			return false
+		}
+		return true
+	})
+}
+
+// checkExpr inspects one locked expression tree for denied calls and for
+// same-receiver method calls to propagate into. Function literals and
+// go statements are skipped — their bodies run outside the lock unless
+// invoked inline, which the engine does not do under mu.
+func (c *checker) checkExpr(e ast.Expr, enqueue func(string)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			c.checkCall(v, enqueue)
+		}
+		return true
+	})
+}
+
+// checkCall reports a denied call or enqueues a same-receiver callee.
+func (c *checker) checkCall(call *ast.CallExpr, enqueue func(string)) {
+	f := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	if reason := denyReason(f); reason != "" {
+		if !c.reported[call] {
+			c.reported[call] = true
+			c.pass.Reportf(call.Pos(), "%s while holding the ShardedIndex write lock", reason)
+		}
+		return
+	}
+	// Same-receiver method call: the callee runs with the lock held.
+	recvPkg, recvType := analysis.RecvType(f)
+	if recvType == indexType && recvPkg == c.pass.Pkg.Path() {
+		enqueue(f.Name())
+	}
+}
+
+// isLockCall matches s.mu.Lock() / s.mu.Unlock() where s is a
+// ShardedIndex and the field is the index mutex. RLock/RUnlock do not
+// match: the read lock is exempt.
+func (c *checker) isLockCall(call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || field.Sel.Name != lockField {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(field.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == indexType
+}
+
+// denyReason classifies a callee as forbidden under the write lock,
+// returning a human-readable reason or "".
+func denyReason(f *types.Func) string {
+	name := f.Name()
+	recvPkg, recvType := analysis.RecvType(f)
+	if recvType != "" {
+		switch {
+		case name == "WaitDurable":
+			return "blocking on durability (WaitDurable)"
+		case name == "Sync" && (recvPkg == "os" || analysis.PathIs(recvPkg, "internal/wal") || analysis.PathIs(recvPkg, "internal/errfs")):
+			return "fsync (" + recvType + ".Sync)"
+		case name == "SyncDir":
+			return "directory fsync (" + recvType + ".SyncDir)"
+		case recvType == "Log" && analysis.PathIs(recvPkg, "internal/wal"):
+			switch name {
+			case "Append", "Rotate", "TruncateBefore", "Close":
+				return "blocking write-ahead-log I/O (wal.Log." + name + ")"
+			}
+		case recvType == "Histogram" && analysis.PathIs(recvPkg, "internal/telemetry"):
+			switch name {
+			case "Observe", "ObserveSince":
+				return "histogram observation (telemetry.Histogram." + name + " takes the histogram mutex)"
+			}
+		case recvType == "File" && recvPkg == "os":
+			switch name {
+			case "Write", "WriteString", "WriteAt", "ReadFrom", "Truncate":
+				return "file write (os.File." + name + ")"
+			}
+		case analysis.PathIs(recvPkg, "internal/errfs"):
+			switch name {
+			case "Write", "WriteString", "OpenFile", "CreateTemp", "Rename", "Remove", "MkdirAll":
+				return "file-system I/O (errfs " + recvType + "." + name + ")"
+			}
+		case isNetPkg(recvPkg):
+			return "network call (" + recvPkg + " " + recvType + "." + name + ")"
+		}
+		return ""
+	}
+	pkg := analysis.FuncPkgPath(f)
+	switch {
+	case pkg == "os":
+		switch name {
+		case "WriteFile", "Rename", "Remove", "RemoveAll", "Create", "CreateTemp", "OpenFile", "Mkdir", "MkdirAll", "Truncate":
+			return "file-system mutation (os." + name + ")"
+		}
+	case isNetPkg(pkg):
+		return "network call (" + pkg + "." + name + ")"
+	}
+	return ""
+}
+
+// isNetPkg matches the networking packages whose calls block on peers.
+// Pure-parsing net/* packages (url, netip, textproto constants) are not
+// call sites that block, so only the dial/serve packages are listed.
+func isNetPkg(path string) bool {
+	switch path {
+	case "net", "net/http", "net/rpc", "net/smtp":
+		return true
+	}
+	return strings.HasPrefix(path, "net/http/")
+}

@@ -1,0 +1,17 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"fulltext/internal/analysis/analysistest"
+	"fulltext/internal/analysis/locksafe"
+)
+
+// TestLocksafe checks the analyzer against its fixture package: every
+// // want must fire (so a disabled or broken check fails the test) and
+// nothing beyond the wants may be reported (so the sanctioned patterns
+// — AppendAsync under the lock, RLock observation, post-unlock flushes,
+// reasoned suppressions — stay accepted).
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locksafe/a")
+}

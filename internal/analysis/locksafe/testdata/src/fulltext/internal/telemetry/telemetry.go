@@ -1,0 +1,9 @@
+// Stub of the engine's telemetry histograms for the locksafe fixtures.
+package telemetry
+
+import "time"
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64)         {}
+func (h *Histogram) ObserveSince(t0 time.Time) {}

@@ -1,0 +1,118 @@
+// Fixtures for the locksafe analyzer: each // want marks a call that
+// must be reported while the ShardedIndex write lock is held, each
+// "ok:" comment marks a pattern the analyzer must accept. The
+// regression case lives in regression.go.
+package a
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"fulltext/internal/telemetry"
+	"fulltext/internal/wal"
+)
+
+type ShardedIndex struct {
+	mu   sync.RWMutex
+	log  *wal.Log
+	hist *telemetry.Histogram
+}
+
+// The sanctioned write path: stage bytes under the lock, block on
+// durability only after releasing it.
+func (s *ShardedIndex) addBatchOK(rec wal.Record) (uint64, error) {
+	s.mu.Lock()
+	lsn, err := s.log.AppendAsync(rec) // ok: stages bytes, signals the commit loop
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return lsn, s.log.WaitDurable(lsn) // ok: after unlock
+}
+
+func (s *ShardedIndex) waitUnderLock(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.WaitDurable(lsn) // want `blocking on durability \(WaitDurable\)`
+}
+
+func (s *ShardedIndex) fileIOUnderLock() {
+	s.mu.Lock()
+	f, err := os.Create("scratch") // want `file-system mutation \(os\.Create\)`
+	if err == nil {
+		_, _ = f.Write(nil) // want `file write \(os\.File\.Write\)`
+	}
+	s.mu.Unlock()
+}
+
+func (s *ShardedIndex) observeUnderLock(t0 time.Time) {
+	s.mu.Lock()
+	s.hist.ObserveSince(t0) // want `histogram observation`
+	s.mu.Unlock()
+	s.hist.ObserveSince(t0) // ok: lock released
+}
+
+// The read lock is exempt by design: searches observe latency
+// histograms under RLock.
+func (s *ShardedIndex) searchOK(t0 time.Time) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hist.ObserveSince(t0) // ok: read lock
+}
+
+func (s *ShardedIndex) fetchUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = http.Get("http://example.invalid/") // want `network call \(net/http\.Get\)`
+}
+
+// A branch that unlocks early may do I/O after its unlock.
+func (s *ShardedIndex) earlyUnlock(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return s.log.Sync() // ok: this branch released the lock
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Work handed to a goroutine leaves the critical section.
+func (s *ShardedIndex) goExempt() {
+	s.mu.Lock()
+	go func() {
+		_ = s.log.Sync() // ok: runs outside the critical section
+	}()
+	s.mu.Unlock()
+}
+
+// Propagation: a helper reached from a locked region is checked as if
+// locked, so the violation cannot hide one call away.
+func (s *ShardedIndex) mutate() {
+	s.mu.Lock()
+	s.rotateLocked()
+	s.mu.Unlock()
+}
+
+func (s *ShardedIndex) rotateLocked() {
+	_ = s.log.Rotate() // want `blocking write-ahead-log I/O \(wal\.Log\.Rotate\)`
+}
+
+// A suppression with a reason is honored — no want here.
+func (s *ShardedIndex) suppressedSync() {
+	s.mu.Lock()
+	//ftlint:ignore locksafe single-writer startup path, lock uncontended by construction
+	_ = s.log.Sync()
+	s.mu.Unlock()
+}
+
+// The deferred post-unlock flush pattern: a defer registered before
+// Lock runs after the deferred Unlock, outside the critical section.
+func (s *ShardedIndex) flushAfterUnlockOK(t0 time.Time) {
+	defer s.hist.ObserveSince(t0) // ok: runs after the deferred Unlock below
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.log.AppendAsync(wal.Record{}) // ok
+}

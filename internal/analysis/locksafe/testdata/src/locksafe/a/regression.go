@@ -1,0 +1,25 @@
+// The deliberately-broken fixture this analyzer exists for: the
+// pre-group-commit write path, with the fsync moved back under the
+// ShardedIndex write lock. Before non-blocking durability landed, every
+// mutation held mu across Append+Sync and writers stalled behind disk
+// flushes; group commit moved staging under the lock (AppendAsync) and
+// the wait after it. If a refactor ever reintroduces this shape,
+// locksafe must fail the build — the two want markers below are that
+// guarantee, and the test suite fails if either stops firing.
+package a
+
+import "fulltext/internal/wal"
+
+func (s *ShardedIndex) addBatchRegression(rec wal.Record) error {
+	s.mu.Lock()
+	if _, err := s.log.Append(rec); err != nil { // want `blocking write-ahead-log I/O \(wal\.Log\.Append\)`
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.log.Sync(); err != nil { // want `fsync \(Log\.Sync\)`
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	return nil
+}

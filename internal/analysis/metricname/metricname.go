@@ -1,0 +1,179 @@
+// Package metricname pins the telemetry vocabulary at compile time.
+// Every Registry registration (Counter, CounterFunc, Gauge, GaugeFunc,
+// Histogram) must pass a compile-time-constant name that satisfies the
+// shared naming rules in internal/telemetry.CheckMetricName — the same
+// function scripts/promcheck -naming applies to a live /metrics scrape,
+// so the static vocabulary and the served one cannot drift:
+//
+//   - fulltext_ prefix, lower snake case;
+//   - counters end in _total;
+//   - histograms end in a unit suffix (_seconds, _bytes, _records);
+//   - gauges never end in _total.
+//
+// The analyzer also rejects registrations that collide: the same name
+// registered as two different kinds, a pull (Func) sampler registered
+// twice for one series (the second silently replaces the first), and a
+// series registered both push and pull (which panics at runtime).
+package metricname
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fulltext/internal/analysis"
+	"fulltext/internal/telemetry"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "metric registrations must use constant fulltext_* names with the engine's unit-suffix conventions, without duplicate or conflicting registrations",
+	Run:  run,
+}
+
+// registration kinds by Registry method name. The bool marks pull-style
+// (callback-sampled) constructors.
+var regMethods = map[string]struct {
+	kind string
+	pull bool
+}{
+	"Counter":     {"counter", false},
+	"CounterFunc": {"counter", true},
+	"Gauge":       {"gauge", false},
+	"GaugeFunc":   {"gauge", true},
+	"Histogram":   {"histogram", false},
+}
+
+type site struct {
+	pos  token.Pos
+	kind string
+	pull bool
+}
+
+func run(pass *analysis.Pass) error {
+	// The registry package itself is generic infrastructure with
+	// arbitrary names in its own tests and examples.
+	if analysis.PathIs(pass.Pkg.Path(), "internal/telemetry") {
+		return nil
+	}
+	byName := make(map[string][]site)   // kind-conflict tracking
+	bySeries := make(map[string][]site) // exact-series duplicate tracking
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil {
+				return true
+			}
+			m, ok := regMethods[f.Name()]
+			if !ok {
+				return true
+			}
+			recvPkg, recvType := analysis.RecvType(f)
+			if recvType != "Registry" || !analysis.PathIs(recvPkg, "internal/telemetry") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, isConst := constString(pass.TypesInfo, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s must be a compile-time constant string", f.Name())
+				return true
+			}
+			if err := telemetry.CheckMetricName(name, m.kind); err != nil {
+				pass.Reportf(call.Args[0].Pos(), "%v", err)
+			}
+			s := site{pos: call.Pos(), kind: m.kind, pull: m.pull}
+			for _, prev := range byName[name] {
+				if prev.kind != s.kind {
+					pass.Reportf(call.Pos(), "metric %q registered as %s here but as %s earlier in this package; one name, one kind", name, s.kind, prev.kind)
+					break
+				}
+			}
+			byName[name] = append(byName[name], s)
+			if key, ok := seriesKey(pass.TypesInfo, name, call.Args); ok {
+				for _, prev := range bySeries[key] {
+					switch {
+					case prev.pull && s.pull:
+						pass.Reportf(call.Pos(), "duplicate pull registration of metric %q with identical labels; the second sampler silently replaces the first", name)
+					case prev.pull != s.pull:
+						pass.Reportf(call.Pos(), "metric %q registered both push and pull style for the same series; the registry panics on this at runtime", name)
+					}
+				}
+				bySeries[key] = append(bySeries[key], s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// seriesKey builds "name|k=v|k=v" from the call's variadic Label
+// arguments when every label is a fully constant composite literal.
+// Sites with computed labels register distinct series per call at
+// runtime, so duplicate detection skips them.
+func seriesKey(info *types.Info, name string, args []ast.Expr) (string, bool) {
+	var labels []string
+	for _, arg := range args[1:] {
+		t := info.TypeOf(arg)
+		if t == nil || !isLabelType(t) {
+			continue
+		}
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			return "", false
+		}
+		var lname, lvalue string
+		okName, okValue := false, false
+		for i, el := range lit.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				key, _ := kv.Key.(*ast.Ident)
+				switch {
+				case key != nil && key.Name == "Name":
+					lname, okName = constString(info, kv.Value)
+				case key != nil && key.Name == "Value":
+					lvalue, okValue = constString(info, kv.Value)
+				}
+			} else if i == 0 {
+				lname, okName = constString(info, el)
+			} else if i == 1 {
+				lvalue, okValue = constString(info, el)
+			}
+		}
+		if !okName || !okValue {
+			return "", false
+		}
+		labels = append(labels, lname+"="+lvalue)
+	}
+	sort.Strings(labels)
+	return fmt.Sprintf("%s|%s", name, strings.Join(labels, "|")), true
+}
+
+// isLabelType matches telemetry.Label.
+func isLabelType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Label" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return analysis.PathIs(named.Obj().Pkg().Path(), "internal/telemetry")
+}

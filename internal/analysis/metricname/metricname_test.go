@@ -1,0 +1,17 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"fulltext/internal/analysis/analysistest"
+	"fulltext/internal/analysis/metricname"
+)
+
+// TestMetricname checks the analyzer against its fixture package; every
+// // want must fire (a disabled check fails here) and the accepted
+// patterns — compliant names, unitless gauges, idempotent push
+// re-registration, distinct label series, computed labels, reasoned
+// suppression — stay silent.
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "metricname/a")
+}

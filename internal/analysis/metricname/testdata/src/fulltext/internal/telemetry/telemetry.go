@@ -1,0 +1,32 @@
+// Stub of the engine's metrics registry for the metricname fixtures:
+// the analyzer keys on the Registry receiver and constructor names, so
+// inert bodies suffice.
+package telemetry
+
+type Label struct{ Name, Value string }
+
+type Counter struct{}
+
+func (c *Counter) Add(v float64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return nil }
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+}
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+}
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return nil
+}

@@ -1,0 +1,49 @@
+// Fixtures for the metricname analyzer: the closed telemetry vocabulary
+// (fulltext_ prefix, lower snake case, unit suffixes per kind) plus the
+// duplicate/conflict rules, and the patterns that must stay accepted.
+package a
+
+import "fulltext/internal/telemetry"
+
+func register(r *telemetry.Registry, suffix string) {
+	r.Counter("fulltext_docs_added_total", "docs added")   // ok
+	r.Counter("ftserve_requests_total", "foreign prefix")  // want `must start with "fulltext_"`
+	r.Counter("fulltext_docs_added", "counter sans total") // want `must end in _total`
+	r.Counter("fulltext_Docs_total", "mixed case")         // want `lower snake case`
+	r.Counter("fulltext__docs_total", "doubled")           // want `lower snake case`
+
+	r.Gauge("fulltext_merge_queue_depth", "unitless gauge is fine") // ok
+	r.Gauge("fulltext_segments_total", "gauge posing as counter")   // want `must not end in _total`
+
+	r.Histogram("fulltext_commit_wait_seconds", "h", nil) // ok
+	r.Histogram("fulltext_batch_bytes", "h", nil)         // ok
+	r.Histogram("fulltext_group_commit_batch", "h", nil)  // want `must end in a unit suffix`
+	r.Counter("fulltext_"+suffix, "computed name")        // want `must be a compile-time constant string`
+}
+
+func duplicates(r *telemetry.Registry, up func() float64) {
+	r.GaugeFunc("fulltext_uptime_seconds", "u", up) // ok
+	r.GaugeFunc("fulltext_uptime_seconds", "u", up) // want `duplicate pull registration`
+
+	r.Gauge("fulltext_queue_depth", "d")              // ok
+	r.GaugeFunc("fulltext_queue_depth", "d", up)      // want `both push and pull`
+	r.Gauge("fulltext_backlog_bytes", "g")            // ok
+	r.Histogram("fulltext_backlog_bytes", "h", nil)   // want `registered as histogram here but as gauge`
+	r.Counter("fulltext_flushes_total", "c")          // ok
+	r.Counter("fulltext_flushes_total", "same again") // ok: push constructors are idempotent
+
+	// Distinct constant labels are distinct series, not duplicates.
+	r.GaugeFunc("fulltext_shard_docs", "d", up, telemetry.Label{Name: "shard", Value: "0"}) // ok
+	r.GaugeFunc("fulltext_shard_docs", "d", up, telemetry.Label{Name: "shard", Value: "1"}) // ok
+
+	// Computed label values register one series per runtime value; dup
+	// detection skips such sites.
+	for _, phase := range []string{"plan", "fsync"} {
+		r.CounterFunc("fulltext_ckpt_phase_total", "p", up, telemetry.Label{Name: "phase", Value: phase}) // ok
+	}
+}
+
+func suppressedLegacy(r *telemetry.Registry) {
+	//ftlint:ignore metricname grandfathered dashboard name, removal tracked in docs/INVARIANTS.md
+	r.Counter("legacy_hits_total", "grandfathered")
+}

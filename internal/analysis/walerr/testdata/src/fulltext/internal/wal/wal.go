@@ -1,0 +1,17 @@
+// Stub of the engine's write-ahead log for the walerr fixtures.
+package wal
+
+type Record struct{ Payload []byte }
+
+type Log struct{}
+
+func Open(dir string) (*Log, error) { return nil, nil }
+
+func (l *Log) Append(r Record) (uint64, error)      { return 0, nil }
+func (l *Log) AppendAsync(r Record) (uint64, error) { return 0, nil }
+func (l *Log) Sync() error                          { return nil }
+func (l *Log) WaitDurable(lsn uint64) error         { return nil }
+func (l *Log) Close() error                         { return nil }
+
+// LastLSN returns no error; calls to it are never findings.
+func (l *Log) LastLSN() uint64 { return 0 }

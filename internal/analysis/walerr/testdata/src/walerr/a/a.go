@@ -1,0 +1,54 @@
+// Fixtures for the walerr analyzer: every dropped write-ahead-log error
+// is a finding; handled errors, error-free calls, and reasoned
+// suppressions are not.
+package a
+
+import "fulltext/internal/wal"
+
+func bareDrop(l *wal.Log) {
+	l.Close() // want `result of wal\.Close contains an error that is discarded`
+}
+
+func blankDrop(l *wal.Log, rec wal.Record) uint64 {
+	lsn, _ := l.Append(rec) // want `error from wal\.Append assigned to _`
+	return lsn
+}
+
+func blankSingle(l *wal.Log) {
+	_ = l.Sync() // want `error from wal\.Sync assigned to _`
+}
+
+func deferDrop(l *wal.Log) {
+	defer l.Close() // want `deferred wal\.Close discards its error`
+}
+
+func goDrop(l *wal.Log) {
+	go l.Sync() // want `go wal\.Sync discards its error`
+}
+
+func handled(l *wal.Log, rec wal.Record) error {
+	if _, err := l.Append(rec); err != nil { // ok: error handled
+		return err
+	}
+	if err := l.Sync(); err != nil { // ok
+		return err
+	}
+	return l.Close() // ok: error returned to the caller
+}
+
+func deferHandled(l *wal.Log, errp *error) {
+	defer func() { // ok: the closure routes the error
+		if err := l.Close(); err != nil && *errp == nil {
+			*errp = err
+		}
+	}()
+}
+
+func noError(l *wal.Log) uint64 {
+	return l.LastLSN() // ok: returns no error
+}
+
+func suppressed(l *wal.Log) {
+	//ftlint:ignore walerr best-effort close on an already-failed path
+	l.Close()
+}

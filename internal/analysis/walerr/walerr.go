@@ -1,0 +1,136 @@
+// Package walerr enforces the durability contract at call sites of the
+// write-ahead log: an error returned by any fulltext/internal/wal
+// function or method must be handled. A dropped WAL error is silent
+// data loss — the append that "succeeded" was never durable, recovery
+// replays a truncated log, and the engine's crash-consistency guarantee
+// evaporates without a test failing.
+//
+// Three drop shapes are reported:
+//
+//   - a bare call statement (log.Close() on an error path);
+//   - assigning the error position to the blank identifier
+//     (lsn, _ = log.Append(rec));
+//   - defer/go of a wal call whose error has nowhere to go.
+//
+// Intentional discards must say so: either capture and handle the error
+// or annotate the line with //ftlint:ignore walerr <reason>.
+package walerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fulltext/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc:  "errors returned by fulltext/internal/wal must be handled or explicitly discarded with a reason",
+	Run:  run,
+}
+
+const walPath = "internal/wal"
+
+func run(pass *analysis.Pass) error {
+	// The wal package itself arranges its own error flow.
+	if analysis.PathIs(pass.Pkg.Path(), walPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if name, ok := walErrCall(pass.TypesInfo, call); ok {
+						pass.Reportf(call.Pos(), "result of wal.%s contains an error that is discarded; handle it or annotate //ftlint:ignore walerr <reason>", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := walErrCall(pass.TypesInfo, s.Call); ok {
+					pass.Reportf(s.Call.Pos(), "deferred wal.%s discards its error; wrap it in a closure that handles the error or annotate //ftlint:ignore walerr <reason>", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := walErrCall(pass.TypesInfo, s.Call); ok {
+					pass.Reportf(s.Call.Pos(), "go wal.%s discards its error; run it in a closure that handles the error or annotate //ftlint:ignore walerr <reason>", name)
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := walErrCall(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if i >= len(s.Lhs) || !isBlank(lhs) {
+						continue
+					}
+					if isErrorResult(pass.TypesInfo, call, i, len(s.Lhs)) {
+						pass.Reportf(lhs.Pos(), "error from wal.%s assigned to _; handle it or annotate //ftlint:ignore walerr <reason>", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walErrCall reports whether call invokes a fulltext/internal/wal
+// function or method that returns an error.
+func walErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	pkg := analysis.FuncPkgPath(f)
+	if recvPkg, _ := analysis.RecvType(f); recvPkg != "" {
+		pkg = recvPkg
+	}
+	if !analysis.PathIs(pkg, walPath) {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(res.At(res.Len() - 1).Type()) {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+// isErrorResult reports whether result i of call (destructured into
+// nresults variables) has type error.
+func isErrorResult(info *types.Info, call *ast.CallExpr, i, nresults int) bool {
+	f := analysis.CalleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if nresults != res.Len() || i >= res.Len() {
+		return false
+	}
+	return isErrorType(res.At(i).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,15 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"fulltext/internal/analysis/analysistest"
+	"fulltext/internal/analysis/walerr"
+)
+
+// TestWalerr checks the analyzer against its fixture package; every
+// // want must fire (a disabled check fails here) and handled errors,
+// error-free calls, and reasoned suppressions stay silent.
+func TestWalerr(t *testing.T) {
+	analysistest.Run(t, "testdata", walerr.Analyzer, "walerr/a")
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+// Metric naming rules, shared by the static metricname analyzer
+// (internal/analysis/metricname) and the runtime exposition validator
+// (scripts/promcheck -naming): every registration the engine makes must
+// pass CheckMetricName, so the statically enforced vocabulary and what a
+// live /metrics scrape serves can never drift apart. The rules, which
+// docs/INVARIANTS.md catalogues:
+//
+//   - every name matches fulltext_[a-z0-9_]+ — lower snake case, no
+//     leading/trailing/doubled underscores;
+//   - counters end in _total;
+//   - histograms end in a unit suffix: _seconds, _bytes, or _records;
+//   - gauges never end in _total (that spelling promises counter
+//     semantics) and, when they carry a unit, it is _seconds, _bytes, or
+//     _records.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MetricNamePrefix is the mandatory family prefix for every metric the
+// engine or its binaries register.
+const MetricNamePrefix = "fulltext_"
+
+// unitSuffixes are the accepted unit spellings for histograms and gauges.
+var unitSuffixes = []string{"_seconds", "_bytes", "_records"}
+
+// CheckMetricName validates one family name against the engine's naming
+// rules. kind is the exposition type: "counter", "gauge", or "histogram".
+// A nil return means the name is acceptable for that kind.
+func CheckMetricName(name, kind string) error {
+	if !strings.HasPrefix(name, MetricNamePrefix) {
+		return fmt.Errorf("metric %q must start with %q", name, MetricNamePrefix)
+	}
+	if !lowerSnake(name) {
+		return fmt.Errorf("metric %q must match %s[a-z0-9_]+ (lower snake case, no doubled or trailing underscores)", name, MetricNamePrefix)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("gauge %q must not end in _total (that suffix promises counter semantics)", name)
+		}
+	case "histogram":
+		if !hasUnitSuffix(name) {
+			return fmt.Errorf("histogram %q must end in a unit suffix (%s)", name, strings.Join(unitSuffixes, ", "))
+		}
+	default:
+		return fmt.Errorf("metric %q has unknown kind %q", name, kind)
+	}
+	return nil
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerSnake reports whether name is [a-z][a-z0-9_]* with no doubled,
+// leading or trailing underscores after the fulltext_ prefix.
+func lowerSnake(name string) bool {
+	rest := strings.TrimPrefix(name, MetricNamePrefix)
+	if rest == "" || strings.HasPrefix(rest, "_") || strings.HasSuffix(name, "_") || strings.Contains(name, "__") {
+		return false
+	}
+	for _, c := range name {
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			continue
+		}
+		return false
+	}
+	return true
+}

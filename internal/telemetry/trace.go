@@ -47,7 +47,7 @@ func (t *Tracer) Start(name string) *Span {
 	t.started.Add(1)
 	s := &Span{name: name, start: time.Now(), tracer: t}
 	s.budget = new(int32)
-	*s.budget = int32(t.maxSpans) - 1
+	atomic.StoreInt32(s.budget, int32(t.maxSpans)-1)
 	return s
 }
 

@@ -315,7 +315,7 @@ func (l *Log) Instrument(r *telemetry.Registry) {
 		"WAL flush+fsync latency.", nil)
 	l.rotateH = r.Histogram("fulltext_wal_rotation_seconds",
 		"WAL segment rotation latency (seal, fsync, create).", nil)
-	l.batchH = r.Histogram("fulltext_wal_group_commit_batch_size",
+	l.batchH = r.Histogram("fulltext_wal_group_commit_batch_records",
 		"Records made durable per batched fsync (group-commit batch size).",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
 	r.CounterFunc("fulltext_wal_rotations_total", "WAL segment rotations.",

@@ -103,7 +103,7 @@ log "recovery replayed $replayed records"
 # The same recovery must surface on the Prometheus surface: a valid
 # exposition whose recovery counters are non-zero after the restart.
 curl -sf "$BASE/metrics" | go run ./scripts/promcheck \
-  -require fulltext_wal_recovery_replayed_records_total,fulltext_wal_recovery_replayed_adds_total,fulltext_wal_group_commit_batch_size \
+  -require fulltext_wal_recovery_replayed_records_total,fulltext_wal_recovery_replayed_adds_total,fulltext_wal_group_commit_batch_records \
   -nonzero fulltext_wal_recovery_replayed_records_total || {
   echo "/metrics recovery counters missing or zero after restart" >&2
   exit 1

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# lint.sh — run the same static checks CI runs, in the same order, so a
+# clean local run means a clean CI lint phase:
+#
+#   1. go vet
+#   2. gofmt (no unformatted files)
+#   3. ftlint — the project's invariant analyzers (locksafe, atomicfield,
+#      walerr, metricname; see docs/INVARIANTS.md)
+#   4. staticcheck, pinned to the version CI installs (skipped with a
+#      notice when the binary is absent and the machine is offline)
+#   5. govulncheck, same pinning and same offline skip
+#
+# Usage: ./scripts/lint.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
+
+fail=0
+step() {
+  echo "==> $1"
+  shift
+  if ! "$@"; then
+    echo "FAIL: $1" >&2
+    fail=1
+  fi
+}
+
+gofmt_clean() {
+  local out
+  out=$(gofmt -l .)
+  if [ -n "$out" ]; then
+    echo "unformatted files:" >&2
+    echo "$out" >&2
+    return 1
+  fi
+}
+
+# Resolve a pinned tool: use an installed binary if present, else try to
+# install it (requires network), else skip with a notice. CI always
+# installs, so the skip path exists only for offline development.
+resolve_tool() {
+  local name=$1 module=$2 version=$3
+  local bin
+  bin="$(go env GOPATH)/bin/$name"
+  if command -v "$name" >/dev/null 2>&1; then
+    command -v "$name"
+    return 0
+  fi
+  if [ -x "$bin" ]; then
+    echo "$bin"
+    return 0
+  fi
+  if go install "$module@$version" >/dev/null 2>&1 && [ -x "$bin" ]; then
+    echo "$bin"
+    return 0
+  fi
+  return 1
+}
+
+step "go vet" go vet ./...
+step "gofmt" gofmt_clean
+step "ftlint" go run ./cmd/ftlint ./...
+
+if tool=$(resolve_tool staticcheck honnef.co/go/tools/cmd/staticcheck "$STATICCHECK_VERSION"); then
+  step "staticcheck" "$tool" ./...
+else
+  echo "==> staticcheck: not installed and not installable (offline?); skipping (CI runs it pinned at $STATICCHECK_VERSION)"
+fi
+
+if tool=$(resolve_tool govulncheck golang.org/x/vuln/cmd/govulncheck "$GOVULNCHECK_VERSION"); then
+  step "govulncheck" "$tool" ./...
+else
+  echo "==> govulncheck: not installed and not installable (offline?); skipping (CI runs it pinned at $GOVULNCHECK_VERSION)"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: all checks passed"
+else
+  echo "lint: FAILURES above" >&2
+fi
+exit "$fail"

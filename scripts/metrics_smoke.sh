@@ -109,8 +109,12 @@ echo "$headers" | grep -qi 'content-type: text/plain; version=0.0.4' || {
 }
 curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 
+# -naming cross-checks every live family name against the same rules the
+# metricname analyzer enforces at compile time (telemetry.CheckMetricName),
+# so the served vocabulary can never drift from the statically checked one.
 "$WORK/promcheck" <"$WORK/metrics.txt" \
-  -require ftserve_http_request_duration_seconds,ftserve_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
+  -naming \
+  -require fulltext_http_request_duration_seconds,fulltext_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
   -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total
 
 log "OK: exposition valid, core families present, hot-path families non-zero"

@@ -10,6 +10,12 @@
 //	    -require fulltext_docs,fulltext_query_plan_seconds \
 //	    -nonzero fulltext_wal_recovery_replayed_records_total
 //
+// With -naming, every family name is additionally validated against the
+// engine's naming rules (internal/telemetry.CheckMetricName — the same
+// function the metricname analyzer enforces at compile time), so the
+// statically checked vocabulary and what a live scrape serves cannot
+// drift apart.
+//
 // Exits 0 and prints a one-line summary on success; exits 1 with the
 // parse error or the missing/zero family names otherwise.
 package main
@@ -28,6 +34,8 @@ func main() {
 		"comma-separated families that must be present with at least one sample")
 	nonzero := flag.String("nonzero", "",
 		"comma-separated families that must carry at least one sample with a value > 0")
+	naming := flag.Bool("naming", false,
+		"validate every family name against the engine's naming rules (telemetry.CheckMetricName)")
 	flag.Parse()
 
 	fams, err := telemetry.ParseExposition(os.Stdin)
@@ -51,6 +59,13 @@ func main() {
 	}
 
 	var bad []string
+	if *naming {
+		for _, f := range fams {
+			if err := telemetry.CheckMetricName(f.Name, f.Type); err != nil {
+				bad = append(bad, fmt.Sprintf("%s (naming: %v)", f.Name, err))
+			}
+		}
+	}
 	required := split(*require)
 	for _, name := range required {
 		if f, ok := byName[name]; !ok || len(f.Samples) == 0 {

@@ -185,6 +185,7 @@ func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) 
 		metas[si] = meta
 	}
 
+	defer s.flushMergeObs()
 	s.mu.Lock()
 	for _, d := range pre {
 		if _, dup := s.byID[d.id]; dup {
@@ -254,6 +255,7 @@ func (s *ShardedIndex) addBatch(pre []preDoc, logRec func() (wal.Type, []byte)) 
 // crashing into recovery). Cost: O(document tokens) — the owning segment's
 // forward index recovers the token set directly.
 func (s *ShardedIndex) Delete(id string) bool {
+	defer s.flushMergeObs()
 	s.mu.Lock()
 	loc, ok := s.byID[id]
 	if !ok {
@@ -291,6 +293,7 @@ func (s *ShardedIndex) Delete(id string) bool {
 // is touched. A batch with zero live targets changes nothing — no log
 // record, no generation bump.
 func (s *ShardedIndex) DeleteBatch(ids []string) (int, error) {
+	defer s.flushMergeObs()
 	s.mu.Lock()
 	hits := make([]string, 0, len(ids))
 	locs := make([]docLoc, 0, len(ids))
@@ -440,7 +443,7 @@ func (s *ShardedIndex) applyMergePolicy(si int) {
 			panic(fmt.Sprintf("fulltext: merging shard %d segments [%d,%d]: %v", si, lo, hi, err))
 		}
 		if s.tel != nil {
-			s.tel.mergeInlH.ObserveSince(t0)
+			s.queueObs(s.tel.mergeInlH, time.Since(t0).Seconds())
 		}
 		s.swapMerged(si, lo, hi, merged)
 		s.merges++
@@ -579,6 +582,9 @@ func (s *ShardedIndex) runBackgroundMerge(si int, inputs []*seg, frozen []*segme
 	if hook := s.bgHook; hook != nil {
 		hook()
 	}
+	// Registered before Lock so it runs after the deferred Unlock: queued
+	// inline-merge observations flush outside the critical section.
+	defer s.flushMergeObs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bgState[si] = bgIdle
@@ -666,6 +672,7 @@ func (s *ShardedIndex) WaitMerges() {
 // merges already running; the pool converges to the new bound as they
 // complete.
 func (s *ShardedIndex) SetMergePolicy(p segment.Policy) {
+	defer s.flushMergeObs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.policy = p

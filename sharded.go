@@ -252,6 +252,14 @@ type ShardedIndex struct {
 	// tel is read under either lock mode.
 	tel          *engineTel
 	telInstalled *engineTel
+	// telPending queues histogram observations recorded while the write
+	// lock was held (inline merge timings): Histogram.Observe takes the
+	// histogram's own mutex, which is off-limits inside the critical
+	// section (see the locksafe analyzer), so mutation entry points
+	// register flushMergeObs before taking mu and drain the queue after
+	// the unlock. Guarded by telMu, never by mu.
+	telMu      sync.Mutex
+	telPending []pendingObs
 
 	// Maintenance counters (under mu).
 	rebuilds     uint64 // from-scratch shard builds (Build/load only — never Add/Delete)

@@ -38,6 +38,35 @@ type engineTel struct {
 	ckptPhaseH [4]*telemetry.Histogram
 }
 
+// pendingObs is one histogram observation deferred out of a critical
+// section.
+type pendingObs struct {
+	h   *telemetry.Histogram
+	sec float64
+}
+
+// queueObs records an observation for flushMergeObs to deliver off-lock.
+// Safe under any lock mode: it touches telMu only.
+func (s *ShardedIndex) queueObs(h *telemetry.Histogram, sec float64) {
+	s.telMu.Lock()
+	s.telPending = append(s.telPending, pendingObs{h: h, sec: sec})
+	s.telMu.Unlock()
+}
+
+// flushMergeObs delivers every queued observation. Mutation entry points
+// register it with defer before taking the write lock, so it runs after
+// the deferred unlock and the histogram mutexes are never taken inside
+// the critical section.
+func (s *ShardedIndex) flushMergeObs() {
+	s.telMu.Lock()
+	pending := s.telPending
+	s.telPending = nil
+	s.telMu.Unlock()
+	for _, p := range pending {
+		p.h.Observe(p.sec)
+	}
+}
+
 // Checkpoint phase indexes into engineTel.ckptPhaseH, in execution order.
 const (
 	ckptPhaseSerialize = iota
