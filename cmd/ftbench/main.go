@@ -12,6 +12,7 @@
 //	ftbench -experiment fig7 -quick    Figure 7 on a small corpus
 //	ftbench -experiment ranked -json . ranked fast path, BENCH_ranked.json
 //	ftbench -experiment telemetry      instrumentation overhead (<2% guard)
+//	ftbench -experiment analytics      query-analytics overhead (<2% guard)
 package main
 
 import (
@@ -30,12 +31,14 @@ import (
 	"fulltext/internal/segment"
 	"fulltext/internal/synth"
 	"fulltext/internal/telemetry"
+	"fulltext/internal/telemetry/analytics"
+	"fulltext/internal/telemetry/history"
 	"fulltext/internal/wal"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, blockmax, segments, ingest, wal, telemetry, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig5, fig6, fig7, fig8, ranked, blockmax, segments, ingest, wal, telemetry, analytics, or all")
 		scale      = flag.Float64("scale", 0.25, "corpus scale factor (1 = the paper's sizes)")
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.05 -repeats 1")
 		seed       = flag.Int64("seed", 2006, "corpus random seed")
@@ -133,6 +136,11 @@ func main() {
 
 	if run("telemetry") {
 		emit("telemetry", telemetryExperiment(s))
+		ran = true
+	}
+
+	if run("analytics") {
+		emit("analytics", analyticsExperiment(s))
 		ran = true
 	}
 
@@ -1250,6 +1258,160 @@ func telemetryExperiment(s bench.Setup) *bench.Table {
 	fmt.Printf("telemetry hot-path overhead: %+.2f%% (TEL vs NOTEL, summed over rows)\n\n", overhead)
 	if overhead >= 2.0 {
 		fatal(fmt.Errorf("instrumented hot path is %.2f%% slower than the no-op path; the budget is <2%%", overhead))
+	}
+	return t
+}
+
+// analyticsSeries are the query-analytics regimes on the warm WAND fast
+// path: the bare ranked search, the full per-query analytics pipeline
+// (EvalRecorder + shape fingerprint + Space-Saving sketch), and that
+// pipeline with the metric-history sampler ticking in the background.
+var analyticsSeries = []string{"BASE", "ANALYTICS", "ANALYTICS-SAMPLED"}
+
+// analyticsExperiment measures the hot-path cost of the query-analytics
+// pipeline the way telemetryExperiment measures instrumentation: one
+// index, adjacent A/B repetitions (BASE immediately before ANALYTICS
+// inside every rep), and minimum-of-iterations per block so CPU steal
+// cannot fake a regression. The third series adds a 1ms history sampler —
+// three orders of magnitude hotter than the production 10s default — to
+// show that snapshot ticks do not perturb query latency either. The run
+// aborts if ANALYTICS is >= 2% slower than BASE, so a committed
+// BENCH_analytics.json is itself the proof the analytics path stays
+// within the overhead budget.
+func analyticsExperiment(s bench.Setup) *bench.Table {
+	c := synth.Corpus(synth.Config{
+		Seed: s.Seed, NumDocs: s.CNodes, DocLen: s.DocLen, VocabSize: s.Vocab,
+		Plants: []synth.Plant{
+			{Token: "needle", DocFraction: 0.05, PerDoc: 3},
+			{Token: "common", DocFraction: 0.5, PerDoc: 2},
+		}})
+	sb := fulltext.NewShardedBuilder(4)
+	for _, d := range c.Docs() {
+		if err := sb.AddTokens(d.ID, d.Tokens); err != nil {
+			fatal(err)
+		}
+	}
+	ix := sb.Build()
+	ix.SetQueryCacheSize(0) // measure evaluation, not the LRU
+
+	reg := telemetry.New()
+	ix.EnableTelemetry(reg)
+	q, err := fulltext.Parse(fulltext.BOOL, `'needle' OR 'common'`)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := ix.SearchRanked(q, fulltext.TFIDF, 1); err != nil {
+		fatal(err)
+	}
+	sketch := analytics.New(analytics.DefaultCapacity)
+
+	reps := s.Repeats
+	if reps < 7 {
+		reps = 7
+	}
+	const iters = 200
+	block := func(run func() (int, error)) (time.Duration, int, error) {
+		var best time.Duration
+		var results int
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			n, err := run()
+			d := time.Since(start)
+			if err != nil {
+				return 0, 0, err
+			}
+			results = n
+			if i == 0 || d < best {
+				best = d
+			}
+		}
+		return best, results, nil
+	}
+
+	t := &bench.Table{
+		Title:  fmt.Sprintf("Query-analytics overhead (%d docs, 4 shards, warm WAND, best of %d)", ix.Docs(), reps),
+		XLabel: "top K",
+		Series: analyticsSeries,
+		Cells:  map[string]map[string]bench.Cell{},
+	}
+	addCell := func(x, series string, c bench.Cell) {
+		if _, ok := t.Cells[x]; !ok {
+			t.XVals = append(t.XVals, x)
+			t.Cells[x] = map[string]bench.Cell{}
+		}
+		t.Cells[x][series] = c
+	}
+
+	var baseTotal, anaTotal time.Duration
+	for _, k := range []int{1, 10, 100} {
+		x := fmt.Sprintf("top=%d", k)
+		base := func() (int, error) {
+			ms, err := ix.SearchRanked(q, fulltext.TFIDF, k)
+			return len(ms), err
+		}
+		// The full per-query pipeline ftserve runs: a fresh recorder, the
+		// shape fingerprint, and a sketch record carrying the eval stats.
+		analyzed := func() (int, error) {
+			rec := &fulltext.EvalRecorder{}
+			start := time.Now()
+			ms, err := ix.SearchRankedOpts(q, fulltext.TFIDF, k, fulltext.RankOptions{Recorder: rec})
+			if err != nil {
+				return 0, err
+			}
+			st := rec.Stats()
+			sketch.Record(q.Shape(), analytics.Observation{
+				Latency:       time.Since(start),
+				DocsScored:    st.ScoredDocs,
+				BlocksSkipped: st.BlocksSkipped,
+			})
+			return len(ms), nil
+		}
+		var bestBase, bestAna, bestSampled time.Duration
+		var results int
+		runtime.GC()
+		for r := 0; r < reps; r++ {
+			b, n, err := block(base)
+			if err != nil {
+				fatal(err)
+			}
+			a, _, err := block(analyzed)
+			if err != nil {
+				fatal(err)
+			}
+			// Same pipeline with the sampler ticking 1000x faster than the
+			// production default.
+			hist := history.New(reg, history.Options{Interval: time.Millisecond, Retention: time.Second})
+			hist.Start()
+			sm, _, err := block(analyzed)
+			hist.Close()
+			if err != nil {
+				fatal(err)
+			}
+			results = n
+			if r == 0 || b < bestBase {
+				bestBase = b
+			}
+			if r == 0 || a < bestAna {
+				bestAna = a
+			}
+			if r == 0 || sm < bestSampled {
+				bestSampled = sm
+			}
+		}
+		addCell(x, "BASE", bench.Cell{Time: bestBase, Results: results})
+		addCell(x, "ANALYTICS", bench.Cell{Time: bestAna, Results: results})
+		addCell(x, "ANALYTICS-SAMPLED", bench.Cell{Time: bestSampled, Results: results})
+		fmt.Printf("analytics %s: base %v, analytics %v (%+.2f%%), sampled %v\n",
+			x, bestBase, bestAna,
+			(float64(bestAna)-float64(bestBase))/float64(bestBase)*100, bestSampled)
+		baseTotal += bestBase
+		anaTotal += bestAna
+	}
+
+	overhead := (float64(anaTotal) - float64(baseTotal)) / float64(baseTotal) * 100
+	fmt.Printf("analytics hot-path overhead: %+.2f%% (ANALYTICS vs BASE, summed over rows)\n\n", overhead)
+	if overhead >= 2.0 {
+		fatal(fmt.Errorf("analytics hot path is %.2f%% slower than the base path; the budget is <2%%", overhead))
 	}
 	return t
 }

@@ -51,6 +51,19 @@
 //	ftserve -data-dir ./data -slow-query 250ms    log span trees of slow requests
 //	ftserve -dir ./docs -pprof                    enable live profiling
 //
+// The server also observes itself (see the Observability section of
+// docs/ARCHITECTURE.md): a metric history store samples every instrument
+// on -history-interval (default 10s, -history-retention 1h) so GET
+// /metrics/history?window=5m answers with windowed rates and p50/p95/p99
+// computed from bucket deltas; every query is fingerprinted to a shape
+// (dialect + operator tree with literals replaced by placeholders) and
+// tracked in a Space-Saving sketch served by GET /stats/queries; and
+// declarative SLOs — -slo-latency-p99=50ms, -slo-availability=99.9 — are
+// evaluated from the history with multi-window burn rates, exported as
+// fulltext_slo_error_budget_remaining_ratio, detailed on GET /slo, and
+// folded into GET /healthz, which stays 200 while ok or degraded and
+// turns 503 only when an error budget is exhausted.
+//
 // Endpoints (all JSON unless noted):
 //
 //	GET    /search?q=QUERY&lang=comp&engine=auto&rank=none&top=10&trace=1
@@ -61,8 +74,11 @@
 //	DELETE /docs/{id}
 //	POST   /checkpoint
 //	GET    /stats
-//	GET    /metrics            Prometheus text exposition
-//	GET    /healthz
+//	GET    /stats/queries?n=20           top query shapes (analytics sketch)
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /metrics/history?window=5m    windowed rates and quantiles
+//	GET    /slo                          per-objective burn rates and budgets
+//	GET    /healthz                      degraded-aware health (503 = budget exhausted)
 package main
 
 import (
@@ -87,6 +103,8 @@ import (
 	"fulltext"
 	"fulltext/internal/segment"
 	"fulltext/internal/telemetry"
+	"fulltext/internal/telemetry/analytics"
+	"fulltext/internal/telemetry/history"
 	"fulltext/internal/wal"
 )
 
@@ -111,6 +129,12 @@ func main() {
 
 		slowQuery = flag.Duration("slow-query", 0, "log the span tree of any request slower than this via slog (0 disables)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on /debug/pprof/ (bypasses the request timeout)")
+
+		histEvery = flag.Duration("history-interval", history.DefaultInterval, "metric history sampling cadence (0 disables the history store)")
+		histKeep  = flag.Duration("history-retention", history.DefaultRetention, "metric history retention horizon")
+		shapes    = flag.Int("query-shapes", analytics.DefaultCapacity, "query-shape analytics sketch capacity (0 disables /stats/queries)")
+		sloP99    = flag.Duration("slo-latency-p99", 0, "latency objective: 99% of requests complete within this (0 disables)")
+		sloAvail  = flag.Float64("slo-availability", 0, "availability objective: percent of responses that must not be 5xx, e.g. 99.9 (0 disables)")
 	)
 	flag.Parse()
 
@@ -144,11 +168,22 @@ func main() {
 		log.Printf("index saved to %s", *save)
 	}
 	cfg := serverConfig{
-		MaxInflight: *inflight,
-		Timeout:     *timeout,
-		AccessLog:   slog.New(slog.NewJSONHandler(os.Stderr, nil)),
-		SlowQuery:   *slowQuery,
-		PProf:       *pprofOn,
+		MaxInflight:      *inflight,
+		Timeout:          *timeout,
+		AccessLog:        slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		SlowQuery:        *slowQuery,
+		PProf:            *pprofOn,
+		HistoryInterval:  *histEvery,
+		HistoryRetention: *histKeep,
+		QueryShapes:      *shapes,
+		SLOLatencyP99:    *sloP99,
+		SLOAvailability:  *sloAvail,
+	}
+	if *histEvery == 0 {
+		cfg.HistoryInterval = -1 // flag 0 means "off"; config uses negative
+	}
+	if *shapes == 0 {
+		cfg.QueryShapes = -1
 	}
 	log.Printf("serving %d documents across %d shards on %s (inflight=%d timeout=%s slow-query=%s pprof=%t)",
 		ix.Docs(), ix.Shards(), *addr, *inflight, *timeout, *slowQuery, *pprofOn)
@@ -270,6 +305,25 @@ type serverConfig struct {
 	// timeout and the inflight limiter (a CPU profile streams for longer
 	// than any sane request timeout).
 	PProf bool
+	// HistoryInterval is the metric-history sampling cadence: 0 means the
+	// package default (10s), negative disables the history store (and with
+	// it the SLO engine, which evaluates from history).
+	HistoryInterval time.Duration
+	// HistoryRetention bounds how far back /metrics/history windows reach
+	// (0 means the package default, 1h).
+	HistoryRetention time.Duration
+	// QueryShapes is the analytics sketch capacity: 0 means the package
+	// default (128), negative disables query-shape tracking.
+	QueryShapes int
+	// SLOLatencyP99, when positive, declares the latency objective "99% of
+	// requests complete within this".
+	SLOLatencyP99 time.Duration
+	// SLOAvailability, when in (0, 100), declares the availability
+	// objective "this percent of responses are not 5xx".
+	SLOAvailability float64
+	// sloFast/sloSlow shrink the SLO evaluation windows; tests only
+	// (zero means the fleet-standard 5m/1h).
+	sloFast, sloSlow time.Duration
 }
 
 // server wraps the sharded index with the HTTP front-end. Every server
@@ -286,7 +340,26 @@ type server struct {
 	slowLog *slog.Logger
 	slowN   atomic.Uint64 // requests over the slow-query threshold
 	shed    atomic.Uint64 // 503s from the inflight limiter
+
+	handler http.Handler // the assembled middleware chain
+	// The self-observation layer: response-class counters feeding the
+	// availability objective, the metric history store, the SLO engine
+	// evaluated from it, and the query-shape analytics sketch. hist/slo/
+	// sketch may be nil (disabled); every use is nil-safe.
+	respClass map[string]*telemetry.Counter // "2xx"... -> responses counter
+	hist      *history.History
+	slo       *history.SLO
+	sketch    *analytics.Sketch
 }
+
+// ServeHTTP hands the request to the assembled middleware chain.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Close stops the history sampler goroutine. The HTTP handler keeps
+// working (windows just stop advancing); tests use this to end cleanly.
+func (s *server) Close() { s.hist.Close() }
 
 // endpointNames maps route patterns to the endpoint label of
 // fulltext_http_request_duration_seconds, registered eagerly so the
@@ -301,6 +374,9 @@ var endpointNames = map[string]string{
 	"DELETE /docs/{id}":       "delete_doc",
 	"POST /checkpoint":        "checkpoint",
 	"GET /stats":              "stats",
+	"GET /stats/queries":      "stats_queries",
+	"GET /metrics/history":    "metrics_history",
+	"GET /slo":                "slo",
 	"GET /healthz":            "healthz",
 }
 
@@ -312,11 +388,13 @@ func newServer(ix *fulltext.ShardedIndex) http.Handler {
 
 // newServerWith builds the route table and wraps it in the middleware
 // chain: access logging outermost (so shed and timed-out requests are
-// logged with their real status), then the request timeout, then the
+// logged with their real status), then response-class counting (outside
+// the timeout and the limiter, so timed-out and shed 503s burn the
+// availability budget they should), then the request timeout, then the
 // bounded-semaphore limiter around the actual work. Every route is
 // individually wrapped by instrument, which feeds the endpoint's latency
 // histogram and owns the per-request trace span.
-func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
+func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) *server {
 	s := &server{
 		ix:      ix,
 		started: time.Now(),
@@ -346,6 +424,48 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	s.reg.GaugeFunc("fulltext_uptime_seconds", "Server uptime.",
 		func() float64 { return time.Since(s.started).Seconds() })
 
+	// Response classes, registered eagerly so the availability objective's
+	// denominator family is complete from the first scrape.
+	s.respClass = make(map[string]*telemetry.Counter, 4)
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		s.respClass[class] = s.reg.Counter("fulltext_http_responses_total",
+			"Responses by status class, counted outside the timeout and the limiter.",
+			telemetry.Label{Name: "class", Value: class})
+	}
+
+	if cfg.QueryShapes >= 0 {
+		s.sketch = analytics.New(cfg.QueryShapes)
+		s.reg.GaugeFunc("fulltext_query_shapes_tracked",
+			"Query shapes currently held by the analytics sketch.",
+			func() float64 { return float64(s.sketch.Len()) })
+		s.reg.CounterFunc("fulltext_query_shape_evictions_total",
+			"Space-Saving takeovers in the analytics sketch.", s.sketch.Evictions)
+	}
+
+	if cfg.HistoryInterval >= 0 {
+		s.hist = history.New(s.reg, history.Options{
+			Interval:  cfg.HistoryInterval,
+			Retention: cfg.HistoryRetention,
+		})
+		slo := history.NewSLO(s.hist, history.SLOOptions{
+			FastWindow: cfg.sloFast,
+			SlowWindow: cfg.sloSlow,
+		})
+		if cfg.SLOLatencyP99 > 0 {
+			slo.AddLatencyObjective("latency_p99",
+				"fulltext_http_request_duration_seconds", 0.99, cfg.SLOLatencyP99)
+		}
+		if cfg.SLOAvailability > 0 {
+			slo.AddAvailabilityObjective("availability",
+				"fulltext_http_responses_total",
+				telemetry.Label{Name: "class", Value: "5xx"}, cfg.SLOAvailability)
+		}
+		if slo.Objectives() > 0 {
+			s.slo = slo
+			s.slo.Register(s.reg)
+		}
+	}
+
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(endpointNames[pattern], h))
@@ -358,6 +478,9 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	route("DELETE /docs/{id}", s.handleDeleteDoc)
 	route("POST /checkpoint", s.handleCheckpoint)
 	route("GET /stats", s.handleStats)
+	route("GET /stats/queries", s.handleStatsQueries)
+	route("GET /metrics/history", s.handleMetricsHistory)
+	route("GET /slo", s.handleSLO)
 	route("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -366,13 +489,40 @@ func newServerWith(ix *fulltext.ShardedIndex, cfg serverConfig) http.Handler {
 	if cfg.Timeout > 0 {
 		h = withJSONTimeout(h, cfg.Timeout)
 	}
+	h = s.countResponses(h)
 	if cfg.PProf {
 		h = withPProf(h)
 	}
 	if cfg.AccessLog != nil {
 		h = accessLog(h, cfg.AccessLog)
 	}
-	return h
+	s.handler = h
+	// Start sampling only after every instrument (including the SLO
+	// gauges) is registered, so the first tick already carries the full
+	// vocabulary.
+	s.hist.Start()
+	return s
+}
+
+// countResponses feeds fulltext_http_responses_total{class=...} — the
+// availability objective's event stream. It sits outside the timeout and
+// the inflight limiter so their 503s count as served (bad) responses,
+// and inside pprof routing so profile streams do not.
+func (s *server) countResponses(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		class := "2xx"
+		switch {
+		case rec.status >= 500:
+			class = "5xx"
+		case rec.status >= 400:
+			class = "4xx"
+		case rec.status >= 300:
+			class = "3xx"
+		}
+		s.respClass[class].Inc()
+	})
 }
 
 // spanKey carries the request's root trace span in its context.
@@ -576,8 +726,31 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ranked  bool
 		start   = time.Now()
 		sp      = spanFrom(r)
+		rec     *fulltext.EvalRecorder
+		shape   string
 	)
 	sp.Annotate("query", q.String())
+	if s.sketch != nil || sp != nil {
+		// One AST walk; the span annotation puts the shape in ?trace=1
+		// responses and -slow-query log lines.
+		shape = q.Shape()
+		sp.Annotate("shape", shape)
+	}
+	if s.sketch != nil {
+		rec = &fulltext.EvalRecorder{}
+	}
+	record := func(failed bool) {
+		if s.sketch == nil {
+			return
+		}
+		st := rec.Stats()
+		s.sketch.Record(shape, analytics.Observation{
+			Latency:       time.Since(start),
+			DocsScored:    st.ScoredDocs,
+			BlocksSkipped: st.BlocksSkipped,
+			Err:           failed,
+		})
+	}
 	switch rank := r.URL.Query().Get("rank"); rank {
 	case "", "none":
 		engine, err := parseEngine(r.URL.Query().Get("engine"))
@@ -587,6 +760,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		matches, err = s.ix.SearchWithTrace(q, engine, sp)
 		if err != nil {
+			record(true)
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -610,8 +784,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		ranked = true
-		matches, err = s.ix.SearchRankedOpts(q, model, top, fulltext.RankOptions{Trace: sp})
+		matches, err = s.ix.SearchRankedOpts(q, model, top, fulltext.RankOptions{Trace: sp, Recorder: rec})
 		if err != nil {
+			record(true)
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -619,6 +794,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown rank %q (want none, tfidf, or pra)", rank))
 		return
 	}
+	record(false)
 	took := time.Since(start)
 	resp := searchResponse{
 		Query:   q.String(),
@@ -943,8 +1119,113 @@ func walSection(ws fulltext.WALStats) map[string]any {
 	}
 }
 
+// handleHealthz serves a backward-compatible JSON health body: the
+// original status/docs/shards fields are still present (and status is
+// still "ok" with a plain 200 when healthy), extended with uptime, what
+// startup recovery replayed, and — when objectives are declared — the
+// per-objective SLO evaluation. Degraded (burning budget on both
+// windows) stays 200 so load balancers keep routing while operators are
+// alerted; only an exhausted error budget flips to 503.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "docs": s.ix.Docs(), "shards": s.ix.Shards()})
+	ws := s.ix.WALStats()
+	body := map[string]any{
+		"status":   history.StatusOK,
+		"docs":     s.ix.Docs(),
+		"shards":   s.ix.Shards(),
+		"uptime_s": time.Since(s.started).Seconds(),
+		"recovery": map[string]any{
+			"wal_attached":     ws.Attached,
+			"snapshot_lsn":     ws.Recovery.SnapshotLSN,
+			"replayed_records": ws.Recovery.ReplayedRecords,
+			"replay_ms":        float64(ws.Recovery.ReplayDuration.Microseconds()) / 1000,
+		},
+	}
+	code := http.StatusOK
+	if s.slo != nil {
+		rep := s.slo.Evaluate()
+		body["status"] = rep.Status
+		body["slo"] = rep.Objectives
+		if rep.Status == history.StatusExhausted {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, body)
+}
+
+// handleSLO serves the full SLO evaluation: per-objective burn rates,
+// budget remaining and status. Without declared objectives it reports ok
+// with an empty objective list.
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusOK, history.Report{Status: history.StatusOK, Objectives: []history.ObjectiveReport{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Evaluate())
+}
+
+// handleMetricsHistory serves windowed rates and quantiles from the
+// history store: ?window=5m (default 5m, capped at the retention
+// horizon), ?metric=fulltext_http restricts to families with that name
+// prefix.
+func (s *server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if s.hist == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("metric history disabled (-history-interval 0)"))
+		return
+	}
+	d := 5 * time.Minute
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		var err error
+		if d, err = time.ParseDuration(ws); err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad window %q (want a positive duration like 1m, 5m, 1h)", ws))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.hist.Window(d, r.URL.Query().Get("metric")))
+}
+
+// handleStatsQueries serves the analytics sketch: the top-n query shapes
+// (?n=, default 20) with their Space-Saving counts, overestimate bounds
+// and evaluation-cost aggregates.
+func (s *server) handleStatsQueries(w http.ResponseWriter, r *http.Request) {
+	if s.sketch == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("query analytics disabled (-query-shapes 0)"))
+		return
+	}
+	n := 20
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", ns))
+			return
+		}
+		n = v
+	}
+	top := s.sketch.Top(n)
+	shapes := make([]map[string]any, len(top))
+	for i, e := range top {
+		avg := 0.0
+		if e.Count > 0 {
+			avg = float64(e.Latency.Microseconds()) / 1000 / float64(e.Count)
+		}
+		shapes[i] = map[string]any{
+			"shape":          e.Shape,
+			"count":          e.Count,
+			"err_bound":      e.ErrBound,
+			"latency_ms_sum": float64(e.Latency.Microseconds()) / 1000,
+			"latency_ms_avg": avg,
+			"max_latency_ms": float64(e.MaxLatency.Microseconds()) / 1000,
+			"docs_scored":    e.DocsScored,
+			"blocks_skipped": e.BlocksSkipped,
+			"errors":         e.Errors,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":  s.sketch.Capacity(),
+		"tracked":   s.sketch.Len(),
+		"recorded":  s.sketch.Recorded(),
+		"evictions": s.sketch.Evictions(),
+		"shapes":    shapes,
+	})
 }
 
 func parseQueryParam(r *http.Request) (*fulltext.Query, error) {

@@ -935,3 +935,308 @@ func TestPProfRouting(t *testing.T) {
 		t.Fatalf("GET /debug/pprof/cmdline with -pprof: status %d", resp.StatusCode)
 	}
 }
+
+// testServerWith spins up an httptest server over a small corpus with an
+// explicit serverConfig, closing the history sampler on cleanup.
+func testServerWith(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	docs := map[string]string{
+		"usability": "the usability test ran for quality",
+		"software":  "test usability of the software test",
+		"unrelated": "nothing relevant here",
+	}
+	for name, body := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := buildOrLoad(dir, "", "", 2, "interval", 0, fulltext.AutoCheckpoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerWith(ix, cfg)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthzExtendedBody(t *testing.T) {
+	ts, ix := testServer(t)
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &hz)
+	// Backward-compatible core plus the new fields.
+	if hz["status"] != "ok" || int(hz["docs"].(float64)) != ix.Docs() || int(hz["shards"].(float64)) != 2 {
+		t.Fatalf("healthz core fields: %v", hz)
+	}
+	if _, ok := hz["uptime_s"].(float64); !ok {
+		t.Fatalf("healthz missing uptime_s: %v", hz)
+	}
+	rec, ok := hz["recovery"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing recovery: %v", hz)
+	}
+	if att, ok := rec["wal_attached"].(bool); !ok || att {
+		t.Fatalf("txt-dir server claims an attached WAL: %v", rec)
+	}
+	// No objectives declared: no slo section.
+	if _, present := hz["slo"]; present {
+		t.Fatalf("healthz reports slo without objectives: %v", hz)
+	}
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	ts := testServerWith(t, serverConfig{
+		Timeout:         time.Second,
+		HistoryInterval: 2 * time.Millisecond,
+	})
+	// Traffic so the request-duration histograms move.
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+
+	type window struct {
+		Window  string `json:"window"`
+		Samples int    `json:"samples"`
+		Series  []struct {
+			Name   string `json:"name"`
+			Kind   string `json:"kind"`
+			Points []struct {
+				Value float64 `json:"value"`
+			} `json:"points,omitempty"`
+		} `json:"series"`
+	}
+	// Poll: the sampler needs >= 2 ticks before windows carry series.
+	var w window
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/metrics/history?window=1m", http.StatusOK, &w)
+		if len(w.Series) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w.Window != "1m0s" || w.Samples < 2 || len(w.Series) == 0 {
+		t.Fatalf("history window empty after sampling: %+v", w)
+	}
+	names := map[string]string{}
+	for _, s := range w.Series {
+		names[s.Name] = s.Kind
+	}
+	if names["fulltext_http_request_duration_seconds"] != "histogram" {
+		t.Fatalf("request-duration series missing from history: %v", names)
+	}
+	if names["fulltext_docs"] != "gauge" {
+		t.Fatalf("docs gauge missing from history: %v", names)
+	}
+
+	// The metric prefix filter narrows the series list.
+	getJSON(t, ts.URL+"/metrics/history?window=1m&metric=fulltext_docs", http.StatusOK, &w)
+	for _, s := range w.Series {
+		if !strings.HasPrefix(s.Name, "fulltext_docs") {
+			t.Fatalf("prefix filter leaked %q", s.Name)
+		}
+	}
+
+	// Bad window is a 400.
+	resp, err := http.Get(ts.URL + "/metrics/history?window=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad window: status %d, want 400", resp.StatusCode)
+	}
+
+	// Disabled history is a 404.
+	off := testServerWith(t, serverConfig{Timeout: time.Second, HistoryInterval: -1})
+	resp, err = http.Get(off.URL + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled history: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsQueriesHotShapeFirst(t *testing.T) {
+	ts := testServerWith(t, serverConfig{Timeout: time.Second})
+	// Skewed traffic: one shape dominates. Different literals, same
+	// operator tree — they must aggregate into a single fingerprint.
+	hot := []string{"'test'+AND+'usability'", "'software'+AND+'test'", "'quality'+AND+'ran'"}
+	for i := 0; i < 12; i++ {
+		var r searchResponse
+		getJSON(t, ts.URL+"/search?q="+hot[i%len(hot)]+"&lang=bool&rank=tfidf&k=5", http.StatusOK, &r)
+	}
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='usability'&lang=bool", http.StatusOK, &r)
+	getJSON(t, ts.URL+"/search?q=NOT+'nothing'&lang=bool", http.StatusOK, &r)
+
+	var sq struct {
+		Capacity int    `json:"capacity"`
+		Tracked  int    `json:"tracked"`
+		Recorded uint64 `json:"recorded"`
+		Shapes   []struct {
+			Shape        string  `json:"shape"`
+			Count        uint64  `json:"count"`
+			LatencyMsSum float64 `json:"latency_ms_sum"`
+			DocsScored   uint64  `json:"docs_scored"`
+		} `json:"shapes"`
+	}
+	getJSON(t, ts.URL+"/stats/queries", http.StatusOK, &sq)
+	if sq.Tracked != 3 || sq.Recorded != 14 {
+		t.Fatalf("tracked/recorded = %d/%d, want 3/14: %+v", sq.Tracked, sq.Recorded, sq)
+	}
+	if len(sq.Shapes) != 3 || sq.Shapes[0].Shape != "bool:$1 AND $2" || sq.Shapes[0].Count != 12 {
+		t.Fatalf("hot shape not first: %+v", sq.Shapes)
+	}
+	if sq.Shapes[0].LatencyMsSum <= 0 {
+		t.Fatalf("hot shape has no latency aggregate: %+v", sq.Shapes[0])
+	}
+	if sq.Shapes[0].DocsScored == 0 {
+		t.Fatalf("ranked traffic scored no docs: %+v", sq.Shapes[0])
+	}
+
+	// ?n= limits the list.
+	getJSON(t, ts.URL+"/stats/queries?n=1", http.StatusOK, &sq)
+	if len(sq.Shapes) != 1 || sq.Shapes[0].Count != 12 {
+		t.Fatalf("n=1 = %+v", sq.Shapes)
+	}
+
+	// Disabled sketch is a 404.
+	off := testServerWith(t, serverConfig{Timeout: time.Second, QueryShapes: -1})
+	resp, err := http.Get(off.URL + "/stats/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled sketch: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// An impossible latency objective must burn through the error budget and
+// flip /healthz from ok to 503 (exhausted) while the budget gauge drops
+// to zero — the live wiring of history → SLO → health.
+func TestSLOBurnFlipsHealthz(t *testing.T) {
+	ts := testServerWith(t, serverConfig{
+		Timeout:          time.Second,
+		HistoryInterval:  2 * time.Millisecond,
+		HistoryRetention: 2 * time.Second,
+		SLOLatencyP99:    time.Nanosecond, // every request is bad
+		sloFast:          50 * time.Millisecond,
+		sloSlow:          200 * time.Millisecond,
+	})
+
+	var slo struct {
+		Status     string `json:"status"`
+		Objectives []struct {
+			Name            string  `json:"name"`
+			Kind            string  `json:"kind"`
+			Status          string  `json:"status"`
+			FastBurn        float64 `json:"fast_burn"`
+			BudgetRemaining float64 `json:"budget_remaining"`
+		} `json:"objectives"`
+	}
+	getJSON(t, ts.URL+"/slo", http.StatusOK, &slo)
+	if len(slo.Objectives) != 1 || slo.Objectives[0].Name != "latency_p99" || slo.Objectives[0].Kind != "latency" {
+		t.Fatalf("slo objectives = %+v", slo)
+	}
+
+	// Burn: every request exceeds the 1ns objective.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var r searchResponse
+		getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+		getJSON(t, ts.URL+"/slo", http.StatusOK, &slo)
+		if slo.Status == "exhausted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SLO never exhausted under total burn: %+v", slo)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	o := slo.Objectives[0]
+	if o.Status != "exhausted" || o.BudgetRemaining != 0 || o.FastBurn < 1 {
+		t.Fatalf("exhausted objective = %+v", o)
+	}
+
+	// Healthz mirrors the SLO status and flips to 503.
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable, &hz)
+	if hz["status"] != "exhausted" {
+		t.Fatalf("healthz status = %v, want exhausted", hz["status"])
+	}
+	if _, ok := hz["slo"].([]any); !ok {
+		t.Fatalf("healthz missing slo detail: %v", hz)
+	}
+
+	// The budget gauge is exported and at zero.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `fulltext_slo_error_budget_remaining_ratio{objective="latency_p99"} 0`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+}
+
+// Response-class counters drive the availability objective; they must
+// count across the whole chain, including router 404s.
+func TestResponseClassCounters(t *testing.T) {
+	ts := testServerWith(t, serverConfig{Timeout: time.Second})
+	var r searchResponse
+	getJSON(t, ts.URL+"/search?q='test'&lang=bool", http.StatusOK, &r)
+	resp, err := http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != "fulltext_http_responses_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			classes[s.Labels["class"]] = s.Value
+		}
+	}
+	if classes["2xx"] < 1 || classes["4xx"] < 1 {
+		t.Fatalf("response classes = %v, want 2xx and 4xx counted", classes)
+	}
+	// All four classes are registered eagerly, even at zero.
+	for _, c := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		if _, ok := classes[c]; !ok {
+			t.Fatalf("class %s not pre-registered: %v", c, classes)
+		}
+	}
+}

@@ -141,10 +141,24 @@ type Match struct {
 	Score float64 // ranking score (0 for Boolean search)
 }
 
+// String returns the dialect name used in query shapes and stats output.
+func (d Dialect) String() string {
+	switch d {
+	case BOOL:
+		return "bool"
+	case DIST:
+		return "dist"
+	case COMP:
+		return "comp"
+	}
+	return "unknown"
+}
+
 // Query is a parsed query.
 type Query struct {
-	ast lang.Query
-	src string
+	ast     lang.Query
+	src     string
+	dialect Dialect
 }
 
 // Parse parses a query string in the given dialect.
@@ -164,7 +178,7 @@ func Parse(d Dialect, src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{ast: ast, src: src}, nil
+	return &Query{ast: ast, src: src, dialect: d}, nil
 }
 
 // MustParse is Parse for tests and examples; it panics on error.
@@ -469,6 +483,42 @@ type RankOptions struct {
 	// index). It never changes results and is excluded from the query
 	// cache key.
 	Trace *telemetry.Span
+	// Recorder, when non-nil, additionally accumulates this query's own
+	// evaluation work (per-segment, summed across the shard fan-out) so
+	// callers can attribute docs-scored and blocks-skipped to individual
+	// queries — the feed for per-shape analytics. It never changes results
+	// and, like Trace, is excluded from the query cache key: a cache hit
+	// records no evaluation work, which is accurate — none happened.
+	Recorder *EvalRecorder
+}
+
+// EvalRecorder accumulates one query's evaluation work across the
+// concurrent shard fan-out. The zero value is ready to use; pass it via
+// RankOptions.Recorder and read Stats after the search returns. Safe for
+// concurrent use (the sharded path adds from per-shard goroutines); a nil
+// recorder discards all writes.
+type EvalRecorder struct {
+	rc rankedCounters
+}
+
+// Stats returns the work recorded so far.
+func (r *EvalRecorder) Stats() RankedEvalStats {
+	if r == nil {
+		return RankedEvalStats{}
+	}
+	return r.rc.snapshot()
+}
+
+func (r *EvalRecorder) addWand(ws wand.Stats) {
+	if r != nil {
+		r.rc.addWand(ws)
+	}
+}
+
+func (r *EvalRecorder) addExhaustive(nodes int) {
+	if r != nil {
+		r.rc.addExhaustive(nodes)
+	}
 }
 
 // SearchRanked evaluates the query with the chosen scoring model and
@@ -545,6 +595,7 @@ func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusSta
 					return nil, err
 				}
 				ix.rc.addWand(ws)
+				o.Recorder.addWand(ws)
 				return ranked, nil
 			}
 		}
@@ -554,6 +605,7 @@ func (ix *Index) rankedNodes(norm lang.Query, m ScoringModel, st score.CorpusSta
 		return nil, err
 	}
 	ix.rc.addExhaustive(ix.inv.NumNodes())
+	o.Recorder.addExhaustive(ix.inv.NumNodes())
 	ranked := score.Rank(res)
 	if live != nil {
 		kept := ranked[:0]

@@ -1,0 +1,123 @@
+package fulltext
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fulltext/internal/telemetry"
+	"fulltext/internal/telemetry/analytics"
+	"fulltext/internal/telemetry/history"
+)
+
+// The sampler's lock discipline under fire: a durable index mutating,
+// querying and checkpointing while the history sampler ticks at 1ms,
+// SLO gauges (which read the history from inside registry scrapes) are
+// exported, and concurrent readers scrape /metrics and window the
+// history. Run with -race this is the proof that registry.mu → History.mu
+// is the only nesting and that it never inverts.
+func TestHistorySamplerRaceWithLiveIndex(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	reg := telemetry.New()
+	ix.EnableTelemetry(reg)
+
+	h := history.New(reg, history.Options{Interval: time.Millisecond, Retention: time.Second})
+	slo := history.NewSLO(h, history.SLOOptions{FastWindow: 100 * time.Millisecond, SlowWindow: 500 * time.Millisecond})
+	slo.AddLatencyObjective("plan_p99", "fulltext_query_plan_seconds", 0.99, 50*time.Millisecond)
+	slo.Register(reg)
+	h.Start()
+	defer h.Close()
+
+	sketch := analytics.New(16)
+	for i := 0; i < 50; i++ {
+		if err := ix.Add(fmt.Sprintf("seed%d", i), "alpha beta gamma delta"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan error, 16)
+	run := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := fn(); err != nil {
+					select {
+					case fail <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	var added atomic.Uint64
+	run(func() error { // writer
+		n := added.Add(1)
+		return ix.Add(fmt.Sprintf("w%d", n), "alpha beta live mutation")
+	})
+	run(func() error { // deleter: chases the writer, misses are fine
+		if n := added.Load(); n > 1 {
+			ix.Delete(fmt.Sprintf("w%d", n-1))
+		}
+		return nil
+	})
+	q := MustParse(BOOL, "'alpha' AND 'beta'")
+	run(func() error { // ranked queries with a per-query recorder + sketch
+		rec := &EvalRecorder{}
+		if _, err := ix.SearchRankedOpts(q, TFIDF, 5, RankOptions{Recorder: rec}); err != nil {
+			return err
+		}
+		st := rec.Stats()
+		sketch.Record(q.Shape(), analytics.Observation{
+			Latency:       time.Microsecond,
+			DocsScored:    st.ScoredDocs,
+			BlocksSkipped: st.BlocksSkipped,
+		})
+		return nil
+	})
+	run(func() error { // checkpoints
+		_, err := ix.Checkpoint("")
+		return err
+	})
+	run(func() error { // exposition scrapes sample the SLO gauges
+		_, err := reg.WriteTo(io.Discard)
+		return err
+	})
+	run(func() error { // history readers
+		h.Window(500*time.Millisecond, "")
+		slo.Evaluate()
+		return nil
+	})
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(fail)
+	if err := <-fail; err != nil {
+		t.Fatal(err)
+	}
+
+	if h.Len() < 2 {
+		t.Fatalf("sampler retained %d ticks, want >= 2", h.Len())
+	}
+	if sketch.Recorded() == 0 {
+		t.Fatal("no queries recorded in the sketch")
+	}
+	// The window over a live run must carry the core families.
+	w := h.Window(time.Second, "fulltext_docs")
+	if len(w.Series) == 0 {
+		t.Fatalf("history window missing fulltext_docs: %+v", w)
+	}
+}

@@ -15,6 +15,12 @@ func register(r *telemetry.Registry, suffix string) {
 	r.Gauge("fulltext_merge_queue_depth", "unitless gauge is fine") // ok
 	r.Gauge("fulltext_segments_total", "gauge posing as counter")   // want `must not end in _total`
 
+	// _ratio is the gauge-only suffix for dimensionless [0, 1] values
+	// (the SLO error-budget metrics).
+	r.Gauge("fulltext_slo_error_budget_remaining_ratio", "budget gauge") // ok
+	r.Counter("fulltext_cache_hit_ratio", "counter posing as ratio")     // want `must not end in _ratio`
+	r.Histogram("fulltext_fill_ratio", "h", nil)                         // want `must end in a unit suffix`
+
 	r.Histogram("fulltext_commit_wait_seconds", "h", nil) // ok
 	r.Histogram("fulltext_batch_bytes", "h", nil)         // ok
 	r.Histogram("fulltext_group_commit_batch", "h", nil)  // want `must end in a unit suffix`

@@ -1,0 +1,178 @@
+// Package analytics tracks the heaviest query shapes with a Space-Saving
+// (Misra-Gries family) sketch: a fixed-capacity table that, on a miss
+// when full, evicts the minimum-count entry and credits the newcomer with
+// that minimum plus one. The classic guarantees hold: any shape whose
+// true frequency exceeds recorded/capacity is in the table, every count
+// overestimates the truth by at most the entry's ErrBound, and memory is
+// O(capacity) regardless of how many distinct shapes the traffic carries.
+//
+// Each entry also aggregates the evaluation-cost counters the ranked path
+// reports per query (latency, docs scored, block-max skips), so the table
+// answers "which shapes burn my CPU", not just "which are frequent".
+// Aggregates are exact only since the entry last entered the table — an
+// evicted-and-readmitted shape restarts them (its Count keeps the
+// Space-Saving floor, its ErrBound the overestimate bound).
+package analytics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity bounds the sketch at a size where the per-miss eviction
+// scan is trivially cheap and the heavy tail of real query traffic fits.
+const DefaultCapacity = 128
+
+// Observation is one query's cost sample.
+type Observation struct {
+	Latency       time.Duration
+	DocsScored    uint64
+	BlocksSkipped uint64
+	Err           bool
+}
+
+// Entry is one tracked shape. Count includes the Space-Saving credit
+// inherited on takeover; ErrBound is the maximum overcount (0 for shapes
+// that entered an unfull table and were never evicted).
+type Entry struct {
+	Shape         string        `json:"shape"`
+	Count         uint64        `json:"count"`
+	ErrBound      uint64        `json:"err_bound,omitempty"`
+	Latency       time.Duration `json:"-"`
+	MaxLatency    time.Duration `json:"-"`
+	DocsScored    uint64        `json:"docs_scored"`
+	BlocksSkipped uint64        `json:"blocks_skipped"`
+	Errors        uint64        `json:"errors,omitempty"`
+}
+
+// Sketch is a concurrency-safe Space-Saving table keyed by query shape.
+// All methods are nil-safe: a nil sketch discards writes and reads empty,
+// so disabled analytics costs one pointer comparison.
+type Sketch struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*Entry
+	recorded  uint64
+	evictions uint64
+}
+
+// New returns a sketch holding at most capacity shapes (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Sketch {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sketch{capacity: capacity, entries: make(map[string]*Entry, capacity)}
+}
+
+// Record counts one observation of shape.
+func (s *Sketch) Record(shape string, obs Observation) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recorded++
+	e := s.entries[shape]
+	if e == nil {
+		if len(s.entries) < s.capacity {
+			e = &Entry{Shape: shape}
+		} else {
+			// Space-Saving takeover: evict the minimum-count entry, credit
+			// the newcomer with its count (the overestimate bound).
+			victim := s.minEntry()
+			delete(s.entries, victim.Shape)
+			s.evictions++
+			e = &Entry{Shape: shape, Count: victim.Count, ErrBound: victim.Count}
+		}
+		s.entries[shape] = e
+	}
+	e.Count++
+	e.Latency += obs.Latency
+	if obs.Latency > e.MaxLatency {
+		e.MaxLatency = obs.Latency
+	}
+	e.DocsScored += obs.DocsScored
+	e.BlocksSkipped += obs.BlocksSkipped
+	if obs.Err {
+		e.Errors++
+	}
+}
+
+// minEntry returns the entry with the smallest count (ties broken by
+// shape for determinism). Linear in capacity; only runs on a miss with a
+// full table, and capacity is small by construction.
+func (s *Sketch) minEntry() *Entry {
+	var min *Entry
+	for _, e := range s.entries {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Shape < min.Shape) {
+			min = e
+		}
+	}
+	return min
+}
+
+// Top returns the n heaviest shapes (all of them when n <= 0), ordered by
+// count descending, shape ascending on ties.
+func (s *Sketch) Top(n int) []Entry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Shape < out[j].Shape
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of tracked shapes.
+func (s *Sketch) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Capacity returns the table bound (0 on nil).
+func (s *Sketch) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Recorded returns the total observations recorded.
+func (s *Sketch) Recorded() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recorded
+}
+
+// Evictions returns how many takeovers have happened — a high ratio of
+// evictions to recorded observations means the capacity is too small for
+// the traffic's shape cardinality.
+func (s *Sketch) Evictions() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}

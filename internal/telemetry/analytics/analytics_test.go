@@ -1,0 +1,155 @@
+package analytics
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExactUnderCapacity(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 5; i++ {
+		s.Record("a", Observation{Latency: time.Millisecond, DocsScored: 10, BlocksSkipped: 2})
+	}
+	s.Record("b", Observation{Latency: 3 * time.Millisecond, Err: true})
+
+	if s.Len() != 2 || s.Recorded() != 6 || s.Evictions() != 0 {
+		t.Fatalf("len/recorded/evictions = %d/%d/%d, want 2/6/0", s.Len(), s.Recorded(), s.Evictions())
+	}
+	top := s.Top(0)
+	if len(top) != 2 || top[0].Shape != "a" || top[1].Shape != "b" {
+		t.Fatalf("top = %+v", top)
+	}
+	a := top[0]
+	if a.Count != 5 || a.ErrBound != 0 || a.Latency != 5*time.Millisecond ||
+		a.MaxLatency != time.Millisecond || a.DocsScored != 50 || a.BlocksSkipped != 10 || a.Errors != 0 {
+		t.Fatalf("entry a = %+v", a)
+	}
+	b := top[1]
+	if b.Count != 1 || b.Errors != 1 || b.MaxLatency != 3*time.Millisecond {
+		t.Fatalf("entry b = %+v", b)
+	}
+}
+
+// A heavy hitter in a skewed stream must surface first even when the
+// distinct-shape cardinality exceeds the table capacity many times over.
+func TestSkewedStreamHeavyHitterFirst(t *testing.T) {
+	s := New(16)
+	rng := rand.New(rand.NewSource(7))
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		if rng.Float64() < 0.3 {
+			hot++
+			s.Record("hot", Observation{})
+		} else {
+			s.Record(fmt.Sprintf("cold-%d", rng.Intn(500)), Observation{})
+		}
+	}
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want full table 16", s.Len())
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("expected evictions with 500+ distinct shapes in a 16-entry table")
+	}
+	top := s.Top(3)
+	if top[0].Shape != "hot" {
+		t.Fatalf("top[0] = %+v, want the hot shape", top[0])
+	}
+	// Space-Saving overestimates by at most ErrBound.
+	if top[0].Count < uint64(hot) || top[0].Count > uint64(hot)+top[0].ErrBound {
+		t.Fatalf("hot count %d outside [%d, %d+%d]", top[0].Count, hot, hot, top[0].ErrBound)
+	}
+}
+
+func TestTakeoverSemantics(t *testing.T) {
+	s := New(2)
+	s.Record("a", Observation{})
+	s.Record("a", Observation{})
+	s.Record("a", Observation{})
+	s.Record("b", Observation{DocsScored: 99})
+	// Table full; "c" must evict the minimum (b, count 1) and inherit its
+	// count as both floor and error bound.
+	s.Record("c", Observation{DocsScored: 7})
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+	top := s.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	var c Entry
+	for _, e := range top {
+		if e.Shape == "c" {
+			c = e
+		}
+		if e.Shape == "b" {
+			t.Fatal("victim b still tracked")
+		}
+	}
+	if c.Count != 2 || c.ErrBound != 1 {
+		t.Fatalf("takeover entry = %+v, want count 2 (victim 1 + 1), err bound 1", c)
+	}
+	// Aggregates restart on takeover: no inherited docs from b.
+	if c.DocsScored != 7 {
+		t.Fatalf("takeover docs = %d, want 7 (not inherited)", c.DocsScored)
+	}
+}
+
+func TestTopOrderingAndLimit(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 3; i++ {
+		s.Record("z", Observation{})
+		s.Record("a", Observation{}) // tie with z: shape ascending wins
+	}
+	s.Record("m", Observation{})
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Shape != "a" || top[1].Shape != "z" {
+		t.Fatalf("top(2) = %+v, want [a z]", top)
+	}
+	if got := s.Top(-1); len(got) != 3 {
+		t.Fatalf("top(-1) = %d entries, want all 3", len(got))
+	}
+}
+
+func TestDefaultCapacityAndNilSafety(t *testing.T) {
+	if got := New(0).Capacity(); got != DefaultCapacity {
+		t.Fatalf("New(0) capacity = %d, want %d", got, DefaultCapacity)
+	}
+	var s *Sketch
+	s.Record("x", Observation{})
+	if s.Top(5) != nil || s.Len() != 0 || s.Capacity() != 0 || s.Recorded() != 0 || s.Evictions() != 0 {
+		t.Fatal("nil sketch not inert")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s := New(32)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Record(fmt.Sprintf("shape-%d", i%50), Observation{Latency: time.Microsecond})
+				if i%10 == 0 {
+					s.Top(5)
+					s.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Recorded() != workers*per {
+		t.Fatalf("recorded = %d, want %d", s.Recorded(), workers*per)
+	}
+	var total uint64
+	for _, e := range s.Top(0) {
+		total += e.Count
+	}
+	if total < uint64(workers*per)/2 {
+		t.Fatalf("tracked mass %d implausibly low for %d records", total, workers*per)
+	}
+}

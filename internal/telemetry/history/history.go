@@ -1,0 +1,571 @@
+// Package history is the engine's self-observation store: a
+// zero-dependency, fixed-capacity ring buffer of whole-registry snapshots
+// (telemetry.Registry.Snapshot) sampled on an interval, plus the windowed
+// math that turns those point-in-time samples into answers a scrape
+// cannot give — "what was the p99 over the last five minutes", "how fast
+// are checkpoints happening", "is the error budget burning".
+//
+// The store is counter-delta and histogram-delta aware:
+//
+//   - a counter's value over a window is the sum of its adjacent-tick
+//     deltas, with a reset (current < previous, e.g. an instrument
+//     re-registered from zero) contributing the post-reset value instead
+//     of a huge negative jump;
+//   - a histogram's quantiles over a window are computed from the bucket
+//     deltas between the window's base tick and its newest tick — the
+//     distribution of only the observations that happened inside the
+//     window — using the same interpolating estimator as
+//     telemetry.HistogramSnapshot.Quantile.
+//
+// Memory is bounded by construction: capacity = retention/interval + 1
+// ticks, each tick one registry snapshot (with the defaults, 361 ticks of
+// a ~100-series registry — a few megabytes, independent of uptime).
+//
+// Lock discipline (docs/INVARIANTS.md): History.mu is a leaf lock. A
+// sample takes the registry lock (inside Registry.Snapshot) and then,
+// strictly after releasing it, History.mu — never nested. Read helpers
+// (Window, CounterDelta, ...) take only History.mu, so they are safe to
+// call from pull-style gauge closures that the registry samples under its
+// own lock: the ordering registry.mu → History.mu is the only nesting
+// that ever occurs.
+package history
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fulltext/internal/telemetry"
+)
+
+// Defaults: one sample every 10s, one hour retained.
+const (
+	DefaultInterval  = 10 * time.Second
+	DefaultRetention = time.Hour
+)
+
+// Options configures a History store.
+type Options struct {
+	// Interval is the sampling cadence (default 10s, minimum 1ms).
+	Interval time.Duration
+	// Retention bounds how far back windows can reach (default 1h,
+	// minimum 2×Interval). Capacity is Retention/Interval + 1 ticks.
+	Retention time.Duration
+
+	now func() time.Time // test clock; nil means time.Now
+}
+
+// tick is one sampled registry state.
+type tick struct {
+	at   time.Time
+	fams []telemetry.SnapshotFamily
+}
+
+// History samples a registry on an interval into a fixed-capacity ring
+// buffer and serves windowed queries over the retained ticks. All methods
+// are safe for concurrent use.
+type History struct {
+	reg       *telemetry.Registry
+	interval  time.Duration
+	retention time.Duration
+	capacity  int
+	now       func() time.Time
+
+	mu    sync.Mutex
+	ticks []tick // ring buffer, nil slots until first wrap
+	head  int    // index of the oldest valid tick
+	n     int    // number of valid ticks
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a History over reg. The store holds no samples until
+// Sample or Start is called.
+func New(reg *telemetry.Registry, opts Options) *History {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Interval < time.Millisecond {
+		opts.Interval = time.Millisecond
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = DefaultRetention
+	}
+	if opts.Retention < 2*opts.Interval {
+		opts.Retention = 2 * opts.Interval
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	capacity := int(opts.Retention/opts.Interval) + 1
+	return &History{
+		reg:       reg,
+		interval:  opts.Interval,
+		retention: opts.Retention,
+		capacity:  capacity,
+		now:       opts.now,
+		ticks:     make([]tick, capacity),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling cadence.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Retention returns the configured retention horizon.
+func (h *History) Retention() time.Duration { return h.retention }
+
+// Len returns the number of retained ticks.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sample takes one snapshot of the registry now and appends it to the
+// ring, evicting the oldest tick when full. The registry lock and the
+// history lock are taken strictly in sequence, never nested.
+func (h *History) Sample() {
+	if h == nil {
+		return
+	}
+	t := tick{at: h.now(), fams: h.reg.Snapshot()}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n < h.capacity {
+		h.ticks[(h.head+h.n)%h.capacity] = t
+		h.n++
+		return
+	}
+	h.ticks[h.head] = t
+	h.head = (h.head + 1) % h.capacity
+}
+
+// Start launches the background sampler goroutine (idempotent). It takes
+// an immediate first sample so windows are non-empty as soon as the
+// second tick lands one interval later.
+func (h *History) Start() {
+	if h == nil {
+		return
+	}
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			h.Sample()
+			tk := time.NewTicker(h.interval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-tk.C:
+					h.Sample()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the sampler goroutine if Start launched one (idempotent).
+// Retained ticks stay readable after Close.
+func (h *History) Close() {
+	if h == nil {
+		return
+	}
+	h.closeOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // never started: mark done
+	<-h.done
+}
+
+// Span reports the time range covered by the retained ticks and their
+// count. from == to when fewer than two ticks exist.
+func (h *History) Span() (from, to time.Time, n int) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return
+	}
+	return h.ticks[h.head].at, h.ticks[(h.head+h.n-1)%h.capacity].at, h.n
+}
+
+// window returns the retained ticks relevant to the trailing window d,
+// oldest first: the base tick (the newest tick at or before to-d, so the
+// window's delta covers at least d when history is deep enough) followed
+// by every tick after it. Must be called with h.mu held; the returned
+// slice is freshly allocated, and ticks are immutable once stored, so
+// callers may release h.mu before reading them.
+func (h *History) windowTicks(d time.Duration) []tick {
+	if h.n == 0 {
+		return nil
+	}
+	if d <= 0 || d > h.retention {
+		d = h.retention
+	}
+	newest := h.ticks[(h.head+h.n-1)%h.capacity]
+	cut := newest.at.Add(-d)
+	base := 0
+	for i := h.n - 1; i >= 0; i-- {
+		if !h.ticks[(h.head+i)%h.capacity].at.After(cut) {
+			base = i
+			break
+		}
+	}
+	out := make([]tick, 0, h.n-base)
+	for i := base; i < h.n; i++ {
+		out = append(out, h.ticks[(h.head+i)%h.capacity])
+	}
+	return out
+}
+
+// Point is one per-tick value in a series trajectory.
+type Point struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// CounterWindow summarizes a counter (or pull counter) over a window.
+type CounterWindow struct {
+	// Delta is the reset-aware increase over the window; Rate is Delta
+	// per second of window actually covered by samples.
+	Delta  float64 `json:"delta"`
+	Rate   float64 `json:"rate"`
+	Resets int     `json:"resets,omitempty"`
+}
+
+// GaugeWindow summarizes a gauge over a window.
+type GaugeWindow struct {
+	Last float64 `json:"last"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// HistogramWindow summarizes a histogram over a window: the distribution
+// of only the observations recorded inside it (bucket deltas between the
+// base and newest ticks).
+type HistogramWindow struct {
+	Count float64 `json:"count"`
+	Rate  float64 `json:"rate"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SeriesWindow is one series' windowed view. Exactly one of Counter,
+// Gauge, Histogram is set, matching Kind. Points is the per-tick
+// trajectory inside the window: counters plot the adjacent-tick rate,
+// gauges the sampled value, histograms the p99 of each adjacent-tick
+// bucket delta.
+type SeriesWindow struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Kind      string            `json:"kind"`
+	Counter   *CounterWindow    `json:"counter,omitempty"`
+	Gauge     *GaugeWindow      `json:"gauge,omitempty"`
+	Histogram *HistogramWindow  `json:"histogram,omitempty"`
+	Points    []Point           `json:"points,omitempty"`
+}
+
+// Window is the windowed view of every series present in the newest tick.
+type Window struct {
+	Window  string         `json:"window"`
+	From    time.Time      `json:"from"`
+	To      time.Time      `json:"to"`
+	Samples int            `json:"samples"`
+	Series  []SeriesWindow `json:"series"`
+}
+
+// Window computes the trailing-d view of every series. prefix, when
+// non-empty, restricts the output to families whose name starts with it.
+// With fewer than two retained ticks the result carries no series — a
+// delta needs two points.
+func (h *History) Window(d time.Duration, prefix string) Window {
+	if h == nil {
+		return Window{}
+	}
+	if d <= 0 || d > h.retention {
+		d = h.retention
+	}
+	h.mu.Lock()
+	ticks := h.windowTicks(d)
+	h.mu.Unlock()
+	w := Window{Window: d.String(), Samples: len(ticks)}
+	if len(ticks) == 0 {
+		return w
+	}
+	w.From, w.To = ticks[0].at, ticks[len(ticks)-1].at
+	if len(ticks) < 2 {
+		return w
+	}
+	elapsed := w.To.Sub(w.From).Seconds()
+	newest := ticks[len(ticks)-1]
+	for _, f := range newest.fams {
+		if prefix != "" && !strings.HasPrefix(f.Name, prefix) {
+			continue
+		}
+		for _, s := range f.Series {
+			key := seriesKey(s.Labels)
+			sw := SeriesWindow{Name: f.Name, Labels: labelMap(s.Labels), Kind: f.Kind}
+			switch f.Kind {
+			case "counter":
+				sw.Counter, sw.Points = counterWindow(ticks, f.Name, key, elapsed)
+			case "gauge":
+				sw.Gauge, sw.Points = gaugeWindow(ticks, f.Name, key)
+			case "histogram":
+				sw.Histogram, sw.Points = histogramWindow(ticks, f.Name, key, elapsed)
+			}
+			w.Series = append(w.Series, sw)
+		}
+	}
+	return w
+}
+
+// lookup finds the series (name, key) in one tick; nil when the series
+// was not yet registered at that tick.
+func lookup(t tick, name, key string) *telemetry.SnapshotSeries {
+	i := sort.Search(len(t.fams), func(i int) bool { return t.fams[i].Name >= name })
+	if i >= len(t.fams) || t.fams[i].Name != name {
+		return nil
+	}
+	for j := range t.fams[i].Series {
+		if seriesKey(t.fams[i].Series[j].Labels) == key {
+			return &t.fams[i].Series[j]
+		}
+	}
+	return nil
+}
+
+// counterWindow walks adjacent ticks accumulating reset-aware deltas. A
+// series absent at a tick (registered mid-window) contributes from zero.
+func counterWindow(ticks []tick, name, key string, elapsed float64) (*CounterWindow, []Point) {
+	cw := &CounterWindow{}
+	points := make([]Point, 0, len(ticks)-1)
+	prev, prevAt := 0.0, ticks[0].at
+	if s := lookup(ticks[0], name, key); s != nil {
+		prev = s.Value
+	}
+	for _, t := range ticks[1:] {
+		cur := prev
+		if s := lookup(t, name, key); s != nil {
+			cur = s.Value
+		}
+		delta := cur - prev
+		if delta < 0 { // reset: the instrument restarted from zero
+			delta = cur
+			cw.Resets++
+		}
+		cw.Delta += delta
+		rate := 0.0
+		if dt := t.at.Sub(prevAt).Seconds(); dt > 0 {
+			rate = delta / dt
+		}
+		points = append(points, Point{At: t.at, Value: rate})
+		prev, prevAt = cur, t.at
+	}
+	if elapsed > 0 {
+		cw.Rate = cw.Delta / elapsed
+	}
+	return cw, points
+}
+
+func gaugeWindow(ticks []tick, name, key string) (*GaugeWindow, []Point) {
+	gw := &GaugeWindow{}
+	points := make([]Point, 0, len(ticks))
+	n := 0
+	for _, t := range ticks {
+		s := lookup(t, name, key)
+		if s == nil {
+			continue
+		}
+		v := s.Value
+		if n == 0 || v < gw.Min {
+			gw.Min = v
+		}
+		if n == 0 || v > gw.Max {
+			gw.Max = v
+		}
+		gw.Mean += v
+		gw.Last = v
+		n++
+		points = append(points, Point{At: t.at, Value: v})
+	}
+	if n > 0 {
+		gw.Mean /= float64(n)
+	}
+	return gw, points
+}
+
+// histDelta returns the bucket-wise delta snapshot cur-base, clamping
+// torn or reset values to zero. base may be nil (series born mid-window).
+func histDelta(base, cur *telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	d := telemetry.HistogramSnapshot{
+		Bounds: cur.Bounds,
+		Counts: make([]uint64, len(cur.Counts)),
+		Count:  cur.Count,
+		Sum:    cur.Sum,
+	}
+	copy(d.Counts, cur.Counts)
+	if base == nil || len(base.Counts) != len(cur.Counts) || base.Count > cur.Count {
+		return d // no base, layout change, or reset: the window is cur itself
+	}
+	for i := range d.Counts {
+		if base.Counts[i] <= d.Counts[i] {
+			d.Counts[i] -= base.Counts[i]
+		}
+	}
+	d.Count -= base.Count
+	if d.Sum -= base.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
+func histogramWindow(ticks []tick, name, key string, elapsed float64) (*HistogramWindow, []Point) {
+	var baseH *telemetry.HistogramSnapshot
+	if s := lookup(ticks[0], name, key); s != nil {
+		baseH = s.Hist
+	}
+	points := make([]Point, 0, len(ticks)-1)
+	prevH := baseH
+	var curH *telemetry.HistogramSnapshot
+	for _, t := range ticks[1:] {
+		s := lookup(t, name, key)
+		if s == nil {
+			points = append(points, Point{At: t.at})
+			continue
+		}
+		curH = s.Hist
+		step := histDelta(prevH, curH)
+		p := Point{At: t.at}
+		if step.Count > 0 {
+			p.Value = step.Quantile(0.99)
+		}
+		points = append(points, p)
+		prevH = curH
+	}
+	hw := &HistogramWindow{}
+	if curH != nil {
+		win := histDelta(baseH, curH)
+		hw.Count = float64(win.Count)
+		if elapsed > 0 {
+			hw.Rate = hw.Count / elapsed
+		}
+		hw.Mean = win.Mean()
+		hw.P50 = win.Quantile(0.50)
+		hw.P95 = win.Quantile(0.95)
+		hw.P99 = win.Quantile(0.99)
+	}
+	return hw, points
+}
+
+// CounterDelta sums the reset-aware window delta over every series of the
+// counter family name whose labels satisfy match (nil matches all). ok is
+// false when fewer than two ticks are retained or the family is unknown.
+func (h *History) CounterDelta(name string, d time.Duration, match func(labels []telemetry.Label) bool) (delta float64, ok bool) {
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	ticks := h.windowTicks(d)
+	h.mu.Unlock()
+	if len(ticks) < 2 {
+		return 0, false
+	}
+	newest := ticks[len(ticks)-1]
+	for _, f := range newest.fams {
+		if f.Name != name || f.Kind != "counter" {
+			continue
+		}
+		for _, s := range f.Series {
+			if match != nil && !match(s.Labels) {
+				continue
+			}
+			cw, _ := counterWindow(ticks, name, seriesKey(s.Labels), 0)
+			delta += cw.Delta
+			ok = true
+		}
+	}
+	return delta, ok
+}
+
+// HistogramDelta merges the window bucket deltas of every series of the
+// histogram family name into one snapshot — the distribution of all
+// observations of that family inside the window. ok is false when fewer
+// than two ticks are retained or the family is unknown.
+func (h *History) HistogramDelta(name string, d time.Duration) (snap telemetry.HistogramSnapshot, ok bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	ticks := h.windowTicks(d)
+	h.mu.Unlock()
+	if len(ticks) < 2 {
+		return
+	}
+	base, newest := ticks[0], ticks[len(ticks)-1]
+	for _, f := range newest.fams {
+		if f.Name != name || f.Kind != "histogram" {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Hist == nil {
+				continue
+			}
+			var baseH *telemetry.HistogramSnapshot
+			if bs := lookup(base, name, seriesKey(s.Labels)); bs != nil {
+				baseH = bs.Hist
+			}
+			win := histDelta(baseH, s.Hist)
+			if !ok {
+				snap = telemetry.HistogramSnapshot{Bounds: win.Bounds, Counts: make([]uint64, len(win.Counts))}
+				ok = true
+			}
+			if len(win.Counts) != len(snap.Counts) {
+				continue // foreign bucket layout; families share bounds, so unreachable in practice
+			}
+			for i := range win.Counts {
+				snap.Counts[i] += win.Counts[i]
+			}
+			snap.Count += win.Count
+			snap.Sum += win.Sum
+		}
+	}
+	return snap, ok
+}
+
+func seriesKey(labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func labelMap(labels []telemetry.Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Name] = l.Value
+	}
+	return m
+}

@@ -1,0 +1,293 @@
+package history
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"fulltext/internal/telemetry"
+)
+
+// fakeClock hands out a controllable now func.
+type fakeClock struct{ t time.Time }
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestHistory(reg *telemetry.Registry, interval, retention time.Duration) (*History, *fakeClock) {
+	c := newClock()
+	return New(reg, Options{Interval: interval, Retention: retention, now: c.now}), c
+}
+
+func TestRingWraparound(t *testing.T) {
+	reg := telemetry.New()
+	g := reg.Gauge("fulltext_depth", "d")
+	h, clock := newTestHistory(reg, time.Second, 3*time.Second) // capacity 4
+	if h.capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", h.capacity)
+	}
+	for i := 0; i < 10; i++ {
+		g.Set(int64(i))
+		h.Sample()
+		clock.advance(time.Second)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	from, to, n := h.Span()
+	if n != 4 {
+		t.Fatalf("Span n = %d, want 4", n)
+	}
+	if got := to.Sub(from); got != 3*time.Second {
+		t.Fatalf("span = %s, want 3s", got)
+	}
+	// The oldest retained tick must be sample #6 (gauge value 6): samples
+	// 0..5 were evicted.
+	w := h.Window(time.Hour, "fulltext_depth")
+	if len(w.Series) != 1 || w.Series[0].Gauge == nil {
+		t.Fatalf("window series = %+v", w.Series)
+	}
+	gw := w.Series[0].Gauge
+	if gw.Min != 6 || gw.Max != 9 || gw.Last != 9 {
+		t.Fatalf("gauge window = %+v, want min 6 max 9 last 9", gw)
+	}
+	if len(w.Series[0].Points) != 4 {
+		t.Fatalf("gauge points = %d, want 4", len(w.Series[0].Points))
+	}
+}
+
+func TestCounterResetDetection(t *testing.T) {
+	reg := telemetry.New()
+	v := uint64(0)
+	reg.CounterFunc("fulltext_ops_total", "ops", func() uint64 { return v })
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	for _, val := range []uint64{0, 10, 25, 5, 8} { // 5 < 25: a reset
+		v = val
+		h.Sample()
+		clock.advance(time.Second)
+	}
+	w := h.Window(time.Hour, "fulltext_ops_total")
+	if len(w.Series) != 1 || w.Series[0].Counter == nil {
+		t.Fatalf("window series = %+v", w.Series)
+	}
+	cw := w.Series[0].Counter
+	// 0→10 (+10), 10→25 (+15), 25→5 (reset: +5), 5→8 (+3) = 33.
+	if cw.Delta != 33 || cw.Resets != 1 {
+		t.Fatalf("counter window = %+v, want delta 33 resets 1", cw)
+	}
+	// 33 over the 4s the ticks span.
+	if want := 33.0 / 4.0; cw.Rate != want {
+		t.Fatalf("rate = %v, want %v", cw.Rate, want)
+	}
+	if delta, ok := h.CounterDelta("fulltext_ops_total", time.Hour, nil); !ok || delta != 33 {
+		t.Fatalf("CounterDelta = %v/%t, want 33/true", delta, ok)
+	}
+}
+
+// The windowed quantile must agree with an exact sort oracle to within
+// the width of the bucket containing the true quantile — and must see
+// only the observations inside the window, not the histogram's lifetime.
+func TestWindowedQuantileVsOracle(t *testing.T) {
+	reg := telemetry.New()
+	hist := reg.Histogram("fulltext_req_seconds", "latency", nil)
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+
+	// Pre-window observations: far larger than anything in the window. If
+	// delta-awareness broke, they would drag every quantile up.
+	for i := 0; i < 500; i++ {
+		hist.Observe(9.5)
+	}
+	h.Sample()
+	clock.advance(time.Second)
+
+	rng := rand.New(rand.NewSource(42))
+	var vals []float64
+	for i := 0; i < 2000; i++ {
+		v := rng.Float64() * 0.02 // 0..20ms, spanning several buckets
+		vals = append(vals, v)
+		hist.Observe(v)
+	}
+	h.Sample()
+
+	w := h.Window(time.Hour, "fulltext_req_seconds")
+	if len(w.Series) != 1 || w.Series[0].Histogram == nil {
+		t.Fatalf("window series = %+v", w.Series)
+	}
+	hw := w.Series[0].Histogram
+	if hw.Count != 2000 {
+		t.Fatalf("window count = %v, want 2000 (pre-window observations leaked in)", hw.Count)
+	}
+	sort.Float64s(vals)
+	for _, tc := range []struct {
+		q   float64
+		got float64
+	}{{0.50, hw.P50}, {0.95, hw.P95}, {0.99, hw.P99}} {
+		exact := vals[int(tc.q*float64(len(vals)))-1]
+		lo, hi := bucketOf(telemetry.DefBuckets, exact)
+		width := hi - lo
+		if diff := tc.got - exact; diff < -width || diff > width {
+			t.Errorf("p%v = %v, exact %v, off by more than bucket width %v", tc.q*100, tc.got, exact, width)
+		}
+	}
+	// The per-tick p99 point series must be non-empty and reflect the
+	// window's observations.
+	pts := w.Series[0].Points
+	if len(pts) != 1 || pts[0].Value <= 0 || pts[0].Value > 0.025 {
+		t.Fatalf("p99 points = %+v, want one point in (0, 0.025]", pts)
+	}
+}
+
+// bucketOf returns the inclusive bucket [lo, hi] of v in bounds.
+func bucketOf(bounds []float64, v float64) (lo, hi float64) {
+	for i, b := range bounds {
+		if v <= b {
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			return lo, b
+		}
+	}
+	return bounds[len(bounds)-1], bounds[len(bounds)-1]
+}
+
+func TestWindowBaseSelection(t *testing.T) {
+	reg := telemetry.New()
+	v := uint64(0)
+	reg.CounterFunc("fulltext_ops_total", "ops", func() uint64 { return v })
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	for i := 0; i <= 10; i++ {
+		v = uint64(i * 100)
+		h.Sample()
+		clock.advance(time.Second)
+	}
+	// Trailing 3s: base is the tick exactly at to-3s, so the delta covers
+	// three steps of 100.
+	delta, ok := h.CounterDelta("fulltext_ops_total", 3*time.Second, nil)
+	if !ok || delta != 300 {
+		t.Fatalf("3s delta = %v/%t, want 300/true", delta, ok)
+	}
+	// A window wider than history falls back to the full span.
+	delta, ok = h.CounterDelta("fulltext_ops_total", time.Hour, nil)
+	if !ok || delta != 1000 {
+		t.Fatalf("1h delta = %v/%t, want 1000/true", delta, ok)
+	}
+}
+
+func TestCounterDeltaLabelMatch(t *testing.T) {
+	reg := telemetry.New()
+	good := reg.Counter("fulltext_http_responses_total", "r", telemetry.Label{Name: "class", Value: "2xx"})
+	bad := reg.Counter("fulltext_http_responses_total", "r", telemetry.Label{Name: "class", Value: "5xx"})
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	h.Sample()
+	clock.advance(time.Second)
+	good.Add(90)
+	bad.Add(10)
+	h.Sample()
+
+	total, ok := h.CounterDelta("fulltext_http_responses_total", time.Hour, nil)
+	if !ok || total != 100 {
+		t.Fatalf("total = %v/%t, want 100/true", total, ok)
+	}
+	only5xx, ok := h.CounterDelta("fulltext_http_responses_total", time.Hour, func(labels []telemetry.Label) bool {
+		return len(labels) == 1 && labels[0].Value == "5xx"
+	})
+	if !ok || only5xx != 10 {
+		t.Fatalf("5xx = %v/%t, want 10/true", only5xx, ok)
+	}
+}
+
+func TestHistogramDeltaMergesSeries(t *testing.T) {
+	reg := telemetry.New()
+	a := reg.Histogram("fulltext_req_seconds", "l", []float64{1, 2}, telemetry.Label{Name: "endpoint", Value: "a"})
+	b := reg.Histogram("fulltext_req_seconds", "l", []float64{1, 2}, telemetry.Label{Name: "endpoint", Value: "b"})
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	a.Observe(0.5) // pre-window: must not appear
+	h.Sample()
+	clock.advance(time.Second)
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(3)
+	h.Sample()
+
+	snap, ok := h.HistogramDelta("fulltext_req_seconds", time.Hour)
+	if !ok {
+		t.Fatal("HistogramDelta not ok")
+	}
+	if snap.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", snap.Count)
+	}
+	if want := []uint64{1, 1, 1}; snap.Counts[0] != want[0] || snap.Counts[1] != want[1] || snap.Counts[2] != want[2] {
+		t.Fatalf("merged counts = %v, want %v", snap.Counts, want)
+	}
+}
+
+func TestFewerThanTwoTicks(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("fulltext_ops_total", "ops").Add(5)
+	h, _ := newTestHistory(reg, time.Second, time.Minute)
+	if w := h.Window(time.Minute, ""); w.Samples != 0 || len(w.Series) != 0 {
+		t.Fatalf("empty history window = %+v", w)
+	}
+	h.Sample()
+	if w := h.Window(time.Minute, ""); w.Samples != 1 || len(w.Series) != 0 {
+		t.Fatalf("single-tick window = %+v, want no series", w)
+	}
+	if _, ok := h.CounterDelta("fulltext_ops_total", time.Minute, nil); ok {
+		t.Fatal("CounterDelta ok with one tick")
+	}
+	if _, ok := h.HistogramDelta("fulltext_whatever_seconds", time.Minute); ok {
+		t.Fatal("HistogramDelta ok with one tick")
+	}
+}
+
+func TestWindowPrefixFilter(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("fulltext_a_total", "a").Add(1)
+	reg.Gauge("fulltext_b_depth", "b").Set(1)
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	h.Sample()
+	clock.advance(time.Second)
+	h.Sample()
+	if w := h.Window(time.Minute, "fulltext_a"); len(w.Series) != 1 || w.Series[0].Name != "fulltext_a_total" {
+		t.Fatalf("filtered window = %+v", w.Series)
+	}
+	if w := h.Window(time.Minute, ""); len(w.Series) != 2 {
+		t.Fatalf("unfiltered window has %d series, want 2", len(w.Series))
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("fulltext_ops_total", "ops")
+	h := New(reg, Options{Interval: time.Millisecond, Retention: time.Second})
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Len() < 2 {
+		t.Fatal("sampler took no samples")
+	}
+	h.Close()
+	h.Close() // idempotent
+	n := h.Len()
+	time.Sleep(20 * time.Millisecond)
+	if h.Len() != n {
+		t.Fatal("sampler still running after Close")
+	}
+
+	// Close without Start must not hang, and a nil History is inert.
+	h2 := New(reg, Options{})
+	h2.Close()
+	var hn *History
+	hn.Sample()
+	hn.Start()
+	hn.Close()
+	if hn.Len() != 0 {
+		t.Fatal("nil history not empty")
+	}
+}

@@ -1,0 +1,310 @@
+package history
+
+// The SLO engine: declarative service-level objectives evaluated from the
+// history store with multi-window burn rates, the way fleet alerting
+// does it (fast window catches acute regressions, slow window filters
+// blips):
+//
+//	burn(w)  = badFraction(w) / allowedBadFraction
+//	degraded ⇔ burn(fast) ≥ 1 AND burn(slow) ≥ 1
+//
+// The error budget is defined over the slow window. Because the history
+// is a sliding window, the budget self-heals: bad samples age out of the
+// retention horizon and the remaining ratio climbs back toward 1. Early
+// in a process' life the observed span covers only part of the slow
+// window, so consumption is scaled by the covered fraction — a cold
+// server cannot exhaust an hour's budget in its first minute unless it
+// keeps burning:
+//
+//	consumed  = burn(slow) × min(1, span/slow)
+//	remaining = clamp(1 − consumed, 0, 1)
+//	exhausted ⇔ consumed ≥ 1
+//
+// A latency objective "p99 ≤ T" means "at least 99% of requests complete
+// within T", so its allowed bad fraction is 1 − 0.99; the bad count is
+// the number of window observations above T, estimated from bucket
+// deltas with the same linear interpolation the quantile estimator uses.
+// An availability objective "99.9" allows 0.1% of responses to be bad
+// (the series matching the bad label, e.g. class="5xx").
+
+import (
+	"fmt"
+	"time"
+
+	"fulltext/internal/telemetry"
+)
+
+// Objective status values, ordered by severity.
+const (
+	StatusOK        = "ok"
+	StatusDegraded  = "degraded"
+	StatusExhausted = "exhausted"
+)
+
+// SLOOptions configures the evaluation windows. Both default to the
+// fleet-standard 5m fast / 1h slow and are clamped to the history's
+// retention (slow) and the slow window (fast).
+type SLOOptions struct {
+	FastWindow time.Duration
+	SlowWindow time.Duration
+}
+
+// ObjectiveReport is one objective's evaluation.
+type ObjectiveReport struct {
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`   // "latency" | "availability"
+	Target          string  `json:"target"` // human-readable objective
+	Status          string  `json:"status"`
+	FastBurn        float64 `json:"fast_burn"`
+	SlowBurn        float64 `json:"slow_burn"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	BadFraction     float64 `json:"bad_fraction"` // over the slow window
+	Requests        float64 `json:"requests"`     // over the slow window
+}
+
+// Report is a full SLO evaluation; Status is the worst objective status.
+type Report struct {
+	Status     string            `json:"status"`
+	FastWindow string            `json:"fast_window"`
+	SlowWindow string            `json:"slow_window"`
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// objective is one declared SLO: bad returns the (bad, total) event
+// counts over a trailing window.
+type objective struct {
+	name    string
+	kind    string
+	target  string
+	allowed float64 // allowed bad fraction, in (0, 1)
+	bad     func(d time.Duration) (bad, total float64)
+}
+
+// SLO evaluates declared objectives against a History. Objectives are
+// added at construction time (before any Evaluate/Register); evaluation
+// itself is read-only and safe for concurrent use.
+type SLO struct {
+	h          *History
+	fast, slow time.Duration
+	objectives []objective
+}
+
+// NewSLO builds an empty SLO engine over h.
+func NewSLO(h *History, opts SLOOptions) *SLO {
+	if opts.FastWindow <= 0 {
+		opts.FastWindow = 5 * time.Minute
+	}
+	if opts.SlowWindow <= 0 {
+		opts.SlowWindow = time.Hour
+	}
+	if opts.SlowWindow > h.Retention() {
+		opts.SlowWindow = h.Retention()
+	}
+	if opts.FastWindow > opts.SlowWindow {
+		opts.FastWindow = opts.SlowWindow
+	}
+	return &SLO{h: h, fast: opts.FastWindow, slow: opts.SlowWindow}
+}
+
+// AddLatencyObjective declares "the q-quantile of histogram family metric
+// stays at or under threshold" — equivalently, at most (1−q) of
+// observations may exceed threshold. q must be in (0, 1).
+func (s *SLO) AddLatencyObjective(name, metric string, q float64, threshold time.Duration) {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("history: latency objective quantile %v outside (0, 1)", q))
+	}
+	limit := threshold.Seconds()
+	s.objectives = append(s.objectives, objective{
+		name:    name,
+		kind:    "latency",
+		target:  fmt.Sprintf("p%g <= %s of %s", q*100, threshold, metric),
+		allowed: 1 - q,
+		bad: func(d time.Duration) (float64, float64) {
+			snap, ok := s.h.HistogramDelta(metric, d)
+			if !ok || snap.Count == 0 {
+				return 0, 0
+			}
+			total := float64(snap.Count)
+			below := countAtOrBelow(snap, limit)
+			return total - below, total
+		},
+	})
+}
+
+// AddAvailabilityObjective declares "at least targetPercent of counter
+// family metric's events are good", where bad events are the series
+// carrying badLabel (e.g. class="5xx" of fulltext_http_responses_total).
+// targetPercent must be in (0, 100), e.g. 99.9.
+func (s *SLO) AddAvailabilityObjective(name, metric string, badLabel telemetry.Label, targetPercent float64) {
+	if targetPercent <= 0 || targetPercent >= 100 {
+		panic(fmt.Sprintf("history: availability target %v%% outside (0, 100)", targetPercent))
+	}
+	s.objectives = append(s.objectives, objective{
+		name:    name,
+		kind:    "availability",
+		target:  fmt.Sprintf("%g%% of %s not %s=%q", targetPercent, metric, badLabel.Name, badLabel.Value),
+		allowed: 1 - targetPercent/100,
+		bad: func(d time.Duration) (float64, float64) {
+			total, ok := s.h.CounterDelta(metric, d, nil)
+			if !ok || total == 0 {
+				return 0, 0
+			}
+			bad, _ := s.h.CounterDelta(metric, d, func(labels []telemetry.Label) bool {
+				for _, l := range labels {
+					if l.Name == badLabel.Name && l.Value == badLabel.Value {
+						return true
+					}
+				}
+				return false
+			})
+			return bad, total
+		},
+	})
+}
+
+// Objectives returns the number of declared objectives.
+func (s *SLO) Objectives() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.objectives)
+}
+
+// Evaluate computes every objective's burn rates, budget and status from
+// the current history. With no retained data everything reports ok with
+// a full budget — absence of traffic is not an outage.
+func (s *SLO) Evaluate() Report {
+	r := Report{Status: StatusOK}
+	if s == nil {
+		return r
+	}
+	r.FastWindow, r.SlowWindow = s.fast.String(), s.slow.String()
+	for _, o := range s.objectives {
+		or := s.evaluateOne(o)
+		if worse(or.Status, r.Status) {
+			r.Status = or.Status
+		}
+		r.Objectives = append(r.Objectives, or)
+	}
+	return r
+}
+
+// coveredFraction is how much of the slow window the retained history
+// actually spans, in [0, 1].
+func (s *SLO) coveredFraction() float64 {
+	from, to, n := s.h.Span()
+	if n < 2 || s.slow <= 0 {
+		return 0
+	}
+	covered := to.Sub(from).Seconds() / s.slow.Seconds()
+	if covered > 1 {
+		covered = 1
+	}
+	return covered
+}
+
+// Register exports the engine's gauges on reg:
+//
+//	fulltext_slo_error_budget_remaining_ratio{objective=...}
+//	fulltext_slo_burn_rate{objective=..., window=fast|slow}
+//
+// The closures evaluate a single objective from the history store; they
+// take only History.mu, never the registry lock, so sampling them at
+// exposition (or history-sampling) time cannot deadlock.
+func (s *SLO) Register(reg *telemetry.Registry) {
+	for i := range s.objectives {
+		o := s.objectives[i]
+		objLabel := telemetry.Label{Name: "objective", Value: o.name}
+		reg.GaugeFunc("fulltext_slo_error_budget_remaining_ratio",
+			"Fraction of the objective's slow-window error budget still unspent.",
+			func() float64 { return s.evaluateOne(o).BudgetRemaining }, objLabel)
+		reg.GaugeFunc("fulltext_slo_burn_rate",
+			"Error-budget burn rate: observed bad fraction over allowed bad fraction.",
+			func() float64 { return s.evaluateOne(o).FastBurn },
+			objLabel, telemetry.Label{Name: "window", Value: "fast"})
+		reg.GaugeFunc("fulltext_slo_burn_rate",
+			"Error-budget burn rate: observed bad fraction over allowed bad fraction.",
+			func() float64 { return s.evaluateOne(o).SlowBurn },
+			objLabel, telemetry.Label{Name: "window", Value: "slow"})
+	}
+}
+
+// evaluateOne is Evaluate for a single objective.
+func (s *SLO) evaluateOne(o objective) ObjectiveReport {
+	fastBad, fastTotal := o.bad(s.fast)
+	slowBad, slowTotal := o.bad(s.slow)
+	or := ObjectiveReport{
+		Name:     o.name,
+		Kind:     o.kind,
+		Target:   o.target,
+		Status:   StatusOK,
+		FastBurn: burn(fastBad, fastTotal, o.allowed),
+		SlowBurn: burn(slowBad, slowTotal, o.allowed),
+		Requests: slowTotal,
+	}
+	if slowTotal > 0 {
+		or.BadFraction = slowBad / slowTotal
+	}
+	consumed := or.SlowBurn * s.coveredFraction()
+	or.BudgetRemaining = 1 - consumed
+	if or.BudgetRemaining < 0 {
+		or.BudgetRemaining = 0
+	}
+	switch {
+	case consumed >= 1:
+		or.Status = StatusExhausted
+	case or.FastBurn >= 1 && or.SlowBurn >= 1:
+		or.Status = StatusDegraded
+	}
+	return or
+}
+
+func burn(bad, total, allowed float64) float64 {
+	if total == 0 || allowed <= 0 {
+		return 0
+	}
+	return (bad / total) / allowed
+}
+
+// worse reports whether status a is more severe than b.
+func worse(a, b string) bool { return rank(a) > rank(b) }
+
+func rank(s string) int {
+	switch s {
+	case StatusExhausted:
+		return 2
+	case StatusDegraded:
+		return 1
+	}
+	return 0
+}
+
+// countAtOrBelow estimates how many of a snapshot's observations are ≤ x
+// by linear interpolation inside the bucket containing x — the inverse of
+// the quantile estimator. Observations in the +Inf bucket are all above
+// the last finite bound and never count as below.
+func countAtOrBelow(s telemetry.HistogramSnapshot, x float64) float64 {
+	below := 0.0
+	for i, c := range s.Counts {
+		if i >= len(s.Bounds) {
+			break // +Inf bucket
+		}
+		hi := s.Bounds[i]
+		if hi <= x {
+			below += float64(c)
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if x > lo && hi > lo {
+			below += float64(c) * (x - lo) / (hi - lo)
+		}
+		break
+	}
+	if total := float64(s.Count); below > total {
+		below = total
+	}
+	return below
+}

@@ -1,0 +1,283 @@
+package history
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fulltext/internal/telemetry"
+)
+
+// sloFixture wires a histogram-backed latency objective over a fake
+// clock so tests can drive the ok → degraded → exhausted → healed arc
+// deterministically.
+type sloFixture struct {
+	hist  *telemetry.Histogram
+	h     *History
+	clock *fakeClock
+	slo   *SLO
+}
+
+func newLatencyFixture(t *testing.T) *sloFixture {
+	t.Helper()
+	reg := telemetry.New()
+	// 10ms is a bucket bound, so countAtOrBelow is exact at the threshold.
+	hist := reg.Histogram("fulltext_req_seconds", "latency", []float64{0.005, 0.01, 0.05, 0.1, 1})
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	slo := NewSLO(h, SLOOptions{FastWindow: 5 * time.Second, SlowWindow: 30 * time.Second})
+	slo.AddLatencyObjective("search_p99", "fulltext_req_seconds", 0.99, 10*time.Millisecond)
+	return &sloFixture{hist: hist, h: h, clock: clock, slo: slo}
+}
+
+// tick observes good fast requests and bad slow ones, then samples and
+// advances the clock one interval.
+func (f *sloFixture) tick(good, bad int) {
+	for i := 0; i < good; i++ {
+		f.hist.Observe(0.001)
+	}
+	for i := 0; i < bad; i++ {
+		f.hist.Observe(0.5)
+	}
+	f.h.Sample()
+	f.clock.advance(time.Second)
+}
+
+func TestSLOLatencyLifecycle(t *testing.T) {
+	f := newLatencyFixture(t)
+
+	// No data at all: absence of traffic is not an outage.
+	rep := f.slo.Evaluate()
+	if rep.Status != StatusOK || len(rep.Objectives) != 1 {
+		t.Fatalf("empty report = %+v, want ok with 1 objective", rep)
+	}
+	o := rep.Objectives[0]
+	if o.BudgetRemaining != 1 || o.FastBurn != 0 || o.SlowBurn != 0 {
+		t.Fatalf("empty objective = %+v, want full budget, zero burn", o)
+	}
+
+	// All-good traffic: ok, full budget.
+	f.tick(0, 0)
+	f.tick(100, 0)
+	o = f.slo.Evaluate().Objectives[0]
+	if o.Status != StatusOK || o.BudgetRemaining != 1 || o.Requests != 100 {
+		t.Fatalf("healthy objective = %+v, want ok/full/100 requests", o)
+	}
+
+	// 4 bad of 200 total = 2% bad fraction, double the 1% allowance: both
+	// burns cross 1 and the server degrades, but the short span means only
+	// a sliver of the 30s budget is consumed.
+	f.tick(96, 4)
+	o = f.slo.Evaluate().Objectives[0]
+	if o.Status != StatusDegraded {
+		t.Fatalf("status = %q (%+v), want degraded", o.Status, o)
+	}
+	if o.FastBurn < 1 || o.SlowBurn < 1 {
+		t.Fatalf("burns = %v/%v, want both >= 1", o.FastBurn, o.SlowBurn)
+	}
+	if o.BudgetRemaining <= 0.5 || o.BudgetRemaining >= 1 {
+		t.Fatalf("budget = %v, want in (0.5, 1)", o.BudgetRemaining)
+	}
+	degradedBudget := o.BudgetRemaining
+
+	// Sustained 100% bad traffic exhausts the budget.
+	for i := 0; i < 20; i++ {
+		f.tick(0, 100)
+	}
+	o = f.slo.Evaluate().Objectives[0]
+	if o.Status != StatusExhausted || o.BudgetRemaining != 0 {
+		t.Fatalf("after sustained burn = %+v, want exhausted with 0 budget", o)
+	}
+	if o.BudgetRemaining >= degradedBudget {
+		t.Fatalf("budget did not drop: %v -> %v", degradedBudget, o.BudgetRemaining)
+	}
+
+	// Quiet period: the bad samples age past the slow window's base and
+	// the budget self-heals back to full.
+	for i := 0; i < 35; i++ {
+		f.tick(0, 0)
+	}
+	o = f.slo.Evaluate().Objectives[0]
+	if o.Status != StatusOK || o.BudgetRemaining != 1 {
+		t.Fatalf("after quiet period = %+v, want healed (ok, full budget)", o)
+	}
+}
+
+func TestSLOAvailabilityObjective(t *testing.T) {
+	reg := telemetry.New()
+	good := reg.Counter("fulltext_http_responses_total", "r", telemetry.Label{Name: "class", Value: "2xx"})
+	bad := reg.Counter("fulltext_http_responses_total", "r", telemetry.Label{Name: "class", Value: "5xx"})
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	slo := NewSLO(h, SLOOptions{FastWindow: 5 * time.Second, SlowWindow: 20 * time.Second})
+	slo.AddAvailabilityObjective("availability", "fulltext_http_responses_total",
+		telemetry.Label{Name: "class", Value: "5xx"}, 99)
+
+	tick := func(g, b uint64) {
+		good.Add(g)
+		bad.Add(b)
+		h.Sample()
+		clock.advance(time.Second)
+	}
+
+	tick(0, 0)
+	tick(100, 0)
+	o := slo.Evaluate().Objectives[0]
+	if o.Status != StatusOK || o.BudgetRemaining != 1 {
+		t.Fatalf("healthy = %+v, want ok/full", o)
+	}
+
+	// 10 errors of 200 responses: 5% bad against a 1% allowance.
+	tick(90, 10)
+	o = slo.Evaluate().Objectives[0]
+	if o.Status != StatusDegraded {
+		t.Fatalf("status = %q (%+v), want degraded", o.Status, o)
+	}
+	if math.Abs(o.BadFraction-0.05) > 1e-9 {
+		t.Fatalf("bad fraction = %v, want 0.05", o.BadFraction)
+	}
+
+	// Keep erroring until consumed >= 1.
+	for i := 0; i < 10; i++ {
+		tick(0, 100)
+	}
+	o = slo.Evaluate().Objectives[0]
+	if o.Status != StatusExhausted || o.BudgetRemaining != 0 {
+		t.Fatalf("sustained errors = %+v, want exhausted", o)
+	}
+}
+
+// The report's top-level status is the worst objective status.
+func TestSLOWorstStatusWins(t *testing.T) {
+	reg := telemetry.New()
+	okHist := reg.Histogram("fulltext_fast_seconds", "f", []float64{0.01, 1})
+	badHist := reg.Histogram("fulltext_slow_seconds", "s", []float64{0.01, 1})
+	h, clock := newTestHistory(reg, time.Second, time.Minute)
+	slo := NewSLO(h, SLOOptions{FastWindow: 5 * time.Second, SlowWindow: 30 * time.Second})
+	slo.AddLatencyObjective("fast", "fulltext_fast_seconds", 0.99, 10*time.Millisecond)
+	slo.AddLatencyObjective("slow", "fulltext_slow_seconds", 0.99, 10*time.Millisecond)
+	if slo.Objectives() != 2 {
+		t.Fatalf("Objectives = %d, want 2", slo.Objectives())
+	}
+
+	h.Sample()
+	clock.advance(time.Second)
+	for i := 0; i < 100; i++ {
+		okHist.Observe(0.001)
+		badHist.Observe(0.001)
+	}
+	badHist.Observe(0.5) // ~1% bad on the slow family only
+	badHist.Observe(0.5)
+	badHist.Observe(0.5)
+	badHist.Observe(0.5)
+	h.Sample()
+
+	rep := slo.Evaluate()
+	if rep.Status != StatusDegraded {
+		t.Fatalf("report status = %q, want degraded (worst of)", rep.Status)
+	}
+	byName := map[string]ObjectiveReport{}
+	for _, o := range rep.Objectives {
+		byName[o.Name] = o
+	}
+	if byName["fast"].Status != StatusOK || byName["slow"].Status != StatusDegraded {
+		t.Fatalf("objectives = %+v", rep.Objectives)
+	}
+}
+
+func TestSLORegisterExportsGauges(t *testing.T) {
+	f := newLatencyFixture(t)
+	reg := telemetry.New()
+	f.slo.Register(reg)
+
+	f.tick(0, 0)
+	f.tick(0, 100) // all bad: burn way past 1
+
+	fams := map[string]telemetry.SnapshotFamily{}
+	for _, fam := range reg.Snapshot() {
+		fams[fam.Name] = fam
+	}
+	budget, ok := fams["fulltext_slo_error_budget_remaining_ratio"]
+	if !ok || len(budget.Series) != 1 {
+		t.Fatalf("budget gauge = %+v", budget)
+	}
+	if v := budget.Series[0].Value; v < 0 || v >= 1 {
+		t.Fatalf("budget ratio = %v, want in [0, 1) under full burn", v)
+	}
+	burns, ok := fams["fulltext_slo_burn_rate"]
+	if !ok || len(burns.Series) != 2 {
+		t.Fatalf("burn gauges = %+v", burns)
+	}
+	for _, s := range burns.Series {
+		if s.Value < 1 {
+			t.Fatalf("burn series %+v, want >= 1 under full burn", s)
+		}
+	}
+}
+
+func TestSLOWindowClamping(t *testing.T) {
+	reg := telemetry.New()
+	h, _ := newTestHistory(reg, time.Second, 10*time.Second)
+	slo := NewSLO(h, SLOOptions{}) // defaults 5m/1h, both beyond retention
+	if slo.slow != 10*time.Second {
+		t.Fatalf("slow = %s, want clamped to retention 10s", slo.slow)
+	}
+	if slo.fast != slo.slow {
+		t.Fatalf("fast = %s, want clamped to slow %s", slo.fast, slo.slow)
+	}
+}
+
+func TestSLOObjectiveValidation(t *testing.T) {
+	reg := telemetry.New()
+	h, _ := newTestHistory(reg, time.Second, time.Minute)
+	slo := NewSLO(h, SLOOptions{})
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("q=0", func() { slo.AddLatencyObjective("x", "m", 0, time.Second) })
+	mustPanic("q=1", func() { slo.AddLatencyObjective("x", "m", 1, time.Second) })
+	mustPanic("pct=0", func() {
+		slo.AddAvailabilityObjective("x", "m", telemetry.Label{Name: "class", Value: "5xx"}, 0)
+	})
+	mustPanic("pct=100", func() {
+		slo.AddAvailabilityObjective("x", "m", telemetry.Label{Name: "class", Value: "5xx"}, 100)
+	})
+
+	// Nil SLO is inert.
+	var sn *SLO
+	if sn.Objectives() != 0 {
+		t.Fatal("nil SLO has objectives")
+	}
+	if rep := sn.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("nil SLO report = %+v", rep)
+	}
+}
+
+func TestCountAtOrBelow(t *testing.T) {
+	snap := telemetry.HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{10, 10, 10, 5}, // last bucket is +Inf
+		Count:  35,
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 5},  // half of the first bucket by interpolation
+		{1, 10},   // exactly at a bound
+		{1.5, 15}, // 10 + half of (1,2]
+		{4, 30},   // all finite buckets
+		{100, 30}, // +Inf observations never count as below
+		{-1, 0},   // below everything
+		{3, 25},   // 20 + half of (2,4]
+	}
+	for _, tc := range cases {
+		if got := countAtOrBelow(snap, tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("countAtOrBelow(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}

@@ -9,11 +9,13 @@ package telemetry
 //
 //   - every name matches fulltext_[a-z0-9_]+ — lower snake case, no
 //     leading/trailing/doubled underscores;
-//   - counters end in _total;
+//   - counters end in _total and never in _ratio (a monotone count is
+//     not a ratio);
 //   - histograms end in a unit suffix: _seconds, _bytes, or _records;
 //   - gauges never end in _total (that spelling promises counter
-//     semantics) and, when they carry a unit, it is _seconds, _bytes, or
-//     _records.
+//     semantics); _ratio is gauge-only and marks a dimensionless value in
+//     [0, 1] (the SLO error-budget metrics); when a gauge carries a unit,
+//     it is _seconds, _bytes, or _records.
 
 import (
 	"fmt"
@@ -39,6 +41,9 @@ func CheckMetricName(name, kind string) error {
 	}
 	switch kind {
 	case "counter":
+		if strings.HasSuffix(name, "_ratio") {
+			return fmt.Errorf("counter %q must not end in _ratio (that suffix is reserved for gauges in [0, 1])", name)
+		}
 		if !strings.HasSuffix(name, "_total") {
 			return fmt.Errorf("counter %q must end in _total", name)
 		}

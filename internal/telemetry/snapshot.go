@@ -1,0 +1,78 @@
+package telemetry
+
+// The snapshot walk API: a point-in-time copy of every registered family,
+// series and value, in deterministic order. This is what the metric
+// history store (internal/telemetry/history) samples on its interval —
+// WriteTo renders for a scraper, Snapshot hands the same state to Go code.
+
+import "sort"
+
+// SnapshotSeries is one labeled series at sampling time. Counters and
+// gauges report Value (pull-style functions are sampled when the snapshot
+// is taken); histograms carry Hist and leave Value zero.
+type SnapshotSeries struct {
+	Labels []Label
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// SnapshotFamily is one metric family at sampling time. Kind is the
+// exposition type string: "counter", "gauge" or "histogram".
+type SnapshotFamily struct {
+	Name   string
+	Kind   string
+	Series []SnapshotSeries
+}
+
+// Snapshot copies the current value of every registered series, families
+// sorted by name and series by label signature — the same deterministic
+// order WriteTo renders. Pull-style series sample their functions here,
+// under the registry lock, so (as with WriteTo) closures must not
+// re-enter the registry. Counter values are reported as float64, exact up
+// to 2^53. A nil registry returns nil.
+func (r *Registry) Snapshot() []SnapshotFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SnapshotFamily, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		sf := SnapshotFamily{Name: f.name, Kind: f.typ.String()}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SnapshotSeries{Labels: append([]Label(nil), s.labels...)}
+			switch f.typ {
+			case typeCounter:
+				if s.counterFn != nil {
+					ss.Value = float64(s.counterFn())
+				} else {
+					ss.Value = float64(s.counter.Value())
+				}
+			case typeGauge:
+				if s.gaugeFn != nil {
+					ss.Value = s.gaugeFn()
+				} else {
+					ss.Value = float64(s.gauge.Value())
+				}
+			case typeHistogram:
+				snap := s.hist.Snapshot()
+				ss.Hist = &snap
+			}
+			sf.Series = append(sf.Series, ss)
+		}
+		out = append(out, sf)
+	}
+	return out
+}

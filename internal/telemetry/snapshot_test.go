@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotWalk(t *testing.T) {
+	r := New()
+	c := r.Counter("fulltext_ops_total", "ops")
+	c.Add(7)
+	r.CounterFunc("fulltext_pull_total", "pulled", func() uint64 { return 41 })
+	g := r.Gauge("fulltext_depth", "depth", Label{Name: "shard", Value: "1"})
+	g.Set(-3)
+	r.GaugeFunc("fulltext_frac", "pulled gauge", func() float64 { return 0.25 })
+	h := r.Histogram("fulltext_wait_seconds", "wait", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	fams := r.Snapshot()
+	byName := map[string]SnapshotFamily{}
+	for i, f := range fams {
+		if i > 0 && fams[i-1].Name >= f.Name {
+			t.Fatalf("families not sorted: %q before %q", fams[i-1].Name, f.Name)
+		}
+		byName[f.Name] = f
+	}
+	if len(fams) != 5 {
+		t.Fatalf("got %d families, want 5", len(fams))
+	}
+	check := func(name, kind string, value float64) {
+		t.Helper()
+		f, ok := byName[name]
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		if f.Kind != kind {
+			t.Fatalf("%s kind = %q, want %q", name, f.Kind, kind)
+		}
+		if len(f.Series) != 1 || f.Series[0].Value != value {
+			t.Fatalf("%s = %+v, want single series value %v", name, f.Series, value)
+		}
+	}
+	check("fulltext_ops_total", "counter", 7)
+	check("fulltext_pull_total", "counter", 41)
+	check("fulltext_depth", "gauge", -3)
+	check("fulltext_frac", "gauge", 0.25)
+
+	wh := byName["fulltext_wait_seconds"]
+	if wh.Kind != "histogram" || len(wh.Series) != 1 || wh.Series[0].Hist == nil {
+		t.Fatalf("histogram family malformed: %+v", wh)
+	}
+	hs := wh.Series[0].Hist
+	if hs.Count != 3 || hs.Sum != 11 {
+		t.Fatalf("hist count/sum = %d/%v, want 3/11", hs.Count, hs.Sum)
+	}
+	if want := []uint64{1, 1, 1}; len(hs.Counts) != 3 || hs.Counts[0] != want[0] || hs.Counts[1] != want[1] || hs.Counts[2] != want[2] {
+		t.Fatalf("hist counts = %v, want %v", hs.Counts, want)
+	}
+
+	// The snapshot is a copy: later mutation must not leak into it.
+	c.Add(100)
+	h.Observe(0.1)
+	if got := byName["fulltext_ops_total"].Series[0].Value; got != 7 {
+		t.Fatalf("snapshot counter mutated to %v", got)
+	}
+	if hs.Count != 3 {
+		t.Fatalf("snapshot histogram mutated to count %d", hs.Count)
+	}
+
+	labeled := byName["fulltext_depth"].Series[0]
+	if len(labeled.Labels) != 1 || labeled.Labels[0] != (Label{Name: "shard", Value: "1"}) {
+		t.Fatalf("labels = %+v", labeled.Labels)
+	}
+
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+// Snapshot must sample pull closures at call time, like WriteTo.
+func TestRegistrySnapshotSamplesPullFuncs(t *testing.T) {
+	r := New()
+	v := uint64(1)
+	r.CounterFunc("fulltext_live_total", "live", func() uint64 { return v })
+	if got := r.Snapshot()[0].Series[0].Value; got != 1 {
+		t.Fatalf("first sample = %v, want 1", got)
+	}
+	v = 9
+	if got := r.Snapshot()[0].Series[0].Value; got != 9 {
+		t.Fatalf("second sample = %v, want 9", got)
+	}
+}
+
+func TestCheckMetricNameRatioSuffix(t *testing.T) {
+	cases := []struct {
+		name, kind string
+		wantErr    bool
+	}{
+		{"fulltext_slo_error_budget_remaining_ratio", "gauge", false},
+		{"fulltext_slo_burn_rate", "gauge", false},
+		{"fulltext_cache_hit_ratio", "counter", true},
+		{"fulltext_fill_ratio", "histogram", true},
+		{"fulltext_ops_total", "counter", false},
+		{"fulltext_ops_total_ratio", "counter", true},
+	}
+	for _, tc := range cases {
+		err := CheckMetricName(tc.name, tc.kind)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("CheckMetricName(%q, %q) = %v, wantErr %t", tc.name, tc.kind, err, tc.wantErr)
+		}
+	}
+}
+
+// Guard against regressions in time-based helpers used by the history
+// sampler's consumers.
+func TestHistogramObserveSinceNil(t *testing.T) {
+	var h *Histogram
+	h.ObserveSince(time.Now()) // must not panic
+}

@@ -26,7 +26,8 @@ go build -o "$WORK/ftserve" ./cmd/ftserve
 go build -o "$WORK/promcheck" ./scripts/promcheck
 
 "$WORK/ftserve" -data-dir "$DATA" -shards 4 -addr "127.0.0.1:$PORT" \
-  -slow-query 5m >>"$WORK/server.log" 2>&1 &
+  -slow-query 5m -history-interval 100ms -slo-availability 99.9 \
+  >>"$WORK/server.log" 2>&1 &
 SRV_PID=$!
 for _ in $(seq 1 100); do
   if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
@@ -89,6 +90,49 @@ echo "$traced" | grep -q '"shard 0"' || {
   exit 1
 }
 
+# Skewed query-shape traffic: the two-token AND shape must dominate the
+# analytics sketch (different literals, same fingerprint), beating the
+# single-token and OR shapes the earlier traffic produced.
+log "skewed query-shape traffic"
+for pair in "'alpha'+AND+'beta'" "'beta'+AND+'needle'" "'entry'+AND+'alpha'" "'needle'+AND+'entry'"; do
+  curl -sf "$BASE/search?q=$pair&lang=bool" >/dev/null
+  curl -sf "$BASE/search?q=$pair&lang=bool&rank=tfidf&top=3" >/dev/null
+done
+top_shape=$(curl -sf "$BASE/stats/queries?n=1")
+echo "$top_shape" | grep -q '"shape":"bool:\$1 AND \$2"' || {
+  echo "hot shape is not the two-token AND: $top_shape" >&2
+  exit 1
+}
+hot_count=$(echo "$top_shape" | grep -o '"count":[0-9]*' | head -1 | cut -d: -f2)
+[ "${hot_count:-0}" -ge 8 ] || {
+  echo "hot shape count $hot_count implausibly low: $top_shape" >&2
+  exit 1
+}
+
+# The history store must have sampled by now (100ms cadence) and serve
+# windowed aggregates including request-latency quantiles.
+log "checking /metrics/history"
+sleep 0.5
+hist=$(curl -sf "$BASE/metrics/history?window=1m&metric=fulltext_http_request_duration_seconds")
+echo "$hist" | grep -q '"name":"fulltext_http_request_duration_seconds"' || {
+  echo "history window has no request-duration series: $hist" >&2
+  exit 1
+}
+echo "$hist" | grep -q '"p99":' || {
+  echo "history window carries no p99 aggregate: $hist" >&2
+  exit 1
+}
+echo "$hist" | grep -q '"points":' || {
+  echo "history window carries no per-tick points: $hist" >&2
+  exit 1
+}
+
+# /slo reports the availability objective, healthy under this traffic.
+curl -sf "$BASE/slo" | grep -q '"name":"availability"' || {
+  echo "/slo lost the availability objective" >&2
+  exit 1
+}
+
 # /stats must expose the registry-backed telemetry and endpoints sections.
 stats=$(curl -sf "$BASE/stats")
 echo "$stats" | grep -q '"telemetry"' || {
@@ -114,7 +158,52 @@ curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 # so the served vocabulary can never drift from the statically checked one.
 "$WORK/promcheck" <"$WORK/metrics.txt" \
   -naming \
-  -require fulltext_http_request_duration_seconds,fulltext_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total \
-  -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total
+  -require fulltext_http_request_duration_seconds,fulltext_uptime_seconds,fulltext_query_plan_seconds,fulltext_query_shard_eval_seconds,fulltext_query_merge_seconds,fulltext_query_cache_hits_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_docs,fulltext_shards,fulltext_segments,fulltext_merge_workers,fulltext_segment_merges_total,fulltext_wal_append_seconds,fulltext_wal_appends_total,fulltext_checkpoint_seconds,fulltext_checkpoint_phase_seconds,fulltext_checkpoints_total,fulltext_http_responses_total,fulltext_query_shapes_tracked,fulltext_slo_error_budget_remaining_ratio,fulltext_slo_burn_rate \
+  -nonzero fulltext_docs,fulltext_wal_appends_total,fulltext_checkpoints_total,fulltext_ranked_evals_total,fulltext_wand_scored_docs_total,fulltext_wand_blocks_skipped_total,fulltext_http_responses_total,fulltext_query_shapes_tracked,fulltext_slo_error_budget_remaining_ratio
 
 log "OK: exposition valid, core families present, hot-path families non-zero"
+
+# --- SLO burn phase: a second server with an impossible latency objective.
+# Every request exceeds 1ns, so the error budget burns and /healthz must
+# leave "ok" (degraded while budget remains, 503 exhausted once it's gone)
+# while the budget-ratio gauge drops below 1.
+log "SLO burn phase"
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+PORT2=$((PORT + 1))
+BASE2="http://127.0.0.1:$PORT2"
+"$WORK/ftserve" -data-dir "$DATA" -shards 4 -addr "127.0.0.1:$PORT2" \
+  -history-interval 100ms -history-retention 10s -slo-latency-p99 1ns \
+  >>"$WORK/server.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+  if curl -s "$BASE2/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+status=""
+for _ in $(seq 1 50); do
+  curl -sf "$BASE2/search?q='alpha'&lang=bool" >/dev/null || true
+  hz=$(curl -s "$BASE2/healthz" || true)
+  status=$(echo "$hz" | grep -o '"status":"[a-z]*"' | head -1 || true)
+  case "$status" in
+    '"status":"degraded"'|'"status":"exhausted"') break ;;
+  esac
+  sleep 0.1
+done
+case "$status" in
+  '"status":"degraded"'|'"status":"exhausted"') ;;
+  *)
+    echo "healthz never left ok under total SLO burn: $status" >&2
+    curl -s "$BASE2/slo" >&2
+    exit 1 ;;
+esac
+
+burn_metrics=$(curl -s "$BASE2/metrics")
+ratio=$(echo "$burn_metrics" | awk '/^fulltext_slo_error_budget_remaining_ratio\{/ {print $2; exit}')
+awk -v r="${ratio:-1}" 'BEGIN { exit !(r < 1) }' || {
+  echo "budget ratio did not drop under burn: ${ratio:-missing}" >&2
+  exit 1
+}
+
+log "OK: SLO burn flipped healthz to ${status#*:} with budget ratio $ratio"

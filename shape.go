@@ -1,0 +1,136 @@
+package fulltext
+
+// Query shape fingerprinting for the analytics sketch: two queries have
+// the same shape when they differ only in which concrete tokens they
+// search, what their position variables are called, or (coarsely) how big
+// their predicate constants are. 'alpha' AND 'beta' and 'x' AND 'y' are
+// one shape; 'alpha' AND 'alpha' is another (repeated literals share a
+// placeholder, so self-conjunction is distinguishable from a
+// two-token AND). The fingerprint is what GET /stats/queries aggregates
+// on and what -slow-query log lines carry, so it must be deterministic,
+// cheap (one AST walk), and must never leak document or query text —
+// token literals are replaced by positional placeholders.
+
+import (
+	"fmt"
+	"strings"
+
+	"fulltext/internal/lang"
+)
+
+// Shape returns the query's shape fingerprint: the dialect, a colon, and
+// the operator tree with token literals replaced by placeholders ($1, $2,
+// ... in first-occurrence order; repeats of the same token share one),
+// position variables renamed positionally (p1, p2, ...), and predicate
+// integer constants bucketed to powers of two (0, <=1, <=2, <=4, ...) so
+// dist(a, b, 5) and dist(c, d, 7) coincide but radically different
+// proximity windows do not.
+func (q *Query) Shape() string {
+	var b strings.Builder
+	b.WriteString(q.dialect.String())
+	b.WriteByte(':')
+	s := &shaper{toks: map[string]string{}, vars: map[string]string{}}
+	s.walk(&b, q.ast, false)
+	return b.String()
+}
+
+// shaper carries the literal and variable renamings of one fingerprint.
+type shaper struct {
+	toks map[string]string // token literal -> $n
+	vars map[string]string // variable name -> pn
+}
+
+func (s *shaper) tok(t string) string {
+	if p, ok := s.toks[t]; ok {
+		return p
+	}
+	p := fmt.Sprintf("$%d", len(s.toks)+1)
+	s.toks[t] = p
+	return p
+}
+
+func (s *shaper) v(name string) string {
+	if p, ok := s.vars[name]; ok {
+		return p
+	}
+	p := fmt.Sprintf("p%d", len(s.vars)+1)
+	s.vars[name] = p
+	return p
+}
+
+// walk renders q's shape, parenthesizing compound children the way
+// lang.Query.String does so shapes read like canonical queries.
+func (s *shaper) walk(b *strings.Builder, q lang.Query, paren bool) {
+	compound := false
+	switch q.(type) {
+	case lang.Not, lang.And, lang.Or, lang.Some, lang.Every:
+		compound = true
+	}
+	if paren && compound {
+		b.WriteByte('(')
+		defer b.WriteByte(')')
+	}
+	switch x := q.(type) {
+	case lang.Lit:
+		b.WriteString(s.tok(x.Tok))
+	case lang.Any:
+		b.WriteString("ANY")
+	case lang.Has:
+		b.WriteString(s.v(x.Var))
+		b.WriteString(" HAS ")
+		b.WriteString(s.tok(x.Tok))
+	case lang.HasAny:
+		b.WriteString(s.v(x.Var))
+		b.WriteString(" HAS ANY")
+	case lang.Not:
+		b.WriteString("NOT ")
+		s.walk(b, x.Q, true)
+	case lang.And:
+		s.walk(b, x.L, true)
+		b.WriteString(" AND ")
+		s.walk(b, x.R, true)
+	case lang.Or:
+		s.walk(b, x.L, true)
+		b.WriteString(" OR ")
+		s.walk(b, x.R, true)
+	case lang.Some:
+		b.WriteString("SOME ")
+		b.WriteString(s.v(x.Var))
+		b.WriteByte(' ')
+		s.walk(b, x.Q, true)
+	case lang.Every:
+		b.WriteString("EVERY ")
+		b.WriteString(s.v(x.Var))
+		b.WriteByte(' ')
+		s.walk(b, x.Q, true)
+	case lang.Pred:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		for i, v := range x.Vars {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(s.v(v))
+		}
+		for i, c := range x.Consts {
+			if i > 0 || len(x.Vars) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(bucketConst(c))
+		}
+		b.WriteByte(')')
+	}
+}
+
+// bucketConst coarsens an integer constant to its power-of-two ceiling,
+// so nearby proximity windows share a shape.
+func bucketConst(c int) string {
+	if c <= 0 {
+		return "<=0"
+	}
+	b := 1
+	for b < c {
+		b <<= 1
+	}
+	return fmt.Sprintf("<=%d", b)
+}

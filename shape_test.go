@@ -1,0 +1,129 @@
+package fulltext
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustShape(t *testing.T, d Dialect, src string) string {
+	t.Helper()
+	q, err := Parse(d, src)
+	if err != nil {
+		t.Fatalf("Parse(%v, %q): %v", d, src, err)
+	}
+	return q.Shape()
+}
+
+func TestShapeLiteralsNormalized(t *testing.T) {
+	// Different tokens, same operator tree → one shape.
+	a := mustShape(t, BOOL, `'alpha' AND 'beta'`)
+	b := mustShape(t, BOOL, `'x' AND 'y'`)
+	if a != b {
+		t.Fatalf("shapes differ: %q vs %q", a, b)
+	}
+	if a != "bool:$1 AND $2" {
+		t.Fatalf("shape = %q, want bool:$1 AND $2", a)
+	}
+
+	// A repeated literal shares its placeholder, so self-conjunction is a
+	// distinct shape from a two-token AND.
+	same := mustShape(t, BOOL, `'a' AND 'a'`)
+	if same != "bool:$1 AND $1" {
+		t.Fatalf("self-conjunction shape = %q", same)
+	}
+	if same == a {
+		t.Fatal("self-conjunction collides with two-token AND")
+	}
+}
+
+func TestShapeNeverLeaksQueryText(t *testing.T) {
+	for d, src := range map[Dialect]string{
+		BOOL: `'secretword' OR NOT 'classified'`,
+		DIST: `dist('secretword','classified',3)`,
+		COMP: `SOME p (p HAS 'secretword')`,
+	} {
+		s := mustShape(t, d, src)
+		if strings.Contains(s, "secret") || strings.Contains(s, "classified") {
+			t.Errorf("shape %q leaks query text from %q", s, src)
+		}
+	}
+}
+
+func TestShapeOperatorStructurePreserved(t *testing.T) {
+	// AND binds tighter than OR; the shape parenthesizes like Query.String.
+	s := mustShape(t, BOOL, `'a' OR 'b' AND 'c'`)
+	if s != "bool:$1 OR ($2 AND $3)" {
+		t.Fatalf("shape = %q", s)
+	}
+	if s2 := mustShape(t, BOOL, `('a' OR 'b') AND 'c'`); s2 == s {
+		t.Fatal("associativity variants collapsed to one shape")
+	}
+	if got := mustShape(t, BOOL, `NOT 'x'`); got != "bool:NOT $1" {
+		t.Fatalf("NOT shape = %q", got)
+	}
+	if got := mustShape(t, BOOL, `ANY`); got != "bool:ANY" {
+		t.Fatalf("ANY shape = %q", got)
+	}
+}
+
+func TestShapeVariablesRenamedPositionally(t *testing.T) {
+	a := mustShape(t, COMP, `SOME p1 SOME p2 (p1 HAS 'x' AND distance(p1,p2,5))`)
+	b := mustShape(t, COMP, `SOME left SOME right (left HAS 'y' AND distance(left,right,5))`)
+	if a != b {
+		t.Fatalf("alpha-equivalent queries got different shapes:\n  %q\n  %q", a, b)
+	}
+	if !strings.Contains(a, "p1") || !strings.Contains(a, "p2") || strings.Contains(a, "left") {
+		t.Fatalf("shape = %q, want positional p1/p2 names", a)
+	}
+	// EVERY and HAS ANY render too.
+	every := mustShape(t, COMP, `EVERY q (q HAS ANY)`)
+	if every != "comp:EVERY p1 p1 HAS ANY" {
+		t.Fatalf("EVERY shape = %q", every)
+	}
+}
+
+func TestShapePredicateConstantsBucketed(t *testing.T) {
+	// 5 and 7 share the <=8 bucket; 3 (<=4) and 100 (<=128) do not.
+	d5 := mustShape(t, DIST, `dist('a','b',5)`)
+	d7 := mustShape(t, DIST, `dist('c','d',7)`)
+	d3 := mustShape(t, DIST, `dist('a','b',3)`)
+	d100 := mustShape(t, DIST, `dist('a','b',100)`)
+	if d5 != d7 {
+		t.Fatalf("nearby windows split: %q vs %q", d5, d7)
+	}
+	if d5 == d3 || d5 == d100 || d3 == d100 {
+		t.Fatalf("distinct buckets collapsed: %q / %q / %q", d3, d5, d100)
+	}
+	if !strings.Contains(d5, "<=8") {
+		t.Fatalf("shape = %q, want <=8 bucket", d5)
+	}
+
+	cases := map[int]string{0: "<=0", 1: "<=1", 2: "<=2", 3: "<=4", 5: "<=8", 8: "<=8", 9: "<=16"}
+	for c, want := range cases {
+		if got := bucketConst(c); got != want {
+			t.Errorf("bucketConst(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestShapeDialectPrefix(t *testing.T) {
+	if got := mustShape(t, BOOL, `'a'`); got != "bool:$1" {
+		t.Fatalf("BOOL shape = %q", got)
+	}
+	if got := mustShape(t, DIST, `'a'`); got != "dist:$1" {
+		t.Fatalf("DIST shape = %q", got)
+	}
+	if got := mustShape(t, COMP, `'a'`); got != "comp:$1" {
+		t.Fatalf("COMP shape = %q", got)
+	}
+}
+
+func TestShapeDeterministic(t *testing.T) {
+	const src = `SOME p1 SOME p2 (p1 HAS 'u' AND p2 HAS 'v' AND samepara(p1,p2) AND NOT distance(p1,p2,6))`
+	first := mustShape(t, COMP, src)
+	for i := 0; i < 10; i++ {
+		if got := mustShape(t, COMP, src); got != first {
+			t.Fatalf("shape unstable: %q vs %q", got, first)
+		}
+	}
+}
